@@ -1,0 +1,51 @@
+// Ablation: the MSRLT's ordered address search versus a linear scan.
+//
+// The paper's O(n log n) collection term assumes an efficient
+// address->block search. This ablation collects the same bitonic-profile
+// graph with the ordered-map strategy and with a deliberately naive
+// linear scan, showing why the data structure choice is load-bearing.
+#include <benchmark/benchmark.h>
+
+#include "apps/workload.hpp"
+#include "msrm/collect.hpp"
+
+namespace {
+
+using namespace hpm;
+
+void collect_graph(msr::SearchStrategy strategy, std::uint32_t nodes,
+                   benchmark::State& state) {
+  ti::TypeTable types;
+  apps::workload_register_types(types);
+  mig::MigContext ctx(types, strategy);
+  apps::RandNode*& root = ctx.global<apps::RandNode*>("root");
+  apps::GraphShape shape;
+  shape.nodes = nodes;
+  shape.edge_density = 0.8;
+  shape.share_bias = 0.5;
+  const auto all = apps::build_random_graph(ctx, 7, shape);
+  root = all[0];
+  for (auto _ : state) {
+    xdr::Encoder enc(1 << 20);
+    msrm::Collector collector(ctx.space(), enc);
+    collector.save_variable(reinterpret_cast<msr::Address>(&root));
+    benchmark::DoNotOptimize(enc.size());
+  }
+  state.SetLabel(std::to_string(nodes) + " blocks");
+}
+
+void BM_collect_ordered_map(benchmark::State& state) {
+  collect_graph(msr::SearchStrategy::OrderedMap, static_cast<std::uint32_t>(state.range(0)),
+                state);
+}
+BENCHMARK(BM_collect_ordered_map)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_collect_linear_scan(benchmark::State& state) {
+  collect_graph(msr::SearchStrategy::LinearScan, static_cast<std::uint32_t>(state.range(0)),
+                state);
+}
+BENCHMARK(BM_collect_linear_scan)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

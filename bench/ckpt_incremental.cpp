@@ -1,0 +1,71 @@
+// Incremental-checkpoint experiment (extension of §4.3's cost analysis):
+// how does the delta size scale with the fraction of state that actually
+// changed between checkpoints?
+//
+// Workload: 64 heap arrays of 32 KB; between captures, a chosen fraction
+// of them is mutated. Expected shape: delta bytes ~ linear in the hot
+// fraction, with a small constant floor (execution state + digest
+// metadata), versus the flat full-capture line.
+#include <cstdio>
+
+#include "ckpt/incremental.hpp"
+#include "mig/annotate.hpp"
+
+using namespace hpm;
+
+namespace {
+
+constexpr int kArrays = 64;
+constexpr std::uint32_t kElems = 4096;  // 32 KB per array
+
+void program(mig::MigContext& ctx, ckpt::IncrementalCheckpointer* checkpointer, int hot,
+             std::vector<ckpt::IncrementalStats>* stats) {
+  HPM_FUNCTION(ctx);
+  double* arrays[kArrays];
+  int round, a;
+  HPM_LOCAL(ctx, arrays);
+  HPM_LOCAL(ctx, round);
+  HPM_LOCAL(ctx, a);
+  HPM_LOCAL(ctx, hot);
+  HPM_BODY(ctx);
+  for (a = 0; a < kArrays; ++a) {
+    arrays[a] = ctx.heap_alloc<double>(kElems, "arr");
+    for (std::uint32_t i = 0; i < kElems; ++i) arrays[a][i] = i;
+  }
+  for (round = 0; round < 4; ++round) {
+    HPM_POLL(ctx, 1);
+    stats->push_back(checkpointer->capture(ctx));
+    for (a = 0; a < hot; ++a) arrays[a][0] += 1.0;  // touch `hot` arrays
+  }
+  for (a = 0; a < kArrays; ++a) ctx.heap_free(arrays[a]);
+  HPM_BODY_END(ctx);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Incremental checkpoint deltas vs mutated fraction (64 x 32 KB arrays)\n\n");
+  std::printf("%10s %14s %14s %14s %12s\n", "hot/64", "base_bytes", "delta_bytes",
+              "delta_blocks", "reduction");
+  for (int hot : {0, 4, 16, 32, 64}) {
+    const std::string prefix = "/tmp/hpm_bench_inc_" + std::to_string(hot);
+    for (int i = 0; i < 8; ++i) {
+      std::remove((prefix + "." + std::to_string(i)).c_str());
+    }
+    ti::TypeTable types;
+    mig::MigContext ctx(types);
+    ckpt::IncrementalCheckpointer checkpointer(prefix);
+    std::vector<ckpt::IncrementalStats> stats;
+    program(ctx, &checkpointer, hot, &stats);
+    // stats[0] is the full base; stats[2] a steady-state delta.
+    const double reduction =
+        static_cast<double>(stats[0].file_bytes) / static_cast<double>(stats[2].file_bytes);
+    std::printf("%10d %14llu %14llu %14llu %11.1fx\n", hot,
+                static_cast<unsigned long long>(stats[0].file_bytes),
+                static_cast<unsigned long long>(stats[2].file_bytes),
+                static_cast<unsigned long long>(stats[2].written_blocks), reduction);
+  }
+  std::printf("\nexpected shape: delta bytes grow linearly with the hot fraction; the\n"
+              "0-hot floor is the execution state plus the mutating loop locals.\n");
+  return 0;
+}

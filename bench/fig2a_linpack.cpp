@@ -1,0 +1,40 @@
+// Regenerates Figure 2(a): data collection and restoration time of the
+// linpack program as a function of migration data size (matrices
+// 500x500 ... 1000x1000, ~2 MB to ~8 MB of live data).
+//
+// Paper shape: both curves are LINEAR in the live-data bytes (the number
+// of MSR nodes stays constant, so the MSRLT search/update terms are
+// constant and only the encode/decode term scales), and the gap between
+// collection and restoration is roughly constant across sizes.
+#include <cstdio>
+
+#include "apps/linpack.hpp"
+#include "support.hpp"
+
+using namespace hpm;
+
+int main() {
+  std::printf("Figure 2(a): linpack collect/restore time vs data size\n");
+  std::printf("%6s %12s %12s %12s %10s %14s\n", "n", "bytes", "collect_s", "restore_s",
+              "blocks", "msrlt_searches");
+  double first_ratio = 0;
+  double last_ratio = 0;
+  for (int n : {500, 600, 700, 800, 900, 1000}) {
+    apps::LinpackResult result;
+    const bench::Measurement m = bench::measure_migration(
+        apps::linpack_register_types,
+        [&result, n](mig::MigContext& ctx) { apps::linpack_program(ctx, n, 1, &result); },
+        /*at_poll=*/1);
+    std::printf("%6d %12llu %12.5f %12.5f %10llu %14llu\n", n,
+                static_cast<unsigned long long>(m.bytes), m.collect_s, m.restore_s,
+                static_cast<unsigned long long>(m.collect.blocks_saved),
+                static_cast<unsigned long long>(m.source_msrlt.searches));
+    const double ratio = m.collect_s / static_cast<double>(m.bytes);
+    if (first_ratio == 0) first_ratio = ratio;
+    last_ratio = ratio;
+  }
+  std::printf("\nshape check: collect seconds-per-byte at n=1000 vs n=500: %.2fx "
+              "(1.0 = perfectly linear in sum(Di))\n",
+              last_ratio / first_ratio);
+  return 0;
+}

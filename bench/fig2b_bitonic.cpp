@@ -1,0 +1,57 @@
+// Regenerates Figure 2(b): data collection and restoration time of the
+// bitonic sort program as a function of the number of values sorted.
+//
+// Paper shape: unlike linpack, BOTH the node count n and the data volume
+// grow with the input, so collection (whose MSRLT search term is
+// O(n log n)) pulls away from restoration (whose MSRLT update term is
+// O(n)) as the input scales — the curves diverge.
+#include <cstdio>
+
+#include "apps/bitonic.hpp"
+#include "support.hpp"
+
+using namespace hpm;
+
+int main() {
+  std::printf("Figure 2(b): bitonic collect/restore time vs number sorted\n");
+  std::printf("%8s %10s %12s %12s %12s %14s %14s\n", "sorted", "blocks", "bytes",
+              "collect_s", "restore_s", "search_steps", "registrations");
+  double first_steps_per_block = 0;
+  double last_steps_per_block = 0;
+  double first_reg_per_block = 0;
+  double last_reg_per_block = 0;
+  for (int log2_leaves : {12, 13, 14, 15, 16, 17}) {
+    apps::BitonicResult result;
+    const bench::Measurement m = bench::measure_migration(
+        apps::bitonic_register_types,
+        [&result, log2_leaves](mig::MigContext& ctx) {
+          apps::bitonic_program(ctx, log2_leaves, 9, &result);
+        },
+        /*at_poll=*/1);
+    std::printf("%8u %10llu %12llu %12.5f %12.5f %14llu %14llu\n", 1u << log2_leaves,
+                static_cast<unsigned long long>(m.collect.blocks_saved),
+                static_cast<unsigned long long>(m.bytes), m.collect_s, m.restore_s,
+                static_cast<unsigned long long>(m.source_msrlt.search_steps),
+                static_cast<unsigned long long>(m.restore.blocks_created +
+                                                m.restore.blocks_bound));
+    const double blocks = static_cast<double>(m.collect.blocks_saved);
+    const double steps_per_block = static_cast<double>(m.source_msrlt.search_steps) / blocks;
+    const double reg_per_block =
+        static_cast<double>(m.restore.blocks_created + m.restore.blocks_bound) / blocks;
+    if (first_steps_per_block == 0) {
+      first_steps_per_block = steps_per_block;
+      first_reg_per_block = reg_per_block;
+    }
+    last_steps_per_block = steps_per_block;
+    last_reg_per_block = reg_per_block;
+  }
+  std::printf("\nshape checks (the paper's O(n log n) vs O(n) model, via op counters):\n");
+  std::printf("  collection search steps per block grew %.2f -> %.2f (the log n factor)\n",
+              first_steps_per_block, last_steps_per_block);
+  std::printf("  restoration MSRLT updates per block stayed %.2f -> %.2f (constant)\n",
+              first_reg_per_block, last_reg_per_block);
+  std::printf("(wall-clock constants differ from 1998: on a modern allocator, restoration's "
+              "per-block\nallocation keeps it above collection — consistent with Table 1's "
+              "bitonic row, where the\npaper also measured Restore > Collect.)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates the §4.3 memory-allocation overhead experiment: "the
+// overhead could be high if many small memory blocks are repeatedly
+// allocated, causing a large MSRLT."
+//
+// Compares plain malloc/free against the migratable heap (which registers
+// every block in the MSRLT) across a sweep of LIVE block counts — the
+// registration cost grows with the table because the address map must
+// stay ordered.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "mig/context.hpp"
+
+namespace {
+
+struct Small {
+  int v;
+  Small* next;
+};
+
+void BM_alloc_free_untracked(benchmark::State& state) {
+  const std::size_t live = static_cast<std::size_t>(state.range(0));
+  std::vector<void*> slots(live, nullptr);
+  for (void*& s : slots) s = std::malloc(sizeof(Small));
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    std::free(slots[cursor]);
+    slots[cursor] = std::malloc(sizeof(Small));
+    benchmark::DoNotOptimize(slots[cursor]);
+    cursor = (cursor + 1) % live;
+  }
+  for (void* s : slots) std::free(s);
+  state.SetLabel("live=" + std::to_string(live));
+}
+BENCHMARK(BM_alloc_free_untracked)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_alloc_free_tracked(benchmark::State& state) {
+  const std::size_t live = static_cast<std::size_t>(state.range(0));
+  hpm::ti::TypeTable types;
+  {
+    hpm::ti::StructBuilder<Small> b(types, "small");
+    HPM_TI_FIELD(b, Small, v);
+    HPM_TI_FIELD(b, Small, next);
+    b.commit();
+  }
+  hpm::mig::MigContext ctx(types);
+  std::vector<Small*> slots(live, nullptr);
+  for (Small*& s : slots) s = ctx.heap_alloc<Small>(1, "");
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    ctx.heap_free(slots[cursor]);
+    slots[cursor] = ctx.heap_alloc<Small>(1, "");
+    benchmark::DoNotOptimize(slots[cursor]);
+    cursor = (cursor + 1) % live;
+  }
+  for (Small* s : slots) ctx.heap_free(s);
+  state.SetLabel("live=" + std::to_string(live) + " (MSRLT-registered)");
+}
+BENCHMARK(BM_alloc_free_tracked)->Arg(1024)->Arg(8192)->Arg(65536);
+
+/// The paper's remedy: "smart memory allocation policies" — one pooled
+/// block of many elements registers a single MSR node.
+void BM_alloc_pooled_tracked(benchmark::State& state) {
+  const std::uint32_t live = static_cast<std::uint32_t>(state.range(0));
+  hpm::ti::TypeTable types;
+  {
+    hpm::ti::StructBuilder<Small> b(types, "small");
+    HPM_TI_FIELD(b, Small, v);
+    HPM_TI_FIELD(b, Small, next);
+    b.commit();
+  }
+  hpm::mig::MigContext ctx(types);
+  for (auto _ : state) {
+    Small* pool = ctx.heap_alloc<Small>(live, "pool");
+    benchmark::DoNotOptimize(pool);
+    ctx.heap_free(pool);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * live);
+  state.SetLabel("one pooled block for " + std::to_string(live) + " elements");
+}
+BENCHMARK(BM_alloc_pooled_tracked)->Arg(1024)->Arg(8192)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

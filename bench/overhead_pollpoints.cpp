@@ -1,0 +1,157 @@
+// Regenerates the §4.3 poll-point placement experiment: "the overhead
+// could be high if poll-points are placed in a kernel function which
+// performs only few operations but is invoked so many times."
+//
+// Three variants of the same daxpy-based column elimination:
+//   plain      — no annotation at all (the untransformed program)
+//   outer_poll — one poll per eliminated column (the recommended layout)
+//   inner_poll — a poll inside the daxpy inner loop (the paper's warning)
+// plus the cost of annotating a tiny function that is called per element
+// (frame enter/exit + live-variable registration on every call).
+#include <benchmark/benchmark.h>
+
+#include "mig/annotate.hpp"
+#include "mig/context.hpp"
+
+namespace {
+
+using hpm::mig::MigContext;
+
+constexpr int kN = 256;
+
+double plain_elimination(int n) {
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 1.0);
+  double acc = 0;
+  for (int k = 0; k < n - 1; ++k) {
+    for (int j = k + 1; j < n; ++j) {
+      double* dst = a.data() + static_cast<std::size_t>(j) * n;
+      const double* src = a.data() + static_cast<std::size_t>(k) * n;
+      for (int i = k + 1; i < n; ++i) dst[i] += 0.001 * src[i];
+      acc += dst[k + 1];
+    }
+  }
+  return acc;
+}
+
+double outer_poll_elimination(MigContext& ctx, int n) {
+  HPM_FUNCTION(ctx);
+  int k, j;
+  double acc;
+  double* base;
+  HPM_LOCAL(ctx, k);
+  HPM_LOCAL(ctx, j);
+  HPM_LOCAL(ctx, acc);
+  HPM_LOCAL(ctx, base);
+  HPM_BODY(ctx);
+  base = ctx.heap_alloc<double>(static_cast<std::uint32_t>(n) * n, "a");
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(n) * n; ++i) base[i] = 1.0;
+  acc = 0;
+  for (k = 0; k < n - 1; ++k) {
+    HPM_POLL(ctx, 1);  // once per column: the paper's recommendation
+    for (j = k + 1; j < n; ++j) {
+      double* dst = base + static_cast<std::size_t>(j) * n;
+      const double* src = base + static_cast<std::size_t>(k) * n;
+      for (int i = k + 1; i < n; ++i) dst[i] += 0.001 * src[i];
+      acc += dst[k + 1];
+    }
+  }
+  ctx.heap_free(base);
+  return acc;
+  HPM_BODY_END(ctx);
+  return 0;
+}
+
+double inner_poll_elimination(MigContext& ctx, int n) {
+  HPM_FUNCTION(ctx);
+  int k, j, i;
+  double acc;
+  double* base;
+  HPM_LOCAL(ctx, k);
+  HPM_LOCAL(ctx, j);
+  HPM_LOCAL(ctx, i);
+  HPM_LOCAL(ctx, acc);
+  HPM_LOCAL(ctx, base);
+  HPM_BODY(ctx);
+  base = ctx.heap_alloc<double>(static_cast<std::uint32_t>(n) * n, "a");
+  for (std::uint32_t x = 0; x < static_cast<std::uint32_t>(n) * n; ++x) base[x] = 1.0;
+  acc = 0;
+  for (k = 0; k < n - 1; ++k) {
+    for (j = k + 1; j < n; ++j) {
+      for (i = k + 1; i < n; ++i) {
+        HPM_POLL(ctx, 1);  // per element: the paper's warned-against layout
+        base[static_cast<std::size_t>(j) * n + i] +=
+            0.001 * base[static_cast<std::size_t>(k) * n + i];
+      }
+      acc += base[static_cast<std::size_t>(j) * n + k + 1];
+    }
+  }
+  ctx.heap_free(base);
+  return acc;
+  HPM_BODY_END(ctx);
+  return 0;
+}
+
+void BM_elimination_plain(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plain_elimination(kN));
+  }
+}
+BENCHMARK(BM_elimination_plain)->Unit(benchmark::kMillisecond);
+
+void BM_elimination_outer_poll(benchmark::State& state) {
+  hpm::ti::TypeTable types;
+  for (auto _ : state) {
+    MigContext ctx(types);
+    benchmark::DoNotOptimize(outer_poll_elimination(ctx, kN));
+  }
+}
+BENCHMARK(BM_elimination_outer_poll)->Unit(benchmark::kMillisecond);
+
+void BM_elimination_inner_poll(benchmark::State& state) {
+  hpm::ti::TypeTable types;
+  for (auto _ : state) {
+    MigContext ctx(types);
+    benchmark::DoNotOptimize(inner_poll_elimination(ctx, kN));
+  }
+}
+BENCHMARK(BM_elimination_inner_poll)->Unit(benchmark::kMillisecond);
+
+/// The cost of annotating a tiny kernel: every call opens a frame and
+/// registers/unregisters its live locals in the MSRLT.
+double tiny_kernel_annotated(MigContext& ctx, double x) {
+  HPM_FUNCTION(ctx);
+  double y;
+  HPM_LOCAL(ctx, y);
+  HPM_LOCAL(ctx, x);
+  HPM_BODY(ctx);
+  HPM_POLL(ctx, 1);
+  y = x * 1.0000001 + 0.5;
+  HPM_BODY_END(ctx);
+  return y;
+}
+
+double tiny_kernel_plain(double x) { return x * 1.0000001 + 0.5; }
+
+void BM_tiny_kernel_plain(benchmark::State& state) {
+  double x = 1.0;
+  for (auto _ : state) {
+    x = tiny_kernel_plain(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_tiny_kernel_plain);
+
+void BM_tiny_kernel_annotated(benchmark::State& state) {
+  hpm::ti::TypeTable types;
+  MigContext ctx(types);
+  double x = 1.0;
+  for (auto _ : state) {
+    x = tiny_kernel_annotated(ctx, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_tiny_kernel_annotated);
+
+}  // namespace
+
+BENCHMARK_MAIN();

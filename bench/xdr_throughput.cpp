@@ -1,0 +1,64 @@
+// Layer-2 microbenchmarks: canonical encode/decode throughput and
+// per-architecture machine-specific conversion — the Encode-and-copy /
+// Decode-and-copy term of the §4.2 model in isolation.
+#include <benchmark/benchmark.h>
+
+#include "xdr/value.hpp"
+
+namespace {
+
+using namespace hpm::xdr;
+
+void BM_encode_doubles_canonical(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = i * 1.5;
+  for (auto _ : state) {
+    Encoder enc(n * 8);
+    for (double d : data) enc.put_f64(d);
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 8);
+}
+BENCHMARK(BM_encode_doubles_canonical)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_decode_doubles_canonical(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Encoder enc(n * 8);
+  for (std::size_t i = 0; i < n; ++i) enc.put_f64(i * 1.5);
+  for (auto _ : state) {
+    Decoder dec(enc.bytes());
+    double sink = 0;
+    for (std::size_t i = 0; i < n; ++i) sink += dec.get_f64();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 8);
+}
+BENCHMARK(BM_decode_doubles_canonical)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_prim_roundtrip_per_arch(benchmark::State& state) {
+  const ArchDescriptor& arch = arch_by_name(arch_names()[state.range(0)]);
+  std::uint8_t buf[8] = {};
+  const PrimValue v = PrimValue::of_signed(PrimKind::Int, -123456);
+  for (auto _ : state) {
+    write_raw(buf, arch, PrimKind::Int, v);
+    benchmark::DoNotOptimize(read_raw(buf, arch, PrimKind::Int));
+  }
+  state.SetLabel(std::string(arch.name));
+}
+BENCHMARK(BM_prim_roundtrip_per_arch)->DenseRange(0, 6);
+
+void BM_pointer_cell_per_arch(benchmark::State& state) {
+  const ArchDescriptor& arch = arch_by_name(arch_names()[state.range(0)]);
+  std::uint8_t buf[8] = {};
+  for (auto _ : state) {
+    write_pointer_cell(buf, arch, 0xBEEF);
+    benchmark::DoNotOptimize(read_pointer_cell(buf, arch));
+  }
+  state.SetLabel(std::string(arch.name));
+}
+BENCHMARK(BM_pointer_cell_per_arch)->DenseRange(0, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+#include "apps/bitonic.hpp"
+
+#include "common/rng.hpp"
+#include "ti/describe.hpp"
+
+namespace hpm::apps {
+
+namespace {
+
+/// Plain recursive construction: runs before any migration can trigger
+/// (no poll-points), so it needs no annotation — but every node comes
+/// from the migratable heap and is therefore a tracked MSR block.
+BitonicNode* build_tree(mig::MigContext& ctx, int depth, Rng& rng) {
+  BitonicNode* node = ctx.heap_alloc<BitonicNode>(1, "node");
+  if (depth == 0) {
+    node->value = static_cast<int>(rng.next_below(1u << 30));
+    node->left = nullptr;
+    node->right = nullptr;
+    return node;
+  }
+  node->value = 0;
+  node->left = build_tree(ctx, depth - 1, rng);
+  node->right = build_tree(ctx, depth - 1, rng);
+  return node;
+}
+
+void free_tree(mig::MigContext& ctx, BitonicNode* node) {
+  if (node == nullptr) return;
+  free_tree(ctx, node->left);
+  free_tree(ctx, node->right);
+  ctx.heap_free(node);
+}
+
+bool check_sorted(const BitonicNode* node, int* prev, std::uint64_t* sum) {
+  if (node->left == nullptr) {
+    *sum += static_cast<std::uint64_t>(node->value);
+    if (node->value < *prev) return false;
+    *prev = node->value;
+    return true;
+  }
+  return check_sorted(node->left, prev, sum) && check_sorted(node->right, prev, sum);
+}
+
+std::uint64_t leaf_sum(const BitonicNode* node) {
+  if (node->left == nullptr) return static_cast<std::uint64_t>(node->value);
+  return leaf_sum(node->left) + leaf_sum(node->right);
+}
+
+/// --- migratable sorting network ------------------------------------------
+
+/// Compare-exchange corresponding leaves of two equal-shape subtrees.
+/// The poll-point sits at the leaf comparison — the finest-grained (and
+/// most migration-responsive) point in the program.
+void cswap_rec(mig::MigContext& ctx, BitonicNode* x, BitonicNode* y, int ascending) {
+  HPM_FUNCTION(ctx);
+  int t;
+  HPM_LOCAL(ctx, x);
+  HPM_LOCAL(ctx, y);
+  HPM_LOCAL(ctx, ascending);
+  HPM_LOCAL(ctx, t);
+  HPM_BODY(ctx);
+  if (x->left == nullptr) {
+    HPM_POLL(ctx, 1);
+    if ((x->value > y->value) == (ascending != 0)) {
+      t = x->value;
+      x->value = y->value;
+      y->value = t;
+    }
+  } else {
+    HPM_CALL(ctx, 2, cswap_rec(ctx, HPM_ARG(ctx, x->left), HPM_ARG(ctx, y->left),
+                               HPM_ARG(ctx, ascending)));
+    HPM_CALL(ctx, 3, cswap_rec(ctx, HPM_ARG(ctx, x->right), HPM_ARG(ctx, y->right),
+                               HPM_ARG(ctx, ascending)));
+  }
+  HPM_BODY_END(ctx);
+}
+
+/// Bitonic merge: the subtree's leaves form a bitonic sequence; make them
+/// monotonic.
+void merge_rec(mig::MigContext& ctx, BitonicNode* node, int ascending) {
+  HPM_FUNCTION(ctx);
+  HPM_LOCAL(ctx, node);
+  HPM_LOCAL(ctx, ascending);
+  HPM_BODY(ctx);
+  if (node->left != nullptr) {
+    HPM_CALL(ctx, 1, cswap_rec(ctx, HPM_ARG(ctx, node->left), HPM_ARG(ctx, node->right),
+                               HPM_ARG(ctx, ascending)));
+    HPM_CALL(ctx, 2, merge_rec(ctx, HPM_ARG(ctx, node->left), HPM_ARG(ctx, ascending)));
+    HPM_CALL(ctx, 3, merge_rec(ctx, HPM_ARG(ctx, node->right), HPM_ARG(ctx, ascending)));
+  }
+  HPM_BODY_END(ctx);
+}
+
+/// Full bitonic sort of the subtree's leaves.
+void sort_rec(mig::MigContext& ctx, BitonicNode* node, int ascending) {
+  HPM_FUNCTION(ctx);
+  HPM_LOCAL(ctx, node);
+  HPM_LOCAL(ctx, ascending);
+  HPM_BODY(ctx);
+  if (node->left != nullptr) {
+    HPM_CALL(ctx, 1, sort_rec(ctx, HPM_ARG(ctx, node->left), 1));
+    HPM_CALL(ctx, 2, sort_rec(ctx, HPM_ARG(ctx, node->right), 0));
+    HPM_CALL(ctx, 3, merge_rec(ctx, HPM_ARG(ctx, node), HPM_ARG(ctx, ascending)));
+  }
+  HPM_BODY_END(ctx);
+}
+
+}  // namespace
+
+void bitonic_register_types(ti::TypeTable& table) {
+  ti::StructBuilder<BitonicNode> b(table, "bitonic_node");
+  HPM_TI_FIELD(b, BitonicNode, value);
+  HPM_TI_FIELD(b, BitonicNode, left);
+  HPM_TI_FIELD(b, BitonicNode, right);
+  b.commit();
+}
+
+std::uint64_t bitonic_block_count(int log2_leaves) {
+  return (2ull << log2_leaves) - 1;
+}
+
+void bitonic_program(mig::MigContext& ctx, int log2_leaves, std::uint64_t seed,
+                     BitonicResult* out) {
+  HPM_FUNCTION(ctx);
+  BitonicNode* root;
+  std::uint64_t sum_before;
+  HPM_LOCAL(ctx, root);
+  HPM_LOCAL(ctx, sum_before);
+  HPM_BODY(ctx);
+  {
+    Rng rng(seed);
+    root = build_tree(ctx, log2_leaves, rng);
+  }
+  sum_before = leaf_sum(root);
+  HPM_CALL(ctx, 1, sort_rec(ctx, HPM_ARG(ctx, root), 1));
+  {
+    int prev = -2147483647 - 1;
+    std::uint64_t sum_after = 0;
+    out->sorted = check_sorted(root, &prev, &sum_after);
+    out->sum_before = sum_before;
+    out->sum_after = sum_after;
+    out->leaves = 1u << log2_leaves;
+    out->done = true;
+  }
+  free_tree(ctx, root);
+  HPM_BODY_END(ctx);
+}
+
+}  // namespace hpm::apps

@@ -1,0 +1,160 @@
+#include "apps/test_pointer.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ti/describe.hpp"
+
+namespace hpm::apps {
+
+namespace {
+
+TreeNode* build_tree(mig::MigContext& ctx, int depth, long path) {
+  TreeNode* node = ctx.heap_alloc<TreeNode>(1, "tree");
+  node->depth_tag = depth * 1000 + path;
+  node->weight = 0.5 * static_cast<double>(node->depth_tag);
+  if (depth == 0) {
+    node->left = nullptr;
+    node->right = nullptr;
+  } else {
+    node->left = build_tree(ctx, depth - 1, path * 2);
+    node->right = build_tree(ctx, depth - 1, path * 2 + 1);
+  }
+  return node;
+}
+
+bool check_tree(const TreeNode* node, int depth, long path) {
+  if (node == nullptr) return false;
+  if (node->depth_tag != depth * 1000 + path) return false;
+  if (node->weight != 0.5 * static_cast<double>(node->depth_tag)) return false;
+  if (depth == 0) return node->left == nullptr && node->right == nullptr;
+  return check_tree(node->left, depth - 1, path * 2) &&
+         check_tree(node->right, depth - 1, path * 2 + 1);
+}
+
+void free_tree(mig::MigContext& ctx, TreeNode* node) {
+  if (node == nullptr) return;
+  free_tree(ctx, node->left);
+  free_tree(ctx, node->right);
+  ctx.heap_free(node);
+}
+
+void tp_main(mig::MigContext& ctx, std::uint64_t seed, TestPointerResult* out,
+             ListNode** first, ListNode** last) {
+  HPM_FUNCTION(ctx);
+  TreeNode* tree;
+  int* pint;
+  int(*parr10)[10];       // pointer to array of 10 integers
+  int*(*pparr)[10];       // pointer to array of 10 pointers to integers
+  ListNode* parray[10];   // the paper's main(): array of list-node pointers
+  int* interior;          // pointer into the middle of *parr10
+  int i;
+  HPM_LOCAL(ctx, tree);
+  HPM_LOCAL(ctx, pint);
+  HPM_LOCAL(ctx, parr10);
+  HPM_LOCAL(ctx, pparr);
+  HPM_LOCAL(ctx, parray);
+  HPM_LOCAL(ctx, interior);
+  HPM_LOCAL(ctx, i);
+  HPM_LOCAL(ctx, seed);
+  HPM_BODY(ctx);
+
+  // --- construction (source side only; skipped when restoring) ----------
+  tree = build_tree(ctx, 4, 1);
+
+  pint = ctx.heap_alloc<int>(1, "pint");
+  *pint = static_cast<int>(42 + seed % 100);
+
+  parr10 = ctx.heap_alloc<int[10]>(1, "parr10");
+  for (i = 0; i < 10; ++i) (*parr10)[i] = i * i;
+  interior = &(*parr10)[5];
+
+  pparr = ctx.heap_alloc<int*[10]>(1, "pparr");
+  (*pparr)[0] = pint;             // shares the scalar target
+  (*pparr)[1] = &(*parr10)[3];    // interior pointer into another block
+  (*pparr)[2] = nullptr;
+  for (i = 3; i < 10; ++i) (*pparr)[i] = pint;  // more sharing
+
+  for (i = 0; i < 10; ++i) {
+    parray[i] = ctx.heap_alloc<ListNode>(1, "list");
+    parray[i]->data = 10.0f * static_cast<float>(i);
+    parray[i]->link = nullptr;
+    if (i > 0) parray[i]->link = parray[i - 1];
+  }
+  *first = parray[0];
+  *last = parray[9];
+  (*first)->link = *last;  // closes the cycle 0 -> 9 -> 8 -> ... -> 1 -> 0
+
+  // --- the migration point ------------------------------------------------
+  HPM_POLL(ctx, 1);
+
+  // --- verification (completing side: source if no migration, else
+  // destination with fully restored state) --------------------------------
+  out->tree_ok = check_tree(tree, 4, 1);
+  out->scalar_ptr_ok = (*pint == static_cast<int>(42 + seed % 100));
+
+  out->array_ptr_ok = true;
+  for (i = 0; i < 10; ++i) {
+    if ((*parr10)[i] != i * i) out->array_ptr_ok = false;
+  }
+
+  out->ptr_array_ok = ((*pparr)[0] == pint) && ((*pparr)[1] == &(*parr10)[3]) &&
+                      (*(*pparr)[1] == 9) && ((*pparr)[2] == nullptr) &&
+                      ((*pparr)[7] == pint);
+  out->interior_ok = (interior == &(*parr10)[5]) && (*interior == 25);
+
+  out->dag_ok = (*first == parray[0]) && (*last == parray[9]);
+  {
+    // Walk the cycle: 10 hops from first must return to first, visiting
+    // each node's expected payload.
+    ListNode* walk = *first;
+    bool cycle = true;
+    const float expected[10] = {0, 90, 80, 70, 60, 50, 40, 30, 20, 10};
+    for (i = 0; i < 10; ++i) {
+      if (walk == nullptr || walk->data != expected[i]) {
+        cycle = false;
+        break;
+      }
+      walk = walk->link;
+    }
+    out->cycle_ok = cycle && (walk == *first);
+  }
+  out->done = true;
+
+  *first = nullptr;  // drop the global references before freeing their
+  *last = nullptr;   // targets: no dangling edges remain in the MSR graph
+  for (i = 0; i < 10; ++i) ctx.heap_free(parray[i]);
+  ctx.heap_free(pparr);
+  ctx.heap_free(parr10);
+  ctx.heap_free(pint);
+  free_tree(ctx, tree);
+  HPM_BODY_END(ctx);
+}
+
+}  // namespace
+
+void test_pointer_register_types(ti::TypeTable& table) {
+  {
+    ti::StructBuilder<ListNode> b(table, "node");  // the paper's Figure 1 name
+    HPM_TI_FIELD(b, ListNode, data);
+    HPM_TI_FIELD(b, ListNode, link);
+    b.commit();
+  }
+  {
+    ti::StructBuilder<TreeNode> b(table, "tree_node");
+    HPM_TI_FIELD(b, TreeNode, weight);
+    HPM_TI_FIELD(b, TreeNode, depth_tag);
+    HPM_TI_FIELD(b, TreeNode, left);
+    HPM_TI_FIELD(b, TreeNode, right);
+    b.commit();
+  }
+}
+
+void test_pointer_program(mig::MigContext& ctx, std::uint64_t seed, TestPointerResult* out) {
+  // Figure 1 globals; created per context, before the first frame.
+  ListNode*& first = ctx.global<ListNode*>("first");
+  ListNode*& last = ctx.global<ListNode*>("last");
+  tp_main(ctx, seed, out, &first, &last);
+}
+
+}  // namespace hpm::apps

@@ -1,0 +1,59 @@
+// The test_pointer program — the paper's synthetic pointer-structure
+// workload.
+//
+// Builds, in one process image, every pointer shape the paper lists:
+//   * a binary tree structure,
+//   * a pointer to an integer,
+//   * a pointer to an array of 10 integers,
+//   * a pointer to an array of 10 pointers to integers,
+//   * a tree-like (DAG) structure with shared nodes and a cycle — the
+//     `first/last/link` example of Figure 1,
+// plus interior pointers into the middle of arrays. After migration the
+// program checks structural invariants that only hold if collection and
+// restoration preserved sharing, cycles, and interior offsets exactly —
+// "all memory blocks and pointers are collected and restored without
+// duplication" (§4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "mig/annotate.hpp"
+
+namespace hpm::apps {
+
+/// The paper's Figure 1 struct: `struct node { float data; node* link; };`
+struct ListNode {
+  float data;
+  ListNode* link;
+};
+
+/// Binary tree node with a payload on every vertex.
+struct TreeNode {
+  double weight;
+  long depth_tag;
+  TreeNode* left;
+  TreeNode* right;
+};
+
+struct TestPointerResult {
+  bool done = false;
+  bool tree_ok = false;        ///< tree values and shape survived
+  bool scalar_ptr_ok = false;  ///< int* target and value survived
+  bool array_ptr_ok = false;   ///< pointer-to-array of 10 ints
+  bool ptr_array_ok = false;   ///< array of 10 int*, with sharing
+  bool dag_ok = false;         ///< shared nodes still shared (no duplication)
+  bool cycle_ok = false;       ///< the link cycle is closed
+  bool interior_ok = false;    ///< pointer into the middle of an array
+  [[nodiscard]] bool ok() const noexcept {
+    return done && tree_ok && scalar_ptr_ok && array_ptr_ok && ptr_array_ok && dag_ok &&
+           cycle_ok && interior_ok;
+  }
+};
+
+void test_pointer_register_types(ti::TypeTable& table);
+
+/// Build all structures, migrate at the single poll-point (if triggered),
+/// verify on the completing side.
+void test_pointer_program(mig::MigContext& ctx, std::uint64_t seed, TestPointerResult* out);
+
+}  // namespace hpm::apps

@@ -1,0 +1,86 @@
+#include "apps/workload.hpp"
+
+#include <bit>
+#include <unordered_map>
+
+#include "ti/describe.hpp"
+
+namespace hpm::apps {
+
+void workload_register_types(ti::TypeTable& table) {
+  ti::StructBuilder<RandNode> b(table, "rand_node");
+  HPM_TI_FIELD(b, RandNode, tag);
+  HPM_TI_FIELD(b, RandNode, weight);
+  HPM_TI_FIELD(b, RandNode, flavor);
+  HPM_TI_FIELD(b, RandNode, out);
+  b.commit();
+}
+
+std::vector<RandNode*> build_random_graph(mig::MigContext& ctx, std::uint64_t seed,
+                                          const GraphShape& shape) {
+  Rng rng(seed);
+  std::vector<RandNode*> nodes;
+  nodes.reserve(shape.nodes);
+  for (std::uint32_t i = 0; i < shape.nodes; ++i) {
+    RandNode* n = ctx.heap_alloc<RandNode>(1, "rand");
+    n->tag = static_cast<long>(rng.next_below(1u << 30));
+    n->weight = rng.next_double() * 2e6 - 1e6;
+    n->flavor = static_cast<short>(rng.next_below(1u << 15));
+    for (auto& e : n->out) e = nullptr;
+    nodes.push_back(n);
+  }
+  for (std::uint32_t i = 0; i < shape.nodes; ++i) {
+    for (int e = 0; e < 4; ++e) {
+      if (!rng.next_bool(shape.edge_density)) continue;
+      std::uint32_t target;
+      if (i > 0 && rng.next_bool(shape.share_bias)) {
+        target = static_cast<std::uint32_t>(rng.next_below(i));  // backward: sharing/cycles
+      } else {
+        target = static_cast<std::uint32_t>(rng.next_below(shape.nodes));
+      }
+      if (!shape.allow_self_loops && target == i) continue;
+      nodes[i]->out[e] = nodes[target];
+    }
+  }
+  return nodes;
+}
+
+std::uint64_t graph_fingerprint(const RandNode* root) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  };
+  if (root == nullptr) {
+    mix(0xDEAD);
+    return h;
+  }
+  // BFS with discovery-order numbering: structure is captured as the
+  // sequence of (payload, target-number) tuples, which is identical for
+  // two graphs iff they are isomorphic under discovery order with equal
+  // payloads.
+  std::unordered_map<const RandNode*, std::uint64_t> order;
+  std::vector<const RandNode*> queue{root};
+  order.emplace(root, 0);
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const RandNode* n = queue[qi];
+    mix(static_cast<std::uint64_t>(n->tag));
+    mix(std::bit_cast<std::uint64_t>(n->weight));
+    mix(static_cast<std::uint64_t>(n->flavor));
+    for (const RandNode* t : n->out) {
+      if (t == nullptr) {
+        mix(0xFFFFFFFFFFFFFFFFull);
+        continue;
+      }
+      auto [it, inserted] = order.emplace(t, order.size());
+      if (inserted) queue.push_back(t);
+      mix(it->second);
+    }
+  }
+  mix(order.size());
+  return h;
+}
+
+}  // namespace hpm::apps

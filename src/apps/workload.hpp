@@ -1,0 +1,46 @@
+// Random-graph workload generator for property-based testing and
+// complexity benchmarks.
+//
+// Generates arbitrary directed heap graphs — including self-loops,
+// shared nodes, long chains, and unreachable islands — over a node type
+// that exercises mixed primitive kinds plus a small pointer array. The
+// same (seed, size, shape) always builds the same graph, so source and
+// verification sides agree without communicating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mig/context.hpp"
+
+namespace hpm::apps {
+
+struct RandNode {
+  long tag;
+  double weight;
+  short flavor;
+  RandNode* out[4];
+};
+
+void workload_register_types(ti::TypeTable& table);
+
+struct GraphShape {
+  std::uint32_t nodes = 100;
+  double edge_density = 0.6;   ///< probability each out[] slot is non-null
+  double share_bias = 0.5;     ///< probability an edge targets an earlier node
+  bool allow_self_loops = true;
+};
+
+/// Build a random graph on the context's migratable heap; returns every
+/// node (index = creation order). Node 0 is the conventional root.
+std::vector<RandNode*> build_random_graph(mig::MigContext& ctx, std::uint64_t seed,
+                                          const GraphShape& shape);
+
+/// Deterministic fingerprint of the graph reachable from `root`:
+/// BFS order over (tag, weight bits, flavor, edge structure). Two
+/// isomorphic-with-identical-payload graphs produce equal fingerprints;
+/// any duplication, lost sharing, or payload corruption changes it.
+std::uint64_t graph_fingerprint(const RandNode* root);
+
+}  // namespace hpm::apps

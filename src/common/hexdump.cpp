@@ -1,0 +1,36 @@
+#include "common/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hpm {
+
+std::string hexdump(const void* data, std::size_t len, std::size_t max_bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::size_t shown = len < max_bytes ? len : max_bytes;
+  std::string out;
+  out.reserve(shown * 4);
+  char line[24];
+  for (std::size_t off = 0; off < shown; off += 16) {
+    std::snprintf(line, sizeof line, "%06zx ", off);
+    out += line;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < shown) {
+        std::snprintf(line, sizeof line, "%02x ", p[off + i]);
+        out += line;
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && off + i < shown; ++i) {
+      const unsigned char c = p[off + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  if (shown < len) out += "... (" + std::to_string(len - shown) + " more bytes)\n";
+  return out;
+}
+
+}  // namespace hpm

@@ -1,0 +1,20 @@
+// Debug helper: render byte buffers for diagnostics and test failure output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Classic 16-bytes-per-line hex + ASCII dump.
+std::string hexdump(const void* data, std::size_t len, std::size_t max_bytes = 512);
+
+inline std::string hexdump(const Bytes& b, std::size_t max_bytes = 512) {
+  return hexdump(b.data(), b.size(), max_bytes);
+}
+
+}  // namespace hpm

@@ -1,0 +1,46 @@
+// Deterministic RNG used by workloads, tests, and property-based sweeps.
+//
+// We avoid std::mt19937 here so that random structure shapes are stable
+// across standard libraries; splitmix64 is tiny and adequate for workload
+// generation (not cryptography).
+#pragma once
+
+#include <cstdint>
+
+namespace hpm {
+
+/// splitmix64: fast, well-distributed, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+  std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  int next_int(int lo, int hi) noexcept {  // inclusive range
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p_true = 0.5) noexcept { return next_double() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hpm

@@ -1,0 +1,100 @@
+// Source annotation macros — the artifacts the paper's pre-compiler
+// inserts into a migratable C program.
+//
+// Idiom for a migratable function (mirrors the paper's transformed code):
+//
+//   void work(mig::MigContext& ctx, int n) {
+//     HPM_FUNCTION(ctx);             // open this frame
+//     int i = 0;                     // declare locals first...
+//     double acc = 0;
+//     HPM_LOCAL(ctx, i);             // ...register the live ones
+//     HPM_LOCAL(ctx, acc);
+//     HPM_BODY(ctx);                 // resume switch starts; label 0 = fresh run
+//     for (i = 0; i < n; ++i) {
+//       HPM_POLL(ctx, 1);            // poll-point (label 1)
+//       acc += step(i);
+//     }
+//     HPM_BODY_END(ctx);
+//   }
+//
+// Rules (enforced by the runtime where possible):
+//  * All locals that must survive migration are registered with HPM_LOCAL
+//    before HPM_BODY. They must be trivially constructible (C-style data):
+//    the resume switch jumps over initializers.
+//  * Every call into another migratable function is wrapped in HPM_CALL
+//    with a label unique within the function, so the frame can resume by
+//    re-issuing exactly that call.
+//  * Poll-point labels and call-site labels share one label space per
+//    function and must be unique and nonzero.
+//  * Code with side effects outside the MSR model (I/O, untracked
+//    allocation) must not sit between HPM_FUNCTION and HPM_BODY: the
+//    prologue re-executes during restoration.
+#pragma once
+
+#include "mig/context.hpp"
+
+/// Open a migratable frame for the current function.
+#define HPM_FUNCTION(ctx) \
+  ::hpm::mig::FrameGuard hpm_frame_guard_((ctx), __func__); \
+  ::hpm::mig::Frame& hpm_frame_ = hpm_frame_guard_.frame()
+
+/// Register a live local variable (scalar, struct, pointer, or array).
+#define HPM_LOCAL(ctx, var) (ctx).local(hpm_frame_, #var, var)
+
+/// Register `count` elements starting at pointer `base` as one live block.
+#define HPM_LOCAL_ARRAY(ctx, base, count) (ctx).local_array(hpm_frame_, #base, base, count)
+
+/// Start the resumable body. Everything up to HPM_BODY_END lives inside a
+/// switch on the frame's resume label.
+#define HPM_BODY(ctx) \
+  switch ((ctx).resume_point(hpm_frame_)) { \
+    case 0:
+
+/// Close the resumable body.
+#define HPM_BODY_END(ctx) \
+    break; \
+    default: \
+      throw ::hpm::MigrationError("unknown resume label in " + \
+                                  std::string(hpm_frame_.func)); \
+  } \
+  do { } while (false)
+
+/// Poll-point with label `id` (unique, nonzero within the function).
+#define HPM_POLL(ctx, id) \
+  case (id): \
+    (ctx).poll(hpm_frame_, (id))
+
+/// Call-site label: `stmt` re-executes when restoring through this frame.
+#define HPM_CALL(ctx, id, stmt) \
+  case (id): \
+    (ctx).at_callsite(hpm_frame_, (id)); \
+    stmt
+
+/// Restore-safe argument: during skeleton re-execution the frame's locals
+/// hold garbage, so argument expressions that *read* them (node->left,
+/// a + k*lda) must be suppressed; the callee's own restored locals supply
+/// the real values. Yields a value-initialized dummy while restoring.
+#define HPM_ARG(ctx, expr) ((ctx).restoring() ? decltype(expr){} : (expr))
+
+namespace hpm::mig {
+
+/// RAII frame: construction enters, destruction leaves (unregistering the
+/// frame's locals) — including during MigrationExit unwinding.
+class FrameGuard {
+ public:
+  FrameGuard(MigContext& ctx, const char* func) : ctx_(ctx), frame_(func) {
+    ctx_.enter_frame(frame_);
+  }
+  ~FrameGuard() { ctx_.leave_frame(frame_); }
+
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+
+  Frame& frame() noexcept { return frame_; }
+
+ private:
+  MigContext& ctx_;
+  Frame frame_;
+};
+
+}  // namespace hpm::mig

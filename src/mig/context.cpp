@@ -1,0 +1,295 @@
+#include "mig/context.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "msrm/stream.hpp"
+
+namespace hpm::mig {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void* aligned_zeroed(std::uint64_t size) {
+  void* p = ::operator new(size, std::align_val_t{16});
+  std::memset(p, 0, size);
+  return p;
+}
+
+void aligned_free(void* p) { ::operator delete(p, std::align_val_t{16}); }
+
+}  // namespace
+
+MigContext::~MigContext() {
+  for (void* p : heap_owned_) aligned_free(p);
+  for (const LocalVar& g : globals_) aligned_free(reinterpret_cast<void*>(g.addr));
+}
+
+void* MigContext::make_global(const char* name, ti::TypeId type, std::uint32_t count) {
+  if (!frames_.empty()) {
+    throw MigrationError("globals must be created before any migratable frame is entered");
+  }
+  const std::uint64_t size = space_.block_size(type, count);
+  void* storage = aligned_zeroed(size);
+  LocalVar var;
+  var.name = name;
+  var.addr = reinterpret_cast<msr::Address>(storage);
+  var.type = type;
+  var.count = count;
+  var.block = space_.msrlt().register_block(msr::Segment::Global, var.addr, size, type,
+                                            count, name);
+  if (mode_ == Mode::Restoring) {
+    if (globals_bound_ >= exec_.globals.size()) {
+      throw MigrationError("destination registered more globals than the stream carries");
+    }
+    bind_saved(exec_.globals[globals_bound_++], var);
+  }
+  globals_.push_back(var);
+  return storage;
+}
+
+void* MigContext::heap_alloc_raw(ti::TypeId type, std::uint32_t count, const char* name) {
+  const std::uint64_t size = space_.block_size(type, count);
+  void* storage = aligned_zeroed(size);
+  space_.msrlt().register_block(msr::Segment::Heap,
+                                reinterpret_cast<msr::Address>(storage), size, type, count,
+                                name);
+  heap_owned_.insert(storage);
+  return storage;
+}
+
+void MigContext::heap_free(void* p) {
+  const auto it = heap_owned_.find(p);
+  if (it == heap_owned_.end()) {
+    throw MigrationError("heap_free: pointer was not allocated by this context");
+  }
+  space_.msrlt().unregister(reinterpret_cast<msr::Address>(p));
+  heap_owned_.erase(it);
+  aligned_free(p);
+}
+
+void MigContext::enter_frame(Frame& frame) {
+  frames_.push_back(&frame);
+  if (mode_ == Mode::Restoring) {
+    if (restore_depth_ >= exec_.frames.size()) {
+      throw MigrationError("restore re-execution entered more frames than were saved");
+    }
+    const SavedFrame& saved = exec_.frames[restore_depth_];
+    if (saved.func != frame.func) {
+      throw MigrationError(std::string("restore frame mismatch: expected '") + saved.func +
+                           "', program entered '" + frame.func + "'");
+    }
+    frame.restore_from = &saved;
+    ++restore_depth_;
+  }
+}
+
+void MigContext::leave_frame(Frame& frame) {
+  if (frames_.empty() || frames_.back() != &frame) {
+    // Frames unwind strictly LIFO; anything else is macro misuse.
+    std::terminate();
+  }
+  for (const LocalVar& var : frame.locals) space_.msrlt().unregister(var.addr);
+  frames_.pop_back();
+}
+
+void MigContext::add_local(Frame& frame, const char* name, void* addr, ti::TypeId type,
+                           std::uint32_t count) {
+  LocalVar var;
+  var.name = name;
+  var.addr = reinterpret_cast<msr::Address>(addr);
+  var.type = type;
+  var.count = count;
+  const std::uint64_t size = space_.block_size(type, count);
+  var.block =
+      space_.msrlt().register_block(msr::Segment::Stack, var.addr, size, type, count, name);
+  if (frame.restore_from != nullptr) {
+    if (frame.next_restore_var >= frame.restore_from->vars.size()) {
+      throw MigrationError(std::string("frame '") + frame.func +
+                           "' registered more locals than the stream carries");
+    }
+    bind_saved(frame.restore_from->vars[frame.next_restore_var++], var);
+  }
+  frame.locals.push_back(std::move(var));
+}
+
+void MigContext::bind_saved(const SavedVar& saved, const LocalVar& dest) {
+  if (saved.name != dest.name || saved.type != dest.type || saved.count != dest.count) {
+    throw MigrationError("live-variable mismatch: stream has '" + saved.name +
+                         "', destination registered '" + dest.name +
+                         "' (differing program versions?)");
+  }
+  restorer_->bind(saved.source_block, dest.block, dest.type, dest.count);
+}
+
+void MigContext::poll(Frame& frame, std::uint32_t label) {
+  frame.current_point = label;
+  if (mode_ == Mode::Restoring) {
+    finish_restore(frame, label);
+    return;
+  }
+  ++poll_count_;
+  if (poll_observer_) poll_observer_(*this);
+  const bool due = requested_.load(std::memory_order_relaxed) ||
+                   (migrate_at_poll_ != 0 && poll_count_ >= migrate_at_poll_);
+  if (due) do_migration(label);
+}
+
+ExecutionState MigContext::snapshot_execution_state() const {
+  ExecutionState state;
+  state.frames.reserve(frames_.size());
+  for (const Frame* frame : frames_) {
+    SavedFrame sf;
+    sf.func = frame->func;
+    sf.resume_point = frame->current_point;
+    sf.vars.reserve(frame->locals.size());
+    for (const LocalVar& var : frame->locals) {
+      sf.vars.push_back(SavedVar{var.name, var.type, var.count, var.block});
+    }
+    state.frames.push_back(std::move(sf));
+  }
+  state.globals.reserve(globals_.size());
+  for (const LocalVar& var : globals_) {
+    state.globals.push_back(SavedVar{var.name, var.type, var.count, var.block});
+  }
+  return state;
+}
+
+void MigContext::do_migration(std::uint32_t label) {
+  const auto t0 = Clock::now();
+  xdr::Encoder enc(1 << 16);
+  msrm::write_header(enc, {space_.arch().name, types_->signature()});
+  // Ship the TI table so the destination can adopt shell types interned by
+  // source code it will skip during restoration.
+  types_->encode(enc);
+
+  // Execution state: frames outermost-first for skeleton re-execution.
+  snapshot_execution_state().encode(enc);
+
+  // Memory state: live data innermost-frame-first (the paper's order),
+  // then globals. The shared DFS marking makes later records PREFs.
+  msrm::Collector collector(space_, enc);
+  for (std::size_t i = frames_.size(); i-- > 0;) {
+    for (const LocalVar& var : frames_[i]->locals) collector.save_variable(var.addr);
+  }
+  for (const LocalVar& var : globals_) collector.save_variable(var.addr);
+
+  msrm::finish_stream(enc);
+  stream_ = enc.take();
+  metrics_.collect_seconds = seconds_since(t0);
+  metrics_.stream_bytes = stream_.size();
+  metrics_.tracked_blocks = space_.msrlt().block_count();
+  metrics_.collect = collector.stats();
+  throw MigrationExit{label};
+}
+
+void MigContext::begin_restore(Bytes stream) {
+  if (!frames_.empty()) {
+    throw MigrationError("begin_restore must be called before the program starts");
+  }
+  restore_t0_ = Clock::now();
+  restore_stream_ = std::move(stream);
+  const auto payload = msrm::check_stream(restore_stream_);
+  dec_.emplace(payload);
+  const msrm::StreamHeader header = msrm::read_header(*dec_);
+  // The signature is checked at the migration point (finish_restore), not
+  // here: the program interns pointer/array shell types while it runs, so
+  // the tables only converge once the destination has re-executed its
+  // prologues down to the migration point.
+  header_signature_ = header.ti_signature;
+  {
+    const ti::TypeTable source_table = ti::TypeTable::decode(*dec_);
+    if (source_table.signature() != header_signature_) {
+      throw MigrationError("stream type table does not match its header signature");
+    }
+    types_->adopt_tail(source_table);
+  }
+  exec_ = ExecutionState::decode(*dec_);
+  if (exec_.frames.empty()) throw MigrationError("stream carries no frames");
+  restorer_ = std::make_unique<msrm::Restorer>(space_, *dec_);
+  mode_ = Mode::Restoring;
+  restore_depth_ = 0;
+  globals_bound_ = 0;
+  // Globals the program registered *before* begin_restore (none in the
+  // canonical idiom, but allowed) are bound retroactively.
+  for (const LocalVar& var : globals_) {
+    if (globals_bound_ >= exec_.globals.size()) {
+      throw MigrationError("destination registered more globals than the stream carries");
+    }
+    bind_saved(exec_.globals[globals_bound_++], var);
+  }
+}
+
+void MigContext::finish_restore(Frame& frame, std::uint32_t label) {
+  if (restore_depth_ != exec_.frames.size() || frames_.back() != &frame) {
+    throw MigrationError("poll-point reached during restore before the innermost saved "
+                         "frame was re-entered (annotation/control-flow mismatch)");
+  }
+  const SavedFrame& innermost = exec_.frames.back();
+  if (innermost.resume_point != label) {
+    throw MigrationError("restore resumed at poll-point " + std::to_string(label) +
+                         " but the stream was collected at " +
+                         std::to_string(innermost.resume_point));
+  }
+  if (globals_bound_ != exec_.globals.size()) {
+    throw MigrationError("destination registered fewer globals than the stream carries");
+  }
+  if (header_signature_ != types_->signature()) {
+    throw MigrationError(
+        "type-table signature mismatch at the migration point: source and "
+        "destination interned different type registrations");
+  }
+
+  // Decode the data section in collection order: frames innermost-first,
+  // then globals. Every record must land in the storage bound for it.
+  for (std::size_t i = frames_.size(); i-- > 0;) {
+    const Frame* f = frames_[i];
+    if (f->restore_from == nullptr ||
+        f->next_restore_var != f->restore_from->vars.size()) {
+      throw MigrationError(std::string("frame '") + f->func +
+                           "' registered fewer locals than the stream carries");
+    }
+    for (const LocalVar& var : f->locals) {
+      const msr::BlockId got = restorer_->restore_variable();
+      if (got != var.block) {
+        throw MigrationError("variable record for '" + var.name +
+                             "' restored into the wrong block");
+      }
+    }
+  }
+  for (const LocalVar& var : globals_) {
+    const msr::BlockId got = restorer_->restore_variable();
+    if (got != var.block) {
+      throw MigrationError("global record for '" + var.name +
+                           "' restored into the wrong block");
+    }
+  }
+  if (!dec_->at_end()) {
+    throw MigrationError("migration stream has " + std::to_string(dec_->remaining()) +
+                         " undecoded bytes after restoration");
+  }
+
+  // Adopt restored heap blocks into the migratable heap so the program
+  // can free them normally. Every allocation the space made during this
+  // restoration is a heap block (stack/global records bind to existing
+  // storage), so a bulk ownership transfer is exact — and O(1).
+  heap_owned_.merge(space_.take_all_owned());
+
+  metrics_.restore_seconds = seconds_since(restore_t0_);
+  metrics_.restore = restorer_->stats();
+  metrics_.stream_bytes = restore_stream_.size();
+
+  mode_ = Mode::Normal;
+  restorer_.reset();
+  dec_.reset();
+  restore_stream_.clear();
+  for (Frame* f : frames_) f->restore_from = nullptr;
+  if (stop_after_restore_) throw MigrationExit{label};
+}
+
+}  // namespace hpm::mig

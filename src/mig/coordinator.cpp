@@ -1,0 +1,180 @@
+#include "mig/coordinator.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "net/file_channel.hpp"
+#include "net/mem_channel.hpp"
+#include "net/message.hpp"
+#include "net/socket_channel.hpp"
+
+namespace hpm::mig {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ChannelPair {
+  std::unique_ptr<net::ByteChannel> source;
+  std::unique_ptr<net::ByteChannel> destination;
+};
+
+ChannelPair make_channels(const RunOptions& options,
+                          std::unique_ptr<net::SocketListener>& listener) {
+  switch (options.transport) {
+    case Transport::Memory: {
+      auto [a, b] = net::MemChannel::make_pair();
+      return {std::move(a), std::move(b)};
+    }
+    case Transport::Socket: {
+      listener = std::make_unique<net::SocketListener>();
+      // Destination side accepts lazily inside its thread; here we dial.
+      auto source = net::connect_to(listener->port());
+      auto destination = listener->accept();
+      return {std::move(source), std::move(destination)};
+    }
+    case Transport::File: {
+      auto writer = std::make_unique<net::FileWriterChannel>(options.spool_path);
+      auto reader = std::make_unique<net::FileReaderChannel>(options.spool_path);
+      return {std::move(writer), std::move(reader)};
+    }
+  }
+  throw MigrationError("unknown transport");
+}
+
+}  // namespace
+
+MigrationReport run_migration(const RunOptions& options) {
+  if (!options.register_types || !options.program) {
+    throw MigrationError("run_migration requires register_types and program");
+  }
+  // Remove a stale spool from an earlier run.
+  if (options.transport == Transport::File) {
+    std::remove(options.spool_path.c_str());
+    std::remove((options.spool_path + ".done").c_str());
+  }
+
+  std::unique_ptr<net::SocketListener> listener;
+  ChannelPair channels = make_channels(options, listener);
+  if (options.throttle) {
+    channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
+                                                              options.link);
+  }
+
+  MigrationReport report;
+  // The shared-file transport is one-way; acknowledgements only flow on
+  // duplex transports. Failures still propagate via dest_error after join.
+  const bool duplex = options.transport != Transport::File;
+
+  // --- destination host: invoked first, waits for the states (paper §2).
+  std::exception_ptr dest_error;
+  std::thread destination([&] {
+    try {
+      const net::Message msg = net::recv_message(*channels.destination);
+      if (msg.type == net::MsgType::Shutdown) return;  // no migration happened
+      if (msg.type != net::MsgType::State) {
+        throw MigrationError("destination expected a State message");
+      }
+      ti::TypeTable types;
+      options.register_types(types);
+      MigContext ctx(types, options.search);
+      ctx.begin_restore(msg.payload);
+      options.program(ctx);  // restores at the migration point, then finishes
+      report.restore_seconds = ctx.metrics().restore_seconds;
+      report.restore = ctx.metrics().restore;
+      if (duplex) net::send_message(*channels.destination, net::MsgType::Ack, {});
+    } catch (...) {
+      dest_error = std::current_exception();
+      if (duplex) {
+        try {
+          net::send_message(*channels.destination, net::MsgType::Error, {});
+        } catch (...) {
+          // Source will observe the broken channel instead.
+        }
+      }
+    }
+  });
+
+  // --- source host: run the program until it completes or migrates.
+  std::exception_ptr source_error;
+  try {
+    ti::TypeTable types;
+    options.register_types(types);
+    MigContext ctx(types, options.search);
+    ctx.set_migrate_at_poll(options.migrate_at_poll);
+    // The paper's scheduler sends the migration request asynchronously;
+    // model it with a timer thread that pokes the context's request flag.
+    std::atomic<bool> program_done{false};
+    std::thread scheduler;
+    if (options.request_after_seconds > 0) {
+      scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
+        const auto deadline =
+            Clock::now() + std::chrono::duration<double>(delay);
+        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!program_done.load(std::memory_order_relaxed)) ctx.request_migration();
+      });
+    }
+    auto join_scheduler = [&] {
+      program_done.store(true, std::memory_order_relaxed);
+      if (scheduler.joinable()) scheduler.join();
+    };
+    try {
+      try {
+        options.program(ctx);
+      } catch (...) {
+        join_scheduler();  // never leave the timer thread joinable
+        throw;
+      }
+      join_scheduler();
+      // Ran to completion without migrating.
+      net::send_message(*channels.source, net::MsgType::Shutdown, {});
+    } catch (const MigrationExit&) {
+      join_scheduler();
+      report.migrated = true;
+      report.stream_bytes = ctx.stream().size();
+      report.collect_seconds = ctx.metrics().collect_seconds;
+      report.collect = ctx.metrics().collect;
+      report.source_arch = ctx.space().arch().name;
+      const auto t0 = Clock::now();
+      net::send_message(*channels.source, net::MsgType::State, ctx.stream());
+      const double measured_tx = std::chrono::duration<double>(Clock::now() - t0).count();
+      report.tx_seconds = options.throttle
+                              ? measured_tx
+                              : options.link.transfer_seconds(report.stream_bytes);
+      // The migrating process terminates here (ctx is discarded); wait for
+      // the destination's verdict where the transport allows one.
+      if (duplex) {
+        const net::Message verdict = net::recv_message(*channels.source);
+        if (verdict.type != net::MsgType::Ack) {
+          throw MigrationError("destination reported a restoration failure");
+        }
+      } else {
+        channels.source->close();  // drop the .done marker for the reader
+      }
+    }
+    report.source_polls = ctx.poll_count();
+  } catch (...) {
+    source_error = std::current_exception();
+    // Unblock a destination still waiting in recv: close our end so its
+    // read fails fast instead of deadlocking the join below.
+    try {
+      channels.source->close();
+    } catch (...) {
+    }
+  }
+
+  destination.join();
+  channels.source->close();
+  channels.destination->close();
+  // The source's failure is primary: a destination error observed after a
+  // source crash is usually just the torn-down channel.
+  if (source_error) std::rethrow_exception(source_error);
+  if (dest_error) std::rethrow_exception(dest_error);
+  return report;
+}
+
+}  // namespace hpm::mig

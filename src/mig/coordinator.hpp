@@ -1,0 +1,79 @@
+// The migration coordinator: the paper's "scheduler" plus the two-host
+// protocol (§2).
+//
+// run_migration() models one migration event end-to-end on a single
+// physical machine: a source host runs the program; a destination host is
+// invoked first and waits for the execution and memory states; at the
+// trigger the source collects, transmits over a real channel (in-memory,
+// TCP loopback, or shared file — optionally throttled to a modeled
+// Ethernet), and terminates; the destination restores and runs the
+// program to completion. The report carries the paper's Collect / Tx /
+// Restore split.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mig/context.hpp"
+#include "net/simnet.hpp"
+
+namespace hpm::mig {
+
+/// How the two hosts exchange the migration stream.
+enum class Transport : std::uint8_t {
+  Memory,  ///< in-process pipe
+  Socket,  ///< TCP over 127.0.0.1
+  File,    ///< shared-file-system spool
+};
+
+struct RunOptions {
+  /// Registers application types into a TypeTable; executed independently
+  /// on both hosts (the paper pre-distributes the transformed program).
+  std::function<void(ti::TypeTable&)> register_types;
+
+  /// The migratable program. Runs on the source; re-runs on the
+  /// destination to restore and finish.
+  std::function<void(MigContext&)> program;
+
+  /// Migrate at the Nth executed poll-point (0 = run to completion).
+  std::uint64_t migrate_at_poll = 0;
+
+  /// Asynchronous trigger: a scheduler thread delivers a migration
+  /// request this many seconds into the run (0 = disabled). The process
+  /// honors it at its next poll-point, like the paper's scheduler-driven
+  /// requests. Combines with migrate_at_poll (whichever fires first).
+  double request_after_seconds = 0;
+
+  Transport transport = Transport::Memory;
+  std::string spool_path = "/tmp/hpm_spool.bin";  ///< Transport::File only
+
+  /// Link model used for the Tx column of the report.
+  net::SimulatedLink link = net::SimulatedLink::ethernet_100mbps();
+
+  /// If true, sending actually sleeps per the link model so wall-clock Tx
+  /// matches; if false, Tx is computed analytically from the byte count.
+  bool throttle = false;
+
+  msr::SearchStrategy search = msr::SearchStrategy::OrderedMap;
+};
+
+struct MigrationReport {
+  bool migrated = false;
+  std::uint64_t stream_bytes = 0;
+  double collect_seconds = 0;   ///< Table 1 "Collect"
+  double tx_seconds = 0;        ///< Table 1 "Tx" (modeled or measured)
+  double restore_seconds = 0;   ///< Table 1 "Restore"
+  double total_seconds() const noexcept {
+    return collect_seconds + tx_seconds + restore_seconds;
+  }
+  std::uint64_t source_polls = 0;
+  msrm::Collector::Stats collect;
+  msrm::Restorer::Stats restore;
+  std::string source_arch;  ///< architecture name carried in the stream
+};
+
+/// Run one migration experiment. Throws hpm::MigrationError (and
+/// subclasses of hpm::Error) on protocol or restoration failure.
+MigrationReport run_migration(const RunOptions& options);
+
+}  // namespace hpm::mig

@@ -1,0 +1,43 @@
+// Execution-state model: live frames and their registered variables.
+//
+// The wire-side records (SavedVar / SavedFrame / ExecutionState) live in
+// msrm/execstate.hpp because they are part of the stream format; this
+// header adds the live-side model the annotation macros maintain while
+// the program runs, and re-exports the wire types under hpm::mig for
+// convenience.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msr/block.hpp"
+#include "msrm/execstate.hpp"
+#include "ti/type.hpp"
+
+namespace hpm::mig {
+
+using msrm::ExecutionState;
+using msrm::SavedFrame;
+using msrm::SavedVar;
+
+/// One registered live variable of a running frame (or a global).
+struct LocalVar {
+  std::string name;
+  msr::Address addr = 0;
+  msr::BlockId block = msr::kInvalidBlock;
+  ti::TypeId type = ti::kInvalidType;
+  std::uint32_t count = 1;
+};
+
+/// A live frame, owned by the HPM_FUNCTION guard on the real call stack.
+struct Frame {
+  explicit Frame(const char* func_name) : func(func_name) {}
+  const char* func;
+  std::uint32_t current_point = 0;  ///< last poll-point / call-site label passed
+  std::vector<LocalVar> locals;
+  const SavedFrame* restore_from = nullptr;  ///< non-null while restoring
+  std::size_t next_restore_var = 0;          ///< cursor into restore_from->vars
+};
+
+}  // namespace hpm::mig

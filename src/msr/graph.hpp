@@ -1,0 +1,56 @@
+// Explicit MSR graph snapshots: G = (V, E).
+//
+// The MSRLT plus the TI table already *imply* the MSR graph; this module
+// materializes it for analysis, testing (reachability, duplicate-transfer
+// checks), and visualization (Graphviz DOT), mirroring Figure 1(b) of the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "msr/space.hpp"
+
+namespace hpm::msr {
+
+struct GraphNode {
+  BlockId id = kInvalidBlock;
+  Segment segment = Segment::Heap;
+  std::string name;
+  std::string type;       ///< spelled element type
+  std::uint32_t count = 1;
+  std::uint64_t size = 0;
+};
+
+struct GraphEdge {
+  BlockId from = kInvalidBlock;
+  std::uint64_t from_leaf = 0;  ///< which pointer cell of `from`
+  BlockId to = kInvalidBlock;
+  std::uint64_t to_leaf = 0;    ///< which element of `to` it refers to
+};
+
+class MsrGraph {
+ public:
+  /// Materialize the MSR graph of `space`: every tracked block becomes a
+  /// vertex; every non-null pointer cell becomes an edge. Pointers into
+  /// untracked memory throw hpm::MsrError (they are migration-unsafe).
+  static MsrGraph snapshot(const MemorySpace& space);
+
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const noexcept { return edges_; }
+
+  /// Block ids reachable from `roots` by following edges (the paper's
+  /// "connected components" the DFS collects).
+  [[nodiscard]] std::set<BlockId> reachable_from(const std::vector<BlockId>& roots) const;
+
+  /// Graphviz rendering (one cluster per segment, like Figure 1(b)).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace hpm::msr

@@ -1,0 +1,82 @@
+// HostSpace: the real memory of this process as a MemorySpace.
+//
+// Addresses are uintptr_t values of live objects; reads and writes go
+// straight to memory using the native architecture descriptor (which
+// mirrors the compiler's own layout, validated at registration time by
+// ti::StructBuilder::commit).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "msr/space.hpp"
+
+namespace hpm::msr {
+
+class HostSpace final : public MemorySpace {
+ public:
+  explicit HostSpace(const ti::TypeTable& types,
+                     SearchStrategy strategy = SearchStrategy::OrderedMap)
+      : types_(&types),
+        layouts_(types, xdr::native_arch()),
+        leaves_(types),
+        msrlt_(strategy) {}
+
+  ~HostSpace() override;
+
+  HostSpace(const HostSpace&) = delete;
+  HostSpace& operator=(const HostSpace&) = delete;
+
+  const xdr::ArchDescriptor& arch() const noexcept override { return xdr::native_arch(); }
+  const ti::TypeTable& types() const noexcept override { return *types_; }
+  const ti::LayoutMap& layouts() const noexcept override { return layouts_; }
+  const ti::LeafIndex& leaves() const noexcept override { return leaves_; }
+  Msrlt& msrlt() noexcept override { return msrlt_; }
+  const Msrlt& msrlt() const noexcept override { return msrlt_; }
+
+  xdr::PrimValue read_prim(Address addr, xdr::PrimKind k) const override;
+  void write_prim(Address addr, xdr::PrimKind k, const xdr::PrimValue& v) override;
+  Address read_pointer(Address addr) const override;
+  void write_pointer(Address addr, Address value) override;
+
+  Address allocate(std::uint64_t size) override;
+
+  /// Track an existing host object. Returns its new block id.
+  template <typename T>
+  BlockId track(Segment seg, T& obj, std::string name, ti::TypeId type,
+                std::uint32_t count = 1) {
+    return msrlt_.register_block(seg, reinterpret_cast<Address>(&obj),
+                                 block_size(type, count), type, count, std::move(name));
+  }
+
+  /// Track raw storage (mig heap, arrays).
+  BlockId track_raw(Segment seg, void* base, ti::TypeId type, std::uint32_t count,
+                    std::string name) {
+    return msrlt_.register_block(seg, reinterpret_cast<Address>(base),
+                                 block_size(type, count), type, count, std::move(name));
+  }
+
+  /// Hand ownership of storage obtained via allocate() to the caller
+  /// (e.g. the migratable heap adopting a restored block). The pointer
+  /// must later be released with HostSpace::free_raw.
+  void release_ownership(Address base);
+
+  /// Free storage previously obtained from allocate().
+  static void free_raw(void* p) { ::operator delete(p, std::align_val_t{16}); }
+
+  /// Transfer ownership of every allocation at once (the migratable heap
+  /// adopting all restored blocks) — O(1), unlike per-block release.
+  std::unordered_set<void*> take_all_owned() noexcept { return std::move(owned_); }
+
+  /// Number of allocations still owned by the space (leak checking).
+  [[nodiscard]] std::size_t owned_allocations() const noexcept { return owned_.size(); }
+
+ private:
+  const ti::TypeTable* types_;
+  ti::LayoutMap layouts_;
+  ti::LeafIndex leaves_;
+  Msrlt msrlt_;
+  std::unordered_set<void*> owned_;
+};
+
+}  // namespace hpm::msr

@@ -1,0 +1,119 @@
+#include "msr/msrlt.hpp"
+
+namespace hpm::msr {
+
+void Msrlt::insert_checked(MemoryBlock block) {
+  if (block.size == 0) throw MsrError("cannot register zero-sized block");
+  // Overlap check against the nearest neighbours in address order.
+  auto next = by_addr_.lower_bound(block.base);
+  if (next != by_addr_.end() && next->first < block.base + block.size) {
+    throw MsrError("block [" + std::to_string(block.base) + ", +" +
+                   std::to_string(block.size) + ") overlaps existing block '" +
+                   next->second.name + "'");
+  }
+  if (next != by_addr_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.base + prev->second.size > block.base) {
+      throw MsrError("block [" + std::to_string(block.base) + ", +" +
+                     std::to_string(block.size) + ") overlaps existing block '" +
+                     prev->second.name + "'");
+    }
+  }
+  if (!by_id_.emplace(block.id, block.base).second) {
+    throw MsrError("duplicate block id " + std::to_string(block.id));
+  }
+  by_addr_.emplace(block.base, std::move(block));
+  ++stats_.registrations;
+}
+
+BlockId Msrlt::register_block(Segment seg, Address base, std::uint64_t size, ti::TypeId type,
+                              std::uint32_t count, std::string name) {
+  const BlockId id = make_block_id(seg, next_seq_[static_cast<int>(seg)]++);
+  MemoryBlock block;
+  block.id = id;
+  block.segment = seg;
+  block.base = base;
+  block.size = size;
+  block.type = type;
+  block.count = count;
+  block.name = std::move(name);
+  insert_checked(std::move(block));
+  return id;
+}
+
+void Msrlt::register_with_id(BlockId id, Segment seg, Address base, std::uint64_t size,
+                             ti::TypeId type, std::uint32_t count, std::string name) {
+  if (id == kInvalidBlock) throw MsrError("register_with_id: invalid id");
+  MemoryBlock block;
+  block.id = id;
+  block.segment = seg;
+  block.base = base;
+  block.size = size;
+  block.type = type;
+  block.count = count;
+  block.name = std::move(name);
+  insert_checked(std::move(block));
+  // Keep locally assigned ids ahead of any adopted id so the two streams
+  // of ids can never collide.
+  const auto seg_idx = static_cast<int>(block_segment(id));
+  if (seg_idx >= 0 && seg_idx < 3 && block_seq(id) >= next_seq_[seg_idx]) {
+    next_seq_[seg_idx] = block_seq(id) + 1;
+  }
+}
+
+void Msrlt::unregister(Address base) {
+  auto it = by_addr_.find(base);
+  if (it == by_addr_.end()) {
+    throw MsrError("unregister: no block based at " + std::to_string(base));
+  }
+  by_id_.erase(it->second.id);
+  by_addr_.erase(it);
+  ++stats_.removals;
+}
+
+const MemoryBlock* Msrlt::find_containing(Address addr) const {
+  ++stats_.searches;
+  if (strategy_ == SearchStrategy::LinearScan) {
+    for (const auto& [base, block] : by_addr_) {
+      ++stats_.search_steps;
+      if (addr >= base && addr < base + block.size) return &block;
+    }
+    return nullptr;
+  }
+  // OrderedMap: the candidate is the last block whose base <= addr.
+  auto it = by_addr_.upper_bound(addr);
+  // ~log2(n) comparisons; recorded so benches can confirm the O(n log n)
+  // aggregate search term without a profiler.
+  std::uint64_t n = by_addr_.size();
+  std::uint64_t steps = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++steps;
+  }
+  stats_.search_steps += steps;
+  if (it == by_addr_.begin()) return nullptr;
+  --it;
+  const MemoryBlock& block = it->second;
+  return (addr < block.base + block.size) ? &block : nullptr;
+}
+
+const MemoryBlock* Msrlt::find_id(BlockId id) const {
+  ++stats_.id_lookups;
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  const auto addr_it = by_addr_.find(it->second);
+  return addr_it == by_addr_.end() ? nullptr : &addr_it->second;
+}
+
+bool Msrlt::try_mark(BlockId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) throw MsrError("try_mark: unknown block id");
+  auto addr_it = by_addr_.find(it->second);
+  if (addr_it == by_addr_.end()) throw MsrError("try_mark: id table out of sync");
+  ++stats_.marks;
+  if (addr_it->second.visit_epoch == epoch_) return false;
+  addr_it->second.visit_epoch = epoch_;
+  return true;
+}
+
+}  // namespace hpm::msr

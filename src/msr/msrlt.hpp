@@ -1,0 +1,100 @@
+// The MSR Lookup Table (MSRLT).
+//
+// Created in the process memory space at runtime to keep track of memory
+// blocks, provide machine-independent identification, and support the
+// address searches of data collection. It is the mapping table that
+// translates between machine-specific addresses and machine-independent
+// (block id, offset) pairs.
+//
+// Complexity contract (paper §4.2): with n tracked blocks, one address
+// search costs O(log n) (ordered-map strategy), so collecting n blocks
+// costs O(n log n) in search time; restoration never searches — migrated
+// blocks arrive with their logical id attached — so MSRLT updates during
+// restore are O(1) amortized each, O(n) total. Statistics counters expose
+// both terms so benchmarks can validate the model directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "msr/block.hpp"
+
+namespace hpm::msr {
+
+/// Search-strategy ablation knob (bench/ablation_msrlt): the paper's
+/// design implies an ordered structure; LinearScan shows what the
+/// collection term degrades to without one.
+enum class SearchStrategy : std::uint8_t { OrderedMap, LinearScan };
+
+class Msrlt {
+ public:
+  explicit Msrlt(SearchStrategy strategy = SearchStrategy::OrderedMap)
+      : strategy_(strategy) {}
+
+  Msrlt(const Msrlt&) = delete;
+  Msrlt& operator=(const Msrlt&) = delete;
+
+  /// Operation counters for the complexity experiments.
+  struct Stats {
+    std::uint64_t registrations = 0;  ///< MSRLT updates (restore-side term)
+    std::uint64_t removals = 0;
+    std::uint64_t searches = 0;       ///< address -> block queries (collect-side term)
+    std::uint64_t search_steps = 0;   ///< comparisons performed by searches
+    std::uint64_t id_lookups = 0;
+    std::uint64_t marks = 0;          ///< DFS visit marks
+  };
+
+  /// Track a new block with a freshly assigned id. Throws hpm::MsrError if
+  /// the byte range overlaps an existing block or size is zero.
+  BlockId register_block(Segment seg, Address base, std::uint64_t size, ti::TypeId type,
+                         std::uint32_t count, std::string name = {});
+
+  /// Track a new block under an externally chosen id (restoration binds
+  /// the *source's* id to destination storage). Throws on id collision or
+  /// range overlap.
+  void register_with_id(BlockId id, Segment seg, Address base, std::uint64_t size,
+                        ti::TypeId type, std::uint32_t count, std::string name = {});
+
+  /// Stop tracking the block based at `base` (e.g. scope exit, free()).
+  /// Throws hpm::MsrError if no block starts there.
+  void unregister(Address base);
+
+  /// Find the block containing `addr` (base <= addr < base + size).
+  /// Returns nullptr for untracked addresses. Counts a search.
+  const MemoryBlock* find_containing(Address addr) const;
+
+  /// Find a block by logical id; nullptr if unknown.
+  const MemoryBlock* find_id(BlockId id) const;
+
+  /// Begin a new depth-first traversal: invalidates all previous marks in
+  /// O(1) by bumping the epoch.
+  void begin_traversal() noexcept { ++epoch_; }
+
+  /// Mark the block visited in the current traversal; returns true the
+  /// first time, false if already visited (the paper's duplicate guard).
+  bool try_mark(BlockId id);
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return by_addr_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  /// Visit every tracked block (graph building, leak checks).
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const {
+    for (const auto& [base, block] : by_addr_) fn(block);
+  }
+
+ private:
+  void insert_checked(MemoryBlock block);
+
+  SearchStrategy strategy_;
+  std::map<Address, MemoryBlock> by_addr_;
+  std::unordered_map<BlockId, Address> by_id_;
+  std::uint64_t next_seq_[3] = {1, 1, 1};  // per segment
+  std::uint64_t epoch_ = 1;
+  mutable Stats stats_;
+};
+
+}  // namespace hpm::msr

@@ -1,0 +1,60 @@
+// MemorySpace: one process memory space the MSR machinery can operate on.
+//
+// The collection/restoration engine (src/msrm) is written against this
+// interface so the *same* depth-first traversal serves two concrete
+// spaces: HostSpace (the real memory of this process, native layout) and
+// memimg::ImageSpace (a byte-exact simulation of a foreign architecture's
+// memory). That guarantee — one engine, two layouts — is how the library
+// demonstrates heterogeneous migration on a single physical machine.
+#pragma once
+
+#include "msr/block.hpp"
+#include "msr/msrlt.hpp"
+#include "ti/layout.hpp"
+#include "ti/leaf.hpp"
+#include "ti/table.hpp"
+#include "xdr/arch.hpp"
+#include "xdr/value.hpp"
+
+namespace hpm::msr {
+
+class MemorySpace {
+ public:
+  virtual ~MemorySpace() = default;
+
+  /// Data model of this space.
+  virtual const xdr::ArchDescriptor& arch() const noexcept = 0;
+
+  /// Shared type table (source and destination must agree; enforced via
+  /// the stream signature).
+  virtual const ti::TypeTable& types() const noexcept = 0;
+
+  /// Layouts of types under this space's architecture.
+  virtual const ti::LayoutMap& layouts() const noexcept = 0;
+
+  /// Leaf counts (arch independent, but kept per space for locality).
+  virtual const ti::LeafIndex& leaves() const noexcept = 0;
+
+  virtual Msrlt& msrlt() noexcept = 0;
+  virtual const Msrlt& msrlt() const noexcept = 0;
+
+  /// --- leaf cell access --------------------------------------------------
+  virtual xdr::PrimValue read_prim(Address addr, xdr::PrimKind k) const = 0;
+  virtual void write_prim(Address addr, xdr::PrimKind k, const xdr::PrimValue& v) = 0;
+
+  /// Read/write a pointer cell as a space address (0 = null).
+  virtual Address read_pointer(Address addr) const = 0;
+  virtual void write_pointer(Address addr, Address value) = 0;
+
+  /// --- restoration support ------------------------------------------------
+  /// Obtain `size` bytes of fresh storage in this space (not yet
+  /// registered in the MSRLT; the caller registers under the incoming id).
+  virtual Address allocate(std::uint64_t size) = 0;
+
+  /// Total bytes of one block of `count` elements of `type` in this space.
+  std::uint64_t block_size(ti::TypeId type, std::uint32_t count) const {
+    return layouts().of(type).size * count;
+  }
+};
+
+}  // namespace hpm::msr

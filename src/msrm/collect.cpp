@@ -1,0 +1,131 @@
+#include "msrm/collect.hpp"
+
+#include "common/error.hpp"
+#include "xdr/value.hpp"
+
+namespace hpm::msrm {
+
+Collector::Collector(msr::MemorySpace& space, xdr::Encoder& enc)
+    : space_(space), enc_(enc), leaves_(space) {
+  space_.msrlt().begin_traversal();
+}
+
+void Collector::save_variable(msr::Address block_base) {
+  const msr::MemoryBlock* block = space_.msrlt().find_containing(block_base);
+  if (block == nullptr || block->base != block_base) {
+    throw MsrError("save_variable: address is not the base of a tracked block");
+  }
+  encode_ptr_value(block_base);
+  drain();
+}
+
+void Collector::save_pointer(msr::Address cell_addr) {
+  encode_ptr_value(space_.read_pointer(cell_addr));
+  drain();
+}
+
+void Collector::encode_ptr_value(msr::Address target) {
+  if (target == 0) {
+    enc_.put_u8(kPtrNull);
+    ++stats_.nulls_saved;
+    return;
+  }
+  const msr::LogicalPointer lp = msr::resolve_pointer(space_, target);
+  if (!space_.msrlt().try_mark(lp.block)) {
+    enc_.put_u8(kPtrRef);
+    enc_.put_u64(lp.block);
+    enc_.put_u64(lp.leaf);
+    ++stats_.refs_saved;
+    return;
+  }
+  const msr::MemoryBlock* block = space_.msrlt().find_id(lp.block);
+  enc_.put_u8(kPtrNew);
+  enc_.put_u64(lp.block);
+  enc_.put_u64(lp.leaf);
+  enc_.put_u8(static_cast<std::uint8_t>(block->segment));
+  enc_.put_u32(block->type);
+  enc_.put_u32(block->count);
+  ++stats_.blocks_saved;
+
+  if (!space_.types().contains_pointer(block->type)) {
+    encode_flat(*block);  // pure-XDR fast path, nothing to push
+    return;
+  }
+  Pending p;
+  p.block = block;
+  p.leaf_list = &leaves_.of(block->type);
+  p.elem_size = space_.layouts().of(block->type).size;
+  p.elem_idx = 0;
+  p.leaf_idx = 0;
+  stack_.push_back(p);
+}
+
+void Collector::encode_flat(const msr::MemoryBlock& block) {
+  const std::uint64_t elem_size = space_.layouts().of(block.type).size;
+  for (std::uint32_t e = 0; e < block.count; ++e) {
+    encode_flat_type(block.base + e * elem_size, block.type);
+  }
+}
+
+void Collector::encode_flat_type(msr::Address base, ti::TypeId type) {
+  const ti::TypeInfo& info = space_.types().at(type);
+  switch (info.kind) {
+    case ti::TypeKind::Primitive:
+      xdr::encode_canonical(enc_, space_.read_prim(base, info.prim));
+      ++stats_.prim_leaves;
+      return;
+    case ti::TypeKind::Pointer:
+      throw MsrError("encode_flat_type reached a pointer (contains_pointer lied)");
+    case ti::TypeKind::Array: {
+      const std::uint64_t elem_size = space_.layouts().of(info.elem).size;
+      for (std::uint32_t i = 0; i < info.count; ++i) {
+        encode_flat_type(base + i * elem_size, info.elem);
+      }
+      return;
+    }
+    case ti::TypeKind::Struct: {
+      const ti::TypeLayout& sl = space_.layouts().of(type);
+      for (std::size_t i = 0; i < info.fields.size(); ++i) {
+        encode_flat_type(base + sl.field_offsets[i], info.fields[i].type);
+      }
+      return;
+    }
+  }
+}
+
+void Collector::drain() {
+  while (!stack_.empty()) {
+    const std::size_t my_index = stack_.size() - 1;
+    bool suspended = false;
+    for (;;) {
+      Pending cur = stack_[my_index];
+      if (cur.elem_idx >= cur.block->count) break;  // this block is finished
+      if (cur.leaf_idx >= cur.leaf_list->size()) {
+        stack_[my_index].elem_idx = cur.elem_idx + 1;
+        stack_[my_index].leaf_idx = 0;
+        continue;
+      }
+      const ti::LeafRef& ref = (*cur.leaf_list)[cur.leaf_idx];
+      const msr::Address cell =
+          cur.block->base + cur.elem_idx * cur.elem_size + ref.byte_offset;
+      stack_[my_index].leaf_idx = cur.leaf_idx + 1;
+      if (!ref.is_pointer) {
+        xdr::encode_canonical(enc_, space_.read_prim(cell, ref.prim));
+        ++stats_.prim_leaves;
+      } else {
+        ++stats_.ptr_leaves;
+        const msr::Address value = space_.read_pointer(cell);
+        encode_ptr_value(value);
+        if (stack_.size() > my_index + 1) {
+          // A new block was pushed: descend (depth-first) before the rest
+          // of this block's leaves.
+          suspended = true;
+          break;
+        }
+      }
+    }
+    if (!suspended) stack_.pop_back();
+  }
+}
+
+}  // namespace hpm::msrm

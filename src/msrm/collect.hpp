@@ -1,0 +1,73 @@
+// Data collection: Save_variable / Save_pointer.
+//
+// A Collector owns one migration's depth-first traversal over the MSR
+// graph of a MemorySpace. Visited blocks are marked in the MSRLT so each
+// block is transferred exactly once (the paper's duplicate guard); the
+// traversal uses an explicit work stack, so arbitrarily deep structures
+// (long linked lists) cannot overflow the call stack even though the wire
+// format is recursively nested.
+#pragma once
+
+#include <vector>
+
+#include "msr/resolve.hpp"
+#include "msr/space.hpp"
+#include "msrm/leaf_cache.hpp"
+#include "msrm/stream.hpp"
+#include "xdr/wire.hpp"
+
+namespace hpm::msrm {
+
+class Collector {
+ public:
+  struct Stats {
+    std::uint64_t blocks_saved = 0;   ///< PNEW records emitted
+    std::uint64_t refs_saved = 0;     ///< PREF records emitted
+    std::uint64_t nulls_saved = 0;
+    std::uint64_t prim_leaves = 0;    ///< primitive cells encoded
+    std::uint64_t ptr_leaves = 0;     ///< pointer cells encoded
+  };
+
+  /// Starts a fresh traversal (bumps the MSRLT visit epoch).
+  Collector(msr::MemorySpace& space, xdr::Encoder& enc);
+
+  /// Collect a whole live variable: the tracked block based at
+  /// `block_base` and everything reachable from it. (Paper:
+  /// `Save_variable(&var)`.) Emits one PtrVal record.
+  void save_variable(msr::Address block_base);
+
+  /// Collect the pointer stored in the cell at `cell_addr` and everything
+  /// reachable through it. (Paper: `Save_pointer(p)` where the cell holds
+  /// p's value.) Emits one PtrVal record.
+  void save_pointer(msr::Address cell_addr);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Pending {
+    const msr::MemoryBlock* block;
+    const std::vector<ti::LeafRef>* leaf_list;  // null for pointer-free blocks
+    std::uint64_t elem_size;
+    std::uint32_t elem_idx;
+    std::uint64_t leaf_idx;
+  };
+
+  /// Emit a PtrVal for a target address; pushes a Pending when the target
+  /// block is seen for the first time.
+  void encode_ptr_value(msr::Address target);
+
+  /// Bulk-encode a pointer-free block (the paper's pure-XDR fast path).
+  void encode_flat(const msr::MemoryBlock& block);
+  void encode_flat_type(msr::Address base, ti::TypeId type);
+
+  /// Run the DFS until the work stack is empty.
+  void drain();
+
+  msr::MemorySpace& space_;
+  xdr::Encoder& enc_;
+  LeafCache leaves_;
+  std::vector<Pending> stack_;
+  Stats stats_;
+};
+
+}  // namespace hpm::msrm

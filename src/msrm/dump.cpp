@@ -1,0 +1,172 @@
+#include "msrm/dump.hpp"
+
+#include "common/error.hpp"
+#include "msrm/execstate.hpp"
+#include "msrm/stream.hpp"
+#include "ti/leaf.hpp"
+#include "xdr/value.hpp"
+
+namespace hpm::msrm {
+
+namespace {
+
+/// Stateful walker over the data section: mirrors the decoder's grammar
+/// without materializing any memory.
+class Dumper {
+ public:
+  Dumper(const ti::TypeTable& table, xdr::Decoder& dec, const DumpOptions& options,
+         std::string& out)
+      : table_(table), leaves_(table), dec_(dec), options_(options), out_(out) {}
+
+  void ptr_value(int indent) {
+    const std::uint8_t tag = dec_.get_u8();
+    switch (tag) {
+      case kPtrNull:
+        line(indent, "null");
+        return;
+      case kPtrRef: {
+        const std::uint64_t id = dec_.get_u64();
+        const std::uint64_t leaf = dec_.get_u64();
+        line(indent, "ref block=" + block_name(id) + " leaf=" + std::to_string(leaf));
+        return;
+      }
+      case kPtrNew: {
+        const std::uint64_t id = dec_.get_u64();
+        const std::uint64_t leaf = dec_.get_u64();
+        const std::uint8_t seg = dec_.get_u8();
+        const ti::TypeId type = dec_.get_u32();
+        const std::uint32_t count = dec_.get_u32();
+        ++blocks_seen_;
+        line(indent, "new block=" + block_name(id) + " leaf=" + std::to_string(leaf) +
+                         " seg=" + std::string(msr::segment_name(
+                                       static_cast<msr::Segment>(seg))) +
+                         " type=" + table_.spell(type) +
+                         (count > 1 ? "[" + std::to_string(count) + "]" : ""));
+        body(type, count, indent + 1);
+        return;
+      }
+      default:
+        throw WireError("dump: unexpected tag " + std::to_string(tag));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t blocks_seen() const noexcept { return blocks_seen_; }
+
+ private:
+  static std::string block_name(std::uint64_t id) {
+    return std::string(msr::segment_name(msr::block_segment(id))) + "#" +
+           std::to_string(msr::block_seq(id));
+  }
+
+  void line(int indent, const std::string& text) {
+    if (suppressed_) return;
+    out_.append(static_cast<std::size_t>(indent) * 2, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+
+  void body(ti::TypeId type, std::uint32_t count, int indent) {
+    const bool deep = blocks_seen_ > options_.max_blocks;
+    if (deep && !suppressed_) {
+      line(indent, "... (output truncated; stream still being validated)");
+      suppressed_ = true;
+    }
+    std::uint64_t prim_run = 0;
+    for (std::uint32_t e = 0; e < count; ++e) {
+      ti::for_each_leaf(leaves_, layouts_, type, [&](const ti::LeafRef& ref) {
+        if (ref.is_pointer) {
+          flush_run(indent, prim_run);
+          ptr_value(indent);
+          return;
+        }
+        const xdr::PrimValue v = xdr::decode_canonical(dec_, ref.prim);
+        if (options_.show_primitive_values) {
+          line(indent, prim_text(v));
+        } else {
+          ++prim_run;
+        }
+      });
+    }
+    flush_run(indent, prim_run);
+  }
+
+  void flush_run(int indent, std::uint64_t& run) {
+    if (run > 0) {
+      line(indent, "(" + std::to_string(run) + " primitive leaves)");
+      run = 0;
+    }
+  }
+
+  static std::string prim_text(const xdr::PrimValue& v) {
+    switch (xdr::prim_class(v.kind)) {
+      case xdr::PrimClass::Floating:
+        return std::string(xdr::prim_name(v.kind)) + " " + std::to_string(v.f);
+      case xdr::PrimClass::Unsigned:
+        return std::string(xdr::prim_name(v.kind)) + " " + std::to_string(v.u);
+      case xdr::PrimClass::Signed:
+        return std::string(xdr::prim_name(v.kind)) + " " + std::to_string(v.s);
+    }
+    return "?";
+  }
+
+  const ti::TypeTable& table_;
+  ti::LayoutMap layouts_{table_, xdr::native_arch()};  // offsets unused; leaves only
+  ti::LeafIndex leaves_;
+  xdr::Decoder& dec_;
+  const DumpOptions& options_;
+  std::string& out_;
+  std::uint64_t blocks_seen_ = 0;
+  bool suppressed_ = false;
+};
+
+}  // namespace
+
+std::string dump_stream(std::span<const std::uint8_t> stream, const DumpOptions& options) {
+  std::string out;
+  const auto payload = check_stream(stream);
+  xdr::Decoder dec(payload);
+  const StreamHeader header = read_header(dec);
+  out += "migration stream: " + std::to_string(stream.size()) + " bytes, source arch " +
+         header.source_arch + ", ti signature " + std::to_string(header.ti_signature) +
+         "\n";
+  const ti::TypeTable table = ti::TypeTable::decode(dec);
+  out += "type table: " + std::to_string(table.size()) + " types\n";
+  const ExecutionState state = ExecutionState::decode(dec);
+  out += "execution state: " + std::to_string(state.frames.size()) + " frames, " +
+         std::to_string(state.globals.size()) + " globals\n";
+  for (std::size_t i = 0; i < state.frames.size(); ++i) {
+    const SavedFrame& f = state.frames[i];
+    out += "  frame[" + std::to_string(i) + "] " + f.func + " resume@" +
+           std::to_string(f.resume_point) + "\n";
+    for (const SavedVar& v : f.vars) {
+      out += "    var " + v.name + " : " + table.spell(v.type) +
+             (v.count > 1 ? "[" + std::to_string(v.count) + "]" : "") + "\n";
+    }
+  }
+  for (const SavedVar& v : state.globals) {
+    out += "  global " + v.name + " : " + table.spell(v.type) +
+           (v.count > 1 ? "[" + std::to_string(v.count) + "]" : "") + "\n";
+  }
+
+  out += "data section:\n";
+  Dumper dumper(table, dec, options, out);
+  // Collection order: frames innermost-first, then globals.
+  for (std::size_t i = state.frames.size(); i-- > 0;) {
+    for (const SavedVar& v : state.frames[i].vars) {
+      out += " record (frame " + state.frames[i].func + ", var " + v.name + "):\n";
+      dumper.ptr_value(2);
+    }
+  }
+  for (const SavedVar& v : state.globals) {
+    out += " record (global " + v.name + "):\n";
+    dumper.ptr_value(2);
+  }
+  if (!dec.at_end()) {
+    throw WireError("dump: " + std::to_string(dec.remaining()) +
+                    " unexpected trailing bytes");
+  }
+  out += "total blocks on wire: " + std::to_string(dumper.blocks_seen()) + "\n";
+  return out;
+}
+
+}  // namespace hpm::msrm

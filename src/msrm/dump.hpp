@@ -1,0 +1,25 @@
+// Human-readable migration-stream dumps.
+//
+// Walks the full stream grammar (header, embedded TI table, execution
+// state, PtrVal records, trailer) and renders it as indented text — the
+// tool you want when a destination rejects a stream and you need to see
+// exactly what the source put on the wire.
+#pragma once
+
+#include <string>
+
+#include "xdr/wire.hpp"
+
+namespace hpm::msrm {
+
+struct DumpOptions {
+  bool show_primitive_values = false;  ///< print every leaf (verbose)
+  std::size_t max_blocks = 10000;      ///< stop expanding after this many PNEWs
+};
+
+/// Render a complete migration stream (as produced by MigContext
+/// collection). Throws hpm::WireError on corrupt streams — the dump is
+/// also a validator.
+std::string dump_stream(std::span<const std::uint8_t> stream, const DumpOptions& options = {});
+
+}  // namespace hpm::msrm

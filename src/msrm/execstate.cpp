@@ -1,0 +1,53 @@
+#include "msrm/execstate.hpp"
+
+namespace hpm::msrm {
+
+void ExecutionState::encode(xdr::Encoder& enc) const {
+  auto put_vars = [&enc](const std::vector<SavedVar>& vars) {
+    enc.put_u32(static_cast<std::uint32_t>(vars.size()));
+    for (const SavedVar& v : vars) {
+      enc.put_string(v.name);
+      enc.put_u32(v.type);
+      enc.put_u32(v.count);
+      enc.put_u64(v.source_block);
+    }
+  };
+  enc.put_u32(static_cast<std::uint32_t>(frames.size()));
+  for (const SavedFrame& f : frames) {
+    enc.put_string(f.func);
+    enc.put_u32(f.resume_point);
+    put_vars(f.vars);
+  }
+  put_vars(globals);
+}
+
+ExecutionState ExecutionState::decode(xdr::Decoder& dec) {
+  auto get_vars = [&dec]() {
+    const std::uint32_t n = dec.get_u32();
+    std::vector<SavedVar> vars;
+    vars.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SavedVar v;
+      v.name = dec.get_string();
+      v.type = dec.get_u32();
+      v.count = dec.get_u32();
+      v.source_block = dec.get_u64();
+      vars.push_back(std::move(v));
+    }
+    return vars;
+  };
+  ExecutionState state;
+  const std::uint32_t nframes = dec.get_u32();
+  state.frames.reserve(nframes);
+  for (std::uint32_t i = 0; i < nframes; ++i) {
+    SavedFrame f;
+    f.func = dec.get_string();
+    f.resume_point = dec.get_u32();
+    f.vars = get_vars();
+    state.frames.push_back(std::move(f));
+  }
+  state.globals = get_vars();
+  return state;
+}
+
+}  // namespace hpm::msrm

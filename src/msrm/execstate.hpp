@@ -1,0 +1,42 @@
+// Wire-side execution-state model: which functions were active, where
+// each resumes, and which live variables each carried.
+//
+// This lives in the msrm layer (not the mig runtime) because it is part
+// of the stream format: the same records are consumed by the restoration
+// runtime and by stream tooling (msrm::dump_stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msr/block.hpp"
+#include "ti/type.hpp"
+#include "xdr/wire.hpp"
+
+namespace hpm::msrm {
+
+struct SavedVar {
+  std::string name;
+  ti::TypeId type = ti::kInvalidType;
+  std::uint32_t count = 1;
+  msr::BlockId source_block = msr::kInvalidBlock;
+};
+
+/// One frame of the saved call stack (outermost first on the wire).
+struct SavedFrame {
+  std::string func;
+  std::uint32_t resume_point = 0;  ///< poll-point / call-site label to jump to
+  std::vector<SavedVar> vars;
+};
+
+/// The saved execution state: active frames plus the program's globals.
+struct ExecutionState {
+  std::vector<SavedFrame> frames;  ///< outermost first
+  std::vector<SavedVar> globals;
+
+  void encode(xdr::Encoder& enc) const;
+  static ExecutionState decode(xdr::Decoder& dec);
+};
+
+}  // namespace hpm::msrm

@@ -1,0 +1,37 @@
+// Shared flattened-leaf cache for the collection/restoration hot loops.
+//
+// leaf_at()/for_each_leaf() walk the type structure on every call; the
+// engines instead flatten each pointer-containing type once per (table,
+// arch) into a vector of LeafRefs and then iterate that flat list per
+// element. Pointer-free types never get a list — they take the bulk
+// encode/decode path — so a `double[1000000]` matrix costs no cache
+// memory.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "msr/space.hpp"
+
+namespace hpm::msrm {
+
+class LeafCache {
+ public:
+  explicit LeafCache(const msr::MemorySpace& space) : space_(&space) {}
+
+  /// Flat leaf list for one element of `type` under the space's layout.
+  const std::vector<ti::LeafRef>& of(ti::TypeId type) {
+    const auto it = cache_.find(type);
+    if (it != cache_.end()) return it->second;
+    std::vector<ti::LeafRef> list;
+    ti::for_each_leaf(space_->leaves(), space_->layouts(), type,
+                      [&list](const ti::LeafRef& ref) { list.push_back(ref); });
+    return cache_.emplace(type, std::move(list)).first->second;
+  }
+
+ private:
+  const msr::MemorySpace* space_;
+  std::unordered_map<ti::TypeId, std::vector<ti::LeafRef>> cache_;
+};
+
+}  // namespace hpm::msrm

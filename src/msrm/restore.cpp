@@ -1,0 +1,183 @@
+#include "msrm/restore.hpp"
+
+#include "common/error.hpp"
+#include "xdr/value.hpp"
+
+namespace hpm::msrm {
+
+Restorer::Restorer(msr::MemorySpace& space, xdr::Decoder& dec)
+    : space_(space), dec_(dec), leaves_(space) {}
+
+void Restorer::bind(msr::BlockId source_id, msr::BlockId dest_id, ti::TypeId type,
+                    std::uint32_t count) {
+  const msr::MemoryBlock* dest = space_.msrlt().find_id(dest_id);
+  if (dest == nullptr) throw MsrError("bind: destination block does not exist");
+  if (dest->type != type || dest->count != count) {
+    throw MsrError("bind: destination block '" + dest->name +
+                   "' does not match the migrated variable's type/count");
+  }
+  if (!binding_.emplace(source_id, dest_id).second) {
+    throw MsrError("bind: source id already bound");
+  }
+}
+
+msr::BlockId Restorer::dest_of(msr::BlockId source_id) const {
+  const auto it = binding_.find(source_id);
+  return it == binding_.end() ? msr::kInvalidBlock : it->second;
+}
+
+msr::BlockId Restorer::restore_variable() {
+  const msr::Address addr = restore_pointer();
+  if (addr == 0) throw WireError("variable record decoded to a null pointer");
+  const msr::MemoryBlock* block = space_.msrlt().find_containing(addr);
+  if (block == nullptr || block->base != addr) {
+    throw WireError("variable record does not denote a block base");
+  }
+  return block->id;
+}
+
+msr::Address Restorer::restore_pointer() {
+  const msr::Address addr = decode_ptr_value();
+  drain();
+  return addr;
+}
+
+const msr::MemoryBlock& Restorer::materialize_pnew(msr::BlockId src_id, std::uint8_t segment,
+                                                   ti::TypeId type, std::uint32_t count) {
+  const auto seg = static_cast<msr::Segment>(segment);
+  if (segment > 2) throw WireError("corrupt stream: bad segment tag");
+  const auto it = binding_.find(src_id);
+  if (it != binding_.end()) {
+    const msr::MemoryBlock* dest = space_.msrlt().find_id(it->second);
+    if (dest == nullptr) throw MsrError("bound destination block vanished");
+    if (dest->type != type || dest->count != count) {
+      throw WireError("PNEW type/count disagrees with bound destination block '" +
+                      dest->name + "'");
+    }
+    ++stats_.blocks_bound;
+    return *dest;
+  }
+  if (seg != msr::Segment::Heap && !auto_bind_) {
+    throw MsrError("PNEW for unbound " + std::string(msr::segment_name(seg)) +
+                   " block: the destination frame/global was not re-registered");
+  }
+  const std::uint64_t size = space_.block_size(type, count);
+  const msr::Address base = space_.allocate(size);
+  const msr::BlockId dest_id =
+      space_.msrlt().register_block(seg, base, size, type, count, std::string{});
+  binding_.emplace(src_id, dest_id);
+  ++stats_.blocks_created;
+  return *space_.msrlt().find_id(dest_id);
+}
+
+msr::Address Restorer::decode_ptr_value() {
+  const std::uint8_t tag = dec_.get_u8();
+  switch (tag) {
+    case kPtrNull:
+      ++stats_.nulls_restored;
+      return 0;
+    case kPtrRef: {
+      const msr::BlockId src_id = dec_.get_u64();
+      const std::uint64_t leaf = dec_.get_u64();
+      const msr::BlockId dest = dest_of(src_id);
+      if (dest == msr::kInvalidBlock) {
+        throw WireError("PREF to a block that was never transferred (corrupt stream)");
+      }
+      ++stats_.refs_resolved;
+      return msr::address_of(space_, msr::LogicalPointer{dest, leaf});
+    }
+    case kPtrNew: {
+      const msr::BlockId src_id = dec_.get_u64();
+      const std::uint64_t leaf = dec_.get_u64();
+      const std::uint8_t segment = dec_.get_u8();
+      const ti::TypeId type = dec_.get_u32();
+      const std::uint32_t count = dec_.get_u32();
+      space_.types().at(type);  // validate id against the shared TI table
+      const msr::MemoryBlock& dest = materialize_pnew(src_id, segment, type, count);
+      const msr::Address target = msr::address_of(space_, msr::LogicalPointer{dest.id, leaf});
+      if (!space_.types().contains_pointer(type)) {
+        decode_flat(dest);
+      } else {
+        Pending p;
+        p.block = &dest;
+        p.leaf_list = &leaves_.of(type);
+        p.elem_size = space_.layouts().of(type).size;
+        p.elem_idx = 0;
+        p.leaf_idx = 0;
+        stack_.push_back(p);
+      }
+      return target;
+    }
+    default:
+      throw WireError("corrupt stream: expected a pointer-value tag, got " +
+                      std::to_string(tag));
+  }
+}
+
+void Restorer::decode_flat(const msr::MemoryBlock& block) {
+  const std::uint64_t elem_size = space_.layouts().of(block.type).size;
+  for (std::uint32_t e = 0; e < block.count; ++e) {
+    decode_flat_type(block.base + e * elem_size, block.type);
+  }
+}
+
+void Restorer::decode_flat_type(msr::Address base, ti::TypeId type) {
+  const ti::TypeInfo& info = space_.types().at(type);
+  switch (info.kind) {
+    case ti::TypeKind::Primitive:
+      space_.write_prim(base, info.prim, xdr::decode_canonical(dec_, info.prim));
+      ++stats_.prim_leaves;
+      return;
+    case ti::TypeKind::Pointer:
+      throw MsrError("decode_flat_type reached a pointer (contains_pointer lied)");
+    case ti::TypeKind::Array: {
+      const std::uint64_t elem_size = space_.layouts().of(info.elem).size;
+      for (std::uint32_t i = 0; i < info.count; ++i) {
+        decode_flat_type(base + i * elem_size, info.elem);
+      }
+      return;
+    }
+    case ti::TypeKind::Struct: {
+      const ti::TypeLayout& sl = space_.layouts().of(type);
+      for (std::size_t i = 0; i < info.fields.size(); ++i) {
+        decode_flat_type(base + sl.field_offsets[i], info.fields[i].type);
+      }
+      return;
+    }
+  }
+}
+
+void Restorer::drain() {
+  while (!stack_.empty()) {
+    const std::size_t my_index = stack_.size() - 1;
+    bool suspended = false;
+    for (;;) {
+      Pending cur = stack_[my_index];
+      if (cur.elem_idx >= cur.block->count) break;
+      if (cur.leaf_idx >= cur.leaf_list->size()) {
+        stack_[my_index].elem_idx = cur.elem_idx + 1;
+        stack_[my_index].leaf_idx = 0;
+        continue;
+      }
+      const ti::LeafRef& ref = (*cur.leaf_list)[cur.leaf_idx];
+      const msr::Address cell =
+          cur.block->base + cur.elem_idx * cur.elem_size + ref.byte_offset;
+      stack_[my_index].leaf_idx = cur.leaf_idx + 1;
+      if (!ref.is_pointer) {
+        space_.write_prim(cell, ref.prim, xdr::decode_canonical(dec_, ref.prim));
+        ++stats_.prim_leaves;
+      } else {
+        ++stats_.ptr_leaves;
+        const msr::Address value = decode_ptr_value();
+        space_.write_pointer(cell, value);
+        if (stack_.size() > my_index + 1) {
+          suspended = true;
+          break;
+        }
+      }
+    }
+    if (!suspended) stack_.pop_back();
+  }
+}
+
+}  // namespace hpm::msrm

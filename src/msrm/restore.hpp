@@ -1,0 +1,96 @@
+// Data restoration: Restore_variable / Restore_pointer.
+//
+// A Restorer rebuilds memory blocks in a destination MemorySpace from the
+// PtrVal grammar. Because every migrated block carries its logical id,
+// restoration never searches the MSRLT by address — it binds the source
+// id to destination storage in O(1) and decodes contents in place. That
+// is the paper's O(n) MSRLT-update term, versus the O(n log n) search
+// term on the collection side.
+//
+// Binding rules:
+//  * Stack and Global blocks exist on the destination a priori (the
+//    re-executed program prologues and startup registration create them);
+//    they must be bound with bind() before their contents arrive, unless
+//    auto-bind mode is enabled (used by tests and image round trips).
+//  * Heap blocks are created on demand when their PNEW header is read —
+//    before the body is decoded, so back/cross references always resolve.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "msr/resolve.hpp"
+#include "msr/space.hpp"
+#include "msrm/leaf_cache.hpp"
+#include "msrm/stream.hpp"
+#include "xdr/wire.hpp"
+
+namespace hpm::msrm {
+
+class Restorer {
+ public:
+  struct Stats {
+    std::uint64_t blocks_created = 0;  ///< heap blocks allocated
+    std::uint64_t blocks_bound = 0;    ///< PNEWs landing in pre-bound storage
+    std::uint64_t refs_resolved = 0;
+    std::uint64_t nulls_restored = 0;
+    std::uint64_t prim_leaves = 0;
+    std::uint64_t ptr_leaves = 0;
+  };
+
+  Restorer(msr::MemorySpace& space, xdr::Decoder& dec);
+
+  /// Pre-bind a source block id to existing destination storage (a
+  /// re-registered stack local or global). Validates element type and
+  /// count against the destination block.
+  void bind(msr::BlockId source_id, msr::BlockId dest_id, ti::TypeId type,
+            std::uint32_t count);
+
+  /// Auto-bind mode: PNEW for an unbound Stack/Global block allocates
+  /// fresh storage (registered under the original segment) instead of
+  /// failing. Default off.
+  void set_auto_bind(bool enabled) noexcept { auto_bind_ = enabled; }
+
+  /// Decode one variable record (must be PNEW or PREF of the variable's
+  /// own block, at leaf 0). Returns the destination block id. (Paper:
+  /// `Restore_variable(&var)`.)
+  msr::BlockId restore_variable();
+
+  /// Decode one PtrVal and return the destination address it denotes
+  /// (0 for null). (Paper: `p = Restore_pointer()`.)
+  msr::Address restore_pointer();
+
+  /// Destination id bound to `source_id`; kInvalidBlock if none.
+  [[nodiscard]] msr::BlockId dest_of(msr::BlockId source_id) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Pending {
+    const msr::MemoryBlock* block;  // destination block
+    const std::vector<ti::LeafRef>* leaf_list;
+    std::uint64_t elem_size;
+    std::uint32_t elem_idx;
+    std::uint64_t leaf_idx;
+  };
+
+  /// Decode a PtrVal; may push a Pending; returns the destination address.
+  msr::Address decode_ptr_value();
+
+  void decode_flat(const msr::MemoryBlock& block);
+  void decode_flat_type(msr::Address base, ti::TypeId type);
+  void drain();
+
+  const msr::MemoryBlock& materialize_pnew(msr::BlockId src_id, std::uint8_t segment,
+                                           ti::TypeId type, std::uint32_t count);
+
+  msr::MemorySpace& space_;
+  xdr::Decoder& dec_;
+  LeafCache leaves_;
+  std::unordered_map<msr::BlockId, msr::BlockId> binding_;
+  std::vector<Pending> stack_;
+  bool auto_bind_ = false;
+  Stats stats_;
+};
+
+}  // namespace hpm::msrm

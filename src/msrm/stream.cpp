@@ -1,0 +1,49 @@
+#include "msrm/stream.hpp"
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace hpm::msrm {
+
+void write_header(xdr::Encoder& enc, const StreamHeader& header) {
+  enc.put_u32(kMagic);
+  enc.put_u16(kVersion);
+  enc.put_string(header.source_arch);
+  enc.put_u64(header.ti_signature);
+}
+
+StreamHeader read_header(xdr::Decoder& dec) {
+  const std::uint32_t magic = dec.get_u32();
+  if (magic != kMagic) throw WireError("not a migration stream (bad magic)");
+  const std::uint16_t version = dec.get_u16();
+  if (version != kVersion) {
+    throw WireError("unsupported stream version " + std::to_string(version));
+  }
+  StreamHeader header;
+  header.source_arch = dec.get_string();
+  header.ti_signature = dec.get_u64();
+  return header;
+}
+
+void finish_stream(xdr::Encoder& enc) {
+  const std::uint32_t crc = Crc32::of(enc.bytes().data(), enc.bytes().size());
+  enc.put_u8(kTrailerTag);
+  enc.put_u32(crc);
+}
+
+std::span<const std::uint8_t> check_stream(std::span<const std::uint8_t> stream) {
+  if (stream.size() < 5) throw WireError("stream too short to contain a trailer");
+  const std::size_t payload_len = stream.size() - 5;
+  if (stream[payload_len] != kTrailerTag) {
+    throw WireError("stream trailer tag missing (truncated transfer?)");
+  }
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored = (stored << 8) | stream[payload_len + 1 + i];
+  const std::uint32_t computed = Crc32::of(stream.data(), payload_len);
+  if (stored != computed) {
+    throw WireError("stream checksum mismatch: transfer corrupted");
+  }
+  return stream.subspan(0, payload_len);
+}
+
+}  // namespace hpm::msrm

@@ -1,0 +1,60 @@
+// Migration stream framing: header, trailer, and the pointer-value tags.
+//
+// Grammar (canonical encoding throughout):
+//
+//   Stream  := Header ...payload... Trailer
+//   Header  := u32 'HPMG' | u16 version | str source-arch | u64 ti-signature
+//   Trailer := u8 0x7E | u32 crc32(everything before the trailer)
+//
+//   PtrVal  := u8 PNULL
+//            | u8 PREF  u64 block-id u64 leaf-ordinal
+//            | u8 PNEW  u64 block-id u64 leaf-ordinal
+//                       u8 segment u32 type-id u32 elem-count  Body
+//   Body    := elem-count * leaves(type)   -- primitives canonical;
+//                                          -- pointer leaves are PtrVals,
+//                                          -- nested depth-first
+//
+// PNEW appears exactly once per memory block per migration (the paper's
+// visited marking); every later reference is a PREF. The decoder creates
+// or binds a block the moment it reads a PNEW header, before descending
+// into the body, so all back and cross edges resolve immediately.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "xdr/wire.hpp"
+
+namespace hpm::msrm {
+
+inline constexpr std::uint32_t kMagic = 0x48504D47;  // "HPMG"
+inline constexpr std::uint16_t kVersion = 1;
+
+/// Pointer-value tags.
+enum : std::uint8_t {
+  kPtrNull = 0x10,
+  kPtrRef = 0x11,
+  kPtrNew = 0x12,
+};
+
+inline constexpr std::uint8_t kTrailerTag = 0x7E;
+
+struct StreamHeader {
+  std::string source_arch;
+  std::uint64_t ti_signature = 0;
+};
+
+void write_header(xdr::Encoder& enc, const StreamHeader& header);
+
+/// Reads and validates magic + version; throws hpm::WireError on mismatch.
+StreamHeader read_header(xdr::Decoder& dec);
+
+/// Append the CRC trailer; call once, after all payload.
+void finish_stream(xdr::Encoder& enc);
+
+/// Validate the trailer and return the payload span (header included,
+/// trailer excluded). Throws hpm::WireError on corruption or truncation.
+std::span<const std::uint8_t> check_stream(std::span<const std::uint8_t> stream);
+
+}  // namespace hpm::msrm

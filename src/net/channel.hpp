@@ -1,0 +1,31 @@
+// Layer 1 of the paper's software stack: basic data communication
+// utilities. Migration information can be moved over TCP, a shared file
+// system, or (for in-process experiments) a memory pipe — all behind one
+// blocking byte-stream interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hpm::net {
+
+/// Blocking, reliable, ordered byte stream between a migration source and
+/// destination. Implementations: MemChannel (in-process), FileChannel
+/// (shared file system), SocketChannel (TCP).
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  /// Send all `data.size()` bytes; throws hpm::NetError on failure.
+  virtual void send(std::span<const std::uint8_t> data) = 0;
+
+  /// Receive exactly `out.size()` bytes; throws hpm::NetError on failure
+  /// or premature end of stream.
+  virtual void recv(std::span<std::uint8_t> out) = 0;
+
+  /// Signal end-of-stream to the peer. Idempotent.
+  virtual void close() = 0;
+};
+
+}  // namespace hpm::net

@@ -1,0 +1,107 @@
+#include "net/file_channel.hpp"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace hpm::net {
+
+namespace {
+
+bool file_exists(const std::string& p) {
+  struct stat st{};
+  return ::stat(p.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+FileWriterChannel::FileWriterChannel(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) throw NetError("cannot open spool file for writing: " + path_);
+}
+
+FileWriterChannel::~FileWriterChannel() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; close() failure is already fatal upstream.
+  }
+}
+
+void FileWriterChannel::send(std::span<const std::uint8_t> data) {
+  if (file_ == nullptr) throw NetError("send on closed FileWriterChannel");
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    throw NetError("short write to spool file " + path_);
+  }
+  if (std::fflush(file_) != 0) throw NetError("fflush failed on " + path_);
+}
+
+void FileReaderChannel::send(std::span<const std::uint8_t>) {
+  throw NetError("FileReaderChannel is receive-only");
+}
+
+void FileWriterChannel::recv(std::span<std::uint8_t>) {
+  throw NetError("FileWriterChannel is send-only");
+}
+
+void FileWriterChannel::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::FILE* done = std::fopen((path_ + ".done").c_str(), "wb");
+    if (done == nullptr) throw NetError("cannot create done marker for " + path_);
+    std::fclose(done);
+  }
+}
+
+FileReaderChannel::FileReaderChannel(std::string path) : path_(std::move(path)) {}
+
+FileReaderChannel::~FileReaderChannel() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileReaderChannel::recv(std::span<std::uint8_t> out) {
+  using namespace std::chrono_literals;
+  std::size_t got = 0;
+  while (got < out.size()) {
+    if (file_ == nullptr) {
+      file_ = std::fopen(path_.c_str(), "rb");
+      if (file_ == nullptr) {
+        std::this_thread::sleep_for(1ms);
+        continue;
+      }
+    }
+    std::fseek(file_, static_cast<long>(pos_), SEEK_SET);
+    const std::size_t n = std::fread(out.data() + got, 1, out.size() - got, file_);
+    got += n;
+    pos_ += n;
+    if (got < out.size()) {
+      if (file_exists(path_ + ".done")) {
+        // Re-check once more: the writer may have appended just before
+        // dropping the marker.
+        std::fseek(file_, static_cast<long>(pos_), SEEK_SET);
+        const std::size_t m = std::fread(out.data() + got, 1, out.size() - got, file_);
+        got += m;
+        pos_ += m;
+        if (got < out.size()) {
+          throw NetError("spool file " + path_ + " ended " +
+                         std::to_string(out.size() - got) + " bytes short");
+        }
+        break;
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+}
+
+void FileReaderChannel::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace hpm::net

@@ -1,0 +1,56 @@
+#include "net/mem_channel.hpp"
+
+#include "common/error.hpp"
+
+namespace hpm::net {
+
+namespace detail {
+
+void MemPipe::write(std::span<const std::uint8_t> data) {
+  std::lock_guard lk(mu_);
+  if (closed_) throw NetError("write on closed MemPipe");
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  cv_.notify_all();
+}
+
+void MemPipe::read(std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  std::unique_lock lk(mu_);
+  while (got < out.size()) {
+    cv_.wait(lk, [this] { return !buf_.empty() || closed_; });
+    if (buf_.empty() && closed_) {
+      throw NetError("MemPipe closed with " + std::to_string(out.size() - got) +
+                     " bytes outstanding");
+    }
+    while (got < out.size() && !buf_.empty()) {
+      out[got++] = buf_.front();
+      buf_.pop_front();
+    }
+  }
+}
+
+void MemPipe::close() {
+  std::lock_guard lk(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace detail
+
+std::pair<std::unique_ptr<MemChannel>, std::unique_ptr<MemChannel>> MemChannel::make_pair() {
+  auto a_to_b = std::make_shared<detail::MemPipe>();
+  auto b_to_a = std::make_shared<detail::MemPipe>();
+  auto a = std::unique_ptr<MemChannel>(new MemChannel(a_to_b, b_to_a));
+  auto b = std::unique_ptr<MemChannel>(new MemChannel(b_to_a, a_to_b));
+  return {std::move(a), std::move(b)};
+}
+
+void MemChannel::send(std::span<const std::uint8_t> data) { out_->write(data); }
+void MemChannel::recv(std::span<std::uint8_t> out) { in_->read(out); }
+
+void MemChannel::close() {
+  out_->close();
+  in_->close();
+}
+
+}  // namespace hpm::net

@@ -1,0 +1,55 @@
+// In-process byte pipe for thread-to-thread migration experiments.
+//
+// A MemPipe owns one unidirectional buffer; MemChannel::make_pair() wires
+// two endpoints so the migration source thread and destination thread can
+// run the real send/recv protocol without a kernel socket.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/channel.hpp"
+
+namespace hpm::net {
+
+namespace detail {
+
+/// Thread-safe unidirectional byte queue with blocking reads.
+class MemPipe {
+ public:
+  void write(std::span<const std::uint8_t> data);
+  void read(std::span<std::uint8_t> out);
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint8_t> buf_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+/// One endpoint of an in-process duplex channel.
+class MemChannel final : public ByteChannel {
+ public:
+  /// Create a connected pair: bytes sent on one endpoint are received on
+  /// the other.
+  static std::pair<std::unique_ptr<MemChannel>, std::unique_ptr<MemChannel>> make_pair();
+
+  void send(std::span<const std::uint8_t> data) override;
+  void recv(std::span<std::uint8_t> out) override;
+  void close() override;
+
+ private:
+  MemChannel(std::shared_ptr<detail::MemPipe> out, std::shared_ptr<detail::MemPipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+  std::shared_ptr<detail::MemPipe> out_;
+  std::shared_ptr<detail::MemPipe> in_;
+};
+
+}  // namespace hpm::net

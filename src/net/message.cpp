@@ -1,0 +1,42 @@
+#include "net/message.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace hpm::net {
+
+void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload) {
+  std::array<std::uint8_t, 5> header{};
+  header[0] = static_cast<std::uint8_t>(type);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[1] = static_cast<std::uint8_t>((len >> 24) & 0xFFu);
+  header[2] = static_cast<std::uint8_t>((len >> 16) & 0xFFu);
+  header[3] = static_cast<std::uint8_t>((len >> 8) & 0xFFu);
+  header[4] = static_cast<std::uint8_t>(len & 0xFFu);
+  ch.send(header);
+  if (!payload.empty()) ch.send(payload);
+}
+
+Message recv_message(ByteChannel& ch, std::size_t max_payload) {
+  std::array<std::uint8_t, 5> header{};
+  ch.recv(header);
+  const auto raw_type = header[0];
+  if (raw_type < 1 || raw_type > 5) {
+    throw NetError("malformed frame: unknown message type " + std::to_string(raw_type));
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[1]) << 24) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 8) |
+                            static_cast<std::uint32_t>(header[4]);
+  if (len > max_payload) {
+    throw NetError("frame payload of " + std::to_string(len) + " bytes exceeds limit");
+  }
+  Message msg;
+  msg.type = static_cast<MsgType>(raw_type);
+  msg.payload.resize(len);
+  if (len > 0) ch.recv(msg.payload);
+  return msg;
+}
+
+}  // namespace hpm::net

@@ -1,0 +1,36 @@
+// Length-prefixed message framing over a ByteChannel.
+//
+// The migration protocol exchanges a handful of discrete messages
+// (migration request metadata, the state stream, acknowledgement); framing
+// turns the raw byte stream into those messages with an explicit type tag
+// so protocol errors are detected instead of mis-parsed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hexdump.hpp"
+#include "net/channel.hpp"
+
+namespace hpm::net {
+
+/// Message type tags used by the migration coordinator.
+enum class MsgType : std::uint8_t {
+  Hello = 1,       ///< destination announces readiness (payload: arch name)
+  State = 2,       ///< the migration stream produced by collection
+  Ack = 3,         ///< destination confirms successful restoration
+  Error = 4,       ///< destination reports a restoration failure (payload: text)
+  Shutdown = 5,    ///< orderly teardown without migration
+};
+
+struct Message {
+  MsgType type;
+  Bytes payload;
+};
+
+/// Send one framed message: u8 type, u32 length (big-endian), payload.
+void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload);
+
+/// Receive one framed message; throws hpm::NetError on malformed frames.
+Message recv_message(ByteChannel& ch, std::size_t max_payload = 1ull << 31);
+
+}  // namespace hpm::net

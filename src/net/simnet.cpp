@@ -1,0 +1,26 @@
+#include "net/simnet.hpp"
+
+#include <cmath>
+#include <thread>
+
+namespace hpm::net {
+
+double SimulatedLink::transfer_seconds(std::uint64_t bytes) const noexcept {
+  if (bytes == 0) return latency_s;
+  const double frames = std::ceil(static_cast<double>(bytes) / static_cast<double>(mtu));
+  const double wire_bytes = static_cast<double>(bytes) + frames * frame_overhead;
+  return latency_s + wire_bytes * 8.0 / bandwidth_bps;
+}
+
+void ThrottledChannel::send(std::span<const std::uint8_t> data) {
+  const double dt = link_.transfer_seconds(data.size());
+  modeled_send_s_ += dt;
+  std::this_thread::sleep_for(std::chrono::duration<double>(dt));
+  inner_->send(data);
+}
+
+void ThrottledChannel::recv(std::span<std::uint8_t> out) { inner_->recv(out); }
+
+void ThrottledChannel::close() { inner_->close(); }
+
+}  // namespace hpm::net

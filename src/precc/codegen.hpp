@@ -1,0 +1,23 @@
+// precc back-end: emit the C++ registration code the paper's pre-compiler
+// would attach to the transformed program.
+//
+// Given a TypeTable populated by the Parser, generates a self-contained
+// `register_types(hpm::ti::TypeTable&)` translation unit using the
+// StructBuilder/HPM_TI_FIELD idiom, plus a human-readable report of the
+// parsed declarations and any migration-unsafe findings.
+#pragma once
+
+#include <string>
+
+#include "precc/parser.hpp"
+
+namespace hpm::precc {
+
+/// C++ source for registering every parsed struct (assumes the
+/// corresponding C++ struct definitions are in scope).
+std::string generate_registration(const ti::TypeTable& table, const ParseResult& result);
+
+/// Human-readable summary: structs, globals with spelled types, findings.
+std::string report(const ti::TypeTable& table, const ParseResult& result);
+
+}  // namespace hpm::precc

@@ -1,0 +1,121 @@
+#include "precc/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace hpm::precc {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> map = {
+      {"struct", Tok::KwStruct},   {"union", Tok::KwUnion},
+      {"enum", Tok::KwEnum},
+      {"typedef", Tok::KwTypedef}, {"void", Tok::KwVoid},
+      {"const", Tok::KwConst},     {"char", Tok::KwTypeWord},
+      {"short", Tok::KwTypeWord},  {"int", Tok::KwTypeWord},
+      {"long", Tok::KwTypeWord},   {"float", Tok::KwTypeWord},
+      {"double", Tok::KwTypeWord}, {"signed", Tok::KwTypeWord},
+      {"unsigned", Tok::KwTypeWord}, {"bool", Tok::KwTypeWord},
+      {"_Bool", Tok::KwTypeWord},
+  };
+  return map;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+  auto push = [&out, &line](Tok kind, std::string text = {}, std::uint64_t value = 0) {
+    out.push_back(Token{kind, std::move(text), value, line});
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) throw ParseError("line " + std::to_string(line) + ": unterminated comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_')) ++i;
+      const std::string_view word = src.substr(start, i - start);
+      const auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, std::string(word));
+      } else {
+        push(Tok::Ident, std::string(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      int base = 10;
+      if (c == '0' && i + 1 < n && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+      }
+      std::uint64_t value = 0;
+      while (i < n && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+        const char d = src[i];
+        const int digit = std::isdigit(static_cast<unsigned char>(d))
+                              ? d - '0'
+                              : 10 + (std::tolower(d) - 'a');
+        if (base == 10 && digit >= 10) break;
+        value = value * base + static_cast<std::uint64_t>(digit);
+        ++i;
+      }
+      push(Tok::Integer, std::string(src.substr(start, i - start)), value);
+      continue;
+    }
+    if (c == '.' && i + 2 < n && src[i + 1] == '.' && src[i + 2] == '.') {
+      push(Tok::Ellipsis, "...");
+      i += 3;
+      continue;
+    }
+    switch (c) {
+      case '{': push(Tok::LBrace, "{"); break;
+      case '}': push(Tok::RBrace, "}"); break;
+      case '[': push(Tok::LBracket, "["); break;
+      case ']': push(Tok::RBracket, "]"); break;
+      case '(': push(Tok::LParen, "("); break;
+      case ')': push(Tok::RParen, ")"); break;
+      case '*': push(Tok::Star, "*"); break;
+      case ',': push(Tok::Comma, ","); break;
+      case ';': push(Tok::Semi, ";"); break;
+      case '=': push(Tok::Eq, "="); break;
+      case '-': push(Tok::Minus, "-"); break;
+      default:
+        throw ParseError("line " + std::to_string(line) + ": unexpected character '" +
+                         std::string(1, c) + "'");
+    }
+    ++i;
+  }
+  out.push_back(Token{Tok::End, "", 0, line});
+  return out;
+}
+
+}  // namespace hpm::precc

@@ -1,0 +1,18 @@
+// Lexer for the migration-safe C declaration subset.
+//
+// Handles identifiers, decimal/hex integers, punctuation, `//` and
+// `/* */` comments, and classifies the keywords precc cares about. Any
+// other character is a hpm::ParseError with a line number.
+#pragma once
+
+#include <string_view>
+
+#include "precc/token.hpp"
+
+namespace hpm::precc {
+
+/// Tokenize the whole input eagerly (declaration files are small; an
+/// indexable token vector makes the two-pass declarator parse trivial).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace hpm::precc

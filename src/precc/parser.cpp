@@ -1,0 +1,372 @@
+#include "precc/parser.hpp"
+
+#include "common/error.hpp"
+#include "precc/lexer.hpp"
+
+namespace hpm::precc {
+
+ParseResult Parser::parse(std::string_view source) {
+  tokens_ = tokenize(source);
+  pos_ = 0;
+  result_ = ParseResult{};
+  while (peek().kind != Tok::End) parse_top_level();
+  return std::move(result_);
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok kind) {
+  if (peek().kind != kind) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok kind, const char* what) {
+  if (peek().kind != kind) {
+    fail(std::string("expected ") + what + ", found '" + peek().text + "'");
+  }
+  return advance();
+}
+
+void Parser::fail(const std::string& message) const {
+  throw ParseError("line " + std::to_string(peek().line) + ": " + message);
+}
+
+void Parser::unsafe(const std::string& feature, const std::string& detail) {
+  if (strict_) {
+    throw UnsafeFeatureError("line " + std::to_string(peek().line) +
+                             ": migration-unsafe feature: " + feature +
+                             (detail.empty() ? "" : " (" + detail + ")"));
+  }
+  result_.findings.push_back(UnsafeFinding{peek().line, feature, detail});
+}
+
+void Parser::skip_declaration() {
+  int depth = 0;
+  while (peek().kind != Tok::End) {
+    const Tok k = advance().kind;
+    if (k == Tok::LBrace) ++depth;
+    if (k == Tok::RBrace) --depth;
+    if (k == Tok::Semi && depth <= 0) return;
+  }
+}
+
+void Parser::parse_top_level() {
+  if (accept(Tok::KwTypedef)) {
+    parse_typedef();
+    return;
+  }
+  if (peek().kind == Tok::KwStruct && peek(1).kind == Tok::Ident &&
+      peek(2).kind == Tok::LBrace) {
+    parse_struct_definition();
+    return;
+  }
+  if (peek().kind == Tok::KwUnion) {
+    unsafe("union", "overlapping members cannot be converted between formats");
+    skip_declaration();
+    return;
+  }
+  if (peek().kind == Tok::KwEnum &&
+      (peek(1).kind == Tok::LBrace ||
+       (peek(1).kind == Tok::Ident && peek(2).kind == Tok::LBrace))) {
+    parse_enum_definition();
+    return;
+  }
+  const BaseType base = parse_base_type();
+  if (base.type == ti::kInvalidType && !base.is_void) {
+    skip_declaration();  // base itself was unsafe; finding already recorded
+    return;
+  }
+  parse_variable_declaration(base);
+}
+
+void Parser::parse_struct_definition() {
+  expect(Tok::KwStruct, "'struct'");
+  const std::string name = expect(Tok::Ident, "struct tag").text;
+  const ti::TypeId id = table_->declare_struct(name);
+  expect(Tok::LBrace, "'{'");
+  std::vector<ti::Field> fields = parse_field_list(name);
+  expect(Tok::RBrace, "'}'");
+  expect(Tok::Semi, "';' after struct definition");
+  table_->define_struct(id, std::move(fields));
+  result_.struct_names.push_back(name);
+}
+
+std::vector<ti::Field> Parser::parse_field_list(const std::string& struct_name) {
+  std::vector<ti::Field> fields;
+  while (peek().kind != Tok::RBrace && peek().kind != Tok::End) {
+    if (peek().kind == Tok::KwUnion) {
+      unsafe("union", "anonymous/member union in struct " + struct_name);
+      skip_declaration();
+      continue;
+    }
+    const BaseType base = parse_base_type();
+    if (base.type == ti::kInvalidType && !base.is_void) {
+      skip_declaration();
+      continue;
+    }
+    bool keep_going = true;
+    while (keep_going) {
+      std::string name;
+      ti::TypeId type = ti::kInvalidType;
+      if (!parse_declarator(base, name, type)) {
+        skip_declaration();
+        keep_going = false;
+        break;
+      }
+      fields.push_back(ti::Field{name, type});
+      if (accept(Tok::Comma)) continue;
+      expect(Tok::Semi, "';' after field");
+      keep_going = false;
+    }
+  }
+  return fields;
+}
+
+void Parser::parse_enumerators() {
+  expect(Tok::LBrace, "'{'");
+  long next_value = 0;
+  while (peek().kind != Tok::RBrace && peek().kind != Tok::End) {
+    EnumConstant constant;
+    constant.name = expect(Tok::Ident, "enumerator name").text;
+    if (accept(Tok::Eq)) {
+      const bool negative = accept(Tok::Minus);
+      const Token& v = expect(Tok::Integer, "enumerator value");
+      constant.value = negative ? -static_cast<long>(v.value) : static_cast<long>(v.value);
+    } else {
+      constant.value = next_value;
+    }
+    next_value = constant.value + 1;
+    result_.enum_constants.push_back(std::move(constant));
+    if (!accept(Tok::Comma)) break;
+  }
+  expect(Tok::RBrace, "'}'");
+}
+
+void Parser::parse_enum_definition() {
+  // Enums are migration-safe: they convert as plain int. We record the
+  // tag (so `enum Tag` resolves as a base type) and the constants (for
+  // tooling), but the TI representation is simply `int`.
+  expect(Tok::KwEnum, "'enum'");
+  if (peek().kind == Tok::Ident) {
+    const std::string tag = advance().text;
+    enums_[tag] = true;
+    result_.enum_names.push_back(tag);
+  }
+  parse_enumerators();
+  // `enum Tag { ... } var;` — an optional declarator list may follow.
+  if (peek().kind != Tok::Semi) {
+    BaseType base;
+    base.type = table_->primitive(xdr::PrimKind::Int);
+    parse_variable_declaration(base);
+    return;
+  }
+  expect(Tok::Semi, "';' after enum definition");
+}
+
+void Parser::parse_typedef() {
+  const BaseType base = parse_base_type();
+  if (base.type == ti::kInvalidType && !base.is_void) {
+    skip_declaration();
+    return;
+  }
+  std::string name;
+  ti::TypeId type = ti::kInvalidType;
+  if (!parse_declarator(base, name, type)) {
+    skip_declaration();
+    return;
+  }
+  expect(Tok::Semi, "';' after typedef");
+  typedefs_[name] = type;
+}
+
+void Parser::parse_variable_declaration(const BaseType& base) {
+  for (;;) {
+    std::string name;
+    ti::TypeId type = ti::kInvalidType;
+    if (!parse_declarator(base, name, type)) {
+      skip_declaration();
+      return;
+    }
+    result_.globals.push_back(ParsedVar{name, type, peek().line});
+    if (accept(Tok::Comma)) continue;
+    expect(Tok::Semi, "';' after declaration");
+    return;
+  }
+}
+
+Parser::BaseType Parser::parse_base_type() {
+  while (accept(Tok::KwConst)) {
+  }
+  BaseType base;
+  if (accept(Tok::KwVoid)) {
+    base.is_void = true;
+    return base;
+  }
+  if (accept(Tok::KwStruct)) {
+    const std::string name = expect(Tok::Ident, "struct tag").text;
+    base.type = table_->declare_struct(name);  // forward reference allowed
+    return base;
+  }
+  if (accept(Tok::KwEnum)) {
+    if (peek().kind == Tok::LBrace) {
+      // Anonymous inline enum (`typedef enum { ... } E;`).
+      parse_enumerators();
+    } else {
+      const std::string tag = expect(Tok::Ident, "enum tag").text;
+      if (enums_.find(tag) == enums_.end()) {
+        if (peek().kind == Tok::LBrace) {
+          enums_[tag] = true;
+          result_.enum_names.push_back(tag);
+          parse_enumerators();
+        } else {
+          fail("unknown enum tag '" + tag + "'");
+        }
+      }
+    }
+    base.type = table_->primitive(xdr::PrimKind::Int);
+    return base;
+  }
+  if (peek().kind == Tok::KwTypeWord) {
+    base.type = parse_primitive_words();
+    return base;
+  }
+  if (peek().kind == Tok::Ident) {
+    const auto it = typedefs_.find(peek().text);
+    if (it == typedefs_.end()) fail("unknown type name '" + peek().text + "'");
+    advance();
+    base.type = it->second;
+    return base;
+  }
+  fail("expected a type specifier, found '" + peek().text + "'");
+}
+
+ti::TypeId Parser::parse_primitive_words() {
+  bool is_unsigned = false;
+  bool is_signed = false;
+  int longs = 0;
+  bool is_short = false;
+  std::string core;  // char, int, float, double, bool, or empty
+  while (peek().kind == Tok::KwTypeWord || peek().kind == Tok::KwConst) {
+    const std::string w = advance().text;
+    if (w == "const") continue;
+    if (w == "unsigned") {
+      is_unsigned = true;
+    } else if (w == "signed") {
+      is_signed = true;
+    } else if (w == "long") {
+      ++longs;
+    } else if (w == "short") {
+      is_short = true;
+    } else if (w == "bool" || w == "_Bool") {
+      core = "bool";
+    } else if (!core.empty()) {
+      fail("conflicting type specifiers '" + core + "' and '" + w + "'");
+    } else {
+      core = w;
+    }
+  }
+  using xdr::PrimKind;
+  auto prim = [this](PrimKind k) { return table_->primitive(k); };
+  if (core == "double" && longs > 0) {
+    unsafe("long double", "no portable external representation");
+    return ti::kInvalidType;
+  }
+  if (core == "float" || core == "double") {
+    if (is_unsigned || is_signed || is_short || longs > 0) fail("invalid floating type");
+    return prim(core == "float" ? PrimKind::Float : PrimKind::Double);
+  }
+  if (core == "bool") return prim(PrimKind::Bool);
+  if (core == "char") {
+    if (longs > 0 || is_short) fail("invalid char type");
+    if (is_unsigned) return prim(PrimKind::UChar);
+    if (is_signed) return prim(PrimKind::SChar);
+    return prim(PrimKind::Char);
+  }
+  // core is "int" or empty (e.g. "unsigned", "long long").
+  if (is_short) return prim(is_unsigned ? PrimKind::UShort : PrimKind::Short);
+  if (longs >= 2) return prim(is_unsigned ? PrimKind::ULongLong : PrimKind::LongLong);
+  if (longs == 1) return prim(is_unsigned ? PrimKind::ULong : PrimKind::Long);
+  return prim(is_unsigned ? PrimKind::UInt : PrimKind::Int);
+}
+
+bool Parser::parse_declarator(const BaseType& base, std::string& name, ti::TypeId& out) {
+  return parse_declarator_rec(base.type, base.is_void, name, out);
+}
+
+bool Parser::parse_declarator_rec(ti::TypeId type, bool base_is_void, std::string& name,
+                                  ti::TypeId& out) {
+  if (accept(Tok::Star)) {
+    while (accept(Tok::KwConst)) {
+    }
+    if (base_is_void) {
+      unsafe("void pointer", "the MSR model cannot type the referent");
+      return false;
+    }
+    return parse_declarator_rec(table_->intern_pointer(type), false, name, out);
+  }
+
+  // Direct declarator: identifier or parenthesized declarator. A void
+  // base is still legal here if the declarator turns out to be a pointer
+  // inside parentheses or a function (both reported as unsafe below).
+  std::size_t inner_start = 0;
+  bool parenthesized = false;
+  if (peek().kind == Tok::LParen) {
+    parenthesized = true;
+    advance();
+    inner_start = pos_;
+    int depth = 1;
+    while (depth > 0) {
+      const Tok k = peek().kind;
+      if (k == Tok::End) fail("unbalanced '(' in declarator");
+      if (k == Tok::LParen) ++depth;
+      if (k == Tok::RParen) --depth;
+      advance();
+    }
+  } else {
+    name = expect(Tok::Ident, "declarator name").text;
+  }
+
+  // Suffixes bind to the direct declarator before any inner pointers.
+  if (peek().kind == Tok::LParen) {
+    unsafe("function declarator",
+           "functions and function pointers cannot be migrated as data");
+    return false;
+  }
+  std::vector<std::uint64_t> dims;
+  while (accept(Tok::LBracket)) {
+    const Token& n = expect(Tok::Integer, "array bound");
+    if (n.value == 0 || n.value > 0xFFFFFFFFull) fail("array bound out of range");
+    dims.push_back(n.value);
+    expect(Tok::RBracket, "']'");
+  }
+  if (base_is_void && !dims.empty()) fail("array of void");
+  for (std::size_t i = dims.size(); i-- > 0;) {
+    type = table_->intern_array(type, static_cast<std::uint32_t>(dims[i]));
+  }
+
+  if (parenthesized) {
+    const std::size_t after_suffix = pos_;
+    pos_ = inner_start;
+    ti::TypeId inner_out = ti::kInvalidType;
+    if (!parse_declarator_rec(type, base_is_void, name, inner_out)) return false;
+    expect(Tok::RParen, "')'");
+    pos_ = after_suffix;
+    out = inner_out;
+    return true;
+  }
+  if (base_is_void) fail("variable declared with type void");
+  out = type;
+  return true;
+}
+
+}  // namespace hpm::precc

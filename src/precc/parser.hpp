@@ -1,0 +1,103 @@
+// precc: the pre-compiler front-end (substitute for the paper's
+// source-to-source transformation software).
+//
+// Parses the migration-safe C *declaration* subset — struct definitions,
+// typedefs, and global variable declarations with full C declarator
+// syntax (pointers, arrays, pointer-to-array, array-of-pointer) — and
+// registers the resulting types directly into a ti::TypeTable, exactly
+// what the paper's pre-compiler does when it builds the TI table.
+//
+// Migration-unsafe features (per Smith & Hutchinson's analysis, cited by
+// the paper) are detected and reported: unions, function pointers /
+// function declarators, `void *`, varargs, `long double`. In strict mode
+// the first finding throws hpm::UnsafeFeatureError; otherwise findings
+// accumulate and the offending declaration is skipped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "precc/token.hpp"
+#include "ti/table.hpp"
+
+namespace hpm::precc {
+
+struct UnsafeFinding {
+  int line = 0;
+  std::string feature;  ///< "union", "function pointer", "void pointer", ...
+  std::string detail;
+};
+
+struct ParsedVar {
+  std::string name;
+  ti::TypeId type = ti::kInvalidType;
+  int line = 0;
+};
+
+struct EnumConstant {
+  std::string name;
+  long value = 0;
+};
+
+struct ParseResult {
+  std::vector<std::string> struct_names;  ///< in definition order
+  std::vector<std::string> enum_names;    ///< named enums (tagless allowed too)
+  std::vector<EnumConstant> enum_constants;
+  std::vector<ParsedVar> globals;         ///< top-level variable declarations
+  std::vector<UnsafeFinding> findings;
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+class Parser {
+ public:
+  /// `strict`: throw hpm::UnsafeFeatureError at the first unsafe feature
+  /// instead of recording and skipping.
+  Parser(ti::TypeTable& table, bool strict = false) : table_(&table), strict_(strict) {}
+
+  /// Parse a declaration file; registers types into the table as a side
+  /// effect. Throws hpm::ParseError on syntax errors.
+  ParseResult parse(std::string_view source);
+
+ private:
+  struct BaseType {
+    ti::TypeId type = ti::kInvalidType;
+    bool is_void = false;
+  };
+
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool accept(Tok kind);
+  const Token& expect(Tok kind, const char* what);
+  [[noreturn]] void fail(const std::string& message) const;
+  void unsafe(const std::string& feature, const std::string& detail);
+  void skip_declaration();
+
+  void parse_top_level();
+  void parse_struct_definition();
+  void parse_enum_definition();
+  void parse_enumerators();
+  void parse_typedef();
+  void parse_variable_declaration(const BaseType& base);
+  BaseType parse_base_type();
+  ti::TypeId parse_primitive_words();
+
+  /// Full C declarator: returns the declared name and final type.
+  /// Returns false (after recording a finding) on unsafe declarators.
+  bool parse_declarator(const BaseType& base, std::string& name, ti::TypeId& out);
+  bool parse_declarator_rec(ti::TypeId type, bool base_is_void, std::string& name,
+                            ti::TypeId& out);
+
+  std::vector<ti::Field> parse_field_list(const std::string& struct_name);
+
+  ti::TypeTable* table_;
+  bool strict_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, ti::TypeId> typedefs_;
+  std::unordered_map<std::string, bool> enums_;  ///< known enum tags
+  ParseResult result_;
+};
+
+}  // namespace hpm::precc

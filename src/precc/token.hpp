@@ -1,0 +1,42 @@
+// Token model for the precc declaration front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpm::precc {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  Integer,
+  KwStruct,
+  KwUnion,
+  KwEnum,
+  KwTypedef,
+  KwVoid,
+  KwConst,     // accepted and ignored (does not affect layout)
+  KwTypeWord,  // char/short/int/long/float/double/signed/unsigned/bool
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Star,
+  Comma,
+  Semi,
+  Eq,
+  Minus,
+  Ellipsis,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  std::uint64_t value = 0;  ///< Integer tokens
+  int line = 0;
+};
+
+}  // namespace hpm::precc

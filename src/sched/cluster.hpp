@@ -1,0 +1,135 @@
+// Migration scheduler + cluster simulator (the paper's §5 future work:
+// "a scheduler which can make optimal decisions on when and where to
+// migrate", and the intro's motivation that migration improves
+// application performance and environment-wide efficiency).
+//
+// A deterministic time-stepped simulation: hosts run their resident jobs
+// under processor sharing; a policy examines the cluster at scheduler
+// ticks and orders migrations; a migrating job freezes for
+// Collect + Tx + Restore seconds as predicted by a cost model whose
+// coefficients are calibrated from this library's own measured
+// benchmarks (bench/table1_migration, bench/complexity_model).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/simnet.hpp"
+
+namespace hpm::sched {
+
+struct HostSpec {
+  std::string name;
+  double speed = 1.0;  ///< relative compute rate (1.0 = reference host)
+};
+
+struct JobSpec {
+  std::string name;
+  double work = 1.0;        ///< seconds of compute on a speed-1.0 host
+  double arrival = 0.0;     ///< simulation time the job appears
+  int initial_host = 0;     ///< where it is submitted
+  std::uint64_t live_bytes = 1 << 20;  ///< migratable state volume
+  std::uint64_t blocks = 1000;         ///< MSR node count
+};
+
+/// Predicts the freeze time of one migration from the job's MSR profile.
+struct CostModel {
+  net::SimulatedLink link = net::SimulatedLink::ethernet_100mbps();
+  double collect_s_per_block = 5.0e-7;
+  double collect_s_per_byte = 5.5e-9;
+  double restore_s_per_block = 1.2e-6;
+  double restore_s_per_byte = 4.8e-9;
+
+  [[nodiscard]] double freeze_seconds(const JobSpec& job) const noexcept {
+    return collect_s_per_block * static_cast<double>(job.blocks) +
+           collect_s_per_byte * static_cast<double>(job.live_bytes) +
+           link.transfer_seconds(job.live_bytes) +
+           restore_s_per_block * static_cast<double>(job.blocks) +
+           restore_s_per_byte * static_cast<double>(job.live_bytes);
+  }
+
+  /// Coefficients measured on this library's own engines (see
+  /// bench/complexity_model and EXPERIMENTS.md).
+  static CostModel calibrated() { return CostModel{}; }
+};
+
+/// What a policy sees at a scheduler tick.
+struct JobView {
+  std::size_t job = 0;       ///< index into the submitted job list
+  int host = -1;             ///< current host (-1 while frozen in transit)
+  double remaining = 0;      ///< work seconds left (speed-1.0 host)
+  double freeze_cost = 0;    ///< modeled migration freeze for this job
+};
+
+struct ClusterView {
+  double now = 0;
+  std::vector<HostSpec> hosts;
+  std::vector<JobView> jobs;           ///< running jobs only
+  std::vector<double> host_load;       ///< sum remaining/speed per host
+};
+
+struct MigrationOrder {
+  std::size_t job = 0;
+  int to_host = 0;
+};
+
+/// Scheduler policy: consulted at every scheduler tick.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual std::vector<MigrationOrder> decide(const ClusterView& view) = 0;
+};
+
+/// Baseline: jobs finish where they were submitted.
+class NeverMigrate final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "never-migrate"; }
+  std::vector<MigrationOrder> decide(const ClusterView&) override { return {}; }
+};
+
+/// Greedy load balancing: while the most- and least-loaded hosts differ
+/// by more than `imbalance_factor`, move the smallest-state job whose
+/// predicted completion improves by more than `payoff_factor` times its
+/// freeze cost.
+class LoadBalance final : public Policy {
+ public:
+  explicit LoadBalance(double imbalance_factor = 1.5, double payoff_factor = 2.0)
+      : imbalance_(imbalance_factor), payoff_(payoff_factor) {}
+  [[nodiscard]] std::string name() const override { return "load-balance"; }
+  std::vector<MigrationOrder> decide(const ClusterView& view) override;
+
+ private:
+  double imbalance_;
+  double payoff_;
+};
+
+struct SimResult {
+  double makespan = 0;             ///< last completion time
+  double mean_turnaround = 0;      ///< mean (finish - arrival)
+  double total_frozen_seconds = 0; ///< time jobs spent migrating
+  std::uint32_t migrations = 0;
+  std::vector<double> host_busy_seconds;
+  std::vector<double> finish_times;  ///< per job
+};
+
+/// Deterministic cluster simulation.
+class ClusterSim {
+ public:
+  ClusterSim(std::vector<HostSpec> hosts, CostModel model)
+      : hosts_(std::move(hosts)), model_(model) {}
+
+  /// Run the job set under `policy`. `dt` is the integration step;
+  /// `scheduler_period` is how often the policy is consulted. Throws
+  /// hpm::Error if a job never completes within `horizon`.
+  SimResult run(const std::vector<JobSpec>& jobs, Policy& policy, double dt = 1e-3,
+                double scheduler_period = 0.25, double horizon = 1e6) const;
+
+ private:
+  std::vector<HostSpec> hosts_;
+  CostModel model_;
+};
+
+}  // namespace hpm::sched

@@ -1,0 +1,138 @@
+// Native C++ registration helpers — the hand-written stand-in for the
+// paper's pre-compiler output.
+//
+// The paper's source-to-source transformer emits, for every program type,
+// a TI-table entry plus saving/restoring functions. In this library the
+// application registers its types once at startup:
+//
+//   struct Node { float data; Node* link; };
+//   ti::StructBuilder<Node> b(table, "node");
+//   HPM_TI_FIELD(b, Node, data);
+//   HPM_TI_FIELD(b, Node, link);
+//   b.commit();
+//
+// commit() cross-checks the layout engine against the real compiler
+// layout (sizeof / offsetof), so any padding or alignment surprise is a
+// hard error at registration time instead of silent corruption at
+// migration time.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <typeindex>
+
+#include "ti/layout.hpp"
+#include "ti/table.hpp"
+
+namespace hpm::ti {
+
+/// Map a C++ type to its TypeId, interning pointer/array shells on demand.
+/// Class types must have been registered through StructBuilder first.
+template <typename T>
+TypeId native_type_id(TypeTable& table) {
+  using U = std::remove_cv_t<T>;
+  if constexpr (std::is_same_v<U, bool>) {
+    return table.primitive(xdr::PrimKind::Bool);
+  } else if constexpr (std::is_same_v<U, char>) {
+    return table.primitive(xdr::PrimKind::Char);
+  } else if constexpr (std::is_same_v<U, signed char>) {
+    return table.primitive(xdr::PrimKind::SChar);
+  } else if constexpr (std::is_same_v<U, unsigned char>) {
+    return table.primitive(xdr::PrimKind::UChar);
+  } else if constexpr (std::is_same_v<U, short>) {
+    return table.primitive(xdr::PrimKind::Short);
+  } else if constexpr (std::is_same_v<U, unsigned short>) {
+    return table.primitive(xdr::PrimKind::UShort);
+  } else if constexpr (std::is_same_v<U, int>) {
+    return table.primitive(xdr::PrimKind::Int);
+  } else if constexpr (std::is_same_v<U, unsigned int>) {
+    return table.primitive(xdr::PrimKind::UInt);
+  } else if constexpr (std::is_same_v<U, long>) {
+    return table.primitive(xdr::PrimKind::Long);
+  } else if constexpr (std::is_same_v<U, unsigned long>) {
+    return table.primitive(xdr::PrimKind::ULong);
+  } else if constexpr (std::is_same_v<U, long long>) {
+    return table.primitive(xdr::PrimKind::LongLong);
+  } else if constexpr (std::is_same_v<U, unsigned long long>) {
+    return table.primitive(xdr::PrimKind::ULongLong);
+  } else if constexpr (std::is_same_v<U, float>) {
+    return table.primitive(xdr::PrimKind::Float);
+  } else if constexpr (std::is_same_v<U, double>) {
+    return table.primitive(xdr::PrimKind::Double);
+  } else if constexpr (std::is_pointer_v<U>) {
+    return table.intern_pointer(native_type_id<std::remove_pointer_t<U>>(table));
+  } else if constexpr (std::is_bounded_array_v<U>) {
+    return table.intern_array(native_type_id<std::remove_extent_t<U>>(table),
+                              static_cast<std::uint32_t>(std::extent_v<U>));
+  } else if constexpr (std::is_class_v<U>) {
+    const TypeId id = table.native(std::type_index(typeid(U)));
+    if (id == kInvalidType) {
+      throw TypeError(std::string("native class type not registered: ") + typeid(U).name());
+    }
+    return id;
+  } else {
+    static_assert(!sizeof(U*), "type has no TI-table mapping (migration-unsafe?)");
+  }
+}
+
+/// Fluent registration of a standard-layout struct; see file comment.
+template <typename T>
+class StructBuilder {
+  static_assert(std::is_standard_layout_v<T>,
+                "only standard-layout structs are migration-safe");
+
+ public:
+  StructBuilder(TypeTable& table, std::string name) : table_(&table) {
+    id_ = table.declare_struct(name);
+    table.bind_native(std::type_index(typeid(T)), id_);
+  }
+
+  /// Register a field with an explicit type id.
+  StructBuilder& field(std::string name, std::size_t offset, TypeId type) {
+    fields_.push_back(Field{std::move(name), type});
+    offsets_.push_back(offset);
+    return *this;
+  }
+
+  /// Register a field whose type is deduced from the member's C++ type.
+  template <typename M>
+  StructBuilder& field(std::string name, std::size_t offset) {
+    return field(std::move(name), offset, native_type_id<M>(*table_));
+  }
+
+  /// Finish the definition and validate against the compiler's layout.
+  TypeId commit() {
+    table_->define_struct(id_, fields_);
+    const LayoutMap native(*table_, xdr::native_arch());
+    const TypeLayout& computed = native.of(id_);
+    if (computed.size != sizeof(T)) {
+      throw TypeError("layout mismatch for '" + table_->at(id_).name + "': engine size " +
+                      std::to_string(computed.size) + " vs sizeof " +
+                      std::to_string(sizeof(T)) +
+                      " (non-natural padding is migration-unsafe)");
+    }
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      if (computed.field_offsets[i] != offsets_[i]) {
+        throw TypeError("offset mismatch for field '" + fields_[i].name + "' of '" +
+                        table_->at(id_).name + "': engine " +
+                        std::to_string(computed.field_offsets[i]) + " vs offsetof " +
+                        std::to_string(offsets_[i]));
+      }
+    }
+    return id_;
+  }
+
+  [[nodiscard]] TypeId id() const noexcept { return id_; }
+
+ private:
+  TypeTable* table_;
+  TypeId id_ = kInvalidType;
+  std::vector<Field> fields_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Register one member: HPM_TI_FIELD(builder, Node, link);
+#define HPM_TI_FIELD(builder, Struct, member) \
+  (builder).template field<decltype(Struct::member)>(#member, offsetof(Struct, member))
+
+}  // namespace hpm::ti

@@ -1,0 +1,66 @@
+#include "ti/layout.hpp"
+
+#include <algorithm>
+
+namespace hpm::ti {
+
+const TypeLayout& LayoutMap::of(TypeId id) const {
+  table_->at(id);  // validate
+  if (cache_.size() < table_->size()) {
+    cache_.resize(table_->size());
+    ready_.resize(table_->size(), 0);
+  }
+  if (!ready_[id - 1]) return compute(id);
+  return cache_[id - 1];
+}
+
+const TypeLayout& LayoutMap::compute(TypeId id) const {
+  const TypeInfo& info = table_->at(id);
+  TypeLayout out;
+  switch (info.kind) {
+    case TypeKind::Primitive: {
+      const xdr::PrimLayout& pl = arch_->layout(info.prim);
+      out.size = pl.size;
+      out.align = pl.align;
+      break;
+    }
+    case TypeKind::Pointer: {
+      out.size = arch_->pointer.size;
+      out.align = arch_->pointer.align;
+      break;
+    }
+    case TypeKind::Array: {
+      const TypeLayout& el = of(info.elem);
+      out.size = el.size * info.count;
+      out.align = el.align;
+      break;
+    }
+    case TypeKind::Struct: {
+      if (!info.defined) {
+        throw TypeError("cannot lay out undefined struct '" + info.name + "'");
+      }
+      std::uint64_t offset = 0;
+      std::uint32_t align = 1;
+      out.field_offsets.reserve(info.fields.size());
+      for (const Field& f : info.fields) {
+        const TypeLayout& fl = of(f.type);
+        offset = align_up(offset, fl.align);
+        out.field_offsets.push_back(offset);
+        offset += fl.size;
+        align = std::max(align, fl.align);
+      }
+      out.size = align_up(offset, align);
+      out.align = align;
+      break;
+    }
+  }
+  if (cache_.size() < table_->size()) {
+    cache_.resize(table_->size());
+    ready_.resize(table_->size(), 0);
+  }
+  cache_[id - 1] = std::move(out);
+  ready_[id - 1] = 1;
+  return cache_[id - 1];
+}
+
+}  // namespace hpm::ti

@@ -1,0 +1,59 @@
+// Per-architecture layout computation.
+//
+// Given a TypeTable and an ArchDescriptor, LayoutMap computes the concrete
+// size, alignment, and field offsets of every type under that platform's
+// natural-alignment rules — the "machine-specific format" for that
+// architecture. The same table therefore yields different byte layouts on
+// dec5000_ultrix (ILP32 LE), sparc20_solaris (ILP32 BE), i386 (4-byte
+// double alignment), and the native host; conversion between them is what
+// the collection/restoration engine performs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ti/table.hpp"
+#include "xdr/arch.hpp"
+
+namespace hpm::ti {
+
+/// Concrete layout of one type on one architecture.
+struct TypeLayout {
+  std::uint64_t size = 0;
+  std::uint32_t align = 1;
+  /// Byte offset of each struct field (empty for non-structs).
+  std::vector<std::uint64_t> field_offsets;
+};
+
+/// Lazy cache of TypeLayouts for one (table, arch) pair.
+///
+/// The table must outlive the map and must not gain *redefinitions* of
+/// types already laid out (appending new types is fine).
+class LayoutMap {
+ public:
+  LayoutMap(const TypeTable& table, const xdr::ArchDescriptor& arch)
+      : table_(&table), arch_(&arch) {}
+
+  /// Layout of `id`; computed on first use. Throws hpm::TypeError for
+  /// undefined structs.
+  const TypeLayout& of(TypeId id) const;
+
+  [[nodiscard]] const TypeTable& table() const noexcept { return *table_; }
+  [[nodiscard]] const xdr::ArchDescriptor& arch() const noexcept { return *arch_; }
+
+ private:
+  const TypeLayout& compute(TypeId id) const;
+
+  const TypeTable* table_;
+  const xdr::ArchDescriptor* arch_;
+  mutable std::vector<TypeLayout> cache_;
+  mutable std::vector<std::uint8_t> ready_;
+};
+
+/// Round `offset` up to a multiple of `align` (align is a power of two in
+/// every supported data model, but the implementation does not assume it).
+constexpr std::uint64_t align_up(std::uint64_t offset, std::uint64_t align) {
+  return align == 0 ? offset : ((offset + align - 1) / align) * align;
+}
+
+}  // namespace hpm::ti

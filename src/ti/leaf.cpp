@@ -1,0 +1,129 @@
+#include "ti/leaf.hpp"
+
+namespace hpm::ti {
+
+std::uint64_t LeafIndex::count(TypeId id) const {
+  table_->at(id);
+  if (memo_.size() < table_->size()) memo_.resize(table_->size(), 0);
+  if (memo_[id - 1] != 0) return memo_[id - 1];
+  const TypeInfo& info = table_->at(id);
+  std::uint64_t n = 0;
+  switch (info.kind) {
+    case TypeKind::Primitive:
+    case TypeKind::Pointer:
+      n = 1;
+      break;
+    case TypeKind::Array:
+      n = count(info.elem) * info.count;
+      break;
+    case TypeKind::Struct:
+      if (!info.defined) {
+        throw TypeError("leaf count of undefined struct '" + info.name + "'");
+      }
+      for (const Field& f : info.fields) n += count(f.type);
+      break;
+  }
+  if (memo_.size() < table_->size()) memo_.resize(table_->size(), 0);
+  memo_[id - 1] = n;
+  return n;
+}
+
+LeafRef leaf_at(const LeafIndex& leaves, const LayoutMap& layouts, TypeId id,
+                std::uint64_t ordinal) {
+  const TypeTable& table = leaves.table();
+  std::uint64_t offset = 0;
+  TypeId cur = id;
+  for (;;) {
+    const TypeInfo& info = table.at(cur);
+    switch (info.kind) {
+      case TypeKind::Primitive: {
+        if (ordinal != 0) throw TypeError("leaf ordinal out of range");
+        LeafRef ref;
+        ref.is_pointer = false;
+        ref.prim = info.prim;
+        ref.type = cur;
+        ref.byte_offset = offset;
+        return ref;
+      }
+      case TypeKind::Pointer: {
+        if (ordinal != 0) throw TypeError("leaf ordinal out of range");
+        LeafRef ref;
+        ref.is_pointer = true;
+        ref.type = cur;
+        ref.byte_offset = offset;
+        return ref;
+      }
+      case TypeKind::Array: {
+        const std::uint64_t per = leaves.count(info.elem);
+        const std::uint64_t idx = ordinal / per;
+        if (idx >= info.count) throw TypeError("leaf ordinal out of range");
+        offset += idx * layouts.of(info.elem).size;
+        ordinal -= idx * per;
+        cur = info.elem;
+        break;
+      }
+      case TypeKind::Struct: {
+        const TypeLayout& sl = layouts.of(cur);
+        bool found = false;
+        for (std::size_t i = 0; i < info.fields.size(); ++i) {
+          const std::uint64_t n = leaves.count(info.fields[i].type);
+          if (ordinal < n) {
+            offset += sl.field_offsets[i];
+            cur = info.fields[i].type;
+            found = true;
+            break;
+          }
+          ordinal -= n;
+        }
+        if (!found) throw TypeError("leaf ordinal out of range");
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t ordinal_of(const LeafIndex& leaves, const LayoutMap& layouts, TypeId id,
+                         std::uint64_t byte_offset) {
+  const TypeTable& table = leaves.table();
+  std::uint64_t ordinal = 0;
+  TypeId cur = id;
+  for (;;) {
+    const TypeInfo& info = table.at(cur);
+    switch (info.kind) {
+      case TypeKind::Primitive:
+      case TypeKind::Pointer:
+        if (byte_offset != 0) {
+          throw TypeError("address does not fall on a data element boundary");
+        }
+        return ordinal;
+      case TypeKind::Array: {
+        const std::uint64_t elem_size = layouts.of(info.elem).size;
+        const std::uint64_t idx = byte_offset / elem_size;
+        if (idx >= info.count) throw TypeError("address beyond end of array");
+        ordinal += idx * leaves.count(info.elem);
+        byte_offset -= idx * elem_size;
+        cur = info.elem;
+        break;
+      }
+      case TypeKind::Struct: {
+        const TypeLayout& sl = layouts.of(cur);
+        bool found = false;
+        for (std::size_t i = 0; i < info.fields.size(); ++i) {
+          const std::uint64_t start = sl.field_offsets[i];
+          const std::uint64_t size = layouts.of(info.fields[i].type).size;
+          if (byte_offset >= start && byte_offset < start + size) {
+            byte_offset -= start;
+            cur = info.fields[i].type;
+            found = true;
+            break;
+          }
+          ordinal += leaves.count(info.fields[i].type);
+        }
+        if (!found) throw TypeError("address falls in struct padding");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hpm::ti

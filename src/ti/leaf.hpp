@@ -1,0 +1,97 @@
+// Leaf model: the ordered primitive/pointer elements of a type.
+//
+// The paper encodes a pointer as (pointer header, offset) where the offset
+// is "the ordering number of the data elements inside the memory block".
+// We realize that as the *leaf ordinal*: flatten a type depth-first into
+// its primitive and pointer cells; the ordinal of a cell is stable across
+// architectures even though its byte offset is not. Collection converts a
+// referenced byte address to (block, ordinal); restoration converts the
+// ordinal back to a byte address under the destination layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ti/layout.hpp"
+#include "ti/table.hpp"
+
+namespace hpm::ti {
+
+/// One leaf cell of a type instance.
+struct LeafRef {
+  bool is_pointer = false;
+  xdr::PrimKind prim = xdr::PrimKind::Int;  ///< meaningful when !is_pointer
+  TypeId type = kInvalidType;               ///< the leaf's own type id
+  std::uint64_t byte_offset = 0;            ///< from the instance base, per the LayoutMap's arch
+};
+
+/// Cached leaf counts for a TypeTable (arch-independent).
+class LeafIndex {
+ public:
+  explicit LeafIndex(const TypeTable& table) : table_(&table) {}
+
+  /// Number of leaves in a single value of `id`.
+  std::uint64_t count(TypeId id) const;
+
+  [[nodiscard]] const TypeTable& table() const noexcept { return *table_; }
+
+ private:
+  const TypeTable* table_;
+  mutable std::vector<std::uint64_t> memo_;  // 0 = not computed (no type has 0 leaves)
+};
+
+/// Resolve leaf `ordinal` (0-based, within one value of `id`) to its kind
+/// and byte offset under `layouts`. Throws hpm::TypeError if out of range.
+LeafRef leaf_at(const LeafIndex& leaves, const LayoutMap& layouts, TypeId id,
+                std::uint64_t ordinal);
+
+/// Inverse: which leaf starts exactly at `byte_offset` inside a value of
+/// `id`? Throws hpm::TypeError if the offset is padding or mid-leaf —
+/// i.e. the pointer did not address a data element, which the MSR model
+/// treats as a hard error.
+std::uint64_t ordinal_of(const LeafIndex& leaves, const LayoutMap& layouts, TypeId id,
+                         std::uint64_t byte_offset);
+
+/// Visit every leaf of one value of `id` in ordinal order.
+/// `fn(const LeafRef&)` is invoked with offsets relative to the value base.
+template <typename Fn>
+void for_each_leaf(const LeafIndex& leaves, const LayoutMap& layouts, TypeId id, Fn&& fn,
+                   std::uint64_t base_offset = 0) {
+  const TypeInfo& info = leaves.table().at(id);
+  switch (info.kind) {
+    case TypeKind::Primitive: {
+      LeafRef ref;
+      ref.is_pointer = false;
+      ref.prim = info.prim;
+      ref.type = id;
+      ref.byte_offset = base_offset;
+      fn(static_cast<const LeafRef&>(ref));
+      return;
+    }
+    case TypeKind::Pointer: {
+      LeafRef ref;
+      ref.is_pointer = true;
+      ref.type = id;
+      ref.byte_offset = base_offset;
+      fn(static_cast<const LeafRef&>(ref));
+      return;
+    }
+    case TypeKind::Array: {
+      const std::uint64_t elem_size = layouts.of(info.elem).size;
+      for (std::uint32_t i = 0; i < info.count; ++i) {
+        for_each_leaf(leaves, layouts, info.elem, fn, base_offset + i * elem_size);
+      }
+      return;
+    }
+    case TypeKind::Struct: {
+      const TypeLayout& sl = layouts.of(id);
+      for (std::size_t i = 0; i < info.fields.size(); ++i) {
+        for_each_leaf(leaves, layouts, info.fields[i].type, fn,
+                      base_offset + sl.field_offsets[i]);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace hpm::ti

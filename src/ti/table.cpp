@@ -1,0 +1,379 @@
+#include "ti/table.hpp"
+
+#include <functional>
+
+namespace hpm::ti {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+TypeTable::TypeTable() {
+  // Primitives occupy ids 1..kNumPrimKinds in PrimKind order.
+  for (std::size_t i = 0; i < xdr::kNumPrimKinds; ++i) {
+    TypeInfo info;
+    info.kind = TypeKind::Primitive;
+    info.prim = static_cast<xdr::PrimKind>(i);
+    info.name = std::string(xdr::prim_name(info.prim));
+    add(std::move(info));
+  }
+}
+
+TypeId TypeTable::add(TypeInfo info) {
+  types_.push_back(std::move(info));
+  ptr_memo_.push_back(-1);
+  return static_cast<TypeId>(types_.size());
+}
+
+const TypeInfo& TypeTable::at(TypeId id) const {
+  if (id == kInvalidType || id > types_.size()) {
+    throw TypeError("invalid type id " + std::to_string(id));
+  }
+  return types_[id - 1];
+}
+
+TypeId TypeTable::intern_pointer(TypeId pointee) {
+  at(pointee);  // validate
+  const auto it = pointer_cache_.find(pointee);
+  if (it != pointer_cache_.end()) return it->second;
+  TypeInfo info;
+  info.kind = TypeKind::Pointer;
+  info.pointee = pointee;
+  const TypeId id = add(std::move(info));
+  pointer_cache_.emplace(pointee, id);
+  return id;
+}
+
+TypeId TypeTable::intern_array(TypeId elem, std::uint32_t count) {
+  at(elem);
+  if (count == 0) throw TypeError("array type must have count > 0");
+  const std::uint64_t key = (static_cast<std::uint64_t>(elem) << 32) | count;
+  const auto it = array_cache_.find(key);
+  if (it != array_cache_.end()) return it->second;
+  TypeInfo info;
+  info.kind = TypeKind::Array;
+  info.elem = elem;
+  info.count = count;
+  const TypeId id = add(std::move(info));
+  array_cache_.emplace(key, id);
+  return id;
+}
+
+TypeId TypeTable::declare_struct(const std::string& name) {
+  const auto it = struct_names_.find(name);
+  if (it != struct_names_.end()) return it->second;
+  TypeInfo info;
+  info.kind = TypeKind::Struct;
+  info.name = name;
+  info.defined = false;
+  const TypeId id = add(std::move(info));
+  struct_names_.emplace(name, id);
+  return id;
+}
+
+void TypeTable::check_no_value_cycle(TypeId root) const {
+  // DFS through by-value containment (arrays and struct fields; pointers
+  // break the chain). Seeing `root` again means infinite size.
+  std::vector<TypeId> stack;
+  std::vector<bool> seen(types_.size() + 1, false);
+  stack.push_back(root);
+  bool first = true;
+  while (!stack.empty()) {
+    const TypeId id = stack.back();
+    stack.pop_back();
+    if (!first) {
+      if (id == root) {
+        throw TypeError("struct '" + at(root).name + "' contains itself by value");
+      }
+      if (seen[id]) continue;
+      seen[id] = true;
+    }
+    first = false;
+    const TypeInfo& info = at(id);
+    switch (info.kind) {
+      case TypeKind::Struct:
+        if (info.defined || id == root) {
+          for (const Field& f : info.fields) stack.push_back(f.type);
+        }
+        break;
+      case TypeKind::Array:
+        stack.push_back(info.elem);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void TypeTable::define_struct(TypeId id, std::vector<Field> fields) {
+  if (id == kInvalidType || id > types_.size()) {
+    throw TypeError("define_struct: invalid id " + std::to_string(id));
+  }
+  TypeInfo& info = types_[id - 1];
+  if (info.kind != TypeKind::Struct) throw TypeError("define_struct on a non-struct type");
+  if (info.defined) throw TypeError("struct '" + info.name + "' already defined");
+  if (fields.empty()) throw TypeError("struct '" + info.name + "' must have fields");
+  for (const Field& f : fields) static_cast<void>(at(f.type));
+  info.fields = std::move(fields);
+  info.defined = true;
+  check_no_value_cycle(id);
+  // Definitions can change pointer-reachability answers computed earlier.
+  std::fill(ptr_memo_.begin(), ptr_memo_.end(), std::int8_t{-1});
+}
+
+TypeId TypeTable::find_struct(const std::string& name) const {
+  const auto it = struct_names_.find(name);
+  return it == struct_names_.end() ? kInvalidType : it->second;
+}
+
+std::string TypeTable::spell(TypeId id) const {
+  const TypeInfo& info = at(id);
+  switch (info.kind) {
+    case TypeKind::Primitive:
+      return info.name;
+    case TypeKind::Pointer:
+      return spell(info.pointee) + " *";
+    case TypeKind::Array:
+      return spell(info.elem) + "[" + std::to_string(info.count) + "]";
+    case TypeKind::Struct:
+      return "struct " + info.name;
+  }
+  return "?";
+}
+
+bool TypeTable::contains_pointer(TypeId id) const {
+  const TypeInfo& info = at(id);
+  std::int8_t& memo = ptr_memo_[id - 1];
+  if (memo >= 0) return memo != 0;
+  memo = 0;  // break field cycles pessimistically; fixed below if true
+  bool result = false;
+  switch (info.kind) {
+    case TypeKind::Primitive:
+      result = false;
+      break;
+    case TypeKind::Pointer:
+      result = true;
+      break;
+    case TypeKind::Array:
+      result = contains_pointer(info.elem);
+      break;
+    case TypeKind::Struct:
+      if (!info.defined) throw TypeError("struct '" + info.name + "' used before definition");
+      for (const Field& f : info.fields) {
+        if (contains_pointer(f.type)) {
+          result = true;
+          break;
+        }
+      }
+      break;
+  }
+  memo = result ? 1 : 0;
+  return result;
+}
+
+std::uint64_t TypeTable::signature() const {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const TypeInfo& t = types_[i];
+    h = fnv1a(h, static_cast<std::uint64_t>(t.kind));
+    switch (t.kind) {
+      case TypeKind::Primitive:
+        h = fnv1a(h, static_cast<std::uint64_t>(t.prim));
+        break;
+      case TypeKind::Pointer:
+        h = fnv1a(h, t.pointee);
+        break;
+      case TypeKind::Array:
+        h = fnv1a(h, (static_cast<std::uint64_t>(t.elem) << 32) | t.count);
+        break;
+      case TypeKind::Struct:
+        h = fnv1a_str(h, t.name);
+        h = fnv1a(h, t.fields.size());
+        for (const Field& f : t.fields) {
+          h = fnv1a_str(h, f.name);
+          h = fnv1a(h, f.type);
+        }
+        break;
+    }
+  }
+  return h;
+}
+
+void TypeTable::encode(xdr::Encoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(types_.size()));
+  for (std::size_t i = xdr::kNumPrimKinds; i < types_.size(); ++i) {
+    const TypeInfo& t = types_[i];
+    enc.put_u8(static_cast<std::uint8_t>(t.kind));
+    switch (t.kind) {
+      case TypeKind::Primitive:
+        throw TypeError("primitive type outside the reserved range");
+      case TypeKind::Pointer:
+        enc.put_u32(t.pointee);
+        break;
+      case TypeKind::Array:
+        enc.put_u32(t.elem);
+        enc.put_u32(t.count);
+        break;
+      case TypeKind::Struct:
+        enc.put_string(t.name);
+        enc.put_u32(static_cast<std::uint32_t>(t.fields.size()));
+        for (const Field& f : t.fields) {
+          enc.put_string(f.name);
+          enc.put_u32(f.type);
+        }
+        break;
+    }
+  }
+}
+
+TypeTable TypeTable::decode(xdr::Decoder& dec) {
+  TypeTable table;
+  const std::uint32_t total = dec.get_u32();
+  if (total < xdr::kNumPrimKinds) throw WireError("type table too small");
+  for (std::uint32_t i = xdr::kNumPrimKinds; i < total; ++i) {
+    const auto kind = static_cast<TypeKind>(dec.get_u8());
+    switch (kind) {
+      case TypeKind::Pointer: {
+        const TypeId pointee = dec.get_u32();
+        if (table.intern_pointer(pointee) != i + 1) {
+          throw WireError("type table decode produced unstable pointer id");
+        }
+        break;
+      }
+      case TypeKind::Array: {
+        const TypeId elem = dec.get_u32();
+        const std::uint32_t count = dec.get_u32();
+        if (table.intern_array(elem, count) != i + 1) {
+          throw WireError("type table decode produced unstable array id");
+        }
+        break;
+      }
+      case TypeKind::Struct: {
+        const std::string name = dec.get_string();
+        const TypeId id = table.declare_struct(name);
+        if (id != i + 1) throw WireError("type table decode produced unstable struct id");
+        const std::uint32_t nfields = dec.get_u32();
+        std::vector<Field> fields;
+        fields.reserve(nfields);
+        for (std::uint32_t f = 0; f < nfields; ++f) {
+          Field fld;
+          fld.name = dec.get_string();
+          fld.type = dec.get_u32();
+          fields.push_back(std::move(fld));
+        }
+        // Self-referential structs point at ids not yet decoded; field
+        // validation happens when the whole table is in place.
+        TypeInfo& info = table.types_[id - 1];
+        info.fields = std::move(fields);
+        info.defined = true;
+        break;
+      }
+      default:
+        throw WireError("corrupt type table: bad kind tag");
+    }
+  }
+  // Validate all field references now that every id exists, and reject
+  // value cycles that the incremental path would have caught.
+  for (std::size_t i = 0; i < table.types_.size(); ++i) {
+    const TypeInfo& t = table.types_[i];
+    if (t.kind == TypeKind::Struct) {
+      for (const Field& f : t.fields) static_cast<void>(table.at(f.type));
+      table.check_no_value_cycle(static_cast<TypeId>(i + 1));
+    }
+  }
+  return table;
+}
+
+namespace {
+
+bool same_entry(const TypeInfo& a, const TypeInfo& b) {
+  if (a.kind != b.kind || a.defined != b.defined) return false;
+  switch (a.kind) {
+    case TypeKind::Primitive:
+      return a.prim == b.prim;
+    case TypeKind::Pointer:
+      return a.pointee == b.pointee;
+    case TypeKind::Array:
+      return a.elem == b.elem && a.count == b.count;
+    case TypeKind::Struct:
+      if (a.name != b.name || a.fields.size() != b.fields.size()) return false;
+      for (std::size_t i = 0; i < a.fields.size(); ++i) {
+        if (a.fields[i].name != b.fields[i].name || a.fields[i].type != b.fields[i].type) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void TypeTable::adopt_tail(const TypeTable& source) {
+  if (source.types_.size() < types_.size()) {
+    throw TypeError("migration source's type table is smaller than the destination's");
+  }
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (!same_entry(types_[i], source.types_[i])) {
+      throw TypeError("type tables diverge at id " + std::to_string(i + 1) +
+                      ": source has '" + source.spell(static_cast<TypeId>(i + 1)) +
+                      "', destination has '" + spell(static_cast<TypeId>(i + 1)) + "'");
+    }
+  }
+  for (std::size_t i = types_.size(); i < source.types_.size(); ++i) {
+    const TypeInfo& t = source.types_[i];
+    TypeId got = kInvalidType;
+    switch (t.kind) {
+      case TypeKind::Primitive:
+        throw TypeError("source table has a primitive outside the reserved range");
+      case TypeKind::Pointer:
+        got = intern_pointer(t.pointee);
+        break;
+      case TypeKind::Array:
+        got = intern_array(t.elem, t.count);
+        break;
+      case TypeKind::Struct: {
+        got = declare_struct(t.name);
+        if (got == static_cast<TypeId>(i + 1) && t.defined) {
+          define_struct(got, t.fields);
+        }
+        break;
+      }
+    }
+    if (got != static_cast<TypeId>(i + 1)) {
+      throw TypeError("adopting the source type table produced unstable ids (tables "
+                      "diverged structurally)");
+    }
+  }
+}
+
+void TypeTable::bind_native(std::type_index t, TypeId id) {
+  static_cast<void>(at(id));
+  const auto [it, inserted] = native_.emplace(t, id);
+  if (!inserted && it->second != id) {
+    throw TypeError("native type bound to two different type ids");
+  }
+}
+
+TypeId TypeTable::native(std::type_index t) const {
+  const auto it = native_.find(t);
+  return it == native_.end() ? kInvalidType : it->second;
+}
+
+}  // namespace hpm::ti

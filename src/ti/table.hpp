@@ -1,0 +1,99 @@
+// The TI table: interned, immutable type registry shared by the migration
+// source and destination.
+//
+// The paper assumes the (pre-compiled) program is distributed to every
+// potential destination, so both sides hold an identical TI table; the
+// stream header carries signature() and restoration refuses to proceed on
+// a mismatch. Pointer and array types are interned (structural dedupe);
+// struct types are nominal and may be declared first, then defined, to
+// allow self-referential types such as `struct node { ...; node* link; }`.
+#pragma once
+
+#include <cstdint>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ti/type.hpp"
+#include "xdr/wire.hpp"
+
+namespace hpm::ti {
+
+class TypeTable {
+ public:
+  TypeTable();
+
+  TypeTable(const TypeTable&) = delete;
+  TypeTable& operator=(const TypeTable&) = delete;
+  TypeTable(TypeTable&&) = default;
+  TypeTable& operator=(TypeTable&&) = default;
+
+  /// Fixed id of a primitive kind (always registered).
+  [[nodiscard]] TypeId primitive(xdr::PrimKind k) const noexcept {
+    return static_cast<TypeId>(xdr::prim_index(k)) + 1;
+  }
+
+  /// Intern `pointee*`; structural — repeated calls return the same id.
+  TypeId intern_pointer(TypeId pointee);
+
+  /// Intern `elem[count]`; count must be > 0.
+  TypeId intern_array(TypeId elem, std::uint32_t count);
+
+  /// Declare a nominal struct type (fields defined later). Redeclaring an
+  /// existing name returns the existing id.
+  TypeId declare_struct(const std::string& name);
+
+  /// Complete a declared struct. Throws hpm::TypeError if already defined,
+  /// if `fields` is empty, or if the definition would nest a struct inside
+  /// itself by value (infinite size).
+  void define_struct(TypeId id, std::vector<Field> fields);
+
+  /// Lookup a struct id by tag name; kInvalidType if absent.
+  [[nodiscard]] TypeId find_struct(const std::string& name) const;
+
+  /// Access a type; throws hpm::TypeError for out-of-range or invalid id.
+  const TypeInfo& at(TypeId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return types_.size(); }
+
+  /// Human-readable spelling of a type ("struct node *", "double[100]").
+  [[nodiscard]] std::string spell(TypeId id) const;
+
+  /// True if values of this type contain at least one pointer leaf.
+  /// (Pointer-free blocks take the paper's pure-XDR fast path.)
+  [[nodiscard]] bool contains_pointer(TypeId id) const;
+
+  /// Structural hash of the entire table. Source and destination must
+  /// agree for a migration stream to be restorable.
+  [[nodiscard]] std::uint64_t signature() const;
+
+  /// Serialize / reconstruct the non-primitive part of the table (used by
+  /// tooling and by tests that simulate a mismatched destination).
+  void encode(xdr::Encoder& enc) const;
+  static TypeTable decode(xdr::Decoder& dec);
+
+  /// Reconcile this table with the migration source's table: verify the
+  /// common prefix matches entry-for-entry (throws hpm::TypeError on any
+  /// divergence) and append the source's extra entries — the pointer and
+  /// array shells the source interned while running code the destination
+  /// skips during restoration.
+  void adopt_tail(const TypeTable& source);
+
+  /// --- native C++ type binding (used by describe.hpp) -------------------
+  void bind_native(std::type_index t, TypeId id);
+  [[nodiscard]] TypeId native(std::type_index t) const;  // kInvalidType if unbound
+
+ private:
+  TypeId add(TypeInfo info);
+  void check_no_value_cycle(TypeId root) const;
+
+  std::vector<TypeInfo> types_;  // index = id - 1
+  std::unordered_map<std::uint64_t, TypeId> pointer_cache_;  // pointee -> id
+  std::unordered_map<std::uint64_t, TypeId> array_cache_;    // (elem,count) -> id
+  std::unordered_map<std::string, TypeId> struct_names_;
+  std::unordered_map<std::type_index, TypeId> native_;
+  mutable std::vector<std::int8_t> ptr_memo_;  // -1 unknown, 0 no, 1 yes
+};
+
+}  // namespace hpm::ti

@@ -1,0 +1,49 @@
+// Type Information (TI) table entry model.
+//
+// The paper's TI table "contains type information of every memory block in
+// a process including type-specific functions to transform data of each
+// type between machine-specific and machine-independent formats". Here the
+// per-type saving/restoring functions are not generated as code; they are
+// interpreted generically from TypeInfo by the msrm engine, which produces
+// exactly the same traversal a generated function would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xdr/arch.hpp"
+
+namespace hpm::ti {
+
+/// Index into a TypeTable. Id 0 is reserved as "invalid".
+using TypeId = std::uint32_t;
+inline constexpr TypeId kInvalidType = 0;
+
+enum class TypeKind : std::uint8_t {
+  Primitive,  ///< one of xdr::PrimKind
+  Pointer,    ///< pointer to `pointee`
+  Array,      ///< `count` elements of `elem`
+  Struct,     ///< named record with ordered fields
+};
+
+/// One named member of a struct type.
+struct Field {
+  std::string name;
+  TypeId type = kInvalidType;
+};
+
+/// Immutable description of one type. Which members are meaningful
+/// depends on `kind`.
+struct TypeInfo {
+  TypeKind kind = TypeKind::Primitive;
+  std::string name;               ///< struct tag, or canonical spelling
+  xdr::PrimKind prim = xdr::PrimKind::Int;  ///< Primitive
+  TypeId pointee = kInvalidType;  ///< Pointer
+  TypeId elem = kInvalidType;     ///< Array element type
+  std::uint32_t count = 0;        ///< Array element count
+  std::vector<Field> fields;      ///< Struct members, in declaration order
+  bool defined = true;            ///< false while a struct is only declared
+};
+
+}  // namespace hpm::ti

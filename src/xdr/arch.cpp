@@ -1,0 +1,210 @@
+#include "xdr/arch.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace hpm::xdr {
+
+namespace {
+
+/// Build a PrimKind-indexed layout table from the common knobs that
+/// distinguish real data models: long width, pointer width, and the
+/// alignment of 8-byte scalars (i386 famously uses 4).
+std::array<PrimLayout, kNumPrimKinds> make_layouts(std::uint8_t long_size,
+                                                   std::uint8_t wide_align) {
+  std::array<PrimLayout, kNumPrimKinds> t{};
+  auto set = [&t](PrimKind k, std::uint8_t size, std::uint8_t align) {
+    t[prim_index(k)] = PrimLayout{size, align};
+  };
+  set(PrimKind::Bool, 1, 1);
+  set(PrimKind::Char, 1, 1);
+  set(PrimKind::SChar, 1, 1);
+  set(PrimKind::UChar, 1, 1);
+  set(PrimKind::Short, 2, 2);
+  set(PrimKind::UShort, 2, 2);
+  set(PrimKind::Int, 4, 4);
+  set(PrimKind::UInt, 4, 4);
+  set(PrimKind::Long, long_size, long_size == 8 ? wide_align : std::uint8_t{4});
+  set(PrimKind::ULong, long_size, long_size == 8 ? wide_align : std::uint8_t{4});
+  set(PrimKind::LongLong, 8, wide_align);
+  set(PrimKind::ULongLong, 8, wide_align);
+  set(PrimKind::Float, 4, 4);
+  set(PrimKind::Double, 8, wide_align);
+  return t;
+}
+
+ArchDescriptor make_arch(std::string name, ByteOrder order, std::uint8_t long_size,
+                         std::uint8_t ptr_size, std::uint8_t wide_align) {
+  ArchDescriptor a;
+  a.name = std::move(name);
+  a.order = order;
+  a.prim = make_layouts(long_size, wide_align);
+  a.pointer = PrimLayout{ptr_size, ptr_size};
+  return a;
+}
+
+}  // namespace
+
+std::string_view prim_name(PrimKind k) noexcept {
+  switch (k) {
+    case PrimKind::Bool: return "bool";
+    case PrimKind::Char: return "char";
+    case PrimKind::SChar: return "signed char";
+    case PrimKind::UChar: return "unsigned char";
+    case PrimKind::Short: return "short";
+    case PrimKind::UShort: return "unsigned short";
+    case PrimKind::Int: return "int";
+    case PrimKind::UInt: return "unsigned int";
+    case PrimKind::Long: return "long";
+    case PrimKind::ULong: return "unsigned long";
+    case PrimKind::LongLong: return "long long";
+    case PrimKind::ULongLong: return "unsigned long long";
+    case PrimKind::Float: return "float";
+    case PrimKind::Double: return "double";
+  }
+  return "?";
+}
+
+PrimClass prim_class(PrimKind k) noexcept {
+  switch (k) {
+    case PrimKind::Float:
+    case PrimKind::Double:
+      return PrimClass::Floating;
+    case PrimKind::Bool:
+    case PrimKind::UChar:
+    case PrimKind::UShort:
+    case PrimKind::UInt:
+    case PrimKind::ULong:
+    case PrimKind::ULongLong:
+      return PrimClass::Unsigned;
+    case PrimKind::Char:
+      // Plain char signedness is itself platform-dependent; the canonical
+      // stream treats it as signed so that all platforms agree.
+      return PrimClass::Signed;
+    default:
+      return PrimClass::Signed;
+  }
+}
+
+std::size_t canonical_size(PrimKind k) noexcept {
+  switch (k) {
+    case PrimKind::Bool:
+    case PrimKind::Char:
+    case PrimKind::SChar:
+    case PrimKind::UChar:
+      return 1;
+    case PrimKind::Short:
+    case PrimKind::UShort:
+      return 2;
+    case PrimKind::Int:
+    case PrimKind::UInt:
+    case PrimKind::Float:
+      return 4;
+    case PrimKind::Long:
+    case PrimKind::ULong:
+    case PrimKind::LongLong:
+    case PrimKind::ULongLong:
+    case PrimKind::Double:
+      return 8;
+  }
+  return 0;
+}
+
+bool ArchDescriptor::same_data_model(const ArchDescriptor& other) const noexcept {
+  if (order != other.order) return false;
+  if (pointer.size != other.pointer.size || pointer.align != other.pointer.align) return false;
+  for (std::size_t i = 0; i < kNumPrimKinds; ++i) {
+    if (prim[i].size != other.prim[i].size || prim[i].align != other.prim[i].align) return false;
+  }
+  return true;
+}
+
+const ArchDescriptor& dec5000_ultrix() {
+  static const ArchDescriptor a = make_arch("dec5000_ultrix", ByteOrder::Little, 4, 4, 8);
+  return a;
+}
+
+const ArchDescriptor& sparc20_solaris() {
+  static const ArchDescriptor a = make_arch("sparc20_solaris", ByteOrder::Big, 4, 4, 8);
+  return a;
+}
+
+const ArchDescriptor& ultra5_solaris() {
+  static const ArchDescriptor a = make_arch("ultra5_solaris", ByteOrder::Big, 4, 4, 8);
+  return a;
+}
+
+const ArchDescriptor& x86_64_linux() {
+  static const ArchDescriptor a = make_arch("x86_64_linux", ByteOrder::Little, 8, 8, 8);
+  return a;
+}
+
+const ArchDescriptor& generic_be64() {
+  static const ArchDescriptor a = make_arch("generic_be64", ByteOrder::Big, 8, 8, 8);
+  return a;
+}
+
+const ArchDescriptor& arm32_linux() {
+  static const ArchDescriptor a = make_arch("arm32_linux", ByteOrder::Little, 4, 4, 8);
+  return a;
+}
+
+const ArchDescriptor& i386_linux() {
+  static const ArchDescriptor a = make_arch("i386_linux", ByteOrder::Little, 4, 4, 4);
+  return a;
+}
+
+const ArchDescriptor& native_arch() {
+  static const ArchDescriptor a = [] {
+    ArchDescriptor n = make_arch(
+        "native",
+        std::endian::native == std::endian::big ? ByteOrder::Big : ByteOrder::Little,
+        static_cast<std::uint8_t>(sizeof(long)), static_cast<std::uint8_t>(sizeof(void*)),
+        static_cast<std::uint8_t>(alignof(double)));
+    // Trust the compiler over the heuristic for every kind.
+    auto fix = [&n](PrimKind k, std::size_t size, std::size_t align) {
+      n.prim[prim_index(k)] =
+          PrimLayout{static_cast<std::uint8_t>(size), static_cast<std::uint8_t>(align)};
+    };
+    fix(PrimKind::Bool, sizeof(bool), alignof(bool));
+    fix(PrimKind::Char, sizeof(char), alignof(char));
+    fix(PrimKind::SChar, sizeof(signed char), alignof(signed char));
+    fix(PrimKind::UChar, sizeof(unsigned char), alignof(unsigned char));
+    fix(PrimKind::Short, sizeof(short), alignof(short));
+    fix(PrimKind::UShort, sizeof(unsigned short), alignof(unsigned short));
+    fix(PrimKind::Int, sizeof(int), alignof(int));
+    fix(PrimKind::UInt, sizeof(unsigned int), alignof(unsigned int));
+    fix(PrimKind::Long, sizeof(long), alignof(long));
+    fix(PrimKind::ULong, sizeof(unsigned long), alignof(unsigned long));
+    fix(PrimKind::LongLong, sizeof(long long), alignof(long long));
+    fix(PrimKind::ULongLong, sizeof(unsigned long long), alignof(unsigned long long));
+    fix(PrimKind::Float, sizeof(float), alignof(float));
+    fix(PrimKind::Double, sizeof(double), alignof(double));
+    n.pointer = PrimLayout{static_cast<std::uint8_t>(sizeof(void*)),
+                           static_cast<std::uint8_t>(alignof(void*))};
+    return n;
+  }();
+  return a;
+}
+
+const std::array<std::string_view, 7>& arch_names() {
+  static const std::array<std::string_view, 7> names = {
+      "dec5000_ultrix", "sparc20_solaris", "ultra5_solaris", "x86_64_linux",
+      "generic_be64",   "arm32_linux",     "i386_linux"};
+  return names;
+}
+
+const ArchDescriptor& arch_by_name(std::string_view name) {
+  if (name == "dec5000_ultrix") return dec5000_ultrix();
+  if (name == "sparc20_solaris") return sparc20_solaris();
+  if (name == "ultra5_solaris") return ultra5_solaris();
+  if (name == "x86_64_linux") return x86_64_linux();
+  if (name == "generic_be64") return generic_be64();
+  if (name == "arm32_linux") return arm32_linux();
+  if (name == "i386_linux") return i386_linux();
+  if (name == "native") return native_arch();
+  throw TypeError("unknown architecture descriptor: " + std::string(name));
+}
+
+}  // namespace hpm::xdr

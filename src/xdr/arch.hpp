@@ -1,0 +1,121 @@
+// Architecture descriptors: the "machine-specific format" side of the
+// paper's layer-2 conversion.
+//
+// An ArchDescriptor captures everything the data collection / restoration
+// mechanism needs to know about a computing platform: byte order, the size
+// and alignment of each C primitive, and the pointer width. The paper's
+// testbed pairs (DECstation 5000/120 Ultrix vs SPARCstation 20 Solaris;
+// Ultra 5 pairs) are provided as presets, plus modern 64-bit hosts, so a
+// single physical machine can materialize byte-exact foreign memory images
+// (see src/memimg) and exercise truly heterogeneous conversion.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpm::xdr {
+
+/// The C primitive kinds the TI table distinguishes. `Pointer` is handled
+/// separately by the MSR layer but its raw cell layout is described here.
+enum class PrimKind : std::uint8_t {
+  Bool = 0,
+  Char,
+  SChar,
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  LongLong,
+  ULongLong,
+  Float,
+  Double,
+};
+
+inline constexpr std::size_t kNumPrimKinds = 14;
+
+/// Integer index for PrimKind-indexed tables.
+constexpr std::size_t prim_index(PrimKind k) noexcept { return static_cast<std::size_t>(k); }
+
+/// Human-readable C spelling ("unsigned long", "double", ...).
+std::string_view prim_name(PrimKind k) noexcept;
+
+/// Value classification used by the conversion layer.
+enum class PrimClass : std::uint8_t { Signed, Unsigned, Floating };
+PrimClass prim_class(PrimKind k) noexcept;
+
+/// Width of a primitive in the canonical (machine-independent) stream.
+/// Canonical widths are the widest layout among supported platforms so a
+/// value survives any round trip: 1 for char/bool, 2 short, 4 int/float,
+/// 8 long / long long / double.
+std::size_t canonical_size(PrimKind k) noexcept;
+
+enum class ByteOrder : std::uint8_t { Little, Big };
+
+/// Size + alignment of one primitive on a concrete architecture.
+struct PrimLayout {
+  std::uint8_t size = 0;
+  std::uint8_t align = 0;
+};
+
+/// A complete description of a computation platform's data model.
+struct ArchDescriptor {
+  std::string name;
+  ByteOrder order = ByteOrder::Little;
+  std::array<PrimLayout, kNumPrimKinds> prim{};
+  PrimLayout pointer{};
+
+  [[nodiscard]] const PrimLayout& layout(PrimKind k) const noexcept {
+    return prim[prim_index(k)];
+  }
+  [[nodiscard]] bool is_big_endian() const noexcept { return order == ByteOrder::Big; }
+
+  /// Two descriptors with equal data models produce byte-identical block
+  /// layouts; used to decide whether an image round trip is heterogeneous.
+  bool same_data_model(const ArchDescriptor& other) const noexcept;
+};
+
+/// --- Presets -------------------------------------------------------------
+
+/// ILP32 little-endian MIPS (DECstation 5000/120 running Ultrix — the
+/// paper's migration source).
+const ArchDescriptor& dec5000_ultrix();
+
+/// ILP32 big-endian SPARC (SPARCstation 20 running Solaris 2.5 — the
+/// paper's migration destination).
+const ArchDescriptor& sparc20_solaris();
+
+/// ILP32 big-endian UltraSPARC (Sun Ultra 5, Solaris — the paper's
+/// homogeneous timing testbed).
+const ArchDescriptor& ultra5_solaris();
+
+/// LP64 little-endian x86-64 Linux.
+const ArchDescriptor& x86_64_linux();
+
+/// LP64 big-endian (POWER/SPARC64-style) — exercises 64-bit big-endian.
+const ArchDescriptor& generic_be64();
+
+/// ILP32 little-endian ARM with natural 8-byte double alignment.
+const ArchDescriptor& arm32_linux();
+
+/// ILP32 little-endian x86 — notable for aligning double to only 4 bytes,
+/// which exercises struct-layout conversion beyond endianness and width.
+const ArchDescriptor& i386_linux();
+
+/// The architecture this process is actually running on (derived from the
+/// compiler's own layouts; used as the default host descriptor).
+const ArchDescriptor& native_arch();
+
+/// Look a preset up by name (as carried in a stream header).
+/// Throws hpm::TypeError if unknown.
+const ArchDescriptor& arch_by_name(std::string_view name);
+
+/// Names of all registered presets (for tests / CLI listings).
+const std::array<std::string_view, 7>& arch_names();
+
+}  // namespace hpm::xdr

@@ -1,0 +1,183 @@
+#include "xdr/value.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace hpm::xdr {
+
+namespace {
+
+std::uint64_t load_uint(const std::uint8_t* p, std::size_t size, ByteOrder order) {
+  std::uint64_t v = 0;
+  if (order == ByteOrder::Big) {
+    for (std::size_t i = 0; i < size; ++i) v = (v << 8) | p[i];
+  } else {
+    for (std::size_t i = size; i-- > 0;) v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void store_uint(std::uint8_t* p, std::size_t size, ByteOrder order, std::uint64_t v) {
+  if (order == ByteOrder::Big) {
+    for (std::size_t i = size; i-- > 0;) {
+      p[i] = static_cast<std::uint8_t>(v & 0xFFu);
+      v >>= 8;
+    }
+  } else {
+    for (std::size_t i = 0; i < size; ++i) {
+      p[i] = static_cast<std::uint8_t>(v & 0xFFu);
+      v >>= 8;
+    }
+  }
+}
+
+std::int64_t sign_extend(std::uint64_t v, std::size_t size) {
+  if (size >= 8) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign_bit = 1ull << (size * 8 - 1);
+  if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  return static_cast<std::int64_t>(v);
+}
+
+[[noreturn]] void overflow(PrimKind k, const ArchDescriptor& arch, const std::string& repr) {
+  throw hpm::ConversionError("value " + repr + " does not fit " + std::string(prim_name(k)) +
+                             " (" + std::to_string(arch.layout(k).size) + " bytes) on " +
+                             arch.name);
+}
+
+}  // namespace
+
+bool PrimValue::identical(const PrimValue& other) const noexcept {
+  if (kind != other.kind) return false;
+  return u == other.u;  // bitwise: covers signed, unsigned, and NaN payloads
+}
+
+PrimValue read_raw(const std::uint8_t* p, const ArchDescriptor& arch, PrimKind k) {
+  const std::size_t size = arch.layout(k).size;
+  const std::uint64_t raw = load_uint(p, size, arch.order);
+  switch (prim_class(k)) {
+    case PrimClass::Floating:
+      if (size == 4) {
+        return PrimValue::of_float(k, std::bit_cast<float>(static_cast<std::uint32_t>(raw)));
+      }
+      return PrimValue::of_float(k, std::bit_cast<double>(raw));
+    case PrimClass::Unsigned:
+      return PrimValue::of_unsigned(k, raw);
+    case PrimClass::Signed:
+      return PrimValue::of_signed(k, sign_extend(raw, size));
+  }
+  return PrimValue::of_unsigned(k, raw);
+}
+
+void write_raw(std::uint8_t* p, const ArchDescriptor& arch, PrimKind k, const PrimValue& v) {
+  const std::size_t size = arch.layout(k).size;
+  switch (prim_class(k)) {
+    case PrimClass::Floating: {
+      std::uint64_t raw;
+      if (size == 4) {
+        const float narrowed = static_cast<float>(v.f);
+        raw = std::bit_cast<std::uint32_t>(narrowed);
+      } else {
+        raw = std::bit_cast<std::uint64_t>(v.f);
+      }
+      store_uint(p, size, arch.order, raw);
+      return;
+    }
+    case PrimClass::Unsigned: {
+      if (size < 8) {
+        const std::uint64_t max = (1ull << (size * 8)) - 1;
+        if (v.u > max) overflow(k, arch, std::to_string(v.u));
+      }
+      store_uint(p, size, arch.order, v.u);
+      return;
+    }
+    case PrimClass::Signed: {
+      if (size < 8) {
+        const std::int64_t max = static_cast<std::int64_t>((1ull << (size * 8 - 1)) - 1);
+        const std::int64_t min = -max - 1;
+        if (v.s > max || v.s < min) overflow(k, arch, std::to_string(v.s));
+      }
+      store_uint(p, size, arch.order, static_cast<std::uint64_t>(v.s));
+      return;
+    }
+  }
+}
+
+std::uint64_t read_pointer_cell(const std::uint8_t* p, const ArchDescriptor& arch) {
+  return load_uint(p, arch.pointer.size, arch.order);
+}
+
+void write_pointer_cell(std::uint8_t* p, const ArchDescriptor& arch, std::uint64_t value) {
+  if (arch.pointer.size < 8) {
+    const std::uint64_t max = (1ull << (arch.pointer.size * 8)) - 1;
+    if (value > max) {
+      throw hpm::ConversionError("pointer cell value exceeds " +
+                                 std::to_string(arch.pointer.size) + "-byte pointer on " +
+                                 arch.name);
+    }
+  }
+  store_uint(p, arch.pointer.size, arch.order, value);
+}
+
+void encode_canonical(Encoder& enc, const PrimValue& v) {
+  switch (canonical_size(v.kind)) {
+    case 1:
+      if (prim_class(v.kind) == PrimClass::Signed) {
+        enc.put_i8(static_cast<std::int8_t>(v.s));
+      } else {
+        enc.put_u8(static_cast<std::uint8_t>(v.u));
+      }
+      return;
+    case 2:
+      if (prim_class(v.kind) == PrimClass::Signed) {
+        enc.put_i16(static_cast<std::int16_t>(v.s));
+      } else {
+        enc.put_u16(static_cast<std::uint16_t>(v.u));
+      }
+      return;
+    case 4:
+      if (v.kind == PrimKind::Float) {
+        enc.put_f32(static_cast<float>(v.f));
+      } else if (prim_class(v.kind) == PrimClass::Signed) {
+        enc.put_i32(static_cast<std::int32_t>(v.s));
+      } else {
+        enc.put_u32(static_cast<std::uint32_t>(v.u));
+      }
+      return;
+    case 8:
+      if (v.kind == PrimKind::Double) {
+        enc.put_f64(v.f);
+      } else if (prim_class(v.kind) == PrimClass::Signed) {
+        enc.put_i64(v.s);
+      } else {
+        enc.put_u64(v.u);
+      }
+      return;
+    default:
+      throw hpm::WireError("unencodable primitive kind");
+  }
+}
+
+PrimValue decode_canonical(Decoder& dec, PrimKind k) {
+  switch (canonical_size(k)) {
+    case 1:
+      if (prim_class(k) == PrimClass::Signed) return PrimValue::of_signed(k, dec.get_i8());
+      return PrimValue::of_unsigned(k, dec.get_u8());
+    case 2:
+      if (prim_class(k) == PrimClass::Signed) return PrimValue::of_signed(k, dec.get_i16());
+      return PrimValue::of_unsigned(k, dec.get_u16());
+    case 4:
+      if (k == PrimKind::Float) return PrimValue::of_float(k, dec.get_f32());
+      if (prim_class(k) == PrimClass::Signed) return PrimValue::of_signed(k, dec.get_i32());
+      return PrimValue::of_unsigned(k, dec.get_u32());
+    case 8:
+      if (k == PrimKind::Double) return PrimValue::of_float(k, dec.get_f64());
+      if (prim_class(k) == PrimClass::Signed) return PrimValue::of_signed(k, dec.get_i64());
+      return PrimValue::of_unsigned(k, dec.get_u64());
+    default:
+      throw hpm::WireError("undecodable primitive kind");
+  }
+}
+
+}  // namespace hpm::xdr

@@ -1,0 +1,70 @@
+// Architecture-generic primitive values and machine-specific <-> canonical
+// conversion.
+//
+// A PrimValue is the meaning of one primitive cell, independent of any
+// layout. Collection reads cells out of (host or foreign-image) memory into
+// PrimValues, the canonical codec moves PrimValues across the wire, and
+// restoration writes PrimValues back into the destination layout — with
+// explicit overflow detection when the destination type is narrower than
+// the source value (e.g. a 64-bit `long` migrating to an ILP32 machine).
+#pragma once
+
+#include <cstdint>
+
+#include "xdr/arch.hpp"
+#include "xdr/wire.hpp"
+
+namespace hpm::xdr {
+
+/// One primitive value, tagged by kind. Integral values are held widened
+/// to 64 bits; floating values as double (float -> double is exact).
+struct PrimValue {
+  PrimKind kind = PrimKind::Int;
+  union {
+    std::int64_t s;
+    std::uint64_t u;
+    double f;
+  };
+
+  static PrimValue of_signed(PrimKind k, std::int64_t v) {
+    PrimValue p;
+    p.kind = k;
+    p.s = v;
+    return p;
+  }
+  static PrimValue of_unsigned(PrimKind k, std::uint64_t v) {
+    PrimValue p;
+    p.kind = k;
+    p.u = v;
+    return p;
+  }
+  static PrimValue of_float(PrimKind k, double v) {
+    PrimValue p;
+    p.kind = k;
+    p.f = v;
+    return p;
+  }
+
+  /// Structural equality (bitwise for floats, so NaN payloads round-trip).
+  bool identical(const PrimValue& other) const noexcept;
+};
+
+/// Read one primitive laid out per `arch` starting at `p`.
+/// `p` is a raw byte pointer; no host alignment is assumed.
+PrimValue read_raw(const std::uint8_t* p, const ArchDescriptor& arch, PrimKind k);
+
+/// Write one primitive into `arch` layout at `p`.
+/// Throws hpm::ConversionError if the value does not fit the destination
+/// width (paper: values are assumed representable; we detect violations).
+void write_raw(std::uint8_t* p, const ArchDescriptor& arch, PrimKind k, const PrimValue& v);
+
+/// Read/write a raw pointer cell (an address-sized unsigned integer) in
+/// `arch` layout. The MSR layer interprets the value.
+std::uint64_t read_pointer_cell(const std::uint8_t* p, const ArchDescriptor& arch);
+void write_pointer_cell(std::uint8_t* p, const ArchDescriptor& arch, std::uint64_t value);
+
+/// Canonical stream codec for PrimValues (widths from canonical_size()).
+void encode_canonical(Encoder& enc, const PrimValue& v);
+PrimValue decode_canonical(Decoder& dec, PrimKind k);
+
+}  // namespace hpm::xdr

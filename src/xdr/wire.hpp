@@ -1,0 +1,94 @@
+// Canonical (machine-independent) stream encoding — the paper's layer 2.
+//
+// The external data representation is XDR-like: big-endian, fixed-width
+// fields, IEEE-754 bit images for floats. Unlike ONC XDR we do not pad
+// every field to 4 bytes; widths follow canonical_size() so large numeric
+// workloads (linpack matrices) stream densely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hexdump.hpp"
+
+namespace hpm::xdr {
+
+/// Append-only canonical encoder. All multi-byte integers are written
+/// big-endian regardless of the host.
+class Encoder {
+ public:
+  Encoder() = default;
+  explicit Encoder(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i8(std::int8_t v) { put_u8(static_cast<std::uint8_t>(v)); }
+  void put_i16(std::int16_t v) { put_u16(static_cast<std::uint16_t>(v)); }
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f32(float v);
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// Raw bytes, verbatim.
+  void put_bytes(const void* data, std::size_t len);
+
+  /// Length-prefixed (u32) string.
+  void put_string(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+
+  /// Patch a previously written u32 at `offset` (used for counts known
+  /// only after the payload is emitted).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked canonical decoder over a borrowed byte span.
+/// Every read past the end throws hpm::WireError.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+  Decoder(const void* data, std::size_t len) noexcept
+      : data_(static_cast<const std::uint8_t*>(data), len) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int8_t get_i8() { return static_cast<std::int8_t>(get_u8()); }
+  std::int16_t get_i16() { return static_cast<std::int16_t>(get_u16()); }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  float get_f32();
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+
+  void get_bytes(void* out, std::size_t len);
+  std::string get_string();
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  /// Peek at the next byte without consuming it.
+  std::uint8_t peek_u8() const;
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hpm::xdr

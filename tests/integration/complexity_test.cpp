@@ -1,0 +1,139 @@
+// Validates the paper's §4.2 cost model using the MSRLT operation
+// counters instead of wall-clock time (deterministic, CI-safe):
+//
+//   Collect = MSRLT_search (one address search per pointer followed,
+//             O(log n) steps each)  +  Encode-and-copy O(sum Di)
+//   Restore = MSRLT_update (one table append per block, never a search)
+//             + Decode-and-copy O(sum Di)
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "msr/host_space.hpp"
+#include "msrm/collect.hpp"
+#include "msrm/restore.hpp"
+
+namespace hpm {
+namespace {
+
+using apps::GraphShape;
+using apps::RandNode;
+using msr::Address;
+
+struct Metrics {
+  std::uint64_t searches = 0;
+  std::uint64_t search_steps = 0;
+  std::uint64_t restore_registrations = 0;
+  std::uint64_t restore_searches = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+};
+
+Metrics run_chain(std::uint32_t n) {
+  ti::TypeTable table;
+  apps::workload_register_types(table);
+  mig::MigContext src(table);
+  RandNode*& root = src.global<RandNode*>("root");
+  GraphShape shape;
+  shape.nodes = n;
+  shape.edge_density = 0.75;
+  shape.share_bias = 0.5;
+  const auto nodes = apps::build_random_graph(src, 42, shape);
+  root = nodes[0];
+
+  src.space().msrlt().reset_stats();
+  xdr::Encoder enc;
+  msrm::Collector collector(src.space(), enc);
+  collector.save_variable(reinterpret_cast<Address>(&root));
+  const auto collect_stats = src.space().msrlt().stats();
+
+  msr::HostSpace dst(table);
+  xdr::Decoder dec(enc.bytes());
+  msrm::Restorer restorer(dst, dec);
+  restorer.set_auto_bind(true);
+  restorer.restore_variable();
+  const auto restore_stats = dst.msrlt().stats();
+
+  Metrics r;
+  r.searches = collect_stats.searches;
+  r.search_steps = collect_stats.search_steps;
+  r.restore_registrations = restore_stats.registrations;
+  r.restore_searches = restore_stats.searches;
+  r.blocks = collector.stats().blocks_saved;
+  r.bytes = enc.size();
+  return r;
+}
+
+TEST(ComplexityModel, CollectionSearchesOncePerFollowedPointer) {
+  const Metrics r = run_chain(200);
+  // Each non-null pointer leaf triggers exactly one MSRLT search (the
+  // resolve); blocks have 4 slots, so searches are bounded by 4 per node
+  // plus the root variable.
+  EXPECT_GE(r.searches, r.blocks - 1);  // at least one per discovered block
+  EXPECT_LE(r.searches, r.blocks * 4 + 1);
+}
+
+TEST(ComplexityModel, SearchStepsGrowAsNLogN) {
+  const Metrics small = run_chain(100);
+  const Metrics large = run_chain(800);
+  const double n_ratio =
+      static_cast<double>(large.searches) / static_cast<double>(small.searches);
+  const double step_ratio =
+      static_cast<double>(large.search_steps) / static_cast<double>(small.search_steps);
+  // steps/search ~ log n: the step ratio exceeds the pure count ratio but
+  // stays well below quadratic growth.
+  EXPECT_GT(step_ratio, n_ratio * 1.05);
+  EXPECT_LT(step_ratio, n_ratio * 3.0);
+}
+
+TEST(ComplexityModel, RestorationNeverSearchesByAddress) {
+  // "the data restoration algorithm only spends constant time to restore
+  // the items according to the MSRLT" — per-BLOCK restoration performs no
+  // address search at all; the only search is the single final validation
+  // of each restore_variable() call (one here), constant in n.
+  for (std::uint32_t n : {50u, 200u, 800u}) {
+    const Metrics r = run_chain(n);
+    EXPECT_EQ(r.restore_searches, 1u) << n;
+    EXPECT_EQ(r.restore_registrations, r.blocks) << n;
+  }
+}
+
+TEST(ComplexityModel, LinpackProfileKeepsSearchCountConstant) {
+  // Few huge blocks: scaling the data 16x must not change the number of
+  // MSRLT searches (the paper's "MSRLT search time held constant").
+  auto run_linpack_like = [](std::uint32_t elems) {
+    ti::TypeTable table;
+    msr::HostSpace space(table);
+    std::vector<double> a(elems, 1.0), b(elems / 10 + 1, 2.0);
+    space.track_raw(msr::Segment::Heap, a.data(), table.primitive(xdr::PrimKind::Double),
+                    elems, "a");
+    space.track_raw(msr::Segment::Heap, b.data(), table.primitive(xdr::PrimKind::Double),
+                    elems / 10 + 1, "b");
+    double* pa = a.data();
+    double* pb = b.data();
+    space.track(msr::Segment::Global, pa, "pa", ti::native_type_id<double*>(table), 1);
+    space.track(msr::Segment::Global, pb, "pb", ti::native_type_id<double*>(table), 1);
+    space.msrlt().reset_stats();
+    xdr::Encoder enc;
+    msrm::Collector collector(space, enc);
+    collector.save_variable(reinterpret_cast<Address>(&pa));
+    collector.save_variable(reinterpret_cast<Address>(&pb));
+    return std::pair{space.msrlt().stats().searches, enc.size()};
+  };
+  const auto [s1, bytes1] = run_linpack_like(10000);
+  const auto [s2, bytes2] = run_linpack_like(160000);
+  EXPECT_EQ(s1, s2);               // search term constant
+  EXPECT_GT(bytes2, bytes1 * 15);  // encode term linear in sum Di
+}
+
+TEST(ComplexityModel, StreamBytesScaleWithPayload) {
+  const Metrics small = run_chain(100);
+  const Metrics large = run_chain(800);
+  const double blocks_ratio =
+      static_cast<double>(large.blocks) / static_cast<double>(small.blocks);
+  const double bytes_ratio =
+      static_cast<double>(large.bytes) / static_cast<double>(small.bytes);
+  EXPECT_NEAR(bytes_ratio, blocks_ratio, blocks_ratio * 0.5);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,143 @@
+// Coordinator protocol behavior: error propagation, async requests,
+// option validation, and report consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/test_pointer.hpp"
+#include "mig/coordinator.hpp"
+
+namespace hpm::mig {
+namespace {
+
+void simple_program(MigContext& ctx, int n, std::atomic<int>* completions) {
+  HPM_FUNCTION(ctx);
+  int i;
+  HPM_LOCAL(ctx, i);
+  HPM_LOCAL(ctx, n);
+  HPM_BODY(ctx);
+  for (i = 0; i < n; ++i) {
+    HPM_POLL(ctx, 1);
+  }
+  completions->fetch_add(1);
+  HPM_BODY_END(ctx);
+}
+
+TEST(Coordinator, MissingCallbacksAreRejected) {
+  RunOptions options;
+  EXPECT_THROW(run_migration(options), MigrationError);
+  options.register_types = [](ti::TypeTable&) {};
+  EXPECT_THROW(run_migration(options), MigrationError);
+}
+
+TEST(Coordinator, NoMigrationShutdownIsClean) {
+  std::atomic<int> completions{0};
+  RunOptions options;
+  options.register_types = [](ti::TypeTable&) {};
+  options.program = [&completions](MigContext& ctx) {
+    simple_program(ctx, 10, &completions);
+  };
+  const MigrationReport report = run_migration(options);
+  EXPECT_FALSE(report.migrated);
+  EXPECT_EQ(completions.load(), 1);  // only the source ran
+  EXPECT_EQ(report.source_polls, 10u);
+  EXPECT_EQ(report.stream_bytes, 0u);
+}
+
+TEST(Coordinator, MigrationRunsDestinationExactlyOnce) {
+  std::atomic<int> completions{0};
+  RunOptions options;
+  options.register_types = [](ti::TypeTable&) {};
+  options.program = [&completions](MigContext& ctx) {
+    simple_program(ctx, 10, &completions);
+  };
+  options.migrate_at_poll = 5;
+  const MigrationReport report = run_migration(options);
+  EXPECT_TRUE(report.migrated);
+  EXPECT_EQ(completions.load(), 1);  // source unwound; destination finished
+  EXPECT_GT(report.stream_bytes, 0u);
+  EXPECT_GE(report.tx_seconds, 0.0);
+}
+
+TEST(Coordinator, DestinationFailureSurfacesToTheCaller) {
+  // Source and destination run DIFFERENT programs (version skew): the
+  // destination's restore must fail and the failure must propagate out of
+  // run_migration instead of hanging or being swallowed.
+  std::atomic<int> completions{0};
+  std::atomic<bool> first{true};
+  RunOptions options;
+  options.register_types = [](ti::TypeTable&) {};
+  options.program = [&completions, &first](MigContext& ctx) {
+    const bool is_source = first.exchange(false);
+    if (is_source) {
+      simple_program(ctx, 10, &completions);
+    } else {
+      // "Wrong binary" on the destination: different frame shape.
+      HPM_FUNCTION(ctx);
+      double z;
+      HPM_LOCAL(ctx, z);
+      HPM_BODY(ctx);
+      z = 0;
+      HPM_POLL(ctx, 1);
+      HPM_BODY_END(ctx);
+    }
+  };
+  options.migrate_at_poll = 3;
+  EXPECT_THROW(run_migration(options), Error);
+}
+
+TEST(Coordinator, SourceProgramExceptionPropagates) {
+  RunOptions options;
+  options.register_types = [](ti::TypeTable&) {};
+  options.program = [](MigContext&) { throw std::runtime_error("app bug"); };
+  EXPECT_THROW(run_migration(options), std::runtime_error);
+}
+
+TEST(Coordinator, AsyncRequestAfterCompletionIsHarmless) {
+  std::atomic<int> completions{0};
+  RunOptions options;
+  options.register_types = [](ti::TypeTable&) {};
+  options.program = [&completions](MigContext& ctx) {
+    simple_program(ctx, 3, &completions);
+  };
+  options.request_after_seconds = 5.0;  // program finishes long before
+  const MigrationReport report = run_migration(options);
+  EXPECT_FALSE(report.migrated);
+  EXPECT_EQ(completions.load(), 1);
+}
+
+TEST(Coordinator, AsyncRequestMidRunMigrates) {
+  std::atomic<int> completions{0};
+  RunOptions options;
+  options.register_types = [](ti::TypeTable&) {};
+  options.program = [&completions](MigContext& ctx) {
+    // Enough polls that the 1 ms timer lands mid-run.
+    simple_program(ctx, 50'000'000, &completions);
+  };
+  options.request_after_seconds = 0.001;
+  const MigrationReport report = run_migration(options);
+  EXPECT_TRUE(report.migrated);
+  EXPECT_EQ(completions.load(), 1);
+}
+
+TEST(Coordinator, ReportBlockCountsBalance) {
+  apps::TestPointerResult result;
+  RunOptions options;
+  options.register_types = apps::test_pointer_register_types;
+  options.program = [&result](MigContext& ctx) {
+    apps::test_pointer_program(ctx, 5, &result);
+  };
+  options.migrate_at_poll = 1;
+  const MigrationReport report = run_migration(options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(report.collect.blocks_saved,
+            report.restore.blocks_created + report.restore.blocks_bound);
+  EXPECT_EQ(report.collect.refs_saved, report.restore.refs_resolved);
+  EXPECT_EQ(report.collect.nulls_saved, report.restore.nulls_restored);
+  EXPECT_EQ(report.collect.prim_leaves, report.restore.prim_leaves);
+  EXPECT_EQ(report.collect.ptr_leaves, report.restore.ptr_leaves);
+  EXPECT_EQ(report.source_arch, "native");
+}
+
+}  // namespace
+}  // namespace hpm::mig

@@ -1,0 +1,146 @@
+// Property-based tests: random heap graphs of arbitrary topology must
+// survive (a) host-to-host migration streams and (b) heterogeneous
+// host -> foreign-image -> host round trips, with no block duplicated and
+// no payload bit lost. Seeds and shapes are swept parametrically.
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "memimg/image_space.hpp"
+#include "msr/graph.hpp"
+#include "msrm/collect.hpp"
+#include "msrm/restore.hpp"
+
+namespace hpm {
+namespace {
+
+using apps::GraphShape;
+using apps::RandNode;
+using msr::Address;
+using msr::BlockId;
+
+struct Params {
+  std::uint64_t seed;
+  std::uint32_t nodes;
+  double density;
+  double share;
+};
+
+class RandomGraphProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RandomGraphProperty, HostToHostStreamPreservesFingerprint) {
+  const Params p = GetParam();
+  ti::TypeTable table;
+  apps::workload_register_types(table);
+  mig::MigContext src(table);
+  RandNode*& root = src.global<RandNode*>("root");
+  GraphShape shape;
+  shape.nodes = p.nodes;
+  shape.edge_density = p.density;
+  shape.share_bias = p.share;
+  const auto nodes = apps::build_random_graph(src, p.seed, shape);
+  root = nodes[0];
+  const std::uint64_t fp = apps::graph_fingerprint(root);
+
+  xdr::Encoder enc;
+  msrm::Collector collector(src.space(), enc);
+  collector.save_variable(reinterpret_cast<Address>(&root));
+  const Bytes stream = enc.take();
+
+  // No duplication: PNEW count equals the number of *reachable* blocks
+  // (the root variable + reachable graph nodes).
+  const msr::MsrGraph g = msr::MsrGraph::snapshot(src.space());
+  const BlockId root_block =
+      src.space().msrlt().find_containing(reinterpret_cast<Address>(&root))->id;
+  const auto reachable = g.reachable_from({root_block});
+  EXPECT_EQ(collector.stats().blocks_saved, reachable.size());
+
+  msr::HostSpace dst(table);
+  xdr::Decoder dec(stream);
+  msrm::Restorer restorer(dst, dec);
+  restorer.set_auto_bind(true);
+  const BlockId out = restorer.restore_variable();
+  RandNode* root2 = *reinterpret_cast<RandNode**>(dst.msrlt().find_id(out)->base);
+  EXPECT_EQ(apps::graph_fingerprint(root2), fp) << "seed " << p.seed;
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST_P(RandomGraphProperty, HeterogeneousRoundTripPreservesFingerprint) {
+  const Params p = GetParam();
+  ti::TypeTable table;
+  apps::workload_register_types(table);
+  mig::MigContext src(table);
+  RandNode*& root = src.global<RandNode*>("root");
+  GraphShape shape;
+  shape.nodes = p.nodes;
+  shape.edge_density = p.density;
+  shape.share_bias = p.share;
+  const auto nodes = apps::build_random_graph(src, p.seed, shape);
+  root = nodes[0];
+  const std::uint64_t fp = apps::graph_fingerprint(root);
+
+  // host -> BE ILP32 image -> LE ILP32 image -> host: two genuinely
+  // different foreign layouts chained.
+  xdr::Encoder e1;
+  msrm::Collector c1(src.space(), e1);
+  c1.save_variable(reinterpret_cast<Address>(&root));
+  memimg::ImageSpace sparc(table, xdr::sparc20_solaris());
+  xdr::Decoder d1_dec(e1.bytes());
+  msrm::Restorer r1(sparc, d1_dec);
+  r1.set_auto_bind(true);
+  const BlockId sparc_root = r1.restore_variable();
+
+  xdr::Encoder e2;
+  msrm::Collector c2(sparc, e2);
+  c2.save_variable(sparc.msrlt().find_id(sparc_root)->base);
+  memimg::ImageSpace dec5k(table, xdr::dec5000_ultrix());
+  xdr::Decoder d2_dec(e2.bytes());
+  msrm::Restorer r2(dec5k, d2_dec);
+  r2.set_auto_bind(true);
+  const BlockId dec_root = r2.restore_variable();
+
+  xdr::Encoder e3;
+  msrm::Collector c3(dec5k, e3);
+  c3.save_variable(dec5k.msrlt().find_id(dec_root)->base);
+  msr::HostSpace host2(table);
+  xdr::Decoder d3_dec(e3.bytes());
+  msrm::Restorer r3(host2, d3_dec);
+  r3.set_auto_bind(true);
+  const BlockId out = r3.restore_variable();
+  RandNode* root2 = *reinterpret_cast<RandNode**>(host2.msrlt().find_id(out)->base);
+  EXPECT_EQ(apps::graph_fingerprint(root2), fp) << "seed " << p.seed;
+
+  // The canonical wire is layout-independent: all three hops carry the
+  // same number of payload bytes.
+  EXPECT_EQ(e1.size(), e2.size());
+  EXPECT_EQ(e2.size(), e3.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomGraphProperty,
+    ::testing::Values(Params{1, 1, 0.0, 0.0},       // single node, no edges
+                      Params{2, 2, 1.0, 1.0},       // tight pair, max sharing
+                      Params{3, 10, 0.3, 0.2},      // sparse
+                      Params{4, 50, 0.9, 0.9},      // dense, heavy sharing
+                      Params{5, 100, 0.5, 0.5},     // balanced
+                      Params{6, 100, 1.0, 0.0},     // dense, forward-biased
+                      Params{7, 250, 0.2, 0.8},     // long chains w/ back edges
+                      Params{8, 500, 0.6, 0.5},     // bigger balanced
+                      Params{9, 64, 0.05, 0.0},     // mostly isolated islands
+                      Params{10, 333, 0.75, 0.25}));
+
+TEST(RandomGraphDeterminism, SameSeedSameFingerprint) {
+  ti::TypeTable t1, t2;
+  apps::workload_register_types(t1);
+  apps::workload_register_types(t2);
+  mig::MigContext a(t1), b(t2);
+  GraphShape shape;
+  shape.nodes = 40;
+  const auto na = apps::build_random_graph(a, 123, shape);
+  const auto nb = apps::build_random_graph(b, 123, shape);
+  EXPECT_EQ(apps::graph_fingerprint(na[0]), apps::graph_fingerprint(nb[0]));
+  const auto nc = apps::build_random_graph(a, 124, shape);
+  EXPECT_NE(apps::graph_fingerprint(na[0]), apps::graph_fingerprint(nc[0]));
+}
+
+}  // namespace
+}  // namespace hpm

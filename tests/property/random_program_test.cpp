@@ -1,0 +1,128 @@
+// Fuzz test of the resume machinery: seed-generated random call trees of
+// migratable functions (random fan-out, depth, loop lengths, and local
+// mutations), migrated at a pseudo-random poll each round. The migrated
+// run's result must equal the unmigrated run's, for every seed.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mig/annotate.hpp"
+#include "mig/context.hpp"
+
+namespace hpm::mig {
+namespace {
+
+/// One node of the random program: loops `reps` times (polling), mixing
+/// its accumulator, then recurses into `children` subtrees whose shapes
+/// derive deterministically from (seed, depth, index).
+struct ProgramShape {
+  std::uint64_t seed = 1;
+  int max_depth = 4;
+};
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+void random_node(MigContext& ctx, std::uint64_t node_seed, int depth,
+                 std::uint64_t* result) {
+  HPM_FUNCTION(ctx);
+  long acc;
+  int i, reps, kids;
+  std::uint64_t child_out;
+  HPM_LOCAL(ctx, acc);
+  HPM_LOCAL(ctx, i);
+  HPM_LOCAL(ctx, reps);
+  HPM_LOCAL(ctx, kids);
+  HPM_LOCAL(ctx, child_out);
+  HPM_LOCAL(ctx, node_seed);
+  HPM_LOCAL(ctx, depth);
+  HPM_LOCAL(ctx, result);  // points into the parent's frame (or a global)
+  HPM_BODY(ctx);
+  {
+    Rng rng(node_seed);
+    reps = rng.next_int(1, 6);
+    kids = depth > 0 ? rng.next_int(0, 3) : 0;
+  }
+  acc = 0;
+  for (i = 0; i < reps; ++i) {
+    HPM_POLL(ctx, 1);
+    acc = static_cast<long>(mix(static_cast<std::uint64_t>(acc), node_seed + i));
+  }
+  child_out = 0;
+  // Up to three child call sites; each recursion is label-distinct.
+  if (kids >= 1) {
+    HPM_CALL(ctx, 2, random_node(ctx, HPM_ARG(ctx, node_seed * 7 + 1),
+                                 HPM_ARG(ctx, depth - 1), HPM_ARG(ctx, &child_out)));
+  }
+  if (kids >= 2) {
+    HPM_CALL(ctx, 3, random_node(ctx, HPM_ARG(ctx, node_seed * 7 + 2),
+                                 HPM_ARG(ctx, depth - 1), HPM_ARG(ctx, &child_out)));
+  }
+  if (kids >= 3) {
+    HPM_CALL(ctx, 4, random_node(ctx, HPM_ARG(ctx, node_seed * 7 + 3),
+                                 HPM_ARG(ctx, depth - 1), HPM_ARG(ctx, &child_out)));
+  }
+  for (i = 0; i < reps; ++i) {
+    HPM_POLL(ctx, 5);
+    acc = static_cast<long>(mix(static_cast<std::uint64_t>(acc), child_out + i));
+  }
+  *result = mix(static_cast<std::uint64_t>(acc), child_out);
+  HPM_BODY_END(ctx);
+}
+
+/// Driver: owns the tracked result sink (a per-context global) so the
+/// root frame's `result` pointer resolves inside the MSR model.
+std::uint64_t driver(MigContext& ctx, std::uint64_t seed) {
+  std::uint64_t& out = ctx.global<std::uint64_t>("out");
+  random_node(ctx, seed, 4, &out);
+  return out;
+}
+
+std::uint64_t run_unmigrated(std::uint64_t seed) {
+  ti::TypeTable t;
+  MigContext ctx(t);
+  return driver(ctx, seed);
+}
+
+class RandomProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgram, MigratedResultMatchesUnmigrated) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t expected = run_unmigrated(seed);
+
+  // Count the program's polls, then migrate at several positions spread
+  // through the run (including the very first and very last poll).
+  std::uint64_t total_polls = 0;
+  {
+    ti::TypeTable t;
+    MigContext probe(t);
+    driver(probe, seed);
+    total_polls = probe.poll_count();
+  }
+  ASSERT_GT(total_polls, 0u);
+  const std::uint64_t positions[] = {1, total_polls / 3 + 1, (2 * total_polls) / 3 + 1,
+                                     total_polls};
+  for (const std::uint64_t at : positions) {
+    ti::TypeTable t;
+    MigContext src(t);
+    src.set_migrate_at_poll(at);
+    EXPECT_THROW(driver(src, seed), MigrationExit) << "at poll " << at;
+
+    ti::TypeTable t2;
+    MigContext dst(t2);
+    dst.begin_restore(src.stream());
+    const std::uint64_t out = driver(dst, seed);
+    EXPECT_EQ(out, expected) << "seed " << seed << " migrated at poll " << at << "/"
+                             << total_polls;
+    EXPECT_EQ(dst.frame_depth(), 0u);
+    // Only the result global remains tracked after the frames unwind.
+    EXPECT_EQ(dst.space().msrlt().block_count(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+}  // namespace
+}  // namespace hpm::mig

@@ -1,0 +1,196 @@
+// ImageSpace: foreign-architecture memory images — layout, byte order,
+// bounds, and full cross-architecture migration round trips.
+#include <gtest/gtest.h>
+
+#include "memimg/image_space.hpp"
+#include "msr/host_space.hpp"
+#include "msrm/collect.hpp"
+#include "msrm/restore.hpp"
+#include "ti/describe.hpp"
+
+namespace hpm::memimg {
+namespace {
+
+using msr::Address;
+using msr::BlockId;
+using msr::Segment;
+using xdr::PrimKind;
+
+struct Node {
+  float data;
+  Node* link;
+};
+
+ti::TypeId register_node(ti::TypeTable& t) {
+  ti::StructBuilder<Node> b(t, "node");
+  HPM_TI_FIELD(b, Node, data);
+  HPM_TI_FIELD(b, Node, link);
+  return b.commit();
+}
+
+TEST(ImageSpace, AllocationsAreAlignedAndDisjoint) {
+  ti::TypeTable t;
+  ImageSpace img(t, xdr::sparc20_solaris());
+  const Address a = img.allocate(3);
+  const Address b = img.allocate(100);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GE(b, a + 3);
+  EXPECT_GT(img.bytes_in_use(), 0u);
+}
+
+TEST(ImageSpace, OutOfBoundsAccessThrows) {
+  ti::TypeTable t;
+  ImageSpace img(t, xdr::sparc20_solaris());
+  const Address a = img.allocate(4);
+  EXPECT_NO_THROW(img.read_prim(a, PrimKind::Int));
+  EXPECT_THROW(img.read_prim(a + 100, PrimKind::Int), MsrError);
+  EXPECT_THROW(img.read_prim(0x10, PrimKind::Int), MsrError);  // below base
+}
+
+TEST(ImageSpace, PrimitiveCellsUseForeignLayout) {
+  ti::TypeTable t;
+  ImageSpace be(t, xdr::sparc20_solaris());
+  const BlockId id = be.create_block(Segment::Global, t.primitive(PrimKind::Int), 1, "x");
+  be.write_leaf(id, 0, xdr::PrimValue::of_signed(PrimKind::Int, 0x01020304));
+  const auto bytes = be.block_bytes(id);
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x01);  // big-endian storage
+  EXPECT_EQ(bytes[3], 0x04);
+
+  ImageSpace le(t, xdr::dec5000_ultrix());
+  const BlockId id2 = le.create_block(Segment::Global, t.primitive(PrimKind::Int), 1, "x");
+  le.write_leaf(id2, 0, xdr::PrimValue::of_signed(PrimKind::Int, 0x01020304));
+  const auto bytes2 = le.block_bytes(id2);
+  EXPECT_EQ(bytes2[0], 0x04);  // little-endian storage
+  EXPECT_EQ(bytes2[3], 0x01);
+}
+
+TEST(ImageSpace, StructBlocksUseForeignSizes) {
+  ti::TypeTable t;
+  const ti::TypeId node = register_node(t);
+  ImageSpace ilp32(t, xdr::sparc20_solaris());
+  const BlockId id = ilp32.create_block(Segment::Heap, node, 1, "n");
+  EXPECT_EQ(ilp32.block_bytes(id).size(), 8u);  // float(4) + 4-byte pointer
+}
+
+TEST(ImageSpace, PointerCellsHoldImageAddresses) {
+  ti::TypeTable t;
+  const ti::TypeId node = register_node(t);
+  ImageSpace img(t, xdr::sparc20_solaris());
+  const BlockId a = img.create_block(Segment::Heap, node, 1, "a");
+  const BlockId b = img.create_block(Segment::Heap, node, 1, "b");
+  const Address b_base = img.msrlt().find_id(b)->base;
+  img.write_leaf(a, 1, xdr::PrimValue::of_unsigned(PrimKind::ULongLong, b_base));
+  EXPECT_EQ(img.read_leaf(a, 1).u, b_base);
+  const msr::LogicalPointer lp =
+      msr::resolve_pointer(img, img.read_pointer(img.msrlt().find_id(a)->base + 4));
+  EXPECT_EQ(lp.block, b);
+}
+
+/// Full heterogeneous migration: host -> image(arch) -> host, for every
+/// architecture pair the library ships. The graph must survive exactly.
+class CrossArch : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(CrossArch, HostToImageToHostPreservesTheGraph) {
+  ti::TypeTable t;
+  const ti::TypeId node = register_node(t);
+  const ti::TypeId node_ptr = ti::native_type_id<Node*>(t);
+
+  // Source: a small shared/cyclic structure in host memory.
+  msr::HostSpace host(t);
+  Node a{1.5f, nullptr}, b{2.5f, nullptr}, c{-3.25f, nullptr};
+  a.link = &b;
+  b.link = &c;
+  c.link = &b;  // cycle + sharing
+  Node* root = &a;
+  host.track(Segment::Heap, a, "a", node, 1);
+  host.track(Segment::Heap, b, "b", node, 1);
+  host.track(Segment::Heap, c, "c", node, 1);
+  host.track(Segment::Global, root, "root", node_ptr, 1);
+
+  // Host -> image.
+  xdr::Encoder enc1;
+  msrm::Collector c1(host, enc1);
+  c1.save_variable(reinterpret_cast<Address>(&root));
+  const Bytes s1 = enc1.take();
+  ImageSpace img(t, xdr::arch_by_name(GetParam()));
+  xdr::Decoder d1(s1);
+  msrm::Restorer r1(img, d1);
+  r1.set_auto_bind(true);
+  const BlockId img_root = r1.restore_variable();
+
+  // Image -> second host.
+  xdr::Encoder enc2;
+  msrm::Collector c2(img, enc2);
+  c2.save_variable(img.msrlt().find_id(img_root)->base);
+  const Bytes s2 = enc2.take();
+  msr::HostSpace host2(t);
+  xdr::Decoder d2(s2);
+  msrm::Restorer r2(host2, d2);
+  r2.set_auto_bind(true);
+  const BlockId out = r2.restore_variable();
+
+  Node* ra = *reinterpret_cast<Node**>(host2.msrlt().find_id(out)->base);
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(ra->data, 1.5f);
+  ASSERT_NE(ra->link, nullptr);
+  EXPECT_EQ(ra->link->data, 2.5f);
+  EXPECT_EQ(ra->link->link->data, -3.25f);
+  EXPECT_EQ(ra->link->link->link, ra->link);  // cycle/sharing preserved
+  // Both streams describe the same logical payload.
+  EXPECT_EQ(s1.size(), s2.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, CrossArch, ::testing::ValuesIn(xdr::arch_names()));
+
+TEST(ImageSpace, LongOverflowIsDetectedWhenNarrowing) {
+  // A 64-bit host long that does not fit a 32-bit image long must fail
+  // loudly during restoration, not wrap silently.
+  if (sizeof(long) != 8) GTEST_SKIP() << "needs an LP64 host";
+  ti::TypeTable t;
+  msr::HostSpace host(t);
+  long big = 0x123456789ll;
+  host.track(Segment::Global, big, "big", t.primitive(PrimKind::Long), 1);
+  xdr::Encoder enc;
+  msrm::Collector col(host, enc);
+  col.save_variable(reinterpret_cast<Address>(&big));
+  const Bytes s = enc.take();
+  ImageSpace img(t, xdr::sparc20_solaris());
+  xdr::Decoder dec(s);
+  msrm::Restorer res(img, dec);
+  res.set_auto_bind(true);
+  EXPECT_THROW(res.restore_variable(), ConversionError);
+}
+
+TEST(ImageSpace, InteriorPointersSurviveLayoutChanges) {
+  // &arr[6] must land on element 6 in a layout where elements have a
+  // different byte size (long: 8 bytes native vs 4 bytes ILP32).
+  if (sizeof(long) != 8) GTEST_SKIP() << "needs an LP64 host";
+  ti::TypeTable t;
+  msr::HostSpace host(t);
+  long arr[10];
+  for (int i = 0; i < 10; ++i) arr[i] = i;
+  long* mid = &arr[6];
+  host.track(Segment::Global, arr, "arr", t.primitive(PrimKind::Long), 10);
+  host.track(Segment::Global, mid, "mid", ti::native_type_id<long*>(t), 1);
+  xdr::Encoder enc;
+  msrm::Collector col(host, enc);
+  col.save_variable(reinterpret_cast<Address>(&mid));
+  const Bytes s = enc.take();
+  ImageSpace img(t, xdr::sparc20_solaris());
+  xdr::Decoder dec(s);
+  msrm::Restorer res(img, dec);
+  res.set_auto_bind(true);
+  const BlockId mid_img = res.restore_variable();
+  const Address cell = img.msrlt().find_id(mid_img)->base;
+  const Address target = img.read_pointer(cell);
+  const msr::LogicalPointer lp = msr::resolve_pointer(img, target);
+  EXPECT_EQ(lp.leaf, 6u);
+  EXPECT_EQ(img.read_leaf(lp.block, 6).s, 6);
+  // The image block is 40 bytes (4-byte longs), not 80.
+  EXPECT_EQ(img.block_bytes(lp.block).size(), 40u);
+}
+
+}  // namespace
+}  // namespace hpm::memimg

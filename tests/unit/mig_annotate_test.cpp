@@ -1,0 +1,245 @@
+// Annotation-macro edge cases: struct/array locals, HPM_LOCAL_ARRAY,
+// multiple call sites, migration at every structural position, and
+// frame-lifecycle invariants.
+#include <gtest/gtest.h>
+
+#include "mig/annotate.hpp"
+#include "mig/context.hpp"
+#include "ti/describe.hpp"
+
+namespace hpm::mig {
+namespace {
+
+struct Vec3 {
+  double x, y, z;
+};
+
+void register_vec3(ti::TypeTable& t) {
+  ti::StructBuilder<Vec3> b(t, "vec3");
+  HPM_TI_FIELD(b, Vec3, x);
+  HPM_TI_FIELD(b, Vec3, y);
+  HPM_TI_FIELD(b, Vec3, z);
+  b.commit();
+}
+
+/// A frame holding a struct local, a fixed array local, and a
+/// dynamically sized HPM_LOCAL_ARRAY region.
+void shapes_program(MigContext& ctx, int n, double* out) {
+  HPM_FUNCTION(ctx);
+  Vec3 acc;
+  double ring[8];
+  double* dyn;
+  int i;
+  HPM_LOCAL(ctx, acc);
+  HPM_LOCAL(ctx, ring);
+  HPM_LOCAL(ctx, i);
+  HPM_LOCAL(ctx, n);
+  dyn = static_cast<double*>(::operator new(sizeof(double) * n, std::align_val_t{16}));
+  HPM_LOCAL_ARRAY(ctx, dyn, static_cast<std::uint32_t>(n));
+  HPM_BODY(ctx);
+  acc.x = acc.y = acc.z = 0;
+  for (i = 0; i < 8; ++i) ring[i] = i * 1.5;
+  for (i = 0; i < n; ++i) dyn[i] = i;
+  for (i = 0; i < n; ++i) {
+    HPM_POLL(ctx, 1);
+    acc.x += dyn[i];
+    acc.y += ring[i % 8];
+    acc.z += 1.0;
+  }
+  *out = acc.x + acc.y + acc.z;
+  HPM_BODY_END(ctx);
+  ::operator delete(dyn, std::align_val_t{16});
+}
+
+double shapes_expected(int n) {
+  double x = 0, y = 0;
+  for (int i = 0; i < n; ++i) {
+    x += i;
+    y += (i % 8) * 1.5;
+  }
+  return x + y + n;
+}
+
+class ShapesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShapesSweep, StructAndArrayLocalsSurviveMigrationAtAnyPoll) {
+  ti::TypeTable t;
+  register_vec3(t);
+  MigContext src(t);
+  src.set_migrate_at_poll(GetParam());
+  double out = 0;
+  EXPECT_THROW(shapes_program(src, 20, &out), MigrationExit);
+
+  ti::TypeTable t2;
+  register_vec3(t2);
+  MigContext dst(t2);
+  dst.begin_restore(src.stream());
+  shapes_program(dst, 20, &out);
+  EXPECT_EQ(out, shapes_expected(20));
+}
+
+INSTANTIATE_TEST_SUITE_P(PollPoints, ShapesSweep, ::testing::Values(1, 5, 10, 19, 20));
+
+/// Two call sites into the same callee: the resume label must select the
+/// correct one.
+void callee(MigContext& ctx, int reps, long* acc) {
+  HPM_FUNCTION(ctx);
+  int i;
+  HPM_LOCAL(ctx, i);
+  HPM_LOCAL(ctx, reps);
+  HPM_LOCAL(ctx, acc);
+  HPM_BODY(ctx);
+  for (i = 0; i < reps; ++i) {
+    HPM_POLL(ctx, 1);
+    *acc += 1;
+  }
+  HPM_BODY_END(ctx);
+}
+
+void two_sites(MigContext& ctx, long* first_acc, long* second_acc) {
+  HPM_FUNCTION(ctx);
+  long a, b;
+  HPM_LOCAL(ctx, a);
+  HPM_LOCAL(ctx, b);
+  HPM_BODY(ctx);
+  a = 0;
+  b = 0;
+  HPM_CALL(ctx, 1, callee(ctx, 5, HPM_ARG(ctx, &a)));
+  HPM_CALL(ctx, 2, callee(ctx, 7, HPM_ARG(ctx, &b)));
+  *first_acc = a;
+  *second_acc = b;
+  HPM_BODY_END(ctx);
+}
+
+class CallSiteSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CallSiteSweep, ResumeSelectsTheRightCallSite) {
+  ti::TypeTable t;
+  MigContext src(t);
+  src.set_migrate_at_poll(GetParam());
+  long a = -1, b = -1;
+  EXPECT_THROW(two_sites(src, &a, &b), MigrationExit);
+
+  ti::TypeTable t2;
+  MigContext dst(t2);
+  dst.begin_restore(src.stream());
+  dst.set_migrate_at_poll(0);
+  a = -1;
+  b = -1;
+  two_sites(dst, &a, &b);
+  EXPECT_EQ(a, 5);
+  EXPECT_EQ(b, 7);
+}
+
+// Polls 1..5 are inside the first call, 6..12 inside the second.
+INSTANTIATE_TEST_SUITE_P(PollPoints, CallSiteSweep,
+                         ::testing::Values(1, 3, 5, 6, 9, 12));
+
+TEST(Annotation, PointerBetweenSiblingLocalsSurvives) {
+  // A pointer local that points into a sibling array local: interior
+  // stack-to-stack edges must re-resolve to the destination's storage.
+  auto program = [](MigContext& ctx, double* value, std::ptrdiff_t* offset) {
+    HPM_FUNCTION(ctx);
+    double grid[16];
+    double* cursor;
+    int i;
+    HPM_LOCAL(ctx, grid);
+    HPM_LOCAL(ctx, cursor);
+    HPM_LOCAL(ctx, i);
+    HPM_BODY(ctx);
+    for (i = 0; i < 16; ++i) grid[i] = i * 2.0;
+    cursor = &grid[11];
+    HPM_POLL(ctx, 1);
+    // Observed while the frame is still alive: the pointer must target
+    // element 11 of THIS side's grid storage, with the migrated value.
+    *value = *cursor;
+    *offset = cursor - grid;
+    HPM_BODY_END(ctx);
+  };
+  ti::TypeTable t;
+  MigContext src(t);
+  src.set_migrate_at_poll(1);
+  double value = 0;
+  std::ptrdiff_t offset = -1;
+  EXPECT_THROW(program(src, &value, &offset), MigrationExit);
+
+  ti::TypeTable t2;
+  MigContext dst(t2);
+  dst.begin_restore(src.stream());
+  program(dst, &value, &offset);
+  EXPECT_EQ(offset, 11);
+  EXPECT_EQ(value, 22.0);
+}
+
+TEST(Annotation, RegistrationOrderMismatchIsDetected) {
+  auto source_program = [](MigContext& ctx) {
+    HPM_FUNCTION(ctx);
+    int a;
+    double b;
+    HPM_LOCAL(ctx, a);
+    HPM_LOCAL(ctx, b);
+    HPM_BODY(ctx);
+    a = 1;
+    b = 2;
+    HPM_POLL(ctx, 1);
+    HPM_BODY_END(ctx);
+  };
+  // Destination registers the same names in a different order.
+  auto swapped_program = [](MigContext& ctx) {
+    FrameGuard guard(ctx, "operator()");  // match the lambda's __func__
+    auto& hpm_frame_ = guard.frame();
+    int a;
+    double b;
+    ctx.local(hpm_frame_, "b", b);
+    ctx.local(hpm_frame_, "a", a);
+    switch (ctx.resume_point(hpm_frame_)) {
+      case 0:
+      case 1:
+        ctx.poll(hpm_frame_, 1);
+    }
+  };
+  ti::TypeTable t;
+  MigContext src(t);
+  src.set_migrate_at_poll(1);
+  EXPECT_THROW(source_program(src), MigrationExit);
+  ti::TypeTable t2;
+  MigContext dst(t2);
+  dst.begin_restore(src.stream());
+  EXPECT_THROW(swapped_program(dst), MigrationError);
+}
+
+TEST(Annotation, FrameDepthIsVisibleDuringExecution) {
+  ti::TypeTable t;
+  MigContext ctx(t);
+  EXPECT_EQ(ctx.frame_depth(), 0u);
+  {
+    FrameGuard outer(ctx, "outer");
+    EXPECT_EQ(ctx.frame_depth(), 1u);
+    {
+      FrameGuard inner(ctx, "inner");
+      EXPECT_EQ(ctx.frame_depth(), 2u);
+    }
+    EXPECT_EQ(ctx.frame_depth(), 1u);
+  }
+  EXPECT_EQ(ctx.frame_depth(), 0u);
+}
+
+TEST(Annotation, LocalsUnregisterEvenWhenMigrationUnwinds) {
+  ti::TypeTable t;
+  MigContext ctx(t);
+  ctx.set_migrate_at_poll(1);
+  auto program = [](MigContext& c) {
+    HPM_FUNCTION(c);
+    int x;
+    HPM_LOCAL(c, x);
+    HPM_BODY(c);
+    x = 0;
+    HPM_POLL(c, 1);
+    HPM_BODY_END(c);
+  };
+  EXPECT_THROW(program(ctx), MigrationExit);
+  EXPECT_EQ(ctx.space().msrlt().block_count(), 0u);  // unwound cleanly
+}
+
+}  // namespace
+}  // namespace hpm::mig

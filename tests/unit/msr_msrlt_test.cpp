@@ -1,0 +1,133 @@
+// MSRLT: block tracking, address search, logical ids, visit marking, and
+// the statistics counters the complexity experiments rely on.
+#include <gtest/gtest.h>
+
+#include "msr/msrlt.hpp"
+#include "ti/table.hpp"
+
+namespace hpm::msr {
+namespace {
+
+TEST(Msrlt, RegisterAssignsSegmentTaggedIds) {
+  Msrlt t;
+  const BlockId g = t.register_block(Segment::Global, 0x1000, 16, 1, 1, "g");
+  const BlockId h = t.register_block(Segment::Heap, 0x2000, 16, 1, 1, "h");
+  const BlockId s = t.register_block(Segment::Stack, 0x3000, 16, 1, 1, "s");
+  EXPECT_EQ(block_segment(g), Segment::Global);
+  EXPECT_EQ(block_segment(h), Segment::Heap);
+  EXPECT_EQ(block_segment(s), Segment::Stack);
+  EXPECT_EQ(t.block_count(), 3u);
+  EXPECT_NE(g, h);
+}
+
+TEST(Msrlt, SequenceNumbersAreNeverReused) {
+  Msrlt t;
+  const BlockId first = t.register_block(Segment::Heap, 0x1000, 8, 1, 1, "");
+  t.unregister(0x1000);
+  const BlockId second = t.register_block(Segment::Heap, 0x1000, 8, 1, 1, "");
+  EXPECT_NE(first, second);
+  EXPECT_EQ(t.find_id(first), nullptr);
+  EXPECT_NE(t.find_id(second), nullptr);
+}
+
+TEST(Msrlt, FindContainingHitsInteriorAddresses) {
+  Msrlt t;
+  const BlockId id = t.register_block(Segment::Heap, 0x1000, 64, 1, 1, "blk");
+  EXPECT_EQ(t.find_containing(0x0FFF), nullptr);
+  ASSERT_NE(t.find_containing(0x1000), nullptr);
+  EXPECT_EQ(t.find_containing(0x1000)->id, id);
+  EXPECT_EQ(t.find_containing(0x103F)->id, id);
+  EXPECT_EQ(t.find_containing(0x1040), nullptr);
+}
+
+TEST(Msrlt, FindContainingAmongManyBlocks) {
+  Msrlt t;
+  for (int i = 0; i < 100; ++i) {
+    t.register_block(Segment::Heap, 0x1000 + i * 0x100, 0x80, 1, 1, "");
+  }
+  const MemoryBlock* mid = t.find_containing(0x1000 + 57 * 0x100 + 0x7F);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->base, 0x1000u + 57 * 0x100);
+  EXPECT_EQ(t.find_containing(0x1000 + 57 * 0x100 + 0x80), nullptr);  // gap
+}
+
+TEST(Msrlt, OverlapsAreRejectedInBothDirections) {
+  Msrlt t;
+  t.register_block(Segment::Heap, 0x1000, 0x100, 1, 1, "a");
+  EXPECT_THROW(t.register_block(Segment::Heap, 0x10FF, 8, 1, 1, "tail"), MsrError);
+  EXPECT_THROW(t.register_block(Segment::Heap, 0x0FF9, 8, 1, 1, "head"), MsrError);
+  EXPECT_THROW(t.register_block(Segment::Heap, 0x1050, 8, 1, 1, "inside"), MsrError);
+  EXPECT_THROW(t.register_block(Segment::Heap, 0x0800, 0x1000, 1, 1, "around"), MsrError);
+  EXPECT_NO_THROW(t.register_block(Segment::Heap, 0x1100, 8, 1, 1, "adjacent"));
+}
+
+TEST(Msrlt, ZeroSizedBlocksAreRejected) {
+  Msrlt t;
+  EXPECT_THROW(t.register_block(Segment::Heap, 0x1000, 0, 1, 1, ""), MsrError);
+}
+
+TEST(Msrlt, UnregisterUnknownBaseThrows) {
+  Msrlt t;
+  t.register_block(Segment::Heap, 0x1000, 16, 1, 1, "");
+  EXPECT_THROW(t.unregister(0x1001), MsrError);  // interior, not base
+  EXPECT_NO_THROW(t.unregister(0x1000));
+  EXPECT_THROW(t.unregister(0x1000), MsrError);
+}
+
+TEST(Msrlt, RegisterWithIdDetectsCollisions) {
+  Msrlt t;
+  const BlockId id = make_block_id(Segment::Heap, 77);
+  t.register_with_id(id, Segment::Heap, 0x1000, 16, 1, 1, "");
+  EXPECT_THROW(t.register_with_id(id, Segment::Heap, 0x2000, 16, 1, 1, ""), MsrError);
+  // Locally assigned ids skip past adopted ones.
+  const BlockId next = t.register_block(Segment::Heap, 0x3000, 16, 1, 1, "");
+  EXPECT_GT(block_seq(next), 77u);
+}
+
+TEST(Msrlt, VisitMarkingIsPerTraversal) {
+  Msrlt t;
+  const BlockId a = t.register_block(Segment::Heap, 0x1000, 16, 1, 1, "");
+  const BlockId b = t.register_block(Segment::Heap, 0x2000, 16, 1, 1, "");
+  t.begin_traversal();
+  EXPECT_TRUE(t.try_mark(a));
+  EXPECT_FALSE(t.try_mark(a));  // the duplicate guard
+  EXPECT_TRUE(t.try_mark(b));
+  t.begin_traversal();  // O(1) epoch bump clears all marks
+  EXPECT_TRUE(t.try_mark(a));
+  EXPECT_THROW(t.try_mark(make_block_id(Segment::Heap, 999)), MsrError);
+}
+
+TEST(Msrlt, StatsCountSearchesAndUpdates) {
+  Msrlt t;
+  t.register_block(Segment::Heap, 0x1000, 16, 1, 1, "");
+  t.register_block(Segment::Heap, 0x2000, 16, 1, 1, "");
+  t.find_containing(0x1008);
+  t.find_containing(0x9999);
+  EXPECT_EQ(t.stats().registrations, 2u);
+  EXPECT_EQ(t.stats().searches, 2u);
+  EXPECT_GT(t.stats().search_steps, 0u);
+  t.reset_stats();
+  EXPECT_EQ(t.stats().searches, 0u);
+}
+
+TEST(Msrlt, LinearScanStrategyGivesIdenticalAnswers) {
+  Msrlt ordered(SearchStrategy::OrderedMap);
+  Msrlt linear(SearchStrategy::LinearScan);
+  for (int i = 0; i < 64; ++i) {
+    ordered.register_block(Segment::Heap, 0x1000 + i * 0x40, 0x20, 1, 1, "");
+    linear.register_block(Segment::Heap, 0x1000 + i * 0x40, 0x20, 1, 1, "");
+  }
+  for (Address a = 0xF00; a < 0x2100; a += 7) {
+    const MemoryBlock* x = ordered.find_containing(a);
+    const MemoryBlock* y = linear.find_containing(a);
+    ASSERT_EQ(x == nullptr, y == nullptr) << "addr " << a;
+    if (x != nullptr) {
+      EXPECT_EQ(x->id, y->id);
+    }
+  }
+  // The linear strategy's step count is what the ablation bench plots.
+  EXPECT_GT(linear.stats().search_steps, ordered.stats().search_steps);
+}
+
+}  // namespace
+}  // namespace hpm::msr

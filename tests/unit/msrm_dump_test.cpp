@@ -1,0 +1,101 @@
+// msrm::dump_stream: the stream inspector/validator.
+#include <gtest/gtest.h>
+
+#include "apps/test_pointer.hpp"
+#include "msrm/dump.hpp"
+#include "msrm/execstate.hpp"
+
+namespace hpm::msrm {
+namespace {
+
+Bytes collect_test_pointer_stream() {
+  ti::TypeTable types;
+  apps::test_pointer_register_types(types);
+  mig::MigContext ctx(types);
+  ctx.set_migrate_at_poll(1);
+  apps::TestPointerResult result;
+  try {
+    apps::test_pointer_program(ctx, 5, &result);
+  } catch (const mig::MigrationExit&) {
+    return ctx.stream();
+  }
+  ADD_FAILURE() << "program did not migrate";
+  return {};
+}
+
+TEST(DumpStream, RendersHeaderFramesAndRecords) {
+  const Bytes stream = collect_test_pointer_stream();
+  const std::string text = dump_stream(stream);
+  EXPECT_NE(text.find("source arch native"), std::string::npos);
+  EXPECT_NE(text.find("frame[0] tp_main resume@1"), std::string::npos);
+  EXPECT_NE(text.find("global first : struct node *"), std::string::npos);
+  EXPECT_NE(text.find("var parr10 : int[10] *"), std::string::npos);
+  EXPECT_NE(text.find("new block="), std::string::npos);
+  EXPECT_NE(text.find("ref block="), std::string::npos);
+  EXPECT_NE(text.find("total blocks on wire:"), std::string::npos);
+}
+
+TEST(DumpStream, ShowValuesRendersLeaves) {
+  const Bytes stream = collect_test_pointer_stream();
+  DumpOptions options;
+  options.show_primitive_values = true;
+  const std::string text = dump_stream(stream, options);
+  // pint holds 42 + 5 % 100 = 47.
+  EXPECT_NE(text.find("int 47"), std::string::npos);
+  EXPECT_NE(text.find("float"), std::string::npos);
+}
+
+TEST(DumpStream, CompactModeSummarizesPrimitiveRuns) {
+  const Bytes stream = collect_test_pointer_stream();
+  const std::string text = dump_stream(stream);
+  EXPECT_NE(text.find("primitive leaves)"), std::string::npos);
+}
+
+TEST(DumpStream, TruncationCapBoundsOutputButStillValidates) {
+  const Bytes stream = collect_test_pointer_stream();
+  DumpOptions options;
+  options.max_blocks = 3;
+  const std::string text = dump_stream(stream, options);
+  EXPECT_NE(text.find("truncated"), std::string::npos);
+  EXPECT_LT(text.size(), dump_stream(stream).size());
+  EXPECT_NE(text.find("total blocks on wire:"), std::string::npos);
+}
+
+TEST(DumpStream, RejectsCorruptStreams) {
+  Bytes stream = collect_test_pointer_stream();
+  stream[stream.size() / 2] ^= 0x5A;
+  EXPECT_THROW(dump_stream(stream), WireError);
+}
+
+TEST(ExecState, EncodeDecodeRoundTrips) {
+  ExecutionState state;
+  state.frames.push_back(SavedFrame{"main", 7, {SavedVar{"x", 6, 1, 42}}});
+  state.frames.push_back(
+      SavedFrame{"leaf", 2, {SavedVar{"p", 15, 1, 43}, SavedVar{"arr", 3, 10, 44}}});
+  state.globals.push_back(SavedVar{"g", 6, 1, 45});
+  xdr::Encoder enc;
+  state.encode(enc);
+  xdr::Decoder dec(enc.bytes());
+  const ExecutionState back = ExecutionState::decode(dec);
+  ASSERT_EQ(back.frames.size(), 2u);
+  EXPECT_EQ(back.frames[0].func, "main");
+  EXPECT_EQ(back.frames[0].resume_point, 7u);
+  EXPECT_EQ(back.frames[1].vars[1].name, "arr");
+  EXPECT_EQ(back.frames[1].vars[1].count, 10u);
+  ASSERT_EQ(back.globals.size(), 1u);
+  EXPECT_EQ(back.globals[0].source_block, 45u);
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(ExecState, EmptyStateRoundTrips) {
+  ExecutionState state;
+  xdr::Encoder enc;
+  state.encode(enc);
+  xdr::Decoder dec(enc.bytes());
+  const ExecutionState back = ExecutionState::decode(dec);
+  EXPECT_TRUE(back.frames.empty());
+  EXPECT_TRUE(back.globals.empty());
+}
+
+}  // namespace
+}  // namespace hpm::msrm

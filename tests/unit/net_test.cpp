@@ -1,0 +1,191 @@
+// Transport layer: channels, framing, and the Ethernet link model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "common/error.hpp"
+#include "net/file_channel.hpp"
+#include "net/mem_channel.hpp"
+#include "net/message.hpp"
+#include "net/simnet.hpp"
+#include "net/socket_channel.hpp"
+
+namespace hpm::net {
+namespace {
+
+Bytes make_payload(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  return b;
+}
+
+TEST(MemChannel, BytesFlowBothDirections) {
+  auto [a, b] = MemChannel::make_pair();
+  const Bytes out = make_payload(1000);
+  a->send(out);
+  Bytes in(1000);
+  b->recv(in);
+  EXPECT_EQ(in, out);
+  b->send(out);
+  Bytes back(1000);
+  a->recv(back);
+  EXPECT_EQ(back, out);
+}
+
+TEST(MemChannel, RecvBlocksUntilDataArrives) {
+  auto [a, b] = MemChannel::make_pair();
+  Bytes in(4);
+  std::thread reader([&] { b->recv(in); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const Bytes out = {1, 2, 3, 4};
+  a->send(out);
+  reader.join();
+  EXPECT_EQ(in, out);
+}
+
+TEST(MemChannel, CloseWithPendingReadThrows) {
+  auto [a, b] = MemChannel::make_pair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    a->close();
+  });
+  Bytes in(10);
+  EXPECT_THROW(b->recv(in), NetError);
+  closer.join();
+}
+
+TEST(SocketChannel, LoopbackRoundTrip) {
+  SocketListener listener;
+  std::unique_ptr<SocketChannel> server;
+  std::thread acceptor([&] { server = listener.accept(); });
+  auto client = connect_to(listener.port());
+  acceptor.join();
+  const Bytes out = make_payload(100000);
+  std::thread sender([&] { client->send(out); });
+  Bytes in(100000);
+  server->recv(in);
+  sender.join();
+  EXPECT_EQ(in, out);
+  client->close();
+  Bytes more(1);
+  EXPECT_THROW(server->recv(more), NetError);  // orderly EOF detected
+}
+
+TEST(SocketChannel, ConnectToClosedPortFails) {
+  std::uint16_t dead_port;
+  {
+    SocketListener listener;
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(connect_to(dead_port), NetError);
+}
+
+TEST(FileChannel, SpoolCarriesBytesAcross) {
+  const std::string path = "/tmp/hpm_net_test_spool.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".done").c_str());
+  const Bytes out = make_payload(50000);
+  FileWriterChannel writer(path);
+  FileReaderChannel reader(path);
+  std::thread producer([&] {
+    writer.send(std::span<const std::uint8_t>(out.data(), 20000));
+    writer.send(std::span<const std::uint8_t>(out.data() + 20000, 30000));
+    writer.close();
+  });
+  Bytes in(50000);
+  reader.recv(in);
+  producer.join();
+  EXPECT_EQ(in, out);
+}
+
+TEST(FileChannel, ShortSpoolIsDetected) {
+  const std::string path = "/tmp/hpm_net_test_short.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".done").c_str());
+  {
+    FileWriterChannel writer(path);
+    const Bytes out = make_payload(10);
+    writer.send(out);
+    writer.close();
+  }
+  FileReaderChannel reader(path);
+  Bytes in(20);  // wants more than was written
+  EXPECT_THROW(reader.recv(in), NetError);
+}
+
+TEST(FileChannel, DirectionsAreEnforced) {
+  const std::string path = "/tmp/hpm_net_test_dir.bin";
+  std::remove(path.c_str());
+  FileWriterChannel writer(path);
+  Bytes buf(1);
+  EXPECT_THROW(writer.recv(buf), NetError);
+  FileReaderChannel reader(path);
+  EXPECT_THROW(reader.send(buf), NetError);
+}
+
+TEST(Message, FramingRoundTrips) {
+  auto [a, b] = MemChannel::make_pair();
+  const Bytes payload = make_payload(333);
+  send_message(*a, MsgType::State, payload);
+  const Message msg = recv_message(*b);
+  EXPECT_EQ(msg.type, MsgType::State);
+  EXPECT_EQ(msg.payload, payload);
+}
+
+TEST(Message, EmptyPayloadIsLegal) {
+  auto [a, b] = MemChannel::make_pair();
+  send_message(*a, MsgType::Ack, {});
+  const Message msg = recv_message(*b);
+  EXPECT_EQ(msg.type, MsgType::Ack);
+  EXPECT_TRUE(msg.payload.empty());
+}
+
+TEST(Message, UnknownTypeTagIsRejected) {
+  auto [a, b] = MemChannel::make_pair();
+  const Bytes junk = {0x7F, 0, 0, 0, 0};
+  a->send(junk);
+  EXPECT_THROW(recv_message(*b), NetError);
+}
+
+TEST(Message, OversizedFrameIsRejected) {
+  auto [a, b] = MemChannel::make_pair();
+  const Bytes header = {static_cast<std::uint8_t>(MsgType::State), 0x40, 0, 0, 0};
+  a->send(header);
+  EXPECT_THROW(recv_message(*b, /*max_payload=*/1 << 20), NetError);
+}
+
+TEST(SimulatedLink, TransferTimeScalesWithBytes) {
+  const SimulatedLink fast = SimulatedLink::ethernet_100mbps();
+  const SimulatedLink slow = SimulatedLink::ethernet_10mbps();
+  const double t1 = fast.transfer_seconds(1'000'000);
+  const double t8 = fast.transfer_seconds(8'000'000);
+  EXPECT_NEAR(t8 / t1, 8.0, 0.1);                        // linear in bytes
+  EXPECT_NEAR(slow.transfer_seconds(1'000'000) / t1, 10.0, 0.5);  // 10x slower wire
+  EXPECT_EQ(fast.transfer_seconds(0), fast.latency_s);
+}
+
+TEST(SimulatedLink, PaperScaleSanity) {
+  // ~8 MB of linpack state over 100 Mb/s took the paper ~0.8 s; the model
+  // must land in that decade.
+  const double t = SimulatedLink::ethernet_100mbps().transfer_seconds(8'000'000);
+  EXPECT_GT(t, 0.3);
+  EXPECT_LT(t, 2.0);
+}
+
+TEST(ThrottledChannel, AccountsModeledTime) {
+  auto [a, b] = MemChannel::make_pair();
+  SimulatedLink link;
+  link.bandwidth_bps = 1e9;  // keep the real sleep tiny
+  link.latency_s = 0;
+  ThrottledChannel throttled(std::move(a), link);
+  const Bytes payload = make_payload(10000);
+  throttled.send(payload);
+  EXPECT_GT(throttled.modeled_send_seconds(), 0.0);
+  Bytes in(10000);
+  b->recv(in);
+  EXPECT_EQ(in, payload);
+}
+
+}  // namespace
+}  // namespace hpm::net

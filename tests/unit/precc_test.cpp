@@ -1,0 +1,286 @@
+// precc front-end: lexing, full C declarator parsing, migration-unsafe
+// detection, and code generation.
+#include <gtest/gtest.h>
+
+#include "precc/codegen.hpp"
+#include "precc/lexer.hpp"
+#include "precc/parser.hpp"
+
+namespace hpm::precc {
+namespace {
+
+ParseResult parse_ok(ti::TypeTable& t, std::string_view src, bool strict = false) {
+  Parser p(t, strict);
+  return p.parse(src);
+}
+
+TEST(Lexer, TokenizesDeclarationSyntax) {
+  const auto toks = tokenize("struct n { int x[10]; };");
+  ASSERT_GE(toks.size(), 11u);
+  EXPECT_EQ(toks[0].kind, Tok::KwStruct);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "n");
+  EXPECT_EQ(toks[5].kind, Tok::LBracket);
+  EXPECT_EQ(toks[6].value, 10u);
+}
+
+TEST(Lexer, CommentsAndHexLiterals) {
+  const auto toks = tokenize("// line\nint /* block\nspanning */ x[0x1F];");
+  EXPECT_EQ(toks[0].kind, Tok::KwTypeWord);
+  bool found = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Integer) {
+      EXPECT_EQ(t.value, 0x1Fu);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = tokenize("int a;\nint b;\n\nint c;");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[3].line, 2);
+  EXPECT_EQ(toks[6].line, 4);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(tokenize("int a @ 5;"), ParseError);
+  EXPECT_THROW(tokenize("int $x;"), ParseError);
+  EXPECT_THROW(tokenize("/* unterminated"), ParseError);
+}
+
+TEST(Parser, Figure1Declarations) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    struct node { float data; struct node *link; };
+    struct node *first, *last;
+  )");
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.struct_names.size(), 1u);
+  const ti::TypeId node = t.find_struct("node");
+  ASSERT_NE(node, ti::kInvalidType);
+  EXPECT_EQ(t.at(node).fields.size(), 2u);
+  EXPECT_EQ(t.spell(t.at(node).fields[1].type), "struct node *");
+  ASSERT_EQ(r.globals.size(), 2u);
+  EXPECT_EQ(r.globals[0].name, "first");
+  EXPECT_EQ(t.spell(r.globals[0].type), "struct node *");
+}
+
+TEST(Parser, PrimitiveWordCombinations) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    unsigned long long a;
+    long int b;
+    unsigned c;
+    signed char d;
+    short int e;
+    unsigned short f;
+    double g;
+    _Bool h;
+    const unsigned long i;
+  )");
+  EXPECT_TRUE(r.clean());
+  using xdr::PrimKind;
+  EXPECT_EQ(r.globals[0].type, t.primitive(PrimKind::ULongLong));
+  EXPECT_EQ(r.globals[1].type, t.primitive(PrimKind::Long));
+  EXPECT_EQ(r.globals[2].type, t.primitive(PrimKind::UInt));
+  EXPECT_EQ(r.globals[3].type, t.primitive(PrimKind::SChar));
+  EXPECT_EQ(r.globals[4].type, t.primitive(PrimKind::Short));
+  EXPECT_EQ(r.globals[5].type, t.primitive(PrimKind::UShort));
+  EXPECT_EQ(r.globals[6].type, t.primitive(PrimKind::Double));
+  EXPECT_EQ(r.globals[7].type, t.primitive(PrimKind::Bool));
+  EXPECT_EQ(r.globals[8].type, t.primitive(PrimKind::ULong));
+}
+
+TEST(Parser, DeclaratorShapes) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    int *a[10];
+    int (*b)[10];
+    int **c;
+    double m[3][4];
+    int *(*d)[10];
+  )");
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(t.spell(r.globals[0].type), "int *[10]");    // array of pointers
+  EXPECT_EQ(t.spell(r.globals[1].type), "int[10] *");    // pointer to array
+  EXPECT_EQ(t.spell(r.globals[2].type), "int * *");
+  EXPECT_EQ(t.spell(r.globals[3].type), "double[4][3]");
+  EXPECT_EQ(t.spell(r.globals[4].type), "int *[10] *");  // paper's test_pointer shape
+}
+
+TEST(Parser, MultiDimArrayOrder) {
+  // double m[3][4] = array of 3 arrays of 4 doubles.
+  ti::TypeTable t;
+  const auto r = parse_ok(t, "double m[3][4];");
+  const ti::TypeInfo& outer = t.at(r.globals[0].type);
+  EXPECT_EQ(outer.count, 3u);
+  EXPECT_EQ(t.at(outer.elem).count, 4u);
+}
+
+TEST(Parser, TypedefsResolve) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    typedef unsigned long size_type;
+    typedef int row[10];
+    size_type n;
+    row *prow;
+  )");
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.globals[0].type, t.primitive(xdr::PrimKind::ULong));
+  EXPECT_EQ(t.spell(r.globals[1].type), "int[10] *");
+}
+
+TEST(Parser, ForwardStructReferencesWork) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    struct a { struct b *peer; int x; };
+    struct b { struct a *peer; double y; };
+  )");
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.struct_names.size(), 2u);
+  EXPECT_TRUE(t.at(t.find_struct("b")).defined);
+}
+
+TEST(Parser, UnsafeFeaturesAreFlagged) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    union u { int a; float b; };
+    void *p;
+    int (*fn)(int);
+    long double x;
+    struct ok { int y; };
+  )");
+  ASSERT_EQ(r.findings.size(), 4u);
+  EXPECT_EQ(r.findings[0].feature, "union");
+  EXPECT_EQ(r.findings[1].feature, "void pointer");
+  EXPECT_EQ(r.findings[2].feature, "function declarator");
+  EXPECT_EQ(r.findings[3].feature, "long double");
+  // Safe declarations around the unsafe ones still parse.
+  EXPECT_NE(t.find_struct("ok"), ti::kInvalidType);
+}
+
+TEST(Parser, UnionInsideStructIsFlaggedAndFieldSkipped) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    struct holder {
+      int before;
+      union { int a; float b; } overlay;
+      int after;
+    };
+  )");
+  EXPECT_FALSE(r.clean());
+  const ti::TypeInfo& holder = t.at(t.find_struct("holder"));
+  ASSERT_EQ(holder.fields.size(), 2u);  // union member skipped
+  EXPECT_EQ(holder.fields[0].name, "before");
+  EXPECT_EQ(holder.fields[1].name, "after");
+}
+
+TEST(Parser, StrictModeThrowsOnFirstUnsafeFeature) {
+  ti::TypeTable t;
+  Parser p(t, /*strict=*/true);
+  EXPECT_THROW(p.parse("void *p;"), UnsafeFeatureError);
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers) {
+  ti::TypeTable t;
+  Parser p(t);
+  try {
+    p.parse("int a;\nstruct { int x; };");  // missing tag
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnknownTypeNameFails) {
+  ti::TypeTable t;
+  Parser p(t);
+  EXPECT_THROW(p.parse("mystery x;"), ParseError);
+}
+
+TEST(Parser, VoidVariableFails) {
+  ti::TypeTable t;
+  Parser p(t);
+  EXPECT_THROW(p.parse("void v;"), ParseError);
+  EXPECT_THROW(p.parse("void a[3];"), ParseError);
+}
+
+TEST(Parser, ZeroLengthArrayFails) {
+  ti::TypeTable t;
+  Parser p(t);
+  EXPECT_THROW(p.parse("int a[0];"), ParseError);
+}
+
+TEST(Codegen, EmitsBuilderCodeForEveryStruct) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    struct node { float data; struct node *link; };
+  )");
+  const std::string code = generate_registration(t, r);
+  EXPECT_NE(code.find("StructBuilder<node> b(table, \"node\");"), std::string::npos);
+  EXPECT_NE(code.find("HPM_TI_FIELD(b, node, data);"), std::string::npos);
+  EXPECT_NE(code.find("HPM_TI_FIELD(b, node, link);"), std::string::npos);
+  EXPECT_NE(code.find("b.commit();"), std::string::npos);
+}
+
+TEST(Codegen, ReportListsFindingsAndGlobals) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    struct node { float data; struct node *link; };
+    struct node *first;
+    void *bad;
+  )");
+  const std::string rep = report(t, r);
+  EXPECT_NE(rep.find("struct node * first"), std::string::npos);
+  EXPECT_NE(rep.find("void pointer"), std::string::npos);
+}
+
+TEST(Codegen, CleanReportSaysSo) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, "int x;");
+  EXPECT_NE(report(t, r).find("migration-safe"), std::string::npos);
+}
+
+
+TEST(Parser, EnumsAreMigrationSafeInts) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, R"(
+    enum color { RED, GREEN = 5, BLUE, DARK = -2 };
+    enum color paint;
+    struct pixel { enum color c; int x; };
+    typedef enum { LOW, HIGH } level;
+    level threshold;
+  )");
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.enum_names.size(), 1u);
+  EXPECT_EQ(r.enum_names[0], "color");
+  ASSERT_EQ(r.enum_constants.size(), 6u);
+  EXPECT_EQ(r.enum_constants[0].value, 0);
+  EXPECT_EQ(r.enum_constants[1].value, 5);
+  EXPECT_EQ(r.enum_constants[2].value, 6);
+  EXPECT_EQ(r.enum_constants[3].value, -2);
+  EXPECT_EQ(r.enum_constants[4].name, "LOW");
+  EXPECT_EQ(r.globals[0].type, t.primitive(xdr::PrimKind::Int));
+  EXPECT_EQ(r.globals[1].type, t.primitive(xdr::PrimKind::Int));
+  const ti::TypeInfo& pixel = t.at(t.find_struct("pixel"));
+  EXPECT_EQ(pixel.fields[0].type, t.primitive(xdr::PrimKind::Int));
+}
+
+TEST(Parser, EnumDefinitionWithDeclaratorList) {
+  ti::TypeTable t;
+  const auto r = parse_ok(t, "enum state { OFF, ON } power, *ptr;");
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.globals.size(), 2u);
+  EXPECT_EQ(t.spell(r.globals[1].type), "int *");
+}
+
+TEST(Parser, UnknownEnumTagFails) {
+  ti::TypeTable t;
+  Parser p(t);
+  EXPECT_THROW(p.parse("enum missing x;"), ParseError);
+}
+
+}  // namespace
+}  // namespace hpm::precc

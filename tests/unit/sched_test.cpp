@@ -1,0 +1,151 @@
+// Migration scheduler / cluster simulator: deterministic scenarios and
+// policy behavior.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/cluster.hpp"
+
+namespace hpm::sched {
+namespace {
+
+CostModel cheap_model() {
+  CostModel m;
+  m.collect_s_per_block = 0;
+  m.collect_s_per_byte = 0;
+  m.restore_s_per_block = 0;
+  m.restore_s_per_byte = 0;
+  m.link.latency_s = 0.01;
+  m.link.bandwidth_bps = 1e12;
+  return m;
+}
+
+TEST(CostModel, FreezeTimeTracksStateSize) {
+  const CostModel m = CostModel::calibrated();
+  JobSpec small{"s", 1, 0, 0, 1 << 16, 100};
+  JobSpec large{"l", 1, 0, 0, 8 << 20, 100000};
+  EXPECT_GT(m.freeze_seconds(large), m.freeze_seconds(small) * 10);
+  EXPECT_GT(m.freeze_seconds(small), 0.0);
+}
+
+TEST(ClusterSim, SingleJobFinishesAtWorkOverSpeed) {
+  ClusterSim sim({{"h0", 2.0}}, cheap_model());
+  NeverMigrate policy;
+  const SimResult r = sim.run({{"j", 10.0, 0.0, 0, 1, 1}}, policy);
+  EXPECT_NEAR(r.makespan, 5.0, 0.02);
+  EXPECT_EQ(r.migrations, 0u);
+}
+
+TEST(ClusterSim, ProcessorSharingSplitsAHost) {
+  ClusterSim sim({{"h0", 1.0}}, cheap_model());
+  NeverMigrate policy;
+  const SimResult r = sim.run({{"a", 5.0, 0.0, 0, 1, 1}, {"b", 5.0, 0.0, 0, 1, 1}}, policy);
+  EXPECT_NEAR(r.makespan, 10.0, 0.05);  // two equal jobs share the CPU
+}
+
+TEST(ClusterSim, ArrivalTimesAreRespected) {
+  ClusterSim sim({{"h0", 1.0}}, cheap_model());
+  NeverMigrate policy;
+  const SimResult r = sim.run({{"late", 1.0, 5.0, 0, 1, 1}}, policy);
+  EXPECT_NEAR(r.makespan, 6.0, 0.02);
+  EXPECT_NEAR(r.mean_turnaround, 1.0, 0.02);
+}
+
+TEST(ClusterSim, LoadBalanceBeatsNeverMigrateOnSkewedLoad) {
+  // Eight equal jobs all submitted to host 0 of a 4-host cluster.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(JobSpec{"j" + std::to_string(i), 4.0, 0.0, 0, 1 << 20, 1000});
+  }
+  ClusterSim sim({{"h0"}, {"h1"}, {"h2"}, {"h3"}}, cheap_model());
+  NeverMigrate never;
+  LoadBalance balance;
+  const SimResult r_never = sim.run(jobs, never);
+  const SimResult r_bal = sim.run(jobs, balance);
+  EXPECT_NEAR(r_never.makespan, 32.0, 0.2);  // 8 jobs x 4 s on one host
+  EXPECT_LT(r_bal.makespan, r_never.makespan * 0.45);
+  EXPECT_GE(r_bal.migrations, 6u);   // six jobs leave host 0
+  EXPECT_LT(r_bal.mean_turnaround, r_never.mean_turnaround);
+}
+
+TEST(ClusterSim, ExpensiveStateSuppressesMigration) {
+  // When the freeze cost rivals the remaining work, a sane policy stays.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) {
+    // Tiny jobs with enormous live state: migration can never pay off.
+    jobs.push_back(JobSpec{"j" + std::to_string(i), 0.05, 0.0, 0, 800u << 20, 2000000});
+  }
+  ClusterSim sim({{"h0"}, {"h1"}}, CostModel::calibrated());
+  LoadBalance balance;
+  const SimResult r = sim.run(jobs, balance);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_EQ(r.total_frozen_seconds, 0.0);
+}
+
+TEST(ClusterSim, FrozenTimeIsAccounted) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(JobSpec{"j" + std::to_string(i), 3.0, 0.0, 0, 1 << 10, 10});
+  }
+  CostModel m = cheap_model();
+  m.link.latency_s = 0.5;  // every migration freezes for exactly ~0.5 s
+  ClusterSim sim({{"h0"}, {"h1"}}, m);
+  LoadBalance balance;
+  const SimResult r = sim.run(jobs, balance);
+  EXPECT_GT(r.migrations, 0u);
+  // Each freeze is the 0.5 s latency plus a sub-microsecond wire term.
+  EXPECT_NEAR(r.total_frozen_seconds, 0.5 * r.migrations, 1e-5 * r.migrations);
+}
+
+TEST(ClusterSim, FasterHostAttractsWork) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(JobSpec{"j" + std::to_string(i), 2.0, 0.0, 0, 1 << 16, 50});
+  }
+  ClusterSim sim({{"slow", 1.0}, {"fast", 4.0}}, cheap_model());
+  LoadBalance balance;
+  const SimResult r = sim.run(jobs, balance);
+  EXPECT_GT(r.migrations, 0u);
+  EXPECT_GT(r.host_busy_seconds[1], 0.0);
+  NeverMigrate never;
+  const SimResult r_never = sim.run(jobs, never);
+  EXPECT_LT(r.makespan, r_never.makespan);
+}
+
+TEST(ClusterSim, InputValidation) {
+  ClusterSim empty({}, cheap_model());
+  NeverMigrate policy;
+  EXPECT_THROW(empty.run({{"j", 1.0, 0.0, 0, 1, 1}}, policy), Error);
+  ClusterSim sim({{"h0"}}, cheap_model());
+  EXPECT_THROW(sim.run({{"bad-host", 1.0, 0.0, 5, 1, 1}}, policy), Error);
+  EXPECT_THROW(sim.run({{"no-work", 0.0, 0.0, 0, 1, 1}}, policy), Error);
+}
+
+TEST(ClusterSim, MisbehavedPolicyIsRejected) {
+  class Rogue final : public Policy {
+   public:
+    [[nodiscard]] std::string name() const override { return "rogue"; }
+    std::vector<MigrationOrder> decide(const ClusterView&) override {
+      return {MigrationOrder{0, 99}};  // unknown host
+    }
+  };
+  ClusterSim sim({{"h0"}, {"h1"}}, cheap_model());
+  Rogue rogue;
+  EXPECT_THROW(sim.run({{"j", 1.0, 0.0, 0, 1, 1}}, rogue), Error);
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(JobSpec{"j" + std::to_string(i), 1.0 + i * 0.3, i * 0.2, 0, 1 << 18, 500});
+  }
+  ClusterSim sim({{"h0"}, {"h1"}, {"h2"}}, CostModel::calibrated());
+  LoadBalance balance;
+  const SimResult a = sim.run(jobs, balance);
+  const SimResult b = sim.run(jobs, balance);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.finish_times, b.finish_times);
+}
+
+}  // namespace
+}  // namespace hpm::sched

@@ -1,0 +1,124 @@
+// Native registration (StructBuilder / HPM_TI_FIELD): the hand-written
+// stand-in for pre-compiler output, with layout cross-validation.
+#include <gtest/gtest.h>
+
+#include "ti/describe.hpp"
+
+namespace hpm::ti {
+namespace {
+
+using xdr::PrimKind;
+
+struct Simple {
+  int a;
+  double b;
+};
+
+struct SelfRef {
+  float data;
+  SelfRef* link;
+};
+
+struct WithArrays {
+  short tag;
+  long values[6];
+  SelfRef* links[2];
+};
+
+TEST(NativeTypeId, MapsEveryPrimitive) {
+  TypeTable t;
+  EXPECT_EQ(native_type_id<int>(t), t.primitive(PrimKind::Int));
+  EXPECT_EQ(native_type_id<unsigned long long>(t), t.primitive(PrimKind::ULongLong));
+  EXPECT_EQ(native_type_id<signed char>(t), t.primitive(PrimKind::SChar));
+  EXPECT_EQ(native_type_id<bool>(t), t.primitive(PrimKind::Bool));
+  EXPECT_EQ(native_type_id<const double>(t), t.primitive(PrimKind::Double));
+}
+
+TEST(NativeTypeId, BuildsPointerAndArrayShells) {
+  TypeTable t;
+  const TypeId p = native_type_id<int*>(t);
+  EXPECT_EQ(t.at(p).kind, TypeKind::Pointer);
+  const TypeId pp = native_type_id<int**>(t);
+  EXPECT_EQ(t.at(pp).pointee, p);
+  const TypeId arr = native_type_id<double[7]>(t);
+  EXPECT_EQ(t.at(arr).kind, TypeKind::Array);
+  EXPECT_EQ(t.at(arr).count, 7u);
+  const TypeId pa = native_type_id<int(*)[10]>(t);
+  EXPECT_EQ(t.spell(pa), "int[10] *");
+}
+
+TEST(NativeTypeId, UnregisteredClassThrows) {
+  TypeTable t;
+  EXPECT_THROW(native_type_id<Simple>(t), TypeError);
+}
+
+TEST(StructBuilder, RegistersAndValidatesAgainstCompilerLayout) {
+  TypeTable t;
+  StructBuilder<Simple> b(t, "simple");
+  HPM_TI_FIELD(b, Simple, a);
+  HPM_TI_FIELD(b, Simple, b);
+  const TypeId id = b.commit();
+  EXPECT_EQ(t.find_struct("simple"), id);
+  EXPECT_EQ(native_type_id<Simple>(t), id);
+  const LayoutMap native(t, xdr::native_arch());
+  EXPECT_EQ(native.of(id).size, sizeof(Simple));
+  EXPECT_EQ(native.of(id).field_offsets[1], offsetof(Simple, b));
+}
+
+TEST(StructBuilder, SelfReferentialStructWorks) {
+  TypeTable t;
+  StructBuilder<SelfRef> b(t, "self");
+  HPM_TI_FIELD(b, SelfRef, data);
+  HPM_TI_FIELD(b, SelfRef, link);
+  const TypeId id = b.commit();
+  EXPECT_EQ(t.at(t.at(id).fields[1].type).pointee, id);
+}
+
+TEST(StructBuilder, ArrayFieldsWork) {
+  TypeTable t;
+  {
+    StructBuilder<SelfRef> b(t, "self");
+    HPM_TI_FIELD(b, SelfRef, data);
+    HPM_TI_FIELD(b, SelfRef, link);
+    b.commit();
+  }
+  StructBuilder<WithArrays> b(t, "with_arrays");
+  HPM_TI_FIELD(b, WithArrays, tag);
+  HPM_TI_FIELD(b, WithArrays, values);
+  HPM_TI_FIELD(b, WithArrays, links);
+  const TypeId id = b.commit();
+  const LayoutMap native(t, xdr::native_arch());
+  EXPECT_EQ(native.of(id).size, sizeof(WithArrays));
+  EXPECT_EQ(native.of(id).field_offsets[2], offsetof(WithArrays, links));
+}
+
+TEST(StructBuilder, MissingFieldIsCaughtBySizeCheck) {
+  TypeTable t;
+  StructBuilder<Simple> b(t, "broken");
+  HPM_TI_FIELD(b, Simple, a);  // forgot `b`
+  EXPECT_THROW(b.commit(), TypeError);
+}
+
+TEST(StructBuilder, WrongOffsetIsCaught) {
+  TypeTable t;
+  StructBuilder<Simple> b(t, "shifted");
+  b.field<int>("a", 0);
+  b.field<double>("b", 4);  // real offset is 8 on every 8-aligned host
+  if (alignof(double) == 8) {
+    EXPECT_THROW(b.commit(), TypeError);
+  }
+}
+
+TEST(StructBuilder, DoubleRegistrationOfSameNativeTypeThrows) {
+  TypeTable t;
+  {
+    StructBuilder<Simple> b(t, "one");
+    HPM_TI_FIELD(b, Simple, a);
+    HPM_TI_FIELD(b, Simple, b);
+    b.commit();
+  }
+  EXPECT_THROW((StructBuilder<Simple>(t, "two")), TypeError);
+}
+
+}  // namespace
+}  // namespace hpm::ti

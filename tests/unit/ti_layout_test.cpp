@@ -1,0 +1,132 @@
+// Layout engine: natural-alignment layouts across all architecture
+// presets, including the padding differences heterogeneous migration
+// must bridge.
+#include <gtest/gtest.h>
+
+#include "ti/layout.hpp"
+#include "xdr/arch.hpp"
+
+namespace hpm::ti {
+namespace {
+
+using xdr::PrimKind;
+
+/// The paper's Figure 1 node: { float data; struct node* link; }.
+TypeId make_fig1_node(TypeTable& t) {
+  const TypeId node = t.declare_struct("node");
+  t.define_struct(node, {{"data", t.primitive(PrimKind::Float)},
+                         {"link", t.intern_pointer(node)}});
+  return node;
+}
+
+TEST(Layout, Fig1NodeIs8BytesOnIlp32And16OnLp64) {
+  TypeTable t;
+  const TypeId node = make_fig1_node(t);
+  const LayoutMap sparc(t, xdr::sparc20_solaris());
+  EXPECT_EQ(sparc.of(node).size, 8u);
+  EXPECT_EQ(sparc.of(node).field_offsets[1], 4u);
+  const LayoutMap lp64(t, xdr::x86_64_linux());
+  EXPECT_EQ(lp64.of(node).size, 16u);
+  EXPECT_EQ(lp64.of(node).field_offsets[1], 8u);
+}
+
+TEST(Layout, DoublePaddingDiffersBetweenI386AndSparc) {
+  TypeTable t;
+  const TypeId s = t.declare_struct("mix");
+  t.define_struct(s, {{"c", t.primitive(PrimKind::Char)},
+                      {"d", t.primitive(PrimKind::Double)}});
+  const LayoutMap i386(t, xdr::i386_linux());
+  EXPECT_EQ(i386.of(s).field_offsets[1], 4u);  // double aligned to 4
+  EXPECT_EQ(i386.of(s).size, 12u);
+  const LayoutMap sparc(t, xdr::sparc20_solaris());
+  EXPECT_EQ(sparc.of(s).field_offsets[1], 8u);  // double aligned to 8
+  EXPECT_EQ(sparc.of(s).size, 16u);
+}
+
+TEST(Layout, TrailingPaddingRoundsToStructAlignment) {
+  TypeTable t;
+  const TypeId s = t.declare_struct("tail");
+  t.define_struct(s, {{"d", t.primitive(PrimKind::Double)},
+                      {"c", t.primitive(PrimKind::Char)}});
+  const LayoutMap m(t, xdr::sparc20_solaris());
+  EXPECT_EQ(m.of(s).size, 16u);
+  EXPECT_EQ(m.of(s).align, 8u);
+}
+
+TEST(Layout, ArraysMultiplyAndInheritAlignment) {
+  TypeTable t;
+  const TypeId arr = t.intern_array(t.primitive(PrimKind::Double), 25);
+  const LayoutMap m(t, xdr::dec5000_ultrix());
+  EXPECT_EQ(m.of(arr).size, 200u);
+  EXPECT_EQ(m.of(arr).align, 8u);
+}
+
+TEST(Layout, NestedStructsCompose) {
+  TypeTable t;
+  const TypeId inner = t.declare_struct("inner");
+  t.define_struct(inner, {{"s", t.primitive(PrimKind::Short)},
+                          {"l", t.primitive(PrimKind::Long)}});
+  const TypeId outer = t.declare_struct("outer");
+  t.define_struct(outer, {{"c", t.primitive(PrimKind::Char)},
+                          {"pair", t.intern_array(inner, 2)},
+                          {"p", t.intern_pointer(inner)}});
+  const LayoutMap m(t, xdr::sparc20_solaris());  // long=4 align 4
+  EXPECT_EQ(m.of(inner).size, 8u);
+  EXPECT_EQ(m.of(outer).field_offsets[0], 0u);
+  EXPECT_EQ(m.of(outer).field_offsets[1], 4u);
+  EXPECT_EQ(m.of(outer).field_offsets[2], 20u);
+  EXPECT_EQ(m.of(outer).size, 24u);
+}
+
+TEST(Layout, UndefinedStructThrows) {
+  TypeTable t;
+  const TypeId fwd = t.declare_struct("fwd");
+  const LayoutMap m(t, xdr::native_arch());
+  EXPECT_THROW(m.of(fwd), TypeError);
+  EXPECT_NO_THROW(m.of(t.intern_pointer(fwd)));  // pointer to undefined is fine
+}
+
+TEST(Layout, AlignUpHelper) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(9, 4), 12u);
+  EXPECT_EQ(align_up(5, 0), 5u);
+}
+
+/// Property sweep: on every preset, struct layouts obey the invariants of
+/// natural alignment (monotone offsets, no overlap, aligned fields, size
+/// multiple of alignment).
+class LayoutInvariants : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(LayoutInvariants, NaturalAlignmentInvariantsHold) {
+  const xdr::ArchDescriptor& arch = xdr::arch_by_name(GetParam());
+  TypeTable t;
+  const TypeId node = make_fig1_node(t);
+  const TypeId s = t.declare_struct("zoo");
+  t.define_struct(s, {{"a", t.primitive(PrimKind::Char)},
+                      {"b", t.primitive(PrimKind::Double)},
+                      {"c", t.primitive(PrimKind::Short)},
+                      {"d", t.intern_pointer(node)},
+                      {"e", t.intern_array(node, 3)},
+                      {"f", t.primitive(PrimKind::LongLong)},
+                      {"g", t.primitive(PrimKind::Bool)}});
+  const LayoutMap m(t, arch);
+  const TypeLayout& sl = m.of(s);
+  const TypeInfo& info = t.at(s);
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < info.fields.size(); ++i) {
+    const TypeLayout& fl = m.of(info.fields[i].type);
+    EXPECT_GE(sl.field_offsets[i], prev_end) << "field " << i << " overlaps";
+    EXPECT_EQ(sl.field_offsets[i] % fl.align, 0u) << "field " << i << " misaligned";
+    prev_end = sl.field_offsets[i] + fl.size;
+  }
+  EXPECT_GE(sl.size, prev_end);
+  EXPECT_EQ(sl.size % sl.align, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, LayoutInvariants,
+                         ::testing::ValuesIn(xdr::arch_names()));
+
+}  // namespace
+}  // namespace hpm::ti

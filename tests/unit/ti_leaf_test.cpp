@@ -1,0 +1,121 @@
+// Leaf model: flattening, ordinal <-> offset translation, and the
+// property that they are exact inverses on every architecture.
+#include <gtest/gtest.h>
+
+#include "ti/leaf.hpp"
+#include "xdr/arch.hpp"
+
+namespace hpm::ti {
+namespace {
+
+using xdr::PrimKind;
+
+struct Fixture {
+  TypeTable t;
+  TypeId node;   // { float data; node* link; }
+  TypeId mixed;  // { char c; node inner; int arr[3]; node* p; }
+  Fixture() {
+    node = t.declare_struct("node");
+    t.define_struct(node, {{"data", t.primitive(PrimKind::Float)},
+                           {"link", t.intern_pointer(node)}});
+    mixed = t.declare_struct("mixed");
+    t.define_struct(mixed, {{"c", t.primitive(PrimKind::Char)},
+                            {"inner", node},
+                            {"arr", t.intern_array(t.primitive(PrimKind::Int), 3)},
+                            {"p", t.intern_pointer(node)}});
+  }
+};
+
+TEST(LeafCount, CountsPrimitivesAndPointers) {
+  Fixture f;
+  LeafIndex leaves(f.t);
+  EXPECT_EQ(leaves.count(f.t.primitive(PrimKind::Int)), 1u);
+  EXPECT_EQ(leaves.count(f.t.intern_pointer(f.node)), 1u);
+  EXPECT_EQ(leaves.count(f.node), 2u);
+  EXPECT_EQ(leaves.count(f.mixed), 1 + 2 + 3 + 1u);
+  EXPECT_EQ(leaves.count(f.t.intern_array(f.mixed, 4)), 28u);
+}
+
+TEST(LeafCount, UndefinedStructThrows) {
+  TypeTable t;
+  const TypeId fwd = t.declare_struct("fwd");
+  LeafIndex leaves(t);
+  EXPECT_THROW(leaves.count(fwd), TypeError);
+}
+
+TEST(LeafAt, ResolvesKindsAndOffsets) {
+  Fixture f;
+  LeafIndex leaves(f.t);
+  const LayoutMap m(f.t, xdr::sparc20_solaris());
+  // mixed on sparc: c@0, inner@4 (float@4, link@8), arr@12..23, p@24.
+  const LeafRef c = leaf_at(leaves, m, f.mixed, 0);
+  EXPECT_FALSE(c.is_pointer);
+  EXPECT_EQ(c.prim, PrimKind::Char);
+  EXPECT_EQ(c.byte_offset, 0u);
+  const LeafRef data = leaf_at(leaves, m, f.mixed, 1);
+  EXPECT_EQ(data.prim, PrimKind::Float);
+  EXPECT_EQ(data.byte_offset, 4u);
+  const LeafRef link = leaf_at(leaves, m, f.mixed, 2);
+  EXPECT_TRUE(link.is_pointer);
+  EXPECT_EQ(link.byte_offset, 8u);
+  const LeafRef arr1 = leaf_at(leaves, m, f.mixed, 4);
+  EXPECT_EQ(arr1.prim, PrimKind::Int);
+  EXPECT_EQ(arr1.byte_offset, 16u);
+  const LeafRef p = leaf_at(leaves, m, f.mixed, 6);
+  EXPECT_TRUE(p.is_pointer);
+  EXPECT_EQ(p.byte_offset, 24u);
+  EXPECT_THROW(leaf_at(leaves, m, f.mixed, 7), TypeError);
+}
+
+TEST(OrdinalOf, RejectsPaddingAndMidLeafAddresses) {
+  Fixture f;
+  LeafIndex leaves(f.t);
+  const LayoutMap m(f.t, xdr::sparc20_solaris());
+  EXPECT_EQ(ordinal_of(leaves, m, f.mixed, 0), 0u);
+  EXPECT_EQ(ordinal_of(leaves, m, f.mixed, 4), 1u);
+  EXPECT_EQ(ordinal_of(leaves, m, f.mixed, 24), 6u);
+  EXPECT_THROW(ordinal_of(leaves, m, f.mixed, 1), TypeError);   // padding after c
+  EXPECT_THROW(ordinal_of(leaves, m, f.mixed, 5), TypeError);   // mid-float
+  EXPECT_THROW(ordinal_of(leaves, m, f.mixed, 200), TypeError); // beyond end
+}
+
+TEST(ForEachLeaf, VisitsInOrdinalOrder) {
+  Fixture f;
+  LeafIndex leaves(f.t);
+  const LayoutMap m(f.t, xdr::x86_64_linux());
+  std::vector<std::uint64_t> offsets;
+  std::vector<bool> pointers;
+  for_each_leaf(leaves, m, f.mixed, [&](const LeafRef& ref) {
+    offsets.push_back(ref.byte_offset);
+    pointers.push_back(ref.is_pointer);
+  });
+  ASSERT_EQ(offsets.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+  EXPECT_EQ(pointers, (std::vector<bool>{false, false, true, false, false, false, true}));
+  // Cross-check against leaf_at for every ordinal.
+  for (std::uint64_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(leaf_at(leaves, m, f.mixed, i).byte_offset, offsets[i]);
+  }
+}
+
+/// Property: ordinal_of(leaf_at(i).offset) == i for every leaf of a
+/// deeply nested type, on every architecture.
+class LeafInverse : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(LeafInverse, OrdinalAndOffsetAreInverse) {
+  Fixture f;
+  const TypeId deep = f.t.intern_array(f.mixed, 5);
+  LeafIndex leaves(f.t);
+  const LayoutMap m(f.t, xdr::arch_by_name(GetParam()));
+  const std::uint64_t n = leaves.count(deep);
+  ASSERT_EQ(n, 35u);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const LeafRef ref = leaf_at(leaves, m, deep, i);
+    EXPECT_EQ(ordinal_of(leaves, m, deep, ref.byte_offset), i) << "arch " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, LeafInverse, ::testing::ValuesIn(xdr::arch_names()));
+
+}  // namespace
+}  // namespace hpm::ti

@@ -1,0 +1,195 @@
+// TypeTable: interning, struct lifecycle, signatures, serialization,
+// table reconciliation (adopt_tail).
+#include <gtest/gtest.h>
+
+#include "ti/table.hpp"
+
+namespace hpm::ti {
+namespace {
+
+using xdr::PrimKind;
+
+TEST(TypeTable, PrimitivesArePreRegisteredWithStableIds) {
+  TypeTable t;
+  EXPECT_EQ(t.size(), xdr::kNumPrimKinds);
+  EXPECT_EQ(t.at(t.primitive(PrimKind::Double)).prim, PrimKind::Double);
+  EXPECT_EQ(t.at(t.primitive(PrimKind::Bool)).prim, PrimKind::Bool);
+}
+
+TEST(TypeTable, PointerInterningDeduplicates) {
+  TypeTable t;
+  const TypeId p1 = t.intern_pointer(t.primitive(PrimKind::Int));
+  const TypeId p2 = t.intern_pointer(t.primitive(PrimKind::Int));
+  const TypeId p3 = t.intern_pointer(t.primitive(PrimKind::Float));
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+  EXPECT_EQ(t.at(p1).kind, TypeKind::Pointer);
+}
+
+TEST(TypeTable, ArrayInterningKeysOnElementAndCount) {
+  TypeTable t;
+  const TypeId a1 = t.intern_array(t.primitive(PrimKind::Int), 10);
+  const TypeId a2 = t.intern_array(t.primitive(PrimKind::Int), 10);
+  const TypeId a3 = t.intern_array(t.primitive(PrimKind::Int), 11);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_THROW(t.intern_array(t.primitive(PrimKind::Int), 0), TypeError);
+}
+
+TEST(TypeTable, InvalidIdsAreRejected) {
+  TypeTable t;
+  EXPECT_THROW(t.at(0), TypeError);
+  EXPECT_THROW(t.at(9999), TypeError);
+  EXPECT_THROW(t.intern_pointer(9999), TypeError);
+}
+
+TEST(TypeTable, StructDeclareDefineLifecycle) {
+  TypeTable t;
+  const TypeId id = t.declare_struct("node");
+  EXPECT_EQ(t.declare_struct("node"), id);  // redeclaration is idempotent
+  EXPECT_FALSE(t.at(id).defined);
+  t.define_struct(id, {{"data", t.primitive(PrimKind::Float)},
+                       {"link", t.intern_pointer(id)}});
+  EXPECT_TRUE(t.at(id).defined);
+  EXPECT_EQ(t.find_struct("node"), id);
+  EXPECT_EQ(t.find_struct("missing"), kInvalidType);
+  EXPECT_THROW(t.define_struct(id, {{"x", t.primitive(PrimKind::Int)}}), TypeError);
+}
+
+TEST(TypeTable, EmptyStructIsRejected) {
+  TypeTable t;
+  const TypeId id = t.declare_struct("empty");
+  EXPECT_THROW(t.define_struct(id, {}), TypeError);
+}
+
+TEST(TypeTable, DirectValueSelfContainmentIsRejected) {
+  TypeTable t;
+  const TypeId id = t.declare_struct("inf");
+  EXPECT_THROW(t.define_struct(id, {{"again", id}}), TypeError);
+}
+
+TEST(TypeTable, IndirectValueCycleIsRejected) {
+  TypeTable t;
+  const TypeId a = t.declare_struct("a");
+  const TypeId b = t.declare_struct("b");
+  t.define_struct(a, {{"inner", b}});  // b not yet defined: allowed
+  EXPECT_THROW(t.define_struct(b, {{"back", a}}), TypeError);
+}
+
+TEST(TypeTable, ValueCycleThroughArrayIsRejected) {
+  TypeTable t;
+  const TypeId s = t.declare_struct("s");
+  EXPECT_THROW(t.define_struct(s, {{"arr", t.intern_array(s, 3)}}), TypeError);
+}
+
+TEST(TypeTable, PointerBreaksTheCycleCheck) {
+  TypeTable t;
+  const TypeId a = t.declare_struct("pa");
+  const TypeId b = t.declare_struct("pb");
+  t.define_struct(a, {{"other", t.intern_pointer(b)}});
+  EXPECT_NO_THROW(t.define_struct(b, {{"other", t.intern_pointer(a)}}));
+}
+
+TEST(TypeTable, SpellProducesCSpellings) {
+  TypeTable t;
+  const TypeId node = t.declare_struct("node");
+  t.define_struct(node, {{"x", t.primitive(PrimKind::Int)}});
+  EXPECT_EQ(t.spell(t.primitive(PrimKind::ULong)), "unsigned long");
+  EXPECT_EQ(t.spell(t.intern_pointer(node)), "struct node *");
+  EXPECT_EQ(t.spell(t.intern_array(t.primitive(PrimKind::Double), 5)), "double[5]");
+  EXPECT_EQ(t.spell(t.intern_pointer(t.intern_array(t.primitive(PrimKind::Int), 10))),
+            "int[10] *");
+}
+
+TEST(TypeTable, ContainsPointerSeesThroughNesting) {
+  TypeTable t;
+  EXPECT_FALSE(t.contains_pointer(t.primitive(PrimKind::Double)));
+  EXPECT_TRUE(t.contains_pointer(t.intern_pointer(t.primitive(PrimKind::Int))));
+  const TypeId plain = t.declare_struct("plain");
+  t.define_struct(plain, {{"a", t.primitive(PrimKind::Int)},
+                          {"b", t.intern_array(t.primitive(PrimKind::Double), 4)}});
+  EXPECT_FALSE(t.contains_pointer(plain));
+  const TypeId nested = t.declare_struct("nested");
+  t.define_struct(nested, {{"inner", t.intern_array(plain, 2)},
+                           {"p", t.intern_pointer(plain)}});
+  EXPECT_TRUE(t.contains_pointer(nested));
+  EXPECT_TRUE(t.contains_pointer(t.intern_array(nested, 7)));
+}
+
+TEST(TypeTable, SelfReferentialStructContainsPointer) {
+  TypeTable t;
+  const TypeId node = t.declare_struct("node");
+  t.define_struct(node, {{"v", t.primitive(PrimKind::Int)},
+                         {"next", t.intern_pointer(node)}});
+  EXPECT_TRUE(t.contains_pointer(node));
+}
+
+TEST(TypeTable, SignatureIsStableAndSensitive) {
+  TypeTable t1, t2;
+  EXPECT_EQ(t1.signature(), t2.signature());
+  const TypeId s1 = t1.declare_struct("s");
+  t1.define_struct(s1, {{"x", t1.primitive(PrimKind::Int)}});
+  EXPECT_NE(t1.signature(), t2.signature());
+  const TypeId s2 = t2.declare_struct("s");
+  t2.define_struct(s2, {{"x", t2.primitive(PrimKind::Int)}});
+  EXPECT_EQ(t1.signature(), t2.signature());
+  // A different field NAME alone must change the signature.
+  TypeTable t3;
+  const TypeId s3 = t3.declare_struct("s");
+  t3.define_struct(s3, {{"y", t3.primitive(PrimKind::Int)}});
+  EXPECT_NE(t1.signature(), t3.signature());
+}
+
+TEST(TypeTable, EncodeDecodeRoundTripsComplexTables) {
+  TypeTable t;
+  const TypeId node = t.declare_struct("node");
+  t.define_struct(node, {{"data", t.primitive(PrimKind::Float)},
+                         {"link", t.intern_pointer(node)}});
+  t.intern_array(t.intern_pointer(t.primitive(PrimKind::Int)), 10);
+  t.intern_pointer(t.intern_array(node, 3));
+  xdr::Encoder enc;
+  t.encode(enc);
+  xdr::Decoder dec(enc.bytes());
+  const TypeTable back = TypeTable::decode(dec);
+  EXPECT_EQ(back.signature(), t.signature());
+  EXPECT_EQ(back.spell(t.find_struct("node")), "struct node");
+}
+
+TEST(TypeTable, DecodeRejectsCorruptKindTag) {
+  xdr::Encoder enc;
+  enc.put_u32(xdr::kNumPrimKinds + 1);
+  enc.put_u8(99);  // bogus TypeKind
+  xdr::Decoder dec(enc.bytes());
+  EXPECT_THROW(TypeTable::decode(dec), Error);
+}
+
+TEST(TypeTable, AdoptTailAppendsSourceExtras) {
+  TypeTable src, dst;
+  const TypeId s1 = src.declare_struct("s");
+  src.define_struct(s1, {{"x", src.primitive(PrimKind::Int)}});
+  const TypeId d1 = dst.declare_struct("s");
+  dst.define_struct(d1, {{"x", dst.primitive(PrimKind::Int)}});
+  // Source interned more types while running.
+  src.intern_pointer(s1);
+  src.intern_array(src.primitive(PrimKind::Double), 100);
+  dst.adopt_tail(src);
+  EXPECT_EQ(dst.signature(), src.signature());
+}
+
+TEST(TypeTable, AdoptTailRejectsDivergentPrefix) {
+  TypeTable src, dst;
+  const TypeId s1 = src.declare_struct("s");
+  src.define_struct(s1, {{"x", src.primitive(PrimKind::Int)}});
+  const TypeId d1 = dst.declare_struct("s");
+  dst.define_struct(d1, {{"x", dst.primitive(PrimKind::Long)}});  // differs
+  EXPECT_THROW(dst.adopt_tail(src), TypeError);
+}
+
+TEST(TypeTable, AdoptTailRejectsSmallerSource) {
+  TypeTable src, dst;
+  dst.intern_pointer(dst.primitive(PrimKind::Int));
+  EXPECT_THROW(dst.adopt_tail(src), TypeError);
+}
+
+}  // namespace
+}  // namespace hpm::ti

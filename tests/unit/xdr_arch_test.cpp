@@ -1,0 +1,113 @@
+// Architecture descriptor presets and the common/crc/rng plumbing.
+#include <gtest/gtest.h>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/hexdump.hpp"
+#include "common/rng.hpp"
+#include "xdr/arch.hpp"
+
+namespace hpm {
+namespace {
+
+using xdr::ArchDescriptor;
+using xdr::PrimKind;
+
+TEST(Arch, PaperTestbedPairIsTrulyHeterogeneous) {
+  // DEC 5000/120 vs SPARC 20: "truly heterogeneous because both systems
+  // use different endianness" (paper §4.1).
+  EXPECT_EQ(xdr::dec5000_ultrix().order, xdr::ByteOrder::Little);
+  EXPECT_EQ(xdr::sparc20_solaris().order, xdr::ByteOrder::Big);
+  EXPECT_FALSE(xdr::dec5000_ultrix().same_data_model(xdr::sparc20_solaris()));
+}
+
+TEST(Arch, Ilp32PresetsHave4ByteLongsAndPointers) {
+  for (const auto* a : {&xdr::dec5000_ultrix(), &xdr::sparc20_solaris(),
+                        &xdr::ultra5_solaris(), &xdr::arm32_linux(), &xdr::i386_linux()}) {
+    EXPECT_EQ(a->layout(PrimKind::Long).size, 4u) << a->name;
+    EXPECT_EQ(a->pointer.size, 4u) << a->name;
+    EXPECT_EQ(a->layout(PrimKind::LongLong).size, 8u) << a->name;
+  }
+}
+
+TEST(Arch, I386AlignsDoubleTo4Bytes) {
+  EXPECT_EQ(xdr::i386_linux().layout(PrimKind::Double).align, 4u);
+  EXPECT_EQ(xdr::sparc20_solaris().layout(PrimKind::Double).align, 8u);
+}
+
+TEST(Arch, Ultra5AndSparc20ShareADataModel) {
+  EXPECT_TRUE(xdr::ultra5_solaris().same_data_model(xdr::sparc20_solaris()));
+}
+
+TEST(Arch, ByNameResolvesEveryPresetAndRejectsUnknown) {
+  for (const auto name : xdr::arch_names()) {
+    EXPECT_EQ(xdr::arch_by_name(name).name, name);
+  }
+  EXPECT_THROW(xdr::arch_by_name("vax_vms"), TypeError);
+}
+
+TEST(Arch, NativeMatchesCompilerLayout) {
+  const ArchDescriptor& n = xdr::native_arch();
+  EXPECT_EQ(n.layout(PrimKind::Int).size, sizeof(int));
+  EXPECT_EQ(n.layout(PrimKind::Long).size, sizeof(long));
+  EXPECT_EQ(n.layout(PrimKind::Double).align, alignof(double));
+  EXPECT_EQ(n.pointer.size, sizeof(void*));
+}
+
+TEST(Arch, CanonicalSizesCoverWidestModel) {
+  for (std::size_t i = 0; i < xdr::kNumPrimKinds; ++i) {
+    const auto kind = static_cast<PrimKind>(i);
+    for (const auto name : xdr::arch_names()) {
+      EXPECT_GE(xdr::canonical_size(kind), xdr::arch_by_name(name).layout(kind).size)
+          << prim_name(kind) << " on " << name;
+    }
+  }
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (standard check value).
+  EXPECT_EQ(Crc32::of("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  Crc32 inc;
+  inc.update("12345", 5);
+  inc.update("6789", 4);
+  EXPECT_EQ(inc.value(), Crc32::of("123456789", 9));
+}
+
+TEST(Crc32, EmptyInputHasDefinedValue) { EXPECT_EQ(Crc32::of("", 0), 0u); }
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsAreRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const int v = rng.next_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Hexdump, RendersOffsetsHexAndAscii) {
+  const std::string s = hexdump("AB\x01", 3);
+  EXPECT_NE(s.find("41 42 01"), std::string::npos);
+  EXPECT_NE(s.find("|AB.|"), std::string::npos);
+}
+
+TEST(Hexdump, TruncatesLongBuffers) {
+  std::vector<std::uint8_t> big(1000, 0x42);
+  const std::string s = hexdump(big.data(), big.size(), 64);
+  EXPECT_NE(s.find("more bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpm

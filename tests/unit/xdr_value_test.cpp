@@ -1,0 +1,174 @@
+// Architecture-aware primitive conversion: machine-specific layouts,
+// sign extension, overflow detection, float bit preservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "xdr/value.hpp"
+
+namespace hpm::xdr {
+namespace {
+
+TEST(ReadRaw, LittleEndianIntSignExtends) {
+  const std::uint8_t bytes[4] = {0xFE, 0xFF, 0xFF, 0xFF};  // -2 LE
+  const PrimValue v = read_raw(bytes, dec5000_ultrix(), PrimKind::Int);
+  EXPECT_EQ(v.s, -2);
+}
+
+TEST(ReadRaw, BigEndianIntSignExtends) {
+  const std::uint8_t bytes[4] = {0xFF, 0xFF, 0xFF, 0xFE};  // -2 BE
+  const PrimValue v = read_raw(bytes, sparc20_solaris(), PrimKind::Int);
+  EXPECT_EQ(v.s, -2);
+}
+
+TEST(ReadRaw, LongIs4BytesOnIlp32And8OnLp64) {
+  std::uint8_t bytes[8] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  const PrimValue v32 = read_raw(bytes, sparc20_solaris(), PrimKind::Long);
+  EXPECT_EQ(v32.s, 0x01020304);
+  const PrimValue v64 = read_raw(bytes, generic_be64(), PrimKind::Long);
+  EXPECT_EQ(v64.s, 0x0102030405060708);
+}
+
+TEST(WriteRaw, ByteOrderMatchesArch) {
+  std::uint8_t le[4] = {};
+  std::uint8_t be[4] = {};
+  const PrimValue v = PrimValue::of_signed(PrimKind::Int, 0x11223344);
+  write_raw(le, dec5000_ultrix(), PrimKind::Int, v);
+  write_raw(be, sparc20_solaris(), PrimKind::Int, v);
+  EXPECT_EQ(le[0], 0x44);
+  EXPECT_EQ(le[3], 0x11);
+  EXPECT_EQ(be[0], 0x11);
+  EXPECT_EQ(be[3], 0x44);
+}
+
+TEST(WriteRaw, SignedOverflowOnNarrowLongThrows) {
+  std::uint8_t buf[8] = {};
+  const PrimValue big = PrimValue::of_signed(PrimKind::Long, 0x100000000ll);
+  EXPECT_THROW(write_raw(buf, sparc20_solaris(), PrimKind::Long, big), ConversionError);
+  EXPECT_NO_THROW(write_raw(buf, generic_be64(), PrimKind::Long, big));
+}
+
+TEST(WriteRaw, SignedUnderflowThrows) {
+  std::uint8_t buf[8] = {};
+  const PrimValue low = PrimValue::of_signed(PrimKind::Long, -0x80000001ll);
+  EXPECT_THROW(write_raw(buf, dec5000_ultrix(), PrimKind::Long, low), ConversionError);
+  const PrimValue min32 = PrimValue::of_signed(PrimKind::Long, -0x80000000ll);
+  EXPECT_NO_THROW(write_raw(buf, dec5000_ultrix(), PrimKind::Long, min32));
+}
+
+TEST(WriteRaw, UnsignedOverflowThrows) {
+  std::uint8_t buf[8] = {};
+  const PrimValue big = PrimValue::of_unsigned(PrimKind::ULong, 0x100000000ull);
+  EXPECT_THROW(write_raw(buf, ultra5_solaris(), PrimKind::ULong, big), ConversionError);
+  const PrimValue max32 = PrimValue::of_unsigned(PrimKind::ULong, 0xFFFFFFFFull);
+  EXPECT_NO_THROW(write_raw(buf, ultra5_solaris(), PrimKind::ULong, max32));
+}
+
+TEST(FloatConversion, NanPayloadSurvivesDoubleRoundTrip) {
+  std::uint8_t buf[8] = {};
+  double weird_nan;
+  std::uint64_t nan_bits = 0x7FF8DEADBEEF0001ull;
+  std::memcpy(&weird_nan, &nan_bits, 8);
+  write_raw(buf, sparc20_solaris(), PrimKind::Double, PrimValue::of_float(PrimKind::Double, weird_nan));
+  const PrimValue back = read_raw(buf, sparc20_solaris(), PrimKind::Double);
+  std::uint64_t back_bits;
+  std::memcpy(&back_bits, &back.f, 8);
+  EXPECT_EQ(back_bits, nan_bits);
+}
+
+TEST(FloatConversion, InfinityAndNegativeZeroSurvive) {
+  std::uint8_t buf[8] = {};
+  for (double v : {std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(), -0.0,
+                   std::numeric_limits<double>::denorm_min()}) {
+    write_raw(buf, dec5000_ultrix(), PrimKind::Double, PrimValue::of_float(PrimKind::Double, v));
+    const PrimValue back = read_raw(buf, dec5000_ultrix(), PrimKind::Double);
+    EXPECT_EQ(std::signbit(back.f), std::signbit(v));
+    if (std::isinf(v)) {
+      EXPECT_TRUE(std::isinf(back.f));
+    } else {
+      EXPECT_EQ(back.f, v);
+    }
+  }
+}
+
+TEST(FloatConversion, FloatKeepsSinglePrecisionBits) {
+  std::uint8_t buf[4] = {};
+  const float f = 1.0f / 3.0f;
+  write_raw(buf, sparc20_solaris(), PrimKind::Float, PrimValue::of_float(PrimKind::Float, f));
+  const PrimValue back = read_raw(buf, sparc20_solaris(), PrimKind::Float);
+  EXPECT_EQ(static_cast<float>(back.f), f);
+}
+
+TEST(PointerCell, WidthAndOrderFollowArch) {
+  std::uint8_t buf[8] = {};
+  write_pointer_cell(buf, sparc20_solaris(), 0x1234);
+  EXPECT_EQ(buf[0], 0x00);
+  EXPECT_EQ(buf[2], 0x12);
+  EXPECT_EQ(buf[3], 0x34);
+  EXPECT_EQ(read_pointer_cell(buf, sparc20_solaris()), 0x1234u);
+  EXPECT_THROW(write_pointer_cell(buf, sparc20_solaris(), 0x100000000ull), ConversionError);
+  EXPECT_NO_THROW(write_pointer_cell(buf, x86_64_linux(), 0x100000000ull));
+}
+
+/// Canonical codec round trip for every primitive kind.
+class CanonicalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalSweep, CanonicalRoundTripPreservesValue) {
+  const auto kind = static_cast<PrimKind>(GetParam());
+  PrimValue v;
+  switch (prim_class(kind)) {
+    case PrimClass::Floating:
+      v = PrimValue::of_float(kind, kind == PrimKind::Float ? 2.5 : -1234.5678);
+      break;
+    case PrimClass::Unsigned:
+      v = PrimValue::of_unsigned(kind, (1ull << (canonical_size(kind) * 8 - 1)) + 3);
+      break;
+    case PrimClass::Signed:
+      v = PrimValue::of_signed(kind, -static_cast<std::int64_t>(canonical_size(kind)) * 7);
+      break;
+  }
+  Encoder enc;
+  encode_canonical(enc, v);
+  EXPECT_EQ(enc.size(), canonical_size(kind));
+  Decoder dec(enc.bytes());
+  const PrimValue back = decode_canonical(dec, kind);
+  EXPECT_TRUE(back.identical(v)) << prim_name(kind);
+}
+
+TEST_P(CanonicalSweep, MachineSpecificRoundTripAcrossEndianness) {
+  // Write on "DEC", transport canonically, write on "SPARC", read back:
+  // the value must be preserved through all three representations.
+  const auto kind = static_cast<PrimKind>(GetParam());
+  PrimValue v;
+  switch (prim_class(kind)) {
+    case PrimClass::Floating:
+      v = PrimValue::of_float(kind, 3.140625);  // exact in float and double
+      break;
+    case PrimClass::Unsigned:
+      v = PrimValue::of_unsigned(kind, 0x5Au);
+      break;
+    case PrimClass::Signed:
+      v = PrimValue::of_signed(kind, -0x5A);
+      break;
+  }
+  std::uint8_t dec_mem[8] = {};
+  write_raw(dec_mem, dec5000_ultrix(), kind, v);
+  const PrimValue from_dec = read_raw(dec_mem, dec5000_ultrix(), kind);
+  Encoder enc;
+  encode_canonical(enc, from_dec);
+  Decoder dec(enc.bytes());
+  const PrimValue wire = decode_canonical(dec, kind);
+  std::uint8_t sparc_mem[8] = {};
+  write_raw(sparc_mem, sparc20_solaris(), kind, wire);
+  const PrimValue from_sparc = read_raw(sparc_mem, sparc20_solaris(), kind);
+  EXPECT_TRUE(from_sparc.identical(v)) << prim_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CanonicalSweep,
+                         ::testing::Range(0, static_cast<int>(kNumPrimKinds)));
+
+}  // namespace
+}  // namespace hpm::xdr

@@ -1,0 +1,160 @@
+// Canonical wire encoder/decoder: byte-level format, bounds, errors.
+#include <gtest/gtest.h>
+
+#include "xdr/wire.hpp"
+
+namespace hpm::xdr {
+namespace {
+
+TEST(Encoder, IntegersAreBigEndian) {
+  Encoder enc;
+  enc.put_u16(0x1234);
+  enc.put_u32(0xA1B2C3D4);
+  enc.put_u64(0x0102030405060708ull);
+  const Bytes& b = enc.bytes();
+  ASSERT_EQ(b.size(), 14u);
+  EXPECT_EQ(b[0], 0x12);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0xA1);
+  EXPECT_EQ(b[5], 0xD4);
+  EXPECT_EQ(b[6], 0x01);
+  EXPECT_EQ(b[13], 0x08);
+}
+
+TEST(Encoder, SignedValuesRoundTripThroughTwosComplement) {
+  Encoder enc;
+  enc.put_i8(-1);
+  enc.put_i16(-2);
+  enc.put_i32(-3);
+  enc.put_i64(-4);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_i8(), -1);
+  EXPECT_EQ(dec.get_i16(), -2);
+  EXPECT_EQ(dec.get_i32(), -3);
+  EXPECT_EQ(dec.get_i64(), -4);
+}
+
+TEST(Encoder, FloatsUseIeeeBitImages) {
+  Encoder enc;
+  enc.put_f32(1.0f);
+  const Bytes& b = enc.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x3F);  // 1.0f = 0x3F800000 big-endian
+  EXPECT_EQ(b[1], 0x80);
+  EXPECT_EQ(b[2], 0x00);
+  EXPECT_EQ(b[3], 0x00);
+}
+
+TEST(Encoder, StringsAreLengthPrefixed) {
+  Encoder enc;
+  enc.put_string("hpm");
+  const Bytes& b = enc.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[3], 3u);
+  EXPECT_EQ(b[4], 'h');
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "hpm");
+}
+
+TEST(Encoder, EmptyStringRoundTrips) {
+  Encoder enc;
+  enc.put_string("");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(Encoder, PatchU32RewritesInPlace) {
+  Encoder enc;
+  enc.put_u32(0);
+  enc.put_u8(0xAA);
+  enc.patch_u32(0, 0xDEADBEEF);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.get_u8(), 0xAA);
+}
+
+TEST(Encoder, PatchBeyondEndThrows) {
+  Encoder enc;
+  enc.put_u16(1);
+  EXPECT_THROW(enc.patch_u32(0, 1), WireError);
+}
+
+TEST(Decoder, ReadPastEndThrowsWireError) {
+  Encoder enc;
+  enc.put_u16(7);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0u);
+  EXPECT_EQ(dec.get_u8(), 7u);
+  EXPECT_THROW(dec.get_u8(), WireError);
+}
+
+TEST(Decoder, TruncatedStringThrows) {
+  Encoder enc;
+  enc.put_u32(100);  // claims 100 bytes follow
+  enc.put_u8('x');
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_string(), WireError);
+}
+
+TEST(Decoder, PeekDoesNotConsume) {
+  Encoder enc;
+  enc.put_u8(42);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.peek_u8(), 42u);
+  EXPECT_EQ(dec.position(), 0u);
+  EXPECT_EQ(dec.get_u8(), 42u);
+  EXPECT_TRUE(dec.at_end());
+  EXPECT_THROW(dec.peek_u8(), WireError);
+}
+
+TEST(Decoder, GetBytesIsExact) {
+  Encoder enc;
+  const char payload[] = "abcdef";
+  enc.put_bytes(payload, 6);
+  Decoder dec(enc.bytes());
+  char out[6] = {};
+  dec.get_bytes(out, 6);
+  EXPECT_EQ(std::string(out, 6), "abcdef");
+  EXPECT_THROW(dec.get_bytes(out, 1), WireError);
+}
+
+TEST(Decoder, RemainingTracksPosition) {
+  Encoder enc;
+  enc.put_u64(1);
+  enc.put_u32(2);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.remaining(), 12u);
+  dec.get_u64();
+  EXPECT_EQ(dec.remaining(), 4u);
+  dec.get_u32();
+  EXPECT_EQ(dec.remaining(), 0u);
+  EXPECT_TRUE(dec.at_end());
+}
+
+/// Round-trip sweep over interesting 64-bit values.
+class WireValueSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireValueSweep, U64RoundTrips) {
+  Encoder enc;
+  enc.put_u64(GetParam());
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u64(), GetParam());
+}
+
+TEST_P(WireValueSweep, I64RoundTrips) {
+  const auto v = static_cast<std::int64_t>(GetParam());
+  Encoder enc;
+  enc.put_i64(v);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_i64(), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, WireValueSweep,
+                         ::testing::Values(0ull, 1ull, 0x7Full, 0x80ull, 0xFFull, 0x100ull,
+                                           0x7FFFull, 0x8000ull, 0xFFFFFFFFull,
+                                           0x100000000ull, 0x7FFFFFFFFFFFFFFFull,
+                                           0x8000000000000000ull, 0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace hpm::xdr

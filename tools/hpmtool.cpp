@@ -1,0 +1,125 @@
+// hpmtool: command-line front door to the library's offline tooling.
+//
+//   hpmtool ckpt-info <file>          checkpoint preamble (sequence, size, arch)
+//   hpmtool ckpt-dump <file> [-v]     decode the embedded migration stream
+//   hpmtool inc-dump <prefix> <last>  merge an incremental chain and dump the
+//                                     synthesized migration stream
+//   hpmtool precc <decls.h> [--strict] [--codegen]
+//                                     migration-safety report / registration code
+//   hpmtool archs                     list the built-in architecture models
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "hpm/hpm.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hpmtool ckpt-info <file>\n"
+               "  hpmtool ckpt-dump <file> [-v]\n"
+               "  hpmtool inc-dump <prefix> <last-seq>\n"
+               "  hpmtool precc <decls.h> [--strict] [--codegen]\n"
+               "  hpmtool archs\n");
+  return 2;
+}
+
+hpm::Bytes read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw hpm::Error(std::string("cannot open ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+  return hpm::Bytes(s.begin(), s.end());
+}
+
+int cmd_ckpt_info(const char* path) {
+  const hpm::ckpt::CheckpointInfo info = hpm::ckpt::inspect(path);
+  std::printf("checkpoint   : %s\n", path);
+  std::printf("sequence     : %llu\n", static_cast<unsigned long long>(info.sequence));
+  std::printf("state bytes  : %llu\n", static_cast<unsigned long long>(info.state_bytes));
+  std::printf("source arch  : %s\n", info.source_arch.c_str());
+  return 0;
+}
+
+int cmd_ckpt_dump(const char* path, bool verbose) {
+  const hpm::Bytes file = read_file(path);
+  // Unwrap the checkpoint preamble by hand: magic, sequence, length.
+  hpm::xdr::Decoder dec(file);
+  if (dec.get_u32() != 0x48434B50) throw hpm::WireError("not a checkpoint file");
+  dec.get_u64();  // sequence
+  const std::uint32_t len = dec.get_u32();
+  hpm::Bytes stream(len);
+  dec.get_bytes(stream.data(), len);
+  hpm::msrm::DumpOptions options;
+  options.show_primitive_values = verbose;
+  std::fputs(hpm::msrm::dump_stream(stream, options).c_str(), stdout);
+  return 0;
+}
+
+int cmd_precc(const char* path, bool strict, bool codegen) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  hpm::ti::TypeTable table;
+  hpm::precc::Parser parser(table, strict);
+  const hpm::precc::ParseResult result = parser.parse(buf.str());
+  if (codegen) {
+    std::fputs(hpm::precc::generate_registration(table, result).c_str(), stdout);
+  } else {
+    std::fputs(hpm::precc::report(table, result).c_str(), stdout);
+  }
+  return result.clean() ? 0 : 1;
+}
+
+int cmd_archs() {
+  std::printf("%-18s %-7s %5s %5s %5s %9s\n", "name", "order", "int", "long", "ptr",
+              "dbl-align");
+  for (const auto name : hpm::xdr::arch_names()) {
+    const hpm::xdr::ArchDescriptor& a = hpm::xdr::arch_by_name(name);
+    std::printf("%-18s %-7s %5u %5u %5u %9u\n", a.name.c_str(),
+                a.is_big_endian() ? "big" : "little",
+                a.layout(hpm::xdr::PrimKind::Int).size,
+                a.layout(hpm::xdr::PrimKind::Long).size, a.pointer.size,
+                a.layout(hpm::xdr::PrimKind::Double).align);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "ckpt-info") == 0 && argc >= 3) return cmd_ckpt_info(argv[2]);
+    if (std::strcmp(argv[1], "ckpt-dump") == 0 && argc >= 3) {
+      return cmd_ckpt_dump(argv[2], argc > 3 && std::strcmp(argv[3], "-v") == 0);
+    }
+    if (std::strcmp(argv[1], "inc-dump") == 0 && argc >= 4) {
+      const hpm::Bytes stream =
+          hpm::ckpt::synthesize_stream(argv[2], std::strtoull(argv[3], nullptr, 10));
+      std::fputs(hpm::msrm::dump_stream(stream).c_str(), stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[1], "precc") == 0 && argc >= 3) {
+      bool strict = false, codegen = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+        if (std::strcmp(argv[i], "--codegen") == 0) codegen = true;
+      }
+      return cmd_precc(argv[2], strict, codegen);
+    }
+    if (std::strcmp(argv[1], "archs") == 0) return cmd_archs();
+  } catch (const hpm::Error& e) {
+    std::fprintf(stderr, "hpmtool: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
