@@ -49,6 +49,15 @@ class NetError : public Error {
   using Error::Error;
 };
 
+/// A channel operation exceeded its configured deadline. Derives from
+/// NetError so transport-boundary handlers treat it as one more
+/// (retryable) transport failure, while tests can assert on the precise
+/// category.
+class TimeoutError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
 /// Migration-runtime misuse or failed migration protocol step.
 class MigrationError : public Error {
  public:

@@ -35,6 +35,7 @@
 #include "msrm/execstate.hpp"
 #include "msrm/restore.hpp"
 #include "msrm/stream.hpp"
+#include "net/faulty_channel.hpp"
 #include "net/file_channel.hpp"
 #include "net/mem_channel.hpp"
 #include "net/message.hpp"

@@ -1,7 +1,10 @@
 #include "mig/coordinator.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <memory>
 #include <thread>
 
@@ -15,6 +18,10 @@ namespace hpm::mig {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Deadline applied when fault injection is on but the caller set none:
+/// an injected stall/truncation must never hang the run.
+constexpr double kFaultInjectionDefaultTimeout = 5.0;
 
 struct ChannelPair {
   std::unique_ptr<net::ByteChannel> source;
@@ -44,62 +51,226 @@ ChannelPair make_channels(const RunOptions& options,
   throw MigrationError("unknown transport");
 }
 
-}  // namespace
+void remove_spool(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".done").c_str());
+}
 
-MigrationReport run_migration(const RunOptions& options) {
-  if (!options.register_types || !options.program) {
-    throw MigrationError("run_migration requires register_types and program");
+/// Deletes the spool (and its ".done" marker) when the run ends — orderly
+/// or not — so no state leaks into the next Transport::File run.
+struct SpoolCleanup {
+  const RunOptions& options;
+  ~SpoolCleanup() {
+    if (options.transport == Transport::File) remove_spool(options.spool_path);
   }
-  // Remove a stale spool from an earlier run.
-  if (options.transport == Transport::File) {
-    std::remove(options.spool_path.c_str());
-    std::remove((options.spool_path + ".done").c_str());
+};
+
+Bytes hello_payload(const std::string& arch) {
+  Bytes payload;
+  payload.reserve(1 + arch.size());
+  payload.push_back(net::kProtocolVersion);
+  payload.insert(payload.end(), arch.begin(), arch.end());
+  return payload;
+}
+
+std::string exception_text(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
   }
+}
+
+/// One transfer attempt: bring up a destination, move the buffered stream,
+/// wait for the verdict. Returns true on success; on a recoverable failure
+/// returns false with `cause` set. Unrecoverable source-side failures
+/// (anything outside the hpm::Error hierarchy) propagate.
+bool attempt_transfer(const RunOptions& options, const Bytes& stream,
+                      MigrationReport& report,
+                      const std::shared_ptr<net::FaultState>& fault_state,
+                      std::chrono::milliseconds timeout, std::string& cause) {
+  const bool duplex = options.transport != Transport::File;
+  // A fresh attempt gets a fresh spool; a half-written one from a failed
+  // attempt must not satisfy this attempt's reader.
+  if (options.transport == Transport::File) remove_spool(options.spool_path);
 
   std::unique_ptr<net::SocketListener> listener;
   ChannelPair channels = make_channels(options, listener);
+  if (options.fault_plan.enabled()) {
+    channels.source = std::make_unique<net::FaultyChannel>(std::move(channels.source),
+                                                           options.fault_plan, fault_state);
+  }
   if (options.throttle) {
     channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
                                                               options.link);
   }
+  if (timeout.count() > 0) {
+    channels.source->set_timeout(timeout);
+    channels.destination->set_timeout(timeout);
+  }
 
-  MigrationReport report;
-  // The shared-file transport is one-way; acknowledgements only flow on
-  // duplex transports. Failures still propagate via dest_error after join.
-  const bool duplex = options.transport != Transport::File;
-
-  // --- destination host: invoked first, waits for the states (paper §2).
+  // --- destination host: invoked first, announces itself, waits (paper §2).
   std::exception_ptr dest_error;
   std::thread destination([&] {
     try {
-      const net::Message msg = net::recv_message(*channels.destination);
-      if (msg.type == net::MsgType::Shutdown) return;  // no migration happened
-      if (msg.type != net::MsgType::State) {
-        throw MigrationError("destination expected a State message");
-      }
       ti::TypeTable types;
       options.register_types(types);
       MigContext ctx(types, options.search);
-      ctx.begin_restore(msg.payload);
+      if (duplex) {
+        net::send_message(*channels.destination, net::MsgType::Hello,
+                          hello_payload(ctx.space().arch().name));
+      }
+      net::Message msg = net::recv_message(*channels.destination);
+      if (msg.type != net::MsgType::State) {
+        throw MigrationError("destination expected a State message");
+      }
+      ctx.begin_restore(std::move(msg.payload));
       options.program(ctx);  // restores at the migration point, then finishes
       report.restore_seconds = ctx.metrics().restore_seconds;
       report.restore = ctx.metrics().restore;
       if (duplex) net::send_message(*channels.destination, net::MsgType::Ack, {});
+    } catch (const NetError& e) {
+      // Frame never arrived intact (CRC mismatch, truncation, timeout,
+      // disconnect): nack it so the source retransmits instead of trusting
+      // a damaged stream.
+      dest_error = std::current_exception();
+      if (duplex) {
+        try {
+          const std::string text = e.what();
+          net::send_message(*channels.destination, net::MsgType::Nack,
+                            Bytes(text.begin(), text.end()));
+        } catch (...) {
+          // Source will observe the broken channel instead.
+        }
+      }
     } catch (...) {
       dest_error = std::current_exception();
       if (duplex) {
         try {
-          net::send_message(*channels.destination, net::MsgType::Error, {});
+          const std::string text = exception_text(dest_error);
+          net::send_message(*channels.destination, net::MsgType::Error,
+                            Bytes(text.begin(), text.end()));
         } catch (...) {
-          // Source will observe the broken channel instead.
         }
       }
     }
   });
 
-  // --- source host: run the program until it completes or migrates.
+  // --- source host: validate the peer, replay the buffered stream.
   std::exception_ptr source_error;
+  double measured_tx = 0;
   try {
+    if (duplex) {
+      const net::Message hello = net::recv_message(*channels.source);
+      if (hello.type != net::MsgType::Hello) {
+        throw MigrationError("source expected a Hello message");
+      }
+      if (hello.payload.empty() || hello.payload[0] != net::kProtocolVersion) {
+        throw MigrationError(
+            "protocol version mismatch: destination speaks v" +
+            std::to_string(hello.payload.empty() ? 0 : hello.payload[0]) +
+            ", source speaks v" + std::to_string(net::kProtocolVersion));
+      }
+    }
+    const auto t0 = Clock::now();
+    net::send_message(*channels.source, net::MsgType::State, stream);
+    measured_tx = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (duplex) {
+      const net::Message verdict = net::recv_message(*channels.source);
+      const std::string text(verdict.payload.begin(), verdict.payload.end());
+      switch (verdict.type) {
+        case net::MsgType::Ack:
+          break;
+        case net::MsgType::Nack:
+          throw MigrationError("destination rejected the State frame (Nack): " + text);
+        case net::MsgType::Error:
+          throw MigrationError("destination restore failed: " + text);
+        default:
+          throw MigrationError("unexpected verdict message from destination");
+      }
+    } else {
+      channels.source->close();  // drop the .done marker for the reader
+    }
+  } catch (...) {
+    source_error = std::current_exception();
+    // Unblock a destination still waiting in recv so the join below cannot
+    // deadlock. Tearing down the source end wakes a duplex peer (broken
+    // pipe / TCP FIN); the file reader instead sees the .done marker from
+    // an orderly close, or falls back on its own recv deadline when the
+    // writer can no longer signal (injected disconnect). Only the source
+    // end is touched: the destination channel stays owned by its thread.
+    try {
+      if (duplex) {
+        channels.source->abort();
+      } else {
+        channels.source->close();
+      }
+    } catch (...) {
+    }
+  }
+
+  destination.join();
+  try {
+    channels.source->close();
+  } catch (...) {
+  }
+  try {
+    channels.destination->close();
+  } catch (...) {
+  }
+
+  if (source_error == nullptr && dest_error == nullptr) {
+    report.tx_seconds = options.throttle
+                            ? measured_tx
+                            : options.link.transfer_seconds(stream.size());
+    return true;
+  }
+
+  // The source's failure is primary: a destination error observed after a
+  // source-side failure is usually just the torn-down channel.
+  if (source_error != nullptr) {
+    try {
+      std::rethrow_exception(source_error);
+    } catch (const Error& e) {
+      cause = e.what();
+      return false;
+    }
+    // Non-hpm exceptions escaped the protocol itself — not retryable.
+  }
+  cause = exception_text(dest_error);
+  return false;
+}
+
+}  // namespace
+
+const char* outcome_name(MigrationOutcome outcome) noexcept {
+  switch (outcome) {
+    case MigrationOutcome::CompletedLocally: return "completed-locally";
+    case MigrationOutcome::Migrated: return "migrated";
+    case MigrationOutcome::AbortedContinuedLocally: return "aborted-continued-locally";
+  }
+  return "?";
+}
+
+MigrationReport run_migration(const RunOptions& options) {
+  if (!options.register_types || !options.program) {
+    throw MigrationError("run_migration requires register_types and program");
+  }
+  // Remove a stale spool from an earlier run, and ours when we leave.
+  SpoolCleanup spool_cleanup{options};
+  if (options.transport == Transport::File) remove_spool(options.spool_path);
+
+  MigrationReport report;
+
+  // --- phase 1, source host: run the program until it completes or the
+  // migration trigger fires and the state is collected. No channel exists
+  // yet — the destination is brought up per transfer attempt, so a dead
+  // or damaged link can never take the running workload down with it.
+  Bytes stream;
+  bool collected = false;
+  {
     ti::TypeTable types;
     options.register_types(types);
     MigContext ctx(types, options.search);
@@ -131,49 +302,69 @@ MigrationReport run_migration(const RunOptions& options) {
       }
       join_scheduler();
       // Ran to completion without migrating.
-      net::send_message(*channels.source, net::MsgType::Shutdown, {});
     } catch (const MigrationExit&) {
       join_scheduler();
-      report.migrated = true;
-      report.stream_bytes = ctx.stream().size();
+      collected = true;
+      stream = ctx.stream();  // buffered for replay across attempts
+      report.stream_bytes = stream.size();
       report.collect_seconds = ctx.metrics().collect_seconds;
       report.collect = ctx.metrics().collect;
       report.source_arch = ctx.space().arch().name;
-      const auto t0 = Clock::now();
-      net::send_message(*channels.source, net::MsgType::State, ctx.stream());
-      const double measured_tx = std::chrono::duration<double>(Clock::now() - t0).count();
-      report.tx_seconds = options.throttle
-                              ? measured_tx
-                              : options.link.transfer_seconds(report.stream_bytes);
-      // The migrating process terminates here (ctx is discarded); wait for
-      // the destination's verdict where the transport allows one.
-      if (duplex) {
-        const net::Message verdict = net::recv_message(*channels.source);
-        if (verdict.type != net::MsgType::Ack) {
-          throw MigrationError("destination reported a restoration failure");
-        }
-      } else {
-        channels.source->close();  // drop the .done marker for the reader
-      }
     }
     report.source_polls = ctx.poll_count();
-  } catch (...) {
-    source_error = std::current_exception();
-    // Unblock a destination still waiting in recv: close our end so its
-    // read fails fast instead of deadlocking the join below.
-    try {
-      channels.source->close();
-    } catch (...) {
-    }
+    // ctx is discarded here: the migrating process has "terminated", and
+    // only the collected stream survives.
+  }
+  if (!collected) {
+    report.outcome = MigrationOutcome::CompletedLocally;
+    return report;
   }
 
-  destination.join();
-  channels.source->close();
-  channels.destination->close();
-  // The source's failure is primary: a destination error observed after a
-  // source crash is usually just the torn-down channel.
-  if (source_error) std::rethrow_exception(source_error);
-  if (dest_error) std::rethrow_exception(dest_error);
+  // --- phase 2: transfer attempts with capped exponential backoff.
+  const double io_s = options.io_timeout_seconds > 0
+                          ? options.io_timeout_seconds
+                          : (options.fault_plan.enabled() ? kFaultInjectionDefaultTimeout : 0);
+  const auto timeout =
+      std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
+  auto fault_state = std::make_shared<net::FaultState>();
+  const int total_attempts = 1 + std::max(0, options.max_retries);
+  double backoff = options.retry_backoff_seconds;
+  for (int attempt = 1; attempt <= total_attempts; ++attempt) {
+    if (attempt > 1 && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2, options.retry_backoff_cap_seconds);
+    }
+    report.attempts = attempt;
+    std::string cause;
+    bool transferred = false;
+    try {
+      transferred = attempt_transfer(options, stream, report, fault_state, timeout, cause);
+    } catch (const Error& e) {
+      // Channel setup failed (connection refused, spool unwritable):
+      // just as retryable as a failure mid-transfer.
+      cause = e.what();
+    }
+    if (transferred) {
+      report.migrated = true;
+      report.outcome = MigrationOutcome::Migrated;
+      return report;
+    }
+    report.failure_causes.push_back("attempt " + std::to_string(attempt) + ": " + cause);
+  }
+
+  // --- graceful degradation: abandon migration (the pending request died
+  // with the phase-1 context) and finish the computation locally by
+  // restoring the buffered stream in-process — the source becomes its own
+  // destination, so the final result is identical to a run that never
+  // migrated.
+  report.outcome = MigrationOutcome::AbortedContinuedLocally;
+  ti::TypeTable types;
+  options.register_types(types);
+  MigContext ctx(types, options.search);
+  ctx.begin_restore(std::move(stream));
+  options.program(ctx);
+  report.restore_seconds = ctx.metrics().restore_seconds;
+  report.restore = ctx.metrics().restore;
   return report;
 }
 

@@ -1,20 +1,25 @@
 // The migration coordinator: the paper's "scheduler" plus the two-host
-// protocol (§2).
+// protocol (§2), hardened for unreliable transports.
 //
 // run_migration() models one migration event end-to-end on a single
-// physical machine: a source host runs the program; a destination host is
-// invoked first and waits for the execution and memory states; at the
-// trigger the source collects, transmits over a real channel (in-memory,
-// TCP loopback, or shared file — optionally throttled to a modeled
-// Ethernet), and terminates; the destination restores and runs the
-// program to completion. The report carries the paper's Collect / Tx /
-// Restore split.
+// physical machine: a source host runs the program to its trigger and
+// collects; then, per transfer attempt, a destination host is brought up
+// first and waits for the execution and memory states; the source
+// transmits over a real channel (in-memory, TCP loopback, or shared file —
+// optionally throttled to a modeled Ethernet). A damaged, stalled, or
+// disconnected transfer is retried with capped exponential backoff; when
+// the retry budget is exhausted the source abandons migration and finishes
+// the computation locally, so a failed migration never kills the workload.
+// The report carries the paper's Collect / Tx / Restore split plus the
+// attempt history.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "mig/context.hpp"
+#include "net/faulty_channel.hpp"
 #include "net/simnet.hpp"
 
 namespace hpm::mig {
@@ -55,10 +60,48 @@ struct RunOptions {
   bool throttle = false;
 
   msr::SearchStrategy search = msr::SearchStrategy::OrderedMap;
+
+  /// --- fault tolerance ----------------------------------------------------
+
+  /// Extra transfer attempts after the first one fails (timeout, CRC
+  /// mismatch, disconnect, destination Error/Nack). max_retries + 1 total
+  /// attempts; each replays the stream buffered at collection time.
+  int max_retries = 2;
+
+  /// Deadline applied to every channel send/recv of the transfer protocol
+  /// (seconds; 0 = block without bound). When fault injection is enabled
+  /// and no deadline is set, a 5 s default is applied so an injected stall
+  /// or truncation can never hang the run.
+  double io_timeout_seconds = 0;
+
+  /// Delay before the first retry; doubles per retry, capped below.
+  /// Deterministic (no jitter) so failure schedules are reproducible.
+  double retry_backoff_seconds = 0.01;
+  double retry_backoff_cap_seconds = 0.25;
+
+  /// Deterministic fault injected on the source->destination byte stream
+  /// (see net/faulty_channel.hpp). Disabled by default.
+  net::FaultPlan fault_plan{};
 };
+
+/// Final fate of the workload for one run_migration() call.
+enum class MigrationOutcome : std::uint8_t {
+  CompletedLocally,        ///< no migration was triggered; source ran to completion
+  Migrated,                ///< state transferred and restored on the destination
+  AbortedContinuedLocally, ///< all transfer attempts failed; source finished locally
+};
+
+const char* outcome_name(MigrationOutcome outcome) noexcept;
 
 struct MigrationReport {
   bool migrated = false;
+  MigrationOutcome outcome = MigrationOutcome::CompletedLocally;
+  /// Transfer attempts made (0 when no migration was triggered).
+  int attempts = 0;
+  /// One entry per FAILED attempt, in order, e.g.
+  /// "attempt 1: destination rejected the State frame (Nack): ...".
+  std::vector<std::string> failure_causes;
+
   std::uint64_t stream_bytes = 0;
   double collect_seconds = 0;   ///< Table 1 "Collect"
   double tx_seconds = 0;        ///< Table 1 "Tx" (modeled or measured)
@@ -73,7 +116,9 @@ struct MigrationReport {
 };
 
 /// Run one migration experiment. Throws hpm::MigrationError (and
-/// subclasses of hpm::Error) on protocol or restoration failure.
+/// subclasses of hpm::Error) on unrecoverable protocol or restoration
+/// failure; recoverable transport failures are retried and, past the
+/// retry budget, degrade to local completion instead of throwing.
 MigrationReport run_migration(const RunOptions& options);
 
 }  // namespace hpm::mig

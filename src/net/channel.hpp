@@ -4,6 +4,7 @@
 // blocking byte-stream interface.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -17,15 +18,26 @@ class ByteChannel {
  public:
   virtual ~ByteChannel() = default;
 
-  /// Send all `data.size()` bytes; throws hpm::NetError on failure.
+  /// Send all `data.size()` bytes; throws hpm::NetError on failure, or
+  /// hpm::TimeoutError when a deadline is set and the peer stops draining.
   virtual void send(std::span<const std::uint8_t> data) = 0;
 
   /// Receive exactly `out.size()` bytes; throws hpm::NetError on failure
-  /// or premature end of stream.
+  /// or premature end of stream, hpm::TimeoutError when a deadline is set
+  /// and the bytes do not arrive in time.
   virtual void recv(std::span<std::uint8_t> out) = 0;
+
+  /// Deadline for each subsequent send/recv call (the full call, not per
+  /// chunk). Zero — the default — means block without bound.
+  virtual void set_timeout(std::chrono::milliseconds timeout) = 0;
 
   /// Signal end-of-stream to the peer. Idempotent.
   virtual void close() = 0;
+
+  /// Tear the channel down without orderly end-of-stream signalling, as a
+  /// crashed host would: the peer observes a broken stream, not a clean
+  /// EOF. Defaults to close() where the two are indistinguishable.
+  virtual void abort() { close(); }
 };
 
 }  // namespace hpm::net

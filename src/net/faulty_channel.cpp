@@ -1,0 +1,96 @@
+#include "net/faulty_channel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpm::net {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Disconnect: return "disconnect";
+    case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Truncate: return "truncate";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed) {
+  Rng rng(seed);
+  FaultPlan plan;
+  // None is excluded: a random plan is always a real fault.
+  plan.kind = static_cast<FaultKind>(1 + rng.next_below(4));
+  // Past the 5-byte frame header, inside a typical State payload.
+  plan.offset = 6 + rng.next_below(512);
+  plan.length = 1 + rng.next_below(16);
+  plan.stall_seconds = 0.05 + 0.25 * rng.next_double();
+  return plan;
+}
+
+void FaultyChannel::send(std::span<const std::uint8_t> data) {
+  if (dead_) throw NetError("send on disconnected FaultyChannel");
+  if (truncating_) {
+    sent_ += data.size();
+    return;  // the fault already swallowed the tail of the stream
+  }
+  const std::uint64_t begin = sent_;
+  const std::uint64_t end = begin + data.size();
+  if (!armed() || fired_ || end <= plan_.offset) {
+    sent_ = end;
+    inner_->send(data);
+    return;
+  }
+
+  // The fault offset lies inside (or at the end of) this send.
+  fired_ = true;
+  state_->firings += 1;
+  const std::size_t clean = static_cast<std::size_t>(plan_.offset - begin);
+  switch (plan_.kind) {
+    case FaultKind::Disconnect:
+      if (clean > 0) inner_->send(data.first(clean));
+      dead_ = true;
+      inner_->abort();
+      throw NetError("injected fault: disconnect after " + std::to_string(plan_.offset) +
+                     " bytes");
+    case FaultKind::Truncate:
+      if (clean > 0) inner_->send(data.first(clean));
+      truncating_ = true;
+      sent_ = end;
+      return;
+    case FaultKind::Stall:
+      std::this_thread::sleep_for(std::chrono::duration<double>(plan_.stall_seconds));
+      sent_ = end;
+      inner_->send(data);
+      return;
+    case FaultKind::Corrupt: {
+      std::vector<std::uint8_t> mangled(data.begin(), data.end());
+      const std::size_t stop =
+          std::min<std::uint64_t>(clean + plan_.length, mangled.size());
+      for (std::size_t i = clean; i < stop; ++i) mangled[i] ^= 0xA5u;
+      sent_ = end;
+      inner_->send(mangled);
+      return;
+    }
+    case FaultKind::None: break;  // unreachable: armed() excludes None
+  }
+  sent_ = end;
+  inner_->send(data);
+}
+
+void FaultyChannel::close() {
+  if (dead_) return;  // a disconnected channel cannot signal orderly EOF
+  inner_->close();
+}
+
+void FaultyChannel::abort() {
+  if (dead_) return;
+  dead_ = true;
+  inner_->abort();
+}
+
+}  // namespace hpm::net

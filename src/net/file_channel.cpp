@@ -57,6 +57,13 @@ void FileWriterChannel::close() {
   }
 }
 
+void FileWriterChannel::abort() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
 FileReaderChannel::FileReaderChannel(std::string path) : path_(std::move(path)) {}
 
 FileReaderChannel::~FileReaderChannel() {
@@ -65,8 +72,14 @@ FileReaderChannel::~FileReaderChannel() {
 
 void FileReaderChannel::recv(std::span<std::uint8_t> out) {
   using namespace std::chrono_literals;
+  const bool bounded = timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
   std::size_t got = 0;
   while (got < out.size()) {
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      throw TimeoutError("spool file " + path_ + " recv timed out with " +
+                         std::to_string(out.size() - got) + " bytes outstanding");
+    }
     if (file_ == nullptr) {
       file_ = std::fopen(path_.c_str(), "rb");
       if (file_ == nullptr) {

@@ -21,7 +21,12 @@ class FileWriterChannel final : public ByteChannel {
 
   void send(std::span<const std::uint8_t> data) override;
   void recv(std::span<std::uint8_t> out) override;  // always throws
+  void set_timeout(std::chrono::milliseconds) override {}  // writes never block
   void close() override;
+  /// Crash-style teardown: the spool is left WITHOUT its ".done" marker,
+  /// so the reader sees a stream that never completes instead of a clean
+  /// (possibly short) end-of-stream.
+  void abort() override;
 
  private:
   std::string path_;
@@ -37,12 +42,14 @@ class FileReaderChannel final : public ByteChannel {
 
   void send(std::span<const std::uint8_t> data) override;  // always throws
   void recv(std::span<std::uint8_t> out) override;
+  void set_timeout(std::chrono::milliseconds timeout) override { timeout_ = timeout; }
   void close() override;
 
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   std::size_t pos_ = 0;
+  std::chrono::milliseconds timeout_{0};
 };
 
 }  // namespace hpm::net

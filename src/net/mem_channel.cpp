@@ -13,11 +13,21 @@ void MemPipe::write(std::span<const std::uint8_t> data) {
   cv_.notify_all();
 }
 
-void MemPipe::read(std::span<std::uint8_t> out) {
+void MemPipe::read(std::span<std::uint8_t> out, std::chrono::milliseconds timeout) {
+  const bool bounded = timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::size_t got = 0;
   std::unique_lock lk(mu_);
   while (got < out.size()) {
-    cv_.wait(lk, [this] { return !buf_.empty() || closed_; });
+    const auto ready = [this] { return !buf_.empty() || closed_; };
+    if (bounded) {
+      if (!cv_.wait_until(lk, deadline, ready)) {
+        throw TimeoutError("MemPipe recv timed out with " +
+                           std::to_string(out.size() - got) + " bytes outstanding");
+      }
+    } else {
+      cv_.wait(lk, ready);
+    }
     if (buf_.empty() && closed_) {
       throw NetError("MemPipe closed with " + std::to_string(out.size() - got) +
                      " bytes outstanding");
@@ -46,7 +56,7 @@ std::pair<std::unique_ptr<MemChannel>, std::unique_ptr<MemChannel>> MemChannel::
 }
 
 void MemChannel::send(std::span<const std::uint8_t> data) { out_->write(data); }
-void MemChannel::recv(std::span<std::uint8_t> out) { in_->read(out); }
+void MemChannel::recv(std::span<std::uint8_t> out) { in_->read(out, timeout_); }
 
 void MemChannel::close() {
   out_->close();

@@ -22,7 +22,9 @@ namespace detail {
 class MemPipe {
  public:
   void write(std::span<const std::uint8_t> data);
-  void read(std::span<std::uint8_t> out);
+  /// Blocks until `out` is filled; a zero timeout blocks without bound,
+  /// otherwise throws hpm::TimeoutError once the deadline passes.
+  void read(std::span<std::uint8_t> out, std::chrono::milliseconds timeout);
   void close();
 
  private:
@@ -43,6 +45,7 @@ class MemChannel final : public ByteChannel {
 
   void send(std::span<const std::uint8_t> data) override;
   void recv(std::span<std::uint8_t> out) override;
+  void set_timeout(std::chrono::milliseconds timeout) override { timeout_ = timeout; }
   void close() override;
 
  private:
@@ -50,6 +53,7 @@ class MemChannel final : public ByteChannel {
       : out_(std::move(out)), in_(std::move(in)) {}
   std::shared_ptr<detail::MemPipe> out_;
   std::shared_ptr<detail::MemPipe> in_;
+  std::chrono::milliseconds timeout_{0};
 };
 
 }  // namespace hpm::net

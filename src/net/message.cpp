@@ -2,40 +2,69 @@
 
 #include <array>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace hpm::net {
 
+namespace {
+
+void put_u32_be(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>((v >> 24) & 0xFFu);
+  out[1] = static_cast<std::uint8_t>((v >> 16) & 0xFFu);
+  out[2] = static_cast<std::uint8_t>((v >> 8) & 0xFFu);
+  out[3] = static_cast<std::uint8_t>(v & 0xFFu);
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) | static_cast<std::uint32_t>(in[3]);
+}
+
+}  // namespace
+
 void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload) {
   std::array<std::uint8_t, 5> header{};
   header[0] = static_cast<std::uint8_t>(type);
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  header[1] = static_cast<std::uint8_t>((len >> 24) & 0xFFu);
-  header[2] = static_cast<std::uint8_t>((len >> 16) & 0xFFu);
-  header[3] = static_cast<std::uint8_t>((len >> 8) & 0xFFu);
-  header[4] = static_cast<std::uint8_t>(len & 0xFFu);
+  put_u32_be(header.data() + 1, static_cast<std::uint32_t>(payload.size()));
+  Crc32 crc;
+  crc.update(header.data(), header.size());
+  crc.update(payload.data(), payload.size());
+  std::array<std::uint8_t, 4> trailer{};
+  put_u32_be(trailer.data(), crc.value());
   ch.send(header);
   if (!payload.empty()) ch.send(payload);
+  ch.send(trailer);
 }
 
 Message recv_message(ByteChannel& ch, std::size_t max_payload) {
   std::array<std::uint8_t, 5> header{};
   ch.recv(header);
   const auto raw_type = header[0];
-  if (raw_type < 1 || raw_type > 5) {
+  if (raw_type < 1 || raw_type > 6) {
     throw NetError("malformed frame: unknown message type " + std::to_string(raw_type));
   }
-  const std::uint32_t len = (static_cast<std::uint32_t>(header[1]) << 24) |
-                            (static_cast<std::uint32_t>(header[2]) << 16) |
-                            (static_cast<std::uint32_t>(header[3]) << 8) |
-                            static_cast<std::uint32_t>(header[4]);
+  const std::uint32_t len = get_u32_be(header.data() + 1);
+  // Validate the (possibly hostile or corrupted) length prefix before a
+  // single byte is allocated for it.
   if (len > max_payload) {
-    throw NetError("frame payload of " + std::to_string(len) + " bytes exceeds limit");
+    throw NetError("frame payload of " + std::to_string(len) + " bytes exceeds the " +
+                   std::to_string(max_payload) + "-byte limit");
   }
   Message msg;
   msg.type = static_cast<MsgType>(raw_type);
   msg.payload.resize(len);
   if (len > 0) ch.recv(msg.payload);
+  std::array<std::uint8_t, 4> trailer{};
+  ch.recv(trailer);
+  Crc32 crc;
+  crc.update(header.data(), header.size());
+  crc.update(msg.payload.data(), msg.payload.size());
+  if (get_u32_be(trailer.data()) != crc.value()) {
+    throw NetError("frame CRC mismatch: " + std::to_string(len) +
+                   "-byte payload damaged in transit");
+  }
   return msg;
 }
 

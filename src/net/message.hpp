@@ -3,7 +3,10 @@
 // The migration protocol exchanges a handful of discrete messages
 // (migration request metadata, the state stream, acknowledgement); framing
 // turns the raw byte stream into those messages with an explicit type tag
-// so protocol errors are detected instead of mis-parsed.
+// so protocol errors are detected instead of mis-parsed. Every frame
+// carries a CRC-32 trailer over header+payload, so a transfer corrupted in
+// flight surfaces as a NetError at the frame boundary — and can be nacked
+// and retransmitted — instead of being mis-restored into a live process.
 #pragma once
 
 #include <cstdint>
@@ -13,13 +16,19 @@
 
 namespace hpm::net {
 
+/// Version of the coordinator's wire protocol, announced in the first
+/// byte of the Hello payload. Bumped to 2 when the CRC trailer and Nack
+/// were introduced; a mismatch aborts the attempt before any state moves.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
 /// Message type tags used by the migration coordinator.
 enum class MsgType : std::uint8_t {
-  Hello = 1,       ///< destination announces readiness (payload: arch name)
+  Hello = 1,       ///< destination announces readiness (payload: version byte + arch name)
   State = 2,       ///< the migration stream produced by collection
   Ack = 3,         ///< destination confirms successful restoration
   Error = 4,       ///< destination reports a restoration failure (payload: text)
   Shutdown = 5,    ///< orderly teardown without migration
+  Nack = 6,        ///< destination rejects a damaged frame; sender should retransmit
 };
 
 struct Message {
@@ -27,10 +36,14 @@ struct Message {
   Bytes payload;
 };
 
-/// Send one framed message: u8 type, u32 length (big-endian), payload.
+/// Send one framed message: u8 type, u32 length (big-endian), payload,
+/// u32 CRC-32 (big-endian) over everything preceding it.
 void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload);
 
-/// Receive one framed message; throws hpm::NetError on malformed frames.
-Message recv_message(ByteChannel& ch, std::size_t max_payload = 1ull << 31);
+/// Receive one framed message; throws hpm::NetError on malformed frames,
+/// oversized length prefixes (checked BEFORE any allocation), or CRC
+/// mismatch. The default cap is far below the u32 length field's range so
+/// a hostile or corrupted prefix cannot drive a multi-GiB allocation.
+Message recv_message(ByteChannel& ch, std::size_t max_payload = 1ull << 28);
 
 }  // namespace hpm::net

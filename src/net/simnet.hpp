@@ -40,7 +40,11 @@ class ThrottledChannel final : public ByteChannel {
 
   void send(std::span<const std::uint8_t> data) override;
   void recv(std::span<std::uint8_t> out) override;
+  void set_timeout(std::chrono::milliseconds timeout) override {
+    inner_->set_timeout(timeout);
+  }
   void close() override;
+  void abort() override { inner_->abort(); }
 
   [[nodiscard]] double modeled_send_seconds() const noexcept { return modeled_send_s_; }
 

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,8 +15,35 @@ namespace hpm::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 [[noreturn]] void fail(const std::string& op) {
   throw NetError(op + ": " + std::strerror(errno));
+}
+
+/// Wait until the fd is ready for `events` or the deadline passes.
+/// `bounded == false` means wait without bound.
+void wait_ready(int fd, short events, bool bounded, Clock::time_point deadline,
+                const char* op) {
+  for (;;) {
+    int wait_ms = -1;
+    if (bounded) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+      if (left.count() <= 0) {
+        throw TimeoutError(std::string(op) + " timed out on socket");
+      }
+      wait_ms = static_cast<int>(left.count()) + 1;
+    }
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    if (n > 0) return;  // ready (or error/hup — the following I/O call reports it)
+    // n == 0: poll timed out; loop re-checks the deadline and throws.
+  }
 }
 
 }  // namespace
@@ -25,11 +53,16 @@ SocketChannel::~SocketChannel() {
 }
 
 void SocketChannel::send(std::span<const std::uint8_t> data) {
+  if (fd_ < 0) throw NetError("send on closed SocketChannel");
+  const bool bounded = timeout_.count() > 0;
+  const auto deadline = Clock::now() + timeout_;
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    wait_ready(fd_, POLLOUT, bounded, deadline, "send");
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       fail("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -37,11 +70,15 @@ void SocketChannel::send(std::span<const std::uint8_t> data) {
 }
 
 void SocketChannel::recv(std::span<std::uint8_t> out) {
+  if (fd_ < 0) throw NetError("recv on closed SocketChannel");
+  const bool bounded = timeout_.count() > 0;
+  const auto deadline = Clock::now() + timeout_;
   std::size_t got = 0;
   while (got < out.size()) {
-    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
+    wait_ready(fd_, POLLIN, bounded, deadline, "recv");
+    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, MSG_DONTWAIT);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       fail("recv");
     }
     if (n == 0) {

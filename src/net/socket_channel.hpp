@@ -25,10 +25,12 @@ class SocketChannel final : public ByteChannel {
 
   void send(std::span<const std::uint8_t> data) override;
   void recv(std::span<std::uint8_t> out) override;
+  void set_timeout(std::chrono::milliseconds timeout) override { timeout_ = timeout; }
   void close() override;
 
  private:
   int fd_ = -1;
+  std::chrono::milliseconds timeout_{0};
 };
 
 /// Listening endpoint on 127.0.0.1 with a kernel-assigned port.

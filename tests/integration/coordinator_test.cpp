@@ -39,6 +39,8 @@ TEST(Coordinator, NoMigrationShutdownIsClean) {
   };
   const MigrationReport report = run_migration(options);
   EXPECT_FALSE(report.migrated);
+  EXPECT_EQ(report.outcome, MigrationOutcome::CompletedLocally);
+  EXPECT_EQ(report.attempts, 0);  // no transfer was ever started
   EXPECT_EQ(completions.load(), 1);  // only the source ran
   EXPECT_EQ(report.source_polls, 10u);
   EXPECT_EQ(report.stream_bytes, 0u);
@@ -54,14 +56,18 @@ TEST(Coordinator, MigrationRunsDestinationExactlyOnce) {
   options.migrate_at_poll = 5;
   const MigrationReport report = run_migration(options);
   EXPECT_TRUE(report.migrated);
+  EXPECT_EQ(report.outcome, MigrationOutcome::Migrated);
+  EXPECT_EQ(report.attempts, 1);  // a healthy channel needs exactly one
+  EXPECT_TRUE(report.failure_causes.empty());
   EXPECT_EQ(completions.load(), 1);  // source unwound; destination finished
   EXPECT_GT(report.stream_bytes, 0u);
   EXPECT_GE(report.tx_seconds, 0.0);
 }
 
 TEST(Coordinator, DestinationFailureSurfacesToTheCaller) {
-  // Source and destination run DIFFERENT programs (version skew): the
-  // destination's restore must fail and the failure must propagate out of
+  // Source and destination run DIFFERENT programs (version skew): every
+  // transfer attempt fails the same way, and the local continuation runs
+  // the same wrong binary — so the failure must still propagate out of
   // run_migration instead of hanging or being swallowed.
   std::atomic<int> completions{0};
   std::atomic<bool> first{true};

@@ -35,6 +35,12 @@ void shapes_program(MigContext& ctx, int n, double* out) {
   HPM_LOCAL(ctx, i);
   HPM_LOCAL(ctx, n);
   dyn = static_cast<double*>(::operator new(sizeof(double) * n, std::align_val_t{16}));
+  // Free on every exit path: MigrationExit unwinds past HPM_BODY_END, and the
+  // stream holds its own copy of the region by then.
+  struct Guard {
+    double* p;
+    ~Guard() { ::operator delete(p, std::align_val_t{16}); }
+  } dyn_guard{dyn};
   HPM_LOCAL_ARRAY(ctx, dyn, static_cast<std::uint32_t>(n));
   HPM_BODY(ctx);
   acc.x = acc.y = acc.z = 0;
@@ -48,7 +54,6 @@ void shapes_program(MigContext& ctx, int n, double* out) {
   }
   *out = acc.x + acc.y + acc.z;
   HPM_BODY_END(ctx);
-  ::operator delete(dyn, std::align_val_t{16});
 }
 
 double shapes_expected(int n) {

@@ -1,10 +1,14 @@
 // Transport layer: channels, framing, and the Ethernet link model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "net/faulty_channel.hpp"
 #include "net/file_channel.hpp"
 #include "net/mem_channel.hpp"
 #include "net/message.hpp"
@@ -72,6 +76,50 @@ TEST(SocketChannel, LoopbackRoundTrip) {
   EXPECT_THROW(server->recv(more), NetError);  // orderly EOF detected
 }
 
+TEST(MemChannel, RecvHonorsDeadline) {
+  auto [a, b] = MemChannel::make_pair();
+  b->set_timeout(std::chrono::milliseconds(30));
+  Bytes in(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(b->recv(in), TimeoutError);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(5));  // bounded, not a hang
+  // A TimeoutError is still a NetError for transport-boundary handlers.
+  b->set_timeout(std::chrono::milliseconds(10));
+  EXPECT_THROW(b->recv(in), NetError);
+  (void)a;
+}
+
+TEST(SocketChannel, RecvHonorsDeadline) {
+  SocketListener listener;
+  std::unique_ptr<SocketChannel> server;
+  std::thread acceptor([&] { server = listener.accept(); });
+  auto client = connect_to(listener.port());
+  acceptor.join();
+  server->set_timeout(std::chrono::milliseconds(30));
+  Bytes in(4);
+  EXPECT_THROW(server->recv(in), TimeoutError);
+  // The channel is still usable after a timeout: late data gets through.
+  const Bytes out = {9, 8, 7, 6};
+  client->send(out);
+  server->recv(in);
+  EXPECT_EQ(in, out);
+}
+
+TEST(SocketChannel, CloseIsIdempotentAndIoAfterCloseThrows) {
+  SocketListener listener;
+  std::unique_ptr<SocketChannel> server;
+  std::thread acceptor([&] { server = listener.accept(); });
+  auto client = connect_to(listener.port());
+  acceptor.join();
+  client->close();
+  client->close();  // second close must be a no-op, not a double-close of the fd
+  const Bytes out = {1};
+  EXPECT_THROW(client->send(out), NetError);
+  Bytes in(1);
+  EXPECT_THROW(client->recv(in), NetError);
+}
+
 TEST(SocketChannel, ConnectToClosedPortFails) {
   std::uint16_t dead_port;
   {
@@ -124,6 +172,33 @@ TEST(FileChannel, DirectionsAreEnforced) {
   EXPECT_THROW(reader.send(buf), NetError);
 }
 
+TEST(FileChannel, ReaderRecvHonorsDeadline) {
+  const std::string path = "/tmp/hpm_net_test_deadline.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".done").c_str());
+  FileReaderChannel reader(path);  // no writer will ever show up
+  reader.set_timeout(std::chrono::milliseconds(30));
+  Bytes in(8);
+  EXPECT_THROW(reader.recv(in), TimeoutError);
+}
+
+TEST(FileChannel, AbortLeavesNoDoneMarker) {
+  const std::string path = "/tmp/hpm_net_test_abort.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".done").c_str());
+  {
+    FileWriterChannel writer(path);
+    const Bytes out = make_payload(16);
+    writer.send(out);
+    writer.abort();  // crash-style teardown
+  }  // destructor must not resurrect the marker
+  FileReaderChannel reader(path);
+  reader.set_timeout(std::chrono::milliseconds(30));
+  Bytes in(32);
+  EXPECT_THROW(reader.recv(in), TimeoutError);  // stream never completes
+  std::remove(path.c_str());
+}
+
 TEST(Message, FramingRoundTrips) {
   auto [a, b] = MemChannel::make_pair();
   const Bytes payload = make_payload(333);
@@ -153,6 +228,138 @@ TEST(Message, OversizedFrameIsRejected) {
   const Bytes header = {static_cast<std::uint8_t>(MsgType::State), 0x40, 0, 0, 0};
   a->send(header);
   EXPECT_THROW(recv_message(*b, /*max_payload=*/1 << 20), NetError);
+}
+
+TEST(Message, HostileLengthPrefixIsRejectedBeforeAllocation) {
+  auto [a, b] = MemChannel::make_pair();
+  // A 2 GiB - 1 length prefix: under the old 1ull << 31 default this
+  // passed validation and attempted the allocation; the default cap must
+  // reject it outright.
+  const Bytes header = {static_cast<std::uint8_t>(MsgType::State), 0x7F, 0xFF, 0xFF, 0xFF};
+  a->send(header);
+  EXPECT_THROW(recv_message(*b), NetError);
+}
+
+TEST(Message, NackRoundTrips) {
+  auto [a, b] = MemChannel::make_pair();
+  const std::string reason = "frame CRC mismatch";
+  send_message(*a, MsgType::Nack, Bytes(reason.begin(), reason.end()));
+  const Message msg = recv_message(*b);
+  EXPECT_EQ(msg.type, MsgType::Nack);
+  EXPECT_EQ(std::string(msg.payload.begin(), msg.payload.end()), reason);
+}
+
+Bytes frame_bytes(MsgType type, const Bytes& payload) {
+  Bytes frame;
+  frame.push_back(static_cast<std::uint8_t>(type));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>(len & 0xFFu));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = Crc32::of(frame.data(), frame.size());
+  frame.push_back(static_cast<std::uint8_t>((crc >> 24) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFFu));
+  frame.push_back(static_cast<std::uint8_t>(crc & 0xFFu));
+  return frame;
+}
+
+TEST(Message, CorruptedPayloadFailsTheCrcTrailer) {
+  auto [a, b] = MemChannel::make_pair();
+  Bytes frame = frame_bytes(MsgType::State, make_payload(100));
+  frame[5 + 40] ^= 0x01u;  // flip one payload bit in transit
+  a->send(frame);
+  try {
+    recv_message(*b);
+    FAIL() << "damaged frame was accepted";
+  } catch (const NetError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(Message, IntactHandCraftedFramePassesTheCrcTrailer) {
+  auto [a, b] = MemChannel::make_pair();
+  const Bytes payload = make_payload(100);
+  a->send(frame_bytes(MsgType::State, payload));
+  const Message msg = recv_message(*b);
+  EXPECT_EQ(msg.type, MsgType::State);
+  EXPECT_EQ(msg.payload, payload);
+}
+
+TEST(FaultyChannel, CorruptFaultFiresOnceAtItsOffset) {
+  FaultPlan plan;
+  plan.kind = FaultKind::Corrupt;
+  plan.offset = 10;
+  plan.length = 2;
+  plan.max_firings = 1;
+  auto state = std::make_shared<FaultState>();
+  auto [a, b] = MemChannel::make_pair();
+  FaultyChannel faulty(std::move(a), plan, state);
+  const Bytes out = make_payload(32);
+  faulty.send(out);
+  Bytes in(32);
+  b->recv(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (i == 10 || i == 11) {
+      EXPECT_EQ(in[i], static_cast<std::uint8_t>(out[i] ^ 0xA5u)) << "at " << i;
+    } else {
+      EXPECT_EQ(in[i], out[i]) << "at " << i;
+    }
+  }
+  EXPECT_EQ(state->firings, 1);
+  faulty.send(out);  // budget exhausted: second pass is clean
+  b->recv(in);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(state->firings, 1);
+}
+
+TEST(FaultyChannel, DisconnectFaultBreaksBothEnds) {
+  FaultPlan plan;
+  plan.kind = FaultKind::Disconnect;
+  plan.offset = 8;
+  auto [a, b] = MemChannel::make_pair();
+  FaultyChannel faulty(std::move(a), plan);
+  const Bytes out = make_payload(32);
+  EXPECT_THROW(faulty.send(out), NetError);
+  Bytes in(32);
+  EXPECT_THROW(b->recv(in), NetError);  // only 8 bytes arrived, then EOF
+  EXPECT_THROW(faulty.send(out), NetError);
+  EXPECT_NO_THROW(faulty.close());  // dead channel: close is a quiet no-op
+}
+
+TEST(FaultyChannel, TruncateSwallowsTheTailThenClosesCleanly) {
+  FaultPlan plan;
+  plan.kind = FaultKind::Truncate;
+  plan.offset = 12;
+  auto [a, b] = MemChannel::make_pair();
+  FaultyChannel faulty(std::move(a), plan);
+  const Bytes out = make_payload(32);
+  faulty.send(out);  // no error on the sender: the tail vanishes silently
+  Bytes head(12);
+  b->recv(head);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), out.begin()));
+  faulty.close();
+  Bytes more(1);
+  EXPECT_THROW(b->recv(more), NetError);  // clean EOF, short stream
+}
+
+TEST(FaultPlan, RandomPlansAreSeedDeterministic) {
+  const FaultPlan p1 = FaultPlan::random(42);
+  const FaultPlan p2 = FaultPlan::random(42);
+  EXPECT_EQ(p1.kind, p2.kind);
+  EXPECT_EQ(p1.offset, p2.offset);
+  EXPECT_EQ(p1.length, p2.length);
+  EXPECT_DOUBLE_EQ(p1.stall_seconds, p2.stall_seconds);
+  EXPECT_TRUE(p1.enabled());
+  // Different seeds explore different plans (not all identical).
+  bool differs = false;
+  for (std::uint64_t seed = 0; seed < 16 && !differs; ++seed) {
+    const FaultPlan q = FaultPlan::random(seed);
+    differs = q.kind != p1.kind || q.offset != p1.offset;
+  }
+  EXPECT_TRUE(differs);
 }
 
 TEST(SimulatedLink, TransferTimeScalesWithBytes) {
