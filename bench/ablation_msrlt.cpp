@@ -6,7 +6,10 @@
 // linear scan, showing why the data structure choice is load-bearing.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "apps/workload.hpp"
+#include "emit.hpp"
 #include "msrm/collect.hpp"
 
 namespace {
@@ -46,6 +49,39 @@ void BM_collect_linear_scan(benchmark::State& state) {
 }
 BENCHMARK(BM_collect_linear_scan)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
 
+/// One timed collection pass per strategy for the JSON report.
+double timed_collect(msr::SearchStrategy strategy, std::uint32_t nodes) {
+  ti::TypeTable types;
+  apps::workload_register_types(types);
+  mig::MigContext ctx(types, strategy);
+  apps::RandNode*& root = ctx.global<apps::RandNode*>("root");
+  apps::GraphShape shape;
+  shape.nodes = nodes;
+  shape.edge_density = 0.8;
+  shape.share_bias = 0.5;
+  const auto all = apps::build_random_graph(ctx, 7, shape);
+  root = all[0];
+  const auto t0 = std::chrono::steady_clock::now();
+  xdr::Encoder enc(1 << 20);
+  msrm::Collector collector(ctx.space(), enc);
+  collector.save_variable(reinterpret_cast<msr::Address>(&root));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const hpm::bench::BenchArgs args = hpm::bench::parse_bench_args(argc, argv);
+  if (!args.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  hpm::bench::BenchReport report("ablation_msrlt", args.smoke);
+  const std::uint32_t nodes = args.smoke ? 1000 : 16000;
+  report.add("collect_seconds.ordered_map",
+             timed_collect(msr::SearchStrategy::OrderedMap, nodes), "seconds");
+  report.add("collect_seconds.linear_scan",
+             timed_collect(msr::SearchStrategy::LinearScan, nodes), "seconds");
+  return report.write_if_requested(args) ? 0 : 1;
+}

@@ -7,8 +7,10 @@
 // fraction, with a small constant floor (execution state + digest
 // metadata), versus the flat full-capture line.
 #include <cstdio>
+#include <vector>
 
 #include "ckpt/incremental.hpp"
+#include "emit.hpp"
 #include "mig/annotate.hpp"
 
 using namespace hpm;
@@ -43,11 +45,15 @@ void program(mig::MigContext& ctx, ckpt::IncrementalCheckpointer* checkpointer, 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchReport report("ckpt_incremental", args.smoke);
   std::printf("Incremental checkpoint deltas vs mutated fraction (64 x 32 KB arrays)\n\n");
   std::printf("%10s %14s %14s %14s %12s\n", "hot/64", "base_bytes", "delta_bytes",
               "delta_blocks", "reduction");
-  for (int hot : {0, 4, 16, 32, 64}) {
+  const std::vector<int> hots =
+      args.smoke ? std::vector<int>{4} : std::vector<int>{0, 4, 16, 32, 64};
+  for (int hot : hots) {
     const std::string prefix = "/tmp/hpm_bench_inc_" + std::to_string(hot);
     for (int i = 0; i < 8; ++i) {
       std::remove((prefix + "." + std::to_string(i)).c_str());
@@ -64,8 +70,12 @@ int main() {
                 static_cast<unsigned long long>(stats[0].file_bytes),
                 static_cast<unsigned long long>(stats[2].file_bytes),
                 static_cast<unsigned long long>(stats[2].written_blocks), reduction);
+    const std::string row = "hot" + std::to_string(hot) + ".";
+    report.add(row + "base_bytes", static_cast<double>(stats[0].file_bytes), "bytes");
+    report.add(row + "delta_bytes", static_cast<double>(stats[2].file_bytes), "bytes");
+    report.add(row + "reduction", reduction, "ratio");
   }
   std::printf("\nexpected shape: delta bytes grow linearly with the hot fraction; the\n"
               "0-hot floor is the execution state plus the mutating loop locals.\n");
-  return 0;
+  return report.write_if_requested(args) ? 0 : 1;
 }

@@ -11,19 +11,24 @@
 // times should be linear in sum Di with a constant collect-restore gap —
 // the linpack regime of Figure 2(a).
 #include <cstdio>
+#include <vector>
 
 #include "apps/workload.hpp"
+#include "emit.hpp"
 #include "support.hpp"
 
 using namespace hpm;
 
 namespace {
 
-void sweep_block_count() {
+void sweep_block_count(bench::BenchReport& report, bool smoke) {
   std::printf("Sweep A: block count n scales, block size fixed (~48 B/node)\n");
   std::printf("%8s %12s %12s %16s %16s %14s\n", "n", "collect_s", "restore_s",
               "collect_ns/blk", "restore_ns/blk", "steps/search");
-  for (std::uint32_t n : {2000u, 8000u, 32000u, 128000u}) {
+  const std::vector<std::uint32_t> counts =
+      smoke ? std::vector<std::uint32_t>{2000u}
+            : std::vector<std::uint32_t>{2000u, 8000u, 32000u, 128000u};
+  for (std::uint32_t n : counts) {
     auto program = [n](mig::MigContext& ctx) {
       // Build the graph, then enter a one-poll frame so the harness can
       // trigger at a well-defined point with everything live.
@@ -48,14 +53,20 @@ void sweep_block_count() {
                 m.collect_s / blocks * 1e9, m.restore_s / blocks * 1e9,
                 static_cast<double>(m.source_msrlt.search_steps) /
                     static_cast<double>(m.source_msrlt.searches));
+    const std::string prefix = "sweepA.n" + std::to_string(n) + ".";
+    report.add(prefix + "collect_seconds", m.collect_s, "seconds");
+    report.add(prefix + "restore_seconds", m.restore_s, "seconds");
   }
 }
 
-void sweep_block_size() {
+void sweep_block_size(bench::BenchReport& report, bool smoke) {
   std::printf("\nSweep B: block count fixed (4 blocks), bytes scale\n");
   std::printf("%12s %12s %12s %14s %14s\n", "bytes", "collect_s", "restore_s",
               "collect_MB/s", "restore_MB/s");
-  for (std::uint32_t kb : {256u, 1024u, 4096u, 16384u}) {
+  const std::vector<std::uint32_t> sizes =
+      smoke ? std::vector<std::uint32_t>{256u}
+            : std::vector<std::uint32_t>{256u, 1024u, 4096u, 16384u};
+  for (std::uint32_t kb : sizes) {
     const std::uint32_t elems = kb * 1024 / 8 / 4;
     auto program = [elems](mig::MigContext& ctx) {
       double** blocks = &ctx.global<double*>("b0");
@@ -83,18 +94,23 @@ void sweep_block_size() {
     std::printf("%12llu %12.5f %12.5f %14.1f %14.1f\n",
                 static_cast<unsigned long long>(m.bytes), m.collect_s, m.restore_s,
                 mb / m.collect_s, mb / m.restore_s);
+    const std::string prefix = "sweepB.kb" + std::to_string(kb) + ".";
+    report.add(prefix + "collect_mb_per_s", mb / m.collect_s, "MB/second");
+    report.add(prefix + "restore_mb_per_s", mb / m.restore_s, "MB/second");
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchReport report("complexity_model", args.smoke);
   std::printf("Section 4.2 complexity-model sweeps\n\n");
-  sweep_block_count();
-  sweep_block_size();
+  sweep_block_count(report, args.smoke);
+  sweep_block_size(report, args.smoke);
   std::printf("\nexpected shapes: Sweep A steps/search grows exactly as log2(n) — the\n"
               "paper's O(n log n) collection search term — while restoration performs\n"
               "zero address searches (its per-block cost carries only allocator/map\n"
               "constants); Sweep B both rates flat (linear in bytes), constant gap.\n");
-  return 0;
+  return report.write_if_requested(args) ? 0 : 1;
 }

@@ -6,20 +6,29 @@
 // of MSR nodes stays constant, so the MSRLT search/update terms are
 // constant and only the encode/decode term scales), and the gap between
 // collection and restoration is roughly constant across sizes.
+//
+// --smoke runs one small matrix; --json PATH writes hpm-bench-v1.
 #include <cstdio>
+#include <vector>
 
 #include "apps/linpack.hpp"
+#include "emit.hpp"
 #include "support.hpp"
 
 using namespace hpm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchReport report("fig2a_linpack", args.smoke);
+  const std::vector<int> sizes =
+      args.smoke ? std::vector<int>{200} : std::vector<int>{500, 600, 700, 800, 900, 1000};
+
   std::printf("Figure 2(a): linpack collect/restore time vs data size\n");
   std::printf("%6s %12s %12s %12s %10s %14s\n", "n", "bytes", "collect_s", "restore_s",
               "blocks", "msrlt_searches");
   double first_ratio = 0;
   double last_ratio = 0;
-  for (int n : {500, 600, 700, 800, 900, 1000}) {
+  for (int n : sizes) {
     apps::LinpackResult result;
     const bench::Measurement m = bench::measure_migration(
         apps::linpack_register_types,
@@ -32,9 +41,16 @@ int main() {
     const double ratio = m.collect_s / static_cast<double>(m.bytes);
     if (first_ratio == 0) first_ratio = ratio;
     last_ratio = ratio;
+    const std::string prefix = "n" + std::to_string(n) + ".";
+    report.add(prefix + "collect_seconds", m.collect_s, "seconds");
+    report.add(prefix + "restore_seconds", m.restore_s, "seconds");
+    report.add(prefix + "stream_bytes", static_cast<double>(m.bytes), "bytes");
   }
   std::printf("\nshape check: collect seconds-per-byte at n=1000 vs n=500: %.2fx "
               "(1.0 = perfectly linear in sum(Di))\n",
               last_ratio / first_ratio);
-  return 0;
+  report.add("linearity_ratio", last_ratio / first_ratio, "ratio");
+  report.add_percentiles("trace.mig.collect");
+  report.add_percentiles("trace.mig.restore");
+  return report.write_if_requested(args) ? 0 : 1;
 }

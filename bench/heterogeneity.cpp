@@ -14,6 +14,7 @@
 #include <limits>
 
 #include "apps/workload.hpp"
+#include "emit.hpp"
 #include "hpm/hpm.hpp"
 
 using namespace hpm;
@@ -153,7 +154,8 @@ void narrowing_detection_experiment() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("Section 4.1 heterogeneity experiments (simulated DEC Ultrix / SPARC "
               "Solaris memory images)\n\n");
   pointer_structures_experiment();
@@ -161,5 +163,8 @@ int main() {
   narrowing_detection_experiment();
   std::printf("\n%s\n", checks_failed == 0 ? "ALL HETEROGENEITY CHECKS PASSED"
                                            : "SOME CHECKS FAILED");
+  bench::BenchReport report("heterogeneity", args.smoke);
+  report.add("checks_failed", checks_failed, "count");
+  if (!report.write_if_requested(args)) return 1;
   return checks_failed == 0 ? 0 : 1;
 }

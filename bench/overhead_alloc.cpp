@@ -8,8 +8,10 @@
 // stay ordered.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 
+#include "emit.hpp"
 #include "mig/context.hpp"
 
 namespace {
@@ -81,6 +83,61 @@ void BM_alloc_pooled_tracked(benchmark::State& state) {
 }
 BENCHMARK(BM_alloc_pooled_tracked)->Arg(1024)->Arg(8192)->Arg(65536);
 
+/// Timed alloc/free churn at a fixed live-set size, tracked vs not.
+double timed_churn(bool tracked, std::size_t live, int rounds) {
+  using Clock = std::chrono::steady_clock;
+  if (!tracked) {
+    std::vector<void*> slots(live, nullptr);
+    for (void*& s : slots) s = std::malloc(sizeof(Small));
+    const auto t0 = Clock::now();
+    std::size_t cursor = 0;
+    for (int r = 0; r < rounds; ++r) {
+      std::free(slots[cursor]);
+      slots[cursor] = std::malloc(sizeof(Small));
+      cursor = (cursor + 1) % live;
+    }
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    for (void* p : slots) std::free(p);
+    return s;
+  }
+  hpm::ti::TypeTable types;
+  {
+    hpm::ti::StructBuilder<Small> b(types, "small");
+    HPM_TI_FIELD(b, Small, v);
+    HPM_TI_FIELD(b, Small, next);
+    b.commit();
+  }
+  hpm::mig::MigContext ctx(types);
+  std::vector<Small*> slots(live, nullptr);
+  for (Small*& s : slots) s = ctx.heap_alloc<Small>(1, "");
+  const auto t0 = Clock::now();
+  std::size_t cursor = 0;
+  for (int r = 0; r < rounds; ++r) {
+    ctx.heap_free(slots[cursor]);
+    slots[cursor] = ctx.heap_alloc<Small>(1, "");
+    cursor = (cursor + 1) % live;
+  }
+  const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (Small* p : slots) ctx.heap_free(p);
+  return s;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const hpm::bench::BenchArgs args = hpm::bench::parse_bench_args(argc, argv);
+  if (!args.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  hpm::bench::BenchReport report("overhead_alloc", args.smoke);
+  const std::size_t live = args.smoke ? 1024 : 65536;
+  const int rounds = args.smoke ? 10000 : 100000;
+  const double plain_s = timed_churn(false, live, rounds);
+  const double tracked_s = timed_churn(true, live, rounds);
+  report.add("alloc_free_ns.untracked", plain_s / rounds * 1e9, "nanoseconds");
+  report.add("alloc_free_ns.tracked", tracked_s / rounds * 1e9, "nanoseconds");
+  report.add("tracked_overhead", tracked_s / plain_s, "ratio");
+  return report.write_if_requested(args) ? 0 : 1;
+}

@@ -10,6 +10,9 @@
 // (frame enter/exit + live-variable registration on every call).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "emit.hpp"
 #include "mig/annotate.hpp"
 #include "mig/context.hpp"
 
@@ -152,6 +155,38 @@ void BM_tiny_kernel_annotated(benchmark::State& state) {
 }
 BENCHMARK(BM_tiny_kernel_annotated);
 
+template <class F>
+double timed_seconds(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(fn());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const hpm::bench::BenchArgs args = hpm::bench::parse_bench_args(argc, argv);
+  if (!args.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  hpm::bench::BenchReport report("overhead_pollpoints", args.smoke);
+  const int n = args.smoke ? 96 : kN;
+  hpm::ti::TypeTable types;
+  const double plain_s = timed_seconds([&] { return plain_elimination(n); });
+  const double outer_s = timed_seconds([&] {
+    MigContext ctx(types);
+    return outer_poll_elimination(ctx, n);
+  });
+  const double inner_s = timed_seconds([&] {
+    MigContext ctx(types);
+    return inner_poll_elimination(ctx, n);
+  });
+  report.add("elimination_seconds.plain", plain_s, "seconds");
+  report.add("elimination_seconds.outer_poll", outer_s, "seconds");
+  report.add("elimination_seconds.inner_poll", inner_s, "seconds");
+  report.add("outer_poll_overhead", outer_s / plain_s, "ratio");
+  report.add("inner_poll_overhead", inner_s / plain_s, "ratio");
+  return report.write_if_requested(args) ? 0 : 1;
+}

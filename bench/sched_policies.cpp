@@ -8,12 +8,16 @@
 // load-balancing policy must converge to never-migrate behavior as the
 // freeze cost grows.
 #include <cstdio>
+#include <vector>
 
+#include "emit.hpp"
 #include "sched/cluster.hpp"
 
 using namespace hpm::sched;
 
-int main() {
+int main(int argc, char** argv) {
+  const hpm::bench::BenchArgs args = hpm::bench::parse_bench_args(argc, argv);
+  hpm::bench::BenchReport report("sched_policies", args.smoke);
   std::printf("Scheduler policies on a hotspot workload (4 hosts, 12 jobs on host 0, "
               "100 Mb/s)\n\n");
   std::printf("%12s %14s %14s %12s %12s %12s\n", "state", "never_makespan",
@@ -29,11 +33,14 @@ int main() {
     std::uint64_t bytes;
     std::uint64_t blocks;
   };
-  for (const Case c : {Case{"64 KB", 64ull << 10, 100},
-                       Case{"1 MB", 1ull << 20, 2000},
-                       Case{"8 MB", 8ull << 20, 20000},
-                       Case{"64 MB", 64ull << 20, 200000},
-                       Case{"512 MB", 512ull << 20, 1000000}}) {
+  const std::vector<Case> cases =
+      args.smoke ? std::vector<Case>{Case{"64 KB", 64ull << 10, 100}}
+                 : std::vector<Case>{Case{"64 KB", 64ull << 10, 100},
+                                     Case{"1 MB", 1ull << 20, 2000},
+                                     Case{"8 MB", 8ull << 20, 20000},
+                                     Case{"64 MB", 64ull << 20, 200000},
+                                     Case{"512 MB", 512ull << 20, 1000000}};
+  for (const Case c : cases) {
     std::vector<JobSpec> jobs;
     for (int i = 0; i < 12; ++i) {
       jobs.push_back(JobSpec{"j" + std::to_string(i), 2.0, i * 0.05, 0, c.bytes, c.blocks});
@@ -43,8 +50,11 @@ int main() {
     std::printf("%12s %14.2f %14.2f %11.2fx %12u %12.3f\n", c.label, r_never.makespan,
                 r_bal.makespan, r_never.makespan / r_bal.makespan, r_bal.migrations,
                 r_bal.total_frozen_seconds);
+    const std::string prefix = std::string("state_") + c.label + ".";
+    report.add(prefix + "speedup", r_never.makespan / r_bal.makespan, "ratio");
+    report.add(prefix + "migrations", r_bal.migrations, "count");
   }
   std::printf("\nexpected shape: speedup near the host ratio (~4x) for small state,\n"
               "decaying toward 1.0x (and migrations toward 0) as freeze cost grows.\n");
-  return 0;
+  return report.write_if_requested(args) ? 0 : 1;
 }

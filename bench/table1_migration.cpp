@@ -12,15 +12,29 @@
 // order of magnitude as Tx, (b) linpack's time is dominated by data
 // volume while bitonic's is dominated by block count, and (c) for
 // bitonic, Collect > Restore (the MSRLT search term).
+//
+// Writes BENCH_migration.json (hpm-bench-v1; override with --json PATH).
+// --smoke shrinks the problems to one cheap iteration each.
 #include <cstdio>
 
 #include "apps/bitonic.hpp"
 #include "apps/linpack.hpp"
+#include "emit.hpp"
 #include "support.hpp"
 
 using namespace hpm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (args.json_path.empty()) args.json_path = "BENCH_migration.json";
+  // Repeats give the trace.* histograms real percentile spread; smoke
+  // mode runs each program once on a small instance.
+  const int repeats = args.smoke ? 1 : 3;
+  const int linpack_n = args.smoke ? 200 : 1000;
+  const int bitonic_log2n = args.smoke ? 12 : 17;
+
+  bench::BenchReport report("table1_migration", args.smoke);
+
   std::printf("Table 1: migration time split (seconds), 100 Mb/s Ethernet model\n");
   std::printf("%-22s %10s %10s %10s %12s %10s\n", "Program", "Collect", "Tx", "Restore",
               "Bytes", "Blocks");
@@ -28,11 +42,16 @@ int main() {
   double linpack_collect = 0;
   double linpack_restore = 0;
   {
-    apps::LinpackResult result;
-    const bench::Measurement m = bench::measure_migration(
-        apps::linpack_register_types,
-        [&result](mig::MigContext& ctx) { apps::linpack_program(ctx, 1000, 1, &result); },
-        /*at_poll=*/1);
+    bench::Measurement m;
+    for (int r = 0; r < repeats; ++r) {
+      apps::LinpackResult result;
+      m = bench::measure_migration(
+          apps::linpack_register_types,
+          [&result, linpack_n](mig::MigContext& ctx) {
+            apps::linpack_program(ctx, linpack_n, 1, &result);
+          },
+          /*at_poll=*/1);
+    }
     std::printf("%-22s %10.4f %10.4f %10.4f %12llu %10llu\n", "Linpack 1000x1000",
                 m.collect_s, m.tx_100mbps, m.restore_s,
                 static_cast<unsigned long long>(m.bytes),
@@ -41,14 +60,23 @@ int main() {
                 "  paper reference", 0.846, 0.797, 0.712);
     linpack_collect = m.collect_s;
     linpack_restore = m.restore_s;
+    report.add("linpack.collect_seconds", m.collect_s, "seconds");
+    report.add("linpack.tx_seconds_100mbps", m.tx_100mbps, "seconds");
+    report.add("linpack.restore_seconds", m.restore_s, "seconds");
+    report.add("linpack.stream_bytes", static_cast<double>(m.bytes), "bytes");
   }
 
   {
-    apps::BitonicResult result;
-    const bench::Measurement m = bench::measure_migration(
-        apps::bitonic_register_types,
-        [&result](mig::MigContext& ctx) { apps::bitonic_program(ctx, 17, 9, &result); },
-        /*at_poll=*/1);
+    bench::Measurement m;
+    for (int r = 0; r < repeats; ++r) {
+      apps::BitonicResult result;
+      m = bench::measure_migration(
+          apps::bitonic_register_types,
+          [&result, bitonic_log2n](mig::MigContext& ctx) {
+            apps::bitonic_program(ctx, bitonic_log2n, 9, &result);
+          },
+          /*at_poll=*/1);
+    }
     std::printf("%-22s %10.4f %10.4f %10.4f %12llu %10llu\n", "bitonic (131072)",
                 m.collect_s, m.tx_100mbps, m.restore_s,
                 static_cast<unsigned long long>(m.bytes),
@@ -62,6 +90,15 @@ int main() {
     std::printf("  bitonic Restore > Collect (allocation-heavy restore, as in .501 > .446): "
                 "%s (%.4f vs %.4f)\n",
                 m.restore_s > m.collect_s ? "yes" : "NO", m.restore_s, m.collect_s);
+    report.add("bitonic.collect_seconds", m.collect_s, "seconds");
+    report.add("bitonic.tx_seconds_100mbps", m.tx_100mbps, "seconds");
+    report.add("bitonic.restore_seconds", m.restore_s, "seconds");
+    report.add("bitonic.stream_bytes", static_cast<double>(m.bytes), "bytes");
   }
-  return 0;
+
+  // Per-phase latency percentiles over all measured migrations, straight
+  // from the span-fed registry histograms.
+  report.add_percentiles("trace.mig.collect");
+  report.add_percentiles("trace.mig.restore");
+  return report.write(args.json_path) ? 0 : 1;
 }

@@ -1,8 +1,14 @@
 // Layer-2 microbenchmarks: canonical encode/decode throughput and
 // per-architecture machine-specific conversion — the Encode-and-copy /
 // Decode-and-copy term of the §4.2 model in isolation.
+//
+// Writes BENCH_xdr.json (hpm-bench-v1; override with --json PATH). With
+// --smoke, skips google-benchmark and times one small encode/decode pass.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "emit.hpp"
 #include "xdr/value.hpp"
 
 namespace {
@@ -59,6 +65,47 @@ void BM_pointer_cell_per_arch(benchmark::State& state) {
 }
 BENCHMARK(BM_pointer_cell_per_arch)->DenseRange(0, 6);
 
+/// One measured encode+decode pass of `n` doubles through the canonical
+/// wire format; records throughput rows and (via Encoder::take / the
+/// Decoder destructor) the xdr.* registry counters.
+void measured_pass(hpm::bench::BenchReport& report, std::size_t n) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  Encoder enc(n * 8);
+  for (std::size_t i = 0; i < n; ++i) enc.put_f64(static_cast<double>(i) * 1.5);
+  const hpm::Bytes wire = enc.take();
+  const double encode_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const auto t1 = Clock::now();
+  double sink = 0;
+  {
+    Decoder dec(wire);
+    for (std::size_t i = 0; i < n; ++i) sink += dec.get_f64();
+  }
+  const double decode_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  benchmark::DoNotOptimize(sink);
+
+  const double bytes = static_cast<double>(wire.size());
+  report.add("encode.doubles.bytes_per_second", bytes / encode_s, "bytes/second");
+  report.add("decode.doubles.bytes_per_second", bytes / decode_s, "bytes/second");
+  report.add("stream.bytes", bytes, "bytes");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const hpm::bench::BenchArgs args = hpm::bench::parse_bench_args(argc, argv);
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_xdr.json" : args.json_path;
+  hpm::bench::BenchReport report("xdr_throughput", args.smoke);
+  if (!args.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  // Both modes take the measured pass, so the JSON always carries real
+  // throughput rows plus the xdr.encode/decode stream counters.
+  measured_pass(report, args.smoke ? (1u << 12) : (1u << 20));
+  report.add_percentiles("xdr.encode.stream_bytes");
+  return report.write(json_path) ? 0 : 1;
+}

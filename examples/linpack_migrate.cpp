@@ -1,11 +1,15 @@
 // linpack_migrate: the paper's computation-intensive workload, migrated
 // mid-factorization over a chosen transport.
 //
-//   $ ./examples/linpack_migrate [n] [migrate_at_poll] [mem|socket|file]
+//   $ ./examples/linpack_migrate [n] [migrate_at_poll] [mem|socket|file] \
+//       [--trace <out.json>]
 //
 // Solves Ax = b for an n x n system; a migration request lands while
 // dgefa is eliminating columns, the process moves, and the destination
 // finishes the solve and verifies the residual of the migrated solution.
+// With --trace, the run's spans (mig.run > mig.collect / mig.tx, and
+// mig.restore on the destination thread) are exported as Chrome
+// trace_event JSON — load the file in chrome://tracing or ui.perfetto.dev.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +24,10 @@ int main(int argc, char** argv) {
   hpm::mig::Transport transport = hpm::mig::Transport::Memory;
   if (argc > 3 && std::strcmp(argv[3], "socket") == 0) transport = hpm::mig::Transport::Socket;
   if (argc > 3 && std::strcmp(argv[3], "file") == 0) transport = hpm::mig::Transport::File;
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
 
   hpm::apps::LinpackResult result;
   hpm::mig::RunOptions options;
@@ -43,5 +51,13 @@ int main(int argc, char** argv) {
               report.collect_seconds, report.tx_seconds, report.restore_seconds);
   std::printf("  solution      : residual=%.3e normalized=%.3f -> %s\n", result.residual,
               result.normalized, result.ok() ? "PASS" : "FAIL");
+  if (trace_path != nullptr) {
+    if (hpm::obs::Tracer::process().write_chrome_trace(trace_path)) {
+      std::printf("  trace         : %zu spans -> %s (open in chrome://tracing)\n",
+                  hpm::obs::Tracer::process().finished_count(), trace_path);
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path);
+    }
+  }
   return result.ok() ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 //   memimg/   foreign-architecture memory images (heterogeneity on one box)
 //   precc/    declaration parser + unsafe-feature checker + TI generator
 //   apps/     the paper's three workloads as migratable programs
+//   obs/      telemetry: metrics registry + trace spans (DESIGN.md §9)
 #pragma once
 
 #include "ckpt/checkpoint.hpp"
@@ -35,12 +36,15 @@
 #include "msrm/execstate.hpp"
 #include "msrm/restore.hpp"
 #include "msrm/stream.hpp"
+#include "net/factory.hpp"
 #include "net/faulty_channel.hpp"
 #include "net/file_channel.hpp"
 #include "net/mem_channel.hpp"
 #include "net/message.hpp"
 #include "net/simnet.hpp"
 #include "net/socket_channel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "precc/codegen.hpp"
 #include "precc/parser.hpp"
 #include "sched/cluster.hpp"

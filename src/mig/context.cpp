@@ -9,12 +9,6 @@ namespace hpm::mig {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
 void* aligned_zeroed(std::uint64_t size) {
   void* p = ::operator new(size, std::align_val_t{16});
   std::memset(p, 0, size);
@@ -161,7 +155,7 @@ ExecutionState MigContext::snapshot_execution_state() const {
 }
 
 void MigContext::do_migration(std::uint32_t label) {
-  const auto t0 = Clock::now();
+  obs::Span span("mig.collect");
   xdr::Encoder enc(1 << 16);
   msrm::write_header(enc, {space_.arch().name, types_->signature()});
   // Ship the TI table so the destination can adopt shell types interned by
@@ -181,7 +175,8 @@ void MigContext::do_migration(std::uint32_t label) {
 
   msrm::finish_stream(enc);
   stream_ = enc.take();
-  metrics_.collect_seconds = seconds_since(t0);
+  span.arg("stream_bytes", std::uint64_t{stream_.size()});
+  metrics_.collect_seconds = span.finish();
   metrics_.stream_bytes = stream_.size();
   metrics_.tracked_blocks = space_.msrlt().block_count();
   metrics_.collect = collector.stats();
@@ -192,7 +187,7 @@ void MigContext::begin_restore(Bytes stream) {
   if (!frames_.empty()) {
     throw MigrationError("begin_restore must be called before the program starts");
   }
-  restore_t0_ = Clock::now();
+  restore_span_ = std::make_unique<obs::Span>("mig.restore");
   restore_stream_ = std::move(stream);
   const auto payload = msrm::check_stream(restore_stream_);
   dec_.emplace(payload);
@@ -280,7 +275,9 @@ void MigContext::finish_restore(Frame& frame, std::uint32_t label) {
   // storage), so a bulk ownership transfer is exact — and O(1).
   heap_owned_.merge(space_.take_all_owned());
 
-  metrics_.restore_seconds = seconds_since(restore_t0_);
+  restore_span_->arg("stream_bytes", std::uint64_t{restore_stream_.size()});
+  metrics_.restore_seconds = restore_span_->finish();
+  restore_span_.reset();
   metrics_.restore = restorer_->stats();
   metrics_.stream_bytes = restore_stream_.size();
 

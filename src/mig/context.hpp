@@ -25,6 +25,7 @@
 #include "msr/host_space.hpp"
 #include "msrm/collect.hpp"
 #include "msrm/restore.hpp"
+#include "obs/span.hpp"
 #include "ti/describe.hpp"
 
 namespace hpm::mig {
@@ -39,6 +40,9 @@ struct MigrationExit {
 enum class Mode : std::uint8_t { Normal, Restoring };
 
 /// Timing and volume measurements of one migration (Table 1 columns).
+/// The two phase timings are span-derived: collect_seconds is the
+/// `mig.collect` span, restore_seconds the `mig.restore` span
+/// (begin_restore through the migration poll-point).
 struct MigrationMetrics {
   double collect_seconds = 0;
   double restore_seconds = 0;
@@ -198,7 +202,10 @@ class MigContext {
   std::uint64_t header_signature_ = 0;
   std::size_t restore_depth_ = 0;     ///< frames entered while restoring
   std::size_t globals_bound_ = 0;
-  std::chrono::steady_clock::time_point restore_t0_;
+  /// `mig.restore` span: opened by begin_restore, closed when the
+  /// skeleton re-execution reaches the migration poll-point. Must open
+  /// and close on the same (destination) thread.
+  std::unique_ptr<obs::Span> restore_span_;
 
   MigrationMetrics metrics_;
 };

@@ -8,10 +8,8 @@
 #include <memory>
 #include <thread>
 
-#include "net/file_channel.hpp"
-#include "net/mem_channel.hpp"
 #include "net/message.hpp"
-#include "net/socket_channel.hpp"
+#include "obs/span.hpp"
 
 namespace hpm::mig {
 
@@ -22,34 +20,6 @@ using Clock = std::chrono::steady_clock;
 /// Deadline applied when fault injection is on but the caller set none:
 /// an injected stall/truncation must never hang the run.
 constexpr double kFaultInjectionDefaultTimeout = 5.0;
-
-struct ChannelPair {
-  std::unique_ptr<net::ByteChannel> source;
-  std::unique_ptr<net::ByteChannel> destination;
-};
-
-ChannelPair make_channels(const RunOptions& options,
-                          std::unique_ptr<net::SocketListener>& listener) {
-  switch (options.transport) {
-    case Transport::Memory: {
-      auto [a, b] = net::MemChannel::make_pair();
-      return {std::move(a), std::move(b)};
-    }
-    case Transport::Socket: {
-      listener = std::make_unique<net::SocketListener>();
-      // Destination side accepts lazily inside its thread; here we dial.
-      auto source = net::connect_to(listener->port());
-      auto destination = listener->accept();
-      return {std::move(source), std::move(destination)};
-    }
-    case Transport::File: {
-      auto writer = std::make_unique<net::FileWriterChannel>(options.spool_path);
-      auto reader = std::make_unique<net::FileReaderChannel>(options.spool_path);
-      return {std::move(writer), std::move(reader)};
-    }
-  }
-  throw MigrationError("unknown transport");
-}
 
 void remove_spool(const std::string& path) {
   std::remove(path.c_str());
@@ -96,19 +66,17 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
   // attempt must not satisfy this attempt's reader.
   if (options.transport == Transport::File) remove_spool(options.spool_path);
 
-  std::unique_ptr<net::SocketListener> listener;
-  ChannelPair channels = make_channels(options, listener);
+  net::ChannelPair channels = net::make_channel_pair(
+      options.transport, {.spool_path = options.spool_path, .timeout = timeout});
   if (options.fault_plan.enabled()) {
     channels.source = std::make_unique<net::FaultyChannel>(std::move(channels.source),
                                                            options.fault_plan, fault_state);
+    if (timeout.count() > 0) channels.source->set_timeout(timeout);
   }
   if (options.throttle) {
     channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
                                                               options.link);
-  }
-  if (timeout.count() > 0) {
-    channels.source->set_timeout(timeout);
-    channels.destination->set_timeout(timeout);
+    if (timeout.count() > 0) channels.source->set_timeout(timeout);
   }
 
   // --- destination host: invoked first, announces itself, waits (paper §2).
@@ -174,9 +142,13 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
             ", source speaks v" + std::to_string(net::kProtocolVersion));
       }
     }
-    const auto t0 = Clock::now();
-    net::send_message(*channels.source, net::MsgType::State, stream);
-    measured_tx = std::chrono::duration<double>(Clock::now() - t0).count();
+    {
+      obs::Span tx_span("mig.tx");
+      tx_span.arg("stream_bytes", std::uint64_t{stream.size()});
+      tx_span.arg("transport", std::string(net::transport_name(options.transport)));
+      net::send_message(*channels.source, net::MsgType::State, stream);
+      measured_tx = tx_span.finish();
+    }
     if (duplex) {
       const net::Message verdict = net::recv_message(*channels.source);
       const std::string text(verdict.payload.begin(), verdict.payload.end());
@@ -243,6 +215,18 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
   return false;
 }
 
+/// `mig.coordinator.*` counters for the retry machinery.
+struct CoordinatorMetrics {
+  obs::Counter& attempts = obs::Registry::process().counter("mig.coordinator.attempts");
+  obs::Counter& retries = obs::Registry::process().counter("mig.coordinator.retries");
+  obs::Counter& aborts = obs::Registry::process().counter("mig.coordinator.aborts");
+
+  static CoordinatorMetrics& get() {
+    static CoordinatorMetrics m;
+    return m;
+  }
+};
+
 }  // namespace
 
 const char* outcome_name(MigrationOutcome outcome) noexcept {
@@ -254,7 +238,7 @@ const char* outcome_name(MigrationOutcome outcome) noexcept {
   return "?";
 }
 
-MigrationReport run_migration(const RunOptions& options) {
+static MigrationReport run_migration_impl(const RunOptions& options) {
   if (!options.register_types || !options.program) {
     throw MigrationError("run_migration requires register_types and program");
   }
@@ -334,6 +318,8 @@ MigrationReport run_migration(const RunOptions& options) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff = std::min(backoff * 2, options.retry_backoff_cap_seconds);
     }
+    CoordinatorMetrics::get().attempts.add(1);
+    if (attempt > 1) CoordinatorMetrics::get().retries.add(1);
     report.attempts = attempt;
     std::string cause;
     bool transferred = false;
@@ -358,6 +344,7 @@ MigrationReport run_migration(const RunOptions& options) {
   // destination, so the final result is identical to a run that never
   // migrated.
   report.outcome = MigrationOutcome::AbortedContinuedLocally;
+  CoordinatorMetrics::get().aborts.add(1);
   ti::TypeTable types;
   options.register_types(types);
   MigContext ctx(types, options.search);
@@ -365,6 +352,20 @@ MigrationReport run_migration(const RunOptions& options) {
   options.program(ctx);
   report.restore_seconds = ctx.metrics().restore_seconds;
   report.restore = ctx.metrics().restore;
+  return report;
+}
+
+MigrationReport run_migration(const RunOptions& options) {
+  // The report's metrics member is the registry delta across this run, so
+  // concurrent runs in one process would bleed into each other's deltas —
+  // the harnesses here run migrations sequentially.
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
+  obs::Span run_span("mig.run");
+  run_span.arg("transport", std::string(net::transport_name(options.transport)));
+  MigrationReport report = run_migration_impl(options);
+  run_span.arg("outcome", std::string(outcome_name(report.outcome)));
+  run_span.finish();
+  report.metrics = obs::Registry::process().snapshot().delta_since(before);
   return report;
 }
 

@@ -19,17 +19,17 @@
 #include <vector>
 
 #include "mig/context.hpp"
+#include "net/factory.hpp"
 #include "net/faulty_channel.hpp"
 #include "net/simnet.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::mig {
 
-/// How the two hosts exchange the migration stream.
-enum class Transport : std::uint8_t {
-  Memory,  ///< in-process pipe
-  Socket,  ///< TCP over 127.0.0.1
-  File,    ///< shared-file-system spool
-};
+/// How the two hosts exchange the migration stream. Now defined by the
+/// net layer next to its factory (net::make_channel_pair); this alias
+/// keeps mig::Transport::Memory etc. working.
+using Transport = net::Transport;
 
 struct RunOptions {
   /// Registers application types into a TypeTable; executed independently
@@ -103,9 +103,12 @@ struct MigrationReport {
   std::vector<std::string> failure_causes;
 
   std::uint64_t stream_bytes = 0;
-  double collect_seconds = 0;   ///< Table 1 "Collect"
-  double tx_seconds = 0;        ///< Table 1 "Tx" (modeled or measured)
-  double restore_seconds = 0;   ///< Table 1 "Restore"
+  /// Table 1 "Collect" / "Tx" / "Restore". Span-derived: the `mig.collect`,
+  /// `mig.tx`, and `mig.restore` spans of the successful attempt (Tx is
+  /// analytically modeled from the link when throttling is off).
+  double collect_seconds = 0;
+  double tx_seconds = 0;
+  double restore_seconds = 0;
   double total_seconds() const noexcept {
     return collect_seconds + tx_seconds + restore_seconds;
   }
@@ -113,6 +116,13 @@ struct MigrationReport {
   msrm::Collector::Stats collect;
   msrm::Restorer::Stats restore;
   std::string source_arch;  ///< architecture name carried in the stream
+
+  /// Everything the pipeline recorded during this run: the delta of the
+  /// process-wide obs::Registry across run_migration(), so MSRLT search
+  /// counts, PNEW/PREF/PNULL mix, XDR throughput, per-channel/frame byte
+  /// counts, and the `trace.*` phase histograms are all one lookup away
+  /// (e.g. metrics.counter("net.frames.bytes_sent")).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Run one migration experiment. Throws hpm::MigrationError (and

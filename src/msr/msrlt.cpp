@@ -2,6 +2,36 @@
 
 namespace hpm::msr {
 
+Msrlt::Msrlt(SearchStrategy strategy)
+    : strategy_(strategy),
+      registrations_(obs::Registry::process().counter("msr.msrlt.registrations")),
+      removals_(obs::Registry::process().counter("msr.msrlt.removals")),
+      searches_(obs::Registry::process().counter("msr.msrlt.searches")),
+      search_steps_(obs::Registry::process().counter("msr.msrlt.search_steps")),
+      id_lookups_(obs::Registry::process().counter("msr.msrlt.id_lookups")),
+      marks_(obs::Registry::process().counter("msr.msrlt.marks")),
+      blocks_gauge_(&obs::Registry::process().gauge("msr.msrlt.blocks")) {}
+
+Msrlt::Stats Msrlt::stats() const noexcept {
+  Stats s;
+  s.registrations = registrations_.value();
+  s.removals = removals_.value();
+  s.searches = searches_.value();
+  s.search_steps = search_steps_.value();
+  s.id_lookups = id_lookups_.value();
+  s.marks = marks_.value();
+  return s;
+}
+
+void Msrlt::reset_stats() noexcept {
+  registrations_.reset_local();
+  removals_.reset_local();
+  searches_.reset_local();
+  search_steps_.reset_local();
+  id_lookups_.reset_local();
+  marks_.reset_local();
+}
+
 void Msrlt::insert_checked(MemoryBlock block) {
   if (block.size == 0) throw MsrError("cannot register zero-sized block");
   // Overlap check against the nearest neighbours in address order.
@@ -23,7 +53,8 @@ void Msrlt::insert_checked(MemoryBlock block) {
     throw MsrError("duplicate block id " + std::to_string(block.id));
   }
   by_addr_.emplace(block.base, std::move(block));
-  ++stats_.registrations;
+  registrations_.bump();
+  blocks_gauge_->add(1);
 }
 
 BlockId Msrlt::register_block(Segment seg, Address base, std::uint64_t size, ti::TypeId type,
@@ -68,14 +99,15 @@ void Msrlt::unregister(Address base) {
   }
   by_id_.erase(it->second.id);
   by_addr_.erase(it);
-  ++stats_.removals;
+  removals_.bump();
+  blocks_gauge_->sub(1);
 }
 
 const MemoryBlock* Msrlt::find_containing(Address addr) const {
-  ++stats_.searches;
+  searches_.bump();
   if (strategy_ == SearchStrategy::LinearScan) {
     for (const auto& [base, block] : by_addr_) {
-      ++stats_.search_steps;
+      search_steps_.bump();
       if (addr >= base && addr < base + block.size) return &block;
     }
     return nullptr;
@@ -90,7 +122,7 @@ const MemoryBlock* Msrlt::find_containing(Address addr) const {
     n >>= 1;
     ++steps;
   }
-  stats_.search_steps += steps;
+  search_steps_.bump(steps);
   if (it == by_addr_.begin()) return nullptr;
   --it;
   const MemoryBlock& block = it->second;
@@ -98,7 +130,7 @@ const MemoryBlock* Msrlt::find_containing(Address addr) const {
 }
 
 const MemoryBlock* Msrlt::find_id(BlockId id) const {
-  ++stats_.id_lookups;
+  id_lookups_.bump();
   const auto it = by_id_.find(id);
   if (it == by_id_.end()) return nullptr;
   const auto addr_it = by_addr_.find(it->second);
@@ -110,7 +142,7 @@ bool Msrlt::try_mark(BlockId id) {
   if (it == by_id_.end()) throw MsrError("try_mark: unknown block id");
   auto addr_it = by_addr_.find(it->second);
   if (addr_it == by_addr_.end()) throw MsrError("try_mark: id table out of sync");
-  ++stats_.marks;
+  marks_.bump();
   if (addr_it->second.visit_epoch == epoch_) return false;
   addr_it->second.visit_epoch = epoch_;
   return true;

@@ -20,6 +20,7 @@
 
 #include "common/error.hpp"
 #include "msr/block.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::msr {
 
@@ -30,13 +31,18 @@ enum class SearchStrategy : std::uint8_t { OrderedMap, LinearScan };
 
 class Msrlt {
  public:
-  explicit Msrlt(SearchStrategy strategy = SearchStrategy::OrderedMap)
-      : strategy_(strategy) {}
+  explicit Msrlt(SearchStrategy strategy = SearchStrategy::OrderedMap);
 
   Msrlt(const Msrlt&) = delete;
   Msrlt& operator=(const Msrlt&) = delete;
 
   /// Operation counters for the complexity experiments.
+  ///
+  /// DEPRECATED shim: the counters now live in the process-wide
+  /// obs::Registry under `msr.msrlt.*`; this struct is rebuilt from the
+  /// instance-local mirrors on each stats() call and will be removed one
+  /// release after the registry API landed. Prefer
+  /// obs::Registry::process().snapshot().
   struct Stats {
     std::uint64_t registrations = 0;  ///< MSRLT updates (restore-side term)
     std::uint64_t removals = 0;
@@ -77,8 +83,13 @@ class Msrlt {
   bool try_mark(BlockId id);
 
   [[nodiscard]] std::size_t block_count() const noexcept { return by_addr_.size(); }
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  /// Deprecated: instance-local view of the `msr.msrlt.*` registry
+  /// counters (see the Stats doc comment).
+  [[nodiscard]] Stats stats() const noexcept;
+  /// Deprecated: clears the instance-local mirrors only; the process-wide
+  /// registry counters stay monotonic.
+  void reset_stats() noexcept;
 
   /// Visit every tracked block (graph building, leak checks).
   template <typename Fn>
@@ -94,7 +105,16 @@ class Msrlt {
   std::unordered_map<BlockId, Address> by_id_;
   std::uint64_t next_seq_[3] = {1, 1, 1};  // per segment
   std::uint64_t epoch_ = 1;
-  mutable Stats stats_;
+
+  // `msr.msrlt.*` instruments: process-wide totals plus instance-local
+  // mirrors feeding the deprecated stats() shim.
+  mutable obs::LocalCounter registrations_;
+  mutable obs::LocalCounter removals_;
+  mutable obs::LocalCounter searches_;
+  mutable obs::LocalCounter search_steps_;
+  mutable obs::LocalCounter id_lookups_;
+  mutable obs::LocalCounter marks_;
+  obs::Gauge* blocks_gauge_;  ///< `msr.msrlt.blocks`, process-wide level
 };
 
 }  // namespace hpm::msr

@@ -1,19 +1,55 @@
 #include "msrm/collect.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "xdr/value.hpp"
 
 namespace hpm::msrm {
 
+namespace {
+
+std::string hex_addr(msr::Address addr) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+}  // namespace
+
 Collector::Collector(msr::MemorySpace& space, xdr::Encoder& enc)
-    : space_(space), enc_(enc), leaves_(space) {
+    : space_(space),
+      enc_(enc),
+      leaves_(space),
+      blocks_saved_(obs::Registry::process().counter("msrm.collect.blocks_saved")),
+      refs_saved_(obs::Registry::process().counter("msrm.collect.refs_saved")),
+      nulls_saved_(obs::Registry::process().counter("msrm.collect.nulls_saved")),
+      prim_leaves_(obs::Registry::process().counter("msrm.collect.prim_leaves")),
+      ptr_leaves_(obs::Registry::process().counter("msrm.collect.ptr_leaves")),
+      depth_hist_(&obs::Registry::process().histogram("msrm.collect.depth")) {
   space_.msrlt().begin_traversal();
+}
+
+Collector::Stats Collector::stats() const noexcept {
+  Stats s;
+  s.blocks_saved = blocks_saved_.value();
+  s.refs_saved = refs_saved_.value();
+  s.nulls_saved = nulls_saved_.value();
+  s.prim_leaves = prim_leaves_.value();
+  s.ptr_leaves = ptr_leaves_.value();
+  return s;
 }
 
 void Collector::save_variable(msr::Address block_base) {
   const msr::MemoryBlock* block = space_.msrlt().find_containing(block_base);
-  if (block == nullptr || block->base != block_base) {
-    throw MsrError("save_variable: address is not the base of a tracked block");
+  if (block == nullptr) {
+    throw MsrError("save_variable: address " + hex_addr(block_base) +
+                   " is not inside any tracked block");
+  }
+  if (block->base != block_base) {
+    throw MsrError("save_variable: address " + hex_addr(block_base) +
+                   " lies inside block '" + block->name + "' [" + hex_addr(block->base) +
+                   ", +" + std::to_string(block->size) + ") but is not its base");
   }
   encode_ptr_value(block_base);
   drain();
@@ -27,7 +63,7 @@ void Collector::save_pointer(msr::Address cell_addr) {
 void Collector::encode_ptr_value(msr::Address target) {
   if (target == 0) {
     enc_.put_u8(kPtrNull);
-    ++stats_.nulls_saved;
+    nulls_saved_.bump();
     return;
   }
   const msr::LogicalPointer lp = msr::resolve_pointer(space_, target);
@@ -35,7 +71,7 @@ void Collector::encode_ptr_value(msr::Address target) {
     enc_.put_u8(kPtrRef);
     enc_.put_u64(lp.block);
     enc_.put_u64(lp.leaf);
-    ++stats_.refs_saved;
+    refs_saved_.bump();
     return;
   }
   const msr::MemoryBlock* block = space_.msrlt().find_id(lp.block);
@@ -45,7 +81,7 @@ void Collector::encode_ptr_value(msr::Address target) {
   enc_.put_u8(static_cast<std::uint8_t>(block->segment));
   enc_.put_u32(block->type);
   enc_.put_u32(block->count);
-  ++stats_.blocks_saved;
+  blocks_saved_.bump();
 
   if (!space_.types().contains_pointer(block->type)) {
     encode_flat(*block);  // pure-XDR fast path, nothing to push
@@ -58,6 +94,7 @@ void Collector::encode_ptr_value(msr::Address target) {
   p.elem_idx = 0;
   p.leaf_idx = 0;
   stack_.push_back(p);
+  depth_hist_->record(static_cast<double>(stack_.size()));
 }
 
 void Collector::encode_flat(const msr::MemoryBlock& block) {
@@ -72,7 +109,7 @@ void Collector::encode_flat_type(msr::Address base, ti::TypeId type) {
   switch (info.kind) {
     case ti::TypeKind::Primitive:
       xdr::encode_canonical(enc_, space_.read_prim(base, info.prim));
-      ++stats_.prim_leaves;
+      prim_leaves_.bump();
       return;
     case ti::TypeKind::Pointer:
       throw MsrError("encode_flat_type reached a pointer (contains_pointer lied)");
@@ -111,9 +148,9 @@ void Collector::drain() {
       stack_[my_index].leaf_idx = cur.leaf_idx + 1;
       if (!ref.is_pointer) {
         xdr::encode_canonical(enc_, space_.read_prim(cell, ref.prim));
-        ++stats_.prim_leaves;
+        prim_leaves_.bump();
       } else {
-        ++stats_.ptr_leaves;
+        ptr_leaves_.bump();
         const msr::Address value = space_.read_pointer(cell);
         encode_ptr_value(value);
         if (stack_.size() > my_index + 1) {

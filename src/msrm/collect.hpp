@@ -14,12 +14,18 @@
 #include "msr/space.hpp"
 #include "msrm/leaf_cache.hpp"
 #include "msrm/stream.hpp"
+#include "obs/metrics.hpp"
 #include "xdr/wire.hpp"
 
 namespace hpm::msrm {
 
 class Collector {
  public:
+  /// DEPRECATED shim: the counters now live in the process-wide
+  /// obs::Registry under `msrm.collect.*` (the PNEW/PREF/PNULL mix plus
+  /// leaf counts); this struct is rebuilt from instance-local mirrors on
+  /// each stats() call and will be removed one release after the registry
+  /// API landed.
   struct Stats {
     std::uint64_t blocks_saved = 0;   ///< PNEW records emitted
     std::uint64_t refs_saved = 0;     ///< PREF records emitted
@@ -41,7 +47,9 @@ class Collector {
   /// p's value.) Emits one PtrVal record.
   void save_pointer(msr::Address cell_addr);
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Deprecated: instance-local view of the `msrm.collect.*` registry
+  /// counters (see the Stats doc comment).
+  [[nodiscard]] Stats stats() const noexcept;
 
  private:
   struct Pending {
@@ -67,7 +75,15 @@ class Collector {
   xdr::Encoder& enc_;
   LeafCache leaves_;
   std::vector<Pending> stack_;
-  Stats stats_;
+
+  // `msrm.collect.*` instruments (process totals + local mirrors for the
+  // deprecated stats() shim) and the traversal-depth histogram.
+  obs::LocalCounter blocks_saved_;
+  obs::LocalCounter refs_saved_;
+  obs::LocalCounter nulls_saved_;
+  obs::LocalCounter prim_leaves_;
+  obs::LocalCounter ptr_leaves_;
+  obs::Histogram* depth_hist_;  ///< `msrm.collect.depth`
 };
 
 }  // namespace hpm::msrm

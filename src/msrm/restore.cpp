@@ -6,7 +6,27 @@
 namespace hpm::msrm {
 
 Restorer::Restorer(msr::MemorySpace& space, xdr::Decoder& dec)
-    : space_(space), dec_(dec), leaves_(space) {}
+    : space_(space),
+      dec_(dec),
+      leaves_(space),
+      blocks_created_(obs::Registry::process().counter("msrm.restore.blocks_created")),
+      blocks_bound_(obs::Registry::process().counter("msrm.restore.blocks_bound")),
+      refs_resolved_(obs::Registry::process().counter("msrm.restore.refs_resolved")),
+      nulls_restored_(obs::Registry::process().counter("msrm.restore.nulls_restored")),
+      prim_leaves_(obs::Registry::process().counter("msrm.restore.prim_leaves")),
+      ptr_leaves_(obs::Registry::process().counter("msrm.restore.ptr_leaves")),
+      depth_hist_(&obs::Registry::process().histogram("msrm.restore.depth")) {}
+
+Restorer::Stats Restorer::stats() const noexcept {
+  Stats s;
+  s.blocks_created = blocks_created_.value();
+  s.blocks_bound = blocks_bound_.value();
+  s.refs_resolved = refs_resolved_.value();
+  s.nulls_restored = nulls_restored_.value();
+  s.prim_leaves = prim_leaves_.value();
+  s.ptr_leaves = ptr_leaves_.value();
+  return s;
+}
 
 void Restorer::bind(msr::BlockId source_id, msr::BlockId dest_id, ti::TypeId type,
                     std::uint32_t count) {
@@ -54,7 +74,7 @@ const msr::MemoryBlock& Restorer::materialize_pnew(msr::BlockId src_id, std::uin
       throw WireError("PNEW type/count disagrees with bound destination block '" +
                       dest->name + "'");
     }
-    ++stats_.blocks_bound;
+    blocks_bound_.bump();
     return *dest;
   }
   if (seg != msr::Segment::Heap && !auto_bind_) {
@@ -66,7 +86,7 @@ const msr::MemoryBlock& Restorer::materialize_pnew(msr::BlockId src_id, std::uin
   const msr::BlockId dest_id =
       space_.msrlt().register_block(seg, base, size, type, count, std::string{});
   binding_.emplace(src_id, dest_id);
-  ++stats_.blocks_created;
+  blocks_created_.bump();
   return *space_.msrlt().find_id(dest_id);
 }
 
@@ -74,7 +94,7 @@ msr::Address Restorer::decode_ptr_value() {
   const std::uint8_t tag = dec_.get_u8();
   switch (tag) {
     case kPtrNull:
-      ++stats_.nulls_restored;
+      nulls_restored_.bump();
       return 0;
     case kPtrRef: {
       const msr::BlockId src_id = dec_.get_u64();
@@ -83,7 +103,7 @@ msr::Address Restorer::decode_ptr_value() {
       if (dest == msr::kInvalidBlock) {
         throw WireError("PREF to a block that was never transferred (corrupt stream)");
       }
-      ++stats_.refs_resolved;
+      refs_resolved_.bump();
       return msr::address_of(space_, msr::LogicalPointer{dest, leaf});
     }
     case kPtrNew: {
@@ -105,6 +125,7 @@ msr::Address Restorer::decode_ptr_value() {
         p.elem_idx = 0;
         p.leaf_idx = 0;
         stack_.push_back(p);
+        depth_hist_->record(static_cast<double>(stack_.size()));
       }
       return target;
     }
@@ -126,7 +147,7 @@ void Restorer::decode_flat_type(msr::Address base, ti::TypeId type) {
   switch (info.kind) {
     case ti::TypeKind::Primitive:
       space_.write_prim(base, info.prim, xdr::decode_canonical(dec_, info.prim));
-      ++stats_.prim_leaves;
+      prim_leaves_.bump();
       return;
     case ti::TypeKind::Pointer:
       throw MsrError("decode_flat_type reached a pointer (contains_pointer lied)");
@@ -165,9 +186,9 @@ void Restorer::drain() {
       stack_[my_index].leaf_idx = cur.leaf_idx + 1;
       if (!ref.is_pointer) {
         space_.write_prim(cell, ref.prim, xdr::decode_canonical(dec_, ref.prim));
-        ++stats_.prim_leaves;
+        prim_leaves_.bump();
       } else {
-        ++stats_.ptr_leaves;
+        ptr_leaves_.bump();
         const msr::Address value = decode_ptr_value();
         space_.write_pointer(cell, value);
         if (stack_.size() > my_index + 1) {

@@ -23,12 +23,17 @@
 #include "msr/space.hpp"
 #include "msrm/leaf_cache.hpp"
 #include "msrm/stream.hpp"
+#include "obs/metrics.hpp"
 #include "xdr/wire.hpp"
 
 namespace hpm::msrm {
 
 class Restorer {
  public:
+  /// DEPRECATED shim: the counters now live in the process-wide
+  /// obs::Registry under `msrm.restore.*`; this struct is rebuilt from
+  /// instance-local mirrors on each stats() call and will be removed one
+  /// release after the registry API landed.
   struct Stats {
     std::uint64_t blocks_created = 0;  ///< heap blocks allocated
     std::uint64_t blocks_bound = 0;    ///< PNEWs landing in pre-bound storage
@@ -63,7 +68,9 @@ class Restorer {
   /// Destination id bound to `source_id`; kInvalidBlock if none.
   [[nodiscard]] msr::BlockId dest_of(msr::BlockId source_id) const;
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Deprecated: instance-local view of the `msrm.restore.*` registry
+  /// counters (see the Stats doc comment).
+  [[nodiscard]] Stats stats() const noexcept;
 
  private:
   struct Pending {
@@ -90,7 +97,16 @@ class Restorer {
   std::unordered_map<msr::BlockId, msr::BlockId> binding_;
   std::vector<Pending> stack_;
   bool auto_bind_ = false;
-  Stats stats_;
+
+  // `msrm.restore.*` instruments (process totals + local mirrors for the
+  // deprecated stats() shim) and the traversal-depth histogram.
+  obs::LocalCounter blocks_created_;
+  obs::LocalCounter blocks_bound_;
+  obs::LocalCounter refs_resolved_;
+  obs::LocalCounter nulls_restored_;
+  obs::LocalCounter prim_leaves_;
+  obs::LocalCounter ptr_leaves_;
+  obs::Histogram* depth_hist_;  ///< `msrm.restore.depth`
 };
 
 }  // namespace hpm::msrm

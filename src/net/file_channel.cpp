@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::net {
 
@@ -15,6 +16,18 @@ bool file_exists(const std::string& p) {
   struct stat st{};
   return ::stat(p.c_str(), &st) == 0;
 }
+
+/// `net.file.*` transport counters, shared by both spool-file endpoints.
+struct FileMetrics {
+  obs::Counter& bytes_sent = obs::Registry::process().counter("net.file.bytes_sent");
+  obs::Counter& bytes_recv = obs::Registry::process().counter("net.file.bytes_recv");
+  obs::Counter& timeouts = obs::Registry::process().counter("net.file.timeouts");
+
+  static FileMetrics& get() {
+    static FileMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -37,6 +50,7 @@ void FileWriterChannel::send(std::span<const std::uint8_t> data) {
     throw NetError("short write to spool file " + path_);
   }
   if (std::fflush(file_) != 0) throw NetError("fflush failed on " + path_);
+  FileMetrics::get().bytes_sent.add(data.size());
 }
 
 void FileReaderChannel::send(std::span<const std::uint8_t>) {
@@ -77,6 +91,8 @@ void FileReaderChannel::recv(std::span<std::uint8_t> out) {
   std::size_t got = 0;
   while (got < out.size()) {
     if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      FileMetrics::get().timeouts.add(1);
+      if (got > 0) FileMetrics::get().bytes_recv.add(got);
       throw TimeoutError("spool file " + path_ + " recv timed out with " +
                          std::to_string(out.size() - got) + " bytes outstanding");
     }
@@ -108,6 +124,7 @@ void FileReaderChannel::recv(std::span<std::uint8_t> out) {
       std::this_thread::sleep_for(1ms);
     }
   }
+  FileMetrics::get().bytes_recv.add(got);
 }
 
 void FileReaderChannel::close() {

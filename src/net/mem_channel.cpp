@@ -1,8 +1,25 @@
 #include "net/mem_channel.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::net {
+
+namespace {
+
+/// `net.mem.*` transport counters, shared by every MemChannel endpoint.
+struct MemMetrics {
+  obs::Counter& bytes_sent = obs::Registry::process().counter("net.mem.bytes_sent");
+  obs::Counter& bytes_recv = obs::Registry::process().counter("net.mem.bytes_recv");
+  obs::Counter& timeouts = obs::Registry::process().counter("net.mem.timeouts");
+
+  static MemMetrics& get() {
+    static MemMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace detail {
 
@@ -55,8 +72,20 @@ std::pair<std::unique_ptr<MemChannel>, std::unique_ptr<MemChannel>> MemChannel::
   return {std::move(a), std::move(b)};
 }
 
-void MemChannel::send(std::span<const std::uint8_t> data) { out_->write(data); }
-void MemChannel::recv(std::span<std::uint8_t> out) { in_->read(out, timeout_); }
+void MemChannel::send(std::span<const std::uint8_t> data) {
+  out_->write(data);
+  MemMetrics::get().bytes_sent.add(data.size());
+}
+
+void MemChannel::recv(std::span<std::uint8_t> out) {
+  try {
+    in_->read(out, timeout_);
+  } catch (const TimeoutError&) {
+    MemMetrics::get().timeouts.add(1);
+    throw;
+  }
+  MemMetrics::get().bytes_recv.add(out.size());
+}
 
 void MemChannel::close() {
   out_->close();

@@ -4,10 +4,27 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::net {
 
 namespace {
+
+/// `net.frames.*` framing-layer counters. Frame byte totals include the
+/// 5-byte header and 4-byte CRC trailer, so for a healthy run they equal
+/// the underlying channel's byte counters exactly.
+struct FrameMetrics {
+  obs::Counter& sent = obs::Registry::process().counter("net.frames.sent");
+  obs::Counter& recv = obs::Registry::process().counter("net.frames.recv");
+  obs::Counter& bytes_sent = obs::Registry::process().counter("net.frames.bytes_sent");
+  obs::Counter& bytes_recv = obs::Registry::process().counter("net.frames.bytes_recv");
+  obs::Counter& crc_failures = obs::Registry::process().counter("net.frames.crc_failures");
+
+  static FrameMetrics& get() {
+    static FrameMetrics m;
+    return m;
+  }
+};
 
 void put_u32_be(std::uint8_t* out, std::uint32_t v) {
   out[0] = static_cast<std::uint8_t>((v >> 24) & 0xFFu);
@@ -36,6 +53,9 @@ void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> p
   ch.send(header);
   if (!payload.empty()) ch.send(payload);
   ch.send(trailer);
+  FrameMetrics& m = FrameMetrics::get();
+  m.sent.add(1);
+  m.bytes_sent.add(header.size() + payload.size() + trailer.size());
 }
 
 Message recv_message(ByteChannel& ch, std::size_t max_payload) {
@@ -62,9 +82,13 @@ Message recv_message(ByteChannel& ch, std::size_t max_payload) {
   crc.update(header.data(), header.size());
   crc.update(msg.payload.data(), msg.payload.size());
   if (get_u32_be(trailer.data()) != crc.value()) {
+    FrameMetrics::get().crc_failures.add(1);
     throw NetError("frame CRC mismatch: " + std::to_string(len) +
                    "-byte payload damaged in transit");
   }
+  FrameMetrics& m = FrameMetrics::get();
+  m.recv.add(1);
+  m.bytes_recv.add(header.size() + msg.payload.size() + trailer.size());
   return msg;
 }
 

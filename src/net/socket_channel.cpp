@@ -10,12 +10,25 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::net {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// `net.socket.*` transport counters, shared by every SocketChannel.
+struct SocketMetrics {
+  obs::Counter& bytes_sent = obs::Registry::process().counter("net.socket.bytes_sent");
+  obs::Counter& bytes_recv = obs::Registry::process().counter("net.socket.bytes_recv");
+  obs::Counter& timeouts = obs::Registry::process().counter("net.socket.timeouts");
+
+  static SocketMetrics& get() {
+    static SocketMetrics m;
+    return m;
+  }
+};
 
 [[noreturn]] void fail(const std::string& op) {
   throw NetError(op + ": " + std::strerror(errno));
@@ -57,16 +70,23 @@ void SocketChannel::send(std::span<const std::uint8_t> data) {
   const bool bounded = timeout_.count() > 0;
   const auto deadline = Clock::now() + timeout_;
   std::size_t sent = 0;
-  while (sent < data.size()) {
-    wait_ready(fd_, POLLOUT, bounded, deadline, "send");
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      fail("send");
+  try {
+    while (sent < data.size()) {
+      wait_ready(fd_, POLLOUT, bounded, deadline, "send");
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        fail("send");
+      }
+      sent += static_cast<std::size_t>(n);
     }
-    sent += static_cast<std::size_t>(n);
+  } catch (const TimeoutError&) {
+    SocketMetrics::get().timeouts.add(1);
+    if (sent > 0) SocketMetrics::get().bytes_sent.add(sent);
+    throw;
   }
+  SocketMetrics::get().bytes_sent.add(sent);
 }
 
 void SocketChannel::recv(std::span<std::uint8_t> out) {
@@ -74,19 +94,26 @@ void SocketChannel::recv(std::span<std::uint8_t> out) {
   const bool bounded = timeout_.count() > 0;
   const auto deadline = Clock::now() + timeout_;
   std::size_t got = 0;
-  while (got < out.size()) {
-    wait_ready(fd_, POLLIN, bounded, deadline, "recv");
-    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, MSG_DONTWAIT);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      fail("recv");
+  try {
+    while (got < out.size()) {
+      wait_ready(fd_, POLLIN, bounded, deadline, "recv");
+      const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        fail("recv");
+      }
+      if (n == 0) {
+        throw NetError("peer closed connection with " + std::to_string(out.size() - got) +
+                       " bytes outstanding");
+      }
+      got += static_cast<std::size_t>(n);
     }
-    if (n == 0) {
-      throw NetError("peer closed connection with " + std::to_string(out.size() - got) +
-                     " bytes outstanding");
-    }
-    got += static_cast<std::size_t>(n);
+  } catch (const TimeoutError&) {
+    SocketMetrics::get().timeouts.add(1);
+    if (got > 0) SocketMetrics::get().bytes_recv.add(got);
+    throw;
   }
+  SocketMetrics::get().bytes_recv.add(got);
 }
 
 void SocketChannel::close() {

@@ -1,0 +1,22 @@
+// Minimal JSON writer shared by the telemetry exporters (metrics
+// snapshots, Chrome traces, BENCH_*.json). Writing only — the schema
+// validator in tools/ carries its own reader so the library stays free of
+// parsing code it never needs at runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpm::obs {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trippable rendering; non-finite values (which JSON
+/// cannot carry) degrade to 0.
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+std::string json_number(std::int64_t v);
+
+}  // namespace hpm::obs

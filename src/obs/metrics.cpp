@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace hpm::obs {
+
+namespace {
+
+double unit_base(Unit unit) noexcept {
+  switch (unit) {
+    case Unit::Seconds: return 1e-9;  // 1 ns
+    case Unit::Bytes:
+    case Unit::None: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+const char* unit_name(Unit unit) noexcept {
+  switch (unit) {
+    case Unit::None: return "none";
+    case Unit::Seconds: return "seconds";
+    case Unit::Bytes: return "bytes";
+  }
+  return "?";
+}
+
+Histogram::Histogram(Unit unit) : unit_(unit), base_(unit_base(unit)) {}
+
+int Histogram::bucket_index(double value) const noexcept {
+  if (!(value >= base_)) return 0;  // also catches NaN and negatives
+  const int idx = 1 + static_cast<int>(std::floor(std::log2(value / base_)));
+  return std::clamp(idx, 1, kBuckets - 1);
+}
+
+std::pair<double, double> Histogram::bucket_bounds(double value) const noexcept {
+  const int idx = bucket_index(value);
+  const double lo = idx == 0 ? 0.0 : base_ * std::ldexp(1.0, idx - 1);
+  const double hi = base_ * std::ldexp(1.0, idx);
+  return {lo, hi};
+}
+
+void Histogram::record(double value) noexcept {
+  if (std::isnan(value)) return;
+  std::lock_guard lk(mu_);
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::percentile_locked(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cum + buckets_[i] >= rank) {
+      const double lo = i == 0 ? 0.0 : base_ * std::ldexp(1.0, i - 1);
+      const double hi = base_ * std::ldexp(1.0, i);
+      const double pos =
+          static_cast<double>(rank - cum) / static_cast<double>(buckets_[i]);
+      return std::clamp(lo + pos * (hi - lo), min_, max_);
+    }
+    cum += buckets_[i];
+  }
+  return max_;
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard lk(mu_);
+  return percentile_locked(q);
+}
+
+HistogramSummary Histogram::summary() const {
+  std::lock_guard lk(mu_);
+  HistogramSummary s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = percentile_locked(0.50);
+  s.p95 = percentile_locked(0.95);
+  s.p99 = percentile_locked(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& b : buckets_) b = 0;
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramSummary* MetricsSnapshot::histogram(std::string_view name) const {
+  const auto it = histograms.find(std::string(name));
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d = *this;
+  for (auto& [name, value] : d.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) value -= std::min(value, it->second);
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"count\":" + json_number(h.count) +
+           ",\"sum\":" + json_number(h.sum) + ",\"min\":" + json_number(h.min) +
+           ",\"max\":" + json_number(h.max) + ",\"p50\":" + json_number(h.p50) +
+           ",\"p95\":" + json_number(h.p95) + ",\"p99\":" + json_number(h.p99) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>()).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, Unit unit) {
+  std::lock_guard lk(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(unit))
+              .first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace(name, h->summary());
+  return snap;
+}
+
+void Registry::reset_all() {
+  std::lock_guard lk(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::process() {
+  // Leaked intentionally: instruments are referenced from destructors of
+  // static-lifetime objects; the registry must outlive them all.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+}  // namespace hpm::obs

@@ -1,0 +1,186 @@
+// Observability layer, part 1: the metrics registry.
+//
+// One process-wide registry names every telemetry instrument the library
+// emits — monotonic counters, gauges, and log-scale histograms with
+// p50/p95/p99 snapshots — so the paper's evaluation quantities (Table 1's
+// Collect/Tx/Restore split, MSRLT search counts, PNEW/PREF/PNULL mix,
+// wire bytes per transport) all flow through one API instead of the
+// per-component stats structs they replace. Naming scheme (DESIGN.md §9):
+// `<layer>.<component>.<quantity>`, e.g. `msr.msrlt.searches`,
+// `net.socket.bytes_sent`, `trace.mig.collect`.
+//
+// Instruments are created on first use and live for the process lifetime,
+// so handles returned by Registry::counter()/gauge()/histogram() never
+// dangle. All instruments are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hpm::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (may go up and down): tracked blocks, queue depth.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) noexcept { v_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// What a histogram's samples measure; selects the log-bucket base so
+/// latencies (nanoseconds up) and sizes (single bytes up) both resolve.
+enum class Unit : std::uint8_t {
+  None,     ///< dimensionless (depths, counts); buckets start at 1
+  Seconds,  ///< latencies; buckets start at 1 ns
+  Bytes,    ///< sizes; buckets start at 1 byte
+};
+
+const char* unit_name(Unit unit) noexcept;
+
+/// Point-in-time digest of one histogram.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Log-scale (power-of-two buckets) histogram.
+///
+/// Bucket 0 holds samples below the unit base b; bucket i >= 1 holds
+/// [b*2^(i-1), b*2^i). Percentile semantics are deterministic and exact at
+/// bucket boundaries: the q-quantile is taken at rank ceil(q*count),
+/// linearly interpolated inside its bucket by rank position, then clamped
+/// to the observed [min, max] — so a histogram holding one distinct value
+/// reports that value for every percentile.
+class Histogram {
+ public:
+  explicit Histogram(Unit unit = Unit::None);
+
+  void record(double value) noexcept;
+  [[nodiscard]] HistogramSummary summary() const;
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] Unit unit() const noexcept { return unit_; }
+  void reset();
+
+  /// Bucket bounds for `value` under this histogram's unit base —
+  /// exposed so tests can pin the boundary semantics.
+  [[nodiscard]] std::pair<double, double> bucket_bounds(double value) const noexcept;
+
+  static constexpr int kBuckets = 64;
+
+ private:
+  [[nodiscard]] int bucket_index(double value) const noexcept;
+  [[nodiscard]] double percentile_locked(double q) const;
+
+  Unit unit_;
+  double base_;
+  mutable std::mutex mu_;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Immutable copy of every instrument's value at one instant. Counters
+/// subtract cleanly across snapshots; histograms and gauges are reported
+/// as-is (cumulative / instantaneous).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Counter value by name; 0 when absent (a never-touched instrument and
+  /// a missing one are indistinguishable by design).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+  /// nullptr when absent.
+  [[nodiscard]] const HistogramSummary* histogram(std::string_view name) const;
+
+  /// Counters become this-minus-earlier (clamped at 0); gauges and
+  /// histograms keep their current (end-of-interval) values.
+  [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Named-instrument registry. Lookups intern the name; repeated lookups
+/// return the same instrument, so hot paths should cache the reference.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, Unit unit = Unit::None);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument (benchmark harnesses isolating runs).
+  /// Instruments stay registered; handles stay valid.
+  void reset_all();
+
+  /// The process-wide registry every hpm component records into.
+  static Registry& process();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Per-instance mirror of a shared registry counter. Components that must
+/// keep instance-local readings (the deprecated stats() shims) bump both
+/// the local value and the process-wide instrument in one call.
+class LocalCounter {
+ public:
+  LocalCounter() = default;
+  explicit LocalCounter(Counter& shared) noexcept : shared_(&shared) {}
+
+  void bump(std::uint64_t n = 1) noexcept {
+    local_ += n;
+    if (shared_ != nullptr) shared_->add(n);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return local_; }
+  /// Clears the instance-local reading only; the registry total is
+  /// monotonic and unaffected.
+  void reset_local() noexcept { local_ = 0; }
+
+ private:
+  std::uint64_t local_ = 0;
+  Counter* shared_ = nullptr;
+};
+
+}  // namespace hpm::obs

@@ -1,0 +1,185 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace hpm::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Per-thread stack of open spans. Entries carry their tracer so
+/// independent tracers interleaved on one thread keep separate nesting.
+struct OpenEntry {
+  const Tracer* tracer;
+  std::uint64_t id;
+};
+
+std::vector<OpenEntry>& open_stack() {
+  thread_local std::vector<OpenEntry> stack;
+  return stack;
+}
+
+}  // namespace
+
+Tracer::Tracer(Registry* registry) : registry_(registry), epoch_(Clock::now()) {}
+
+Tracer& Tracer::process() {
+  // Leaked for the same reason as Registry::process(): spans may finish
+  // inside static-lifetime destructors.
+  static Tracer* instance = new Tracer(&Registry::process());
+  return *instance;
+}
+
+std::uint64_t Tracer::open_span(std::string_view /*name*/, std::uint32_t* depth,
+                                std::uint64_t* parent) {
+  auto& stack = open_stack();
+  std::uint32_t d = 0;
+  std::uint64_t p = 0;
+  for (const OpenEntry& e : stack) {
+    if (e.tracer == this) {
+      ++d;
+      p = e.id;
+    }
+  }
+  *depth = d;
+  *parent = p;
+  std::uint64_t id;
+  {
+    std::lock_guard lk(mu_);
+    id = next_id_++;
+  }
+  stack.push_back(OpenEntry{this, id});
+  return id;
+}
+
+void Tracer::close_span(SpanRecord record) {
+  auto& stack = open_stack();
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].tracer == this && stack[i].id == record.id) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (registry_ != nullptr) {
+    registry_->histogram("trace." + record.name, Unit::Seconds)
+        .record(record.dur_us * 1e-6);
+  }
+  std::lock_guard lk(mu_);
+  if (records_.size() >= kMaxRecords) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::finished() const {
+  std::lock_guard lk(mu_);
+  return records_;
+}
+
+std::size_t Tracer::finished_count() const {
+  std::lock_guard lk(mu_);
+  return records_.size();
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard lk(mu_);
+  return dropped_;
+}
+
+double Tracer::last_duration_seconds(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  for (std::size_t i = records_.size(); i-- > 0;) {
+    if (records_[i].name == name) return records_[i].dur_us * 1e-6;
+  }
+  return 0;
+}
+
+double Tracer::total_seconds(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  double total = 0;
+  for (const SpanRecord& r : records_) {
+    if (r.name == name) total += r.dur_us * 1e-6;
+  }
+  return total;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard lk(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : records_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(r.name) +
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + json_number(std::uint64_t{r.tid}) +
+           ",\"ts\":" + json_number(r.start_us) + ",\"dur\":" + json_number(r.dur_us) +
+           ",\"args\":{\"span_id\":" + json_number(r.id) +
+           ",\"parent\":" + json_number(r.parent) +
+           ",\"depth\":" + json_number(std::uint64_t{r.depth});
+    for (const auto& [key, value] : r.args) {
+      out += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + '"';
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(mu_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+Span::Span(std::string_view name, Tracer& tracer) : tracer_(&tracer), t0_(Clock::now()) {
+  record_.name = name;
+  record_.tid = this_thread_tid();
+  record_.start_us =
+      std::chrono::duration<double, std::micro>(t0_ - tracer.epoch_).count();
+  record_.id = tracer.open_span(name, &record_.depth, &record_.parent);
+}
+
+Span::~Span() { finish(); }
+
+void Span::arg(std::string_view key, std::string value) {
+  record_.args.emplace_back(std::string(key), std::move(value));
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  record_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+double Span::elapsed_seconds() const {
+  if (finished_) return duration_s_;
+  return std::chrono::duration<double>(Clock::now() - t0_).count();
+}
+
+double Span::finish() {
+  if (finished_) return duration_s_;
+  finished_ = true;
+  duration_s_ = std::chrono::duration<double>(Clock::now() - t0_).count();
+  record_.dur_us = duration_s_ * 1e6;
+  tracer_->close_span(std::move(record_));
+  return duration_s_;
+}
+
+}  // namespace hpm::obs

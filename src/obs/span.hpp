@@ -1,0 +1,117 @@
+// Observability layer, part 2: scoped trace spans.
+//
+// An obs::Span marks one timed region (a migration phase, one transfer
+// attempt, a bench iteration). Spans nest per thread — a span opened while
+// another is live on the same thread becomes its child — and every
+// finished span records: name, thread id, wall-clock interval, depth, and
+// parent linkage. The Tracer buffers finished spans and exports them in
+// Chrome trace_event format ("catapult" JSON: load in chrome://tracing or
+// https://ui.perfetto.dev), and mirrors every span's duration into the
+// linked metrics registry as a `trace.<name>` latency histogram — so the
+// paper's Collect/Tx/Restore split is derived from spans, with p50/p95/p99
+// over repeated runs for free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hpm::obs {
+
+/// One finished span, in tracer-epoch-relative time.
+struct SpanRecord {
+  std::uint64_t id = 0;        ///< 1-based, unique per tracer
+  std::uint64_t parent = 0;    ///< id of the enclosing span on this thread; 0 = root
+  std::uint32_t tid = 0;       ///< small stable per-thread index (not the OS tid)
+  std::uint32_t depth = 0;     ///< nesting depth at open (root = 0)
+  std::string name;
+  double start_us = 0;         ///< microseconds since the tracer epoch
+  double dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Span;
+
+/// Collects finished spans. Thread-safe; one process-wide instance is
+/// linked to Registry::process(), and tests may build isolated tracers.
+class Tracer {
+ public:
+  /// `registry` receives a `trace.<name>` Unit::Seconds histogram sample
+  /// per finished span; pass nullptr to trace without metrics mirroring.
+  explicit Tracer(Registry* registry);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer (linked to Registry::process()).
+  static Tracer& process();
+
+  [[nodiscard]] std::vector<SpanRecord> finished() const;
+  [[nodiscard]] std::size_t finished_count() const;
+  /// Spans discarded after the buffer cap was reached (their histogram
+  /// samples are still recorded).
+  [[nodiscard]] std::uint64_t dropped_count() const;
+
+  /// Duration of the most recently finished span with this name; 0 if none.
+  [[nodiscard]] double last_duration_seconds(std::string_view name) const;
+  /// Sum over all finished spans with this name.
+  [[nodiscard]] double total_seconds(std::string_view name) const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}; "X" complete events).
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Write chrome_trace_json() to `path`; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  void clear();
+
+  static constexpr std::size_t kMaxRecords = 1 << 20;
+
+ private:
+  friend class Span;
+  std::uint64_t open_span(std::string_view name, std::uint32_t* depth,
+                          std::uint64_t* parent);
+  void close_span(SpanRecord record);
+
+  Registry* registry_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII scoped span: opens on construction, records on finish() or
+/// destruction. Create on the stack around the region to time.
+class Span {
+ public:
+  explicit Span(std::string_view name, Tracer& tracer = Tracer::process());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value annotation (exported under "args" in the trace).
+  void arg(std::string_view key, std::string value);
+  void arg(std::string_view key, std::uint64_t value);
+
+  /// Seconds since the span opened; usable while still running.
+  [[nodiscard]] double elapsed_seconds() const;
+
+  /// Close the span now and return its duration in seconds. Idempotent —
+  /// later calls (and the destructor) return/record nothing new.
+  double finish();
+
+ private:
+  Tracer* tracer_;
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point t0_;
+  bool finished_ = false;
+  double duration_s_ = 0;
+};
+
+}  // namespace hpm::obs

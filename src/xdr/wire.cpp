@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace hpm::xdr {
 
 namespace {
@@ -14,7 +16,41 @@ void put_be(Bytes& buf, T v) {
   }
 }
 
+/// Stream-granularity throughput instruments: one registry touch per
+/// encoded/decoded stream keeps the per-field hot path untouched.
+struct WireMetrics {
+  obs::Counter& encode_bytes = obs::Registry::process().counter("xdr.encode.bytes");
+  obs::Counter& encode_streams = obs::Registry::process().counter("xdr.encode.streams");
+  obs::Counter& decode_bytes = obs::Registry::process().counter("xdr.decode.bytes");
+  obs::Counter& decode_streams = obs::Registry::process().counter("xdr.decode.streams");
+  obs::Histogram& encode_size =
+      obs::Registry::process().histogram("xdr.encode.stream_bytes", obs::Unit::Bytes);
+
+  static WireMetrics& get() {
+    static WireMetrics m;
+    return m;
+  }
+};
+
 }  // namespace
+
+Bytes Encoder::take() noexcept {
+  if (!buf_.empty()) {
+    WireMetrics& m = WireMetrics::get();
+    m.encode_bytes.add(buf_.size());
+    m.encode_streams.add(1);
+    m.encode_size.record(static_cast<double>(buf_.size()));
+  }
+  return std::move(buf_);
+}
+
+Decoder::~Decoder() {
+  if (pos_ > 0) {
+    WireMetrics& m = WireMetrics::get();
+    m.decode_bytes.add(pos_);
+    m.decode_streams.add(1);
+  }
+}
 
 void Encoder::put_u16(std::uint16_t v) { put_be(buf_, v); }
 void Encoder::put_u32(std::uint32_t v) { put_be(buf_, v); }

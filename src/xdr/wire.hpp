@@ -45,7 +45,10 @@ class Encoder {
 
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
-  Bytes take() noexcept { return std::move(buf_); }
+  /// Hand the finished stream to the caller. Records the stream size
+  /// under `xdr.encode.bytes` / `xdr.encode.streams` so encode throughput
+  /// is derivable from the registry without touching the per-put path.
+  Bytes take() noexcept;
 
   /// Patch a previously written u32 at `offset` (used for counts known
   /// only after the payload is emitted).
@@ -62,6 +65,9 @@ class Decoder {
   explicit Decoder(std::span<const std::uint8_t> data) noexcept : data_(data) {}
   Decoder(const void* data, std::size_t len) noexcept
       : data_(static_cast<const std::uint8_t*>(data), len) {}
+  /// Records the bytes consumed under `xdr.decode.bytes` /
+  /// `xdr.decode.streams` (untouched decoders record nothing).
+  ~Decoder();
 
   std::uint8_t get_u8();
   std::uint16_t get_u16();

@@ -20,7 +20,7 @@ bool file_exists(const std::string& p) {
   return ::stat(p.c_str(), &st) == 0;
 }
 
-const char* transport_name(mig::Transport t) {
+const char* short_transport_name(mig::Transport t) {
   switch (t) {
     case mig::Transport::Memory: return "mem";
     case mig::Transport::Socket: return "sock";
@@ -47,7 +47,7 @@ struct FaultCase {
 
 std::string case_name(const ::testing::TestParamInfo<FaultCase>& info) {
   return std::string(net::fault_kind_name(info.param.kind)) + "_" +
-         transport_name(info.param.transport);
+         short_transport_name(info.param.transport);
 }
 
 class FaultMatrix : public ::testing::TestWithParam<FaultCase> {};
@@ -121,7 +121,7 @@ INSTANTIATE_TEST_SUITE_P(Transports, PersistentFault,
                          ::testing::Values(mig::Transport::Memory, mig::Transport::Socket,
                                            mig::Transport::File),
                          [](const ::testing::TestParamInfo<mig::Transport>& info) {
-                           return transport_name(info.param);
+                           return short_transport_name(info.param);
                          });
 
 TEST(FaultInjection, CorruptedStateFrameIsNackedAndRetransmitted) {

@@ -1,0 +1,227 @@
+// Unit tests for the observability layer: histogram percentile math at
+// bucket boundaries, span nesting and thread attribution, and the
+// registry snapshot/delta plumbing the MigrationReport relies on.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace hpm::obs;
+
+TEST(ObsCounter, MonotonicAndResettable) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, MovesBothWays) {
+  Gauge g;
+  g.add(10);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(ObsHistogram, SingleValueReportsItselfAtEveryPercentile) {
+  // The clamp-to-[min,max] rule makes one distinct value exact no matter
+  // which log bucket it lands in.
+  Histogram h(Unit::None);
+  h.record(3.5);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p95, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+}
+
+TEST(ObsHistogram, PercentileAtBucketBoundaries) {
+  // Unit::None buckets: [1,2) [2,4) [4,8) [8,16) — each sample sits
+  // exactly on a lower bucket boundary, one per bucket.
+  Histogram h(Unit::None);
+  for (double v : {1.0, 2.0, 4.0, 8.0}) h.record(v);
+  // p50 rank = ceil(0.5 * 4) = 2 -> the [2,4) bucket, interpolated to its
+  // upper edge (the bucket's only sample), giving exactly 4.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.0);
+  // p95/p99 rank = 4 -> the [8,16) bucket, clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 8.0);
+  // p0 clamps its rank to 1 -> the [1,2) bucket, upper edge 2.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+}
+
+TEST(ObsHistogram, RepeatedBoundaryValueStaysExact) {
+  Histogram h(Unit::Bytes);
+  for (int i = 0; i < 100; ++i) h.record(1024.0);
+  const HistogramSummary s = h.summary();
+  // Interpolation alone would report positions inside [1024, 2048); the
+  // [min,max] clamp pins every percentile to the real value.
+  EXPECT_DOUBLE_EQ(s.p50, 1024.0);
+  EXPECT_DOUBLE_EQ(s.p95, 1024.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1024.0);
+  EXPECT_DOUBLE_EQ(s.sum, 102400.0);
+}
+
+TEST(ObsHistogram, BucketBoundsMatchDocumentedScheme) {
+  Histogram none(Unit::None);
+  EXPECT_EQ(none.bucket_bounds(0.5), (std::pair<double, double>{0.0, 1.0}));
+  EXPECT_EQ(none.bucket_bounds(1.0), (std::pair<double, double>{1.0, 2.0}));
+  EXPECT_EQ(none.bucket_bounds(4.0), (std::pair<double, double>{4.0, 8.0}));
+  EXPECT_EQ(none.bucket_bounds(7.9), (std::pair<double, double>{4.0, 8.0}));
+  // Seconds histograms base their buckets at 1 ns.
+  Histogram secs(Unit::Seconds);
+  const auto [lo, hi] = secs.bucket_bounds(1e-9);
+  EXPECT_DOUBLE_EQ(lo, 1e-9);
+  EXPECT_DOUBLE_EQ(hi, 2e-9);
+}
+
+TEST(ObsHistogram, EmptyAndReset) {
+  Histogram h(Unit::Seconds);
+  EXPECT_EQ(h.summary().count, 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  h.record(0.25);
+  EXPECT_EQ(h.summary().count, 1u);
+  h.reset();
+  EXPECT_EQ(h.summary().count, 0u);
+}
+
+TEST(ObsRegistry, InternsByNameAndSnapshots) {
+  Registry reg;
+  Counter& a = reg.counter("x.searches");
+  Counter& b = reg.counter("x.searches");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  reg.gauge("x.level").set(-3);
+  reg.histogram("x.lat", Unit::Seconds).record(0.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("x.searches"), 5u);
+  EXPECT_EQ(snap.counter("never.touched"), 0u);
+  EXPECT_EQ(snap.gauge("x.level"), -3);
+  ASSERT_NE(snap.histogram("x.lat"), nullptr);
+  EXPECT_EQ(snap.histogram("x.lat")->count, 1u);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(ObsRegistry, DeltaSubtractsCounters) {
+  Registry reg;
+  reg.counter("d.events").add(10);
+  const MetricsSnapshot before = reg.snapshot();
+  reg.counter("d.events").add(7);
+  reg.counter("d.fresh").add(2);
+  const MetricsSnapshot delta = reg.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counter("d.events"), 7u);
+  EXPECT_EQ(delta.counter("d.fresh"), 2u);
+}
+
+TEST(ObsRegistry, LocalCounterMirrorsShared) {
+  Registry reg;
+  LocalCounter local(reg.counter("l.bumps"));
+  local.bump();
+  local.bump(4);
+  EXPECT_EQ(local.value(), 5u);
+  EXPECT_EQ(reg.counter("l.bumps").value(), 5u);
+  local.reset_local();
+  EXPECT_EQ(local.value(), 0u);
+  // The registry total is monotonic: reset_local never rewinds it.
+  EXPECT_EQ(reg.counter("l.bumps").value(), 5u);
+}
+
+TEST(ObsSpan, NestingRecordsParentAndDepth) {
+  Tracer tracer(nullptr);
+  {
+    Span outer("phase.outer", tracer);
+    {
+      Span inner("phase.inner", tracer);
+    }
+  }
+  const std::vector<SpanRecord> spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_EQ(inner.name, "phase.inner");
+  EXPECT_EQ(outer.name, "phase.outer");
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+}
+
+TEST(ObsSpan, SiblingsShareAParentSequentially) {
+  Tracer tracer(nullptr);
+  {
+    Span root("r", tracer);
+    { Span a("a", tracer); }
+    { Span b("b", tracer); }
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent, spans[2].id);  // a under r
+  EXPECT_EQ(spans[1].parent, spans[2].id);  // b under r, not under a
+  EXPECT_EQ(spans[1].depth, 1u);
+}
+
+TEST(ObsSpan, ThreadsGetDistinctAttribution) {
+  Tracer tracer(nullptr);
+  {
+    Span main_span("on.main", tracer);
+    std::thread worker([&tracer] { Span s("on.worker", tracer); });
+    worker.join();
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& worker = spans[0];
+  const SpanRecord& main_span = spans[1];
+  EXPECT_EQ(worker.name, "on.worker");
+  EXPECT_NE(worker.tid, main_span.tid);
+  // The open-span stack is per-thread: the worker span is a root even
+  // though "on.main" was live when it opened.
+  EXPECT_EQ(worker.parent, 0u);
+  EXPECT_EQ(worker.depth, 0u);
+}
+
+TEST(ObsSpan, FinishIsIdempotentAndMirrorsToRegistry) {
+  Registry reg;
+  Tracer tracer(&reg);
+  Span span("mig.collect", tracer);
+  span.arg("stream_bytes", std::uint64_t{128});
+  const double d1 = span.finish();
+  const double d2 = span.finish();  // no second record
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_EQ(tracer.finished_count(), 1u);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_DOUBLE_EQ(tracer.last_duration_seconds("mig.collect"), d1);
+  EXPECT_DOUBLE_EQ(tracer.total_seconds("mig.collect"), d1);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.histogram("trace.mig.collect"), nullptr);
+  EXPECT_EQ(snap.histogram("trace.mig.collect")->count, 1u);
+}
+
+TEST(ObsSpan, ChromeTraceExportCarriesSpansAndArgs) {
+  Tracer tracer(nullptr);
+  {
+    Span span("export.me", tracer);
+    span.arg("transport", std::string("memory"));
+  }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"export.me\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"transport\":\"memory\""), std::string::npos);
+  tracer.clear();
+  EXPECT_EQ(tracer.finished_count(), 0u);
+}
+
+}  // namespace

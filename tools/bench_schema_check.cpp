@@ -1,0 +1,295 @@
+// Validates a BENCH_*.json file against the hpm-bench-v1 schema:
+//
+//   {
+//     "schema":  "hpm-bench-v1",
+//     "bench":   "<non-empty name>",
+//     "smoke":   true|false,
+//     "results": [ {"name": str, "value": num, "unit": str}, ... ]  (>= 1),
+//     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//   }
+//
+// Self-contained recursive-descent JSON parser — no third-party JSON
+// dependency, so the check runs in every build configuration. Exit 0 on a
+// valid file, 1 with a diagnostic on stderr otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<ValuePtr> items;
+  std::vector<std::pair<std::string, ValuePtr>> fields;
+
+  const Value* get(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing content after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    std::ostringstream os;
+    os << "parse error at byte " << pos_ << ": " << why;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' || src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto v = std::make_unique<Value>();
+        v->kind = Value::Kind::String;
+        v->text = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      char c = src_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= src_.size()) fail("unterminated escape");
+        char e = src_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
+            pos_ += 4;     // code points beyond ASCII are accepted,
+            out += '?';    // not reconstructed — the schema never needs them
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.' ||
+            src_[pos_] == 'e' || src_[pos_] == 'E' || src_[pos_] == '+' || src_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Number;
+    char* end = nullptr;
+    v->number = std::strtod(src_.c_str() + start, &end);
+    if (end != src_.c_str() + pos_) fail("malformed number");
+    return v;
+  }
+
+  ValuePtr parse_bool() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Bool;
+    if (src_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+    } else if (src_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return v;
+  }
+
+  ValuePtr parse_null() {
+    if (src_.compare(pos_, 4, "null") != 0) fail("expected null");
+    pos_ += 4;
+    return std::make_unique<Value>();
+  }
+
+  ValuePtr parse_array() {
+    expect('[');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v->items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    return v;
+  }
+
+  ValuePtr parse_object() {
+    expect('{');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v->fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    return v;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+int complain(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "bench_schema_check: %s: %s\n", path.c_str(), why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_schema_check <BENCH_file.json>\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return complain(path, "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+  if (src.empty()) return complain(path, "file is empty");
+
+  ValuePtr root;
+  try {
+    root = Parser(src).parse();
+  } catch (const std::exception& e) {
+    return complain(path, e.what());
+  }
+  if (root->kind != Value::Kind::Object) return complain(path, "top level is not an object");
+
+  const Value* schema = root->get("schema");
+  if (!schema || schema->kind != Value::Kind::String || schema->text != "hpm-bench-v1") {
+    return complain(path, "\"schema\" must be the string \"hpm-bench-v1\"");
+  }
+  const Value* bench = root->get("bench");
+  if (!bench || bench->kind != Value::Kind::String || bench->text.empty()) {
+    return complain(path, "\"bench\" must be a non-empty string");
+  }
+  const Value* smoke = root->get("smoke");
+  if (!smoke || smoke->kind != Value::Kind::Bool) {
+    return complain(path, "\"smoke\" must be a boolean");
+  }
+  const Value* results = root->get("results");
+  if (!results || results->kind != Value::Kind::Array || results->items.empty()) {
+    return complain(path, "\"results\" must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < results->items.size(); ++i) {
+    const Value& row = *results->items[i];
+    const std::string where = "results[" + std::to_string(i) + "]";
+    if (row.kind != Value::Kind::Object) return complain(path, where + " is not an object");
+    const Value* name = row.get("name");
+    if (!name || name->kind != Value::Kind::String || name->text.empty()) {
+      return complain(path, where + ".name must be a non-empty string");
+    }
+    const Value* value = row.get("value");
+    if (!value || value->kind != Value::Kind::Number) {
+      return complain(path, where + ".value must be a number");
+    }
+    const Value* unit = row.get("unit");
+    if (!unit || unit->kind != Value::Kind::String) {
+      return complain(path, where + ".unit must be a string");
+    }
+  }
+  const Value* metrics = root->get("metrics");
+  if (!metrics || metrics->kind != Value::Kind::Object) {
+    return complain(path, "\"metrics\" must be an object");
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const Value* s = metrics->get(section);
+    if (!s || s->kind != Value::Kind::Object) {
+      return complain(path, std::string("metrics.") + section + " must be an object");
+    }
+  }
+  std::printf("bench_schema_check: %s: OK (%zu result rows)\n", path.c_str(),
+              results->items.size());
+  return 0;
+}
