@@ -4,6 +4,8 @@
 // address->block search. This ablation collects the same bitonic-profile
 // graph with the ordered-map strategy and with a deliberately naive
 // linear scan, showing why the data structure choice is load-bearing.
+// Both strategies sit behind the one-entry MRU cache; its hit share of
+// all searches is reported alongside the timings.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -11,6 +13,7 @@
 #include "apps/workload.hpp"
 #include "emit.hpp"
 #include "msrm/collect.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -79,9 +82,18 @@ int main(int argc, char** argv) {
   }
   hpm::bench::BenchReport report("ablation_msrlt", args.smoke);
   const std::uint32_t nodes = args.smoke ? 1000 : 16000;
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
   report.add("collect_seconds.ordered_map",
              timed_collect(msr::SearchStrategy::OrderedMap, nodes), "seconds");
   report.add("collect_seconds.linear_scan",
              timed_collect(msr::SearchStrategy::LinearScan, nodes), "seconds");
+  const obs::MetricsSnapshot delta =
+      obs::Registry::process().snapshot().delta_since(before);
+  const double searches = static_cast<double>(delta.counter("msr.msrlt.searches"));
+  const double hits = static_cast<double>(delta.counter("msr.msrlt.cache_hits"));
+  std::printf("MRU cache: %.0f of %.0f searches short-circuited (%.1f%%)\n", hits, searches,
+              searches > 0 ? hits / searches * 100 : 0);
+  report.add("mru_cache.hits", hits, "count");
+  report.add("mru_cache.hit_ratio", searches > 0 ? hits / searches : 0, "ratio");
   return report.write_if_requested(args) ? 0 : 1;
 }

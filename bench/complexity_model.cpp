@@ -48,11 +48,12 @@ void sweep_block_count(bench::BenchReport& report, bool smoke) {
     };
     const bench::Measurement m =
         bench::measure_migration(apps::workload_register_types, program, 1);
-    const double blocks = static_cast<double>(m.collect.blocks_saved);
+    const double blocks =
+        static_cast<double>(m.collect.counter("msrm.collect.blocks_saved"));
     std::printf("%8u %12.5f %12.5f %16.1f %16.1f %14.2f\n", n, m.collect_s, m.restore_s,
                 m.collect_s / blocks * 1e9, m.restore_s / blocks * 1e9,
-                static_cast<double>(m.source_msrlt.search_steps) /
-                    static_cast<double>(m.source_msrlt.searches));
+                static_cast<double>(m.collect.counter("msr.msrlt.search_steps")) /
+                    static_cast<double>(m.collect.counter("msr.msrlt.searches")));
     const std::string prefix = "sweepA.n" + std::to_string(n) + ".";
     report.add(prefix + "collect_seconds", m.collect_s, "seconds");
     report.add(prefix + "restore_seconds", m.restore_s, "seconds");

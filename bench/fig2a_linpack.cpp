@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
         /*at_poll=*/1);
     std::printf("%6d %12llu %12.5f %12.5f %10llu %14llu\n", n,
                 static_cast<unsigned long long>(m.bytes), m.collect_s, m.restore_s,
-                static_cast<unsigned long long>(m.collect.blocks_saved),
-                static_cast<unsigned long long>(m.source_msrlt.searches));
+                static_cast<unsigned long long>(
+                    m.collect.counter("msrm.collect.blocks_saved")),
+                static_cast<unsigned long long>(m.collect.counter("msr.msrlt.searches")));
     const double ratio = m.collect_s / static_cast<double>(m.bytes);
     if (first_ratio == 0) first_ratio = ratio;
     last_ratio = ratio;

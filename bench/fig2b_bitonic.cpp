@@ -37,16 +37,18 @@ int main(int argc, char** argv) {
           apps::bitonic_program(ctx, log2_leaves, 9, &result);
         },
         /*at_poll=*/1);
+    const std::uint64_t saved = m.collect.counter("msrm.collect.blocks_saved");
+    const std::uint64_t steps = m.collect.counter("msr.msrlt.search_steps");
+    const std::uint64_t materialized = m.restore.counter("msrm.restore.blocks_created") +
+                                       m.restore.counter("msrm.restore.blocks_bound");
     std::printf("%8u %10llu %12llu %12.5f %12.5f %14llu %14llu\n", 1u << log2_leaves,
-                static_cast<unsigned long long>(m.collect.blocks_saved),
+                static_cast<unsigned long long>(saved),
                 static_cast<unsigned long long>(m.bytes), m.collect_s, m.restore_s,
-                static_cast<unsigned long long>(m.source_msrlt.search_steps),
-                static_cast<unsigned long long>(m.restore.blocks_created +
-                                                m.restore.blocks_bound));
-    const double blocks = static_cast<double>(m.collect.blocks_saved);
-    const double steps_per_block = static_cast<double>(m.source_msrlt.search_steps) / blocks;
-    const double reg_per_block =
-        static_cast<double>(m.restore.blocks_created + m.restore.blocks_bound) / blocks;
+                static_cast<unsigned long long>(steps),
+                static_cast<unsigned long long>(materialized));
+    const double blocks = static_cast<double>(saved);
+    const double steps_per_block = static_cast<double>(steps) / blocks;
+    const double reg_per_block = static_cast<double>(materialized) / blocks;
     if (first_steps_per_block == 0) {
       first_steps_per_block = steps_per_block;
       first_reg_per_block = reg_per_block;

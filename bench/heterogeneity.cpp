@@ -28,12 +28,15 @@ void check(const char* what, bool ok) {
   if (!ok) ++checks_failed;
 }
 
-/// DEC -> SPARC -> host round trip of one collected variable stream.
+/// DEC -> SPARC -> host round trip of one collected variable stream. Raw
+/// flat bodies carry source-layout bytes, so every Restorer is told which
+/// architecture produced its stream (the coordinator reads this from the
+/// stream header; these image hops splice streams without headers).
 Bytes through_dec_and_sparc(const ti::TypeTable& table, const Bytes& stream,
                             std::uint64_t* image_blocks) {
   memimg::ImageSpace dec(table, xdr::dec5000_ultrix());
   xdr::Decoder d1(stream);
-  msrm::Restorer r1(dec, d1);
+  msrm::Restorer r1(dec, d1, xdr::native_arch());
   r1.set_auto_bind(true);
   const msr::BlockId dec_root = r1.restore_variable();
 
@@ -43,7 +46,7 @@ Bytes through_dec_and_sparc(const ti::TypeTable& table, const Bytes& stream,
 
   memimg::ImageSpace sparc(table, xdr::sparc20_solaris());
   xdr::Decoder d2(e2.bytes());
-  msrm::Restorer r2(sparc, d2);
+  msrm::Restorer r2(sparc, d2, xdr::dec5000_ultrix());
   r2.set_auto_bind(true);
   const msr::BlockId sparc_root = r2.restore_variable();
   *image_blocks = sparc.msrlt().block_count();
@@ -68,23 +71,27 @@ void pointer_structures_experiment() {
   root = nodes[0];
   const std::uint64_t fp = apps::graph_fingerprint(root);
 
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
   xdr::Encoder enc;
   msrm::Collector collector(src.space(), enc);
   collector.save_variable(reinterpret_cast<msr::Address>(&root));
+  const obs::MetricsSnapshot collected =
+      obs::Registry::process().snapshot().delta_since(before);
   std::uint64_t image_blocks = 0;
   const Bytes back = through_dec_and_sparc(table, enc.bytes(), &image_blocks);
 
   msr::HostSpace host2(table);
   xdr::Decoder dec(back);
-  msrm::Restorer restorer(host2, dec);
+  msrm::Restorer restorer(host2, dec, xdr::sparc20_solaris());
   restorer.set_auto_bind(true);
   const msr::BlockId out = restorer.restore_variable();
   auto* root2 = *reinterpret_cast<apps::RandNode**>(host2.msrlt().find_id(out)->base);
 
   check("structures consistent across DEC->SPARC->host", apps::graph_fingerprint(root2) == fp);
   check("no block duplicated in the images",
-        image_blocks == collector.stats().blocks_saved);
-  check("shared references preserved as references", collector.stats().refs_saved > 0);
+        image_blocks == collected.counter("msrm.collect.blocks_saved"));
+  check("shared references preserved as references",
+        collected.counter("msrm.collect.refs_saved") > 0);
 }
 
 void linpack_data_experiment() {
@@ -107,15 +114,18 @@ void linpack_data_experiment() {
                  static_cast<std::uint32_t>(a.size()), "a");
   host.track(msr::Segment::Global, pa, "pa", ti::native_type_id<double*>(table), 1);
 
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
   xdr::Encoder enc;
   msrm::Collector collector(host, enc);
   collector.save_variable(reinterpret_cast<msr::Address>(&pa));
+  const obs::MetricsSnapshot collected =
+      obs::Registry::process().snapshot().delta_since(before);
   std::uint64_t image_blocks = 0;
   const Bytes back = through_dec_and_sparc(table, enc.bytes(), &image_blocks);
 
   msr::HostSpace host2(table);
   xdr::Decoder dec(back);
-  msrm::Restorer restorer(host2, dec);
+  msrm::Restorer restorer(host2, dec, xdr::sparc20_solaris());
   restorer.set_auto_bind(true);
   const msr::BlockId out = restorer.restore_variable();
   const double* b = *reinterpret_cast<double* const*>(host2.msrlt().find_id(out)->base);
@@ -127,7 +137,7 @@ void linpack_data_experiment() {
     }
   }
   check("floating-point data bit-exact after two conversions", bit_exact);
-  check("no block duplicated", image_blocks == collector.stats().blocks_saved);
+  check("no block duplicated", image_blocks == collected.counter("msrm.collect.blocks_saved"));
 }
 
 void narrowing_detection_experiment() {
@@ -141,7 +151,7 @@ void narrowing_detection_experiment() {
   collector.save_variable(reinterpret_cast<msr::Address>(&fits));
   memimg::ImageSpace sparc(table, xdr::sparc20_solaris());
   xdr::Decoder dec(enc.bytes());
-  msrm::Restorer restorer(sparc, dec);
+  msrm::Restorer restorer(sparc, dec, xdr::native_arch());
   restorer.set_auto_bind(true);
   bool ok = true;
   try {

@@ -10,6 +10,7 @@
 #include "mig/annotate.hpp"
 #include "mig/context.hpp"
 #include "net/simnet.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::bench {
 
@@ -19,9 +20,10 @@ struct Measurement {
   double restore_s = 0;
   double tx_10mbps = 0;
   double tx_100mbps = 0;
-  msrm::Collector::Stats collect;
-  msrm::Restorer::Stats restore;
-  msr::Msrlt::Stats source_msrlt;  ///< search/step counters at collection
+  /// Registry deltas across the two phases; the collect delta also carries
+  /// the source MSRLT search/step counters (`msr.msrlt.*`).
+  obs::MetricsSnapshot collect;
+  obs::MetricsSnapshot restore;
 };
 
 /// Collect at poll `at_poll` on a fresh source context, then restore on a
@@ -50,7 +52,6 @@ inline Measurement measure_migration(const std::function<void(ti::TypeTable&)>& 
   m.bytes = src.stream().size();
   m.collect_s = src.metrics().collect_seconds;
   m.collect = src.metrics().collect;
-  m.source_msrlt = src.space().msrlt().stats();
   m.tx_10mbps = net::SimulatedLink::ethernet_10mbps().transfer_seconds(m.bytes);
   m.tx_100mbps = net::SimulatedLink::ethernet_100mbps().transfer_seconds(m.bytes);
 

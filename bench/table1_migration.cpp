@@ -13,16 +13,60 @@
 // volume while bitonic's is dominated by block count, and (c) for
 // bitonic, Collect > Restore (the MSRLT search term).
 //
+// A second section compares the serial and pipelined transfer paths
+// end-to-end (run_migration with a throttled 100 Mb/s link) over the
+// in-memory and TCP-loopback transports: the pipelined wall time must not
+// exceed the serial one, since Collect / Tx / Restore overlap.
+//
 // Writes BENCH_migration.json (hpm-bench-v1; override with --json PATH).
 // --smoke shrinks the problems to one cheap iteration each.
+#include <chrono>
 #include <cstdio>
 
 #include "apps/bitonic.hpp"
 #include "apps/linpack.hpp"
 #include "emit.hpp"
+#include "mig/coordinator.hpp"
 #include "support.hpp"
 
 using namespace hpm;
+
+namespace {
+
+struct TransferRun {
+  double wall_seconds = 0;
+  double overlap_ratio = 0;
+  std::uint64_t bytes = 0;
+};
+
+// One end-to-end run_migration over a real channel with the link model
+// actually throttling the sends; stop_after_restore keeps the program
+// tail out of the measurement.
+TransferRun run_transfer(int linpack_n, mig::Transport transport, bool pipeline) {
+  apps::LinpackResult result;
+  mig::RunOptions options;
+  options.register_types = apps::linpack_register_types;
+  options.program = [&result, linpack_n](mig::MigContext& ctx) {
+    apps::linpack_program(ctx, linpack_n, 1, &result);
+  };
+  options.migrate_at_poll = 1;
+  options.transport = transport;
+  options.link = net::SimulatedLink::ethernet_100mbps();
+  options.throttle = true;
+  options.pipeline = pipeline;
+  options.stop_after_restore = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const mig::MigrationReport report = mig::run_migration(options);
+  const auto t1 = std::chrono::steady_clock::now();
+  TransferRun r;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.overlap_ratio = report.overlap_ratio;
+  r.bytes = report.stream_bytes;
+  if (!report.migrated) std::fprintf(stderr, "run_transfer: migration did not happen\n");
+  return r;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_bench_args(argc, argv);
@@ -55,7 +99,8 @@ int main(int argc, char** argv) {
     std::printf("%-22s %10.4f %10.4f %10.4f %12llu %10llu\n", "Linpack 1000x1000",
                 m.collect_s, m.tx_100mbps, m.restore_s,
                 static_cast<unsigned long long>(m.bytes),
-                static_cast<unsigned long long>(m.collect.blocks_saved));
+                static_cast<unsigned long long>(
+                    m.collect.counter("msrm.collect.blocks_saved")));
     std::printf("%-22s %10.3f %10.3f %10.3f   (Ultra 5, measured)\n",
                 "  paper reference", 0.846, 0.797, 0.712);
     linpack_collect = m.collect_s;
@@ -80,7 +125,8 @@ int main(int argc, char** argv) {
     std::printf("%-22s %10.4f %10.4f %10.4f %12llu %10llu\n", "bitonic (131072)",
                 m.collect_s, m.tx_100mbps, m.restore_s,
                 static_cast<unsigned long long>(m.bytes),
-                static_cast<unsigned long long>(m.collect.blocks_saved));
+                static_cast<unsigned long long>(
+                    m.collect.counter("msrm.collect.blocks_saved")));
     std::printf("%-22s %10.3f %10.3f %10.3f   (Ultra 5, measured)\n",
                 "  paper reference", 0.446, 0.269, 0.501);
     std::printf("\nshape checks (paper's Table 1 orderings):\n");
@@ -94,6 +140,34 @@ int main(int argc, char** argv) {
     report.add("bitonic.tx_seconds_100mbps", m.tx_100mbps, "seconds");
     report.add("bitonic.restore_seconds", m.restore_s, "seconds");
     report.add("bitonic.stream_bytes", static_cast<double>(m.bytes), "bytes");
+  }
+
+  // --- serial vs pipelined transfer, throttled 100 Mb/s link --------------
+  // The same large-heap linpack state moved end-to-end both ways over each
+  // duplex transport; the pipelined path overlaps Collect / Tx / Restore
+  // so its wall time must come in at or under the serial one.
+  {
+    const int n = args.smoke ? 200 : 800;
+    std::printf("\nserial vs pipelined transfer (linpack %dx%d, throttled 100 Mb/s):\n", n, n);
+    std::printf("%-10s %12s %12s %9s %9s\n", "Transport", "Serial s", "Pipelined s",
+                "Speedup", "Overlap");
+    const struct {
+      mig::Transport transport;
+      const char* name;
+    } kTransports[] = {{mig::Transport::Memory, "mem"}, {mig::Transport::Socket, "socket"}};
+    for (const auto& t : kTransports) {
+      const TransferRun serial = run_transfer(n, t.transport, /*pipeline=*/false);
+      const TransferRun piped = run_transfer(n, t.transport, /*pipeline=*/true);
+      const double speedup =
+          piped.wall_seconds > 0 ? serial.wall_seconds / piped.wall_seconds : 0;
+      std::printf("%-10s %12.4f %12.4f %8.2fx %8.1f%%\n", t.name, serial.wall_seconds,
+                  piped.wall_seconds, speedup, piped.overlap_ratio * 100);
+      const std::string prefix = std::string("pipeline.") + t.name;
+      report.add(prefix + ".serial_wall_seconds", serial.wall_seconds, "seconds");
+      report.add(prefix + ".pipelined_wall_seconds", piped.wall_seconds, "seconds");
+      report.add(prefix + ".speedup", speedup, "ratio");
+      report.add(prefix + ".overlap_ratio", piped.overlap_ratio, "ratio");
+    }
   }
 
   // Per-phase latency percentiles over all measured migrations, straight

@@ -1,12 +1,17 @@
 // Layer-2 microbenchmarks: canonical encode/decode throughput and
 // per-architecture machine-specific conversion — the Encode-and-copy /
-// Decode-and-copy term of the §4.2 model in isolation.
+// Decode-and-copy term of the §4.2 model in isolation — plus the bulk
+// fast path (one put_bytes/get_bytes memcpy of a pointer-free primitive
+// array, the same-architecture PNEW body) against the per-element
+// canonical loop it replaces.
 //
 // Writes BENCH_xdr.json (hpm-bench-v1; override with --json PATH). With
 // --smoke, skips google-benchmark and times one small encode/decode pass.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "emit.hpp"
 #include "xdr/value.hpp"
@@ -41,6 +46,35 @@ void BM_decode_doubles_canonical(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 8);
 }
 BENCHMARK(BM_decode_doubles_canonical)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_encode_doubles_bulk(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = i * 1.5;
+  for (auto _ : state) {
+    Encoder enc(n * 8);
+    enc.put_bytes(reinterpret_cast<const std::uint8_t*>(data.data()), n * 8);
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 8);
+}
+BENCHMARK(BM_encode_doubles_bulk)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_decode_doubles_bulk(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Encoder enc(n * 8);
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = i * 1.5;
+  enc.put_bytes(reinterpret_cast<const std::uint8_t*>(data.data()), n * 8);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    Decoder dec(enc.bytes());
+    dec.get_bytes(reinterpret_cast<std::uint8_t*>(out.data()), n * 8);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 8);
+}
+BENCHMARK(BM_decode_doubles_bulk)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_prim_roundtrip_per_arch(benchmark::State& state) {
   const ArchDescriptor& arch = arch_by_name(arch_names()[state.range(0)]);
@@ -91,6 +125,40 @@ void measured_pass(hpm::bench::BenchReport& report, std::size_t n) {
   report.add("stream.bytes", bytes, "bytes");
 }
 
+/// The bulk fast path against the canonical loop: the same n doubles,
+/// best-of-5 each way, and the resulting speedup row the acceptance gate
+/// reads. The bulk path is a single put_bytes — the exact body a
+/// same-architecture kBodyRaw PNEW carries.
+void measured_bulk_pass(hpm::bench::BenchReport& report, std::size_t n) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<double>(i) * 1.5;
+  double canonical_s = 1e9;
+  double bulk_s = 1e9;
+  for (int rep = 0; rep < 5; ++rep) {
+    {
+      const auto t0 = Clock::now();
+      Encoder enc(n * 8);
+      for (double d : data) enc.put_f64(d);
+      benchmark::DoNotOptimize(enc.bytes().data());
+      canonical_s = std::min(canonical_s,
+                             std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    {
+      const auto t0 = Clock::now();
+      Encoder enc(n * 8);
+      enc.put_bytes(reinterpret_cast<const std::uint8_t*>(data.data()), n * 8);
+      benchmark::DoNotOptimize(enc.bytes().data());
+      bulk_s = std::min(bulk_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+  }
+  const double bytes = static_cast<double>(n) * 8;
+  report.add("encode.doubles.bulk_bytes_per_second", bytes / bulk_s, "bytes/second");
+  report.add("encode.doubles.bulk_speedup", canonical_s / bulk_s, "ratio");
+  std::printf("bulk encode fast path: %.2fx over canonical (%zu doubles)\n",
+              canonical_s / bulk_s, n);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +174,7 @@ int main(int argc, char** argv) {
   // Both modes take the measured pass, so the JSON always carries real
   // throughput rows plus the xdr.encode/decode stream counters.
   measured_pass(report, args.smoke ? (1u << 12) : (1u << 20));
+  measured_bulk_pass(report, args.smoke ? (1u << 14) : (1u << 20));
   report.add_percentiles("xdr.encode.stream_bytes");
   return report.write(json_path) ? 0 : 1;
 }

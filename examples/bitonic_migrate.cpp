@@ -31,8 +31,10 @@ int main(int argc, char** argv) {
   std::printf("bitonic sort of %u numbers: migrated=%s\n", 1u << log2_leaves,
               report.migrated ? "yes" : "no");
   std::printf("  MSR nodes moved : %llu blocks (+%llu shared refs), %llu bytes\n",
-              static_cast<unsigned long long>(report.collect.blocks_saved),
-              static_cast<unsigned long long>(report.collect.refs_saved),
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.blocks_saved")),
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.refs_saved")),
               static_cast<unsigned long long>(report.stream_bytes));
   std::printf("  collect/tx/restore: %.4f / %.4f / %.4f s\n", report.collect_seconds,
               report.tx_seconds, report.restore_seconds);

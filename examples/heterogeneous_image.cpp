@@ -31,18 +31,21 @@ int main(int argc, char** argv) {
   root = all[0];
   const std::uint64_t fp_before = apps::graph_fingerprint(root);
 
+  const obs::MetricsSnapshot before_collect = obs::Registry::process().snapshot();
   xdr::Encoder enc;
   msrm::Collector collect_host(src.space(), enc);
   collect_host.save_variable(reinterpret_cast<msr::Address>(&root));
   const Bytes stream1 = enc.take();
+  const obs::MetricsSnapshot host_collect =
+      obs::Registry::process().snapshot().delta_since(before_collect);
   std::printf("host -> wire : %zu bytes, %llu blocks, %llu shared refs\n", stream1.size(),
-              static_cast<unsigned long long>(collect_host.stats().blocks_saved),
-              static_cast<unsigned long long>(collect_host.stats().refs_saved));
+              static_cast<unsigned long long>(host_collect.counter("msrm.collect.blocks_saved")),
+              static_cast<unsigned long long>(host_collect.counter("msrm.collect.refs_saved")));
 
   // --- restore into the SPARC 20 image (big-endian, ILP32) ----------------
   memimg::ImageSpace sparc(table, xdr::sparc20_solaris());
   xdr::Decoder dec1(stream1);
-  msrm::Restorer into_sparc(sparc, dec1);
+  msrm::Restorer into_sparc(sparc, dec1, xdr::native_arch());
   into_sparc.set_auto_bind(true);
   const msr::Address sparc_root_var = into_sparc.restore_variable();
   std::printf("wire -> sparc: image holds %llu bytes under %s layout\n",
@@ -73,7 +76,7 @@ int main(int argc, char** argv) {
   // --- restore to a second native host -------------------------------------
   msr::HostSpace host2(table);
   xdr::Decoder dec2(stream2);
-  msrm::Restorer into_host(host2, dec2);
+  msrm::Restorer into_host(host2, dec2, xdr::sparc20_solaris());
   into_host.set_auto_bind(true);
   const msr::Address root_var2 = into_host.restore_variable();
   const msr::MemoryBlock* rv2 = host2.msrlt().find_id(root_var2);

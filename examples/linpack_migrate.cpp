@@ -1,12 +1,14 @@
 // linpack_migrate: the paper's computation-intensive workload, migrated
 // mid-factorization over a chosen transport.
 //
-//   $ ./examples/linpack_migrate [n] [migrate_at_poll] [mem|socket|file] \
-//       [--trace <out.json>]
+//   $ ./examples/linpack_migrate [n] [migrate_at_poll] [mem|socket|file]
+//       ... [--pipeline] [--trace <out.json>]
 //
 // Solves Ax = b for an n x n system; a migration request lands while
 // dgefa is eliminating columns, the process moves, and the destination
 // finishes the solve and verifies the residual of the migrated solution.
+// With --pipeline, the transfer is chunked and Collect / Tx / Restore
+// overlap (DESIGN.md §10); the report then shows the achieved overlap.
 // With --trace, the run's spans (mig.run > mig.collect / mig.tx, and
 // mig.restore on the destination thread) are exported as Chrome
 // trace_event JSON — load the file in chrome://tracing or ui.perfetto.dev.
@@ -25,8 +27,10 @@ int main(int argc, char** argv) {
   if (argc > 3 && std::strcmp(argv[3], "socket") == 0) transport = hpm::mig::Transport::Socket;
   if (argc > 3 && std::strcmp(argv[3], "file") == 0) transport = hpm::mig::Transport::File;
   const char* trace_path = nullptr;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  bool pipeline = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--pipeline") == 0) pipeline = true;
   }
 
   hpm::apps::LinpackResult result;
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   options.migrate_at_poll = at_poll;
   options.transport = transport;
   options.spool_path = "/tmp/hpm_linpack_spool.bin";
+  options.pipeline = pipeline;
 
   const hpm::mig::MigrationReport report = hpm::mig::run_migration(options);
 
@@ -46,9 +51,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(options.migrate_at_poll));
   std::printf("  live data     : %llu bytes in %llu blocks\n",
               static_cast<unsigned long long>(report.stream_bytes),
-              static_cast<unsigned long long>(report.collect.blocks_saved));
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.blocks_saved")));
   std::printf("  collect/tx/restore: %.4f / %.4f / %.4f s (Tx on 100 Mb/s model)\n",
               report.collect_seconds, report.tx_seconds, report.restore_seconds);
+  if (pipeline) {
+    std::printf("  pipeline      : %llu chunks, overlap_ratio=%.2f\n",
+                static_cast<unsigned long long>(
+                    report.metrics.counter("mig.pipeline.chunks")),
+                report.overlap_ratio);
+  }
   std::printf("  solution      : residual=%.3e normalized=%.3f -> %s\n", result.residual,
               result.normalized, result.ok() ? "PASS" : "FAIL");
   if (trace_path != nullptr) {

@@ -88,8 +88,10 @@ int main() {
   std::printf("migrated:   %s\n", report.migrated ? "yes" : "no");
   std::printf("stream:     %llu bytes, %llu blocks, %llu shared refs\n",
               static_cast<unsigned long long>(report.stream_bytes),
-              static_cast<unsigned long long>(report.collect.blocks_saved),
-              static_cast<unsigned long long>(report.collect.refs_saved));
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.blocks_saved")),
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.refs_saved")));
   std::printf("collect:    %.6f s\n", report.collect_seconds);
   std::printf("tx (model): %.6f s on 100 Mb/s Ethernet\n", report.tx_seconds);
   std::printf("restore:    %.6f s\n", report.restore_seconds);

@@ -24,8 +24,10 @@ int main() {
 
   std::printf("test_pointer: migrated=%s, %llu blocks / %llu refs / %llu bytes\n",
               report.migrated ? "yes" : "no",
-              static_cast<unsigned long long>(report.collect.blocks_saved),
-              static_cast<unsigned long long>(report.collect.refs_saved),
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.blocks_saved")),
+              static_cast<unsigned long long>(
+                  report.metrics.counter("msrm.collect.refs_saved")),
               static_cast<unsigned long long>(report.stream_bytes));
   std::printf("  tree=%d scalar=%d array=%d ptr_array=%d dag=%d cycle=%d interior=%d\n",
               result.tree_ok, result.scalar_ptr_ok, result.array_ptr_ok,

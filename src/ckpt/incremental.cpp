@@ -195,7 +195,9 @@ class Synthesizer {
     enc_.put_u32(image.type);
     enc_.put_u32(image.count);
     if (!chain_.table.contains_pointer(image.type)) {
-      // Pointer-free: the flat content IS the standard body, verbatim.
+      // Pointer-free (= bulk-eligible on the wire): the flat content IS
+      // the canonical body, verbatim, behind the v2 flat-body tag.
+      enc_.put_u8(msrm::kBodyCanonical);
       enc_.put_bytes(image.content.data(), image.content.size());
       return;
     }

@@ -39,6 +39,19 @@ class ImageSpace final : public msr::MemorySpace {
   msr::Address read_pointer(msr::Address addr) const override;
   void write_pointer(msr::Address addr, msr::Address value) override;
 
+  /// Arena bytes ARE the foreign machine's raw storage; bounds-checked,
+  /// declining (nullptr) rather than throwing on a bad range. The
+  /// returned pointer is invalidated by the next allocate() — bulk
+  /// copies must take it immediately before the memcpy.
+  const std::uint8_t* raw_view(msr::Address addr, std::uint64_t len) const noexcept override {
+    if (addr < kBase || addr - kBase + len > arena_.size()) return nullptr;
+    return arena_.data() + (addr - kBase);
+  }
+  std::uint8_t* raw_mut(msr::Address addr, std::uint64_t len) noexcept override {
+    if (addr < kBase || addr - kBase + len > arena_.size()) return nullptr;
+    return arena_.data() + (addr - kBase);
+  }
+
   /// Bump allocation from the arena. Throws hpm::ConversionError when the
   /// image outgrows the architecture's pointer width (a real ILP32
   /// machine would be out of address space too).

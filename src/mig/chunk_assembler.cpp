@@ -1,0 +1,76 @@
+#include "mig/chunk_assembler.hpp"
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace hpm::mig {
+
+void ChunkAssembler::fail_locked(std::string reason) {
+  if (!failed_) {
+    failed_ = true;
+    reason_ = std::move(reason);
+  }
+  cv_.notify_all();
+}
+
+void ChunkAssembler::append(std::uint32_t seq, std::span<const std::uint8_t> bytes) {
+  std::lock_guard lk(mu_);
+  if (failed_ || complete_) return;  // late chunks after a failure are drained, not kept
+  if (seq != chunks_) {
+    fail_locked("chunk sequence gap: expected " + std::to_string(chunks_) + ", got " +
+                std::to_string(seq));
+    throw NetError(reason_);
+  }
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  ++chunks_;
+  cv_.notify_all();
+}
+
+void ChunkAssembler::finish(const net::StateEndInfo& info) {
+  std::lock_guard lk(mu_);
+  if (failed_ || complete_) return;
+  if (info.chunk_count != chunks_) {
+    fail_locked("stream ended after " + std::to_string(chunks_) + " chunks, sender reports " +
+                std::to_string(info.chunk_count));
+    return;
+  }
+  if (info.total_bytes != data_.size()) {
+    fail_locked("stream ended with " + std::to_string(data_.size()) +
+                " bytes, sender reports " + std::to_string(info.total_bytes));
+    return;
+  }
+  if (info.total_crc != Crc32::of(data_.data(), data_.size())) {
+    fail_locked("reassembled stream CRC mismatch");
+    return;
+  }
+  complete_ = true;
+  cv_.notify_all();
+}
+
+void ChunkAssembler::fail(std::string reason) {
+  std::lock_guard lk(mu_);
+  fail_locked(std::move(reason));
+}
+
+bool ChunkAssembler::fetch(Bytes& out, std::size_t min_total) {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return data_.size() >= min_total || complete_ || failed_; });
+  if (failed_) throw NetError("chunked transfer failed: " + reason_);
+  if (data_.size() <= out.size()) return false;  // complete and exhausted
+  out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(out.size()), data_.end());
+  return true;
+}
+
+std::uint64_t ChunkAssembler::await_complete() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return complete_ || failed_; });
+  if (failed_) throw NetError("chunked transfer failed: " + reason_);
+  return data_.size();
+}
+
+std::uint32_t ChunkAssembler::chunks_received() const {
+  std::lock_guard lk(mu_);
+  return chunks_;
+}
+
+}  // namespace hpm::mig

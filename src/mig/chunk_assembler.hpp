@@ -1,0 +1,71 @@
+// ChunkAssembler: destination-side reassembly for the pipelined transfer.
+//
+// The coordinator's rx thread appends StateChunk payloads as they arrive;
+// the restoring thread pulls newly available bytes into its own buffer
+// (the decoder's backing store) through fetch(). The two sides never
+// share a mutable buffer: the producer writes only the assembler's
+// internal vector, the consumer copies out of it under the lock — so the
+// design is clean under TSan by construction, not by annotation.
+//
+// Any producer-side failure (frame CRC mismatch, sequence gap, totals
+// that disagree with StateEnd) poisons the assembler; the consumer's
+// next fetch() rethrows it as a NetError, which the coordinator turns
+// into a Nack — one retryable failure, never a hang.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "common/hexdump.hpp"
+#include "net/message.hpp"
+
+namespace hpm::mig {
+
+class ChunkAssembler {
+ public:
+  /// --- producer side (rx thread) -----------------------------------------
+
+  /// Append one chunk's bytes. Chunks must arrive in sequence order
+  /// (the channel is ordered; a gap means a dropped frame). A sequence
+  /// mismatch poisons the assembler and throws.
+  void append(std::uint32_t seq, std::span<const std::uint8_t> bytes);
+
+  /// Orderly end of stream: verifies the chunk count, byte total, and
+  /// whole-stream CRC-32 against what actually arrived. A mismatch
+  /// poisons the assembler instead of completing it.
+  void finish(const net::StateEndInfo& info);
+
+  /// Poison the assembler: every waiting or future consumer call throws
+  /// NetError(reason).
+  void fail(std::string reason);
+
+  /// --- consumer side (restore thread) ------------------------------------
+
+  /// Append to `out` (which must hold a prefix of the stream) every byte
+  /// beyond out.size(), blocking until at least `min_total` bytes exist
+  /// or the stream completes. Returns true if `out` grew, false when the
+  /// stream is complete and exhausted. Throws hpm::NetError if poisoned.
+  bool fetch(Bytes& out, std::size_t min_total);
+
+  /// Block until finish() or fail(); returns the total byte count on
+  /// success, throws hpm::NetError on failure.
+  std::uint64_t await_complete();
+
+  [[nodiscard]] std::uint32_t chunks_received() const;
+
+ private:
+  void fail_locked(std::string reason);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Bytes data_;
+  std::uint32_t chunks_ = 0;
+  bool complete_ = false;
+  bool failed_ = false;
+  std::string reason_;
+};
+
+}  // namespace hpm::mig

@@ -3,7 +3,9 @@
 #include <cstring>
 #include <new>
 
+#include "mig/chunk_assembler.hpp"
 #include "msrm/stream.hpp"
+#include "xdr/arch.hpp"
 
 namespace hpm::mig {
 
@@ -154,9 +156,20 @@ ExecutionState MigContext::snapshot_execution_state() const {
   return state;
 }
 
+void MigContext::set_collect_sink(std::size_t chunk_bytes, xdr::Encoder::SinkFn sink) {
+  collect_chunk_ = chunk_bytes;
+  collect_sink_ = std::move(sink);
+}
+
 void MigContext::do_migration(std::uint32_t label) {
   obs::Span span("mig.collect");
-  xdr::Encoder enc(1 << 16);
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
+  // Pre-size from the MSRLT: the stream carries every reachable block's
+  // bytes plus bounded per-record framing, so this estimate makes encoder
+  // growth a non-event even for multi-megabyte heaps.
+  xdr::Encoder enc(space_.msrlt().tracked_bytes() +
+                   space_.msrlt().block_count() * 32 + 4096);
+  if (collect_sink_) enc.set_sink(collect_chunk_, collect_sink_);
   msrm::write_header(enc, {space_.arch().name, types_->signature()});
   // Ship the TI table so the destination can adopt shell types interned by
   // source code it will skip during restoration.
@@ -174,12 +187,13 @@ void MigContext::do_migration(std::uint32_t label) {
   for (const LocalVar& var : globals_) collector.save_variable(var.addr);
 
   msrm::finish_stream(enc);
+  enc.flush_sink();  // sub-chunk remainder (incl. the trailer) goes out too
   stream_ = enc.take();
   span.arg("stream_bytes", std::uint64_t{stream_.size()});
   metrics_.collect_seconds = span.finish();
   metrics_.stream_bytes = stream_.size();
   metrics_.tracked_blocks = space_.msrlt().block_count();
-  metrics_.collect = collector.stats();
+  metrics_.collect = obs::Registry::process().snapshot().delta_since(before);
   throw MigrationExit{label};
 }
 
@@ -188,9 +202,37 @@ void MigContext::begin_restore(Bytes stream) {
     throw MigrationError("begin_restore must be called before the program starts");
   }
   restore_span_ = std::make_unique<obs::Span>("mig.restore");
+  restore_before_ = obs::Registry::process().snapshot();
   restore_stream_ = std::move(stream);
   const auto payload = msrm::check_stream(restore_stream_);
   dec_.emplace(payload);
+  restore_from_decoder();
+}
+
+void MigContext::begin_restore_streaming(ChunkAssembler& assembler) {
+  if (!frames_.empty()) {
+    throw MigrationError("begin_restore must be called before the program starts");
+  }
+  assembler_ = &assembler;
+  restore_span_ = std::make_unique<obs::Span>("mig.restore");
+  restore_before_ = obs::Registry::process().snapshot();
+  restore_stream_.clear();
+  // The decoder starts empty and pulls bytes from the assembler on
+  // demand; restore_stream_ is consumer-owned, so the rebase after each
+  // fetch is single-threaded. End-to-end stream checks run at the
+  // migration point, once the whole stream has arrived.
+  dec_.emplace(std::span<const std::uint8_t>{});
+  dec_->set_refill([this](std::size_t min_total) {
+    if (!assembler_->fetch(restore_stream_, min_total)) return false;
+    dec_->rebase({restore_stream_.data(), restore_stream_.size()});
+    return true;
+  });
+  restore_from_decoder();
+}
+
+/// Shared restore prologue: header, type table, execution state, restorer,
+/// retroactive global binding. dec_ must be positioned at the stream head.
+void MigContext::restore_from_decoder() {
   const msrm::StreamHeader header = msrm::read_header(*dec_);
   // The signature is checked at the migration point (finish_restore), not
   // here: the program interns pointer/array shell types while it runs, so
@@ -206,7 +248,8 @@ void MigContext::begin_restore(Bytes stream) {
   }
   exec_ = ExecutionState::decode(*dec_);
   if (exec_.frames.empty()) throw MigrationError("stream carries no frames");
-  restorer_ = std::make_unique<msrm::Restorer>(space_, *dec_);
+  restorer_ = std::make_unique<msrm::Restorer>(space_, *dec_,
+                                               xdr::arch_by_name(header.source_arch));
   mode_ = Mode::Restoring;
   restore_depth_ = 0;
   globals_bound_ = 0;
@@ -264,7 +307,21 @@ void MigContext::finish_restore(Frame& frame, std::uint32_t label) {
                            "' restored into the wrong block");
     }
   }
-  if (!dec_->at_end()) {
+  if (assembler_ != nullptr) {
+    // Chunked stream: wait for the orderly end (the assembler has already
+    // verified chunk count, byte total, and whole-stream CRC), pull every
+    // remaining byte, then run the serial path's trailer check over the
+    // complete stream. Exactly the 5-byte trailer may remain undecoded.
+    const std::uint64_t total = assembler_->await_complete();
+    while (restore_stream_.size() < total && assembler_->fetch(restore_stream_, total)) {
+    }
+    dec_->rebase({restore_stream_.data(), restore_stream_.size()});
+    msrm::check_stream(restore_stream_);
+    if (dec_->remaining() != 5) {
+      throw MigrationError("migration stream has " + std::to_string(dec_->remaining()) +
+                           " bytes after the last record (expected the 5-byte trailer)");
+    }
+  } else if (!dec_->at_end()) {
     throw MigrationError("migration stream has " + std::to_string(dec_->remaining()) +
                          " undecoded bytes after restoration");
   }
@@ -278,13 +335,14 @@ void MigContext::finish_restore(Frame& frame, std::uint32_t label) {
   restore_span_->arg("stream_bytes", std::uint64_t{restore_stream_.size()});
   metrics_.restore_seconds = restore_span_->finish();
   restore_span_.reset();
-  metrics_.restore = restorer_->stats();
+  metrics_.restore = obs::Registry::process().snapshot().delta_since(restore_before_);
   metrics_.stream_bytes = restore_stream_.size();
 
   mode_ = Mode::Normal;
   restorer_.reset();
   dec_.reset();
   restore_stream_.clear();
+  assembler_ = nullptr;
   for (Frame* f : frames_) f->restore_from = nullptr;
   if (stop_after_restore_) throw MigrationExit{label};
 }

@@ -25,10 +25,13 @@
 #include "msr/host_space.hpp"
 #include "msrm/collect.hpp"
 #include "msrm/restore.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "ti/describe.hpp"
 
 namespace hpm::mig {
+
+class ChunkAssembler;
 
 /// Thrown by a poll-point after collection succeeds; unwinds the source
 /// program so the process can "terminate" (paper §2). Deliberately not
@@ -48,14 +51,19 @@ struct MigrationMetrics {
   double restore_seconds = 0;
   std::uint64_t stream_bytes = 0;
   /// Tracked blocks at the migration point; blocks NOT reachable from any
-  /// live variable (tracked_blocks - collect.blocks_saved) stay behind —
-  /// the pre-compiler's live-variable analysis made manifest.
+  /// live variable (tracked_blocks - blocks saved) stay behind — the
+  /// pre-compiler's live-variable analysis made manifest.
   std::uint64_t tracked_blocks = 0;
-  msrm::Collector::Stats collect;
-  msrm::Restorer::Stats restore;
+  /// Registry deltas across the two phases, so every `msrm.collect.*` /
+  /// `msrm.restore.*` instrument of this migration is one lookup away
+  /// (e.g. collect.counter("msrm.collect.blocks_saved")). Instruments are
+  /// process-wide: a phase overlapping other registry activity (the
+  /// pipelined transfer) sees that activity under its other names too.
+  obs::MetricsSnapshot collect;
+  obs::MetricsSnapshot restore;
 
-  [[nodiscard]] std::uint64_t dead_blocks() const noexcept {
-    return tracked_blocks - collect.blocks_saved;
+  [[nodiscard]] std::uint64_t dead_blocks() const {
+    return tracked_blocks - collect.counter("msrm.collect.blocks_saved");
   }
 };
 
@@ -154,10 +162,22 @@ class MigContext {
   /// Stream produced by the last collection (valid after MigrationExit).
   [[nodiscard]] const Bytes& stream() const noexcept { return stream_; }
 
+  /// Pipelined collection: stream the encoded state through `sink` in
+  /// `chunk_bytes` slices while the collection DFS is still walking the
+  /// graph. Install before the program starts. The full stream is still
+  /// retained (stream()) so a failed transfer can be retried serially.
+  void set_collect_sink(std::size_t chunk_bytes, xdr::Encoder::SinkFn sink);
+
   /// --- restoration --------------------------------------------------------
   /// Parse and validate a migration stream; the caller then re-runs the
   /// program entry, which restores and continues to completion.
   void begin_restore(Bytes stream);
+
+  /// Streaming variant: decode the stream incrementally as chunks land in
+  /// `assembler` (which must outlive restoration). Blocks whenever the
+  /// decoder outruns the network. End-to-end checks (trailer CRC, byte
+  /// totals) run once the stream completes, at the migration poll-point.
+  void begin_restore_streaming(ChunkAssembler& assembler);
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
   [[nodiscard]] bool restoring() const noexcept { return mode_ == Mode::Restoring; }
@@ -175,6 +195,7 @@ class MigContext {
   void add_local(Frame& frame, const char* name, void* addr, ti::TypeId type,
                  std::uint32_t count);
   void do_migration(std::uint32_t label);
+  void restore_from_decoder();
   void finish_restore(Frame& frame, std::uint32_t label);
   void bind_saved(const SavedVar& saved, const LocalVar& dest);
 
@@ -193,8 +214,12 @@ class MigContext {
 
   Mode mode_ = Mode::Normal;
   Bytes stream_;
+  std::size_t collect_chunk_ = 0;
+  xdr::Encoder::SinkFn collect_sink_;
 
   // Restore-side state.
+  ChunkAssembler* assembler_ = nullptr;  ///< non-null while restoring a chunked stream
+  obs::MetricsSnapshot restore_before_;
   Bytes restore_stream_;
   std::optional<xdr::Decoder> dec_;
   std::unique_ptr<msrm::Restorer> restorer_;

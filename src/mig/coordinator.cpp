@@ -4,10 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 
+#include "common/crc32.hpp"
+#include "mig/chunk_assembler.hpp"
 #include "net/message.hpp"
 #include "obs/span.hpp"
 
@@ -53,6 +59,129 @@ std::string exception_text(const std::exception_ptr& error) {
   }
 }
 
+void expect_hello(const net::Message& hello) {
+  if (hello.type != net::MsgType::Hello) {
+    throw MigrationError("source expected a Hello message");
+  }
+  if (hello.payload.empty() || hello.payload[0] != net::kProtocolVersion) {
+    throw MigrationError("protocol version mismatch: destination speaks v" +
+                         std::to_string(hello.payload.empty() ? 0 : hello.payload[0]) +
+                         ", source speaks v" + std::to_string(net::kProtocolVersion));
+  }
+}
+
+/// Run the destination program to completion after begin_restore*(). A
+/// MigrationExit here is the stop_after_restore unwind: restoration
+/// completed and the metrics are recorded; skipping the tail is the point.
+void run_destination_program(const RunOptions& options, MigContext& ctx,
+                             MigrationReport& report) {
+  try {
+    options.program(ctx);
+  } catch (const MigrationExit&) {
+  }
+  report.restore_seconds = ctx.metrics().restore_seconds;
+}
+
+/// `mig.coordinator.*` counters for the retry machinery.
+struct CoordinatorMetrics {
+  obs::Counter& attempts = obs::Registry::process().counter("mig.coordinator.attempts");
+  obs::Counter& retries = obs::Registry::process().counter("mig.coordinator.retries");
+  obs::Counter& aborts = obs::Registry::process().counter("mig.coordinator.aborts");
+
+  static CoordinatorMetrics& get() {
+    static CoordinatorMetrics m;
+    return m;
+  }
+};
+
+/// `mig.pipeline.*` instruments for the chunked transfer.
+struct PipelineMetrics {
+  obs::Counter& chunks = obs::Registry::process().counter("mig.pipeline.chunks");
+  obs::Histogram& chunk_bytes =
+      obs::Registry::process().histogram("mig.pipeline.chunk_bytes", obs::Unit::Bytes);
+  obs::Gauge& queue_depth = obs::Registry::process().gauge("mig.pipeline.queue_depth");
+  obs::Histogram& overlap =
+      obs::Registry::process().histogram("mig.pipeline.overlap_ratio", obs::Unit::None);
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics m;
+    return m;
+  }
+};
+
+/// Bounded handoff between the collecting thread (producer) and the
+/// sender thread. Back-pressure by design: push() blocks while the queue
+/// is full, so a slow link throttles collection instead of buffering the
+/// heap twice. poison() (sender died, or teardown) turns pushes into
+/// drops so collection can finish and unwind normally.
+class ChunkQueue {
+ public:
+  explicit ChunkQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(Bytes chunk) {
+    std::unique_lock lk(mu_);
+    can_push_.wait(lk, [&] { return q_.size() < capacity_ || poisoned_; });
+    if (poisoned_) return;
+    q_.push_back(std::move(chunk));
+    ++pushed_;
+    PipelineMetrics::get().queue_depth.set(static_cast<std::int64_t>(q_.size()));
+    can_pop_.notify_one();
+  }
+
+  /// False once the queue is closed and drained.
+  bool pop(Bytes& out) {
+    std::unique_lock lk(mu_);
+    can_pop_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    PipelineMetrics::get().queue_depth.set(static_cast<std::int64_t>(q_.size()));
+    can_push_.notify_one();
+    return true;
+  }
+
+  /// Close the producer side; `end` (if set) tells the sender to finish
+  /// with a StateEnd frame after draining. First close wins.
+  void close(std::optional<net::StateEndInfo> end) {
+    std::lock_guard lk(mu_);
+    if (closed_) return;
+    end_ = end;
+    closed_ = true;
+    can_pop_.notify_all();
+  }
+
+  void poison() {
+    std::lock_guard lk(mu_);
+    poisoned_ = true;
+    can_push_.notify_all();
+  }
+
+  [[nodiscard]] std::uint32_t pushed() const {
+    std::lock_guard lk(mu_);
+    return pushed_;
+  }
+
+  [[nodiscard]] std::optional<net::StateEndInfo> end_info() const {
+    std::lock_guard lk(mu_);
+    return end_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<Bytes> q_;
+  std::size_t capacity_;
+  std::uint32_t pushed_ = 0;
+  bool closed_ = false;
+  bool poisoned_ = false;
+  std::optional<net::StateEndInfo> end_;
+};
+
+/// Queue bound: deep enough to ride out send jitter, small enough that a
+/// stalled link stops collection after ~capacity chunks of lookahead.
+constexpr std::size_t kChunkQueueCapacity = 8;
+
 /// One transfer attempt: bring up a destination, move the buffered stream,
 /// wait for the verdict. Returns true on success; on a recoverable failure
 /// returns false with `cause` set. Unrecoverable source-side failures
@@ -90,14 +219,13 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
         net::send_message(*channels.destination, net::MsgType::Hello,
                           hello_payload(ctx.space().arch().name));
       }
+      ctx.set_stop_after_restore(options.stop_after_restore);
       net::Message msg = net::recv_message(*channels.destination);
       if (msg.type != net::MsgType::State) {
         throw MigrationError("destination expected a State message");
       }
       ctx.begin_restore(std::move(msg.payload));
-      options.program(ctx);  // restores at the migration point, then finishes
-      report.restore_seconds = ctx.metrics().restore_seconds;
-      report.restore = ctx.metrics().restore;
+      run_destination_program(options, ctx, report);
       if (duplex) net::send_message(*channels.destination, net::MsgType::Ack, {});
     } catch (const NetError& e) {
       // Frame never arrived intact (CRC mismatch, truncation, timeout,
@@ -130,18 +258,7 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
   std::exception_ptr source_error;
   double measured_tx = 0;
   try {
-    if (duplex) {
-      const net::Message hello = net::recv_message(*channels.source);
-      if (hello.type != net::MsgType::Hello) {
-        throw MigrationError("source expected a Hello message");
-      }
-      if (hello.payload.empty() || hello.payload[0] != net::kProtocolVersion) {
-        throw MigrationError(
-            "protocol version mismatch: destination speaks v" +
-            std::to_string(hello.payload.empty() ? 0 : hello.payload[0]) +
-            ", source speaks v" + std::to_string(net::kProtocolVersion));
-      }
-    }
+    if (duplex) expect_hello(net::recv_message(*channels.source));
     {
       obs::Span tx_span("mig.tx");
       tx_span.arg("stream_bytes", std::uint64_t{stream.size()});
@@ -215,17 +332,296 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
   return false;
 }
 
-/// `mig.coordinator.*` counters for the retry machinery.
-struct CoordinatorMetrics {
-  obs::Counter& attempts = obs::Registry::process().counter("mig.coordinator.attempts");
-  obs::Counter& retries = obs::Registry::process().counter("mig.coordinator.retries");
-  obs::Counter& aborts = obs::Registry::process().counter("mig.coordinator.aborts");
-
-  static CoordinatorMetrics& get() {
-    static CoordinatorMetrics m;
-    return m;
-  }
+/// Outcome of the single pipelined attempt (always attempt 1).
+enum class PipelineOutcome : std::uint8_t {
+  CompletedLocally,  ///< program finished without migrating
+  Migrated,          ///< chunked transfer restored and acknowledged
+  Failed,            ///< retryable; the collected stream is retained for serial retries
 };
+
+/// The pipelined first attempt: destination up BEFORE the program runs,
+/// collection streaming chunks through a bounded queue while the DFS is
+/// still walking the graph, the destination decoding each prefix as it
+/// lands. On success the three phases overlap in wall-clock time; on any
+/// retryable failure the retained stream falls back to the serial path.
+PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& report,
+                                  Bytes& stream,
+                                  const std::shared_ptr<net::FaultState>& fault_state,
+                                  std::chrono::milliseconds timeout, std::string& cause) {
+  CoordinatorMetrics::get().attempts.add(1);
+  report.attempts = 1;
+
+  // The destination's first recv spans the program's whole pre-trigger
+  // phase, so the per-IO deadline is armed only once the transfer begins.
+  net::ChannelPair channels = net::make_channel_pair(
+      options.transport, {.spool_path = options.spool_path, .timeout = {}});
+  if (options.fault_plan.enabled()) {
+    channels.source = std::make_unique<net::FaultyChannel>(std::move(channels.source),
+                                                           options.fault_plan, fault_state);
+  }
+  if (options.throttle) {
+    channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
+                                                              options.link);
+  }
+  if (timeout.count() > 0) channels.source->set_timeout(timeout);
+
+  // --- destination host: announces itself, dispatches on the first
+  // message (Shutdown = no migration; StateBegin = chunked stream). An rx
+  // thread feeds the assembler while this thread restores and re-executes.
+  std::exception_ptr dest_error;
+  std::thread destination([&] {
+    try {
+      ti::TypeTable types;
+      options.register_types(types);
+      MigContext ctx(types, options.search);
+      ctx.set_stop_after_restore(options.stop_after_restore);
+      net::send_message(*channels.destination, net::MsgType::Hello,
+                        hello_payload(ctx.space().arch().name));
+      net::Message first = net::recv_message(*channels.destination);
+      if (timeout.count() > 0) channels.destination->set_timeout(timeout);
+      if (first.type == net::MsgType::Shutdown) return;
+      if (first.type != net::MsgType::StateBegin) {
+        throw MigrationError("destination expected StateBegin or Shutdown");
+      }
+      (void)net::decode_state_begin(first.payload);  // validates the frame
+      ChunkAssembler assembler;
+      std::thread rx([&] {
+        try {
+          for (;;) {
+            net::Message msg = net::recv_message(*channels.destination);
+            if (msg.type == net::MsgType::StateChunk) {
+              const std::uint32_t seq = net::decode_state_chunk_seq(msg.payload);
+              assembler.append(seq,
+                               std::span<const std::uint8_t>(msg.payload).subspan(4));
+            } else if (msg.type == net::MsgType::StateEnd) {
+              assembler.finish(net::decode_state_end(msg.payload));
+              return;
+            } else {
+              assembler.fail("unexpected message mid-transfer");
+              return;
+            }
+          }
+        } catch (const std::exception& e) {
+          assembler.fail(e.what());
+        }
+      });
+      try {
+        ctx.begin_restore_streaming(assembler);
+        run_destination_program(options, ctx, report);
+      } catch (...) {
+        // rx drains until StateEnd or a channel failure, both of which the
+        // source guarantees on every path — never an orphan thread.
+        rx.join();
+        throw;
+      }
+      rx.join();
+      net::send_message(*channels.destination, net::MsgType::Ack, {});
+    } catch (const NetError& e) {
+      dest_error = std::current_exception();
+      try {
+        const std::string text = e.what();
+        net::send_message(*channels.destination, net::MsgType::Nack,
+                          Bytes(text.begin(), text.end()));
+      } catch (...) {
+      }
+      // Unblock a source mid-send (the serial path has no concurrent
+      // sender to worry about; this one does).
+      try {
+        channels.destination->abort();
+      } catch (...) {
+      }
+    } catch (...) {
+      dest_error = std::current_exception();
+      try {
+        const std::string text = exception_text(dest_error);
+        net::send_message(*channels.destination, net::MsgType::Error,
+                          Bytes(text.begin(), text.end()));
+      } catch (...) {
+      }
+      try {
+        channels.destination->abort();
+      } catch (...) {
+      }
+    }
+  });
+
+  // --- source host: run the program with a chunk sink; a sender thread
+  // drains the queue onto the wire while collection continues.
+  ChunkQueue queue(kChunkQueueCapacity);
+  std::exception_ptr sender_error;
+  std::thread sender;
+  auto join_sender = [&] {
+    if (sender.joinable()) sender.join();
+  };
+
+  std::exception_ptr source_error;
+  /// Set when options.program itself throws (anything but MigrationExit):
+  /// a workload failure is the caller's to see, never a retryable
+  /// transport fault — rethrown after teardown, matching the serial path.
+  std::exception_ptr program_error;
+  double measured_tx = 0;
+  bool collected = false;
+  Clock::time_point pipeline_start{};
+  try {
+    expect_hello(net::recv_message(*channels.source));
+
+    sender = std::thread([&] {
+      try {
+        PipelineMetrics& pm = PipelineMetrics::get();
+        std::unique_ptr<obs::Span> tx_span;
+        Bytes chunk;
+        std::uint32_t seq = 0;
+        while (queue.pop(chunk)) {
+          if (tx_span == nullptr) {
+            tx_span = std::make_unique<obs::Span>("mig.tx");
+            tx_span->arg("transport",
+                         std::string(net::transport_name(options.transport)));
+            net::send_message(*channels.source, net::MsgType::StateBegin,
+                              net::encode_state_begin(options.chunk_bytes));
+          }
+          net::send_message(*channels.source, net::MsgType::StateChunk,
+                            net::encode_state_chunk(seq++, chunk));
+          pm.chunks.add(1);
+          pm.chunk_bytes.record(static_cast<double>(chunk.size()));
+        }
+        if (const auto end = queue.end_info()) {
+          net::send_message(*channels.source, net::MsgType::StateEnd,
+                            net::encode_state_end(*end));
+          if (tx_span != nullptr) measured_tx = tx_span->finish();
+        }
+      } catch (...) {
+        sender_error = std::current_exception();
+        queue.poison();  // collection must never block on a dead sender
+      }
+    });
+
+    ti::TypeTable types;
+    options.register_types(types);
+    MigContext ctx(types, options.search);
+    ctx.set_migrate_at_poll(options.migrate_at_poll);
+    ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
+      if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
+      queue.push(Bytes(bytes.begin(), bytes.end()));
+    });
+
+    std::atomic<bool> program_done{false};
+    std::thread scheduler;
+    if (options.request_after_seconds > 0) {
+      scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
+        const auto deadline = Clock::now() + std::chrono::duration<double>(delay);
+        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!program_done.load(std::memory_order_relaxed)) ctx.request_migration();
+      });
+    }
+    auto join_scheduler = [&] {
+      program_done.store(true, std::memory_order_relaxed);
+      if (scheduler.joinable()) scheduler.join();
+    };
+    try {
+      try {
+        options.program(ctx);
+      } catch (const MigrationExit&) {
+        join_scheduler();
+        throw;
+      } catch (...) {
+        join_scheduler();
+        program_error = std::current_exception();
+        throw;
+      }
+      join_scheduler();
+    } catch (const MigrationExit&) {
+      collected = true;
+      stream = ctx.stream();  // retained for serial retries
+      report.stream_bytes = stream.size();
+      report.collect_seconds = ctx.metrics().collect_seconds;
+      report.source_arch = ctx.space().arch().name;
+    }
+    report.source_polls = ctx.poll_count();
+
+    if (!collected) {
+      queue.close(std::nullopt);
+      join_sender();
+      net::send_message(*channels.source, net::MsgType::Shutdown, {});
+    } else {
+      net::StateEndInfo end;
+      end.chunk_count = queue.pushed();
+      end.total_bytes = stream.size();
+      end.total_crc = Crc32::of(stream.data(), stream.size());
+      queue.close(end);
+      join_sender();
+      if (sender_error != nullptr) std::rethrow_exception(sender_error);
+      const net::Message verdict = net::recv_message(*channels.source);
+      const std::string text(verdict.payload.begin(), verdict.payload.end());
+      switch (verdict.type) {
+        case net::MsgType::Ack:
+          break;
+        case net::MsgType::Nack:
+          throw MigrationError("destination rejected the chunked stream (Nack): " + text);
+        case net::MsgType::Error:
+          throw MigrationError("destination restore failed: " + text);
+        default:
+          throw MigrationError("unexpected verdict message from destination");
+      }
+    }
+  } catch (...) {
+    source_error = std::current_exception();
+    queue.poison();
+    queue.close(std::nullopt);
+    join_sender();
+    try {
+      channels.source->abort();
+    } catch (...) {
+    }
+  }
+  const Clock::time_point pipeline_end = Clock::now();
+  destination.join();
+  try {
+    channels.source->close();
+  } catch (...) {
+  }
+  try {
+    channels.destination->close();
+  } catch (...) {
+  }
+
+  if (program_error != nullptr) std::rethrow_exception(program_error);
+
+  if (source_error == nullptr && dest_error == nullptr) {
+    if (!collected) return PipelineOutcome::CompletedLocally;
+    report.migrated = true;
+    report.tx_seconds = options.throttle
+                            ? measured_tx
+                            : options.link.transfer_seconds(stream.size());
+    // Overlap: wall-clock from the first chunk leaving collection to the
+    // acknowledged restore, vs. the sum of the three phase timings. Fully
+    // serial execution gives 0; perfect overlap approaches 1.
+    const double wall = std::chrono::duration<double>(pipeline_end - pipeline_start).count();
+    const double phases = report.collect_seconds + measured_tx + report.restore_seconds;
+    if (wall > 0 && phases > 0) {
+      report.overlap_ratio = std::clamp(1.0 - wall / phases, 0.0, 1.0);
+    }
+    PipelineMetrics::get().overlap.record(report.overlap_ratio);
+    return PipelineOutcome::Migrated;
+  }
+  if (!collected) {
+    // The workload already finished on the source; a torn-down teardown
+    // handshake doesn't change its fate.
+    return PipelineOutcome::CompletedLocally;
+  }
+  if (source_error != nullptr) {
+    try {
+      std::rethrow_exception(source_error);
+    } catch (const Error& e) {
+      cause = e.what();
+      return PipelineOutcome::Failed;
+    }
+    // Non-hpm exceptions escaped the protocol itself — not retryable.
+  }
+  cause = exception_text(dest_error);
+  return PipelineOutcome::Failed;
+}
 
 }  // namespace
 
@@ -248,13 +644,41 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
 
   MigrationReport report;
 
-  // --- phase 1, source host: run the program until it completes or the
-  // migration trigger fires and the state is collected. No channel exists
-  // yet — the destination is brought up per transfer attempt, so a dead
-  // or damaged link can never take the running workload down with it.
+  const double io_s = options.io_timeout_seconds > 0
+                          ? options.io_timeout_seconds
+                          : (options.fault_plan.enabled() ? kFaultInjectionDefaultTimeout : 0);
+  const auto timeout =
+      std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
+  auto fault_state = std::make_shared<net::FaultState>();
+
   Bytes stream;
   bool collected = false;
-  {
+  int first_serial_attempt = 1;
+
+  if (options.pipeline && options.transport != Transport::File) {
+    // --- pipelined path: collect/tx/restore overlapped in one attempt.
+    std::string cause;
+    switch (attempt_pipelined(options, report, stream, fault_state, timeout, cause)) {
+      case PipelineOutcome::CompletedLocally:
+        // Rendezvous happened but no transfer was ever started; the
+        // attempt counter follows the serial path's convention.
+        report.attempts = 0;
+        report.outcome = MigrationOutcome::CompletedLocally;
+        return report;
+      case PipelineOutcome::Migrated:
+        report.outcome = MigrationOutcome::Migrated;
+        return report;
+      case PipelineOutcome::Failed:
+        report.failure_causes.push_back("attempt 1: " + cause);
+        collected = true;
+        first_serial_attempt = 2;  // the retained stream replays serially
+        break;
+    }
+  } else {
+    // --- phase 1, source host: run the program until it completes or the
+    // migration trigger fires and the state is collected. No channel exists
+    // yet — the destination is brought up per transfer attempt, so a dead
+    // or damaged link can never take the running workload down with it.
     ti::TypeTable types;
     options.register_types(types);
     MigContext ctx(types, options.search);
@@ -292,7 +716,6 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
       stream = ctx.stream();  // buffered for replay across attempts
       report.stream_bytes = stream.size();
       report.collect_seconds = ctx.metrics().collect_seconds;
-      report.collect = ctx.metrics().collect;
       report.source_arch = ctx.space().arch().name;
     }
     report.source_polls = ctx.poll_count();
@@ -304,16 +727,10 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
     return report;
   }
 
-  // --- phase 2: transfer attempts with capped exponential backoff.
-  const double io_s = options.io_timeout_seconds > 0
-                          ? options.io_timeout_seconds
-                          : (options.fault_plan.enabled() ? kFaultInjectionDefaultTimeout : 0);
-  const auto timeout =
-      std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
-  auto fault_state = std::make_shared<net::FaultState>();
+  // --- phase 2: serial transfer attempts with capped exponential backoff.
   const int total_attempts = 1 + std::max(0, options.max_retries);
   double backoff = options.retry_backoff_seconds;
-  for (int attempt = 1; attempt <= total_attempts; ++attempt) {
+  for (int attempt = first_serial_attempt; attempt <= total_attempts; ++attempt) {
     if (attempt > 1 && backoff > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff = std::min(backoff * 2, options.retry_backoff_cap_seconds);
@@ -348,10 +765,9 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
   ti::TypeTable types;
   options.register_types(types);
   MigContext ctx(types, options.search);
+  ctx.set_stop_after_restore(options.stop_after_restore);
   ctx.begin_restore(std::move(stream));
-  options.program(ctx);
-  report.restore_seconds = ctx.metrics().restore_seconds;
-  report.restore = ctx.metrics().restore;
+  run_destination_program(options, ctx, report);
   return report;
 }
 

@@ -61,6 +61,24 @@ struct RunOptions {
 
   msr::SearchStrategy search = msr::SearchStrategy::OrderedMap;
 
+  /// --- pipelined transfer -------------------------------------------------
+
+  /// Overlap Collect / Tx / Restore: the destination comes up before the
+  /// program runs and the collection DFS streams fixed-size chunks
+  /// (StateBegin/StateChunk/StateEnd) while still walking the graph; the
+  /// destination restores each prefix as it lands. File transport has no
+  /// duplex rendezvous, so it always takes the serial path. A failed
+  /// pipelined attempt is retried serially from the retained stream.
+  bool pipeline = false;
+
+  /// Chunk payload size for the pipelined path.
+  std::uint32_t chunk_bytes = 64 * 1024;
+
+  /// Benchmark hook forwarded to every restoring context: unwind as soon
+  /// as restoration completes instead of running the program tail, so a
+  /// harness can time Restore without paying for the computation.
+  bool stop_after_restore = false;
+
   /// --- fault tolerance ----------------------------------------------------
 
   /// Extra transfer attempts after the first one fails (timeout, CRC
@@ -113,9 +131,13 @@ struct MigrationReport {
     return collect_seconds + tx_seconds + restore_seconds;
   }
   std::uint64_t source_polls = 0;
-  msrm::Collector::Stats collect;
-  msrm::Restorer::Stats restore;
   std::string source_arch;  ///< architecture name carried in the stream
+
+  /// 1 − wall / (collect + tx + restore), clamped to [0, 1], for a
+  /// successful pipelined attempt (wall runs from the first chunk leaving
+  /// collection to the destination's acknowledgement). 0 when the serial
+  /// path ran — the phases are strictly sequential there.
+  double overlap_ratio = 0;
 
   /// Everything the pipeline recorded during this run: the delta of the
   /// process-wide obs::Registry across run_migration(), so MSRLT search

@@ -39,6 +39,14 @@ class HostSpace final : public MemorySpace {
   Address read_pointer(Address addr) const override;
   void write_pointer(Address addr, Address value) override;
 
+  /// Host memory is already contiguous raw storage in native layout.
+  const std::uint8_t* raw_view(Address addr, std::uint64_t) const noexcept override {
+    return reinterpret_cast<const std::uint8_t*>(addr);
+  }
+  std::uint8_t* raw_mut(Address addr, std::uint64_t) noexcept override {
+    return reinterpret_cast<std::uint8_t*>(addr);
+  }
+
   Address allocate(std::uint64_t size) override;
 
   /// Track an existing host object. Returns its new block id.

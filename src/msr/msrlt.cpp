@@ -8,29 +8,10 @@ Msrlt::Msrlt(SearchStrategy strategy)
       removals_(obs::Registry::process().counter("msr.msrlt.removals")),
       searches_(obs::Registry::process().counter("msr.msrlt.searches")),
       search_steps_(obs::Registry::process().counter("msr.msrlt.search_steps")),
+      cache_hits_(obs::Registry::process().counter("msr.msrlt.cache_hits")),
       id_lookups_(obs::Registry::process().counter("msr.msrlt.id_lookups")),
       marks_(obs::Registry::process().counter("msr.msrlt.marks")),
-      blocks_gauge_(&obs::Registry::process().gauge("msr.msrlt.blocks")) {}
-
-Msrlt::Stats Msrlt::stats() const noexcept {
-  Stats s;
-  s.registrations = registrations_.value();
-  s.removals = removals_.value();
-  s.searches = searches_.value();
-  s.search_steps = search_steps_.value();
-  s.id_lookups = id_lookups_.value();
-  s.marks = marks_.value();
-  return s;
-}
-
-void Msrlt::reset_stats() noexcept {
-  registrations_.reset_local();
-  removals_.reset_local();
-  searches_.reset_local();
-  search_steps_.reset_local();
-  id_lookups_.reset_local();
-  marks_.reset_local();
-}
+      blocks_gauge_(obs::Registry::process().gauge("msr.msrlt.blocks")) {}
 
 void Msrlt::insert_checked(MemoryBlock block) {
   if (block.size == 0) throw MsrError("cannot register zero-sized block");
@@ -52,9 +33,10 @@ void Msrlt::insert_checked(MemoryBlock block) {
   if (!by_id_.emplace(block.id, block.base).second) {
     throw MsrError("duplicate block id " + std::to_string(block.id));
   }
+  tracked_bytes_ += block.size;
   by_addr_.emplace(block.base, std::move(block));
-  registrations_.bump();
-  blocks_gauge_->add(1);
+  registrations_.add(1);
+  blocks_gauge_.add(1);
 }
 
 BlockId Msrlt::register_block(Segment seg, Address base, std::uint64_t size, ti::TypeId type,
@@ -98,17 +80,29 @@ void Msrlt::unregister(Address base) {
     throw MsrError("unregister: no block based at " + std::to_string(base));
   }
   by_id_.erase(it->second.id);
+  tracked_bytes_ -= it->second.size;
+  mru_ = nullptr;  // may point at the erased node
   by_addr_.erase(it);
-  removals_.bump();
-  blocks_gauge_->sub(1);
+  removals_.add(1);
+  blocks_gauge_.sub(1);
 }
 
 const MemoryBlock* Msrlt::find_containing(Address addr) const {
-  searches_.bump();
+  searches_.add(1);
+  // One-entry MRU cache: consecutive pointer leaves usually land in the
+  // block the previous search found, so this answers in one comparison.
+  if (mru_ != nullptr && addr >= mru_->base && addr < mru_->base + mru_->size) {
+    cache_hits_.add(1);
+    search_steps_.add(1);
+    return mru_;
+  }
   if (strategy_ == SearchStrategy::LinearScan) {
     for (const auto& [base, block] : by_addr_) {
-      search_steps_.bump();
-      if (addr >= base && addr < base + block.size) return &block;
+      search_steps_.add(1);
+      if (addr >= base && addr < base + block.size) {
+        mru_ = &block;
+        return &block;
+      }
     }
     return nullptr;
   }
@@ -122,15 +116,17 @@ const MemoryBlock* Msrlt::find_containing(Address addr) const {
     n >>= 1;
     ++steps;
   }
-  search_steps_.bump(steps);
+  search_steps_.add(steps);
   if (it == by_addr_.begin()) return nullptr;
   --it;
   const MemoryBlock& block = it->second;
-  return (addr < block.base + block.size) ? &block : nullptr;
+  if (addr >= block.base + block.size) return nullptr;
+  mru_ = &block;
+  return &block;
 }
 
 const MemoryBlock* Msrlt::find_id(BlockId id) const {
-  id_lookups_.bump();
+  id_lookups_.add(1);
   const auto it = by_id_.find(id);
   if (it == by_id_.end()) return nullptr;
   const auto addr_it = by_addr_.find(it->second);
@@ -142,7 +138,7 @@ bool Msrlt::try_mark(BlockId id) {
   if (it == by_id_.end()) throw MsrError("try_mark: unknown block id");
   auto addr_it = by_addr_.find(it->second);
   if (addr_it == by_addr_.end()) throw MsrError("try_mark: id table out of sync");
-  marks_.bump();
+  marks_.add(1);
   if (addr_it->second.visit_epoch == epoch_) return false;
   addr_it->second.visit_epoch = epoch_;
   return true;

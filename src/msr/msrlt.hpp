@@ -36,22 +36,6 @@ class Msrlt {
   Msrlt(const Msrlt&) = delete;
   Msrlt& operator=(const Msrlt&) = delete;
 
-  /// Operation counters for the complexity experiments.
-  ///
-  /// DEPRECATED shim: the counters now live in the process-wide
-  /// obs::Registry under `msr.msrlt.*`; this struct is rebuilt from the
-  /// instance-local mirrors on each stats() call and will be removed one
-  /// release after the registry API landed. Prefer
-  /// obs::Registry::process().snapshot().
-  struct Stats {
-    std::uint64_t registrations = 0;  ///< MSRLT updates (restore-side term)
-    std::uint64_t removals = 0;
-    std::uint64_t searches = 0;       ///< address -> block queries (collect-side term)
-    std::uint64_t search_steps = 0;   ///< comparisons performed by searches
-    std::uint64_t id_lookups = 0;
-    std::uint64_t marks = 0;          ///< DFS visit marks
-  };
-
   /// Track a new block with a freshly assigned id. Throws hpm::MsrError if
   /// the byte range overlaps an existing block or size is zero.
   BlockId register_block(Segment seg, Address base, std::uint64_t size, ti::TypeId type,
@@ -69,6 +53,11 @@ class Msrlt {
 
   /// Find the block containing `addr` (base <= addr < base + size).
   /// Returns nullptr for untracked addresses. Counts a search.
+  ///
+  /// Pointer collection has strong block locality (consecutive leaves of
+  /// one block resolve into the same few blocks), so a one-entry MRU
+  /// "last containing block" cache is consulted before the ordered-map
+  /// search; hits count one search step under `msr.msrlt.cache_hits`.
   const MemoryBlock* find_containing(Address addr) const;
 
   /// Find a block by logical id; nullptr if unknown.
@@ -84,12 +73,10 @@ class Msrlt {
 
   [[nodiscard]] std::size_t block_count() const noexcept { return by_addr_.size(); }
 
-  /// Deprecated: instance-local view of the `msr.msrlt.*` registry
-  /// counters (see the Stats doc comment).
-  [[nodiscard]] Stats stats() const noexcept;
-  /// Deprecated: clears the instance-local mirrors only; the process-wide
-  /// registry counters stay monotonic.
-  void reset_stats() noexcept;
+  /// Sum of the byte sizes of all tracked blocks. Collection pre-sizes
+  /// its encoder from this total, so large heaps stream without
+  /// reallocation churn.
+  [[nodiscard]] std::uint64_t tracked_bytes() const noexcept { return tracked_bytes_; }
 
   /// Visit every tracked block (graph building, leak checks).
   template <typename Fn>
@@ -105,16 +92,21 @@ class Msrlt {
   std::unordered_map<BlockId, Address> by_id_;
   std::uint64_t next_seq_[3] = {1, 1, 1};  // per segment
   std::uint64_t epoch_ = 1;
+  std::uint64_t tracked_bytes_ = 0;
 
-  // `msr.msrlt.*` instruments: process-wide totals plus instance-local
-  // mirrors feeding the deprecated stats() shim.
-  mutable obs::LocalCounter registrations_;
-  mutable obs::LocalCounter removals_;
-  mutable obs::LocalCounter searches_;
-  mutable obs::LocalCounter search_steps_;
-  mutable obs::LocalCounter id_lookups_;
-  mutable obs::LocalCounter marks_;
-  obs::Gauge* blocks_gauge_;  ///< `msr.msrlt.blocks`, process-wide level
+  // One-entry MRU cache for find_containing (cleared on any unregister;
+  // std::map node pointers are stable across inserts).
+  mutable const MemoryBlock* mru_ = nullptr;
+
+  // `msr.msrlt.*` instruments (process-wide registry).
+  obs::Counter& registrations_;
+  obs::Counter& removals_;
+  obs::Counter& searches_;
+  obs::Counter& search_steps_;
+  obs::Counter& cache_hits_;
+  obs::Counter& id_lookups_;
+  obs::Counter& marks_;
+  obs::Gauge& blocks_gauge_;  ///< `msr.msrlt.blocks`, process-wide level
 };
 
 }  // namespace hpm::msr

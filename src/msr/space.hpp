@@ -46,6 +46,21 @@ class MemorySpace {
   virtual Address read_pointer(Address addr) const = 0;
   virtual void write_pointer(Address addr, Address value) = 0;
 
+  /// --- bulk fast path ------------------------------------------------------
+  /// Borrow `len` contiguous raw bytes at `addr` (this space's layout).
+  /// Spaces that cannot expose contiguous storage return nullptr and the
+  /// caller falls back to per-leaf access. The default declines.
+  virtual const std::uint8_t* raw_view(Address addr, std::uint64_t len) const noexcept {
+    (void)addr;
+    (void)len;
+    return nullptr;
+  }
+  virtual std::uint8_t* raw_mut(Address addr, std::uint64_t len) noexcept {
+    (void)addr;
+    (void)len;
+    return nullptr;
+  }
+
   /// --- restoration support ------------------------------------------------
   /// Obtain `size` bytes of fresh storage in this space (not yet
   /// registered in the MSRLT; the caller registers under the incoming id).

@@ -26,18 +26,10 @@ Collector::Collector(msr::MemorySpace& space, xdr::Encoder& enc)
       nulls_saved_(obs::Registry::process().counter("msrm.collect.nulls_saved")),
       prim_leaves_(obs::Registry::process().counter("msrm.collect.prim_leaves")),
       ptr_leaves_(obs::Registry::process().counter("msrm.collect.ptr_leaves")),
-      depth_hist_(&obs::Registry::process().histogram("msrm.collect.depth")) {
+      bulk_bodies_(obs::Registry::process().counter("msrm.collect.bulk_bodies")),
+      bulk_bytes_(obs::Registry::process().counter("msrm.collect.bulk_bytes")),
+      depth_hist_(obs::Registry::process().histogram("msrm.collect.depth")) {
   space_.msrlt().begin_traversal();
-}
-
-Collector::Stats Collector::stats() const noexcept {
-  Stats s;
-  s.blocks_saved = blocks_saved_.value();
-  s.refs_saved = refs_saved_.value();
-  s.nulls_saved = nulls_saved_.value();
-  s.prim_leaves = prim_leaves_.value();
-  s.ptr_leaves = ptr_leaves_.value();
-  return s;
 }
 
 void Collector::save_variable(msr::Address block_base) {
@@ -63,7 +55,7 @@ void Collector::save_pointer(msr::Address cell_addr) {
 void Collector::encode_ptr_value(msr::Address target) {
   if (target == 0) {
     enc_.put_u8(kPtrNull);
-    nulls_saved_.bump();
+    nulls_saved_.add(1);
     return;
   }
   const msr::LogicalPointer lp = msr::resolve_pointer(space_, target);
@@ -71,7 +63,7 @@ void Collector::encode_ptr_value(msr::Address target) {
     enc_.put_u8(kPtrRef);
     enc_.put_u64(lp.block);
     enc_.put_u64(lp.leaf);
-    refs_saved_.bump();
+    refs_saved_.add(1);
     return;
   }
   const msr::MemoryBlock* block = space_.msrlt().find_id(lp.block);
@@ -81,9 +73,9 @@ void Collector::encode_ptr_value(msr::Address target) {
   enc_.put_u8(static_cast<std::uint8_t>(block->segment));
   enc_.put_u32(block->type);
   enc_.put_u32(block->count);
-  blocks_saved_.bump();
+  blocks_saved_.add(1);
 
-  if (!space_.types().contains_pointer(block->type)) {
+  if (space_.types().bulk_eligible(block->type)) {
     encode_flat(*block);  // pure-XDR fast path, nothing to push
     return;
   }
@@ -94,10 +86,23 @@ void Collector::encode_ptr_value(msr::Address target) {
   p.elem_idx = 0;
   p.leaf_idx = 0;
   stack_.push_back(p);
-  depth_hist_->record(static_cast<double>(stack_.size()));
+  depth_hist_.record(static_cast<double>(stack_.size()));
 }
 
 void Collector::encode_flat(const msr::MemoryBlock& block) {
+  // Bulk fast path: the block's raw source-layout image in one put_bytes.
+  // The decoder memcpy's it under a matching data model and converts it
+  // leaf-by-leaf (source-arch layout walk) otherwise.
+  if (const std::uint8_t* raw = space_.raw_view(block.base, block.size)) {
+    enc_.put_u8(kBodyRaw);
+    enc_.put_u64(block.size);
+    enc_.put_bytes(raw, block.size);
+    bulk_bodies_.add(1);
+    bulk_bytes_.add(block.size);
+    prim_leaves_.add(space_.leaves().count(block.type) * block.count);
+    return;
+  }
+  enc_.put_u8(kBodyCanonical);
   const std::uint64_t elem_size = space_.layouts().of(block.type).size;
   for (std::uint32_t e = 0; e < block.count; ++e) {
     encode_flat_type(block.base + e * elem_size, block.type);
@@ -109,7 +114,7 @@ void Collector::encode_flat_type(msr::Address base, ti::TypeId type) {
   switch (info.kind) {
     case ti::TypeKind::Primitive:
       xdr::encode_canonical(enc_, space_.read_prim(base, info.prim));
-      prim_leaves_.bump();
+      prim_leaves_.add(1);
       return;
     case ti::TypeKind::Pointer:
       throw MsrError("encode_flat_type reached a pointer (contains_pointer lied)");
@@ -148,9 +153,9 @@ void Collector::drain() {
       stack_[my_index].leaf_idx = cur.leaf_idx + 1;
       if (!ref.is_pointer) {
         xdr::encode_canonical(enc_, space_.read_prim(cell, ref.prim));
-        prim_leaves_.bump();
+        prim_leaves_.add(1);
       } else {
-        ptr_leaves_.bump();
+        ptr_leaves_.add(1);
         const msr::Address value = space_.read_pointer(cell);
         encode_ptr_value(value);
         if (stack_.size() > my_index + 1) {

@@ -21,19 +21,6 @@ namespace hpm::msrm {
 
 class Collector {
  public:
-  /// DEPRECATED shim: the counters now live in the process-wide
-  /// obs::Registry under `msrm.collect.*` (the PNEW/PREF/PNULL mix plus
-  /// leaf counts); this struct is rebuilt from instance-local mirrors on
-  /// each stats() call and will be removed one release after the registry
-  /// API landed.
-  struct Stats {
-    std::uint64_t blocks_saved = 0;   ///< PNEW records emitted
-    std::uint64_t refs_saved = 0;     ///< PREF records emitted
-    std::uint64_t nulls_saved = 0;
-    std::uint64_t prim_leaves = 0;    ///< primitive cells encoded
-    std::uint64_t ptr_leaves = 0;     ///< pointer cells encoded
-  };
-
   /// Starts a fresh traversal (bumps the MSRLT visit epoch).
   Collector(msr::MemorySpace& space, xdr::Encoder& enc);
 
@@ -46,10 +33,6 @@ class Collector {
   /// reachable through it. (Paper: `Save_pointer(p)` where the cell holds
   /// p's value.) Emits one PtrVal record.
   void save_pointer(msr::Address cell_addr);
-
-  /// Deprecated: instance-local view of the `msrm.collect.*` registry
-  /// counters (see the Stats doc comment).
-  [[nodiscard]] Stats stats() const noexcept;
 
  private:
   struct Pending {
@@ -64,7 +47,9 @@ class Collector {
   /// block is seen for the first time.
   void encode_ptr_value(msr::Address target);
 
-  /// Bulk-encode a pointer-free block (the paper's pure-XDR fast path).
+  /// Encode a pointer-free block's FlatBody: BODY_RAW (one put_bytes of
+  /// the source-layout image) when the space exposes raw storage, else
+  /// BODY_CANON via per-element canonical conversion.
   void encode_flat(const msr::MemoryBlock& block);
   void encode_flat_type(msr::Address base, ti::TypeId type);
 
@@ -76,14 +61,16 @@ class Collector {
   LeafCache leaves_;
   std::vector<Pending> stack_;
 
-  // `msrm.collect.*` instruments (process totals + local mirrors for the
-  // deprecated stats() shim) and the traversal-depth histogram.
-  obs::LocalCounter blocks_saved_;
-  obs::LocalCounter refs_saved_;
-  obs::LocalCounter nulls_saved_;
-  obs::LocalCounter prim_leaves_;
-  obs::LocalCounter ptr_leaves_;
-  obs::Histogram* depth_hist_;  ///< `msrm.collect.depth`
+  // `msrm.collect.*` instruments (process-wide registry) and the
+  // traversal-depth histogram.
+  obs::Counter& blocks_saved_;
+  obs::Counter& refs_saved_;
+  obs::Counter& nulls_saved_;
+  obs::Counter& prim_leaves_;
+  obs::Counter& ptr_leaves_;
+  obs::Counter& bulk_bodies_;   ///< BODY_RAW bodies emitted
+  obs::Counter& bulk_bytes_;    ///< raw bytes those bodies carried
+  obs::Histogram& depth_hist_;  ///< `msrm.collect.depth`
 };
 
 }  // namespace hpm::msrm

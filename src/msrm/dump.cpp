@@ -14,9 +14,15 @@ namespace {
 /// without materializing any memory.
 class Dumper {
  public:
-  Dumper(const ti::TypeTable& table, xdr::Decoder& dec, const DumpOptions& options,
-         std::string& out)
-      : table_(table), leaves_(table), dec_(dec), options_(options), out_(out) {}
+  Dumper(const ti::TypeTable& table, const xdr::ArchDescriptor& source_arch,
+         xdr::Decoder& dec, const DumpOptions& options, std::string& out)
+      : table_(table),
+        src_arch_(source_arch),
+        src_layouts_(table, source_arch),
+        leaves_(table),
+        dec_(dec),
+        options_(options),
+        out_(out) {}
 
   void ptr_value(int indent) {
     const std::uint8_t tag = dec_.get_u8();
@@ -71,6 +77,17 @@ class Dumper {
       line(indent, "... (output truncated; stream still being validated)");
       suppressed_ = true;
     }
+    // Pointer-free bodies are self-describing (FlatBody tag).
+    if (table_.bulk_eligible(type)) {
+      const std::uint8_t body_tag = dec_.get_u8();
+      if (body_tag == kBodyRaw) {
+        raw_body(type, count, indent);
+        return;
+      }
+      if (body_tag != kBodyCanonical) {
+        throw WireError("dump: unexpected flat-body tag " + std::to_string(body_tag));
+      }
+    }
     std::uint64_t prim_run = 0;
     for (std::uint32_t e = 0; e < count; ++e) {
       ti::for_each_leaf(leaves_, layouts_, type, [&](const ti::LeafRef& ref) {
@@ -88,6 +105,32 @@ class Dumper {
       });
     }
     flush_run(indent, prim_run);
+  }
+
+  /// A BODY_RAW body: source-layout bytes. Values are read back through
+  /// the source architecture descriptor the header named.
+  void raw_body(ti::TypeId type, std::uint32_t count, int indent) {
+    const std::uint64_t nbytes = dec_.get_u64();
+    if (nbytes > dec_.remaining()) {
+      throw WireError("dump: raw body larger than the remaining stream");
+    }
+    std::vector<std::uint8_t> raw(static_cast<std::size_t>(nbytes));
+    dec_.get_bytes(raw.data(), raw.size());
+    const std::uint64_t elem_size = src_layouts_.of(type).size;
+    if (nbytes != elem_size * count) {
+      throw WireError("dump: raw body size disagrees with the source layout");
+    }
+    if (!options_.show_primitive_values) {
+      line(indent, "(raw body, " + std::to_string(nbytes) + " source-layout bytes, " +
+                       std::to_string(leaves_.count(type) * count) + " leaves)");
+      return;
+    }
+    for (std::uint32_t e = 0; e < count; ++e) {
+      const std::uint8_t* base = raw.data() + e * elem_size;
+      ti::for_each_leaf(leaves_, src_layouts_, type, [&](const ti::LeafRef& ref) {
+        line(indent, prim_text(xdr::read_raw(base + ref.byte_offset, src_arch_, ref.prim)));
+      });
+    }
   }
 
   void flush_run(int indent, std::uint64_t& run) {
@@ -110,6 +153,8 @@ class Dumper {
   }
 
   const ti::TypeTable& table_;
+  const xdr::ArchDescriptor& src_arch_;
+  ti::LayoutMap src_layouts_;
   ti::LayoutMap layouts_{table_, xdr::native_arch()};  // offsets unused; leaves only
   ti::LeafIndex leaves_;
   xdr::Decoder& dec_;
@@ -149,7 +194,7 @@ std::string dump_stream(std::span<const std::uint8_t> stream, const DumpOptions&
   }
 
   out += "data section:\n";
-  Dumper dumper(table, dec, options, out);
+  Dumper dumper(table, xdr::arch_by_name(header.source_arch), dec, options, out);
   // Collection order: frames innermost-first, then globals.
   for (std::size_t i = state.frames.size(); i-- > 0;) {
     for (const SavedVar& v : state.frames[i].vars) {

@@ -6,27 +6,25 @@
 namespace hpm::msrm {
 
 Restorer::Restorer(msr::MemorySpace& space, xdr::Decoder& dec)
+    : Restorer(space, dec, space.arch()) {}
+
+Restorer::Restorer(msr::MemorySpace& space, xdr::Decoder& dec,
+                   const xdr::ArchDescriptor& source_arch)
     : space_(space),
       dec_(dec),
       leaves_(space),
+      src_arch_(&source_arch),
+      src_layouts_(space.types(), source_arch),
+      same_model_(source_arch.same_data_model(space.arch())),
       blocks_created_(obs::Registry::process().counter("msrm.restore.blocks_created")),
       blocks_bound_(obs::Registry::process().counter("msrm.restore.blocks_bound")),
       refs_resolved_(obs::Registry::process().counter("msrm.restore.refs_resolved")),
       nulls_restored_(obs::Registry::process().counter("msrm.restore.nulls_restored")),
       prim_leaves_(obs::Registry::process().counter("msrm.restore.prim_leaves")),
       ptr_leaves_(obs::Registry::process().counter("msrm.restore.ptr_leaves")),
-      depth_hist_(&obs::Registry::process().histogram("msrm.restore.depth")) {}
-
-Restorer::Stats Restorer::stats() const noexcept {
-  Stats s;
-  s.blocks_created = blocks_created_.value();
-  s.blocks_bound = blocks_bound_.value();
-  s.refs_resolved = refs_resolved_.value();
-  s.nulls_restored = nulls_restored_.value();
-  s.prim_leaves = prim_leaves_.value();
-  s.ptr_leaves = ptr_leaves_.value();
-  return s;
-}
+      bulk_bodies_(obs::Registry::process().counter("msrm.restore.bulk_bodies")),
+      bulk_bytes_(obs::Registry::process().counter("msrm.restore.bulk_bytes")),
+      depth_hist_(obs::Registry::process().histogram("msrm.restore.depth")) {}
 
 void Restorer::bind(msr::BlockId source_id, msr::BlockId dest_id, ti::TypeId type,
                     std::uint32_t count) {
@@ -74,7 +72,7 @@ const msr::MemoryBlock& Restorer::materialize_pnew(msr::BlockId src_id, std::uin
       throw WireError("PNEW type/count disagrees with bound destination block '" +
                       dest->name + "'");
     }
-    blocks_bound_.bump();
+    blocks_bound_.add(1);
     return *dest;
   }
   if (seg != msr::Segment::Heap && !auto_bind_) {
@@ -86,7 +84,7 @@ const msr::MemoryBlock& Restorer::materialize_pnew(msr::BlockId src_id, std::uin
   const msr::BlockId dest_id =
       space_.msrlt().register_block(seg, base, size, type, count, std::string{});
   binding_.emplace(src_id, dest_id);
-  blocks_created_.bump();
+  blocks_created_.add(1);
   return *space_.msrlt().find_id(dest_id);
 }
 
@@ -94,7 +92,7 @@ msr::Address Restorer::decode_ptr_value() {
   const std::uint8_t tag = dec_.get_u8();
   switch (tag) {
     case kPtrNull:
-      nulls_restored_.bump();
+      nulls_restored_.add(1);
       return 0;
     case kPtrRef: {
       const msr::BlockId src_id = dec_.get_u64();
@@ -103,7 +101,7 @@ msr::Address Restorer::decode_ptr_value() {
       if (dest == msr::kInvalidBlock) {
         throw WireError("PREF to a block that was never transferred (corrupt stream)");
       }
-      refs_resolved_.bump();
+      refs_resolved_.add(1);
       return msr::address_of(space_, msr::LogicalPointer{dest, leaf});
     }
     case kPtrNew: {
@@ -115,7 +113,7 @@ msr::Address Restorer::decode_ptr_value() {
       space_.types().at(type);  // validate id against the shared TI table
       const msr::MemoryBlock& dest = materialize_pnew(src_id, segment, type, count);
       const msr::Address target = msr::address_of(space_, msr::LogicalPointer{dest.id, leaf});
-      if (!space_.types().contains_pointer(type)) {
+      if (space_.types().bulk_eligible(type)) {
         decode_flat(dest);
       } else {
         Pending p;
@@ -125,7 +123,7 @@ msr::Address Restorer::decode_ptr_value() {
         p.elem_idx = 0;
         p.leaf_idx = 0;
         stack_.push_back(p);
-        depth_hist_->record(static_cast<double>(stack_.size()));
+        depth_hist_.record(static_cast<double>(stack_.size()));
       }
       return target;
     }
@@ -135,11 +133,65 @@ msr::Address Restorer::decode_ptr_value() {
   }
 }
 
+const std::vector<ti::LeafRef>& Restorer::src_leaves_of(ti::TypeId type) {
+  const auto it = src_leaf_cache_.find(type);
+  if (it != src_leaf_cache_.end()) return it->second;
+  std::vector<ti::LeafRef> list;
+  ti::for_each_leaf(space_.leaves(), src_layouts_, type,
+                    [&list](const ti::LeafRef& ref) { list.push_back(ref); });
+  return src_leaf_cache_.emplace(type, std::move(list)).first->second;
+}
+
 void Restorer::decode_flat(const msr::MemoryBlock& block) {
-  const std::uint64_t elem_size = space_.layouts().of(block.type).size;
-  for (std::uint32_t e = 0; e < block.count; ++e) {
-    decode_flat_type(block.base + e * elem_size, block.type);
+  const std::uint8_t body = dec_.get_u8();
+  if (body == kBodyCanonical) {
+    const std::uint64_t elem_size = space_.layouts().of(block.type).size;
+    for (std::uint32_t e = 0; e < block.count; ++e) {
+      decode_flat_type(block.base + e * elem_size, block.type);
+    }
+    return;
   }
+  if (body != kBodyRaw) {
+    throw WireError("corrupt stream: expected a flat-body tag, got " + std::to_string(body));
+  }
+  const std::uint64_t nbytes = dec_.get_u64();
+  const std::uint64_t leaf_total = space_.leaves().count(block.type) * block.count;
+  if (same_model_) {
+    // Same data model: the raw image IS the destination layout.
+    if (nbytes != block.size) {
+      throw WireError("raw body size disagrees with the destination block");
+    }
+    if (std::uint8_t* out = space_.raw_mut(block.base, block.size)) {
+      dec_.get_bytes(out, block.size);
+      bulk_bodies_.add(1);
+      bulk_bytes_.add(nbytes);
+      prim_leaves_.add(leaf_total);
+      return;
+    }
+  }
+  // Heterogeneous source (or no contiguous destination storage): stage
+  // the source image and convert leaf-by-leaf under the source layout.
+  // Leaf enumeration order is arch-independent, so the source and
+  // destination offset walks zip ordinal-for-ordinal.
+  const std::uint64_t src_elem = src_layouts_.of(block.type).size;
+  if (nbytes != src_elem * block.count) {
+    throw WireError("raw body size disagrees with the source layout");
+  }
+  raw_buf_.resize(nbytes);
+  dec_.get_bytes(raw_buf_.data(), nbytes);
+  const std::vector<ti::LeafRef>& src_list = src_leaves_of(block.type);
+  const std::vector<ti::LeafRef>& dst_list = leaves_.of(block.type);
+  const std::uint64_t dst_elem = space_.layouts().of(block.type).size;
+  for (std::uint32_t e = 0; e < block.count; ++e) {
+    const std::uint8_t* in = raw_buf_.data() + e * src_elem;
+    const msr::Address out = block.base + e * dst_elem;
+    for (std::size_t i = 0; i < src_list.size(); ++i) {
+      space_.write_prim(out + dst_list[i].byte_offset, dst_list[i].prim,
+                        xdr::read_raw(in + src_list[i].byte_offset, *src_arch_,
+                                      src_list[i].prim));
+    }
+  }
+  prim_leaves_.add(leaf_total);
 }
 
 void Restorer::decode_flat_type(msr::Address base, ti::TypeId type) {
@@ -147,7 +199,7 @@ void Restorer::decode_flat_type(msr::Address base, ti::TypeId type) {
   switch (info.kind) {
     case ti::TypeKind::Primitive:
       space_.write_prim(base, info.prim, xdr::decode_canonical(dec_, info.prim));
-      prim_leaves_.bump();
+      prim_leaves_.add(1);
       return;
     case ti::TypeKind::Pointer:
       throw MsrError("decode_flat_type reached a pointer (contains_pointer lied)");
@@ -186,9 +238,9 @@ void Restorer::drain() {
       stack_[my_index].leaf_idx = cur.leaf_idx + 1;
       if (!ref.is_pointer) {
         space_.write_prim(cell, ref.prim, xdr::decode_canonical(dec_, ref.prim));
-        prim_leaves_.bump();
+        prim_leaves_.add(1);
       } else {
-        ptr_leaves_.bump();
+        ptr_leaves_.add(1);
         const msr::Address value = decode_ptr_value();
         space_.write_pointer(cell, value);
         if (stack_.size() > my_index + 1) {

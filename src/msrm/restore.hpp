@@ -30,20 +30,16 @@ namespace hpm::msrm {
 
 class Restorer {
  public:
-  /// DEPRECATED shim: the counters now live in the process-wide
-  /// obs::Registry under `msrm.restore.*`; this struct is rebuilt from
-  /// instance-local mirrors on each stats() call and will be removed one
-  /// release after the registry API landed.
-  struct Stats {
-    std::uint64_t blocks_created = 0;  ///< heap blocks allocated
-    std::uint64_t blocks_bound = 0;    ///< PNEWs landing in pre-bound storage
-    std::uint64_t refs_resolved = 0;
-    std::uint64_t nulls_restored = 0;
-    std::uint64_t prim_leaves = 0;
-    std::uint64_t ptr_leaves = 0;
-  };
-
+  /// Restore a stream whose source shares this space's architecture.
   Restorer(msr::MemorySpace& space, xdr::Decoder& dec);
+
+  /// Restore a stream collected under `source_arch` (the stream header
+  /// names it). Raw (BODY_RAW) bodies are memcpy'd when the source's
+  /// data model matches this space's, and converted leaf-by-leaf under
+  /// the source-arch layout otherwise — so heterogeneous callers MUST
+  /// pass the real source architecture.
+  Restorer(msr::MemorySpace& space, xdr::Decoder& dec,
+           const xdr::ArchDescriptor& source_arch);
 
   /// Pre-bind a source block id to existing destination storage (a
   /// re-registered stack local or global). Validates element type and
@@ -68,10 +64,6 @@ class Restorer {
   /// Destination id bound to `source_id`; kInvalidBlock if none.
   [[nodiscard]] msr::BlockId dest_of(msr::BlockId source_id) const;
 
-  /// Deprecated: instance-local view of the `msrm.restore.*` registry
-  /// counters (see the Stats doc comment).
-  [[nodiscard]] Stats stats() const noexcept;
-
  private:
   struct Pending {
     const msr::MemoryBlock* block;  // destination block
@@ -88,6 +80,9 @@ class Restorer {
   void decode_flat_type(msr::Address base, ti::TypeId type);
   void drain();
 
+  /// Flat leaf list of `type` under the *source* architecture's layout.
+  const std::vector<ti::LeafRef>& src_leaves_of(ti::TypeId type);
+
   const msr::MemoryBlock& materialize_pnew(msr::BlockId src_id, std::uint8_t segment,
                                            ti::TypeId type, std::uint32_t count);
 
@@ -98,15 +93,26 @@ class Restorer {
   std::vector<Pending> stack_;
   bool auto_bind_ = false;
 
-  // `msrm.restore.*` instruments (process totals + local mirrors for the
-  // deprecated stats() shim) and the traversal-depth histogram.
-  obs::LocalCounter blocks_created_;
-  obs::LocalCounter blocks_bound_;
-  obs::LocalCounter refs_resolved_;
-  obs::LocalCounter nulls_restored_;
-  obs::LocalCounter prim_leaves_;
-  obs::LocalCounter ptr_leaves_;
-  obs::Histogram* depth_hist_;  ///< `msrm.restore.depth`
+  // Source architecture (for BODY_RAW bodies): layouts under the source
+  // arch, a flat-leaf cache per type, and a staging buffer for the
+  // heterogeneous conversion path.
+  const xdr::ArchDescriptor* src_arch_;
+  ti::LayoutMap src_layouts_;
+  bool same_model_;
+  std::unordered_map<ti::TypeId, std::vector<ti::LeafRef>> src_leaf_cache_;
+  std::vector<std::uint8_t> raw_buf_;
+
+  // `msrm.restore.*` instruments (process-wide registry) and the
+  // traversal-depth histogram.
+  obs::Counter& blocks_created_;
+  obs::Counter& blocks_bound_;
+  obs::Counter& refs_resolved_;
+  obs::Counter& nulls_restored_;
+  obs::Counter& prim_leaves_;
+  obs::Counter& ptr_leaves_;
+  obs::Counter& bulk_bodies_;   ///< BODY_RAW bodies memcpy'd
+  obs::Counter& bulk_bytes_;    ///< bytes those bodies carried
+  obs::Histogram& depth_hist_;  ///< `msrm.restore.depth`
 };
 
 }  // namespace hpm::msrm

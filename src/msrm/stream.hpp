@@ -10,14 +10,31 @@
 //            | u8 PREF  u64 block-id u64 leaf-ordinal
 //            | u8 PNEW  u64 block-id u64 leaf-ordinal
 //                       u8 segment u32 type-id u32 elem-count  Body
-//   Body    := elem-count * leaves(type)   -- primitives canonical;
+//   Body    := FlatBody                    -- pointer-free types
+//            | elem-count * leaves(type)   -- primitives canonical;
 //                                          -- pointer leaves are PtrVals,
 //                                          -- nested depth-first
+//   FlatBody := u8 BODY_CANON  elem-count * leaves(type)  (canonical)
+//             | u8 BODY_RAW    u64 nbytes  raw source-layout bytes
 //
 // PNEW appears exactly once per memory block per migration (the paper's
 // visited marking); every later reference is a PREF. The decoder creates
 // or binds a block the moment it reads a PNEW header, before descending
 // into the body, so all back and cross edges resolve immediately.
+//
+// Pointer-free bodies are self-describing (FlatBody tag): BODY_RAW is
+// the same-architecture bulk fast path — the block's bytes verbatim in
+// the *source's* layout, memcpy'd when source and destination share a
+// data model and converted leaf-by-leaf (source-arch layout walk)
+// otherwise. BODY_CANON is the per-element canonical encoding used when
+// the source space cannot expose contiguous raw storage.
+//
+// Because every construct is emitted depth-first with PNEW preceding any
+// reference to its block, every prefix of the payload is decodable — the
+// property the chunked/pipelined transfer of src/mig relies on to start
+// restoration before the stream ends. The chunking itself lives in the
+// message layer (net::MsgType::StateBegin/StateChunk/StateEnd); chunk
+// boundaries are byte-positional and carry no grammar significance.
 #pragma once
 
 #include <cstdint>
@@ -29,13 +46,20 @@
 namespace hpm::msrm {
 
 inline constexpr std::uint32_t kMagic = 0x48504D47;  // "HPMG"
-inline constexpr std::uint16_t kVersion = 1;
+// v2 added the self-describing FlatBody tag for pointer-free PNEW bodies.
+inline constexpr std::uint16_t kVersion = 2;
 
 /// Pointer-value tags.
 enum : std::uint8_t {
   kPtrNull = 0x10,
   kPtrRef = 0x11,
   kPtrNew = 0x12,
+};
+
+/// FlatBody tags (pointer-free PNEW bodies only).
+enum : std::uint8_t {
+  kBodyCanonical = 0x20,  ///< per-element canonical primitives
+  kBodyRaw = 0x21,        ///< u64 nbytes + raw source-layout bytes
 };
 
 inline constexpr std::uint8_t kTrailerTag = 0x7E;

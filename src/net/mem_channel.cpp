@@ -1,5 +1,7 @@
 #include "net/mem_channel.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
@@ -36,7 +38,7 @@ void MemPipe::read(std::span<std::uint8_t> out, std::chrono::milliseconds timeou
   std::size_t got = 0;
   std::unique_lock lk(mu_);
   while (got < out.size()) {
-    const auto ready = [this] { return !buf_.empty() || closed_; };
+    const auto ready = [this] { return head_ < buf_.size() || closed_; };
     if (bounded) {
       if (!cv_.wait_until(lk, deadline, ready)) {
         throw TimeoutError("MemPipe recv timed out with " +
@@ -45,13 +47,17 @@ void MemPipe::read(std::span<std::uint8_t> out, std::chrono::milliseconds timeou
     } else {
       cv_.wait(lk, ready);
     }
-    if (buf_.empty() && closed_) {
+    if (head_ == buf_.size() && closed_) {
       throw NetError("MemPipe closed with " + std::to_string(out.size() - got) +
                      " bytes outstanding");
     }
-    while (got < out.size() && !buf_.empty()) {
-      out[got++] = buf_.front();
-      buf_.pop_front();
+    const std::size_t take = std::min(out.size() - got, buf_.size() - head_);
+    std::memcpy(out.data() + got, buf_.data() + head_, take);
+    got += take;
+    head_ += take;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
     }
   }
 }

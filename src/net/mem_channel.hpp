@@ -7,10 +7,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "net/channel.hpp"
 
@@ -28,9 +28,13 @@ class MemPipe {
   void close();
 
  private:
+  // Contiguous ring-ish buffer: bytes [head_, buf_.size()) are pending.
+  // Reads memcpy whole spans instead of popping a deque byte-by-byte;
+  // the buffer is compacted whenever it drains.
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::uint8_t> buf_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
   bool closed_ = false;
 };
 

@@ -24,11 +24,14 @@ inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Message type tags used by the migration coordinator.
 enum class MsgType : std::uint8_t {
   Hello = 1,       ///< destination announces readiness (payload: version byte + arch name)
-  State = 2,       ///< the migration stream produced by collection
+  State = 2,       ///< the migration stream produced by collection (monolithic)
   Ack = 3,         ///< destination confirms successful restoration
   Error = 4,       ///< destination reports a restoration failure (payload: text)
   Shutdown = 5,    ///< orderly teardown without migration
   Nack = 6,        ///< destination rejects a damaged frame; sender should retransmit
+  StateBegin = 7,  ///< pipelined transfer opens (payload: u32 chunk size)
+  StateChunk = 8,  ///< one stream slice (payload: u32 seq + bytes; frame CRC covers it)
+  StateEnd = 9,    ///< pipelined transfer closes (u32 chunks, u64 bytes, u32 stream CRC)
 };
 
 struct Message {
@@ -37,7 +40,8 @@ struct Message {
 };
 
 /// Send one framed message: u8 type, u32 length (big-endian), payload,
-/// u32 CRC-32 (big-endian) over everything preceding it.
+/// u32 CRC-32 (big-endian) over everything preceding it. The frame is
+/// assembled in a pooled buffer and shipped with a single channel send.
 void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload);
 
 /// Receive one framed message; throws hpm::NetError on malformed frames,
@@ -45,5 +49,27 @@ void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> p
 /// mismatch. The default cap is far below the u32 length field's range so
 /// a hostile or corrupted prefix cannot drive a multi-GiB allocation.
 Message recv_message(ByteChannel& ch, std::size_t max_payload = 1ull << 28);
+
+/// --- chunked state transfer payloads -------------------------------------
+/// StateBegin/StateChunk/StateEnd frame the pipelined stream: each chunk
+/// carries a sequence number (gap/reorder detection on top of the frame
+/// CRC); StateEnd carries the totals plus a CRC-32 over the *entire*
+/// reassembled stream so a dropped chunk boundary cannot go unnoticed.
+
+struct StateEndInfo {
+  std::uint32_t chunk_count = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t total_crc = 0;  ///< CRC-32 of the whole reassembled stream
+};
+
+Bytes encode_state_begin(std::uint32_t chunk_bytes);
+Bytes encode_state_chunk(std::uint32_t seq, std::span<const std::uint8_t> bytes);
+Bytes encode_state_end(const StateEndInfo& info);
+
+/// Decoders throw hpm::NetError on short payloads.
+std::uint32_t decode_state_begin(const Bytes& payload);
+/// Returns the sequence number; the chunk's bytes are payload[4..].
+std::uint32_t decode_state_chunk_seq(const Bytes& payload);
+StateEndInfo decode_state_end(const Bytes& payload);
 
 }  // namespace hpm::net

@@ -52,6 +52,9 @@ class ThrottledChannel final : public ByteChannel {
   std::unique_ptr<ByteChannel> inner_;
   SimulatedLink link_;
   double modeled_send_s_ = 0;
+  /// When the modeled link finishes transmitting everything sent so far;
+  /// a send landing before this streams (no extra propagation latency).
+  std::chrono::steady_clock::time_point busy_until_{};
 };
 
 }  // namespace hpm::net

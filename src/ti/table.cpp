@@ -38,6 +38,7 @@ TypeTable::TypeTable() {
 TypeId TypeTable::add(TypeInfo info) {
   types_.push_back(std::move(info));
   ptr_memo_.push_back(-1);
+  bulk_memo_.push_back(-1);
   return static_cast<TypeId>(types_.size());
 }
 
@@ -135,6 +136,7 @@ void TypeTable::define_struct(TypeId id, std::vector<Field> fields) {
   check_no_value_cycle(id);
   // Definitions can change pointer-reachability answers computed earlier.
   std::fill(ptr_memo_.begin(), ptr_memo_.end(), std::int8_t{-1});
+  std::fill(bulk_memo_.begin(), bulk_memo_.end(), std::int8_t{-1});
 }
 
 TypeId TypeTable::find_struct(const std::string& name) const {
@@ -185,6 +187,13 @@ bool TypeTable::contains_pointer(TypeId id) const {
   }
   memo = result ? 1 : 0;
   return result;
+}
+
+bool TypeTable::bulk_eligible(TypeId id) const {
+  static_cast<void>(at(id));  // validate
+  std::int8_t& memo = bulk_memo_[id - 1];
+  if (memo < 0) memo = contains_pointer(id) ? 0 : 1;
+  return memo != 0;
 }
 
 std::uint64_t TypeTable::signature() const {

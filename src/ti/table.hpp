@@ -64,6 +64,12 @@ class TypeTable {
   /// (Pointer-free blocks take the paper's pure-XDR fast path.)
   [[nodiscard]] bool contains_pointer(TypeId id) const;
 
+  /// True if PNEW bodies of this type may take the bulk fast path: the
+  /// type is pointer-free, so its body is a pure primitive image that a
+  /// same-data-model peer can memcpy instead of converting per element.
+  /// Precomputed once per type (invalidated by define_struct).
+  [[nodiscard]] bool bulk_eligible(TypeId id) const;
+
   /// Structural hash of the entire table. Source and destination must
   /// agree for a migration stream to be restorable.
   [[nodiscard]] std::uint64_t signature() const;
@@ -93,7 +99,8 @@ class TypeTable {
   std::unordered_map<std::uint64_t, TypeId> array_cache_;    // (elem,count) -> id
   std::unordered_map<std::string, TypeId> struct_names_;
   std::unordered_map<std::type_index, TypeId> native_;
-  mutable std::vector<std::int8_t> ptr_memo_;  // -1 unknown, 0 no, 1 yes
+  mutable std::vector<std::int8_t> ptr_memo_;   // -1 unknown, 0 no, 1 yes
+  mutable std::vector<std::int8_t> bulk_memo_;  // -1 unknown, 0 no, 1 yes
 };
 
 }  // namespace hpm::ti

@@ -52,9 +52,18 @@ Decoder::~Decoder() {
   }
 }
 
-void Encoder::put_u16(std::uint16_t v) { put_be(buf_, v); }
-void Encoder::put_u32(std::uint32_t v) { put_be(buf_, v); }
-void Encoder::put_u64(std::uint64_t v) { put_be(buf_, v); }
+void Encoder::put_u16(std::uint16_t v) {
+  put_be(buf_, v);
+  if (sink_) maybe_flush();
+}
+void Encoder::put_u32(std::uint32_t v) {
+  put_be(buf_, v);
+  if (sink_) maybe_flush();
+}
+void Encoder::put_u64(std::uint64_t v) {
+  put_be(buf_, v);
+  if (sink_) maybe_flush();
+}
 
 void Encoder::put_f32(float v) { put_u32(std::bit_cast<std::uint32_t>(v)); }
 void Encoder::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
@@ -62,6 +71,7 @@ void Encoder::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
 void Encoder::put_bytes(const void* data, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + len);
+  if (sink_) maybe_flush();
 }
 
 void Encoder::put_string(std::string_view s) {
@@ -72,13 +82,42 @@ void Encoder::put_string(std::string_view s) {
 
 void Encoder::patch_u32(std::size_t offset, std::uint32_t v) {
   if (offset + 4 > buf_.size()) throw WireError("patch_u32 out of range");
+  if (offset < flushed_) {
+    throw WireError("patch_u32 below sink watermark: bytes already flushed");
+  }
   for (std::size_t i = 0; i < 4; ++i) {
     buf_[offset + i] = static_cast<std::uint8_t>((v >> (8 * (3 - i))) & 0xFFu);
   }
 }
 
-void Decoder::need(std::size_t n) const {
-  if (pos_ + n > data_.size()) {
+void Encoder::set_sink(std::size_t chunk_bytes, SinkFn fn) {
+  if (chunk_bytes == 0) throw WireError("sink chunk size must be positive");
+  sink_chunk_ = chunk_bytes;
+  flushed_ = buf_.size();  // only bytes written from here on are chunked
+  sink_ = std::move(fn);
+}
+
+void Encoder::maybe_flush() {
+  while (buf_.size() - flushed_ >= sink_chunk_) {
+    sink_(std::span<const std::uint8_t>(buf_.data() + flushed_, sink_chunk_));
+    flushed_ += sink_chunk_;
+  }
+}
+
+void Encoder::flush_sink() {
+  if (!sink_) return;
+  maybe_flush();
+  if (buf_.size() > flushed_) {
+    sink_(std::span<const std::uint8_t>(buf_.data() + flushed_, buf_.size() - flushed_));
+    flushed_ = buf_.size();
+  }
+  sink_ = nullptr;
+  sink_chunk_ = 0;
+}
+
+void Decoder::need(std::size_t n) {
+  while (pos_ + n > data_.size()) {
+    if (refill_ && refill_(pos_ + n)) continue;
     throw WireError("truncated stream: need " + std::to_string(n) + " bytes at offset " +
                     std::to_string(pos_) + ", have " + std::to_string(data_.size() - pos_));
   }
@@ -89,7 +128,7 @@ std::uint8_t Decoder::get_u8() {
   return data_[pos_++];
 }
 
-std::uint8_t Decoder::peek_u8() const {
+std::uint8_t Decoder::peek_u8() {
   need(1);
   return data_[pos_];
 }

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -20,12 +21,25 @@ namespace hpm::xdr {
 
 /// Append-only canonical encoder. All multi-byte integers are written
 /// big-endian regardless of the host.
+///
+/// An optional *sink* turns the encoder into a chunked producer: once
+/// `set_sink(chunk_bytes, fn)` is armed, every time `chunk_bytes` of new
+/// output accumulate past the flush watermark the sink is handed one
+/// fixed-size chunk. Flushed bytes stay in the buffer (the watermark just
+/// advances), so `bytes()`/`take()` still see the complete stream — the
+/// pipelined coordinator relies on that to retry serially from the
+/// retained copy.
 class Encoder {
  public:
+  using SinkFn = std::function<void(std::span<const std::uint8_t>)>;
+
   Encoder() = default;
   explicit Encoder(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
 
-  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u8(std::uint8_t v) {
+    buf_.push_back(v);
+    if (sink_) maybe_flush();
+  }
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
@@ -51,17 +65,49 @@ class Encoder {
   Bytes take() noexcept;
 
   /// Patch a previously written u32 at `offset` (used for counts known
-  /// only after the payload is emitted).
+  /// only after the payload is emitted). With a sink armed, patching
+  /// below the flush watermark throws — those bytes are already on the
+  /// wire.
   void patch_u32(std::size_t offset, std::uint32_t v);
 
+  /// Arm chunked production: every `chunk_bytes` of new output past the
+  /// watermark are handed to `fn` as one chunk. Bytes already in the
+  /// buffer are below the watermark and are NOT replayed — arm the sink
+  /// before the bytes you want chunked.
+  void set_sink(std::size_t chunk_bytes, SinkFn fn);
+
+  /// Hand any sub-chunk remainder above the watermark to the sink and
+  /// disarm it. No-op when no sink is armed.
+  void flush_sink();
+
+  /// Bytes already handed to the sink (the flush watermark).
+  [[nodiscard]] std::size_t flushed() const noexcept { return flushed_; }
+
  private:
+  void maybe_flush();
+
   Bytes buf_;
+  SinkFn sink_;
+  std::size_t sink_chunk_ = 0;
+  std::size_t flushed_ = 0;
 };
 
 /// Bounds-checked canonical decoder over a borrowed byte span.
 /// Every read past the end throws hpm::WireError.
+///
+/// An optional *refill* callback turns the decoder into an incremental
+/// consumer: when a read would run past the end, the callback is asked
+/// to extend the underlying buffer (blocking until more bytes arrive)
+/// and `rebase()` the span; only if it returns false does the decoder
+/// throw. The streaming restore path uses this to decode chunks as they
+/// land.
 class Decoder {
  public:
+  /// Called with the minimum total span size required to satisfy the
+  /// pending read. Must grow the underlying storage, call rebase(), and
+  /// return true — or return false to signal the stream truly ended.
+  using RefillFn = std::function<bool(std::size_t min_total)>;
+
   explicit Decoder(std::span<const std::uint8_t> data) noexcept : data_(data) {}
   Decoder(const void* data, std::size_t len) noexcept
       : data_(static_cast<const std::uint8_t*>(data), len) {}
@@ -89,12 +135,21 @@ class Decoder {
   [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
 
   /// Peek at the next byte without consuming it.
-  std::uint8_t peek_u8() const;
+  std::uint8_t peek_u8();
+
+  /// Arm incremental refill (see RefillFn). Pass an empty function to
+  /// disarm.
+  void set_refill(RefillFn fn) { refill_ = std::move(fn); }
+
+  /// Swap in a new (typically longer) view of the same logical stream.
+  /// The consumed prefix must be unchanged; the read position is kept.
+  void rebase(std::span<const std::uint8_t> data) noexcept { data_ = data; }
 
  private:
-  void need(std::size_t n) const;
+  void need(std::size_t n);
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  RefillFn refill_;
 };
 
 }  // namespace hpm::xdr

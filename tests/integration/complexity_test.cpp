@@ -11,6 +11,7 @@
 #include "msr/host_space.hpp"
 #include "msrm/collect.hpp"
 #include "msrm/restore.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm {
 namespace {
@@ -40,25 +41,29 @@ Metrics run_chain(std::uint32_t n) {
   const auto nodes = apps::build_random_graph(src, 42, shape);
   root = nodes[0];
 
-  src.space().msrlt().reset_stats();
+  // Per-phase registry deltas: the instruments are process-wide, so the
+  // collect and restore windows are bracketed with snapshots.
+  const obs::MetricsSnapshot pre_collect = obs::Registry::process().snapshot();
   xdr::Encoder enc;
   msrm::Collector collector(src.space(), enc);
   collector.save_variable(reinterpret_cast<Address>(&root));
-  const auto collect_stats = src.space().msrlt().stats();
+  const obs::MetricsSnapshot post_collect = obs::Registry::process().snapshot();
 
   msr::HostSpace dst(table);
   xdr::Decoder dec(enc.bytes());
   msrm::Restorer restorer(dst, dec);
   restorer.set_auto_bind(true);
   restorer.restore_variable();
-  const auto restore_stats = dst.msrlt().stats();
+  const obs::MetricsSnapshot post_restore = obs::Registry::process().snapshot();
 
+  const obs::MetricsSnapshot collect_delta = post_collect.delta_since(pre_collect);
+  const obs::MetricsSnapshot restore_delta = post_restore.delta_since(post_collect);
   Metrics r;
-  r.searches = collect_stats.searches;
-  r.search_steps = collect_stats.search_steps;
-  r.restore_registrations = restore_stats.registrations;
-  r.restore_searches = restore_stats.searches;
-  r.blocks = collector.stats().blocks_saved;
+  r.searches = collect_delta.counter("msr.msrlt.searches");
+  r.search_steps = collect_delta.counter("msr.msrlt.search_steps");
+  r.restore_registrations = restore_delta.counter("msr.msrlt.registrations");
+  r.restore_searches = restore_delta.counter("msr.msrlt.searches");
+  r.blocks = collect_delta.counter("msrm.collect.blocks_saved");
   r.bytes = enc.size();
   return r;
 }
@@ -112,12 +117,14 @@ TEST(ComplexityModel, LinpackProfileKeepsSearchCountConstant) {
     double* pb = b.data();
     space.track(msr::Segment::Global, pa, "pa", ti::native_type_id<double*>(table), 1);
     space.track(msr::Segment::Global, pb, "pb", ti::native_type_id<double*>(table), 1);
-    space.msrlt().reset_stats();
+    const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
     xdr::Encoder enc;
     msrm::Collector collector(space, enc);
     collector.save_variable(reinterpret_cast<Address>(&pa));
     collector.save_variable(reinterpret_cast<Address>(&pb));
-    return std::pair{space.msrlt().stats().searches, enc.size()};
+    const std::uint64_t searches =
+        obs::Registry::process().snapshot().delta_since(before).counter("msr.msrlt.searches");
+    return std::pair{searches, enc.size()};
   };
   const auto [s1, bytes1] = run_linpack_like(10000);
   const auto [s2, bytes2] = run_linpack_like(160000);

@@ -136,12 +136,13 @@ TEST(Coordinator, ReportBlockCountsBalance) {
   options.migrate_at_poll = 1;
   const MigrationReport report = run_migration(options);
   EXPECT_TRUE(result.ok());
-  EXPECT_EQ(report.collect.blocks_saved,
-            report.restore.blocks_created + report.restore.blocks_bound);
-  EXPECT_EQ(report.collect.refs_saved, report.restore.refs_resolved);
-  EXPECT_EQ(report.collect.nulls_saved, report.restore.nulls_restored);
-  EXPECT_EQ(report.collect.prim_leaves, report.restore.prim_leaves);
-  EXPECT_EQ(report.collect.ptr_leaves, report.restore.ptr_leaves);
+  const obs::MetricsSnapshot& m = report.metrics;
+  EXPECT_EQ(m.counter("msrm.collect.blocks_saved"),
+            m.counter("msrm.restore.blocks_created") + m.counter("msrm.restore.blocks_bound"));
+  EXPECT_EQ(m.counter("msrm.collect.refs_saved"), m.counter("msrm.restore.refs_resolved"));
+  EXPECT_EQ(m.counter("msrm.collect.nulls_saved"), m.counter("msrm.restore.nulls_restored"));
+  EXPECT_EQ(m.counter("msrm.collect.prim_leaves"), m.counter("msrm.restore.prim_leaves"));
+  EXPECT_EQ(m.counter("msrm.collect.ptr_leaves"), m.counter("msrm.restore.ptr_leaves"));
   EXPECT_EQ(report.source_arch, "native");
 }
 

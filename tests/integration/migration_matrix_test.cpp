@@ -24,8 +24,9 @@ TEST_P(LinpackSweep, SolvesCorrectlyWhenMigratedAtPoll) {
   const mig::MigrationReport report = mig::run_migration(options);
   EXPECT_TRUE(report.migrated);
   EXPECT_TRUE(result.ok()) << "normalized=" << result.normalized << " at poll " << GetParam();
-  EXPECT_EQ(report.collect.blocks_saved, report.restore.blocks_created +
-                                             report.restore.blocks_bound)
+  EXPECT_EQ(report.metrics.counter("msrm.collect.blocks_saved"),
+            report.metrics.counter("msrm.restore.blocks_created") +
+                report.metrics.counter("msrm.restore.blocks_bound"))
       << "every transferred block must be materialized exactly once";
 }
 

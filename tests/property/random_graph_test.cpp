@@ -9,6 +9,8 @@
 #include "msr/graph.hpp"
 #include "msrm/collect.hpp"
 #include "msrm/restore.hpp"
+#include "obs/metrics.hpp"
+#include "xdr/arch.hpp"
 
 namespace hpm {
 namespace {
@@ -41,10 +43,13 @@ TEST_P(RandomGraphProperty, HostToHostStreamPreservesFingerprint) {
   root = nodes[0];
   const std::uint64_t fp = apps::graph_fingerprint(root);
 
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
   xdr::Encoder enc;
   msrm::Collector collector(src.space(), enc);
   collector.save_variable(reinterpret_cast<Address>(&root));
   const Bytes stream = enc.take();
+  const obs::MetricsSnapshot collect_delta =
+      obs::Registry::process().snapshot().delta_since(before);
 
   // No duplication: PNEW count equals the number of *reachable* blocks
   // (the root variable + reachable graph nodes).
@@ -52,7 +57,7 @@ TEST_P(RandomGraphProperty, HostToHostStreamPreservesFingerprint) {
   const BlockId root_block =
       src.space().msrlt().find_containing(reinterpret_cast<Address>(&root))->id;
   const auto reachable = g.reachable_from({root_block});
-  EXPECT_EQ(collector.stats().blocks_saved, reachable.size());
+  EXPECT_EQ(collect_delta.counter("msrm.collect.blocks_saved"), reachable.size());
 
   msr::HostSpace dst(table);
   xdr::Decoder dec(stream);
@@ -85,7 +90,7 @@ TEST_P(RandomGraphProperty, HeterogeneousRoundTripPreservesFingerprint) {
   c1.save_variable(reinterpret_cast<Address>(&root));
   memimg::ImageSpace sparc(table, xdr::sparc20_solaris());
   xdr::Decoder d1_dec(e1.bytes());
-  msrm::Restorer r1(sparc, d1_dec);
+  msrm::Restorer r1(sparc, d1_dec, xdr::native_arch());
   r1.set_auto_bind(true);
   const BlockId sparc_root = r1.restore_variable();
 
@@ -94,7 +99,7 @@ TEST_P(RandomGraphProperty, HeterogeneousRoundTripPreservesFingerprint) {
   c2.save_variable(sparc.msrlt().find_id(sparc_root)->base);
   memimg::ImageSpace dec5k(table, xdr::dec5000_ultrix());
   xdr::Decoder d2_dec(e2.bytes());
-  msrm::Restorer r2(dec5k, d2_dec);
+  msrm::Restorer r2(dec5k, d2_dec, xdr::sparc20_solaris());
   r2.set_auto_bind(true);
   const BlockId dec_root = r2.restore_variable();
 
@@ -103,7 +108,7 @@ TEST_P(RandomGraphProperty, HeterogeneousRoundTripPreservesFingerprint) {
   c3.save_variable(dec5k.msrlt().find_id(dec_root)->base);
   msr::HostSpace host2(table);
   xdr::Decoder d3_dec(e3.bytes());
-  msrm::Restorer r3(host2, d3_dec);
+  msrm::Restorer r3(host2, d3_dec, xdr::dec5000_ultrix());
   r3.set_auto_bind(true);
   const BlockId out = r3.restore_variable();
   RandNode* root2 = *reinterpret_cast<RandNode**>(host2.msrlt().find_id(out)->base);

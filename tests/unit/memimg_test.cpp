@@ -116,7 +116,7 @@ TEST_P(CrossArch, HostToImageToHostPreservesTheGraph) {
   const Bytes s1 = enc1.take();
   ImageSpace img(t, xdr::arch_by_name(GetParam()));
   xdr::Decoder d1(s1);
-  msrm::Restorer r1(img, d1);
+  msrm::Restorer r1(img, d1, xdr::native_arch());
   r1.set_auto_bind(true);
   const BlockId img_root = r1.restore_variable();
 
@@ -127,7 +127,7 @@ TEST_P(CrossArch, HostToImageToHostPreservesTheGraph) {
   const Bytes s2 = enc2.take();
   msr::HostSpace host2(t);
   xdr::Decoder d2(s2);
-  msrm::Restorer r2(host2, d2);
+  msrm::Restorer r2(host2, d2, xdr::arch_by_name(GetParam()));
   r2.set_auto_bind(true);
   const BlockId out = r2.restore_variable();
 
@@ -158,7 +158,7 @@ TEST(ImageSpace, LongOverflowIsDetectedWhenNarrowing) {
   const Bytes s = enc.take();
   ImageSpace img(t, xdr::sparc20_solaris());
   xdr::Decoder dec(s);
-  msrm::Restorer res(img, dec);
+  msrm::Restorer res(img, dec, xdr::native_arch());
   res.set_auto_bind(true);
   EXPECT_THROW(res.restore_variable(), ConversionError);
 }
@@ -180,7 +180,7 @@ TEST(ImageSpace, InteriorPointersSurviveLayoutChanges) {
   const Bytes s = enc.take();
   ImageSpace img(t, xdr::sparc20_solaris());
   xdr::Decoder dec(s);
-  msrm::Restorer res(img, dec);
+  msrm::Restorer res(img, dec, xdr::native_arch());
   res.set_auto_bind(true);
   const BlockId mid_img = res.restore_variable();
   const Address cell = img.msrlt().find_id(mid_img)->base;

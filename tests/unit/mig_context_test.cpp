@@ -95,7 +95,7 @@ TEST(MigContext, PollTriggerCollectsAndThrowsMigrationExit) {
   EXPECT_EQ(ctx.poll_count(), 4u);
   EXPECT_GT(ctx.stream().size(), 0u);
   EXPECT_GT(ctx.metrics().stream_bytes, 0u);
-  EXPECT_EQ(ctx.metrics().collect.blocks_saved, 3u);  // i, done, n
+  EXPECT_EQ(ctx.metrics().collect.counter("msrm.collect.blocks_saved"), 3u);  // i, done, n
 }
 
 TEST(MigContext, AsyncRequestIsHonoredAtNextPoll) {
@@ -280,8 +280,8 @@ TEST(MigrationMetrics, CollectStatsMatchTheStreamedGraph) {
   src.set_migrate_at_poll(1);
   EXPECT_THROW(program(src), MigrationExit);
   // Blocks: x's var, also_x's var, the heap pair. One PREF for the share.
-  EXPECT_EQ(src.metrics().collect.blocks_saved, 3u);
-  EXPECT_EQ(src.metrics().collect.refs_saved, 1u);
+  EXPECT_EQ(src.metrics().collect.counter("msrm.collect.blocks_saved"), 3u);
+  EXPECT_EQ(src.metrics().collect.counter("msrm.collect.refs_saved"), 1u);
 }
 
 
@@ -309,7 +309,7 @@ TEST(MigrationMetrics, DeadBlocksStayBehind) {
   EXPECT_THROW(program(src), MigrationExit);
   // Tracked: kept's var block, kept's heap block, dropped's heap block.
   EXPECT_EQ(src.metrics().tracked_blocks, 3u);
-  EXPECT_EQ(src.metrics().collect.blocks_saved, 2u);
+  EXPECT_EQ(src.metrics().collect.counter("msrm.collect.blocks_saved"), 2u);
   EXPECT_EQ(src.metrics().dead_blocks(), 1u);
 
   MigContext dst(t);

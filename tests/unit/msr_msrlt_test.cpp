@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "msr/msrlt.hpp"
+#include "obs/metrics.hpp"
 #include "ti/table.hpp"
 
 namespace hpm::msr {
 namespace {
+
+obs::MetricsSnapshot snap() { return obs::Registry::process().snapshot(); }
 
 TEST(Msrlt, RegisterAssignsSegmentTaggedIds) {
   Msrlt t;
@@ -97,17 +100,51 @@ TEST(Msrlt, VisitMarkingIsPerTraversal) {
   EXPECT_THROW(t.try_mark(make_block_id(Segment::Heap, 999)), MsrError);
 }
 
-TEST(Msrlt, StatsCountSearchesAndUpdates) {
+TEST(Msrlt, RegistryCountsSearchesAndUpdates) {
+  const obs::MetricsSnapshot before = snap();
   Msrlt t;
   t.register_block(Segment::Heap, 0x1000, 16, 1, 1, "");
   t.register_block(Segment::Heap, 0x2000, 16, 1, 1, "");
   t.find_containing(0x1008);
   t.find_containing(0x9999);
-  EXPECT_EQ(t.stats().registrations, 2u);
-  EXPECT_EQ(t.stats().searches, 2u);
-  EXPECT_GT(t.stats().search_steps, 0u);
-  t.reset_stats();
-  EXPECT_EQ(t.stats().searches, 0u);
+  const obs::MetricsSnapshot delta = snap().delta_since(before);
+  EXPECT_EQ(delta.counter("msr.msrlt.registrations"), 2u);
+  EXPECT_EQ(delta.counter("msr.msrlt.searches"), 2u);
+  EXPECT_GT(delta.counter("msr.msrlt.search_steps"), 0u);
+}
+
+TEST(Msrlt, TrackedBytesFollowRegistrationAndRemoval) {
+  Msrlt t;
+  EXPECT_EQ(t.tracked_bytes(), 0u);
+  t.register_block(Segment::Heap, 0x1000, 48, 1, 1, "");
+  t.register_block(Segment::Heap, 0x2000, 16, 1, 1, "");
+  EXPECT_EQ(t.tracked_bytes(), 64u);
+  t.unregister(0x1000);
+  EXPECT_EQ(t.tracked_bytes(), 16u);
+}
+
+TEST(Msrlt, MruCacheShortCircuitsRepeatedHits) {
+  Msrlt t;
+  for (int i = 0; i < 32; ++i) {
+    t.register_block(Segment::Heap, 0x1000 + i * 0x100, 0x80, 1, 1, "");
+  }
+  const obs::MetricsSnapshot before = snap();
+  // First probe fills the MRU slot; the rest of the block's interior
+  // resolves from it with exactly one step per search.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_NE(t.find_containing(0x1500 + i), nullptr);
+  }
+  const obs::MetricsSnapshot delta = snap().delta_since(before);
+  EXPECT_EQ(delta.counter("msr.msrlt.searches"), 16u);
+  EXPECT_EQ(delta.counter("msr.msrlt.cache_hits"), 15u);
+
+  // Unregistering any block drops the cached entry (map nodes are stable,
+  // but a stale hit after removal would be a use-after-free).
+  t.unregister(0x1500);
+  const obs::MetricsSnapshot before2 = snap();
+  EXPECT_EQ(t.find_containing(0x1500), nullptr);
+  EXPECT_NE(t.find_containing(0x1600), nullptr);
+  EXPECT_EQ(snap().delta_since(before2).counter("msr.msrlt.cache_hits"), 0u);
 }
 
 TEST(Msrlt, LinearScanStrategyGivesIdenticalAnswers) {
@@ -117,6 +154,12 @@ TEST(Msrlt, LinearScanStrategyGivesIdenticalAnswers) {
     ordered.register_block(Segment::Heap, 0x1000 + i * 0x40, 0x20, 1, 1, "");
     linear.register_block(Segment::Heap, 0x1000 + i * 0x40, 0x20, 1, 1, "");
   }
+  const obs::MetricsSnapshot s0 = snap();
+  for (Address a = 0xF00; a < 0x2100; a += 7) {
+    const MemoryBlock* x = ordered.find_containing(a);
+    ASSERT_EQ(x != nullptr, (a >= 0x1000 && a < 0x2000 && (a & 0x3F) < 0x20)) << a;
+  }
+  const obs::MetricsSnapshot s1 = snap();
   for (Address a = 0xF00; a < 0x2100; a += 7) {
     const MemoryBlock* x = ordered.find_containing(a);
     const MemoryBlock* y = linear.find_containing(a);
@@ -125,8 +168,13 @@ TEST(Msrlt, LinearScanStrategyGivesIdenticalAnswers) {
       EXPECT_EQ(x->id, y->id);
     }
   }
-  // The linear strategy's step count is what the ablation bench plots.
-  EXPECT_GT(linear.stats().search_steps, ordered.stats().search_steps);
+  const obs::MetricsSnapshot s2 = snap();
+  // The linear strategy's step count is what the ablation bench plots:
+  // the second loop ran BOTH strategies, so its step delta minus the
+  // ordered-only baseline is the linear share — strictly larger.
+  const std::uint64_t ordered_steps = s1.delta_since(s0).counter("msr.msrlt.search_steps");
+  const std::uint64_t both_steps = s2.delta_since(s1).counter("msr.msrlt.search_steps");
+  EXPECT_GT(both_steps - ordered_steps, ordered_steps);
 }
 
 }  // namespace

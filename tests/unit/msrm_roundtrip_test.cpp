@@ -9,6 +9,7 @@
 #include "msrm/collect.hpp"
 #include "msrm/restore.hpp"
 #include "msrm/stream.hpp"
+#include "obs/metrics.hpp"
 #include "ti/describe.hpp"
 
 namespace hpm::msrm {
@@ -36,11 +37,12 @@ class RoundTrip : public ::testing::Test {
   /// Collect one variable from src_, restore into dst_, return the
   /// destination block's base address.
   Address round_trip(const void* var_addr) {
+    const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
     xdr::Encoder enc;
     Collector collector(src_, enc);
     collector.save_variable(reinterpret_cast<Address>(var_addr));
     bytes_ = enc.take();
-    collect_stats_ = collector.stats();
+    collect_ = obs::Registry::process().snapshot().delta_since(before);
     dec_.emplace(bytes_);
     restorer_.emplace(dst_, *dec_);
     restorer_->set_auto_bind(true);
@@ -53,7 +55,7 @@ class RoundTrip : public ::testing::Test {
   HostSpace dst_;
   ti::TypeId cell_type_ = ti::kInvalidType;
   Bytes bytes_;
-  Collector::Stats collect_stats_;
+  obs::MetricsSnapshot collect_;  ///< registry delta across the collect phase
   std::optional<xdr::Decoder> dec_;
   std::optional<Restorer> restorer_;
 };
@@ -63,8 +65,8 @@ TEST_F(RoundTrip, ScalarVariable) {
   src_.track(Segment::Global, pi, "pi", table_.primitive(xdr::PrimKind::Double), 1);
   const Address out = round_trip(&pi);
   EXPECT_EQ(*reinterpret_cast<double*>(out), pi);
-  EXPECT_EQ(collect_stats_.blocks_saved, 1u);
-  EXPECT_EQ(collect_stats_.prim_leaves, 1u);
+  EXPECT_EQ(collect_.counter("msrm.collect.blocks_saved"), 1u);
+  EXPECT_EQ(collect_.counter("msrm.collect.prim_leaves"), 1u);
 }
 
 TEST_F(RoundTrip, LargePrimitiveArrayTakesTheFlatPath) {
@@ -75,8 +77,11 @@ TEST_F(RoundTrip, LargePrimitiveArrayTakesTheFlatPath) {
   const Address out = round_trip(big.data());
   const double* d = reinterpret_cast<double*>(out);
   for (std::size_t i = 0; i < big.size(); ++i) ASSERT_EQ(d[i], i * 0.25);
-  EXPECT_EQ(collect_stats_.prim_leaves, 5000u);
-  EXPECT_EQ(collect_stats_.ptr_leaves, 0u);
+  EXPECT_EQ(collect_.counter("msrm.collect.prim_leaves"), 5000u);
+  EXPECT_EQ(collect_.counter("msrm.collect.ptr_leaves"), 0u);
+  // Pointer-free array of doubles: same-arch streams take the bulk body.
+  EXPECT_EQ(collect_.counter("msrm.collect.bulk_bodies"), 1u);
+  EXPECT_EQ(collect_.counter("msrm.collect.bulk_bytes"), 5000u * sizeof(double));
 }
 
 TEST_F(RoundTrip, MixedStructValues) {
@@ -135,7 +140,7 @@ TEST_F(RoundTrip, DeepListDoesNotOverflowTheCallStack) {
     walk = walk->next;
   }
   EXPECT_EQ(walk, nullptr);
-  EXPECT_EQ(collect_stats_.blocks_saved, kDepth + 1u);
+  EXPECT_EQ(collect_.counter("msrm.collect.blocks_saved"), kDepth + 1u);
 }
 
 TEST_F(RoundTrip, SharedTargetIsTransferredOnce) {
@@ -148,8 +153,8 @@ TEST_F(RoundTrip, SharedTargetIsTransferredOnce) {
   Cell* const* restored = reinterpret_cast<Cell* const*>(out);
   for (int i = 1; i < 8; ++i) EXPECT_EQ(restored[i], restored[0]);  // still shared
   EXPECT_EQ(restored[0]->value, 42);
-  EXPECT_EQ(collect_stats_.blocks_saved, 2u);   // fans + shared, once each
-  EXPECT_EQ(collect_stats_.refs_saved, 7u);     // seven duplicate guards hit
+  EXPECT_EQ(collect_.counter("msrm.collect.blocks_saved"), 2u);  // fans + shared, once each
+  EXPECT_EQ(collect_.counter("msrm.collect.refs_saved"), 7u);    // seven duplicate guards hit
 }
 
 TEST_F(RoundTrip, SelfCycleIsClosed) {
@@ -162,7 +167,7 @@ TEST_F(RoundTrip, SelfCycleIsClosed) {
   Cell* r = *reinterpret_cast<Cell**>(out);
   EXPECT_EQ(r->value, 7);
   EXPECT_EQ(r->next, r);
-  EXPECT_EQ(collect_stats_.refs_saved, 1u);
+  EXPECT_EQ(collect_.counter("msrm.collect.refs_saved"), 1u);
 }
 
 TEST_F(RoundTrip, InteriorPointerKeepsItsElementOffset) {
@@ -202,6 +207,7 @@ TEST_F(RoundTrip, SecondVariableBecomesAReference) {
   src_.track(Segment::Global, first, "first", ti::native_type_id<Cell*>(table_), 1);
   src_.track(Segment::Global, last, "last", ti::native_type_id<Cell*>(table_), 1);
 
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
   xdr::Encoder enc;
   Collector collector(src_, enc);
   collector.save_variable(reinterpret_cast<Address>(&first));
@@ -211,7 +217,9 @@ TEST_F(RoundTrip, SecondVariableBecomesAReference) {
   // `last` record: PNEW header of the variable block + one PREF. Far
   // smaller than the first record which carried both cells.
   EXPECT_LT(after_last - after_first, after_first);
-  EXPECT_EQ(collector.stats().blocks_saved, 4u);
+  EXPECT_EQ(obs::Registry::process().snapshot().delta_since(before).counter(
+                "msrm.collect.blocks_saved"),
+            4u);
 
   const Bytes bytes = enc.take();
   xdr::Decoder dec(bytes);
@@ -232,7 +240,7 @@ TEST_F(RoundTrip, NullPointersStayNull) {
   const Cell& r = *reinterpret_cast<Cell*>(out);
   EXPECT_EQ(r.value, 5);
   EXPECT_EQ(r.next, nullptr);
-  EXPECT_EQ(collect_stats_.nulls_saved, 1u);
+  EXPECT_EQ(collect_.counter("msrm.collect.nulls_saved"), 1u);
 }
 
 TEST_F(RoundTrip, SavePointerMirrorsRestorePointer) {
