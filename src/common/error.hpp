@@ -58,6 +58,24 @@ class TimeoutError : public NetError {
   using NetError::NetError;
 };
 
+/// The peer violated the migration protocol: duplicate or out-of-order
+/// chunk sequence numbers, totals that disagree with what arrived,
+/// messages outside the expected exchange. Derives from NetError so the
+/// coordinator treats it as one more retryable transfer failure.
+class ProtocolError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+/// Injected process death (FaultKind::Kill): the endpoint "crashed" and
+/// can run no recovery code of its own. Deliberately NOT a NetError —
+/// the retry machinery must not absorb a crash as a transport fault; the
+/// journal-recovery path owns it.
+class KilledError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Migration-runtime misuse or failed migration protocol step.
 class MigrationError : public Error {
  public:

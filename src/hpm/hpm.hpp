@@ -27,6 +27,7 @@
 #include "mig/annotate.hpp"
 #include "mig/context.hpp"
 #include "mig/coordinator.hpp"
+#include "mig/journal.hpp"
 #include "msr/graph.hpp"
 #include "msr/host_space.hpp"
 #include "msr/msrlt.hpp"

@@ -1,6 +1,5 @@
 #include "mig/chunk_assembler.hpp"
 
-#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace hpm::mig {
@@ -15,11 +14,21 @@ void ChunkAssembler::fail_locked(std::string reason) {
 
 void ChunkAssembler::append(std::uint32_t seq, std::span<const std::uint8_t> bytes) {
   std::lock_guard lk(mu_);
-  if (failed_ || complete_) return;  // late chunks after a failure are drained, not kept
-  if (seq != chunks_) {
+  if (failed_) return;  // late chunks after a failure are drained, not kept
+  if (complete_) {
+    fail_locked("protocol violation: StateChunk " + std::to_string(seq) +
+                " arrived after StateEnd");
+    throw ProtocolError(reason_);
+  }
+  if (seq < chunks_) {
+    fail_locked("duplicate or replayed chunk: seq " + std::to_string(seq) +
+                " already assembled (next expected " + std::to_string(chunks_) + ")");
+    throw ProtocolError(reason_);
+  }
+  if (seq > chunks_) {
     fail_locked("chunk sequence gap: expected " + std::to_string(chunks_) + ", got " +
                 std::to_string(seq));
-    throw NetError(reason_);
+    throw ProtocolError(reason_);
   }
   data_.insert(data_.end(), bytes.begin(), bytes.end());
   ++chunks_;
@@ -28,7 +37,11 @@ void ChunkAssembler::append(std::uint32_t seq, std::span<const std::uint8_t> byt
 
 void ChunkAssembler::finish(const net::StateEndInfo& info) {
   std::lock_guard lk(mu_);
-  if (failed_ || complete_) return;
+  if (failed_) return;
+  if (complete_) {
+    fail_locked("protocol violation: second StateEnd for one stream");
+    throw ProtocolError(reason_);
+  }
   if (info.chunk_count != chunks_) {
     fail_locked("stream ended after " + std::to_string(chunks_) + " chunks, sender reports " +
                 std::to_string(info.chunk_count));
@@ -39,10 +52,7 @@ void ChunkAssembler::finish(const net::StateEndInfo& info) {
                 " bytes, sender reports " + std::to_string(info.total_bytes));
     return;
   }
-  if (info.total_crc != Crc32::of(data_.data(), data_.size())) {
-    fail_locked("reassembled stream CRC mismatch");
-    return;
-  }
+  end_ = info;
   complete_ = true;
   cv_.notify_all();
 }
@@ -71,6 +81,11 @@ std::uint64_t ChunkAssembler::await_complete() {
 std::uint32_t ChunkAssembler::chunks_received() const {
   std::lock_guard lk(mu_);
   return chunks_;
+}
+
+net::StateEndInfo ChunkAssembler::end_info() const {
+  std::lock_guard lk(mu_);
+  return end_;
 }
 
 }  // namespace hpm::mig

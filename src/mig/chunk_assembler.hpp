@@ -7,10 +7,13 @@
 // internal vector, the consumer copies out of it under the lock — so the
 // design is clean under TSan by construction, not by annotation.
 //
-// Any producer-side failure (frame CRC mismatch, sequence gap, totals
-// that disagree with StateEnd) poisons the assembler; the consumer's
-// next fetch() rethrows it as a NetError, which the coordinator turns
-// into a Nack — one retryable failure, never a hang.
+// Any producer-side failure (frame CRC mismatch, sequence violation,
+// hostile StateEnd totals) poisons the assembler; the consumer's next
+// fetch() rethrows it as a NetError, which the coordinator turns into a
+// Nack — one retryable failure, never a hang. Sequence and totals
+// violations throw the typed hpm::ProtocolError on the producer side
+// too, so the rx loop can distinguish a hostile/buggy peer from a
+// damaged link.
 #pragma once
 
 #include <condition_variable>
@@ -28,14 +31,17 @@ class ChunkAssembler {
  public:
   /// --- producer side (rx thread) -----------------------------------------
 
-  /// Append one chunk's bytes. Chunks must arrive in sequence order
-  /// (the channel is ordered; a gap means a dropped frame). A sequence
-  /// mismatch poisons the assembler and throws.
+  /// Append one chunk's bytes. Chunks must arrive in exact sequence order
+  /// (the channel is ordered; a gap means a dropped frame, a duplicate a
+  /// replayed one). Any violation — including a chunk after StateEnd —
+  /// poisons the assembler and throws hpm::ProtocolError.
   void append(std::uint32_t seq, std::span<const std::uint8_t> bytes);
 
-  /// Orderly end of stream: verifies the chunk count, byte total, and
-  /// whole-stream CRC-32 against what actually arrived. A mismatch
-  /// poisons the assembler instead of completing it.
+  /// Orderly end of stream: verifies the chunk count and byte total
+  /// against what actually arrived and retains `info` (its end-to-end
+  /// digest is checked by the restoring context, not here — transport
+  /// validates structure, msrm validates content). A mismatch or a
+  /// second StateEnd poisons the assembler instead of completing it.
   void finish(const net::StateEndInfo& info);
 
   /// Poison the assembler: every waiting or future consumer call throws
@@ -56,12 +62,17 @@ class ChunkAssembler {
 
   [[nodiscard]] std::uint32_t chunks_received() const;
 
+  /// The StateEnd that completed the stream (valid once await_complete()
+  /// returned): carries the source's end-to-end digest.
+  [[nodiscard]] net::StateEndInfo end_info() const;
+
  private:
   void fail_locked(std::string reason);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Bytes data_;
+  net::StateEndInfo end_;
   std::uint32_t chunks_ = 0;
   bool complete_ = false;
   bool failed_ = false;

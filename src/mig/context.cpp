@@ -169,7 +169,16 @@ void MigContext::do_migration(std::uint32_t label) {
   // growth a non-event even for multi-megabyte heaps.
   xdr::Encoder enc(space_.msrlt().tracked_bytes() +
                    space_.msrlt().block_count() * 32 + 4096);
-  if (collect_sink_) enc.set_sink(collect_chunk_, collect_sink_);
+  // End-to-end digest tap: accumulate over exactly the bytes that leave
+  // through the sink (the canonical stream in chunk order), or one-shot
+  // over the retained stream when collection is not streamed.
+  msrm::StreamDigest digest;
+  if (collect_sink_) {
+    enc.set_sink(collect_chunk_, [this, &digest](std::span<const std::uint8_t> bytes) {
+      digest.update(bytes);
+      collect_sink_(bytes);
+    });
+  }
   msrm::write_header(enc, {space_.arch().name, types_->signature()});
   // Ship the TI table so the destination can adopt shell types interned by
   // source code it will skip during restoration.
@@ -189,6 +198,8 @@ void MigContext::do_migration(std::uint32_t label) {
   msrm::finish_stream(enc);
   enc.flush_sink();  // sub-chunk remainder (incl. the trailer) goes out too
   stream_ = enc.take();
+  if (!collect_sink_) digest.update({stream_.data(), stream_.size()});
+  collect_digest_ = digest.value();
   span.arg("stream_bytes", std::uint64_t{stream_.size()});
   metrics_.collect_seconds = span.finish();
   metrics_.stream_bytes = stream_.size();
@@ -307,15 +318,24 @@ void MigContext::finish_restore(Frame& frame, std::uint32_t label) {
                            "' restored into the wrong block");
     }
   }
+  std::uint64_t restored_digest = 0;
   if (assembler_ != nullptr) {
     // Chunked stream: wait for the orderly end (the assembler has already
-    // verified chunk count, byte total, and whole-stream CRC), pull every
-    // remaining byte, then run the serial path's trailer check over the
-    // complete stream. Exactly the 5-byte trailer may remain undecoded.
+    // verified chunk count and byte total), pull every remaining byte,
+    // compare the end-to-end digest the source computed over the canonical
+    // stream against our own — FIRST, so corruption that slipped past
+    // every frame CRC is named for what it is — then run the serial
+    // path's trailer check. Exactly the 5-byte trailer may stay undecoded.
     const std::uint64_t total = assembler_->await_complete();
     while (restore_stream_.size() < total && assembler_->fetch(restore_stream_, total)) {
     }
     dec_->rebase({restore_stream_.data(), restore_stream_.size()});
+    restored_digest = msrm::StreamDigest::of({restore_stream_.data(), restore_stream_.size()});
+    if (restored_digest != assembler_->end_info().digest) {
+      throw MigrationError(
+          "end-to-end digest mismatch: canonical stream damaged between "
+          "collection and restoration despite intact frame CRCs");
+    }
     msrm::check_stream(restore_stream_);
     if (dec_->remaining() != 5) {
       throw MigrationError("migration stream has " + std::to_string(dec_->remaining()) +
@@ -338,12 +358,17 @@ void MigContext::finish_restore(Frame& frame, std::uint32_t label) {
   metrics_.restore = obs::Registry::process().snapshot().delta_since(restore_before_);
   metrics_.stream_bytes = restore_stream_.size();
 
+  const bool streamed = assembler_ != nullptr;
   mode_ = Mode::Normal;
   restorer_.reset();
   dec_.reset();
   restore_stream_.clear();
   assembler_ = nullptr;
   for (Frame* f : frames_) f->restore_from = nullptr;
+  // Commit gate (transactional handoff): restoration is fully verified,
+  // but the tail must not run until the source relinquishes ownership. A
+  // throw here unwinds the not-yet-owned process.
+  if (streamed && commit_gate_) commit_gate_(restored_digest);
   if (stop_after_restore_) throw MigrationExit{label};
 }
 

@@ -162,6 +162,12 @@ class MigContext {
   /// Stream produced by the last collection (valid after MigrationExit).
   [[nodiscard]] const Bytes& stream() const noexcept { return stream_; }
 
+  /// End-to-end digest (msrm::StreamDigest) of the last collected stream,
+  /// accumulated chunk-by-chunk as collection streams through the sink.
+  /// Carried in StateEnd and re-verified on the destination before it may
+  /// vote in the commit phase.
+  [[nodiscard]] std::uint64_t stream_digest() const noexcept { return collect_digest_; }
+
   /// Pipelined collection: stream the encoded state through `sink` in
   /// `chunk_bytes` slices while the collection DFS is still walking the
   /// graph. Install before the program starts. The full stream is still
@@ -175,9 +181,21 @@ class MigContext {
 
   /// Streaming variant: decode the stream incrementally as chunks land in
   /// `assembler` (which must outlive restoration). Blocks whenever the
-  /// decoder outruns the network. End-to-end checks (trailer CRC, byte
-  /// totals) run once the stream completes, at the migration poll-point.
+  /// decoder outruns the network. End-to-end checks (digest, trailer CRC,
+  /// byte totals) run once the stream completes, at the migration
+  /// poll-point.
   void begin_restore_streaming(ChunkAssembler& assembler);
+
+  /// Transactional handoff hook, streaming restores only: invoked at the
+  /// migration poll-point AFTER every restoration check (including the
+  /// end-to-end digest comparison) passed, with the digest this side
+  /// computed. The coordinator's gate runs the Prepare/Commit exchange
+  /// there; a throw unwinds the program before the restored process ever
+  /// executes its tail — the destination must not run what it does not
+  /// yet own.
+  void set_commit_gate(std::function<void(std::uint64_t digest)> gate) {
+    commit_gate_ = std::move(gate);
+  }
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
   [[nodiscard]] bool restoring() const noexcept { return mode_ == Mode::Restoring; }
@@ -216,6 +234,8 @@ class MigContext {
   Bytes stream_;
   std::size_t collect_chunk_ = 0;
   xdr::Encoder::SinkFn collect_sink_;
+  std::uint64_t collect_digest_ = 0;
+  std::function<void(std::uint64_t)> commit_gate_;
 
   // Restore-side state.
   ChunkAssembler* assembler_ = nullptr;  ///< non-null while restoring a chunked stream

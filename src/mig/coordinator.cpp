@@ -7,13 +7,14 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 
-#include "common/crc32.hpp"
 #include "mig/chunk_assembler.hpp"
+#include "msrm/stream.hpp"
 #include "net/message.hpp"
 #include "obs/span.hpp"
 
@@ -189,6 +190,7 @@ constexpr std::size_t kChunkQueueCapacity = 8;
 bool attempt_transfer(const RunOptions& options, const Bytes& stream,
                       MigrationReport& report,
                       const std::shared_ptr<net::FaultState>& fault_state,
+                      const std::shared_ptr<net::FaultState>& dest_fault_state,
                       std::chrono::milliseconds timeout, std::string& cause) {
   const bool duplex = options.transport != Transport::File;
   // A fresh attempt gets a fresh spool; a half-written one from a failed
@@ -206,6 +208,11 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
     channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
                                                               options.link);
     if (timeout.count() > 0) channels.source->set_timeout(timeout);
+  }
+  if (options.dest_fault_plan.enabled()) {
+    channels.destination = std::make_unique<net::FaultyChannel>(
+        std::move(channels.destination), options.dest_fault_plan, dest_fault_state);
+    if (timeout.count() > 0) channels.destination->set_timeout(timeout);
   }
 
   // --- destination host: invoked first, announces itself, waits (paper §2).
@@ -227,6 +234,14 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
       ctx.begin_restore(std::move(msg.payload));
       run_destination_program(options, ctx, report);
       if (duplex) net::send_message(*channels.destination, net::MsgType::Ack, {});
+    } catch (const KilledError&) {
+      // A crashed process sends no Nack and runs no teardown protocol;
+      // the source observes only the dead channel.
+      dest_error = std::current_exception();
+      try {
+        channels.destination->abort();
+      } catch (...) {
+      }
     } catch (const NetError& e) {
       // Frame never arrived intact (CRC mismatch, truncation, timeout,
       // disconnect): nack it so the source retransmits instead of trusting
@@ -332,126 +347,667 @@ bool attempt_transfer(const RunOptions& options, const Bytes& stream,
   return false;
 }
 
-/// Outcome of the single pipelined attempt (always attempt 1).
-enum class PipelineOutcome : std::uint8_t {
-  CompletedLocally,  ///< program finished without migrating
-  Migrated,          ///< chunked transfer restored and acknowledged
-  Failed,            ///< retryable; the collected stream is retained for serial retries
+/// `mig.txn.*` counters for the two-phase handoff.
+struct TxnMetrics {
+  obs::Counter& begins = obs::Registry::process().counter("mig.txn.begins");
+  obs::Counter& prepares = obs::Registry::process().counter("mig.txn.prepares");
+  obs::Counter& commits = obs::Registry::process().counter("mig.txn.commits");
+  obs::Counter& aborts = obs::Registry::process().counter("mig.txn.aborts");
+  obs::Counter& indoubt_recoveries =
+      obs::Registry::process().counter("mig.txn.indoubt_recoveries");
+
+  static TxnMetrics& get() {
+    static TxnMetrics m;
+    return m;
+  }
 };
 
-/// The pipelined first attempt: destination up BEFORE the program runs,
-/// collection streaming chunks through a bounded queue while the DFS is
-/// still walking the graph, the destination decoding each prefix as it
-/// lands. On success the three phases overlap in wall-clock time; on any
-/// retryable failure the retained stream falls back to the serial path.
-PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& report,
-                                  Bytes& stream,
-                                  const std::shared_ptr<net::FaultState>& fault_state,
-                                  std::chrono::milliseconds timeout, std::string& cause) {
-  CoordinatorMetrics::get().attempts.add(1);
-  report.attempts = 1;
+/// `mig.resume.*` instruments for the watermark/resume machinery.
+struct ResumeMetrics {
+  obs::Counter& attempts = obs::Registry::process().counter("mig.resume.attempts");
+  obs::Counter& chunks_skipped =
+      obs::Registry::process().counter("mig.resume.chunks_skipped");
+  obs::Gauge& last_acked = obs::Registry::process().gauge("mig.resume.last_acked");
+
+  static ResumeMetrics& get() {
+    static ResumeMetrics m;
+    return m;
+  }
+};
+
+/// What the source durably decided about `txn`, per its journal. Scans
+/// the raw records (rather than recover_from_journals) so an in-doubt
+/// destination can distinguish "source aborted" from "source has not
+/// decided YET" and poll for the verdict. Last decisive record wins.
+enum class SourceDecision : std::uint8_t { Undecided, Commit, Abort };
+
+SourceDecision last_source_decision(const std::string& path, std::uint64_t txn) {
+  SourceDecision decision = SourceDecision::Undecided;
+  for (const JournalRecord& r : Journal::replay(path)) {
+    if (r.txn_id != txn) continue;
+    switch (r.type) {
+      case JournalRecordType::Commit:
+      case JournalRecordType::Done:
+        decision = SourceDecision::Commit;
+        break;
+      case JournalRecordType::Abort:
+        decision = SourceDecision::Abort;
+        break;
+      default:
+        break;
+    }
+  }
+  return decision;
+}
+
+/// Source-side receive pump for one channel epoch. StateAck watermarks
+/// are folded into an atomic as they arrive (the sender never blocks on
+/// them); every other message queues for the coordinator thread. An idle
+/// TimeoutError on the recv is tolerated — the destination is
+/// legitimately silent while it restores — so liveness is enforced by
+/// await()'s own deadline, not the channel's.
+class ControlInbox {
+ public:
+  ControlInbox(net::ByteChannel& ch, std::atomic<std::uint32_t>& acked)
+      : ch_(ch), acked_(acked), thread_([this] { pump(); }) {}
+
+  ~ControlInbox() { stop(); }
+
+  /// Abort the channel and join the pump. Idempotent; after the first
+  /// call the channel reference is never touched again, so the channel
+  /// may be destroyed once stop() returns.
+  void stop() {
+    if (!stopped_.exchange(true)) {
+      try {
+        ch_.abort();
+      } catch (...) {
+      }
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Next non-ack message. Throws the pump's terminal error once the
+  /// queue drains, or TimeoutError past `deadline` (zero = wait forever).
+  net::Message await(std::chrono::milliseconds deadline) {
+    std::unique_lock lk(mu_);
+    auto ready = [&] { return !q_.empty() || error_ != nullptr; };
+    if (deadline.count() > 0) {
+      if (!cv_.wait_for(lk, deadline, ready)) {
+        throw TimeoutError("timed out waiting for the destination's reply");
+      }
+    } else {
+      cv_.wait(lk, ready);
+    }
+    if (!q_.empty()) {
+      net::Message msg = std::move(q_.front());
+      q_.pop_front();
+      return msg;
+    }
+    std::rethrow_exception(error_);
+  }
+
+ private:
+  void pump() {
+    try {
+      for (;;) {
+        net::Message msg;
+        try {
+          msg = net::recv_message(ch_);
+        } catch (const TimeoutError&) {
+          if (stopped_.load()) throw;
+          continue;
+        }
+        if (msg.type == net::MsgType::StateAck) {
+          const std::uint32_t seq = net::decode_state_ack(msg.payload);
+          std::uint32_t prev = acked_.load(std::memory_order_relaxed);
+          while (seq > prev &&
+                 !acked_.compare_exchange_weak(prev, seq, std::memory_order_relaxed)) {
+          }
+          ResumeMetrics::get().last_acked.set(seq);
+        } else {
+          std::lock_guard lk(mu_);
+          q_.push_back(std::move(msg));
+          cv_.notify_all();
+        }
+      }
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      error_ = std::current_exception();
+      cv_.notify_all();
+    }
+  }
+
+  net::ByteChannel& ch_;
+  std::atomic<std::uint32_t>& acked_;
+  std::atomic<bool> stopped_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<net::Message> q_;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+/// Destination endpoint of the transactional pipelined transfer. Unlike
+/// the serial path's per-attempt destination, this host SURVIVES channel
+/// failures: its rx loop parks on a channel error and adopts the
+/// replacement the source offers, announcing its chunk watermark in
+/// ResumeHello — one restoration spanning several physical connections.
+/// Restoration is bracketed by the commit gate (Prepare/PrepareAck then
+/// Commit/Abort); the gate's decisions are write-ahead journaled, and an
+/// in-doubt gate (voted yes, verdict lost) polls the source's journal
+/// for the durable decision instead of guessing.
+class DestinationHost {
+ public:
+  DestinationHost(const RunOptions& options, MigrationReport& report, Journal& journal,
+                  std::string source_journal_path, std::chrono::milliseconds timeout)
+      : options_(options),
+        report_(report),
+        journal_(journal),
+        source_journal_path_(std::move(source_journal_path)),
+        timeout_(timeout) {}
+
+  ~DestinationHost() {
+    close();
+    join();
+  }
+
+  void start(std::unique_ptr<net::ByteChannel> ch) {
+    ch_ = std::move(ch);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  /// Offer a replacement channel for a resume attempt. False once the
+  /// destination can no longer adopt one (crashed, failed, finished).
+  bool offer(std::unique_ptr<net::ByteChannel> ch) {
+    std::lock_guard lk(mu_);
+    if (dead_ || finished_ || closed_) return false;
+    if (timeout_.count() > 0) ch->set_timeout(timeout_);
+    offered_ = std::move(ch);
+    cv_.notify_all();
+    return true;
+  }
+
+  /// No further channels will come; a parked rx gives up.
+  void close() {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] bool resumable() const {
+    std::lock_guard lk(mu_);
+    return !dead_ && !finished_;
+  }
+  [[nodiscard]] bool finished() const {
+    std::lock_guard lk(mu_);
+    return finished_;
+  }
+  [[nodiscard]] bool committed() const {
+    std::lock_guard lk(mu_);
+    return committed_;
+  }
+
+ private:
+  net::ByteChannel* current() const {
+    std::lock_guard lk(mu_);
+    return ch_.get();
+  }
+
+  void set_dead(std::exception_ptr error) {
+    std::lock_guard lk(mu_);
+    dead_ = true;
+    if (error_ == nullptr) error_ = std::move(error);
+    cv_.notify_all();
+  }
+
+  void mark_finished() {
+    std::lock_guard lk(mu_);
+    finished_ = true;
+  }
+
+  /// Park until the source offers a replacement channel (true) or closes
+  /// the session (false).
+  bool adopt_replacement() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return offered_ != nullptr || closed_; });
+    if (offered_ == nullptr) return false;
+    ch_ = std::move(offered_);
+    return true;
+  }
+
+  void run() {
+    try {
+      ti::TypeTable types;
+      options_.register_types(types);
+      MigContext ctx(types, options_.search);
+      ctx.set_stop_after_restore(options_.stop_after_restore);
+      net::send_message(*current(), net::MsgType::Hello,
+                        hello_payload(ctx.space().arch().name));
+      net::Message first = net::recv_message(*current());
+      if (timeout_.count() > 0) current()->set_timeout(timeout_);
+      if (first.type == net::MsgType::Shutdown) {
+        mark_finished();
+        release_channel();
+        return;
+      }
+      if (first.type != net::MsgType::StateBegin) {
+        throw MigrationError("destination expected StateBegin or Shutdown");
+      }
+      const net::StateBeginInfo begin = net::decode_state_begin(first.payload);
+      journal_.append({JournalRecordType::Begin, begin.txn_id, 0, "destination up"});
+      ChunkAssembler assembler;
+      std::thread rx([&] { rx_loop(assembler, begin.txn_id); });
+      ctx.set_commit_gate(
+          [&](std::uint64_t digest) { commit_gate(begin.txn_id, digest); });
+      try {
+        ctx.begin_restore_streaming(assembler);
+        run_destination_program(options_, ctx, report_);
+      } catch (...) {
+        // rx drains until StateEnd, a channel failure, or session close —
+        // the source guarantees one of them on every path.
+        rx.join();
+        throw;
+      }
+      rx.join();
+      mark_finished();  // the workload ran; a lost confirmation cannot undo that
+      try {
+        net::send_message(*current(), net::MsgType::Ack, {});
+      } catch (...) {
+        // Best-effort: the source merely reports CommittedUnconfirmed.
+      }
+    } catch (const KilledError&) {
+      // A crashed process sends no Nack and journals nothing more.
+      set_dead(std::current_exception());
+    } catch (const NetError& e) {
+      set_dead(std::current_exception());
+      if (!killed_.load()) {
+        try {
+          const std::string text = e.what();
+          net::send_message(*current(), net::MsgType::Nack,
+                            Bytes(text.begin(), text.end()));
+        } catch (...) {
+        }
+      }
+    } catch (...) {
+      set_dead(std::current_exception());
+      if (!killed_.load()) {
+        try {
+          const std::string text = exception_text(std::current_exception());
+          net::send_message(*current(), net::MsgType::Error,
+                            Bytes(text.begin(), text.end()));
+        } catch (...) {
+        }
+      }
+    }
+    release_channel();
+  }
+
+  /// Drop the channel: orderly close on success, abort on failure so a
+  /// peer blocked mid-recv wakes instead of waiting out its deadline.
+  void release_channel() {
+    std::unique_ptr<net::ByteChannel> ch;
+    bool failed = false;
+    {
+      std::lock_guard lk(mu_);
+      ch = std::move(ch_);
+      failed = dead_;
+    }
+    if (ch == nullptr) return;
+    try {
+      if (failed) {
+        ch->abort();
+      } else {
+        ch->close();
+      }
+    } catch (...) {
+    }
+  }
+
+  void rx_loop(ChunkAssembler& assembler, std::uint64_t txn) {
+    const std::uint32_t ack_every = options_.ack_every_chunks;
+    std::uint32_t since_ack = 0;
+    for (;;) {
+      net::Message msg;
+      try {
+        msg = net::recv_message(*current());
+      } catch (const NetError& e) {
+        // The channel died mid-stream, but the stream itself is resumable
+        // from the assembler's watermark: park for a replacement channel.
+        if (!adopt_replacement()) {
+          assembler.fail(std::string("chunk stream abandoned: ") + e.what());
+          return;
+        }
+        try {
+          net::send_message(*current(), net::MsgType::ResumeHello,
+                            net::encode_resume_hello({net::kProtocolVersion, txn,
+                                                      assembler.chunks_received()}));
+        } catch (const KilledError&) {
+          killed_.store(true);
+          assembler.fail("destination crashed");
+          return;
+        } catch (const NetError&) {
+          continue;  // that channel died instantly; park again
+        }
+        since_ack = 0;
+        continue;
+      }
+      if (msg.type == net::MsgType::StateChunk) {
+        try {
+          const std::uint32_t seq = net::decode_state_chunk_seq(msg.payload);
+          assembler.append(seq, std::span<const std::uint8_t>(msg.payload).subspan(4));
+        } catch (const NetError&) {
+          // ProtocolError from the assembler (already poisoned with the
+          // typed reason) or a short payload: a hostile or buggy peer,
+          // not a recoverable link fault.
+          assembler.fail("malformed StateChunk payload");
+          return;
+        }
+        if (ack_every != 0 && ++since_ack >= ack_every) {
+          since_ack = 0;
+          try {
+            net::send_message(*current(), net::MsgType::StateAck,
+                              net::encode_state_ack(assembler.chunks_received()));
+          } catch (const KilledError&) {
+            killed_.store(true);
+            assembler.fail("destination crashed");
+            return;
+          } catch (const NetError&) {
+            // The ack channel is dying; the next recv parks us.
+          }
+        }
+      } else if (msg.type == net::MsgType::StateEnd) {
+        try {
+          assembler.finish(net::decode_state_end(msg.payload));
+        } catch (const NetError&) {
+          assembler.fail("malformed StateEnd payload");
+        }
+        return;
+      } else {
+        assembler.fail("unexpected message mid-transfer");
+        return;
+      }
+    }
+  }
+
+  /// The voting half of the handoff, run on the restore thread once every
+  /// restoration check (including the end-to-end digest) passed. Returns
+  /// normally only with Committed journaled; every throw unwinds the
+  /// program before the tail runs — the destination must not execute what
+  /// it does not own.
+  void commit_gate(std::uint64_t txn, std::uint64_t digest) {
+    net::ByteChannel& ch = *current();
+    net::Message msg;
+    try {
+      msg = net::recv_message(ch);
+    } catch (const NetError& e) {
+      // Nothing was promised yet: losing the channel before Prepare is a
+      // plain safe abort, not an in-doubt state.
+      throw MigrationError(std::string("handoff lost before Prepare: ") + e.what());
+    }
+    if (msg.type != net::MsgType::Prepare) {
+      throw MigrationError("destination expected Prepare after restoring");
+    }
+    if (net::decode_txn(msg.payload) != txn) {
+      throw MigrationError("Prepare names a different transaction");
+    }
+    journal_.append({JournalRecordType::Prepared, txn, digest, ""});
+    TxnMetrics::get().prepares.add(1);
+    net::send_message(ch, net::MsgType::PrepareAck,
+                      net::encode_prepare_ack({txn, digest}));
+    net::Message verdict;
+    try {
+      verdict = net::recv_message(ch);
+    } catch (const NetError& e) {
+      resolve_in_doubt(txn, digest, e.what());
+      return;
+    }
+    if (verdict.type == net::MsgType::Commit) {
+      if (net::decode_txn(verdict.payload) != txn) {
+        throw MigrationError("Commit names a different transaction");
+      }
+      record_committed(txn, digest, "");
+      return;
+    }
+    if (verdict.type == net::MsgType::Abort) {
+      throw MigrationError("source aborted the handoff after Prepare");
+    }
+    throw MigrationError("unexpected message in the commit phase");
+  }
+
+  /// We voted yes and the verdict vanished: only the journals can say who
+  /// owns the process. The source always makes its decision durable
+  /// before acting on it, so within the grace period a Commit or Abort
+  /// record appears — unless the source itself crashed pre-decision,
+  /// which resolves to presumed abort.
+  void resolve_in_doubt(std::uint64_t txn, std::uint64_t digest, const char* why) {
+    if (!journal_.durable()) {
+      throw MigrationError(
+          std::string("in-doubt handoff with no journal to consult (presumed abort): ") +
+          why);
+    }
+    const auto grace =
+        timeout_.count() > 0 ? 4 * timeout_ : std::chrono::milliseconds(2000);
+    const auto deadline = Clock::now() + grace;
+    for (;;) {
+      switch (last_source_decision(source_journal_path_, txn)) {
+        case SourceDecision::Commit:
+          TxnMetrics::get().indoubt_recoveries.add(1);
+          record_committed(txn, digest, "recovered: source journal shows Commit");
+          return;
+        case SourceDecision::Abort:
+          throw MigrationError(
+              "in-doubt handoff resolved to the source: its journal shows Abort");
+        case SourceDecision::Undecided:
+          break;
+      }
+      if (Clock::now() >= deadline) {
+        throw MigrationError(
+            "in-doubt handoff: no verdict recorded within the grace period "
+            "(presumed abort)");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  void record_committed(std::uint64_t txn, std::uint64_t digest, std::string note) {
+    journal_.append({JournalRecordType::Committed, txn, digest, std::move(note)});
+    TxnMetrics::get().commits.add(1);
+    std::lock_guard lk(mu_);
+    committed_ = true;
+  }
+
+  const RunOptions& options_;
+  MigrationReport& report_;
+  Journal& journal_;
+  const std::string source_journal_path_;
+  const std::chrono::milliseconds timeout_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<net::ByteChannel> ch_;       ///< current endpoint (guarded by mu_)
+  std::unique_ptr<net::ByteChannel> offered_;  ///< reconnect candidate from the source
+  std::exception_ptr error_;
+  bool closed_ = false;
+  bool dead_ = false;
+  bool committed_ = false;
+  bool finished_ = false;
+  std::atomic<bool> killed_{false};
+  std::thread thread_;
+};
+
+enum class CommitResult : std::uint8_t { Confirmed, Unconfirmed };
+
+/// The decision half of the handoff, run by the source after StateEnd.
+/// Every pre-Commit failure journals Abort BEFORE rethrowing (so an
+/// in-doubt destination resolves consistently); once the Commit record is
+/// durable nothing can abort — a lost confirmation merely degrades the
+/// result to Unconfirmed. KilledError passes through untouched: a crash
+/// journals nothing, the log must hold only real decisions.
+CommitResult source_commit_phase(net::ByteChannel& ch, ControlInbox& inbox,
+                                 std::chrono::milliseconds timeout, std::uint64_t txn,
+                                 std::uint64_t digest, Journal& journal) {
+  try {
+    net::send_message(ch, net::MsgType::Prepare, net::encode_txn(txn));
+    const net::Message reply = inbox.await(timeout);
+    const std::string text(reply.payload.begin(), reply.payload.end());
+    if (reply.type == net::MsgType::Nack) {
+      throw MigrationError("destination rejected the chunked stream (Nack): " + text);
+    }
+    if (reply.type == net::MsgType::Error) {
+      throw MigrationError("destination restore failed: " + text);
+    }
+    if (reply.type != net::MsgType::PrepareAck) {
+      throw MigrationError("unexpected message in the prepare phase");
+    }
+    const net::PrepareAckInfo vote = net::decode_prepare_ack(reply.payload);
+    if (vote.txn_id != txn) {
+      throw MigrationError("PrepareAck names a different transaction");
+    }
+    if (vote.digest != digest) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%016llx vs destination %016llx",
+                    static_cast<unsigned long long>(digest),
+                    static_cast<unsigned long long>(vote.digest));
+      throw MigrationError(std::string("end-to-end digest mismatch at Prepare: source ") +
+                           buf);
+    }
+  } catch (const KilledError&) {
+    throw;
+  } catch (const Error&) {
+    // A destination that vetoes the handoff sends its Error/Nack and then
+    // drops the channel; our Prepare can hit the dead pipe before the
+    // pump delivers the veto. The frame survives the close in the pipe's
+    // buffer, so grace-wait for it and prefer the destination's cause
+    // over our own send failure.
+    std::exception_ptr cause = std::current_exception();
+    try {
+      const net::Message pending = inbox.await(std::chrono::milliseconds(50));
+      const std::string text(pending.payload.begin(), pending.payload.end());
+      if (pending.type == net::MsgType::Error) {
+        cause = std::make_exception_ptr(
+            MigrationError("destination restore failed: " + text));
+      } else if (pending.type == net::MsgType::Nack) {
+        cause = std::make_exception_ptr(
+            MigrationError("destination rejected the chunked stream (Nack): " + text));
+      }
+    } catch (...) {
+      // Nothing queued; the original failure stands.
+    }
+    journal.append({JournalRecordType::Abort, txn, digest, "prepare phase failed"});
+    TxnMetrics::get().aborts.add(1);
+    try {
+      net::send_message(ch, net::MsgType::Abort, net::encode_txn(txn));
+    } catch (...) {
+      // A dead channel cannot carry the Abort; the destination's in-doubt
+      // poll reads the journal record instead.
+    }
+    std::rethrow_exception(cause);
+  }
+  // --- the decision is Commit: durable before the frame leaves, irrevocable after.
+  journal.append({JournalRecordType::Commit, txn, digest, ""});
+  TxnMetrics::get().commits.add(1);
+  try {
+    net::send_message(ch, net::MsgType::Commit, net::encode_txn(txn));
+    const net::Message fin = inbox.await(timeout);
+    if (fin.type == net::MsgType::Ack) {
+      journal.append({JournalRecordType::Done, txn, digest, ""});
+      return CommitResult::Confirmed;
+    }
+  } catch (const KilledError&) {
+    throw;  // post-commit source crash: the destination recovers from the journal
+  } catch (const Error&) {
+  }
+  return CommitResult::Unconfirmed;
+}
+
+std::unique_ptr<net::ByteChannel> wrap_source_channel(
+    std::unique_ptr<net::ByteChannel> ch, const RunOptions& options,
+    const std::shared_ptr<net::FaultState>& fault_state,
+    std::chrono::milliseconds timeout) {
+  if (options.fault_plan.enabled()) {
+    ch = std::make_unique<net::FaultyChannel>(std::move(ch), options.fault_plan,
+                                              fault_state);
+  }
+  if (options.throttle) {
+    ch = std::make_unique<net::ThrottledChannel>(std::move(ch), options.link);
+  }
+  if (timeout.count() > 0) ch->set_timeout(timeout);
+  return ch;
+}
+
+std::unique_ptr<net::ByteChannel> wrap_dest_channel(
+    std::unique_ptr<net::ByteChannel> ch, const RunOptions& options,
+    const std::shared_ptr<net::FaultState>& dest_fault_state) {
+  if (options.dest_fault_plan.enabled()) {
+    ch = std::make_unique<net::FaultyChannel>(std::move(ch), options.dest_fault_plan,
+                                              dest_fault_state);
+  }
+  return ch;
+}
+
+/// Outcome of the transactional pipelined transfer.
+enum class TxnResult : std::uint8_t {
+  CompletedLocally,      ///< program finished without migrating
+  Migrated,              ///< committed and confirmed
+  CommittedUnconfirmed,  ///< committed; the destination's confirmation was lost
+  SourceCrashed,         ///< injected source crash; journals arbitrate ownership
+  Failed,                ///< retryable; the retained stream may replay serially
+};
+
+/// The transactional pipelined transfer: one destination host, one
+/// transaction, up to `total_attempts` channel epochs. Attempt 1 streams
+/// chunks while the collection DFS is still walking the graph; each
+/// further attempt resumes from the destination's acked watermark out of
+/// the retained stream. Restoration is bracketed by the two-phase commit.
+TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
+                                    Bytes& stream,
+                                    const std::shared_ptr<net::FaultState>& fault_state,
+                                    const std::shared_ptr<net::FaultState>& dest_fault_state,
+                                    std::chrono::milliseconds timeout, Journal& src_journal,
+                                    Journal& dst_journal, std::uint64_t txn,
+                                    int total_attempts, int& attempts_used) {
+  TxnMetrics::get().begins.add(1);
+  report.txn_id = txn;
 
   // The destination's first recv spans the program's whole pre-trigger
   // phase, so the per-IO deadline is armed only once the transfer begins.
   net::ChannelPair channels = net::make_channel_pair(
       options.transport, {.spool_path = options.spool_path, .timeout = {}});
-  if (options.fault_plan.enabled()) {
-    channels.source = std::make_unique<net::FaultyChannel>(std::move(channels.source),
-                                                           options.fault_plan, fault_state);
-  }
-  if (options.throttle) {
-    channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
-                                                              options.link);
-  }
-  if (timeout.count() > 0) channels.source->set_timeout(timeout);
+  std::unique_ptr<net::ByteChannel> src_ch =
+      wrap_source_channel(std::move(channels.source), options, fault_state, timeout);
 
-  // --- destination host: announces itself, dispatches on the first
-  // message (Shutdown = no migration; StateBegin = chunked stream). An rx
-  // thread feeds the assembler while this thread restores and re-executes.
-  std::exception_ptr dest_error;
-  std::thread destination([&] {
-    try {
-      ti::TypeTable types;
-      options.register_types(types);
-      MigContext ctx(types, options.search);
-      ctx.set_stop_after_restore(options.stop_after_restore);
-      net::send_message(*channels.destination, net::MsgType::Hello,
-                        hello_payload(ctx.space().arch().name));
-      net::Message first = net::recv_message(*channels.destination);
-      if (timeout.count() > 0) channels.destination->set_timeout(timeout);
-      if (first.type == net::MsgType::Shutdown) return;
-      if (first.type != net::MsgType::StateBegin) {
-        throw MigrationError("destination expected StateBegin or Shutdown");
-      }
-      (void)net::decode_state_begin(first.payload);  // validates the frame
-      ChunkAssembler assembler;
-      std::thread rx([&] {
-        try {
-          for (;;) {
-            net::Message msg = net::recv_message(*channels.destination);
-            if (msg.type == net::MsgType::StateChunk) {
-              const std::uint32_t seq = net::decode_state_chunk_seq(msg.payload);
-              assembler.append(seq,
-                               std::span<const std::uint8_t>(msg.payload).subspan(4));
-            } else if (msg.type == net::MsgType::StateEnd) {
-              assembler.finish(net::decode_state_end(msg.payload));
-              return;
-            } else {
-              assembler.fail("unexpected message mid-transfer");
-              return;
-            }
-          }
-        } catch (const std::exception& e) {
-          assembler.fail(e.what());
-        }
-      });
-      try {
-        ctx.begin_restore_streaming(assembler);
-        run_destination_program(options, ctx, report);
-      } catch (...) {
-        // rx drains until StateEnd or a channel failure, both of which the
-        // source guarantees on every path — never an orphan thread.
-        rx.join();
-        throw;
-      }
-      rx.join();
-      net::send_message(*channels.destination, net::MsgType::Ack, {});
-    } catch (const NetError& e) {
-      dest_error = std::current_exception();
-      try {
-        const std::string text = e.what();
-        net::send_message(*channels.destination, net::MsgType::Nack,
-                          Bytes(text.begin(), text.end()));
-      } catch (...) {
-      }
-      // Unblock a source mid-send (the serial path has no concurrent
-      // sender to worry about; this one does).
-      try {
-        channels.destination->abort();
-      } catch (...) {
-      }
-    } catch (...) {
-      dest_error = std::current_exception();
-      try {
-        const std::string text = exception_text(dest_error);
-        net::send_message(*channels.destination, net::MsgType::Error,
-                          Bytes(text.begin(), text.end()));
-      } catch (...) {
-      }
-      try {
-        channels.destination->abort();
-      } catch (...) {
-      }
-    }
-  });
+  DestinationHost dest(options, report, dst_journal, src_journal.path(), timeout);
+  dest.start(wrap_dest_channel(std::move(channels.destination), options, dest_fault_state));
 
-  // --- source host: run the program with a chunk sink; a sender thread
-  // drains the queue onto the wire while collection continues.
+  CoordinatorMetrics::get().attempts.add(1);
+  attempts_used = 1;
+  report.attempts = 1;
+
+  const std::size_t cb = std::max<std::size_t>(1, options.chunk_bytes);
+  std::atomic<std::uint32_t> acked{0};
+  std::unique_ptr<ControlInbox> inbox;
+
   ChunkQueue queue(kChunkQueueCapacity);
   std::exception_ptr sender_error;
   std::thread sender;
   auto join_sender = [&] {
     if (sender.joinable()) sender.join();
+  };
+  /// Stop the pump (which aborts the channel) so a blocked peer wakes and
+  /// the channel can be replaced or destroyed.
+  auto fail_channel = [&] {
+    if (inbox != nullptr) {
+      inbox->stop();
+    } else if (src_ch != nullptr) {
+      try {
+        src_ch->abort();
+      } catch (...) {
+      }
+    }
   };
 
   std::exception_ptr source_error;
@@ -461,9 +1017,17 @@ PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& re
   std::exception_ptr program_error;
   double measured_tx = 0;
   bool collected = false;
+  bool killed = false;
+  bool attempt_ok = false;
+  bool unconfirmed = false;
+  std::uint64_t digest = 0;
+  net::StateEndInfo end;
   Clock::time_point pipeline_start{};
+
+  // --- attempt 1: stream while collecting ----------------------------------
   try {
-    expect_hello(net::recv_message(*channels.source));
+    expect_hello(net::recv_message(*src_ch));
+    inbox = std::make_unique<ControlInbox>(*src_ch, acked);
 
     sender = std::thread([&] {
       try {
@@ -476,17 +1040,19 @@ PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& re
             tx_span = std::make_unique<obs::Span>("mig.tx");
             tx_span->arg("transport",
                          std::string(net::transport_name(options.transport)));
-            net::send_message(*channels.source, net::MsgType::StateBegin,
-                              net::encode_state_begin(options.chunk_bytes));
+            // Write-ahead: the transaction exists on disk before any
+            // frame names it on the wire.
+            src_journal.append({JournalRecordType::Begin, txn, 0, "source"});
+            net::send_message(*src_ch, net::MsgType::StateBegin,
+                              net::encode_state_begin({options.chunk_bytes, txn}));
           }
-          net::send_message(*channels.source, net::MsgType::StateChunk,
+          net::send_message(*src_ch, net::MsgType::StateChunk,
                             net::encode_state_chunk(seq++, chunk));
           pm.chunks.add(1);
           pm.chunk_bytes.record(static_cast<double>(chunk.size()));
         }
-        if (const auto end = queue.end_info()) {
-          net::send_message(*channels.source, net::MsgType::StateEnd,
-                            net::encode_state_end(*end));
+        if (const auto e = queue.end_info()) {
+          net::send_message(*src_ch, net::MsgType::StateEnd, net::encode_state_end(*e));
           if (tx_span != nullptr) measured_tx = tx_span->finish();
         }
       } catch (...) {
@@ -533,7 +1099,8 @@ PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& re
       join_scheduler();
     } catch (const MigrationExit&) {
       collected = true;
-      stream = ctx.stream();  // retained for serial retries
+      stream = ctx.stream();  // retained for resumes and serial retries
+      digest = ctx.stream_digest();
       report.stream_bytes = stream.size();
       report.collect_seconds = ctx.metrics().collect_seconds;
       report.source_arch = ctx.space().arch().name;
@@ -543,57 +1110,157 @@ PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& re
     if (!collected) {
       queue.close(std::nullopt);
       join_sender();
-      net::send_message(*channels.source, net::MsgType::Shutdown, {});
+      net::send_message(*src_ch, net::MsgType::Shutdown, {});
     } else {
-      net::StateEndInfo end;
-      end.chunk_count = queue.pushed();
+      // Stream-derived, NOT queue.pushed(): a poisoned queue undercounts
+      // (push drops silently after a sender failure), and a resume's
+      // StateEnd must describe the whole fixed-size chunking.
+      end.chunk_count = static_cast<std::uint32_t>((stream.size() + cb - 1) / cb);
       end.total_bytes = stream.size();
-      end.total_crc = Crc32::of(stream.data(), stream.size());
+      end.digest = digest;
       queue.close(end);
       join_sender();
       if (sender_error != nullptr) std::rethrow_exception(sender_error);
-      const net::Message verdict = net::recv_message(*channels.source);
-      const std::string text(verdict.payload.begin(), verdict.payload.end());
-      switch (verdict.type) {
-        case net::MsgType::Ack:
-          break;
-        case net::MsgType::Nack:
-          throw MigrationError("destination rejected the chunked stream (Nack): " + text);
-        case net::MsgType::Error:
-          throw MigrationError("destination restore failed: " + text);
-        default:
-          throw MigrationError("unexpected verdict message from destination");
-      }
+      const CommitResult r =
+          source_commit_phase(*src_ch, *inbox, timeout, txn, digest, src_journal);
+      unconfirmed = (r == CommitResult::Unconfirmed);
+      attempt_ok = true;
     }
   } catch (...) {
     source_error = std::current_exception();
     queue.poison();
     queue.close(std::nullopt);
     join_sender();
+    fail_channel();
+  }
+
+  // Classify the attempt-1 failure before deciding whether to resume.
+  bool fatal_other = false;  // non-hpm exception: propagate after teardown
+  if (source_error != nullptr && program_error == nullptr) {
     try {
-      channels.source->abort();
+      std::rethrow_exception(source_error);
+    } catch (const KilledError& e) {
+      killed = true;
+      if (collected) report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
+    } catch (const Error& e) {
+      if (collected) report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
     } catch (...) {
+      fatal_other = true;
+    }
+  }
+
+  // --- resume attempts: retransmit only past the acked watermark -----------
+  const std::uint64_t total_chunks = collected ? (stream.size() + cb - 1) / cb : 0;
+  double backoff = options.retry_backoff_seconds;
+  while (collected && !attempt_ok && !unconfirmed && !killed && !fatal_other &&
+         program_error == nullptr && attempts_used < total_attempts && dest.resumable()) {
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2, options.retry_backoff_cap_seconds);
+    }
+    ++attempts_used;
+    report.attempts = attempts_used;
+    CoordinatorMetrics::get().attempts.add(1);
+    CoordinatorMetrics::get().retries.add(1);
+    try {
+      net::ChannelPair fresh = net::make_channel_pair(
+          options.transport, {.spool_path = options.spool_path, .timeout = {}});
+      std::unique_ptr<net::ByteChannel> fresh_src =
+          wrap_source_channel(std::move(fresh.source), options, fault_state, timeout);
+      if (!dest.offer(
+              wrap_dest_channel(std::move(fresh.destination), options, dest_fault_state))) {
+        report.failure_causes.push_back("attempt " + std::to_string(attempts_used) +
+                                        ": destination no longer accepts a resume channel");
+        break;
+      }
+      if (inbox != nullptr) {
+        inbox->stop();
+        inbox.reset();  // the pump must be gone before its channel is
+      }
+      src_ch = std::move(fresh_src);
+      const net::Message hello = net::recv_message(*src_ch);
+      if (hello.type != net::MsgType::ResumeHello) {
+        throw MigrationError("source expected ResumeHello on the resume channel");
+      }
+      const net::ResumeHelloInfo info = net::decode_resume_hello(hello.payload);
+      if (info.version != net::kProtocolVersion) {
+        throw MigrationError("protocol version mismatch on resume: destination speaks v" +
+                             std::to_string(info.version));
+      }
+      if (info.txn_id != txn) {
+        throw MigrationError("ResumeHello names a different transaction");
+      }
+      if (info.next_seq > total_chunks) {
+        throw MigrationError("destination claims more chunks than the stream holds");
+      }
+      ResumeMetrics::get().attempts.add(1);
+      ResumeMetrics::get().chunks_skipped.add(info.next_seq);
+      report.resumed_from_seq = static_cast<std::int64_t>(info.next_seq);
+      inbox = std::make_unique<ControlInbox>(*src_ch, acked);
+      {
+        obs::Span tx_span("mig.tx");
+        tx_span.arg("transport", std::string(net::transport_name(options.transport)));
+        tx_span.arg("resumed_from", std::uint64_t{info.next_seq});
+        PipelineMetrics& pm = PipelineMetrics::get();
+        for (std::uint64_t seq = info.next_seq; seq < total_chunks; ++seq) {
+          const std::size_t off = static_cast<std::size_t>(seq) * cb;
+          const std::size_t len = std::min(cb, stream.size() - off);
+          net::send_message(
+              *src_ch, net::MsgType::StateChunk,
+              net::encode_state_chunk(static_cast<std::uint32_t>(seq),
+                                      {stream.data() + off, len}));
+          pm.chunks.add(1);
+          pm.chunk_bytes.record(static_cast<double>(len));
+        }
+        net::send_message(*src_ch, net::MsgType::StateEnd, net::encode_state_end(end));
+        measured_tx += tx_span.finish();
+      }
+      const CommitResult r =
+          source_commit_phase(*src_ch, *inbox, timeout, txn, digest, src_journal);
+      unconfirmed = (r == CommitResult::Unconfirmed);
+      attempt_ok = true;
+    } catch (const KilledError& e) {
+      killed = true;
+      report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
+                                      e.what());
+      fail_channel();
+    } catch (const Error& e) {
+      report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
+                                      e.what());
+      fail_channel();
     }
   }
   const Clock::time_point pipeline_end = Clock::now();
-  destination.join();
+
+  // --- teardown -------------------------------------------------------------
+  if (inbox != nullptr) inbox->stop();
+  dest.close();
+  dest.join();
   try {
-    channels.source->close();
-  } catch (...) {
-  }
-  try {
-    channels.destination->close();
+    if (src_ch != nullptr) src_ch->close();
   } catch (...) {
   }
 
   if (program_error != nullptr) std::rethrow_exception(program_error);
+  if (fatal_other) std::rethrow_exception(source_error);
 
-  if (source_error == nullptr && dest_error == nullptr) {
-    if (!collected) return PipelineOutcome::CompletedLocally;
+  if (!collected) {
+    // The workload already finished on the source; a torn-down teardown
+    // handshake doesn't change its fate.
+    return TxnResult::CompletedLocally;
+  }
+  if (killed) {
+    report.migrated = dest.finished();
+    return TxnResult::SourceCrashed;
+  }
+  if (unconfirmed) {
+    report.migrated = dest.finished();
+    return TxnResult::CommittedUnconfirmed;
+  }
+  if (attempt_ok) {
     report.migrated = true;
-    report.tx_seconds = options.throttle
-                            ? measured_tx
-                            : options.link.transfer_seconds(stream.size());
+    report.tx_seconds =
+        options.throttle ? measured_tx : options.link.transfer_seconds(stream.size());
     // Overlap: wall-clock from the first chunk leaving collection to the
     // acknowledged restore, vs. the sum of the three phase timings. Fully
     // serial execution gives 0; perfect overlap approaches 1.
@@ -603,24 +1270,9 @@ PipelineOutcome attempt_pipelined(const RunOptions& options, MigrationReport& re
       report.overlap_ratio = std::clamp(1.0 - wall / phases, 0.0, 1.0);
     }
     PipelineMetrics::get().overlap.record(report.overlap_ratio);
-    return PipelineOutcome::Migrated;
+    return TxnResult::Migrated;
   }
-  if (!collected) {
-    // The workload already finished on the source; a torn-down teardown
-    // handshake doesn't change its fate.
-    return PipelineOutcome::CompletedLocally;
-  }
-  if (source_error != nullptr) {
-    try {
-      std::rethrow_exception(source_error);
-    } catch (const Error& e) {
-      cause = e.what();
-      return PipelineOutcome::Failed;
-    }
-    // Non-hpm exceptions escaped the protocol itself — not retryable.
-  }
-  cause = exception_text(dest_error);
-  return PipelineOutcome::Failed;
+  return TxnResult::Failed;
 }
 
 }  // namespace
@@ -630,6 +1282,8 @@ const char* outcome_name(MigrationOutcome outcome) noexcept {
     case MigrationOutcome::CompletedLocally: return "completed-locally";
     case MigrationOutcome::Migrated: return "migrated";
     case MigrationOutcome::AbortedContinuedLocally: return "aborted-continued-locally";
+    case MigrationOutcome::SourceCrashed: return "source-crashed";
+    case MigrationOutcome::CommittedUnconfirmed: return "committed-unconfirmed";
   }
   return "?";
 }
@@ -644,34 +1298,70 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
 
   MigrationReport report;
 
+  const bool faults_armed =
+      options.fault_plan.enabled() || options.dest_fault_plan.enabled();
   const double io_s = options.io_timeout_seconds > 0
                           ? options.io_timeout_seconds
-                          : (options.fault_plan.enabled() ? kFaultInjectionDefaultTimeout : 0);
+                          : (faults_armed ? kFaultInjectionDefaultTimeout : 0);
   const auto timeout =
       std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
   auto fault_state = std::make_shared<net::FaultState>();
+  auto dest_fault_state = std::make_shared<net::FaultState>();
 
   Bytes stream;
   bool collected = false;
   int first_serial_attempt = 1;
+  const int total_attempts = 1 + std::max(0, options.max_retries);
+
+  // Transaction identity + journals, shared by the pipelined transaction
+  // and any serial fallback it degrades into.
+  Journal src_journal;
+  Journal dst_journal;
+  std::uint64_t txn = 0;
+  bool txn_ran = false;
 
   if (options.pipeline && options.transport != Transport::File) {
-    // --- pipelined path: collect/tx/restore overlapped in one attempt.
-    std::string cause;
-    switch (attempt_pipelined(options, report, stream, fault_state, timeout, cause)) {
-      case PipelineOutcome::CompletedLocally:
+    // --- pipelined path: one resumable transaction; collect/tx/restore
+    // overlapped, further attempts resume from the acked watermark.
+    if (!options.journal_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.journal_dir, ec);
+      src_journal.open(options.journal_dir + "/" + kSourceJournalName);
+      dst_journal.open(options.journal_dir + "/" + kDestJournalName);
+    }
+    txn = options.txn_id != 0
+              ? options.txn_id
+              : static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count());
+    txn_ran = true;
+    int attempts_used = 0;
+    switch (run_pipelined_transaction(options, report, stream, fault_state,
+                                      dest_fault_state, timeout, src_journal, dst_journal,
+                                      txn, total_attempts, attempts_used)) {
+      case TxnResult::CompletedLocally:
         // Rendezvous happened but no transfer was ever started; the
         // attempt counter follows the serial path's convention.
         report.attempts = 0;
         report.outcome = MigrationOutcome::CompletedLocally;
         return report;
-      case PipelineOutcome::Migrated:
+      case TxnResult::Migrated:
         report.outcome = MigrationOutcome::Migrated;
         return report;
-      case PipelineOutcome::Failed:
-        report.failure_causes.push_back("attempt 1: " + cause);
+      case TxnResult::CommittedUnconfirmed:
+        // The Commit record is durable: the destination owns the process
+        // whether or not its confirmation survived. No local fallback.
+        report.outcome = MigrationOutcome::CommittedUnconfirmed;
+        return report;
+      case TxnResult::SourceCrashed:
+        // The "crashed" source does nothing further — by definition. The
+        // journals (Coordinator::recover) arbitrate ownership.
+        report.outcome = MigrationOutcome::SourceCrashed;
+        return report;
+      case TxnResult::Failed:
         collected = true;
-        first_serial_attempt = 2;  // the retained stream replays serially
+        first_serial_attempt = attempts_used + 1;  // retained stream replays serially
         break;
     }
   } else {
@@ -728,7 +1418,6 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
   }
 
   // --- phase 2: serial transfer attempts with capped exponential backoff.
-  const int total_attempts = 1 + std::max(0, options.max_retries);
   double backoff = options.retry_backoff_seconds;
   for (int attempt = first_serial_attempt; attempt <= total_attempts; ++attempt) {
     if (attempt > 1 && backoff > 0) {
@@ -741,13 +1430,23 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
     std::string cause;
     bool transferred = false;
     try {
-      transferred = attempt_transfer(options, stream, report, fault_state, timeout, cause);
+      transferred = attempt_transfer(options, stream, report, fault_state,
+                                     dest_fault_state, timeout, cause);
     } catch (const Error& e) {
       // Channel setup failed (connection refused, spool unwritable):
       // just as retryable as a failure mid-transfer.
       cause = e.what();
     }
     if (transferred) {
+      if (txn_ran) {
+        // The transaction's pipelined leg failed but its serial fallback
+        // carried the same state across: close the transaction so
+        // recovery reads "destination owns, completed".
+        const std::uint64_t d = msrm::StreamDigest::of({stream.data(), stream.size()});
+        src_journal.append({JournalRecordType::Commit, txn, d, "serial fallback"});
+        src_journal.append({JournalRecordType::Done, txn, d, "serial fallback"});
+        TxnMetrics::get().commits.add(1);
+      }
       report.migrated = true;
       report.outcome = MigrationOutcome::Migrated;
       return report;
@@ -762,6 +1461,12 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
   // migrated.
   report.outcome = MigrationOutcome::AbortedContinuedLocally;
   CoordinatorMetrics::get().aborts.add(1);
+  if (txn_ran) {
+    // Durable before the local restore begins: a crash mid-degradation
+    // must still arbitrate to the source.
+    src_journal.append({JournalRecordType::Abort, txn, 0, "degraded to local completion"});
+    TxnMetrics::get().aborts.add(1);
+  }
   ti::TypeTable types;
   options.register_types(types);
   MigContext ctx(types, options.search);
@@ -783,6 +1488,11 @@ MigrationReport run_migration(const RunOptions& options) {
   run_span.finish();
   report.metrics = obs::Registry::process().snapshot().delta_since(before);
   return report;
+}
+
+RecoveryVerdict Coordinator::recover(const std::string& journal_dir) {
+  return recover_from_journals(journal_dir + "/" + kSourceJournalName,
+                               journal_dir + "/" + kDestJournalName);
 }
 
 }  // namespace hpm::mig

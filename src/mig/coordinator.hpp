@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mig/context.hpp"
+#include "mig/journal.hpp"
 #include "net/factory.hpp"
 #include "net/faulty_channel.hpp"
 #include "net/simnet.hpp"
@@ -100,6 +101,35 @@ struct RunOptions {
   /// Deterministic fault injected on the source->destination byte stream
   /// (see net/faulty_channel.hpp). Disabled by default.
   net::FaultPlan fault_plan{};
+
+  /// Fault injected on the destination's sends (Hello, StateAck,
+  /// PrepareAck, final Ack) — most usefully FaultPlan::kill_after(n) to
+  /// script a destination crash at an exact protocol state.
+  net::FaultPlan dest_fault_plan{};
+
+  /// --- transactional handoff ----------------------------------------------
+  /// The pipelined path runs as a resumable, exactly-once transaction:
+  /// the destination acks a chunk watermark every `ack_every_chunks`
+  /// chunks; a retryable mid-stream failure reconnects and resumes from
+  /// the last watermark out of the retained stream instead of
+  /// retransmitting from byte 0; restoration is bracketed by a
+  /// Prepare/Commit/Abort exchange whose decisions are write-ahead
+  /// journaled (fsync'd) on both ends when `journal_dir` is set, so
+  /// Coordinator::recover() can arbitrate ownership after a crash.
+
+  /// Chunk-watermark ack cadence for the pipelined path (0 = no acks, so
+  /// a resume would restart from chunk 0).
+  std::uint32_t ack_every_chunks = 8;
+
+  /// Directory for the two intent journals (source.journal /
+  /// dest.journal). Empty = journaling disabled: the handoff still runs
+  /// two-phase, but crash arbitration has nothing durable to consult.
+  std::string journal_dir;
+
+  /// Transaction id recorded in the journals and carried in StateBegin.
+  /// 0 = derive one from the wall clock (unique across successive runs
+  /// appending to the same journal_dir).
+  std::uint64_t txn_id = 0;
 };
 
 /// Final fate of the workload for one run_migration() call.
@@ -107,6 +137,16 @@ enum class MigrationOutcome : std::uint8_t {
   CompletedLocally,        ///< no migration was triggered; source ran to completion
   Migrated,                ///< state transferred and restored on the destination
   AbortedContinuedLocally, ///< all transfer attempts failed; source finished locally
+  /// The source "crashed" (injected KilledError) mid-transaction. Whether
+  /// the destination owns the process is decided by the journals — see
+  /// Coordinator::recover(); report.migrated says whether the destination
+  /// in fact finished the workload.
+  SourceCrashed,
+  /// Commit was journaled and sent but the destination's confirmation
+  /// never arrived. The destination owns the process (it either received
+  /// Commit or recovers to Committed from the journals); the source must
+  /// NOT fall back to local completion.
+  CommittedUnconfirmed,
 };
 
 const char* outcome_name(MigrationOutcome outcome) noexcept;
@@ -139,6 +179,14 @@ struct MigrationReport {
   /// path ran — the phases are strictly sequential there.
   double overlap_ratio = 0;
 
+  /// Chunk sequence the transfer resumed from on the last resume attempt
+  /// (-1 = never resumed). A resume retransmits only chunks >= this seq
+  /// out of the retained stream.
+  std::int64_t resumed_from_seq = -1;
+
+  /// Transaction id of the pipelined handoff (0 = no transaction ran).
+  std::uint64_t txn_id = 0;
+
   /// Everything the pipeline recorded during this run: the delta of the
   /// process-wide obs::Registry across run_migration(), so MSRLT search
   /// counts, PNEW/PREF/PNULL mix, XDR throughput, per-channel/frame byte
@@ -152,5 +200,26 @@ struct MigrationReport {
 /// failure; recoverable transport failures are retried and, past the
 /// retry budget, degrade to local completion instead of throwing.
 MigrationReport run_migration(const RunOptions& options);
+
+/// Object-form entry point plus the crash-recovery half of the
+/// transactional handoff.
+class Coordinator {
+ public:
+  explicit Coordinator(RunOptions options) : options_(std::move(options)) {}
+
+  /// Equivalent to run_migration(options).
+  MigrationReport run() const { return run_migration(options_); }
+
+  [[nodiscard]] const RunOptions& options() const noexcept { return options_; }
+
+  /// Decide, from the intent journals alone, which endpoint owns the
+  /// process after a crash. `journal_dir` is the RunOptions::journal_dir
+  /// of the interrupted run; a missing or torn journal file is treated as
+  /// empty (crash before any write), never as an error.
+  static RecoveryVerdict recover(const std::string& journal_dir);
+
+ private:
+  RunOptions options_;
+};
 
 }  // namespace hpm::mig

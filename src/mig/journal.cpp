@@ -1,0 +1,173 @@
+#include "mig/journal.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/hexdump.hpp"
+
+namespace hpm::mig {
+
+namespace {
+
+/// Record wire format (all integers big-endian):
+///   u32 magic 'HPMJ' | u8 type | u64 txn | u64 digest |
+///   u32 note_len | note bytes | u32 crc32(everything preceding)
+constexpr std::uint32_t kJournalMagic = 0x48504D4A;  // "HPMJ"
+constexpr std::size_t kFixedHead = 4 + 1 + 8 + 8 + 4;
+
+void put_u32_be(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64_be(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+std::uint64_t get_u64_be(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+Bytes encode_record(const JournalRecord& record) {
+  Bytes out;
+  out.reserve(kFixedHead + record.note.size() + 4);
+  put_u32_be(out, kJournalMagic);
+  out.push_back(static_cast<std::uint8_t>(record.type));
+  put_u64_be(out, record.txn_id);
+  put_u64_be(out, record.digest);
+  put_u32_be(out, static_cast<std::uint32_t>(record.note.size()));
+  out.insert(out.end(), record.note.begin(), record.note.end());
+  put_u32_be(out, Crc32::of(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+const char* journal_record_name(JournalRecordType type) noexcept {
+  switch (type) {
+    case JournalRecordType::Begin: return "begin";
+    case JournalRecordType::Prepared: return "prepared";
+    case JournalRecordType::Commit: return "commit";
+    case JournalRecordType::Abort: return "abort";
+    case JournalRecordType::Committed: return "committed";
+    case JournalRecordType::Done: return "done";
+  }
+  return "?";
+}
+
+void Journal::append(const JournalRecord& record) {
+  if (path_.empty()) return;  // null journal: nothing durable was promised
+  std::lock_guard lk(mu_);
+  const Bytes bytes = encode_record(record);
+  // Plain POSIX stdio: the record must be on disk (fsync) before the
+  // caller acts on the decision it encodes — that IS write-ahead logging.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) throw MigrationError("cannot open intent journal " + path_);
+  const bool wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+                     std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote) throw MigrationError("cannot append to intent journal " + path_);
+}
+
+std::vector<JournalRecord> Journal::replay(const std::string& path) {
+  std::vector<JournalRecord> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return records;  // missing journal = no recorded intent
+  Bytes file((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (file.size() - pos >= kFixedHead + 4) {
+    const std::uint8_t* p = file.data() + pos;
+    if (get_u32_be(p) != kJournalMagic) break;  // torn/garbage tail
+    const auto raw_type = p[4];
+    const std::uint32_t note_len = get_u32_be(p + 21);
+    const std::size_t total = kFixedHead + note_len + 4;
+    if (file.size() - pos < total) break;  // record cut short by a crash
+    if (get_u32_be(p + kFixedHead + note_len) != Crc32::of(p, kFixedHead + note_len)) {
+      break;  // damaged mid-append; drop it and everything after
+    }
+    if (raw_type < 1 || raw_type > 6) break;
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(raw_type);
+    record.txn_id = get_u64_be(p + 5);
+    record.digest = get_u64_be(p + 13);
+    record.note.assign(reinterpret_cast<const char*>(p + kFixedHead), note_len);
+    records.push_back(std::move(record));
+    pos += total;
+  }
+  return records;
+}
+
+const char* txn_owner_name(TxnOwner owner) noexcept {
+  switch (owner) {
+    case TxnOwner::None: return "none";
+    case TxnOwner::Source: return "source";
+    case TxnOwner::Destination: return "destination";
+  }
+  return "?";
+}
+
+RecoveryVerdict recover_from_journals(const std::string& source_path,
+                                      const std::string& dest_path) {
+  const std::vector<JournalRecord> src = Journal::replay(source_path);
+  const std::vector<JournalRecord> dst = Journal::replay(dest_path);
+
+  RecoveryVerdict verdict;
+  for (const JournalRecord& r : src) verdict.txn_id = std::max(verdict.txn_id, r.txn_id);
+  for (const JournalRecord& r : dst) verdict.txn_id = std::max(verdict.txn_id, r.txn_id);
+  if (src.empty() && dst.empty()) {
+    verdict.reason = "no transaction recorded in either journal";
+    return verdict;
+  }
+
+  // The LAST decisive record of the latest transaction wins: an early
+  // Abort followed by a committed serial retry ends at Commit/Done.
+  bool src_commit = false, src_done = false, dst_committed = false;
+  for (const JournalRecord& r : src) {
+    if (r.txn_id != verdict.txn_id) continue;
+    switch (r.type) {
+      case JournalRecordType::Commit: src_commit = true; break;
+      case JournalRecordType::Abort: src_commit = false; src_done = false; break;
+      case JournalRecordType::Done: src_done = true; break;
+      default: break;
+    }
+  }
+  for (const JournalRecord& r : dst) {
+    if (r.txn_id == verdict.txn_id && r.type == JournalRecordType::Committed) {
+      dst_committed = true;
+    }
+  }
+
+  if (src_done) {
+    verdict.owner = TxnOwner::Destination;
+    verdict.completed = true;
+    verdict.reason = "source logged Done: the destination confirmed completion";
+  } else if (src_commit) {
+    verdict.owner = TxnOwner::Destination;
+    verdict.reason =
+        "source logged Commit: ownership passed; the destination must resume";
+  } else if (dst_committed) {
+    // Only reachable when the source journal was lost: the protocol never
+    // lets the destination commit before the source's Commit is durable.
+    verdict.owner = TxnOwner::Destination;
+    verdict.reason = "destination logged Committed (source journal silent or lost)";
+  } else {
+    verdict.owner = TxnOwner::Source;
+    verdict.reason = "no commit recorded: presumed abort; the source still owns "
+                     "the process";
+  }
+  return verdict;
+}
+
+}  // namespace hpm::mig

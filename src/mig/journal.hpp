@@ -1,0 +1,105 @@
+// Durable intent journal for the transactional handoff (DESIGN.md §11).
+//
+// Two-phase commit only works if each endpoint can answer "what had I
+// decided?" after a crash. Each side appends fixed-format, CRC-sealed,
+// fsync'd records to its own append-only file BEFORE acting on a
+// decision (write-ahead); recover_from_journals() replays both files and
+// deterministically names the endpoint that owns the process — never
+// both, never neither:
+//
+//   source journal:  Begin .. [Abort|Commit]* .. Done
+//   dest journal:    Begin .. Prepared .. Committed
+//
+//   owner(txn) = Destination  iff  source logged Commit for txn
+//                                  (or dest logged Committed — which the
+//                                   protocol only allows after a durable
+//                                   source Commit)
+//              = Source       otherwise (presumed abort)
+//
+// The decisive record is the LAST one: a transaction that aborted its
+// pipelined leg and then committed a serial retry ends at Commit/Done.
+// Replay tolerates a torn tail — a record cut short or CRC-damaged by a
+// crash mid-append is ignored along with everything after it, exactly
+// the prefix-durability a write-ahead log needs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpm::mig {
+
+enum class JournalRecordType : std::uint8_t {
+  Begin = 1,      ///< transaction opened (first chunk left / StateBegin seen)
+  Prepared = 2,   ///< dest: restoration verified, voted yes, awaiting verdict
+  Commit = 3,     ///< source: ownership relinquished — the point of no return
+  Abort = 4,      ///< source: handoff cancelled; source still owns the process
+  Committed = 5,  ///< dest: verdict received (or recovered); dest owns the process
+  Done = 6,       ///< source: destination confirmed completion; nothing to recover
+};
+
+const char* journal_record_name(JournalRecordType type) noexcept;
+
+struct JournalRecord {
+  JournalRecordType type{};
+  std::uint64_t txn_id = 0;
+  std::uint64_t digest = 0;  ///< end-to-end stream digest, where known
+  std::string note;          ///< free-form context ("recovered from journals", ...)
+};
+
+/// Append-only write-ahead log. A default-constructed Journal is the
+/// in-memory null journal: append() records nothing durable (used when
+/// RunOptions::journal_dir is unset), replay() of its empty path yields
+/// nothing. With a path, every append is flushed and fsync'd before
+/// returning, so a record that append() returned for survives a crash.
+class Journal {
+ public:
+  Journal() = default;
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  /// Late-bind a path onto a null journal. Not thread-safe: call before
+  /// any thread can append (the mutex member makes Journal immovable, so
+  /// two-phase construction is the way to conditionally enable one).
+  void open(std::string path) { path_ = std::move(path); }
+
+  /// Thread-safe (the sender thread Begins while the main thread drives
+  /// the commit phase). Throws hpm::MigrationError if the file cannot be
+  /// written — a journal that cannot promise durability must not pretend.
+  void append(const JournalRecord& record);
+
+  [[nodiscard]] bool durable() const noexcept { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Every intact record, in append order. A missing file is an empty
+  /// journal; a torn or CRC-damaged tail record is dropped together with
+  /// anything after it.
+  static std::vector<JournalRecord> replay(const std::string& path);
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+};
+
+/// File names inside RunOptions::journal_dir.
+inline constexpr const char* kSourceJournalName = "source.journal";
+inline constexpr const char* kDestJournalName = "dest.journal";
+
+enum class TxnOwner : std::uint8_t { None, Source, Destination };
+
+const char* txn_owner_name(TxnOwner owner) noexcept;
+
+struct RecoveryVerdict {
+  TxnOwner owner = TxnOwner::None;
+  bool completed = false;  ///< Done recorded: the handoff finished; nothing to resume
+  std::uint64_t txn_id = 0;
+  std::string reason;  ///< human-readable derivation of the verdict
+};
+
+/// Deterministic post-crash arbitration from the two journals alone
+/// (either file may be missing). Considers the latest transaction id
+/// present on either side.
+RecoveryVerdict recover_from_journals(const std::string& source_path,
+                                      const std::string& dest_path);
+
+}  // namespace hpm::mig

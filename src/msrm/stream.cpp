@@ -46,4 +46,18 @@ std::span<const std::uint8_t> check_stream(std::span<const std::uint8_t> stream)
   return stream.subspan(0, payload_len);
 }
 
+void StreamDigest::update(std::span<const std::uint8_t> bytes) noexcept {
+  for (const std::uint8_t b : bytes) {
+    fnv_ ^= b;
+    fnv_ *= 0x100000001b3ull;  // FNV-1a 64 prime
+  }
+  crc_.update(bytes.data(), bytes.size());
+}
+
+std::uint64_t StreamDigest::value() const noexcept {
+  // Fold the CRC into the FNV state through a golden-ratio multiply so
+  // the two codes cannot cancel byte-for-byte.
+  return fnv_ ^ (static_cast<std::uint64_t>(crc_.value()) * 0x9E3779B97F4A7C15ull);
+}
+
 }  // namespace hpm::msrm

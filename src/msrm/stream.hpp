@@ -41,6 +41,7 @@
 #include <span>
 #include <string>
 
+#include "common/crc32.hpp"
 #include "xdr/wire.hpp"
 
 namespace hpm::msrm {
@@ -80,5 +81,30 @@ void finish_stream(xdr::Encoder& enc);
 /// Validate the trailer and return the payload span (header included,
 /// trailer excluded). Throws hpm::WireError on corruption or truncation.
 std::span<const std::uint8_t> check_stream(std::span<const std::uint8_t> stream);
+
+/// Running end-to-end digest over the canonical stream: FNV-1a 64 composed
+/// with a CRC-32, folded into one u64. The two mix functions have
+/// independent failure modes — FNV-1a is order-sensitive byte hashing,
+/// CRC-32 is a polynomial code — so a corruption crafted to pass one
+/// (e.g. a frame whose trailing CRC was recomputed in flight) still trips
+/// the other. The source taps collection chunk by chunk; the destination
+/// recomputes over the reassembled stream and compares before Commit.
+class StreamDigest {
+ public:
+  void update(std::span<const std::uint8_t> bytes) noexcept;
+  /// Digest of everything fed so far. Stable across update() granularity:
+  /// one call over the whole stream equals many calls over its chunks.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+  static std::uint64_t of(std::span<const std::uint8_t> bytes) noexcept {
+    StreamDigest d;
+    d.update(bytes);
+    return d.value();
+  }
+
+ private:
+  std::uint64_t fnv_ = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  Crc32 crc_;
+};
 
 }  // namespace hpm::msrm

@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -16,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::Corrupt: return "corrupt";
     case FaultKind::Stall: return "stall";
     case FaultKind::Truncate: return "truncate";
+    case FaultKind::CorruptMasked: return "corrupt-masked";
+    case FaultKind::Kill: return "kill";
   }
   return "?";
 }
@@ -36,13 +39,25 @@ void FaultyChannel::send(std::span<const std::uint8_t> data) {
   if (dead_) throw NetError("send on disconnected FaultyChannel");
   if (truncating_) {
     sent_ += data.size();
+    ++frames_;
     return;  // the fault already swallowed the tail of the stream
+  }
+  // Kill triggers on frame count, not byte offset: one send() is one
+  // protocol frame, so frame_offset pins the crash to a protocol state.
+  if (plan_.kind == FaultKind::Kill && armed() && !fired_ && frames_ >= plan_.frame_offset) {
+    fired_ = true;
+    state_->firings += 1;
+    dead_ = true;
+    inner_->abort();
+    throw KilledError("injected crash: endpoint killed before frame " +
+                      std::to_string(frames_ + 1));
   }
   const std::uint64_t begin = sent_;
   const std::uint64_t end = begin + data.size();
-  if (!armed() || fired_ || end <= plan_.offset) {
+  if (plan_.kind == FaultKind::Kill || !armed() || fired_ || end <= plan_.offset) {
     sent_ = end;
     inner_->send(data);
+    ++frames_;
     return;
   }
 
@@ -61,11 +76,25 @@ void FaultyChannel::send(std::span<const std::uint8_t> data) {
       if (clean > 0) inner_->send(data.first(clean));
       truncating_ = true;
       sent_ = end;
+      ++frames_;
       return;
     case FaultKind::Stall:
+      // An injected stall must respect the channel deadline: with a
+      // pipelined sender thread behind this channel, sleeping past the
+      // deadline and then delivering would hide the stall from the
+      // sender (only the peer's recv would time out) — or hang outright
+      // when no peer is reading. Sleep up to the deadline, then surface
+      // the overrun as the TimeoutError a real deadlined send would give.
+      if (timeout_.count() > 0 &&
+          std::chrono::duration<double>(plan_.stall_seconds) >= timeout_) {
+        std::this_thread::sleep_for(timeout_);
+        throw TimeoutError("injected stall exceeded the " +
+                           std::to_string(timeout_.count()) + " ms send deadline");
+      }
       std::this_thread::sleep_for(std::chrono::duration<double>(plan_.stall_seconds));
       sent_ = end;
       inner_->send(data);
+      ++frames_;
       return;
     case FaultKind::Corrupt: {
       std::vector<std::uint8_t> mangled(data.begin(), data.end());
@@ -74,12 +103,35 @@ void FaultyChannel::send(std::span<const std::uint8_t> data) {
       for (std::size_t i = clean; i < stop; ++i) mangled[i] ^= 0xA5u;
       sent_ = end;
       inner_->send(mangled);
+      ++frames_;
       return;
     }
-    case FaultKind::None: break;  // unreachable: armed() excludes None
+    case FaultKind::CorruptMasked: {
+      // Flip the payload byte, then recompute the frame's trailing CRC-32
+      // so the framing layer accepts the damage. Valid because the
+      // message layer ships exactly one frame per send().
+      std::vector<std::uint8_t> mangled(data.begin(), data.end());
+      if (mangled.size() >= 10 && clean >= 5 && clean < mangled.size() - 4) {
+        mangled[clean] ^= 0xA5u;
+        const std::uint32_t crc = Crc32::of(mangled.data(), mangled.size() - 4);
+        const std::size_t t = mangled.size() - 4;
+        mangled[t] = static_cast<std::uint8_t>((crc >> 24) & 0xFFu);
+        mangled[t + 1] = static_cast<std::uint8_t>((crc >> 16) & 0xFFu);
+        mangled[t + 2] = static_cast<std::uint8_t>((crc >> 8) & 0xFFu);
+        mangled[t + 3] = static_cast<std::uint8_t>(crc & 0xFFu);
+      }
+      sent_ = end;
+      inner_->send(mangled);
+      ++frames_;
+      return;
+    }
+    case FaultKind::Kill:  // handled above (frame-counted, not byte-counted)
+    case FaultKind::None:  // unreachable: armed() excludes None
+      break;
   }
   sent_ = end;
   inner_->send(data);
+  ++frames_;
 }
 
 void FaultyChannel::close() {

@@ -22,6 +22,18 @@ enum class FaultKind : std::uint8_t {
   Corrupt,     ///< flip `length` bytes starting at `offset`, keep delivering
   Stall,       ///< sleep `stall_seconds` when `offset` is reached (peer deadline fires)
   Truncate,    ///< deliver `offset` bytes, silently discard the rest, close cleanly
+  /// Flip one payload byte at `offset` and RECOMPUTE the frame's trailing
+  /// CRC-32 so the framing layer accepts the damaged frame. Models
+  /// corruption below the checksum (bad RAM, a buggy conversion layer):
+  /// only an end-to-end digest can catch it. Relies on the message layer
+  /// shipping one whole frame per send() call.
+  CorruptMasked,
+  /// Process death: after `frame_offset` successful send() calls, the
+  /// next send throws hpm::KilledError and tears the channel down. The
+  /// "crashed" endpoint runs no recovery code of its own — arbitration
+  /// falls to the intent journals. One send() is one protocol frame, so
+  /// frame_offset scripts a crash at an exact protocol state.
+  Kill,
 };
 
 /// Human-readable fault name ("disconnect", "corrupt", ...).
@@ -32,12 +44,23 @@ struct FaultPlan {
   std::uint64_t offset = 0;   ///< sent-byte offset (per attempt) where the fault triggers
   std::uint64_t length = 1;   ///< corrupted span for Corrupt
   double stall_seconds = 0.5; ///< sleep duration for Stall
+  /// Kill only: frames (send() calls) delivered intact before the crash.
+  std::uint64_t frame_offset = 0;
   /// Attempts that experience the fault; later attempts see a clean
   /// channel. Set above the coordinator's retry budget to script
   /// unrecoverable outages.
   int max_firings = 1;
 
   [[nodiscard]] bool enabled() const noexcept { return kind != FaultKind::None; }
+
+  /// Crash this endpoint when it tries to send its (n+1)-th frame —
+  /// deterministic kill-points for the journal-recovery matrix.
+  static FaultPlan kill_after(std::uint64_t n_frames) {
+    FaultPlan plan;
+    plan.kind = FaultKind::Kill;
+    plan.frame_offset = n_frames;
+    return plan;
+  }
 
   /// Seedable plan generator: the same seed always yields the same plan,
   /// so a failing fuzz case is reproducible from its seed alone.
@@ -62,6 +85,7 @@ class FaultyChannel final : public ByteChannel {
   void send(std::span<const std::uint8_t> data) override;
   void recv(std::span<std::uint8_t> out) override { inner_->recv(out); }
   void set_timeout(std::chrono::milliseconds timeout) override {
+    timeout_ = timeout;
     inner_->set_timeout(timeout);
   }
   void close() override;
@@ -78,6 +102,8 @@ class FaultyChannel final : public ByteChannel {
   FaultPlan plan_;
   std::shared_ptr<FaultState> state_;
   std::uint64_t sent_ = 0;     ///< bytes pushed through this channel instance
+  std::uint64_t frames_ = 0;   ///< send() calls completed on this instance
+  std::chrono::milliseconds timeout_{0};  ///< mirror of the configured deadline
   bool fired_ = false;         ///< this instance already applied its fault
   bool dead_ = false;          ///< post-Disconnect: swallow I/O, skip orderly close
   bool truncating_ = false;    ///< post-Truncate: discard the rest of the stream

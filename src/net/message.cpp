@@ -68,7 +68,7 @@ Message recv_message(ByteChannel& ch, std::size_t max_payload) {
   std::array<std::uint8_t, 5> header{};
   ch.recv(header);
   const auto raw_type = header[0];
-  if (raw_type < 1 || raw_type > 9) {
+  if (raw_type < 1 || raw_type > kMaxMsgType) {
     throw NetError("malformed frame: unknown message type " + std::to_string(raw_type));
   }
   const std::uint32_t len = get_u32_be(header.data() + 1);
@@ -98,9 +98,26 @@ Message recv_message(ByteChannel& ch, std::size_t max_payload) {
   return msg;
 }
 
-Bytes encode_state_begin(std::uint32_t chunk_bytes) {
-  Bytes payload(4);
-  put_u32_be(payload.data(), chunk_bytes);
+namespace {
+
+void put_u64_be(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>((v >> (8 * (7 - i))) & 0xFFu);
+  }
+}
+
+std::uint64_t get_u64_be(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+}  // namespace
+
+Bytes encode_state_begin(const StateBeginInfo& info) {
+  Bytes payload(12);
+  put_u32_be(payload.data(), info.chunk_bytes);
+  put_u64_be(payload.data() + 4, info.txn_id);
   return payload;
 }
 
@@ -112,18 +129,19 @@ Bytes encode_state_chunk(std::uint32_t seq, std::span<const std::uint8_t> bytes)
 }
 
 Bytes encode_state_end(const StateEndInfo& info) {
-  Bytes payload(16);
+  Bytes payload(20);
   put_u32_be(payload.data(), info.chunk_count);
-  for (int i = 0; i < 8; ++i) {
-    payload[4 + i] = static_cast<std::uint8_t>((info.total_bytes >> (8 * (7 - i))) & 0xFFu);
-  }
-  put_u32_be(payload.data() + 12, info.total_crc);
+  put_u64_be(payload.data() + 4, info.total_bytes);
+  put_u64_be(payload.data() + 12, info.digest);
   return payload;
 }
 
-std::uint32_t decode_state_begin(const Bytes& payload) {
-  if (payload.size() != 4) throw NetError("malformed StateBegin payload");
-  return get_u32_be(payload.data());
+StateBeginInfo decode_state_begin(const Bytes& payload) {
+  if (payload.size() != 12) throw NetError("malformed StateBegin payload");
+  StateBeginInfo info;
+  info.chunk_bytes = get_u32_be(payload.data());
+  info.txn_id = get_u64_be(payload.data() + 4);
+  return info;
 }
 
 std::uint32_t decode_state_chunk_seq(const Bytes& payload) {
@@ -132,14 +150,65 @@ std::uint32_t decode_state_chunk_seq(const Bytes& payload) {
 }
 
 StateEndInfo decode_state_end(const Bytes& payload) {
-  if (payload.size() != 16) throw NetError("malformed StateEnd payload");
+  if (payload.size() != 20) throw NetError("malformed StateEnd payload");
   StateEndInfo info;
   info.chunk_count = get_u32_be(payload.data());
-  info.total_bytes = 0;
-  for (int i = 0; i < 8; ++i) {
-    info.total_bytes = (info.total_bytes << 8) | payload[4 + static_cast<std::size_t>(i)];
-  }
-  info.total_crc = get_u32_be(payload.data() + 12);
+  info.total_bytes = get_u64_be(payload.data() + 4);
+  info.digest = get_u64_be(payload.data() + 12);
+  return info;
+}
+
+Bytes encode_state_ack(std::uint32_t next_seq) {
+  Bytes payload(4);
+  put_u32_be(payload.data(), next_seq);
+  return payload;
+}
+
+std::uint32_t decode_state_ack(const Bytes& payload) {
+  if (payload.size() != 4) throw NetError("malformed StateAck payload");
+  return get_u32_be(payload.data());
+}
+
+Bytes encode_txn(std::uint64_t txn_id) {
+  Bytes payload(8);
+  put_u64_be(payload.data(), txn_id);
+  return payload;
+}
+
+std::uint64_t decode_txn(const Bytes& payload) {
+  if (payload.size() != 8) throw NetError("malformed transaction payload");
+  return get_u64_be(payload.data());
+}
+
+Bytes encode_prepare_ack(const PrepareAckInfo& info) {
+  Bytes payload(16);
+  put_u64_be(payload.data(), info.txn_id);
+  put_u64_be(payload.data() + 8, info.digest);
+  return payload;
+}
+
+PrepareAckInfo decode_prepare_ack(const Bytes& payload) {
+  if (payload.size() != 16) throw NetError("malformed PrepareAck payload");
+  PrepareAckInfo info;
+  info.txn_id = get_u64_be(payload.data());
+  info.digest = get_u64_be(payload.data() + 8);
+  return info;
+}
+
+Bytes encode_resume_hello(const ResumeHelloInfo& info) {
+  Bytes payload(13);
+  payload[0] = info.version;
+  put_u64_be(payload.data() + 1, info.txn_id);
+  put_u32_be(payload.data() + 9, info.next_seq);
+  return payload;
+}
+
+ResumeHelloInfo decode_resume_hello(const Bytes& payload) {
+  if (payload.size() != 13) throw NetError("malformed ResumeHello payload");
+  ResumeHelloInfo info;
+  info.version = payload[0];
+  info.txn_id = get_u64_be(payload.data() + 1);
+  info.next_seq = get_u32_be(payload.data() + 9);
   return info;
 }
 

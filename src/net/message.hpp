@@ -18,8 +18,10 @@ namespace hpm::net {
 
 /// Version of the coordinator's wire protocol, announced in the first
 /// byte of the Hello payload. Bumped to 2 when the CRC trailer and Nack
-/// were introduced; a mismatch aborts the attempt before any state moves.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// were introduced, to 3 for the transactional handoff (chunk acks,
+/// resume, Prepare/Commit/Abort, digest-bearing StateEnd); a mismatch
+/// aborts the attempt before any state moves.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Message type tags used by the migration coordinator.
 enum class MsgType : std::uint8_t {
@@ -29,10 +31,20 @@ enum class MsgType : std::uint8_t {
   Error = 4,       ///< destination reports a restoration failure (payload: text)
   Shutdown = 5,    ///< orderly teardown without migration
   Nack = 6,        ///< destination rejects a damaged frame; sender should retransmit
-  StateBegin = 7,  ///< pipelined transfer opens (payload: u32 chunk size)
+  StateBegin = 7,  ///< pipelined transfer opens (payload: u32 chunk size + u64 txn id)
   StateChunk = 8,  ///< one stream slice (payload: u32 seq + bytes; frame CRC covers it)
-  StateEnd = 9,    ///< pipelined transfer closes (u32 chunks, u64 bytes, u32 stream CRC)
+  StateEnd = 9,    ///< pipelined transfer closes (u32 chunks, u64 bytes, u64 digest)
+  StateAck = 10,   ///< destination acks a chunk watermark (payload: u32 next expected seq)
+  Prepare = 11,    ///< source asks: restoration verified? ready to own? (payload: u64 txn)
+  PrepareAck = 12, ///< destination votes yes (payload: u64 txn + u64 its stream digest)
+  Commit = 13,     ///< source relinquishes ownership — point of no return (u64 txn)
+  Abort = 14,      ///< source cancels the handoff after Prepare (u64 txn)
+  ResumeHello = 15,///< destination re-announces mid-stream (version + u64 txn + u32 next seq)
 };
+
+/// Highest tag recv_message accepts; anything outside [1, kMaxMsgType]
+/// is a malformed frame.
+inline constexpr std::uint8_t kMaxMsgType = 15;
 
 struct Message {
   MsgType type;
@@ -53,23 +65,57 @@ Message recv_message(ByteChannel& ch, std::size_t max_payload = 1ull << 28);
 /// --- chunked state transfer payloads -------------------------------------
 /// StateBegin/StateChunk/StateEnd frame the pipelined stream: each chunk
 /// carries a sequence number (gap/reorder detection on top of the frame
-/// CRC); StateEnd carries the totals plus a CRC-32 over the *entire*
-/// reassembled stream so a dropped chunk boundary cannot go unnoticed.
+/// CRC); StateEnd carries the totals plus the end-to-end digest over the
+/// *entire* canonical stream (msrm::StreamDigest), which the destination
+/// recomputes and must match before it may vote in the commit phase.
+
+struct StateBeginInfo {
+  std::uint32_t chunk_bytes = 0;
+  std::uint64_t txn_id = 0;  ///< transaction the journals arbitrate on
+};
 
 struct StateEndInfo {
   std::uint32_t chunk_count = 0;
   std::uint64_t total_bytes = 0;
-  std::uint32_t total_crc = 0;  ///< CRC-32 of the whole reassembled stream
+  std::uint64_t digest = 0;  ///< msrm::StreamDigest of the whole canonical stream
 };
 
-Bytes encode_state_begin(std::uint32_t chunk_bytes);
+Bytes encode_state_begin(const StateBeginInfo& info);
 Bytes encode_state_chunk(std::uint32_t seq, std::span<const std::uint8_t> bytes);
 Bytes encode_state_end(const StateEndInfo& info);
 
 /// Decoders throw hpm::NetError on short payloads.
-std::uint32_t decode_state_begin(const Bytes& payload);
+StateBeginInfo decode_state_begin(const Bytes& payload);
 /// Returns the sequence number; the chunk's bytes are payload[4..].
 std::uint32_t decode_state_chunk_seq(const Bytes& payload);
 StateEndInfo decode_state_end(const Bytes& payload);
+
+/// --- transactional handoff payloads --------------------------------------
+/// StateAck carries the destination's receive watermark (the next sequence
+/// number it expects); Prepare/Commit/Abort carry the transaction id;
+/// PrepareAck adds the destination's own stream digest so the source can
+/// cross-check before committing; ResumeHello re-opens a transaction on a
+/// fresh channel at the given watermark.
+
+Bytes encode_state_ack(std::uint32_t next_seq);
+std::uint32_t decode_state_ack(const Bytes& payload);
+
+Bytes encode_txn(std::uint64_t txn_id);
+std::uint64_t decode_txn(const Bytes& payload);
+
+struct PrepareAckInfo {
+  std::uint64_t txn_id = 0;
+  std::uint64_t digest = 0;  ///< destination-computed msrm::StreamDigest
+};
+Bytes encode_prepare_ack(const PrepareAckInfo& info);
+PrepareAckInfo decode_prepare_ack(const Bytes& payload);
+
+struct ResumeHelloInfo {
+  std::uint8_t version = kProtocolVersion;
+  std::uint64_t txn_id = 0;
+  std::uint32_t next_seq = 0;  ///< first chunk the destination still needs
+};
+Bytes encode_resume_hello(const ResumeHelloInfo& info);
+ResumeHelloInfo decode_resume_hello(const Bytes& payload);
 
 }  // namespace hpm::net

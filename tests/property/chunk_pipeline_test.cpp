@@ -116,9 +116,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ChunkPipeline, CorruptedChunkIsOneRetryableFailure) {
   // Flip bytes inside chunk ~4 of the pipelined stream. The frame CRC on
-  // that StateChunk must catch it, the destination must Nack, and the
-  // retained stream must land serially on attempt 2 — deterministically
-  // two attempts, never a hang (the suite's ctest TIMEOUT enforces that).
+  // that StateChunk must catch it and attempt 2 must land the retained
+  // stream — since the transactional handoff, as a RESUME from the
+  // destination's chunk watermark rather than a full serial replay —
+  // deterministically two attempts, never a hang (the suite's ctest
+  // TIMEOUT enforces that).
   GraphOutcome out;
   RunOptions options;
   options.pipeline = true;

@@ -1,0 +1,115 @@
+// ChunkAssembler under attack: a hostile or buggy peer sending duplicate
+// or out-of-order sequence numbers, chunks after the end of stream, or a
+// StateEnd whose totals contradict what actually arrived. Every violation
+// must surface as the typed hpm::ProtocolError (producer side) and poison
+// the assembler so the consumer fails instead of decoding garbage.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "mig/chunk_assembler.hpp"
+
+namespace hpm::mig {
+namespace {
+
+Bytes bytes_of(std::initializer_list<std::uint8_t> init) { return Bytes(init); }
+
+net::StateEndInfo end_info(std::uint32_t chunks, std::uint64_t total,
+                           std::uint64_t digest = 0) {
+  net::StateEndInfo info;
+  info.chunk_count = chunks;
+  info.total_bytes = total;
+  info.digest = digest;
+  return info;
+}
+
+TEST(ChunkAssembler, OrderedChunksRoundTrip) {
+  ChunkAssembler a;
+  a.append(0, bytes_of({1, 2, 3}));
+  a.append(1, bytes_of({4, 5}));
+  a.finish(end_info(2, 5, 0x1234));
+  EXPECT_EQ(a.await_complete(), 5u);
+  EXPECT_EQ(a.chunks_received(), 2u);
+  EXPECT_EQ(a.end_info().digest, 0x1234u);
+
+  Bytes out;
+  EXPECT_TRUE(a.fetch(out, 5));
+  EXPECT_EQ(out, bytes_of({1, 2, 3, 4, 5}));
+  EXPECT_FALSE(a.fetch(out, 5)) << "stream complete and exhausted";
+}
+
+TEST(ChunkAssembler, DuplicateSequenceIsAProtocolError) {
+  ChunkAssembler a;
+  a.append(0, bytes_of({1}));
+  EXPECT_THROW(a.append(0, bytes_of({1})), ProtocolError);
+  // Poisoned: the consumer sees the failure, not a partial stream.
+  Bytes out;
+  EXPECT_THROW(a.fetch(out, 1), NetError);
+}
+
+TEST(ChunkAssembler, SequenceGapIsAProtocolError) {
+  ChunkAssembler a;
+  a.append(0, bytes_of({1}));
+  EXPECT_THROW(a.append(2, bytes_of({2})), ProtocolError);
+  EXPECT_THROW(a.await_complete(), NetError);
+}
+
+TEST(ChunkAssembler, OutOfOrderFirstChunkIsAProtocolError) {
+  ChunkAssembler a;
+  EXPECT_THROW(a.append(3, bytes_of({1})), ProtocolError);
+}
+
+TEST(ChunkAssembler, ChunkAfterStateEndIsAProtocolError) {
+  ChunkAssembler a;
+  a.append(0, bytes_of({1}));
+  a.finish(end_info(1, 1));
+  EXPECT_THROW(a.append(1, bytes_of({2})), ProtocolError);
+}
+
+TEST(ChunkAssembler, SecondStateEndIsAProtocolError) {
+  ChunkAssembler a;
+  a.append(0, bytes_of({1}));
+  a.finish(end_info(1, 1));
+  EXPECT_THROW(a.finish(end_info(1, 1)), ProtocolError);
+}
+
+TEST(ChunkAssembler, HostileChunkCountPoisons) {
+  // StateEnd claims more chunks than arrived: the stream must not be
+  // treated as complete.
+  ChunkAssembler a;
+  a.append(0, bytes_of({1, 2}));
+  a.finish(end_info(7, 2));
+  EXPECT_THROW(a.await_complete(), NetError);
+}
+
+TEST(ChunkAssembler, HostileByteTotalPoisons) {
+  ChunkAssembler a;
+  a.append(0, bytes_of({1, 2}));
+  a.finish(end_info(1, 9999));
+  Bytes out;
+  EXPECT_THROW(a.fetch(out, 1), NetError);
+}
+
+TEST(ChunkAssembler, FailUnblocksAWaitingConsumer) {
+  ChunkAssembler a;
+  std::thread consumer([&] {
+    Bytes out;
+    EXPECT_THROW(a.fetch(out, 100), NetError);  // blocks until poisoned
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  a.fail("link died");
+  consumer.join();
+}
+
+TEST(ChunkAssembler, AppendAfterFailIsSilent) {
+  // The rx loop may race one more frame in after a failure; it must not
+  // throw from the already-poisoned assembler.
+  ChunkAssembler a;
+  a.fail("poisoned first");
+  a.append(0, bytes_of({1}));  // no throw
+  EXPECT_THROW(a.await_complete(), NetError);
+}
+
+}  // namespace
+}  // namespace hpm::mig

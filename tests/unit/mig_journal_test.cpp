@@ -1,0 +1,207 @@
+// Intent journal: durability format and crash arbitration.
+//
+// The journal is the ground truth of the transactional handoff, so these
+// tests attack exactly what a crash attacks: records cut short mid-append,
+// CRC damage, missing files — and then the full verdict table of
+// recover_from_journals(), which must name exactly one owner from any
+// journal state the protocol can leave behind.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mig/journal.hpp"
+
+namespace hpm::mig {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hpm_journal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  /// Write `records` to a fresh journal file and return its path.
+  std::string write(const char* name, const std::vector<JournalRecord>& records) {
+    const std::string p = path(name);
+    Journal j(p);
+    for (const JournalRecord& r : records) j.append(r);
+    return p;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(JournalTest, AppendReplayRoundTrip) {
+  const std::vector<JournalRecord> written = {
+      {JournalRecordType::Begin, 42, 0, "source"},
+      {JournalRecordType::Commit, 42, 0xDEADBEEFCAFEF00Du, ""},
+      {JournalRecordType::Done, 42, 0xDEADBEEFCAFEF00Du, "confirmed by destination"},
+  };
+  const std::string p = write("roundtrip.journal", written);
+
+  const std::vector<JournalRecord> read = Journal::replay(p);
+  ASSERT_EQ(read.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(read[i].type, written[i].type);
+    EXPECT_EQ(read[i].txn_id, written[i].txn_id);
+    EXPECT_EQ(read[i].digest, written[i].digest);
+    EXPECT_EQ(read[i].note, written[i].note);
+  }
+}
+
+TEST_F(JournalTest, MissingFileReplaysEmpty) {
+  EXPECT_TRUE(Journal::replay(path("never_written.journal")).empty());
+}
+
+TEST_F(JournalTest, NullJournalRecordsNothing) {
+  Journal null_journal;
+  EXPECT_FALSE(null_journal.durable());
+  null_journal.append({JournalRecordType::Commit, 1, 0, ""});  // must not throw
+}
+
+TEST_F(JournalTest, UnwritablePathThrows) {
+  Journal j("/nonexistent-dir/j.journal");
+  EXPECT_THROW(j.append({JournalRecordType::Begin, 1, 0, ""}), MigrationError);
+}
+
+TEST_F(JournalTest, TornTailRecordIsDropped) {
+  const std::string p = write("torn.journal", {
+      {JournalRecordType::Begin, 7, 0, "source"},
+      {JournalRecordType::Commit, 7, 99, "about to be torn"},
+  });
+  // Crash mid-append: cut the last record short by a few bytes.
+  const auto full = std::filesystem::file_size(p);
+  std::filesystem::resize_file(p, full - 5);
+
+  const std::vector<JournalRecord> read = Journal::replay(p);
+  ASSERT_EQ(read.size(), 1u) << "the torn Commit must not replay";
+  EXPECT_EQ(read[0].type, JournalRecordType::Begin);
+}
+
+TEST_F(JournalTest, CrcDamageDropsTheRecordAndEverythingAfter) {
+  const std::string p = write("crc.journal", {
+      {JournalRecordType::Begin, 7, 0, ""},
+      {JournalRecordType::Prepared, 7, 1, ""},
+      {JournalRecordType::Committed, 7, 1, ""},
+  });
+  // Flip one byte inside the SECOND record's txn field.
+  std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+  const std::size_t record_size = 4 + 1 + 8 + 8 + 4 + 0 + 4;  // no note
+  f.seekp(static_cast<std::streamoff>(record_size + 8));
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(static_cast<std::streamoff>(record_size + 8));
+  b = static_cast<char>(b ^ 0x5A);
+  f.write(&b, 1);
+  f.close();
+
+  const std::vector<JournalRecord> read = Journal::replay(p);
+  ASSERT_EQ(read.size(), 1u) << "damage must drop the record AND its successors";
+  EXPECT_EQ(read[0].type, JournalRecordType::Begin);
+}
+
+// --- the arbitration table: every protocol-reachable journal state names
+// exactly one owner.
+
+TEST_F(JournalTest, VerdictEmptyJournalsNameNoOwner) {
+  const RecoveryVerdict v =
+      recover_from_journals(path("none_src"), path("none_dst"));
+  EXPECT_EQ(v.owner, TxnOwner::None);
+  EXPECT_FALSE(v.completed);
+}
+
+TEST_F(JournalTest, VerdictBeginOnlyIsPresumedAbort) {
+  // Crash pre-Prepare: both sides opened the transaction, nobody decided.
+  const std::string src = write("s1", {{JournalRecordType::Begin, 5, 0, "source"}});
+  const std::string dst = write("d1", {{JournalRecordType::Begin, 5, 0, "destination"}});
+  const RecoveryVerdict v = recover_from_journals(src, dst);
+  EXPECT_EQ(v.owner, TxnOwner::Source);
+  EXPECT_EQ(v.txn_id, 5u);
+  EXPECT_FALSE(v.completed);
+}
+
+TEST_F(JournalTest, VerdictPreparedWithoutCommitIsPresumedAbort) {
+  // Crash post-Prepare, pre-Commit: the destination voted yes but the
+  // source never made the decision durable — source still owns.
+  const std::string src = write("s2", {{JournalRecordType::Begin, 5, 0, ""}});
+  const std::string dst = write("d2", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Prepared, 5, 9, ""}});
+  const RecoveryVerdict v = recover_from_journals(src, dst);
+  EXPECT_EQ(v.owner, TxnOwner::Source);
+}
+
+TEST_F(JournalTest, VerdictSourceCommitHandsOwnershipToDestination) {
+  // Crash post-Commit: the source relinquished; it does not matter whether
+  // the Commit frame ever reached the destination.
+  const std::string src = write("s3", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Commit, 5, 9, ""}});
+  const std::string dst = write("d3", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Prepared, 5, 9, ""}});
+  const RecoveryVerdict v = recover_from_journals(src, dst);
+  EXPECT_EQ(v.owner, TxnOwner::Destination);
+  EXPECT_FALSE(v.completed);
+}
+
+TEST_F(JournalTest, VerdictDoneMarksTheHandoffComplete) {
+  const std::string src = write("s4", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Commit, 5, 9, ""},
+                                       {JournalRecordType::Done, 5, 9, ""}});
+  const RecoveryVerdict v = recover_from_journals(src, path("d4_missing"));
+  EXPECT_EQ(v.owner, TxnOwner::Destination);
+  EXPECT_TRUE(v.completed);
+}
+
+TEST_F(JournalTest, VerdictAbortThenCommitLastDecisionWins) {
+  // The pipelined leg aborted, a serial retry of the SAME transaction
+  // committed: the last decisive record governs.
+  const std::string src = write("s5", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Abort, 5, 0, "pipelined leg"},
+                                       {JournalRecordType::Commit, 5, 9, "serial retry"}});
+  const RecoveryVerdict v = recover_from_journals(src, path("d5_missing"));
+  EXPECT_EQ(v.owner, TxnOwner::Destination);
+}
+
+TEST_F(JournalTest, VerdictAbortAfterCommitNeverHappensButResolvesToSource) {
+  const std::string src = write("s6", {{JournalRecordType::Commit, 5, 9, ""},
+                                       {JournalRecordType::Abort, 5, 0, ""}});
+  const RecoveryVerdict v = recover_from_journals(src, path("d6_missing"));
+  EXPECT_EQ(v.owner, TxnOwner::Source);
+}
+
+TEST_F(JournalTest, VerdictDestCommittedAloneStillNamesDestination) {
+  // The source journal was lost entirely; the destination's Committed is
+  // only reachable after a durable source Commit, so it decides.
+  const std::string dst = write("d7", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Prepared, 5, 9, ""},
+                                       {JournalRecordType::Committed, 5, 9, ""}});
+  const RecoveryVerdict v = recover_from_journals(path("s7_missing"), dst);
+  EXPECT_EQ(v.owner, TxnOwner::Destination);
+}
+
+TEST_F(JournalTest, VerdictConsidersOnlyTheLatestTransaction) {
+  // txn 5 committed long ago; txn 8 is the interrupted one.
+  const std::string src = write("s8", {{JournalRecordType::Begin, 5, 0, ""},
+                                       {JournalRecordType::Commit, 5, 1, ""},
+                                       {JournalRecordType::Done, 5, 1, ""},
+                                       {JournalRecordType::Begin, 8, 0, ""}});
+  const RecoveryVerdict v = recover_from_journals(src, path("d8_missing"));
+  EXPECT_EQ(v.txn_id, 8u);
+  EXPECT_EQ(v.owner, TxnOwner::Source) << "txn 8 never committed";
+}
+
+}  // namespace
+}  // namespace hpm::mig

@@ -7,6 +7,9 @@
 //   hpmtool precc <decls.h> [--strict] [--codegen]
 //                                     migration-safety report / registration code
 //   hpmtool archs                     list the built-in architecture models
+//   hpmtool recover <journal-dir>     arbitrate a crashed handoff from its
+//                                     intent journals (DESIGN.md §11)
+//   hpmtool journal-dump <file>       print every intact record of one journal
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,7 +26,9 @@ int usage() {
                "  hpmtool ckpt-dump <file> [-v]\n"
                "  hpmtool inc-dump <prefix> <last-seq>\n"
                "  hpmtool precc <decls.h> [--strict] [--codegen]\n"
-               "  hpmtool archs\n");
+               "  hpmtool archs\n"
+               "  hpmtool recover <journal-dir>\n"
+               "  hpmtool journal-dump <file>\n");
   return 2;
 }
 
@@ -79,6 +84,28 @@ int cmd_precc(const char* path, bool strict, bool codegen) {
   return result.clean() ? 0 : 1;
 }
 
+int cmd_recover(const char* dir) {
+  const hpm::mig::RecoveryVerdict v = hpm::mig::Coordinator::recover(dir);
+  std::printf("journal dir : %s\n", dir);
+  std::printf("transaction : %llu\n", static_cast<unsigned long long>(v.txn_id));
+  std::printf("owner       : %s\n", hpm::mig::txn_owner_name(v.owner));
+  std::printf("completed   : %s\n", v.completed ? "yes" : "no");
+  std::printf("reason      : %s\n", v.reason.c_str());
+  // Exit status mirrors the verdict so scripts can branch on it:
+  // 0 = source owns (resume/restart there), 3 = destination owns.
+  return v.owner == hpm::mig::TxnOwner::Destination ? 3 : 0;
+}
+
+int cmd_journal_dump(const char* path) {
+  for (const hpm::mig::JournalRecord& r : hpm::mig::Journal::replay(path)) {
+    std::printf("%-9s txn=%llu digest=%016llx%s%s\n", hpm::mig::journal_record_name(r.type),
+                static_cast<unsigned long long>(r.txn_id),
+                static_cast<unsigned long long>(r.digest), r.note.empty() ? "" : "  ",
+                r.note.c_str());
+  }
+  return 0;
+}
+
 int cmd_archs() {
   std::printf("%-18s %-7s %5s %5s %5s %9s\n", "name", "order", "int", "long", "ptr",
               "dbl-align");
@@ -117,6 +144,10 @@ int main(int argc, char** argv) {
       return cmd_precc(argv[2], strict, codegen);
     }
     if (std::strcmp(argv[1], "archs") == 0) return cmd_archs();
+    if (std::strcmp(argv[1], "recover") == 0 && argc >= 3) return cmd_recover(argv[2]);
+    if (std::strcmp(argv[1], "journal-dump") == 0 && argc >= 3) {
+      return cmd_journal_dump(argv[2]);
+    }
   } catch (const hpm::Error& e) {
     std::fprintf(stderr, "hpmtool: %s\n", e.what());
     return 1;
