@@ -27,7 +27,10 @@
 #include "mig/annotate.hpp"
 #include "mig/context.hpp"
 #include "mig/coordinator.hpp"
+#include "mig/frame_router.hpp"
 #include "mig/journal.hpp"
+#include "mig/port.hpp"
+#include "mig/session.hpp"
 #include "msr/graph.hpp"
 #include "msr/host_space.hpp"
 #include "msr/msrlt.hpp"

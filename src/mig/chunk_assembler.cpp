@@ -1,8 +1,23 @@
 #include "mig/chunk_assembler.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace hpm::mig {
+
+/// Reserve ahead so the append below cannot trigger a per-chunk
+/// reallocation: when the backing store is about to run out, grow it in
+/// one move to the larger of double the current capacity and a 16-chunk
+/// stride of the announced chunk size. Either bound keeps the total
+/// number of regrowths logarithmic in the stream size.
+void ChunkAssembler::reserve_for_locked(std::size_t incoming) {
+  const std::size_t needed = data_.size() + incoming;
+  if (needed <= data_.capacity()) return;
+  const std::size_t stride = static_cast<std::size_t>(chunk_hint_) * 16;
+  data_.reserve(std::max({needed, data_.capacity() * 2, data_.size() + stride}));
+  ++growths_;
+}
 
 void ChunkAssembler::fail_locked(std::string reason) {
   if (!failed_) {
@@ -30,6 +45,7 @@ void ChunkAssembler::append(std::uint32_t seq, std::span<const std::uint8_t> byt
                 std::to_string(seq));
     throw ProtocolError(reason_);
   }
+  reserve_for_locked(bytes.size());
   data_.insert(data_.end(), bytes.begin(), bytes.end());
   ++chunks_;
   cv_.notify_all();
@@ -86,6 +102,11 @@ std::uint32_t ChunkAssembler::chunks_received() const {
 net::StateEndInfo ChunkAssembler::end_info() const {
   std::lock_guard lk(mu_);
   return end_;
+}
+
+std::uint64_t ChunkAssembler::alloc_growths() const {
+  std::lock_guard lk(mu_);
+  return growths_;
 }
 
 }  // namespace hpm::mig

@@ -29,6 +29,15 @@ namespace hpm::mig {
 
 class ChunkAssembler {
  public:
+  /// `chunk_bytes_hint` is the StateBegin-announced chunk size. The
+  /// assembly buffer is reserved ahead in multi-chunk strides of it, so
+  /// appending a chunk reuses the same backing store instead of paying a
+  /// reallocation (and the copy of everything assembled so far) per
+  /// StateChunk — the alloc churn that used to show up against
+  /// `mig.pipeline.*` chunk rates. 0 = no hint; growth is still geometric.
+  explicit ChunkAssembler(std::uint32_t chunk_bytes_hint = 0)
+      : chunk_hint_(chunk_bytes_hint) {}
+
   /// --- producer side (rx thread) -----------------------------------------
 
   /// Append one chunk's bytes. Chunks must arrive in exact sequence order
@@ -66,12 +75,21 @@ class ChunkAssembler {
   /// returned): carries the source's end-to-end digest.
   [[nodiscard]] net::StateEndInfo end_info() const;
 
+  /// How many times the assembly buffer's backing store was regrown.
+  /// The invariant (asserted by the unit test): O(log chunks), never
+  /// O(chunks) — appending must reuse the scratch buffer, not reallocate
+  /// per StateChunk.
+  [[nodiscard]] std::uint64_t alloc_growths() const;
+
  private:
   void fail_locked(std::string reason);
+  void reserve_for_locked(std::size_t incoming);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Bytes data_;
+  std::uint32_t chunk_hint_ = 0;
+  std::uint64_t growths_ = 0;
   net::StateEndInfo end_;
   std::uint32_t chunks_ = 0;
   bool complete_ = false;

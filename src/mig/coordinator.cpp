@@ -1,21 +1,26 @@
+// The Coordinator facade: composes the extracted migration layer —
+// SourceSession/DestSession state machines (session.hpp), the serial
+// transfer (serial_transfer.hpp), the transactional pipelined transfer
+// (source_txn.hpp / dest_host.hpp), ports and wiring (port.hpp), and the
+// intent journals — behind the original run_migration() API. The policy
+// that lives HERE is only the composition: which path runs, the serial
+// retry loop, graceful degradation, and crash recovery.
 #include "mig/coordinator.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <cstdio>
-#include <deque>
 #include <filesystem>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <thread>
 
-#include "mig/chunk_assembler.hpp"
+#include "mig/endpoint_util.hpp"
+#include "mig/mig_metrics.hpp"
+#include "mig/port.hpp"
+#include "mig/serial_transfer.hpp"
+#include "mig/source_txn.hpp"
 #include "msrm/stream.hpp"
-#include "net/message.hpp"
 #include "obs/span.hpp"
 
 namespace hpm::mig {
@@ -24,1271 +29,58 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Deadline applied when fault injection is on but the caller set none:
-/// an injected stall/truncation must never hang the run.
-constexpr double kFaultInjectionDefaultTimeout = 5.0;
-
-void remove_spool(const std::string& path) {
-  std::remove(path.c_str());
-  std::remove((path + ".done").c_str());
-}
-
-/// Deletes the spool (and its ".done" marker) when the run ends — orderly
-/// or not — so no state leaks into the next Transport::File run.
-struct SpoolCleanup {
-  const RunOptions& options;
-  ~SpoolCleanup() {
-    if (options.transport == Transport::File) remove_spool(options.spool_path);
-  }
-};
-
-Bytes hello_payload(const std::string& arch) {
-  Bytes payload;
-  payload.reserve(1 + arch.size());
-  payload.push_back(net::kProtocolVersion);
-  payload.insert(payload.end(), arch.begin(), arch.end());
-  return payload;
-}
-
-std::string exception_text(const std::exception_ptr& error) {
-  try {
-    std::rethrow_exception(error);
-  } catch (const std::exception& e) {
-    return e.what();
-  } catch (...) {
-    return "unknown error";
-  }
-}
-
-void expect_hello(const net::Message& hello) {
-  if (hello.type != net::MsgType::Hello) {
-    throw MigrationError("source expected a Hello message");
-  }
-  if (hello.payload.empty() || hello.payload[0] != net::kProtocolVersion) {
-    throw MigrationError("protocol version mismatch: destination speaks v" +
-                         std::to_string(hello.payload.empty() ? 0 : hello.payload[0]) +
-                         ", source speaks v" + std::to_string(net::kProtocolVersion));
-  }
-}
-
-/// Run the destination program to completion after begin_restore*(). A
-/// MigrationExit here is the stop_after_restore unwind: restoration
-/// completed and the metrics are recorded; skipping the tail is the point.
-void run_destination_program(const RunOptions& options, MigContext& ctx,
-                             MigrationReport& report) {
-  try {
-    options.program(ctx);
-  } catch (const MigrationExit&) {
-  }
-  report.restore_seconds = ctx.metrics().restore_seconds;
-}
-
-/// `mig.coordinator.*` counters for the retry machinery.
-struct CoordinatorMetrics {
-  obs::Counter& attempts = obs::Registry::process().counter("mig.coordinator.attempts");
-  obs::Counter& retries = obs::Registry::process().counter("mig.coordinator.retries");
-  obs::Counter& aborts = obs::Registry::process().counter("mig.coordinator.aborts");
-
-  static CoordinatorMetrics& get() {
-    static CoordinatorMetrics m;
-    return m;
-  }
-};
-
-/// `mig.pipeline.*` instruments for the chunked transfer.
-struct PipelineMetrics {
-  obs::Counter& chunks = obs::Registry::process().counter("mig.pipeline.chunks");
-  obs::Histogram& chunk_bytes =
-      obs::Registry::process().histogram("mig.pipeline.chunk_bytes", obs::Unit::Bytes);
-  obs::Gauge& queue_depth = obs::Registry::process().gauge("mig.pipeline.queue_depth");
-  obs::Histogram& overlap =
-      obs::Registry::process().histogram("mig.pipeline.overlap_ratio", obs::Unit::None);
-
-  static PipelineMetrics& get() {
-    static PipelineMetrics m;
-    return m;
-  }
-};
-
-/// Bounded handoff between the collecting thread (producer) and the
-/// sender thread. Back-pressure by design: push() blocks while the queue
-/// is full, so a slow link throttles collection instead of buffering the
-/// heap twice. poison() (sender died, or teardown) turns pushes into
-/// drops so collection can finish and unwind normally.
-class ChunkQueue {
- public:
-  explicit ChunkQueue(std::size_t capacity) : capacity_(capacity) {}
-
-  void push(Bytes chunk) {
-    std::unique_lock lk(mu_);
-    can_push_.wait(lk, [&] { return q_.size() < capacity_ || poisoned_; });
-    if (poisoned_) return;
-    q_.push_back(std::move(chunk));
-    ++pushed_;
-    PipelineMetrics::get().queue_depth.set(static_cast<std::int64_t>(q_.size()));
-    can_pop_.notify_one();
-  }
-
-  /// False once the queue is closed and drained.
-  bool pop(Bytes& out) {
-    std::unique_lock lk(mu_);
-    can_pop_.wait(lk, [&] { return !q_.empty() || closed_; });
-    if (q_.empty()) return false;
-    out = std::move(q_.front());
-    q_.pop_front();
-    PipelineMetrics::get().queue_depth.set(static_cast<std::int64_t>(q_.size()));
-    can_push_.notify_one();
-    return true;
-  }
-
-  /// Close the producer side; `end` (if set) tells the sender to finish
-  /// with a StateEnd frame after draining. First close wins.
-  void close(std::optional<net::StateEndInfo> end) {
-    std::lock_guard lk(mu_);
-    if (closed_) return;
-    end_ = end;
-    closed_ = true;
-    can_pop_.notify_all();
-  }
-
-  void poison() {
-    std::lock_guard lk(mu_);
-    poisoned_ = true;
-    can_push_.notify_all();
-  }
-
-  [[nodiscard]] std::uint32_t pushed() const {
-    std::lock_guard lk(mu_);
-    return pushed_;
-  }
-
-  [[nodiscard]] std::optional<net::StateEndInfo> end_info() const {
-    std::lock_guard lk(mu_);
-    return end_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<Bytes> q_;
-  std::size_t capacity_;
-  std::uint32_t pushed_ = 0;
-  bool closed_ = false;
-  bool poisoned_ = false;
-  std::optional<net::StateEndInfo> end_;
-};
-
-/// Queue bound: deep enough to ride out send jitter, small enough that a
-/// stalled link stops collection after ~capacity chunks of lookahead.
-constexpr std::size_t kChunkQueueCapacity = 8;
-
-/// One transfer attempt: bring up a destination, move the buffered stream,
-/// wait for the verdict. Returns true on success; on a recoverable failure
-/// returns false with `cause` set. Unrecoverable source-side failures
-/// (anything outside the hpm::Error hierarchy) propagate.
-bool attempt_transfer(const RunOptions& options, const Bytes& stream,
-                      MigrationReport& report,
-                      const std::shared_ptr<net::FaultState>& fault_state,
-                      const std::shared_ptr<net::FaultState>& dest_fault_state,
-                      std::chrono::milliseconds timeout, std::string& cause) {
-  const bool duplex = options.transport != Transport::File;
-  // A fresh attempt gets a fresh spool; a half-written one from a failed
-  // attempt must not satisfy this attempt's reader.
-  if (options.transport == Transport::File) remove_spool(options.spool_path);
-
-  net::ChannelPair channels = net::make_channel_pair(
-      options.transport, {.spool_path = options.spool_path, .timeout = timeout});
-  if (options.fault_plan.enabled()) {
-    channels.source = std::make_unique<net::FaultyChannel>(std::move(channels.source),
-                                                           options.fault_plan, fault_state);
-    if (timeout.count() > 0) channels.source->set_timeout(timeout);
-  }
-  if (options.throttle) {
-    channels.source = std::make_unique<net::ThrottledChannel>(std::move(channels.source),
-                                                              options.link);
-    if (timeout.count() > 0) channels.source->set_timeout(timeout);
-  }
-  if (options.dest_fault_plan.enabled()) {
-    channels.destination = std::make_unique<net::FaultyChannel>(
-        std::move(channels.destination), options.dest_fault_plan, dest_fault_state);
-    if (timeout.count() > 0) channels.destination->set_timeout(timeout);
-  }
-
-  // --- destination host: invoked first, announces itself, waits (paper §2).
-  std::exception_ptr dest_error;
-  std::thread destination([&] {
-    try {
-      ti::TypeTable types;
-      options.register_types(types);
-      MigContext ctx(types, options.search);
-      if (duplex) {
-        net::send_message(*channels.destination, net::MsgType::Hello,
-                          hello_payload(ctx.space().arch().name));
-      }
-      ctx.set_stop_after_restore(options.stop_after_restore);
-      net::Message msg = net::recv_message(*channels.destination);
-      if (msg.type != net::MsgType::State) {
-        throw MigrationError("destination expected a State message");
-      }
-      ctx.begin_restore(std::move(msg.payload));
-      run_destination_program(options, ctx, report);
-      if (duplex) net::send_message(*channels.destination, net::MsgType::Ack, {});
-    } catch (const KilledError&) {
-      // A crashed process sends no Nack and runs no teardown protocol;
-      // the source observes only the dead channel.
-      dest_error = std::current_exception();
-      try {
-        channels.destination->abort();
-      } catch (...) {
-      }
-    } catch (const NetError& e) {
-      // Frame never arrived intact (CRC mismatch, truncation, timeout,
-      // disconnect): nack it so the source retransmits instead of trusting
-      // a damaged stream.
-      dest_error = std::current_exception();
-      if (duplex) {
-        try {
-          const std::string text = e.what();
-          net::send_message(*channels.destination, net::MsgType::Nack,
-                            Bytes(text.begin(), text.end()));
-        } catch (...) {
-          // Source will observe the broken channel instead.
-        }
-      }
-    } catch (...) {
-      dest_error = std::current_exception();
-      if (duplex) {
-        try {
-          const std::string text = exception_text(dest_error);
-          net::send_message(*channels.destination, net::MsgType::Error,
-                            Bytes(text.begin(), text.end()));
-        } catch (...) {
-        }
-      }
-    }
-  });
-
-  // --- source host: validate the peer, replay the buffered stream.
-  std::exception_ptr source_error;
-  double measured_tx = 0;
-  try {
-    if (duplex) expect_hello(net::recv_message(*channels.source));
-    {
-      obs::Span tx_span("mig.tx");
-      tx_span.arg("stream_bytes", std::uint64_t{stream.size()});
-      tx_span.arg("transport", std::string(net::transport_name(options.transport)));
-      net::send_message(*channels.source, net::MsgType::State, stream);
-      measured_tx = tx_span.finish();
-    }
-    if (duplex) {
-      const net::Message verdict = net::recv_message(*channels.source);
-      const std::string text(verdict.payload.begin(), verdict.payload.end());
-      switch (verdict.type) {
-        case net::MsgType::Ack:
-          break;
-        case net::MsgType::Nack:
-          throw MigrationError("destination rejected the State frame (Nack): " + text);
-        case net::MsgType::Error:
-          throw MigrationError("destination restore failed: " + text);
-        default:
-          throw MigrationError("unexpected verdict message from destination");
-      }
-    } else {
-      channels.source->close();  // drop the .done marker for the reader
-    }
-  } catch (...) {
-    source_error = std::current_exception();
-    // Unblock a destination still waiting in recv so the join below cannot
-    // deadlock. Tearing down the source end wakes a duplex peer (broken
-    // pipe / TCP FIN); the file reader instead sees the .done marker from
-    // an orderly close, or falls back on its own recv deadline when the
-    // writer can no longer signal (injected disconnect). Only the source
-    // end is touched: the destination channel stays owned by its thread.
-    try {
-      if (duplex) {
-        channels.source->abort();
-      } else {
-        channels.source->close();
-      }
-    } catch (...) {
-    }
-  }
-
-  destination.join();
-  try {
-    channels.source->close();
-  } catch (...) {
-  }
-  try {
-    channels.destination->close();
-  } catch (...) {
-  }
-
-  if (source_error == nullptr && dest_error == nullptr) {
-    report.tx_seconds = options.throttle
-                            ? measured_tx
-                            : options.link.transfer_seconds(stream.size());
-    return true;
-  }
-
-  // The source's failure is primary: a destination error observed after a
-  // source-side failure is usually just the torn-down channel.
-  if (source_error != nullptr) {
-    try {
-      std::rethrow_exception(source_error);
-    } catch (const Error& e) {
-      cause = e.what();
-      return false;
-    }
-    // Non-hpm exceptions escaped the protocol itself — not retryable.
-  }
-  cause = exception_text(dest_error);
-  return false;
-}
-
-/// `mig.txn.*` counters for the two-phase handoff.
-struct TxnMetrics {
-  obs::Counter& begins = obs::Registry::process().counter("mig.txn.begins");
-  obs::Counter& prepares = obs::Registry::process().counter("mig.txn.prepares");
-  obs::Counter& commits = obs::Registry::process().counter("mig.txn.commits");
-  obs::Counter& aborts = obs::Registry::process().counter("mig.txn.aborts");
-  obs::Counter& indoubt_recoveries =
-      obs::Registry::process().counter("mig.txn.indoubt_recoveries");
-
-  static TxnMetrics& get() {
-    static TxnMetrics m;
-    return m;
-  }
-};
-
-/// `mig.resume.*` instruments for the watermark/resume machinery.
-struct ResumeMetrics {
-  obs::Counter& attempts = obs::Registry::process().counter("mig.resume.attempts");
-  obs::Counter& chunks_skipped =
-      obs::Registry::process().counter("mig.resume.chunks_skipped");
-  obs::Gauge& last_acked = obs::Registry::process().gauge("mig.resume.last_acked");
-
-  static ResumeMetrics& get() {
-    static ResumeMetrics m;
-    return m;
-  }
-};
-
-/// What the source durably decided about `txn`, per its journal. Scans
-/// the raw records (rather than recover_from_journals) so an in-doubt
-/// destination can distinguish "source aborted" from "source has not
-/// decided YET" and poll for the verdict. Last decisive record wins.
-enum class SourceDecision : std::uint8_t { Undecided, Commit, Abort };
-
-SourceDecision last_source_decision(const std::string& path, std::uint64_t txn) {
-  SourceDecision decision = SourceDecision::Undecided;
-  for (const JournalRecord& r : Journal::replay(path)) {
-    if (r.txn_id != txn) continue;
-    switch (r.type) {
-      case JournalRecordType::Commit:
-      case JournalRecordType::Done:
-        decision = SourceDecision::Commit;
-        break;
-      case JournalRecordType::Abort:
-        decision = SourceDecision::Abort;
-        break;
-      default:
-        break;
-    }
-  }
-  return decision;
-}
-
-/// Source-side receive pump for one channel epoch. StateAck watermarks
-/// are folded into an atomic as they arrive (the sender never blocks on
-/// them); every other message queues for the coordinator thread. An idle
-/// TimeoutError on the recv is tolerated — the destination is
-/// legitimately silent while it restores — so liveness is enforced by
-/// await()'s own deadline, not the channel's.
-class ControlInbox {
- public:
-  ControlInbox(net::ByteChannel& ch, std::atomic<std::uint32_t>& acked)
-      : ch_(ch), acked_(acked), thread_([this] { pump(); }) {}
-
-  ~ControlInbox() { stop(); }
-
-  /// Abort the channel and join the pump. Idempotent; after the first
-  /// call the channel reference is never touched again, so the channel
-  /// may be destroyed once stop() returns.
-  void stop() {
-    if (!stopped_.exchange(true)) {
-      try {
-        ch_.abort();
-      } catch (...) {
-      }
-    }
-    if (thread_.joinable()) thread_.join();
-  }
-
-  /// Next non-ack message. Throws the pump's terminal error once the
-  /// queue drains, or TimeoutError past `deadline` (zero = wait forever).
-  net::Message await(std::chrono::milliseconds deadline) {
-    std::unique_lock lk(mu_);
-    auto ready = [&] { return !q_.empty() || error_ != nullptr; };
-    if (deadline.count() > 0) {
-      if (!cv_.wait_for(lk, deadline, ready)) {
-        throw TimeoutError("timed out waiting for the destination's reply");
-      }
-    } else {
-      cv_.wait(lk, ready);
-    }
-    if (!q_.empty()) {
-      net::Message msg = std::move(q_.front());
-      q_.pop_front();
-      return msg;
-    }
-    std::rethrow_exception(error_);
-  }
-
- private:
-  void pump() {
-    try {
-      for (;;) {
-        net::Message msg;
-        try {
-          msg = net::recv_message(ch_);
-        } catch (const TimeoutError&) {
-          if (stopped_.load()) throw;
-          continue;
-        }
-        if (msg.type == net::MsgType::StateAck) {
-          const std::uint32_t seq = net::decode_state_ack(msg.payload);
-          std::uint32_t prev = acked_.load(std::memory_order_relaxed);
-          while (seq > prev &&
-                 !acked_.compare_exchange_weak(prev, seq, std::memory_order_relaxed)) {
-          }
-          ResumeMetrics::get().last_acked.set(seq);
-        } else {
-          std::lock_guard lk(mu_);
-          q_.push_back(std::move(msg));
-          cv_.notify_all();
-        }
-      }
-    } catch (...) {
-      std::lock_guard lk(mu_);
-      error_ = std::current_exception();
-      cv_.notify_all();
-    }
-  }
-
-  net::ByteChannel& ch_;
-  std::atomic<std::uint32_t>& acked_;
-  std::atomic<bool> stopped_{false};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<net::Message> q_;
-  std::exception_ptr error_;
-  std::thread thread_;
-};
-
-/// Destination endpoint of the transactional pipelined transfer. Unlike
-/// the serial path's per-attempt destination, this host SURVIVES channel
-/// failures: its rx loop parks on a channel error and adopts the
-/// replacement the source offers, announcing its chunk watermark in
-/// ResumeHello — one restoration spanning several physical connections.
-/// Restoration is bracketed by the commit gate (Prepare/PrepareAck then
-/// Commit/Abort); the gate's decisions are write-ahead journaled, and an
-/// in-doubt gate (voted yes, verdict lost) polls the source's journal
-/// for the durable decision instead of guessing.
-class DestinationHost {
- public:
-  DestinationHost(const RunOptions& options, MigrationReport& report, Journal& journal,
-                  std::string source_journal_path, std::chrono::milliseconds timeout)
-      : options_(options),
-        report_(report),
-        journal_(journal),
-        source_journal_path_(std::move(source_journal_path)),
-        timeout_(timeout) {}
-
-  ~DestinationHost() {
-    close();
-    join();
-  }
-
-  void start(std::unique_ptr<net::ByteChannel> ch) {
-    ch_ = std::move(ch);
-    thread_ = std::thread([this] { run(); });
-  }
-
-  /// Offer a replacement channel for a resume attempt. False once the
-  /// destination can no longer adopt one (crashed, failed, finished).
-  bool offer(std::unique_ptr<net::ByteChannel> ch) {
-    std::lock_guard lk(mu_);
-    if (dead_ || finished_ || closed_) return false;
-    if (timeout_.count() > 0) ch->set_timeout(timeout_);
-    offered_ = std::move(ch);
-    cv_.notify_all();
-    return true;
-  }
-
-  /// No further channels will come; a parked rx gives up.
-  void close() {
-    std::lock_guard lk(mu_);
-    closed_ = true;
-    cv_.notify_all();
-  }
-
-  void join() {
-    if (thread_.joinable()) thread_.join();
-  }
-
-  [[nodiscard]] bool resumable() const {
-    std::lock_guard lk(mu_);
-    return !dead_ && !finished_;
-  }
-  [[nodiscard]] bool finished() const {
-    std::lock_guard lk(mu_);
-    return finished_;
-  }
-  [[nodiscard]] bool committed() const {
-    std::lock_guard lk(mu_);
-    return committed_;
-  }
-
- private:
-  net::ByteChannel* current() const {
-    std::lock_guard lk(mu_);
-    return ch_.get();
-  }
-
-  void set_dead(std::exception_ptr error) {
-    std::lock_guard lk(mu_);
-    dead_ = true;
-    if (error_ == nullptr) error_ = std::move(error);
-    cv_.notify_all();
-  }
-
-  void mark_finished() {
-    std::lock_guard lk(mu_);
-    finished_ = true;
-  }
-
-  /// Park until the source offers a replacement channel (true) or closes
-  /// the session (false).
-  bool adopt_replacement() {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return offered_ != nullptr || closed_; });
-    if (offered_ == nullptr) return false;
-    ch_ = std::move(offered_);
-    return true;
-  }
-
-  void run() {
-    try {
-      ti::TypeTable types;
-      options_.register_types(types);
-      MigContext ctx(types, options_.search);
-      ctx.set_stop_after_restore(options_.stop_after_restore);
-      net::send_message(*current(), net::MsgType::Hello,
-                        hello_payload(ctx.space().arch().name));
-      net::Message first = net::recv_message(*current());
-      if (timeout_.count() > 0) current()->set_timeout(timeout_);
-      if (first.type == net::MsgType::Shutdown) {
-        mark_finished();
-        release_channel();
-        return;
-      }
-      if (first.type != net::MsgType::StateBegin) {
-        throw MigrationError("destination expected StateBegin or Shutdown");
-      }
-      const net::StateBeginInfo begin = net::decode_state_begin(first.payload);
-      journal_.append({JournalRecordType::Begin, begin.txn_id, 0, "destination up"});
-      ChunkAssembler assembler;
-      std::thread rx([&] { rx_loop(assembler, begin.txn_id); });
-      ctx.set_commit_gate(
-          [&](std::uint64_t digest) { commit_gate(begin.txn_id, digest); });
-      try {
-        ctx.begin_restore_streaming(assembler);
-        run_destination_program(options_, ctx, report_);
-      } catch (...) {
-        // rx drains until StateEnd, a channel failure, or session close —
-        // the source guarantees one of them on every path.
-        rx.join();
-        throw;
-      }
-      rx.join();
-      mark_finished();  // the workload ran; a lost confirmation cannot undo that
-      try {
-        net::send_message(*current(), net::MsgType::Ack, {});
-      } catch (...) {
-        // Best-effort: the source merely reports CommittedUnconfirmed.
-      }
-    } catch (const KilledError&) {
-      // A crashed process sends no Nack and journals nothing more.
-      set_dead(std::current_exception());
-    } catch (const NetError& e) {
-      set_dead(std::current_exception());
-      if (!killed_.load()) {
-        try {
-          const std::string text = e.what();
-          net::send_message(*current(), net::MsgType::Nack,
-                            Bytes(text.begin(), text.end()));
-        } catch (...) {
-        }
-      }
-    } catch (...) {
-      set_dead(std::current_exception());
-      if (!killed_.load()) {
-        try {
-          const std::string text = exception_text(std::current_exception());
-          net::send_message(*current(), net::MsgType::Error,
-                            Bytes(text.begin(), text.end()));
-        } catch (...) {
-        }
-      }
-    }
-    release_channel();
-  }
-
-  /// Drop the channel: orderly close on success, abort on failure so a
-  /// peer blocked mid-recv wakes instead of waiting out its deadline.
-  void release_channel() {
-    std::unique_ptr<net::ByteChannel> ch;
-    bool failed = false;
-    {
-      std::lock_guard lk(mu_);
-      ch = std::move(ch_);
-      failed = dead_;
-    }
-    if (ch == nullptr) return;
-    try {
-      if (failed) {
-        ch->abort();
-      } else {
-        ch->close();
-      }
-    } catch (...) {
-    }
-  }
-
-  void rx_loop(ChunkAssembler& assembler, std::uint64_t txn) {
-    const std::uint32_t ack_every = options_.ack_every_chunks;
-    std::uint32_t since_ack = 0;
-    for (;;) {
-      net::Message msg;
-      try {
-        msg = net::recv_message(*current());
-      } catch (const NetError& e) {
-        // The channel died mid-stream, but the stream itself is resumable
-        // from the assembler's watermark: park for a replacement channel.
-        if (!adopt_replacement()) {
-          assembler.fail(std::string("chunk stream abandoned: ") + e.what());
-          return;
-        }
-        try {
-          net::send_message(*current(), net::MsgType::ResumeHello,
-                            net::encode_resume_hello({net::kProtocolVersion, txn,
-                                                      assembler.chunks_received()}));
-        } catch (const KilledError&) {
-          killed_.store(true);
-          assembler.fail("destination crashed");
-          return;
-        } catch (const NetError&) {
-          continue;  // that channel died instantly; park again
-        }
-        since_ack = 0;
-        continue;
-      }
-      if (msg.type == net::MsgType::StateChunk) {
-        try {
-          const std::uint32_t seq = net::decode_state_chunk_seq(msg.payload);
-          assembler.append(seq, std::span<const std::uint8_t>(msg.payload).subspan(4));
-        } catch (const NetError&) {
-          // ProtocolError from the assembler (already poisoned with the
-          // typed reason) or a short payload: a hostile or buggy peer,
-          // not a recoverable link fault.
-          assembler.fail("malformed StateChunk payload");
-          return;
-        }
-        if (ack_every != 0 && ++since_ack >= ack_every) {
-          since_ack = 0;
-          try {
-            net::send_message(*current(), net::MsgType::StateAck,
-                              net::encode_state_ack(assembler.chunks_received()));
-          } catch (const KilledError&) {
-            killed_.store(true);
-            assembler.fail("destination crashed");
-            return;
-          } catch (const NetError&) {
-            // The ack channel is dying; the next recv parks us.
-          }
-        }
-      } else if (msg.type == net::MsgType::StateEnd) {
-        try {
-          assembler.finish(net::decode_state_end(msg.payload));
-        } catch (const NetError&) {
-          assembler.fail("malformed StateEnd payload");
-        }
-        return;
-      } else {
-        assembler.fail("unexpected message mid-transfer");
-        return;
-      }
-    }
-  }
-
-  /// The voting half of the handoff, run on the restore thread once every
-  /// restoration check (including the end-to-end digest) passed. Returns
-  /// normally only with Committed journaled; every throw unwinds the
-  /// program before the tail runs — the destination must not execute what
-  /// it does not own.
-  void commit_gate(std::uint64_t txn, std::uint64_t digest) {
-    net::ByteChannel& ch = *current();
-    net::Message msg;
-    try {
-      msg = net::recv_message(ch);
-    } catch (const NetError& e) {
-      // Nothing was promised yet: losing the channel before Prepare is a
-      // plain safe abort, not an in-doubt state.
-      throw MigrationError(std::string("handoff lost before Prepare: ") + e.what());
-    }
-    if (msg.type != net::MsgType::Prepare) {
-      throw MigrationError("destination expected Prepare after restoring");
-    }
-    if (net::decode_txn(msg.payload) != txn) {
-      throw MigrationError("Prepare names a different transaction");
-    }
-    journal_.append({JournalRecordType::Prepared, txn, digest, ""});
-    TxnMetrics::get().prepares.add(1);
-    net::send_message(ch, net::MsgType::PrepareAck,
-                      net::encode_prepare_ack({txn, digest}));
-    net::Message verdict;
-    try {
-      verdict = net::recv_message(ch);
-    } catch (const NetError& e) {
-      resolve_in_doubt(txn, digest, e.what());
-      return;
-    }
-    if (verdict.type == net::MsgType::Commit) {
-      if (net::decode_txn(verdict.payload) != txn) {
-        throw MigrationError("Commit names a different transaction");
-      }
-      record_committed(txn, digest, "");
-      return;
-    }
-    if (verdict.type == net::MsgType::Abort) {
-      throw MigrationError("source aborted the handoff after Prepare");
-    }
-    throw MigrationError("unexpected message in the commit phase");
-  }
-
-  /// We voted yes and the verdict vanished: only the journals can say who
-  /// owns the process. The source always makes its decision durable
-  /// before acting on it, so within the grace period a Commit or Abort
-  /// record appears — unless the source itself crashed pre-decision,
-  /// which resolves to presumed abort.
-  void resolve_in_doubt(std::uint64_t txn, std::uint64_t digest, const char* why) {
-    if (!journal_.durable()) {
-      throw MigrationError(
-          std::string("in-doubt handoff with no journal to consult (presumed abort): ") +
-          why);
-    }
-    const auto grace =
-        timeout_.count() > 0 ? 4 * timeout_ : std::chrono::milliseconds(2000);
-    const auto deadline = Clock::now() + grace;
-    for (;;) {
-      switch (last_source_decision(source_journal_path_, txn)) {
-        case SourceDecision::Commit:
-          TxnMetrics::get().indoubt_recoveries.add(1);
-          record_committed(txn, digest, "recovered: source journal shows Commit");
-          return;
-        case SourceDecision::Abort:
-          throw MigrationError(
-              "in-doubt handoff resolved to the source: its journal shows Abort");
-        case SourceDecision::Undecided:
-          break;
-      }
-      if (Clock::now() >= deadline) {
-        throw MigrationError(
-            "in-doubt handoff: no verdict recorded within the grace period "
-            "(presumed abort)");
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
-  }
-
-  void record_committed(std::uint64_t txn, std::uint64_t digest, std::string note) {
-    journal_.append({JournalRecordType::Committed, txn, digest, std::move(note)});
-    TxnMetrics::get().commits.add(1);
-    std::lock_guard lk(mu_);
-    committed_ = true;
-  }
-
-  const RunOptions& options_;
-  MigrationReport& report_;
-  Journal& journal_;
-  const std::string source_journal_path_;
-  const std::chrono::milliseconds timeout_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unique_ptr<net::ByteChannel> ch_;       ///< current endpoint (guarded by mu_)
-  std::unique_ptr<net::ByteChannel> offered_;  ///< reconnect candidate from the source
-  std::exception_ptr error_;
-  bool closed_ = false;
-  bool dead_ = false;
-  bool committed_ = false;
-  bool finished_ = false;
-  std::atomic<bool> killed_{false};
-  std::thread thread_;
-};
-
-enum class CommitResult : std::uint8_t { Confirmed, Unconfirmed };
-
-/// The decision half of the handoff, run by the source after StateEnd.
-/// Every pre-Commit failure journals Abort BEFORE rethrowing (so an
-/// in-doubt destination resolves consistently); once the Commit record is
-/// durable nothing can abort — a lost confirmation merely degrades the
-/// result to Unconfirmed. KilledError passes through untouched: a crash
-/// journals nothing, the log must hold only real decisions.
-CommitResult source_commit_phase(net::ByteChannel& ch, ControlInbox& inbox,
-                                 std::chrono::milliseconds timeout, std::uint64_t txn,
-                                 std::uint64_t digest, Journal& journal) {
-  try {
-    net::send_message(ch, net::MsgType::Prepare, net::encode_txn(txn));
-    const net::Message reply = inbox.await(timeout);
-    const std::string text(reply.payload.begin(), reply.payload.end());
-    if (reply.type == net::MsgType::Nack) {
-      throw MigrationError("destination rejected the chunked stream (Nack): " + text);
-    }
-    if (reply.type == net::MsgType::Error) {
-      throw MigrationError("destination restore failed: " + text);
-    }
-    if (reply.type != net::MsgType::PrepareAck) {
-      throw MigrationError("unexpected message in the prepare phase");
-    }
-    const net::PrepareAckInfo vote = net::decode_prepare_ack(reply.payload);
-    if (vote.txn_id != txn) {
-      throw MigrationError("PrepareAck names a different transaction");
-    }
-    if (vote.digest != digest) {
-      char buf[48];
-      std::snprintf(buf, sizeof buf, "%016llx vs destination %016llx",
-                    static_cast<unsigned long long>(digest),
-                    static_cast<unsigned long long>(vote.digest));
-      throw MigrationError(std::string("end-to-end digest mismatch at Prepare: source ") +
-                           buf);
-    }
-  } catch (const KilledError&) {
-    throw;
-  } catch (const Error&) {
-    // A destination that vetoes the handoff sends its Error/Nack and then
-    // drops the channel; our Prepare can hit the dead pipe before the
-    // pump delivers the veto. The frame survives the close in the pipe's
-    // buffer, so grace-wait for it and prefer the destination's cause
-    // over our own send failure.
-    std::exception_ptr cause = std::current_exception();
-    try {
-      const net::Message pending = inbox.await(std::chrono::milliseconds(50));
-      const std::string text(pending.payload.begin(), pending.payload.end());
-      if (pending.type == net::MsgType::Error) {
-        cause = std::make_exception_ptr(
-            MigrationError("destination restore failed: " + text));
-      } else if (pending.type == net::MsgType::Nack) {
-        cause = std::make_exception_ptr(
-            MigrationError("destination rejected the chunked stream (Nack): " + text));
-      }
-    } catch (...) {
-      // Nothing queued; the original failure stands.
-    }
-    journal.append({JournalRecordType::Abort, txn, digest, "prepare phase failed"});
-    TxnMetrics::get().aborts.add(1);
-    try {
-      net::send_message(ch, net::MsgType::Abort, net::encode_txn(txn));
-    } catch (...) {
-      // A dead channel cannot carry the Abort; the destination's in-doubt
-      // poll reads the journal record instead.
-    }
-    std::rethrow_exception(cause);
-  }
-  // --- the decision is Commit: durable before the frame leaves, irrevocable after.
-  journal.append({JournalRecordType::Commit, txn, digest, ""});
-  TxnMetrics::get().commits.add(1);
-  try {
-    net::send_message(ch, net::MsgType::Commit, net::encode_txn(txn));
-    const net::Message fin = inbox.await(timeout);
-    if (fin.type == net::MsgType::Ack) {
-      journal.append({JournalRecordType::Done, txn, digest, ""});
-      return CommitResult::Confirmed;
-    }
-  } catch (const KilledError&) {
-    throw;  // post-commit source crash: the destination recovers from the journal
-  } catch (const Error&) {
-  }
-  return CommitResult::Unconfirmed;
-}
-
-std::unique_ptr<net::ByteChannel> wrap_source_channel(
-    std::unique_ptr<net::ByteChannel> ch, const RunOptions& options,
-    const std::shared_ptr<net::FaultState>& fault_state,
-    std::chrono::milliseconds timeout) {
-  if (options.fault_plan.enabled()) {
-    ch = std::make_unique<net::FaultyChannel>(std::move(ch), options.fault_plan,
-                                              fault_state);
-  }
-  if (options.throttle) {
-    ch = std::make_unique<net::ThrottledChannel>(std::move(ch), options.link);
-  }
-  if (timeout.count() > 0) ch->set_timeout(timeout);
-  return ch;
-}
-
-std::unique_ptr<net::ByteChannel> wrap_dest_channel(
-    std::unique_ptr<net::ByteChannel> ch, const RunOptions& options,
-    const std::shared_ptr<net::FaultState>& dest_fault_state) {
-  if (options.dest_fault_plan.enabled()) {
-    ch = std::make_unique<net::FaultyChannel>(std::move(ch), options.dest_fault_plan,
-                                              dest_fault_state);
-  }
-  return ch;
-}
-
-/// Outcome of the transactional pipelined transfer.
-enum class TxnResult : std::uint8_t {
-  CompletedLocally,      ///< program finished without migrating
-  Migrated,              ///< committed and confirmed
-  CommittedUnconfirmed,  ///< committed; the destination's confirmation was lost
-  SourceCrashed,         ///< injected source crash; journals arbitrate ownership
-  Failed,                ///< retryable; the retained stream may replay serially
-};
-
-/// The transactional pipelined transfer: one destination host, one
-/// transaction, up to `total_attempts` channel epochs. Attempt 1 streams
-/// chunks while the collection DFS is still walking the graph; each
-/// further attempt resumes from the destination's acked watermark out of
-/// the retained stream. Restoration is bracketed by the two-phase commit.
-TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
-                                    Bytes& stream,
-                                    const std::shared_ptr<net::FaultState>& fault_state,
-                                    const std::shared_ptr<net::FaultState>& dest_fault_state,
-                                    std::chrono::milliseconds timeout, Journal& src_journal,
-                                    Journal& dst_journal, std::uint64_t txn,
-                                    int total_attempts, int& attempts_used) {
-  TxnMetrics::get().begins.add(1);
-  report.txn_id = txn;
-
-  // The destination's first recv spans the program's whole pre-trigger
-  // phase, so the per-IO deadline is armed only once the transfer begins.
-  net::ChannelPair channels = net::make_channel_pair(
-      options.transport, {.spool_path = options.spool_path, .timeout = {}});
-  std::unique_ptr<net::ByteChannel> src_ch =
-      wrap_source_channel(std::move(channels.source), options, fault_state, timeout);
-
-  DestinationHost dest(options, report, dst_journal, src_journal.path(), timeout);
-  dest.start(wrap_dest_channel(std::move(channels.destination), options, dest_fault_state));
-
-  CoordinatorMetrics::get().attempts.add(1);
-  attempts_used = 1;
-  report.attempts = 1;
-
-  const std::size_t cb = std::max<std::size_t>(1, options.chunk_bytes);
-  std::atomic<std::uint32_t> acked{0};
-  std::unique_ptr<ControlInbox> inbox;
-
-  ChunkQueue queue(kChunkQueueCapacity);
-  std::exception_ptr sender_error;
-  std::thread sender;
-  auto join_sender = [&] {
-    if (sender.joinable()) sender.join();
+/// Wiring for a classic exclusive-channel session: every connect() builds
+/// a brand-new physical channel pair, applies the run's fault/throttle
+/// wrappers, and hands back DirectPorts. A socket listener rides along as
+/// the ports' keepalive so its fd outlives the conversation.
+SessionWiring direct_wiring(const RunOptions& options,
+                            std::shared_ptr<net::FaultState> fault_state,
+                            std::shared_ptr<net::FaultState> dest_fault_state,
+                            std::chrono::milliseconds timeout) {
+  SessionWiring wiring;
+  wiring.session_id = 0;
+  wiring.connect = [&options, fault_state = std::move(fault_state),
+                    dest_fault_state = std::move(dest_fault_state), timeout] {
+    // The destination's first recv spans the program's whole pre-trigger
+    // phase, so the per-IO deadline is armed only once the transfer
+    // begins (DestinationHost sets it after the first frame).
+    net::ChannelPair channels = net::make_channel_pair(
+        options.transport, {.spool_path = options.spool_path, .timeout = {}});
+    std::shared_ptr<void> keep(std::move(channels.listener));
+    PortPair pair;
+    pair.source = std::make_unique<DirectPort>(
+        wrap_source_channel(std::move(channels.source), options, fault_state, timeout),
+        keep);
+    pair.destination = std::make_unique<DirectPort>(
+        wrap_dest_channel(std::move(channels.destination), options, dest_fault_state),
+        keep);
+    return pair;
   };
-  /// Stop the pump (which aborts the channel) so a blocked peer wakes and
-  /// the channel can be replaced or destroyed.
-  auto fail_channel = [&] {
-    if (inbox != nullptr) {
-      inbox->stop();
-    } else if (src_ch != nullptr) {
-      try {
-        src_ch->abort();
-      } catch (...) {
-      }
-    }
-  };
-
-  std::exception_ptr source_error;
-  /// Set when options.program itself throws (anything but MigrationExit):
-  /// a workload failure is the caller's to see, never a retryable
-  /// transport fault — rethrown after teardown, matching the serial path.
-  std::exception_ptr program_error;
-  double measured_tx = 0;
-  bool collected = false;
-  bool killed = false;
-  bool attempt_ok = false;
-  bool unconfirmed = false;
-  std::uint64_t digest = 0;
-  net::StateEndInfo end;
-  Clock::time_point pipeline_start{};
-
-  // --- attempt 1: stream while collecting ----------------------------------
-  try {
-    expect_hello(net::recv_message(*src_ch));
-    inbox = std::make_unique<ControlInbox>(*src_ch, acked);
-
-    sender = std::thread([&] {
-      try {
-        PipelineMetrics& pm = PipelineMetrics::get();
-        std::unique_ptr<obs::Span> tx_span;
-        Bytes chunk;
-        std::uint32_t seq = 0;
-        while (queue.pop(chunk)) {
-          if (tx_span == nullptr) {
-            tx_span = std::make_unique<obs::Span>("mig.tx");
-            tx_span->arg("transport",
-                         std::string(net::transport_name(options.transport)));
-            // Write-ahead: the transaction exists on disk before any
-            // frame names it on the wire.
-            src_journal.append({JournalRecordType::Begin, txn, 0, "source"});
-            net::send_message(*src_ch, net::MsgType::StateBegin,
-                              net::encode_state_begin({options.chunk_bytes, txn}));
-          }
-          net::send_message(*src_ch, net::MsgType::StateChunk,
-                            net::encode_state_chunk(seq++, chunk));
-          pm.chunks.add(1);
-          pm.chunk_bytes.record(static_cast<double>(chunk.size()));
-        }
-        if (const auto e = queue.end_info()) {
-          net::send_message(*src_ch, net::MsgType::StateEnd, net::encode_state_end(*e));
-          if (tx_span != nullptr) measured_tx = tx_span->finish();
-        }
-      } catch (...) {
-        sender_error = std::current_exception();
-        queue.poison();  // collection must never block on a dead sender
-      }
-    });
-
-    ti::TypeTable types;
-    options.register_types(types);
-    MigContext ctx(types, options.search);
-    ctx.set_migrate_at_poll(options.migrate_at_poll);
-    ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
-      if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
-      queue.push(Bytes(bytes.begin(), bytes.end()));
-    });
-
-    std::atomic<bool> program_done{false};
-    std::thread scheduler;
-    if (options.request_after_seconds > 0) {
-      scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
-        const auto deadline = Clock::now() + std::chrono::duration<double>(delay);
-        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
-          std::this_thread::sleep_for(std::chrono::microseconds(200));
-        }
-        if (!program_done.load(std::memory_order_relaxed)) ctx.request_migration();
-      });
-    }
-    auto join_scheduler = [&] {
-      program_done.store(true, std::memory_order_relaxed);
-      if (scheduler.joinable()) scheduler.join();
-    };
-    try {
-      try {
-        options.program(ctx);
-      } catch (const MigrationExit&) {
-        join_scheduler();
-        throw;
-      } catch (...) {
-        join_scheduler();
-        program_error = std::current_exception();
-        throw;
-      }
-      join_scheduler();
-    } catch (const MigrationExit&) {
-      collected = true;
-      stream = ctx.stream();  // retained for resumes and serial retries
-      digest = ctx.stream_digest();
-      report.stream_bytes = stream.size();
-      report.collect_seconds = ctx.metrics().collect_seconds;
-      report.source_arch = ctx.space().arch().name;
-    }
-    report.source_polls = ctx.poll_count();
-
-    if (!collected) {
-      queue.close(std::nullopt);
-      join_sender();
-      net::send_message(*src_ch, net::MsgType::Shutdown, {});
-    } else {
-      // Stream-derived, NOT queue.pushed(): a poisoned queue undercounts
-      // (push drops silently after a sender failure), and a resume's
-      // StateEnd must describe the whole fixed-size chunking.
-      end.chunk_count = static_cast<std::uint32_t>((stream.size() + cb - 1) / cb);
-      end.total_bytes = stream.size();
-      end.digest = digest;
-      queue.close(end);
-      join_sender();
-      if (sender_error != nullptr) std::rethrow_exception(sender_error);
-      const CommitResult r =
-          source_commit_phase(*src_ch, *inbox, timeout, txn, digest, src_journal);
-      unconfirmed = (r == CommitResult::Unconfirmed);
-      attempt_ok = true;
-    }
-  } catch (...) {
-    source_error = std::current_exception();
-    queue.poison();
-    queue.close(std::nullopt);
-    join_sender();
-    fail_channel();
-  }
-
-  // Classify the attempt-1 failure before deciding whether to resume.
-  bool fatal_other = false;  // non-hpm exception: propagate after teardown
-  if (source_error != nullptr && program_error == nullptr) {
-    try {
-      std::rethrow_exception(source_error);
-    } catch (const KilledError& e) {
-      killed = true;
-      if (collected) report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
-    } catch (const Error& e) {
-      if (collected) report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
-    } catch (...) {
-      fatal_other = true;
-    }
-  }
-
-  // --- resume attempts: retransmit only past the acked watermark -----------
-  const std::uint64_t total_chunks = collected ? (stream.size() + cb - 1) / cb : 0;
-  double backoff = options.retry_backoff_seconds;
-  while (collected && !attempt_ok && !unconfirmed && !killed && !fatal_other &&
-         program_error == nullptr && attempts_used < total_attempts && dest.resumable()) {
-    if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff = std::min(backoff * 2, options.retry_backoff_cap_seconds);
-    }
-    ++attempts_used;
-    report.attempts = attempts_used;
-    CoordinatorMetrics::get().attempts.add(1);
-    CoordinatorMetrics::get().retries.add(1);
-    try {
-      net::ChannelPair fresh = net::make_channel_pair(
-          options.transport, {.spool_path = options.spool_path, .timeout = {}});
-      std::unique_ptr<net::ByteChannel> fresh_src =
-          wrap_source_channel(std::move(fresh.source), options, fault_state, timeout);
-      if (!dest.offer(
-              wrap_dest_channel(std::move(fresh.destination), options, dest_fault_state))) {
-        report.failure_causes.push_back("attempt " + std::to_string(attempts_used) +
-                                        ": destination no longer accepts a resume channel");
-        break;
-      }
-      if (inbox != nullptr) {
-        inbox->stop();
-        inbox.reset();  // the pump must be gone before its channel is
-      }
-      src_ch = std::move(fresh_src);
-      const net::Message hello = net::recv_message(*src_ch);
-      if (hello.type != net::MsgType::ResumeHello) {
-        throw MigrationError("source expected ResumeHello on the resume channel");
-      }
-      const net::ResumeHelloInfo info = net::decode_resume_hello(hello.payload);
-      if (info.version != net::kProtocolVersion) {
-        throw MigrationError("protocol version mismatch on resume: destination speaks v" +
-                             std::to_string(info.version));
-      }
-      if (info.txn_id != txn) {
-        throw MigrationError("ResumeHello names a different transaction");
-      }
-      if (info.next_seq > total_chunks) {
-        throw MigrationError("destination claims more chunks than the stream holds");
-      }
-      ResumeMetrics::get().attempts.add(1);
-      ResumeMetrics::get().chunks_skipped.add(info.next_seq);
-      report.resumed_from_seq = static_cast<std::int64_t>(info.next_seq);
-      inbox = std::make_unique<ControlInbox>(*src_ch, acked);
-      {
-        obs::Span tx_span("mig.tx");
-        tx_span.arg("transport", std::string(net::transport_name(options.transport)));
-        tx_span.arg("resumed_from", std::uint64_t{info.next_seq});
-        PipelineMetrics& pm = PipelineMetrics::get();
-        for (std::uint64_t seq = info.next_seq; seq < total_chunks; ++seq) {
-          const std::size_t off = static_cast<std::size_t>(seq) * cb;
-          const std::size_t len = std::min(cb, stream.size() - off);
-          net::send_message(
-              *src_ch, net::MsgType::StateChunk,
-              net::encode_state_chunk(static_cast<std::uint32_t>(seq),
-                                      {stream.data() + off, len}));
-          pm.chunks.add(1);
-          pm.chunk_bytes.record(static_cast<double>(len));
-        }
-        net::send_message(*src_ch, net::MsgType::StateEnd, net::encode_state_end(end));
-        measured_tx += tx_span.finish();
-      }
-      const CommitResult r =
-          source_commit_phase(*src_ch, *inbox, timeout, txn, digest, src_journal);
-      unconfirmed = (r == CommitResult::Unconfirmed);
-      attempt_ok = true;
-    } catch (const KilledError& e) {
-      killed = true;
-      report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
-                                      e.what());
-      fail_channel();
-    } catch (const Error& e) {
-      report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
-                                      e.what());
-      fail_channel();
-    }
-  }
-  const Clock::time_point pipeline_end = Clock::now();
-
-  // --- teardown -------------------------------------------------------------
-  if (inbox != nullptr) inbox->stop();
-  dest.close();
-  dest.join();
-  try {
-    if (src_ch != nullptr) src_ch->close();
-  } catch (...) {
-  }
-
-  if (program_error != nullptr) std::rethrow_exception(program_error);
-  if (fatal_other) std::rethrow_exception(source_error);
-
-  if (!collected) {
-    // The workload already finished on the source; a torn-down teardown
-    // handshake doesn't change its fate.
-    return TxnResult::CompletedLocally;
-  }
-  if (killed) {
-    report.migrated = dest.finished();
-    return TxnResult::SourceCrashed;
-  }
-  if (unconfirmed) {
-    report.migrated = dest.finished();
-    return TxnResult::CommittedUnconfirmed;
-  }
-  if (attempt_ok) {
-    report.migrated = true;
-    report.tx_seconds =
-        options.throttle ? measured_tx : options.link.transfer_seconds(stream.size());
-    // Overlap: wall-clock from the first chunk leaving collection to the
-    // acknowledged restore, vs. the sum of the three phase timings. Fully
-    // serial execution gives 0; perfect overlap approaches 1.
-    const double wall = std::chrono::duration<double>(pipeline_end - pipeline_start).count();
-    const double phases = report.collect_seconds + measured_tx + report.restore_seconds;
-    if (wall > 0 && phases > 0) {
-      report.overlap_ratio = std::clamp(1.0 - wall / phases, 0.0, 1.0);
-    }
-    PipelineMetrics::get().overlap.record(report.overlap_ratio);
-    return TxnResult::Migrated;
-  }
-  return TxnResult::Failed;
+  return wiring;
 }
 
-}  // namespace
-
-const char* outcome_name(MigrationOutcome outcome) noexcept {
-  switch (outcome) {
-    case MigrationOutcome::CompletedLocally: return "completed-locally";
-    case MigrationOutcome::Migrated: return "migrated";
-    case MigrationOutcome::AbortedContinuedLocally: return "aborted-continued-locally";
-    case MigrationOutcome::SourceCrashed: return "source-crashed";
-    case MigrationOutcome::CommittedUnconfirmed: return "committed-unconfirmed";
-  }
-  return "?";
+/// Local completion from the retained stream: the graceful-degradation
+/// tail shared by the exclusive and routed paths.
+void complete_locally(const RunOptions& options, MigrationReport& report,
+                      Bytes stream) {
+  report.outcome = MigrationOutcome::AbortedContinuedLocally;
+  CoordinatorMetrics::get().aborts.add(1);
+  ti::TypeTable types;
+  options.register_types(types);
+  MigContext ctx(types, options.search);
+  ctx.set_stop_after_restore(options.stop_after_restore);
+  ctx.begin_restore(std::move(stream));
+  run_destination_program(options, ctx, report);
 }
 
-static MigrationReport run_migration_impl(const RunOptions& options) {
+std::uint64_t wall_clock_txn() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+MigrationReport run_migration_impl(const RunOptions& options) {
   if (!options.register_types || !options.program) {
     throw MigrationError("run_migration requires register_types and program");
   }
@@ -1329,17 +121,14 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
       src_journal.open(options.journal_dir + "/" + kSourceJournalName);
       dst_journal.open(options.journal_dir + "/" + kDestJournalName);
     }
-    txn = options.txn_id != 0
-              ? options.txn_id
-              : static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::system_clock::now().time_since_epoch())
-                        .count());
+    txn = options.txn_id != 0 ? options.txn_id : wall_clock_txn();
     txn_ran = true;
     int attempts_used = 0;
-    switch (run_pipelined_transaction(options, report, stream, fault_state,
-                                      dest_fault_state, timeout, src_journal, dst_journal,
-                                      txn, total_attempts, attempts_used)) {
+    const SessionWiring wiring =
+        direct_wiring(options, fault_state, dest_fault_state, timeout);
+    switch (run_pipelined_transaction(options, report, stream, wiring, timeout,
+                                      src_journal, dst_journal, txn, total_attempts,
+                                      attempts_used)) {
       case TxnResult::CompletedLocally:
         // Rendezvous happened but no transfer was ever started; the
         // attempt counter follows the serial path's convention.
@@ -1379,8 +168,7 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
     std::thread scheduler;
     if (options.request_after_seconds > 0) {
       scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
-        const auto deadline =
-            Clock::now() + std::chrono::duration<double>(delay);
+        const auto deadline = Clock::now() + std::chrono::duration<double>(delay);
         while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
           std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
@@ -1459,27 +247,34 @@ static MigrationReport run_migration_impl(const RunOptions& options) {
   // restoring the buffered stream in-process — the source becomes its own
   // destination, so the final result is identical to a run that never
   // migrated.
-  report.outcome = MigrationOutcome::AbortedContinuedLocally;
-  CoordinatorMetrics::get().aborts.add(1);
   if (txn_ran) {
     // Durable before the local restore begins: a crash mid-degradation
     // must still arbitrate to the source.
     src_journal.append({JournalRecordType::Abort, txn, 0, "degraded to local completion"});
     TxnMetrics::get().aborts.add(1);
   }
-  ti::TypeTable types;
-  options.register_types(types);
-  MigContext ctx(types, options.search);
-  ctx.set_stop_after_restore(options.stop_after_restore);
-  ctx.begin_restore(std::move(stream));
-  run_destination_program(options, ctx, report);
+  complete_locally(options, report, std::move(stream));
   return report;
+}
+
+}  // namespace
+
+const char* outcome_name(MigrationOutcome outcome) noexcept {
+  switch (outcome) {
+    case MigrationOutcome::CompletedLocally: return "completed-locally";
+    case MigrationOutcome::Migrated: return "migrated";
+    case MigrationOutcome::AbortedContinuedLocally: return "aborted-continued-locally";
+    case MigrationOutcome::SourceCrashed: return "source-crashed";
+    case MigrationOutcome::CommittedUnconfirmed: return "committed-unconfirmed";
+  }
+  return "?";
 }
 
 MigrationReport run_migration(const RunOptions& options) {
   // The report's metrics member is the registry delta across this run, so
   // concurrent runs in one process would bleed into each other's deltas —
-  // the harnesses here run migrations sequentially.
+  // per-session truth for concurrent sessions lives in the
+  // mig.session.<id>.* instruments instead.
   const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
   obs::Span run_span("mig.run");
   run_span.arg("transport", std::string(net::transport_name(options.transport)));
@@ -1490,9 +285,89 @@ MigrationReport run_migration(const RunOptions& options) {
   return report;
 }
 
+MigrationReport run_routed_migration(const RunOptions& options,
+                                     const SessionWiring& wiring) {
+  if (!options.register_types || !options.program) {
+    throw MigrationError("run_routed_migration requires register_types and program");
+  }
+  if (!wiring.connect) {
+    throw MigrationError("run_routed_migration requires wiring.connect");
+  }
+
+  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
+  obs::Span run_span("mig.session.run");
+  run_span.arg("session", std::uint64_t{wiring.session_id});
+
+  MigrationReport report;
+  const bool faults_armed =
+      options.fault_plan.enabled() || options.dest_fault_plan.enabled();
+  const double io_s = options.io_timeout_seconds > 0
+                          ? options.io_timeout_seconds
+                          : (faults_armed ? kFaultInjectionDefaultTimeout : 0);
+  const auto timeout =
+      std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
+
+  // Concurrent sessions share one journal_dir, so both the journal files
+  // and the derived txn are keyed per session: the wall clock alone could
+  // collide across sessions started the same instant.
+  const std::uint64_t txn =
+      options.txn_id != 0
+          ? options.txn_id
+          : (wall_clock_txn() << 10) | (wiring.session_id & 0x3FFu);
+  Journal src_journal;
+  Journal dst_journal;
+  if (!options.journal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.journal_dir, ec);
+    src_journal.open(options.journal_dir + "/" + keyed_source_journal_name(txn));
+    dst_journal.open(options.journal_dir + "/" + keyed_dest_journal_name(txn));
+  }
+
+  Bytes stream;
+  int attempts_used = 0;
+  const int total_attempts = 1 + std::max(0, options.max_retries);
+  const TxnResult result =
+      run_pipelined_transaction(options, report, stream, wiring, timeout, src_journal,
+                                dst_journal, txn, total_attempts, attempts_used);
+  switch (result) {
+    case TxnResult::CompletedLocally:
+      report.attempts = 0;
+      report.outcome = MigrationOutcome::CompletedLocally;
+      break;
+    case TxnResult::Migrated:
+      report.outcome = MigrationOutcome::Migrated;
+      break;
+    case TxnResult::CommittedUnconfirmed:
+      report.outcome = MigrationOutcome::CommittedUnconfirmed;
+      break;
+    case TxnResult::SourceCrashed:
+      report.outcome = MigrationOutcome::SourceCrashed;
+      break;
+    case TxnResult::Failed:
+      // No serial fallback on a routed channel (untagged v3 frames cannot
+      // share the multiplexed wire): degrade straight to local completion.
+      src_journal.append(
+          {JournalRecordType::Abort, txn, 0, "degraded to local completion"});
+      TxnMetrics::get().aborts.add(1);
+      complete_locally(options, report, std::move(stream));
+      break;
+  }
+
+  run_span.arg("outcome", std::string(outcome_name(report.outcome)));
+  run_span.finish();
+  report.metrics = obs::Registry::process().snapshot().delta_since(before);
+  return report;
+}
+
 RecoveryVerdict Coordinator::recover(const std::string& journal_dir) {
   return recover_from_journals(journal_dir + "/" + kSourceJournalName,
                                journal_dir + "/" + kDestJournalName);
+}
+
+RecoveryVerdict Coordinator::recover(const std::string& journal_dir,
+                                     std::uint64_t txn_id) {
+  return recover_from_journals(journal_dir + "/" + keyed_source_journal_name(txn_id),
+                               journal_dir + "/" + keyed_dest_journal_name(txn_id));
 }
 
 }  // namespace hpm::mig

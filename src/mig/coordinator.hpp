@@ -20,6 +20,7 @@
 
 #include "mig/context.hpp"
 #include "mig/journal.hpp"
+#include "mig/port.hpp"
 #include "net/factory.hpp"
 #include "net/faulty_channel.hpp"
 #include "net/simnet.hpp"
@@ -201,6 +202,20 @@ struct MigrationReport {
 /// retry budget, degrade to local completion instead of throwing.
 MigrationReport run_migration(const RunOptions& options);
 
+/// Run one migration as a session over caller-provided wiring — the entry
+/// point sched::migrate_many drives once per concurrent session, with
+/// every wiring.connect() binding a fresh epoch of a shared routed
+/// channel. Always takes the pipelined transactional path (a routed
+/// channel has no serial v3 fallback: untagged frames cannot share the
+/// wire), so a transaction that exhausts its attempts degrades straight
+/// to local completion. Journals are keyed by transaction id
+/// (keyed_source_journal_name) so concurrent sessions can share one
+/// journal_dir; recover with Coordinator::recover(dir, txn). The report's
+/// registry-delta `metrics` overlaps between concurrent sessions — the
+/// per-session truth is the mig.session.<id>.* instruments.
+MigrationReport run_routed_migration(const RunOptions& options,
+                                     const SessionWiring& wiring);
+
 /// Object-form entry point plus the crash-recovery half of the
 /// transactional handoff.
 class Coordinator {
@@ -217,6 +232,12 @@ class Coordinator {
   /// of the interrupted run; a missing or torn journal file is treated as
   /// empty (crash before any write), never as an error.
   static RecoveryVerdict recover(const std::string& journal_dir);
+
+  /// Per-session recovery for a journal directory shared by concurrent
+  /// sessions (sched::migrate_many): arbitrates on the txn-keyed pair
+  /// source-<txn>.journal / dest-<txn>.journal.
+  static RecoveryVerdict recover(const std::string& journal_dir,
+                                 std::uint64_t txn_id);
 
  private:
   RunOptions options_;

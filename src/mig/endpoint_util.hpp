@@ -1,0 +1,91 @@
+// Small helpers shared by the migration layer's endpoint drivers
+// (serial_transfer, source_txn, dest_host, coordinator).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "mig/coordinator.hpp"
+#include "net/faulty_channel.hpp"
+#include "net/message.hpp"
+#include "net/simnet.hpp"
+
+namespace hpm::mig {
+
+/// Deadline applied when fault injection is on but the caller set none:
+/// an injected stall/truncation must never hang the run.
+inline constexpr double kFaultInjectionDefaultTimeout = 5.0;
+
+inline void remove_spool(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".done").c_str());
+}
+
+/// Deletes the spool (and its ".done" marker) when the run ends — orderly
+/// or not — so no state leaks into the next Transport::File run.
+struct SpoolCleanup {
+  const RunOptions& options;
+  ~SpoolCleanup() {
+    if (options.transport == Transport::File) remove_spool(options.spool_path);
+  }
+};
+
+inline Bytes hello_payload(const std::string& arch) {
+  Bytes payload;
+  payload.reserve(1 + arch.size());
+  payload.push_back(net::kProtocolVersion);
+  payload.insert(payload.end(), arch.begin(), arch.end());
+  return payload;
+}
+
+inline std::string exception_text(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+/// Run the destination program to completion after begin_restore*(). A
+/// MigrationExit here is the stop_after_restore unwind: restoration
+/// completed and the metrics are recorded; skipping the tail is the point.
+inline void run_destination_program(const RunOptions& options, MigContext& ctx,
+                                    MigrationReport& report) {
+  try {
+    options.program(ctx);
+  } catch (const MigrationExit&) {
+  }
+  report.restore_seconds = ctx.metrics().restore_seconds;
+}
+
+inline std::unique_ptr<net::ByteChannel> wrap_source_channel(
+    std::unique_ptr<net::ByteChannel> ch, const RunOptions& options,
+    const std::shared_ptr<net::FaultState>& fault_state,
+    std::chrono::milliseconds timeout) {
+  if (options.fault_plan.enabled()) {
+    ch = std::make_unique<net::FaultyChannel>(std::move(ch), options.fault_plan,
+                                              fault_state);
+  }
+  if (options.throttle) {
+    ch = std::make_unique<net::ThrottledChannel>(std::move(ch), options.link);
+  }
+  if (timeout.count() > 0) ch->set_timeout(timeout);
+  return ch;
+}
+
+inline std::unique_ptr<net::ByteChannel> wrap_dest_channel(
+    std::unique_ptr<net::ByteChannel> ch, const RunOptions& options,
+    const std::shared_ptr<net::FaultState>& dest_fault_state) {
+  if (options.dest_fault_plan.enabled()) {
+    ch = std::make_unique<net::FaultyChannel>(std::move(ch), options.dest_fault_plan,
+                                              dest_fault_state);
+  }
+  return ch;
+}
+
+}  // namespace hpm::mig

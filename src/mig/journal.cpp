@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "common/crc32.hpp"
@@ -107,6 +109,36 @@ std::vector<JournalRecord> Journal::replay(const std::string& path) {
     pos += total;
   }
   return records;
+}
+
+std::string keyed_source_journal_name(std::uint64_t txn_id) {
+  return "source-" + std::to_string(txn_id) + ".journal";
+}
+
+std::string keyed_dest_journal_name(std::uint64_t txn_id) {
+  return "dest-" + std::to_string(txn_id) + ".journal";
+}
+
+std::vector<std::uint64_t> list_journaled_txns(const std::string& journal_dir) {
+  std::vector<std::uint64_t> txns;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(journal_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    // Accept "source-<txn>.journal" and "dest-<txn>.journal".
+    std::size_t dash = name.find('-');
+    if (dash == std::string::npos || !name.ends_with(".journal")) continue;
+    const std::string stem = name.substr(0, dash);
+    if (stem != "source" && stem != "dest") continue;
+    const std::string digits = name.substr(dash + 1, name.size() - dash - 1 - 8);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    txns.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(txns.begin(), txns.end());
+  txns.erase(std::unique(txns.begin(), txns.end()), txns.end());
+  return txns;
 }
 
 const char* txn_owner_name(TxnOwner owner) noexcept {

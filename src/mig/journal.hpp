@@ -81,9 +81,21 @@ class Journal {
   std::string path_;
 };
 
-/// File names inside RunOptions::journal_dir.
+/// File names inside RunOptions::journal_dir for a single (exclusive)
+/// migration run.
 inline constexpr const char* kSourceJournalName = "source.journal";
 inline constexpr const char* kDestJournalName = "dest.journal";
+
+/// File names for a session keyed by its transaction id —
+/// "source-<txn>.journal" / "dest-<txn>.journal". Used when several
+/// concurrent sessions share one journal directory (sched::migrate_many)
+/// so each transaction recovers against its own pair.
+std::string keyed_source_journal_name(std::uint64_t txn_id);
+std::string keyed_dest_journal_name(std::uint64_t txn_id);
+
+/// Transaction ids that have a keyed journal pair (either side) in
+/// `journal_dir`, ascending. The directory may not exist (empty result).
+std::vector<std::uint64_t> list_journaled_txns(const std::string& journal_dir);
 
 enum class TxnOwner : std::uint8_t { None, Source, Destination };
 

@@ -1,0 +1,66 @@
+// Process-wide mig.* metric singletons, shared by the migration layer's
+// split translation units (serial_transfer, source_txn, dest_host,
+// coordinator). Each struct resolves its instruments once against the
+// obs::Registry; get() hands every caller the same references.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace hpm::mig {
+
+/// `mig.coordinator.*` counters for the retry machinery.
+struct CoordinatorMetrics {
+  obs::Counter& attempts = obs::Registry::process().counter("mig.coordinator.attempts");
+  obs::Counter& retries = obs::Registry::process().counter("mig.coordinator.retries");
+  obs::Counter& aborts = obs::Registry::process().counter("mig.coordinator.aborts");
+
+  static CoordinatorMetrics& get() {
+    static CoordinatorMetrics m;
+    return m;
+  }
+};
+
+/// `mig.pipeline.*` instruments for the chunked transfer.
+struct PipelineMetrics {
+  obs::Counter& chunks = obs::Registry::process().counter("mig.pipeline.chunks");
+  obs::Histogram& chunk_bytes =
+      obs::Registry::process().histogram("mig.pipeline.chunk_bytes", obs::Unit::Bytes);
+  obs::Gauge& queue_depth = obs::Registry::process().gauge("mig.pipeline.queue_depth");
+  obs::Histogram& overlap =
+      obs::Registry::process().histogram("mig.pipeline.overlap_ratio", obs::Unit::None);
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics m;
+    return m;
+  }
+};
+
+/// `mig.txn.*` counters for the two-phase handoff.
+struct TxnMetrics {
+  obs::Counter& begins = obs::Registry::process().counter("mig.txn.begins");
+  obs::Counter& prepares = obs::Registry::process().counter("mig.txn.prepares");
+  obs::Counter& commits = obs::Registry::process().counter("mig.txn.commits");
+  obs::Counter& aborts = obs::Registry::process().counter("mig.txn.aborts");
+  obs::Counter& indoubt_recoveries =
+      obs::Registry::process().counter("mig.txn.indoubt_recoveries");
+
+  static TxnMetrics& get() {
+    static TxnMetrics m;
+    return m;
+  }
+};
+
+/// `mig.resume.*` instruments for the watermark/resume machinery.
+struct ResumeMetrics {
+  obs::Counter& attempts = obs::Registry::process().counter("mig.resume.attempts");
+  obs::Counter& chunks_skipped =
+      obs::Registry::process().counter("mig.resume.chunks_skipped");
+  obs::Gauge& last_acked = obs::Registry::process().gauge("mig.resume.last_acked");
+
+  static ResumeMetrics& get() {
+    static ResumeMetrics m;
+    return m;
+  }
+};
+
+}  // namespace hpm::mig

@@ -1,0 +1,122 @@
+// MessagePort: the session-level transport seam.
+//
+// The protocol endpoints (SourceSession/DestSession drivers) exchange
+// whole frames, never raw bytes — so the seam between "one migration on
+// its own channel" and "N migrations multiplexed over one channel" is a
+// frame-granular port, not a ByteChannel. DirectPort owns a channel
+// outright and speaks the classic untagged frame layout; FrameRouter's
+// ports (frame_router.hpp) share a channel and tag every frame with
+// their session id. The endpoints cannot tell the difference, which is
+// exactly the point.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/error.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+namespace hpm::mig {
+
+/// Frame-granular, full-duplex endpoint of one migration session. Like
+/// ByteChannel, blocking and thread-compatible for one sender plus one
+/// receiver thread; send/recv throw hpm::NetError (TimeoutError past a
+/// set_timeout deadline) on failure.
+class MessagePort {
+ public:
+  virtual ~MessagePort() = default;
+
+  virtual void send(net::MsgType type, std::span<const std::uint8_t> payload) = 0;
+  virtual net::Message recv() = 0;
+
+  /// Deadline for each subsequent send/recv (0 = block without bound).
+  virtual void set_timeout(std::chrono::milliseconds timeout) = 0;
+
+  /// Orderly teardown. Idempotent.
+  virtual void close() = 0;
+
+  /// Teardown that wakes a peer blocked mid-recv with an error instead of
+  /// a clean end-of-stream.
+  virtual void abort() { close(); }
+};
+
+/// Exclusive ownership of one ByteChannel: frames go out untagged, which
+/// is what a single-session (pre-router) peer expects on the wire.
+class DirectPort final : public MessagePort {
+ public:
+  /// `keepalive` rides along for transport plumbing that must outlive the
+  /// conversation (e.g. the socket listener that accepted the channel).
+  explicit DirectPort(std::unique_ptr<net::ByteChannel> ch,
+                      std::shared_ptr<void> keepalive = nullptr)
+      : ch_(std::move(ch)), keepalive_(std::move(keepalive)) {}
+
+  void send(net::MsgType type, std::span<const std::uint8_t> payload) override {
+    net::send_message(*ch_, type, payload);
+  }
+  net::Message recv() override { return net::recv_message(*ch_); }
+  void set_timeout(std::chrono::milliseconds timeout) override { ch_->set_timeout(timeout); }
+  void close() override { ch_->close(); }
+  void abort() override { ch_->abort(); }
+
+ private:
+  std::unique_ptr<net::ByteChannel> ch_;
+  std::shared_ptr<void> keepalive_;
+};
+
+/// Deterministic link-failure injection at the session layer: forwards
+/// `frames_before_cut` port operations, then every further send/recv
+/// throws hpm::NetError — the frame-granular analogue of a mid-stream
+/// disconnect, usable on a routed port where byte-level FaultyChannel
+/// wrapping would take every multiplexed session down at once.
+class SeveringPort final : public MessagePort {
+ public:
+  SeveringPort(std::unique_ptr<MessagePort> inner, std::uint32_t frames_before_cut)
+      : inner_(std::move(inner)), remaining_(frames_before_cut) {}
+
+  void send(net::MsgType type, std::span<const std::uint8_t> payload) override {
+    spend();
+    inner_->send(type, payload);
+  }
+  net::Message recv() override {
+    spend();
+    return inner_->recv();
+  }
+  void set_timeout(std::chrono::milliseconds timeout) override {
+    inner_->set_timeout(timeout);
+  }
+  void close() override { inner_->close(); }
+  void abort() override { inner_->abort(); }
+
+ private:
+  void spend() {
+    // fetch_sub walks remaining_ below zero for late callers; any
+    // non-positive ticket means the link is already gone.
+    if (remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      throw NetError("injected link severance: session port cut mid-stream");
+    }
+  }
+
+  std::unique_ptr<MessagePort> inner_;
+  std::atomic<std::int64_t> remaining_;
+};
+
+/// A connected source/destination port pair for one session epoch.
+struct PortPair {
+  std::unique_ptr<MessagePort> source;
+  std::unique_ptr<MessagePort> destination;
+};
+
+/// How a session reaches its peer. Every connect() call yields a fresh
+/// pair — a brand-new physical channel for a direct session, a fresh
+/// routed epoch of the shared channel for a multiplexed one — so the
+/// resume machinery is identical in both worlds.
+struct SessionWiring {
+  std::uint32_t session_id = 0;
+  std::function<PortPair()> connect;
+};
+
+}  // namespace hpm::mig

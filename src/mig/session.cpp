@@ -1,0 +1,402 @@
+#include "mig/session.hpp"
+
+#include <cstdio>
+
+namespace hpm::mig {
+
+namespace {
+
+std::string payload_text(const net::Message& frame) {
+  return {frame.payload.begin(), frame.payload.end()};
+}
+
+}  // namespace
+
+const char* session_state_name(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::Idle: return "idle";
+    case SessionState::Hello: return "hello";
+    case SessionState::Streaming: return "streaming";
+    case SessionState::Resuming: return "resuming";
+    case SessionState::Prepared: return "prepared";
+    case SessionState::Committed: return "committed";
+    case SessionState::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* msg_type_name(net::MsgType type) noexcept {
+  switch (type) {
+    case net::MsgType::Hello: return "Hello";
+    case net::MsgType::State: return "State";
+    case net::MsgType::Ack: return "Ack";
+    case net::MsgType::Error: return "Error";
+    case net::MsgType::Shutdown: return "Shutdown";
+    case net::MsgType::Nack: return "Nack";
+    case net::MsgType::StateBegin: return "StateBegin";
+    case net::MsgType::StateChunk: return "StateChunk";
+    case net::MsgType::StateEnd: return "StateEnd";
+    case net::MsgType::StateAck: return "StateAck";
+    case net::MsgType::Prepare: return "Prepare";
+    case net::MsgType::PrepareAck: return "PrepareAck";
+    case net::MsgType::Commit: return "Commit";
+    case net::MsgType::Abort: return "Abort";
+    case net::MsgType::ResumeHello: return "ResumeHello";
+  }
+  return "?";
+}
+
+std::string session_metric(std::uint32_t id, const char* role, const char* leaf) {
+  return "mig.session." + std::to_string(id) + "." + role + "." + leaf;
+}
+
+}  // namespace
+
+SessionMachine::SessionMachine(const char* role, std::uint32_t session_id)
+    : role_(role),
+      id_(session_id),
+      frames_(obs::Registry::process().counter(
+          session_metric(session_id, role, "frames"))),
+      transitions_(obs::Registry::process().counter(
+          session_metric(session_id, role, "transitions"))),
+      state_gauge_(obs::Registry::process().gauge(
+          session_metric(session_id, role, "state"))) {
+  state_gauge_.set(static_cast<std::int64_t>(state_));
+}
+
+SessionState SessionMachine::state() const {
+  std::lock_guard lk(mu_);
+  return state_;
+}
+
+bool SessionMachine::terminal() const {
+  std::lock_guard lk(mu_);
+  return state_ == SessionState::Committed || state_ == SessionState::Aborted;
+}
+
+std::string SessionMachine::abort_reason() const {
+  std::lock_guard lk(mu_);
+  return abort_reason_;
+}
+
+void SessionMachine::transition_locked(SessionState next) {
+  if (next == state_) return;
+  state_ = next;
+  transitions_.add(1);
+  state_gauge_.set(static_cast<std::int64_t>(next));
+}
+
+void SessionMachine::illegal_locked(net::MsgType type) {
+  std::string why = std::string(role_) + " session " + std::to_string(id_) +
+                    ": illegal frame " + msg_type_name(type) + " in state " +
+                    session_state_name(state_);
+  abort_reason_ = why;
+  transition_locked(SessionState::Aborted);
+  throw ProtocolError(why);
+}
+
+void SessionMachine::illegal_event_locked(const char* event) {
+  std::string why = std::string(role_) + " session " + std::to_string(id_) +
+                    ": event " + event + " is illegal in state " +
+                    session_state_name(state_);
+  abort_reason_ = why;
+  transition_locked(SessionState::Aborted);
+  throw ProtocolError(why);
+}
+
+void SessionMachine::reject_locked(std::string why) {
+  abort_reason_ = why;
+  transition_locked(SessionState::Aborted);
+  throw MigrationError(why);
+}
+
+/// ---- SourceSession --------------------------------------------------------
+///
+/// Transition table (frames the DESTINATION sends):
+///
+///   state      │ Hello  ResumeHello  StateAck  PrepareAck  Ack  Nack/Error
+///   ───────────┼──────────────────────────────────────────────────────────
+///   Idle       │ Hello¹ ·            ·         ·           ·    ·
+///   Hello      │ ·      ·            ·         ·           ·    Aborted²
+///   Streaming  │ ·      ·            fold      ·           ·    Aborted²
+///   Resuming   │ ·      Streaming¹   fold      ·           ·    Aborted²
+///   Prepared   │ ·      ·            fold      Prepared¹   ·    Aborted²
+///   Committed  │ ·      ·            no-op     ·           keep ·
+///   Aborted    │ ·      ·            no-op     ·           ·    ·
+///
+///   · = illegal → Aborted + ProtocolError
+///   ¹ = semantic checks (version / txn / digest / watermark bound) may
+///       still reject → Aborted + MigrationError
+///   ² = protocol-legal failure report → Aborted + MigrationError
+
+SourceSession::SourceSession(std::uint32_t session_id, std::uint64_t txn_id)
+    : SessionMachine("source", session_id), txn_(txn_id) {}
+
+SessionState SourceSession::on_frame(const net::Message& frame) {
+  std::lock_guard lk(mu_);
+  frames_.add(1);
+  switch (frame.type) {
+    case net::MsgType::Hello:
+      if (state_ != SessionState::Idle) illegal_locked(frame.type);
+      if (frame.payload.empty() || frame.payload[0] != net::kProtocolVersion) {
+        reject_locked("protocol version mismatch: destination speaks v" +
+                      std::to_string(frame.payload.empty() ? 0 : frame.payload[0]) +
+                      ", source speaks v" + std::to_string(net::kProtocolVersion));
+      }
+      transition_locked(SessionState::Hello);
+      break;
+
+    case net::MsgType::ResumeHello: {
+      if (state_ != SessionState::Resuming) illegal_locked(frame.type);
+      const net::ResumeHelloInfo info = net::decode_resume_hello(frame.payload);
+      if (info.version != net::kProtocolVersion) {
+        reject_locked("protocol version mismatch on resume: destination speaks v" +
+                      std::to_string(info.version));
+      }
+      if (info.txn_id != txn_) {
+        reject_locked("ResumeHello names a different transaction");
+      }
+      if (stream_known_ && info.next_seq > total_chunks_) {
+        reject_locked("destination claims more chunks than the stream holds");
+      }
+      resume_next_seq_ = info.next_seq;
+      transition_locked(SessionState::Streaming);
+      break;
+    }
+
+    case net::MsgType::StateAck: {
+      // Legal while live (fold the watermark) and as a straggler after the
+      // verdict (no-op); only the pre-stream states reject it.
+      if (state_ == SessionState::Idle || state_ == SessionState::Hello) {
+        illegal_locked(frame.type);
+      }
+      const std::uint32_t seq = net::decode_state_ack(frame.payload);
+      if (state_ != SessionState::Committed && state_ != SessionState::Aborted &&
+          seq > acked_) {
+        acked_ = seq;
+      }
+      break;
+    }
+
+    case net::MsgType::PrepareAck: {
+      if (state_ != SessionState::Prepared) illegal_locked(frame.type);
+      const net::PrepareAckInfo vote = net::decode_prepare_ack(frame.payload);
+      if (vote.txn_id != txn_) {
+        reject_locked("PrepareAck names a different transaction");
+      }
+      if (stream_known_ && vote.digest != digest_) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%016llx vs destination %016llx",
+                      static_cast<unsigned long long>(digest_),
+                      static_cast<unsigned long long>(vote.digest));
+        reject_locked(std::string("end-to-end digest mismatch at Prepare: source ") + buf);
+      }
+      break;  // stays Prepared; commit_decided() is the source's own move
+    }
+
+    case net::MsgType::Ack:
+      // The destination's post-Commit confirmation.
+      if (state_ != SessionState::Committed) illegal_locked(frame.type);
+      break;
+
+    case net::MsgType::Nack:
+      if (terminal_locked()) illegal_locked(frame.type);
+      reject_locked("destination rejected the chunked stream (Nack): " +
+                    payload_text(frame));
+
+    case net::MsgType::Error:
+      if (terminal_locked()) illegal_locked(frame.type);
+      reject_locked("destination restore failed: " + payload_text(frame));
+
+    default:
+      illegal_locked(frame.type);
+  }
+  return state_;
+}
+
+void SourceSession::begin_streaming() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Hello) illegal_event_locked("begin_streaming");
+  transition_locked(SessionState::Streaming);
+}
+
+void SourceSession::link_lost() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Streaming && state_ != SessionState::Prepared &&
+      state_ != SessionState::Resuming) {
+    illegal_event_locked("link_lost");
+  }
+  transition_locked(SessionState::Resuming);
+}
+
+void SourceSession::prepare_sent() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Streaming) illegal_event_locked("prepare_sent");
+  transition_locked(SessionState::Prepared);
+}
+
+void SourceSession::commit_decided() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Prepared) illegal_event_locked("commit_decided");
+  transition_locked(SessionState::Committed);
+}
+
+void SourceSession::abort_decided(std::string why) {
+  std::lock_guard lk(mu_);
+  if (state_ == SessionState::Committed) illegal_event_locked("abort_decided");
+  abort_reason_ = std::move(why);
+  transition_locked(SessionState::Aborted);
+}
+
+void SourceSession::set_stream(std::uint64_t total_chunks, std::uint64_t digest) {
+  std::lock_guard lk(mu_);
+  total_chunks_ = total_chunks;
+  digest_ = digest;
+  stream_known_ = true;
+}
+
+std::uint32_t SourceSession::acked_watermark() const {
+  std::lock_guard lk(mu_);
+  return acked_;
+}
+
+std::uint32_t SourceSession::resume_next_seq() const {
+  std::lock_guard lk(mu_);
+  return resume_next_seq_;
+}
+
+/// ---- DestSession ----------------------------------------------------------
+///
+/// Transition table (frames the SOURCE sends):
+///
+///   state      │ StateBegin  Shutdown  StateChunk  StateEnd  Prepare    Commit     Abort
+///   ───────────┼───────────────────────────────────────────────────────────────────────
+///   Idle       │ ·           ·         ·           ·         ·          ·          ·
+///   Hello      │ Streaming   Aborted³  ·           ·         ·          ·          ·
+///   Streaming  │ ·           ·         count       mark done Prepared¹⁴ ·          ·
+///   Resuming   │ ·           ·         ·           ·         ·          ·          ·
+///   Prepared   │ ·           ·         ·           ·         ·          Committed¹ Aborted²
+///   Committed  │ ·           ·         ·           ·         ·          ·          ·
+///   Aborted    │ ·           ·         ·           ·         ·          ·          ·
+///
+///   · = illegal → Aborted + ProtocolError        ³ = orderly, no throw
+///   ¹ = txn check may reject → MigrationError    ⁴ = only after StateEnd
+///   ² = "source aborted the handoff after Prepare" → MigrationError
+
+DestSession::DestSession(std::uint32_t session_id)
+    : SessionMachine("destination", session_id) {}
+
+SessionState DestSession::on_frame(const net::Message& frame) {
+  std::lock_guard lk(mu_);
+  frames_.add(1);
+  switch (frame.type) {
+    case net::MsgType::StateBegin:
+      if (state_ != SessionState::Hello) illegal_locked(frame.type);
+      begin_ = net::decode_state_begin(frame.payload);
+      txn_ = begin_.txn_id;
+      transition_locked(SessionState::Streaming);
+      break;
+
+    case net::MsgType::Shutdown:
+      if (state_ != SessionState::Hello) illegal_locked(frame.type);
+      orderly_ = true;
+      abort_reason_ = "orderly shutdown: the source never migrated";
+      transition_locked(SessionState::Aborted);
+      break;
+
+    case net::MsgType::StateChunk:
+      if (state_ != SessionState::Streaming || stream_complete_) {
+        illegal_locked(frame.type);
+      }
+      ++chunks_;
+      break;
+
+    case net::MsgType::StateEnd:
+      if (state_ != SessionState::Streaming || stream_complete_) {
+        illegal_locked(frame.type);
+      }
+      stream_complete_ = true;
+      break;
+
+    case net::MsgType::Prepare:
+      if (state_ != SessionState::Streaming || !stream_complete_) {
+        illegal_locked(frame.type);
+      }
+      if (net::decode_txn(frame.payload) != txn_) {
+        reject_locked("Prepare names a different transaction");
+      }
+      transition_locked(SessionState::Prepared);
+      break;
+
+    case net::MsgType::Commit:
+      if (state_ != SessionState::Prepared) illegal_locked(frame.type);
+      if (net::decode_txn(frame.payload) != txn_) {
+        reject_locked("Commit names a different transaction");
+      }
+      transition_locked(SessionState::Committed);
+      break;
+
+    case net::MsgType::Abort:
+      if (state_ != SessionState::Prepared) illegal_locked(frame.type);
+      reject_locked("source aborted the handoff after Prepare");
+
+    default:
+      illegal_locked(frame.type);
+  }
+  return state_;
+}
+
+void DestSession::announce() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Idle) illegal_event_locked("announce");
+  transition_locked(SessionState::Hello);
+}
+
+void DestSession::park() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Streaming) illegal_event_locked("park");
+  transition_locked(SessionState::Resuming);
+}
+
+void DestSession::resume_announced() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Resuming) illegal_event_locked("resume_announced");
+  transition_locked(SessionState::Streaming);
+}
+
+void DestSession::commit_recovered() {
+  std::lock_guard lk(mu_);
+  if (state_ != SessionState::Prepared) illegal_event_locked("commit_recovered");
+  transition_locked(SessionState::Committed);
+}
+
+void DestSession::abort_decided(std::string why) {
+  std::lock_guard lk(mu_);
+  if (state_ == SessionState::Committed) illegal_event_locked("abort_decided");
+  abort_reason_ = std::move(why);
+  transition_locked(SessionState::Aborted);
+}
+
+bool DestSession::orderly_shutdown() const {
+  std::lock_guard lk(mu_);
+  return orderly_;
+}
+
+std::uint64_t DestSession::txn_id() const {
+  std::lock_guard lk(mu_);
+  return txn_;
+}
+
+std::uint32_t DestSession::chunks_seen() const {
+  std::lock_guard lk(mu_);
+  return chunks_;
+}
+
+net::StateBeginInfo DestSession::begin_info() const {
+  std::lock_guard lk(mu_);
+  return begin_;
+}
+
+}  // namespace hpm::mig

@@ -1,0 +1,402 @@
+#include "mig/source_txn.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "mig/chunk_queue.hpp"
+#include "mig/control_inbox.hpp"
+#include "mig/dest_host.hpp"
+#include "mig/endpoint_util.hpp"
+#include "mig/mig_metrics.hpp"
+#include "mig/session.hpp"
+#include "obs/span.hpp"
+
+namespace hpm::mig {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class CommitResult : std::uint8_t { Confirmed, Unconfirmed };
+
+/// The decision half of the handoff, run by the source after StateEnd.
+/// Every pre-Commit failure journals Abort BEFORE rethrowing (so an
+/// in-doubt destination resolves consistently); once the Commit record is
+/// durable nothing can abort — a lost confirmation merely degrades the
+/// result to Unconfirmed. KilledError passes through untouched: a crash
+/// journals nothing, the log must hold only real decisions.
+///
+/// The inbound half is validated by the machine: await() feeds each reply
+/// through session.on_frame(), which raises the typed rejection (Nack,
+/// Error, wrong txn, digest mismatch) or ProtocolError itself.
+CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
+                                 SourceSession& session,
+                                 std::chrono::milliseconds timeout, std::uint64_t txn,
+                                 std::uint64_t digest, Journal& journal) {
+  try {
+    session.prepare_sent();
+    port.send(net::MsgType::Prepare, net::encode_txn(txn));
+    const net::Message reply = inbox.await(timeout);
+    if (reply.type != net::MsgType::PrepareAck) {
+      // on_frame already vetted it; anything it let through that is not
+      // the vote is a protocol breach.
+      throw ProtocolError("unexpected message in the prepare phase");
+    }
+  } catch (const KilledError&) {
+    throw;
+  } catch (const Error&) {
+    // A destination that vetoes the handoff sends its Error/Nack and then
+    // drops the channel; our Prepare can hit the dead pipe before the
+    // pump delivers the veto. The frame survives the close in the pipe's
+    // buffer, so grace-wait for it and prefer the destination's cause
+    // over our own send failure.
+    std::exception_ptr cause = std::current_exception();
+    try {
+      inbox.await(std::chrono::milliseconds(50));
+    } catch (const MigrationError& veto) {
+      // on_frame turned the pending Error/Nack into its typed rejection.
+      cause = std::make_exception_ptr(veto);
+    } catch (...) {
+      // Nothing queued; the original failure stands.
+    }
+    journal.append({JournalRecordType::Abort, txn, digest, "prepare phase failed"});
+    TxnMetrics::get().aborts.add(1);
+    if (!session.terminal()) session.abort_decided("prepare phase failed");
+    try {
+      port.send(net::MsgType::Abort, net::encode_txn(txn));
+    } catch (...) {
+      // A dead port cannot carry the Abort; the destination's in-doubt
+      // poll reads the journal record instead.
+    }
+    std::rethrow_exception(cause);
+  }
+  // --- the decision is Commit: durable before the frame leaves, irrevocable after.
+  journal.append({JournalRecordType::Commit, txn, digest, ""});
+  TxnMetrics::get().commits.add(1);
+  session.commit_decided();
+  try {
+    port.send(net::MsgType::Commit, net::encode_txn(txn));
+    const net::Message fin = inbox.await(timeout);
+    if (fin.type == net::MsgType::Ack) {
+      journal.append({JournalRecordType::Done, txn, digest, ""});
+      return CommitResult::Confirmed;
+    }
+  } catch (const KilledError&) {
+    throw;  // post-commit source crash: the destination recovers from the journal
+  } catch (const Error&) {
+  }
+  return CommitResult::Unconfirmed;
+}
+
+}  // namespace
+
+TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
+                                    Bytes& stream, const SessionWiring& wiring,
+                                    std::chrono::milliseconds timeout,
+                                    Journal& src_journal, Journal& dst_journal,
+                                    std::uint64_t txn, int total_attempts,
+                                    int& attempts_used) {
+  TxnMetrics::get().begins.add(1);
+  report.txn_id = txn;
+
+  SourceSession session(wiring.session_id, txn);
+
+  PortPair ports = wiring.connect();
+  std::unique_ptr<MessagePort> src_port = std::move(ports.source);
+
+  DestinationHost dest(options, report, dst_journal, src_journal.path(), timeout,
+                       wiring.session_id);
+  dest.start(std::move(ports.destination));
+
+  CoordinatorMetrics::get().attempts.add(1);
+  attempts_used = 1;
+  report.attempts = 1;
+
+  const std::size_t cb = std::max<std::size_t>(1, options.chunk_bytes);
+  std::unique_ptr<ControlInbox> inbox;
+
+  ChunkQueue queue(kChunkQueueCapacity);
+  std::exception_ptr sender_error;
+  std::thread sender;
+  auto join_sender = [&] {
+    if (sender.joinable()) sender.join();
+  };
+  /// Stop the pump (which aborts the port) so a blocked peer wakes and
+  /// the port can be replaced or destroyed.
+  auto fail_channel = [&] {
+    if (inbox != nullptr) {
+      inbox->stop();
+    } else if (src_port != nullptr) {
+      try {
+        src_port->abort();
+      } catch (...) {
+      }
+    }
+  };
+  /// Record a lost physical binding in the machine — from the states where
+  /// a binding can be lost. (A rejected frame already landed in Aborted.)
+  auto note_link_lost = [&] {
+    const SessionState s = session.state();
+    if (s == SessionState::Streaming || s == SessionState::Prepared ||
+        s == SessionState::Resuming) {
+      session.link_lost();
+    }
+  };
+
+  std::exception_ptr source_error;
+  /// Set when options.program itself throws (anything but MigrationExit):
+  /// a workload failure is the caller's to see, never a retryable
+  /// transport fault — rethrown after teardown, matching the serial path.
+  std::exception_ptr program_error;
+  double measured_tx = 0;
+  bool collected = false;
+  bool killed = false;
+  bool attempt_ok = false;
+  bool unconfirmed = false;
+  std::uint64_t digest = 0;
+  net::StateEndInfo end;
+  Clock::time_point pipeline_start{};
+
+  // --- attempt 1: stream while collecting ----------------------------------
+  try {
+    session.on_frame(src_port->recv());  // Hello: version-checked by the machine
+    session.begin_streaming();
+    inbox = std::make_unique<ControlInbox>(*src_port, session);
+
+    sender = std::thread([&] {
+      try {
+        PipelineMetrics& pm = PipelineMetrics::get();
+        std::unique_ptr<obs::Span> tx_span;
+        Bytes chunk;
+        std::uint32_t seq = 0;
+        while (queue.pop(chunk)) {
+          if (tx_span == nullptr) {
+            tx_span = std::make_unique<obs::Span>("mig.tx");
+            tx_span->arg("transport",
+                         std::string(net::transport_name(options.transport)));
+            // Write-ahead: the transaction exists on disk before any
+            // frame names it on the wire.
+            src_journal.append({JournalRecordType::Begin, txn, 0, "source"});
+            src_port->send(net::MsgType::StateBegin,
+                           net::encode_state_begin({options.chunk_bytes, txn}));
+          }
+          src_port->send(net::MsgType::StateChunk, net::encode_state_chunk(seq++, chunk));
+          pm.chunks.add(1);
+          pm.chunk_bytes.record(static_cast<double>(chunk.size()));
+        }
+        if (const auto e = queue.end_info()) {
+          src_port->send(net::MsgType::StateEnd, net::encode_state_end(*e));
+          if (tx_span != nullptr) measured_tx = tx_span->finish();
+        }
+      } catch (...) {
+        sender_error = std::current_exception();
+        queue.poison();  // collection must never block on a dead sender
+      }
+    });
+
+    ti::TypeTable types;
+    options.register_types(types);
+    MigContext ctx(types, options.search);
+    ctx.set_migrate_at_poll(options.migrate_at_poll);
+    ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
+      if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
+      queue.push(Bytes(bytes.begin(), bytes.end()));
+    });
+
+    std::atomic<bool> program_done{false};
+    std::thread scheduler;
+    if (options.request_after_seconds > 0) {
+      scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
+        const auto deadline = Clock::now() + std::chrono::duration<double>(delay);
+        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!program_done.load(std::memory_order_relaxed)) ctx.request_migration();
+      });
+    }
+    auto join_scheduler = [&] {
+      program_done.store(true, std::memory_order_relaxed);
+      if (scheduler.joinable()) scheduler.join();
+    };
+    try {
+      try {
+        options.program(ctx);
+      } catch (const MigrationExit&) {
+        join_scheduler();
+        throw;
+      } catch (...) {
+        join_scheduler();
+        program_error = std::current_exception();
+        throw;
+      }
+      join_scheduler();
+    } catch (const MigrationExit&) {
+      collected = true;
+      stream = ctx.stream();  // retained for resumes and serial retries
+      digest = ctx.stream_digest();
+      report.stream_bytes = stream.size();
+      report.collect_seconds = ctx.metrics().collect_seconds;
+      report.source_arch = ctx.space().arch().name;
+    }
+    report.source_polls = ctx.poll_count();
+
+    if (!collected) {
+      queue.close(std::nullopt);
+      join_sender();
+      src_port->send(net::MsgType::Shutdown, {});
+      session.abort_decided("no migration was triggered");
+    } else {
+      // Stream-derived, NOT queue.pushed(): a poisoned queue undercounts
+      // (push drops silently after a sender failure), and a resume's
+      // StateEnd must describe the whole fixed-size chunking.
+      end.chunk_count = static_cast<std::uint32_t>((stream.size() + cb - 1) / cb);
+      end.total_bytes = stream.size();
+      end.digest = digest;
+      session.set_stream(end.chunk_count, digest);
+      queue.close(end);
+      join_sender();
+      if (sender_error != nullptr) std::rethrow_exception(sender_error);
+      const CommitResult r =
+          source_commit_phase(*src_port, *inbox, session, timeout, txn, digest,
+                              src_journal);
+      unconfirmed = (r == CommitResult::Unconfirmed);
+      attempt_ok = true;
+    }
+  } catch (...) {
+    source_error = std::current_exception();
+    queue.poison();
+    queue.close(std::nullopt);
+    join_sender();
+    fail_channel();
+  }
+
+  // Classify the attempt-1 failure before deciding whether to resume.
+  bool fatal_other = false;  // non-hpm exception: propagate after teardown
+  if (source_error != nullptr && program_error == nullptr) {
+    try {
+      std::rethrow_exception(source_error);
+    } catch (const KilledError& e) {
+      killed = true;
+      if (collected) report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
+    } catch (const Error& e) {
+      if (collected) report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
+    } catch (...) {
+      fatal_other = true;
+    }
+  }
+
+  // --- resume attempts: retransmit only past the acked watermark -----------
+  const std::uint64_t total_chunks = collected ? (stream.size() + cb - 1) / cb : 0;
+  double backoff = options.retry_backoff_seconds;
+  while (collected && !attempt_ok && !unconfirmed && !killed && !fatal_other &&
+         program_error == nullptr && attempts_used < total_attempts &&
+         !session.terminal() && dest.resumable()) {
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2, options.retry_backoff_cap_seconds);
+    }
+    ++attempts_used;
+    report.attempts = attempts_used;
+    CoordinatorMetrics::get().attempts.add(1);
+    CoordinatorMetrics::get().retries.add(1);
+    try {
+      note_link_lost();  // the machine must be Resuming to accept ResumeHello
+      PortPair fresh = wiring.connect();
+      if (!dest.offer(std::move(fresh.destination))) {
+        report.failure_causes.push_back("attempt " + std::to_string(attempts_used) +
+                                        ": destination no longer accepts a resume channel");
+        break;
+      }
+      if (inbox != nullptr) {
+        inbox->stop();
+        inbox.reset();  // the pump must be gone before its port is
+      }
+      src_port = std::move(fresh.source);
+      session.on_frame(src_port->recv());  // ResumeHello: version/txn/bound-checked
+      const std::uint32_t next_seq = session.resume_next_seq();
+      ResumeMetrics::get().attempts.add(1);
+      ResumeMetrics::get().chunks_skipped.add(next_seq);
+      report.resumed_from_seq = static_cast<std::int64_t>(next_seq);
+      inbox = std::make_unique<ControlInbox>(*src_port, session);
+      {
+        obs::Span tx_span("mig.tx");
+        tx_span.arg("transport", std::string(net::transport_name(options.transport)));
+        tx_span.arg("resumed_from", std::uint64_t{next_seq});
+        PipelineMetrics& pm = PipelineMetrics::get();
+        for (std::uint64_t seq = next_seq; seq < total_chunks; ++seq) {
+          const std::size_t off = static_cast<std::size_t>(seq) * cb;
+          const std::size_t len = std::min(cb, stream.size() - off);
+          src_port->send(net::MsgType::StateChunk,
+                         net::encode_state_chunk(static_cast<std::uint32_t>(seq),
+                                                 {stream.data() + off, len}));
+          pm.chunks.add(1);
+          pm.chunk_bytes.record(static_cast<double>(len));
+        }
+        src_port->send(net::MsgType::StateEnd, net::encode_state_end(end));
+        measured_tx += tx_span.finish();
+      }
+      const CommitResult r =
+          source_commit_phase(*src_port, *inbox, session, timeout, txn, digest,
+                              src_journal);
+      unconfirmed = (r == CommitResult::Unconfirmed);
+      attempt_ok = true;
+    } catch (const KilledError& e) {
+      killed = true;
+      report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
+                                      e.what());
+      fail_channel();
+    } catch (const Error& e) {
+      report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
+                                      e.what());
+      fail_channel();
+    }
+  }
+  const Clock::time_point pipeline_end = Clock::now();
+
+  // --- teardown -------------------------------------------------------------
+  if (inbox != nullptr) inbox->stop();
+  dest.close();
+  dest.join();
+  try {
+    if (src_port != nullptr) src_port->close();
+  } catch (...) {
+  }
+
+  if (program_error != nullptr) std::rethrow_exception(program_error);
+  if (fatal_other) std::rethrow_exception(source_error);
+
+  if (!collected) {
+    // The workload already finished on the source; a torn-down teardown
+    // handshake doesn't change its fate.
+    return TxnResult::CompletedLocally;
+  }
+  if (killed) {
+    report.migrated = dest.finished();
+    return TxnResult::SourceCrashed;
+  }
+  if (unconfirmed) {
+    report.migrated = dest.finished();
+    return TxnResult::CommittedUnconfirmed;
+  }
+  if (attempt_ok) {
+    report.migrated = true;
+    report.tx_seconds =
+        options.throttle ? measured_tx : options.link.transfer_seconds(stream.size());
+    // Overlap: wall-clock from the first chunk leaving collection to the
+    // acknowledged restore, vs. the sum of the three phase timings. Fully
+    // serial execution gives 0; perfect overlap approaches 1.
+    const double wall = std::chrono::duration<double>(pipeline_end - pipeline_start).count();
+    const double phases = report.collect_seconds + measured_tx + report.restore_seconds;
+    if (wall > 0 && phases > 0) {
+      report.overlap_ratio = std::clamp(1.0 - wall / phases, 0.0, 1.0);
+    }
+    PipelineMetrics::get().overlap.record(report.overlap_ratio);
+    return TxnResult::Migrated;
+  }
+  return TxnResult::Failed;
+}
+
+}  // namespace hpm::mig

@@ -1,0 +1,36 @@
+// Source endpoint of the transactional pipelined transfer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "mig/coordinator.hpp"
+#include "mig/port.hpp"
+
+namespace hpm::mig {
+
+/// Outcome of the transactional pipelined transfer.
+enum class TxnResult : std::uint8_t {
+  CompletedLocally,      ///< program finished without migrating
+  Migrated,              ///< committed and confirmed
+  CommittedUnconfirmed,  ///< committed; the destination's confirmation was lost
+  SourceCrashed,         ///< injected source crash; journals arbitrate ownership
+  Failed,                ///< retryable; the retained stream may replay serially
+};
+
+/// The transactional pipelined transfer: one destination host, one
+/// transaction, up to `total_attempts` port epochs obtained from
+/// `wiring.connect()`. Attempt 1 streams chunks while the collection DFS
+/// is still walking the graph; each further attempt resumes from the
+/// destination's acked watermark out of the retained stream. Restoration
+/// is bracketed by the two-phase commit. The protocol's legality is
+/// enforced by a SourceSession machine on this side and a DestSession
+/// machine inside the DestinationHost; `wiring.session_id` names both.
+TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
+                                    Bytes& stream, const SessionWiring& wiring,
+                                    std::chrono::milliseconds timeout,
+                                    Journal& src_journal, Journal& dst_journal,
+                                    std::uint64_t txn, int total_attempts,
+                                    int& attempts_used);
+
+}  // namespace hpm::mig

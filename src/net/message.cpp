@@ -41,37 +41,54 @@ std::uint32_t get_u32_be(const std::uint8_t* in) {
          (static_cast<std::uint32_t>(in[2]) << 8) | static_cast<std::uint32_t>(in[3]);
 }
 
-}  // namespace
+void put_u16_be(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>((v >> 8) & 0xFFu);
+  out[1] = static_cast<std::uint8_t>(v & 0xFFu);
+}
 
-void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload) {
-  // Assemble header + payload + CRC trailer in one pooled buffer and ship
-  // it with a single channel send: chunked transfers emit thousands of
-  // frames per migration, so per-frame allocation and triple syscalls
-  // both matter. Byte-positional fault-injection offsets are unaffected —
-  // the channel sees the same bytes in the same order.
+std::uint16_t get_u16_be(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(in[0]) << 8) | in[1]);
+}
+
+/// Assemble one frame — `tag_bytes` of routing tag (empty for a plain
+/// frame) followed by the classic type/len/payload layout — in a pooled
+/// buffer and ship it with a single channel send: chunked transfers emit
+/// thousands of frames per migration, so per-frame allocation and triple
+/// syscalls both matter. The CRC trailer covers tag + header + payload.
+void send_frame(ByteChannel& ch, std::span<const std::uint8_t> tag_bytes, MsgType type,
+                std::span<const std::uint8_t> payload) {
+  const std::size_t header_at = tag_bytes.size();
+  const std::size_t total = header_at + 5 + payload.size() + 4;
   BufferPool& pool = BufferPool::process();
-  Bytes frame = pool.acquire(5 + payload.size() + 4);
-  frame[0] = static_cast<std::uint8_t>(type);
-  put_u32_be(frame.data() + 1, static_cast<std::uint32_t>(payload.size()));
-  if (!payload.empty()) std::memcpy(frame.data() + 5, payload.data(), payload.size());
+  Bytes frame = pool.acquire(total);
+  if (!tag_bytes.empty()) std::memcpy(frame.data(), tag_bytes.data(), tag_bytes.size());
+  frame[header_at] = static_cast<std::uint8_t>(type);
+  put_u32_be(frame.data() + header_at + 1, static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + header_at + 5, payload.data(), payload.size());
+  }
   Crc32 crc;
-  crc.update(frame.data(), 5 + payload.size());
-  put_u32_be(frame.data() + 5 + payload.size(), crc.value());
+  crc.update(frame.data(), total - 4);
+  put_u32_be(frame.data() + total - 4, crc.value());
   ch.send(frame);
   pool.release(std::move(frame));
   FrameMetrics& m = FrameMetrics::get();
   m.sent.add(1);
-  m.bytes_sent.add(5 + payload.size() + 4);
+  m.bytes_sent.add(total);
 }
 
-Message recv_message(ByteChannel& ch, std::size_t max_payload) {
-  std::array<std::uint8_t, 5> header{};
-  ch.recv(header);
-  const auto raw_type = header[0];
+/// Read the type/len/payload/CRC tail of a frame whose leading
+/// `consumed` bytes (routing tag, and possibly the type byte itself)
+/// were already pulled off the channel and folded into `crc`.
+Message recv_frame_rest(ByteChannel& ch, Crc32& crc, std::size_t consumed,
+                        std::uint8_t raw_type, std::size_t max_payload) {
   if (raw_type < 1 || raw_type > kMaxMsgType) {
     throw NetError("malformed frame: unknown message type " + std::to_string(raw_type));
   }
-  const std::uint32_t len = get_u32_be(header.data() + 1);
+  std::array<std::uint8_t, 4> len_be{};
+  ch.recv(len_be);
+  crc.update(len_be.data(), len_be.size());
+  const std::uint32_t len = get_u32_be(len_be.data());
   // Validate the (possibly hostile or corrupted) length prefix before a
   // single byte is allocated for it.
   if (len > max_payload) {
@@ -82,11 +99,9 @@ Message recv_message(ByteChannel& ch, std::size_t max_payload) {
   msg.type = static_cast<MsgType>(raw_type);
   msg.payload.resize(len);
   if (len > 0) ch.recv(msg.payload);
+  crc.update(msg.payload.data(), msg.payload.size());
   std::array<std::uint8_t, 4> trailer{};
   ch.recv(trailer);
-  Crc32 crc;
-  crc.update(header.data(), header.size());
-  crc.update(msg.payload.data(), msg.payload.size());
   if (get_u32_be(trailer.data()) != crc.value()) {
     FrameMetrics::get().crc_failures.add(1);
     throw NetError("frame CRC mismatch: " + std::to_string(len) +
@@ -94,8 +109,53 @@ Message recv_message(ByteChannel& ch, std::size_t max_payload) {
   }
   FrameMetrics& m = FrameMetrics::get();
   m.recv.add(1);
-  m.bytes_recv.add(header.size() + msg.payload.size() + trailer.size());
+  m.bytes_recv.add(consumed + len_be.size() + msg.payload.size() + trailer.size());
   return msg;
+}
+
+}  // namespace
+
+void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> payload) {
+  send_frame(ch, {}, type, payload);
+}
+
+Message recv_message(ByteChannel& ch, std::size_t max_payload) {
+  std::array<std::uint8_t, 1> first{};
+  ch.recv(first);
+  Crc32 crc;
+  crc.update(first.data(), first.size());
+  return recv_frame_rest(ch, crc, first.size(), first[0], max_payload);
+}
+
+void send_tagged_message(ByteChannel& ch, std::uint32_t session_id, std::uint16_t epoch,
+                         MsgType type, std::span<const std::uint8_t> payload) {
+  std::array<std::uint8_t, 7> tag{};
+  tag[0] = kTaggedFrameMagic;
+  put_u32_be(tag.data() + 1, session_id);
+  put_u16_be(tag.data() + 5, epoch);
+  send_frame(ch, tag, type, payload);
+}
+
+TaggedMessage recv_any_message(ByteChannel& ch, std::size_t max_payload) {
+  std::array<std::uint8_t, 1> first{};
+  ch.recv(first);
+  Crc32 crc;
+  crc.update(first.data(), first.size());
+  TaggedMessage out;
+  std::uint8_t raw_type = first[0];
+  std::size_t consumed = first.size();
+  if (first[0] == kTaggedFrameMagic) {
+    std::array<std::uint8_t, 7> rest{};  // u32 session, u16 epoch, u8 type
+    ch.recv(rest);
+    crc.update(rest.data(), rest.size());
+    out.tagged = true;
+    out.session_id = get_u32_be(rest.data());
+    out.epoch = get_u16_be(rest.data() + 4);
+    raw_type = rest[6];
+    consumed += rest.size();
+  }
+  out.msg = recv_frame_rest(ch, crc, consumed, raw_type, max_payload);
+  return out;
 }
 
 namespace {

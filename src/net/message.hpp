@@ -19,9 +19,11 @@ namespace hpm::net {
 /// Version of the coordinator's wire protocol, announced in the first
 /// byte of the Hello payload. Bumped to 2 when the CRC trailer and Nack
 /// were introduced, to 3 for the transactional handoff (chunk acks,
-/// resume, Prepare/Commit/Abort, digest-bearing StateEnd); a mismatch
-/// aborts the attempt before any state moves.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// resume, Prepare/Commit/Abort, digest-bearing StateEnd), to 4 for
+/// session-tagged frame headers (N concurrent migrations multiplexed
+/// over one channel); a mismatch aborts the attempt before any state
+/// moves.
+inline constexpr std::uint8_t kProtocolVersion = 4;
 
 /// Message type tags used by the migration coordinator.
 enum class MsgType : std::uint8_t {
@@ -61,6 +63,37 @@ void send_message(ByteChannel& ch, MsgType type, std::span<const std::uint8_t> p
 /// mismatch. The default cap is far below the u32 length field's range so
 /// a hostile or corrupted prefix cannot drive a multi-GiB allocation.
 Message recv_message(ByteChannel& ch, std::size_t max_payload = 1ull << 28);
+
+/// --- session-tagged frames (frame header v4) ------------------------------
+/// A channel shared by N concurrent migration sessions prefixes each frame
+/// with a routing tag so a mig::FrameRouter can demultiplex it:
+///
+///   u8 0xF5 (magic)  u32 session_id  u16 epoch  u8 type  u32 len
+///   payload  u32 CRC-32 over everything preceding it
+///
+/// The magic byte sits outside the legal MsgType range [1, kMaxMsgType],
+/// so a receiver can detect a tagged (v4) frame from its first byte and
+/// still accept an untagged v3 frame from a single-session peer — the two
+/// layouts share the channel without negotiation. The epoch names one
+/// physical binding of the session: a resumed session bumps it, and the
+/// router drops frames from a stale epoch instead of splicing two channel
+/// lifetimes into one stream.
+inline constexpr std::uint8_t kTaggedFrameMagic = 0xF5;
+
+struct TaggedMessage {
+  bool tagged = false;         ///< false: a plain v3 frame (session fields are 0)
+  std::uint32_t session_id = 0;
+  std::uint16_t epoch = 0;
+  Message msg;
+};
+
+/// Send one session-tagged frame with a single channel send.
+void send_tagged_message(ByteChannel& ch, std::uint32_t session_id, std::uint16_t epoch,
+                         MsgType type, std::span<const std::uint8_t> payload);
+
+/// Receive one frame, tagged or plain — the router's entry point. Same
+/// validation and errors as recv_message.
+TaggedMessage recv_any_message(ByteChannel& ch, std::size_t max_payload = 1ull << 28);
 
 /// --- chunked state transfer payloads -------------------------------------
 /// StateBegin/StateChunk/StateEnd frame the pipelined stream: each chunk

@@ -66,7 +66,9 @@ SocketChannel::~SocketChannel() {
 }
 
 void SocketChannel::send(std::span<const std::uint8_t> data) {
-  if (fd_ < 0) throw NetError("send on closed SocketChannel");
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire)) {
+    throw NetError("send on closed SocketChannel");
+  }
   const bool bounded = timeout_.count() > 0;
   const auto deadline = Clock::now() + timeout_;
   std::size_t sent = 0;
@@ -90,7 +92,9 @@ void SocketChannel::send(std::span<const std::uint8_t> data) {
 }
 
 void SocketChannel::recv(std::span<std::uint8_t> out) {
-  if (fd_ < 0) throw NetError("recv on closed SocketChannel");
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire)) {
+    throw NetError("recv on closed SocketChannel");
+  }
   const bool bounded = timeout_.count() > 0;
   const auto deadline = Clock::now() + timeout_;
   std::size_t got = 0;
@@ -117,10 +121,12 @@ void SocketChannel::recv(std::span<std::uint8_t> out) {
 }
 
 void SocketChannel::close() {
-  if (fd_ >= 0) {
+  // shutdown() only: it wakes a peer thread blocked in poll() on this fd
+  // (the cross-thread abort contract), while the fd itself stays valid
+  // until the destructor — closing it here would race that thread's I/O
+  // and could hand the fd number to an unrelated open().
+  if (!closed_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
   }
 }
 

@@ -6,6 +6,7 @@
 // shutdown) stays exercised even in single-machine experiments.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -29,7 +30,12 @@ class SocketChannel final : public ByteChannel {
   void close() override;
 
  private:
-  int fd_ = -1;
+  // close() may race a peer thread blocked in send/recv (abort() is the
+  // documented cross-thread wake-up), so the fd is never torn down while
+  // in use: close() only shutdown()s it — which wakes any poller — and
+  // the destructor, which runs after every user is done, close()s it.
+  int fd_ = -1;  ///< written only by the constructor
+  std::atomic<bool> closed_{false};
   std::chrono::milliseconds timeout_{0};
 };
 

@@ -161,9 +161,10 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
-/// Per-instance mirror of a shared registry counter. Components that must
-/// keep instance-local readings (the deprecated stats() shims) bump both
-/// the local value and the process-wide instrument in one call.
+/// Per-instance mirror of a shared registry counter: bumps both an
+/// instance-local reading and the process-wide instrument in one call,
+/// for components that report a per-object count alongside the global
+/// telemetry.
 class LocalCounter {
  public:
   LocalCounter() = default;

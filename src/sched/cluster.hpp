@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "mig/coordinator.hpp"
 #include "net/simnet.hpp"
 
 namespace hpm::sched {
@@ -114,6 +115,37 @@ struct SimResult {
   std::vector<double> host_busy_seconds;
   std::vector<double> finish_times;  ///< per job
 };
+
+/// --- concurrent real migrations over one shared channel ------------------
+
+/// One migration submitted to migrate_many.
+struct SessionJob {
+  mig::RunOptions options;
+
+  /// Deterministic mid-stream kill: cut this session's source-side port
+  /// after it has carried this many frames on its FIRST epoch (-1 =
+  /// never). The session then reconnects and resumes from the acked
+  /// watermark while the other multiplexed sessions proceed untouched.
+  std::int64_t sever_after_frames = -1;
+};
+
+/// Result of one session driven by migrate_many.
+struct SessionOutcome {
+  std::uint32_t session_id = 0;  ///< 1-based, in submission order
+  mig::MigrationReport report;
+};
+
+/// Run every job as a concurrent migration session multiplexed over ONE
+/// shared duplex channel pair (Memory or Socket; File has no duplex
+/// rendezvous and throws). Session i+1 gets frame-router ports tagged
+/// with its id on both ends; each runs the full pipelined transactional
+/// protocol (mig::run_routed_migration), so journals land keyed by txn in
+/// each job's journal_dir and per-session telemetry lands under
+/// mig.session.<id>.*. Outcomes are returned in submission order; a
+/// session that throws outside the protocol's own recovery propagates
+/// after every other session has finished.
+std::vector<SessionOutcome> migrate_many(const std::vector<SessionJob>& jobs,
+                                         net::Transport transport);
 
 /// Deterministic cluster simulation.
 class ClusterSim {

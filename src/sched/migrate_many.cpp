@@ -1,0 +1,78 @@
+// migrate_many: N real migrations multiplexed over one shared channel.
+//
+// One FrameRouter per endpoint owns the shared duplex channel; each job's
+// SessionWiring opens routed ports on both routers, so a connect() during
+// resume bumps the session's epoch on BOTH ends before any new-epoch
+// frame can be sent. The per-session protocol itself is exactly the
+// exclusive-channel one (mig::run_routed_migration).
+#include "sched/cluster.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "mig/frame_router.hpp"
+#include "net/factory.hpp"
+
+namespace hpm::sched {
+
+std::vector<SessionOutcome> migrate_many(const std::vector<SessionJob>& jobs,
+                                         net::Transport transport) {
+  if (transport == net::Transport::File) {
+    throw MigrationError(
+        "migrate_many needs a duplex transport (Memory or Socket); File has "
+        "no rendezvous to multiplex");
+  }
+  std::vector<SessionOutcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  net::ChannelPair channels = net::make_channel_pair(transport, {});
+  std::shared_ptr<void> keep(std::move(channels.listener));
+  const auto src_router =
+      std::make_shared<mig::FrameRouter>(std::move(channels.source), keep);
+  const auto dst_router =
+      std::make_shared<mig::FrameRouter>(std::move(channels.destination), keep);
+
+  std::vector<std::exception_ptr> errors(jobs.size());
+  std::vector<std::thread> drivers;
+  drivers.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      const auto id = static_cast<std::uint32_t>(i + 1);
+      outcomes[i].session_id = id;
+      try {
+        mig::SessionWiring wiring;
+        wiring.session_id = id;
+        // The severance is scripted against the first epoch only: the
+        // resumed binding must be able to finish the transfer.
+        auto first_epoch = std::make_shared<std::atomic<bool>>(true);
+        const std::int64_t sever = jobs[i].sever_after_frames;
+        wiring.connect = [src_router, dst_router, id, first_epoch, sever] {
+          mig::PortPair pair;
+          pair.source = src_router->open(id);
+          pair.destination = dst_router->open(id);
+          if (sever >= 0 && first_epoch->exchange(false)) {
+            pair.source = std::make_unique<mig::SeveringPort>(
+                std::move(pair.source), static_cast<std::uint32_t>(sever));
+          }
+          return pair;
+        };
+        outcomes[i].report = mig::run_routed_migration(jobs[i].options, wiring);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+
+  // All sessions are done: tear the shared wire down before rethrowing so
+  // a failing session cannot leak the routers' pump threads.
+  src_router->shutdown();
+  dst_router->shutdown();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return outcomes;
+}
+
+}  // namespace hpm::sched

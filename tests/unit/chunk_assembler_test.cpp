@@ -91,6 +91,39 @@ TEST(ChunkAssembler, HostileByteTotalPoisons) {
   EXPECT_THROW(a.fetch(out, 1), NetError);
 }
 
+TEST(ChunkAssembler, ScratchBufferIsReusedAcrossChunks) {
+  // The assembly buffer must grow geometrically (seeded by the chunk-size
+  // hint from StateBegin), not reallocate per chunk: appending N chunks
+  // may cost at most O(log N) growths, and the reassembled stream is
+  // byte-identical regardless.
+  constexpr std::uint32_t kChunk = 64;
+  constexpr std::uint32_t kChunks = 256;
+  ChunkAssembler a(kChunk);
+  Bytes chunk(kChunk);
+  std::uint64_t total = 0;
+  for (std::uint32_t seq = 0; seq < kChunks; ++seq) {
+    for (std::uint32_t i = 0; i < kChunk; ++i) {
+      chunk[i] = static_cast<std::uint8_t>(seq + i);
+    }
+    a.append(seq, chunk);
+    total += kChunk;
+  }
+  a.finish(end_info(kChunks, total));
+  EXPECT_EQ(a.await_complete(), total);
+  // The invariant: far fewer allocations than chunks (geometric growth).
+  EXPECT_LT(a.alloc_growths(), 10u);
+  EXPECT_LT(a.alloc_growths(), kChunks / 8);
+
+  Bytes out;
+  ASSERT_TRUE(a.fetch(out, total));
+  ASSERT_EQ(out.size(), total);
+  for (std::uint32_t seq = 0; seq < kChunks; ++seq) {
+    for (std::uint32_t i = 0; i < kChunk; ++i) {
+      ASSERT_EQ(out[seq * kChunk + i], static_cast<std::uint8_t>(seq + i));
+    }
+  }
+}
+
 TEST(ChunkAssembler, FailUnblocksAWaitingConsumer) {
   ChunkAssembler a;
   std::thread consumer([&] {

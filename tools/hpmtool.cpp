@@ -7,8 +7,13 @@
 //   hpmtool precc <decls.h> [--strict] [--codegen]
 //                                     migration-safety report / registration code
 //   hpmtool archs                     list the built-in architecture models
-//   hpmtool recover <journal-dir>     arbitrate a crashed handoff from its
-//                                     intent journals (DESIGN.md §11)
+//   hpmtool recover <journal-dir> [txn]
+//                                     arbitrate a crashed handoff from its
+//                                     intent journals (DESIGN.md §11); pass the
+//                                     txn id to pick one of several multiplexed
+//                                     sessions sharing the directory
+//   hpmtool sessions <journal-dir>    list every transaction journaled in a
+//                                     shared directory with its verdict
 //   hpmtool journal-dump <file>       print every intact record of one journal
 #include <cstdio>
 #include <cstring>
@@ -27,7 +32,8 @@ int usage() {
                "  hpmtool inc-dump <prefix> <last-seq>\n"
                "  hpmtool precc <decls.h> [--strict] [--codegen]\n"
                "  hpmtool archs\n"
-               "  hpmtool recover <journal-dir>\n"
+               "  hpmtool recover <journal-dir> [txn]\n"
+               "  hpmtool sessions <journal-dir>\n"
                "  hpmtool journal-dump <file>\n");
   return 2;
 }
@@ -84,8 +90,11 @@ int cmd_precc(const char* path, bool strict, bool codegen) {
   return result.clean() ? 0 : 1;
 }
 
-int cmd_recover(const char* dir) {
-  const hpm::mig::RecoveryVerdict v = hpm::mig::Coordinator::recover(dir);
+int cmd_recover(const char* dir, const char* txn_arg) {
+  const hpm::mig::RecoveryVerdict v =
+      txn_arg != nullptr
+          ? hpm::mig::Coordinator::recover(dir, std::strtoull(txn_arg, nullptr, 10))
+          : hpm::mig::Coordinator::recover(dir);
   std::printf("journal dir : %s\n", dir);
   std::printf("transaction : %llu\n", static_cast<unsigned long long>(v.txn_id));
   std::printf("owner       : %s\n", hpm::mig::txn_owner_name(v.owner));
@@ -94,6 +103,22 @@ int cmd_recover(const char* dir) {
   // Exit status mirrors the verdict so scripts can branch on it:
   // 0 = source owns (resume/restart there), 3 = destination owns.
   return v.owner == hpm::mig::TxnOwner::Destination ? 3 : 0;
+}
+
+int cmd_sessions(const char* dir) {
+  const std::vector<std::uint64_t> txns = hpm::mig::list_journaled_txns(dir);
+  if (txns.empty()) {
+    std::printf("no txn-keyed journals in %s\n", dir);
+    return 0;
+  }
+  std::printf("%-22s %-12s %-9s reason\n", "txn", "owner", "completed");
+  for (const std::uint64_t txn : txns) {
+    const hpm::mig::RecoveryVerdict v = hpm::mig::Coordinator::recover(dir, txn);
+    std::printf("%-22llu %-12s %-9s %s\n", static_cast<unsigned long long>(txn),
+                hpm::mig::txn_owner_name(v.owner), v.completed ? "yes" : "no",
+                v.reason.c_str());
+  }
+  return 0;
 }
 
 int cmd_journal_dump(const char* path) {
@@ -144,7 +169,10 @@ int main(int argc, char** argv) {
       return cmd_precc(argv[2], strict, codegen);
     }
     if (std::strcmp(argv[1], "archs") == 0) return cmd_archs();
-    if (std::strcmp(argv[1], "recover") == 0 && argc >= 3) return cmd_recover(argv[2]);
+    if (std::strcmp(argv[1], "recover") == 0 && argc >= 3) {
+      return cmd_recover(argv[2], argc > 3 ? argv[3] : nullptr);
+    }
+    if (std::strcmp(argv[1], "sessions") == 0 && argc >= 3) return cmd_sessions(argv[2]);
     if (std::strcmp(argv[1], "journal-dump") == 0 && argc >= 3) {
       return cmd_journal_dump(argv[2]);
     }
