@@ -1,0 +1,40 @@
+// Cancellation token shared between a session's driver and its
+// supervisor. Split from supervisor.hpp so fault-injection ports
+// (port.hpp) can cooperate with cancellation without an include cycle.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace hpm::mig {
+
+/// One-way latch: the supervisor trips it when it declares the session
+/// wedged; anything blocked on the session's behalf polls it to unwind
+/// with CancelledError. Never resets.
+class CancelToken {
+ public:
+  void cancel(std::string reason) {
+    {
+      std::lock_guard lk(mu_);
+      if (reason_.empty()) reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::string reason() const {
+    std::lock_guard lk(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+}  // namespace hpm::mig

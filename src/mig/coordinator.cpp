@@ -36,20 +36,24 @@ using Clock = std::chrono::steady_clock;
 SessionWiring direct_wiring(const RunOptions& options,
                             std::shared_ptr<net::FaultState> fault_state,
                             std::shared_ptr<net::FaultState> dest_fault_state,
-                            std::chrono::milliseconds timeout) {
+                            std::shared_ptr<const net::DeadlinePolicy> deadline) {
   SessionWiring wiring;
   wiring.session_id = 0;
   wiring.connect = [&options, fault_state = std::move(fault_state),
-                    dest_fault_state = std::move(dest_fault_state), timeout] {
+                    dest_fault_state = std::move(dest_fault_state),
+                    deadline = std::move(deadline)] {
     // The destination's first recv spans the program's whole pre-trigger
     // phase, so the per-IO deadline is armed only once the transfer
-    // begins (DestinationHost sets it after the first frame).
+    // begins (DestinationHost sets it after the first frame). The policy
+    // is consulted per connect: an adaptive deadline warmed on attempt 1
+    // bounds the resume attempts too.
     net::ChannelPair channels = net::make_channel_pair(
         options.transport, {.spool_path = options.spool_path, .timeout = {}});
     std::shared_ptr<void> keep(std::move(channels.listener));
     PortPair pair;
     pair.source = std::make_unique<DirectPort>(
-        wrap_source_channel(std::move(channels.source), options, fault_state, timeout),
+        wrap_source_channel(std::move(channels.source), options, fault_state,
+                            deadline->current()),
         keep);
     pair.destination = std::make_unique<DirectPort>(
         wrap_dest_channel(std::move(channels.destination), options, dest_fault_state),
@@ -97,6 +101,9 @@ MigrationReport run_migration_impl(const RunOptions& options) {
                           : (faults_armed ? kFaultInjectionDefaultTimeout : 0);
   const auto timeout =
       std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
+  const std::shared_ptr<net::DeadlinePolicy> deadline =
+      options.deadline_policy != nullptr ? options.deadline_policy
+                                         : net::DeadlinePolicy::fixed(timeout);
   auto fault_state = std::make_shared<net::FaultState>();
   auto dest_fault_state = std::make_shared<net::FaultState>();
 
@@ -125,8 +132,8 @@ MigrationReport run_migration_impl(const RunOptions& options) {
     txn_ran = true;
     int attempts_used = 0;
     const SessionWiring wiring =
-        direct_wiring(options, fault_state, dest_fault_state, timeout);
-    switch (run_pipelined_transaction(options, report, stream, wiring, timeout,
+        direct_wiring(options, fault_state, dest_fault_state, deadline);
+    switch (run_pipelined_transaction(options, report, stream, wiring, *deadline,
                                       src_journal, dst_journal, txn, total_attempts,
                                       attempts_used)) {
       case TxnResult::CompletedLocally:
@@ -306,6 +313,9 @@ MigrationReport run_routed_migration(const RunOptions& options,
                           : (faults_armed ? kFaultInjectionDefaultTimeout : 0);
   const auto timeout =
       std::chrono::milliseconds(static_cast<long long>(std::llround(io_s * 1000.0)));
+  const std::shared_ptr<net::DeadlinePolicy> deadline =
+      options.deadline_policy != nullptr ? options.deadline_policy
+                                         : net::DeadlinePolicy::fixed(timeout);
 
   // Concurrent sessions share one journal_dir, so both the journal files
   // and the derived txn are keyed per session: the wall clock alone could
@@ -327,7 +337,7 @@ MigrationReport run_routed_migration(const RunOptions& options,
   int attempts_used = 0;
   const int total_attempts = 1 + std::max(0, options.max_retries);
   const TxnResult result =
-      run_pipelined_transaction(options, report, stream, wiring, timeout, src_journal,
+      run_pipelined_transaction(options, report, stream, wiring, *deadline, src_journal,
                                 dst_journal, txn, total_attempts, attempts_used);
   switch (result) {
     case TxnResult::CompletedLocally:

@@ -15,12 +15,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mig/context.hpp"
 #include "mig/journal.hpp"
 #include "mig/port.hpp"
+#include "net/deadline.hpp"
 #include "net/factory.hpp"
 #include "net/faulty_channel.hpp"
 #include "net/simnet.hpp"
@@ -93,6 +95,13 @@ struct RunOptions {
   /// and no deadline is set, a 5 s default is applied so an injected stall
   /// or truncation can never hang the run.
   double io_timeout_seconds = 0;
+
+  /// Per-IO deadline policy for the transfer protocol. Null = a fixed
+  /// policy derived from io_timeout_seconds (bit-for-bit the legacy
+  /// behavior); a shared net::DeadlinePolicy::adaptive() lets the
+  /// session supervisor's heartbeat RTT samples retune every blocking
+  /// call's deadline while the transfer runs.
+  std::shared_ptr<net::DeadlinePolicy> deadline_policy;
 
   /// Delay before the first retry; doubles per retry, capped below.
   /// Deterministic (no jitter) so failure schedules are reproducible.

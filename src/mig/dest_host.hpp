@@ -13,6 +13,7 @@
 #include "mig/coordinator.hpp"
 #include "mig/port.hpp"
 #include "mig/session.hpp"
+#include "net/deadline.hpp"
 
 namespace hpm::mig {
 
@@ -30,8 +31,11 @@ namespace hpm::mig {
 /// ProtocolError at the exact frame that broke the protocol.
 class DestinationHost {
  public:
+  /// `deadline` must outlive the host (the caller owns the policy; the
+  /// transaction driver and this host consult the same instance, so an
+  /// adaptive policy keeps both ends' deadlines in step).
   DestinationHost(const RunOptions& options, MigrationReport& report, Journal& journal,
-                  std::string source_journal_path, std::chrono::milliseconds timeout,
+                  std::string source_journal_path, const net::DeadlinePolicy& deadline,
                   std::uint32_t session_id);
 
   ~DestinationHost();
@@ -70,7 +74,7 @@ class DestinationHost {
   MigrationReport& report_;
   Journal& journal_;
   const std::string source_journal_path_;
-  const std::chrono::milliseconds timeout_;
+  const net::DeadlinePolicy& deadline_;
   DestSession session_;
 
   mutable std::mutex mu_;

@@ -1,5 +1,6 @@
 #include "mig/journal.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -139,6 +140,32 @@ std::vector<std::uint64_t> list_journaled_txns(const std::string& journal_dir) {
   std::sort(txns.begin(), txns.end());
   txns.erase(std::unique(txns.begin(), txns.end()), txns.end());
   return txns;
+}
+
+std::vector<std::uint64_t> gc_completed_txn_journals(const std::string& journal_dir) {
+  std::vector<std::uint64_t> swept;
+  for (const std::uint64_t txn : list_journaled_txns(journal_dir)) {
+    const std::string src = journal_dir + "/" + keyed_source_journal_name(txn);
+    const std::string dst = journal_dir + "/" + keyed_dest_journal_name(txn);
+    const RecoveryVerdict verdict = recover_from_journals(src, dst);
+    if (!verdict.completed) continue;  // live, in-doubt, or aborted: keep
+    std::error_code ec;
+    std::filesystem::remove(src, ec);
+    std::filesystem::remove(dst, ec);
+    swept.push_back(txn);
+  }
+  if (!swept.empty()) {
+    // The unlinks live in the DIRECTORY's data; sync it so the removals
+    // are as durable as the appends were. (Without this, a crash can
+    // bring a completed transaction's journals back from the dead and
+    // recovery would re-arbitrate a handoff that already finished.)
+    const int dir_fd = ::open(journal_dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+      ::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+  }
+  return swept;
 }
 
 const char* txn_owner_name(TxnOwner owner) noexcept {

@@ -97,6 +97,16 @@ std::string keyed_dest_journal_name(std::uint64_t txn_id);
 /// `journal_dir`, ascending. The directory may not exist (empty result).
 std::vector<std::uint64_t> list_journaled_txns(const std::string& journal_dir);
 
+/// Garbage-collect the keyed journal pairs of COMPLETED transactions: a
+/// pair whose verdict is "Done recorded" has nothing left to recover, so
+/// both files are unlinked and the directory itself is fsync'd — without
+/// the directory sync a crash right after the unlink can resurrect the
+/// old directory entries, and a resurrected source-<txn>.journal would
+/// make a long-dead transaction look recoverable again. Returns the
+/// transaction ids swept, ascending. In-doubt or aborted pairs are never
+/// touched.
+std::vector<std::uint64_t> gc_completed_txn_journals(const std::string& journal_dir);
+
 enum class TxnOwner : std::uint8_t { None, Source, Destination };
 
 const char* txn_owner_name(TxnOwner owner) noexcept;

@@ -15,8 +15,10 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <thread>
 
 #include "common/error.hpp"
+#include "mig/cancel_token.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 
@@ -102,6 +104,73 @@ class SeveringPort final : public MessagePort {
 
   std::unique_ptr<MessagePort> inner_;
   std::atomic<std::int64_t> remaining_;
+};
+
+/// Deterministic WEDGE injection: forwards `ops_before_wedge` port
+/// operations, then sends vanish silently and recvs starve — the peer
+/// stays alive at the transport layer (the shared channel still pongs)
+/// but the session makes no progress. A SeveringPort failure is what a
+/// per-call deadline catches; a blackhole is what only a liveness layer
+/// (progress watermark) can tell apart from a merely slow peer.
+///
+/// The starved recv honors the port deadline (TimeoutError), the
+/// session's CancelToken (CancelledError once the supervisor cancels
+/// it), and abort()/close() (NetError) — a fault fixture must never be
+/// the thing that actually hangs the harness.
+class BlackholePort final : public MessagePort {
+ public:
+  BlackholePort(std::unique_ptr<MessagePort> inner, std::uint32_t ops_before_wedge,
+                std::shared_ptr<const CancelToken> token = nullptr)
+      : inner_(std::move(inner)), remaining_(ops_before_wedge), token_(std::move(token)) {}
+
+  void send(net::MsgType type, std::span<const std::uint8_t> payload) override {
+    if (spend()) inner_->send(type, payload);
+  }
+
+  net::Message recv() override {
+    if (spend()) return inner_->recv();
+    const auto started = std::chrono::steady_clock::now();
+    for (;;) {
+      if (wounded_.load(std::memory_order_acquire)) {
+        throw NetError("injected wedge: port aborted while starving a recv");
+      }
+      if (token_ != nullptr && token_->cancelled()) {
+        throw CancelledError("injected wedge cancelled: " + token_->reason());
+      }
+      const auto timeout = timeout_.load(std::memory_order_relaxed);
+      if (timeout > 0 && std::chrono::steady_clock::now() - started >=
+                             std::chrono::milliseconds(timeout)) {
+        throw TimeoutError("injected wedge: recv starved past its deadline");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void set_timeout(std::chrono::milliseconds timeout) override {
+    timeout_.store(timeout.count(), std::memory_order_relaxed);
+    inner_->set_timeout(timeout);
+  }
+
+  void close() override {
+    wounded_.store(true, std::memory_order_release);
+    inner_->close();
+  }
+
+  void abort() override {
+    wounded_.store(true, std::memory_order_release);
+    inner_->abort();
+  }
+
+ private:
+  bool spend() {
+    return remaining_.fetch_sub(1, std::memory_order_relaxed) > 0;
+  }
+
+  std::unique_ptr<MessagePort> inner_;
+  std::atomic<std::int64_t> remaining_;
+  std::shared_ptr<const CancelToken> token_;
+  std::atomic<long long> timeout_{0};
+  std::atomic<bool> wounded_{false};
 };
 
 /// A connected source/destination port pair for one session epoch.

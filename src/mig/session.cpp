@@ -44,6 +44,8 @@ const char* msg_type_name(net::MsgType type) noexcept {
     case net::MsgType::Commit: return "Commit";
     case net::MsgType::Abort: return "Abort";
     case net::MsgType::ResumeHello: return "ResumeHello";
+    case net::MsgType::Ping: return "Ping";
+    case net::MsgType::Pong: return "Pong";
   }
   return "?";
 }

@@ -22,6 +22,15 @@ using Clock = std::chrono::steady_clock;
 
 enum class CommitResult : std::uint8_t { Confirmed, Unconfirmed };
 
+/// The commit-phase waits cover peer *compute* (restore, digest verify),
+/// not a single wire hop, so the per-call IO deadline — which an adaptive
+/// policy derives from heartbeat RTTs — is the wrong bound for them. Use
+/// the same 4x grace the destination's in-doubt poll applies; a fixed(0)
+/// unbounded policy stays unbounded.
+std::chrono::milliseconds commit_grace(std::chrono::milliseconds t) {
+  return t.count() > 0 ? 4 * t : t;
+}
+
 /// The decision half of the handoff, run by the source after StateEnd.
 /// Every pre-Commit failure journals Abort BEFORE rethrowing (so an
 /// in-doubt destination resolves consistently); once the Commit record is
@@ -34,12 +43,14 @@ enum class CommitResult : std::uint8_t { Confirmed, Unconfirmed };
 /// Error, wrong txn, digest mismatch) or ProtocolError itself.
 CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
                                  SourceSession& session,
-                                 std::chrono::milliseconds timeout, std::uint64_t txn,
+                                 const net::DeadlinePolicy& deadline, std::uint64_t txn,
                                  std::uint64_t digest, Journal& journal) {
   try {
     session.prepare_sent();
     port.send(net::MsgType::Prepare, net::encode_txn(txn));
-    const net::Message reply = inbox.await(timeout);
+    // The policy is consulted per blocking call, so an adaptive deadline
+    // warmed by heartbeat RTTs can tighten mid-handoff.
+    const net::Message reply = inbox.await(commit_grace(deadline.current()));
     if (reply.type != net::MsgType::PrepareAck) {
       // on_frame already vetted it; anything it let through that is not
       // the vote is a protocol breach.
@@ -79,7 +90,7 @@ CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
   session.commit_decided();
   try {
     port.send(net::MsgType::Commit, net::encode_txn(txn));
-    const net::Message fin = inbox.await(timeout);
+    const net::Message fin = inbox.await(commit_grace(deadline.current()));
     if (fin.type == net::MsgType::Ack) {
       journal.append({JournalRecordType::Done, txn, digest, ""});
       return CommitResult::Confirmed;
@@ -95,7 +106,7 @@ CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
 
 TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
                                     Bytes& stream, const SessionWiring& wiring,
-                                    std::chrono::milliseconds timeout,
+                                    const net::DeadlinePolicy& deadline,
                                     Journal& src_journal, Journal& dst_journal,
                                     std::uint64_t txn, int total_attempts,
                                     int& attempts_used) {
@@ -106,8 +117,9 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
 
   PortPair ports = wiring.connect();
   std::unique_ptr<MessagePort> src_port = std::move(ports.source);
+  src_port->set_timeout(deadline.current());
 
-  DestinationHost dest(options, report, dst_journal, src_journal.path(), timeout,
+  DestinationHost dest(options, report, dst_journal, src_journal.path(), deadline,
                        wiring.session_id);
   dest.start(std::move(ports.destination));
 
@@ -260,7 +272,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
       join_sender();
       if (sender_error != nullptr) std::rethrow_exception(sender_error);
       const CommitResult r =
-          source_commit_phase(*src_port, *inbox, session, timeout, txn, digest,
+          source_commit_phase(*src_port, *inbox, session, deadline, txn, digest,
                               src_journal);
       unconfirmed = (r == CommitResult::Unconfirmed);
       attempt_ok = true;
@@ -315,6 +327,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
         inbox.reset();  // the pump must be gone before its port is
       }
       src_port = std::move(fresh.source);
+      src_port->set_timeout(deadline.current());
       session.on_frame(src_port->recv());  // ResumeHello: version/txn/bound-checked
       const std::uint32_t next_seq = session.resume_next_seq();
       ResumeMetrics::get().attempts.add(1);
@@ -339,7 +352,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
         measured_tx += tx_span.finish();
       }
       const CommitResult r =
-          source_commit_phase(*src_port, *inbox, session, timeout, txn, digest,
+          source_commit_phase(*src_port, *inbox, session, deadline, txn, digest,
                               src_journal);
       unconfirmed = (r == CommitResult::Unconfirmed);
       attempt_ok = true;

@@ -1,11 +1,11 @@
 // Source endpoint of the transactional pipelined transfer.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 
 #include "mig/coordinator.hpp"
 #include "mig/port.hpp"
+#include "net/deadline.hpp"
 
 namespace hpm::mig {
 
@@ -28,7 +28,7 @@ enum class TxnResult : std::uint8_t {
 /// machine inside the DestinationHost; `wiring.session_id` names both.
 TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
                                     Bytes& stream, const SessionWiring& wiring,
-                                    std::chrono::milliseconds timeout,
+                                    const net::DeadlinePolicy& deadline,
                                     Journal& src_journal, Journal& dst_journal,
                                     std::uint64_t txn, int total_attempts,
                                     int& attempts_used);

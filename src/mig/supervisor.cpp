@@ -1,0 +1,339 @@
+#include "mig/supervisor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "mig/mig_metrics.hpp"
+
+namespace hpm::mig {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TimerWheel
+
+TimerWheel::TimerWheel(std::chrono::milliseconds tick, std::size_t slots)
+    : tick_(tick.count() > 0 ? tick : std::chrono::milliseconds(1)),
+      slots_(std::max<std::size_t>(slots, 1)),
+      origin_(Clock::now()) {}
+
+std::int64_t TimerWheel::tick_index(Clock::time_point t) const noexcept {
+  if (t <= origin_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(t - origin_).count() /
+         tick_.count();
+}
+
+void TimerWheel::schedule(std::uint32_t id, Clock::time_point due) {
+  cancel(id);
+  // Entries landing in a tick the sweep already passed go into the very
+  // next unswept bucket so they fire on the next advance() instead of
+  // waiting a full wheel revolution.
+  const std::int64_t idx = std::max(tick_index(due), swept_ + 1);
+  slots_[static_cast<std::size_t>(idx) % slots_.size()].push_back(Pending{id, due});
+  ++armed_;
+}
+
+std::vector<std::uint32_t> TimerWheel::advance(Clock::time_point now) {
+  std::vector<std::uint32_t> due;
+  const std::int64_t target = tick_index(now);
+  while (swept_ < target) {
+    ++swept_;
+    auto& bucket = slots_[static_cast<std::size_t>(swept_) % slots_.size()];
+    std::vector<Pending> keep;
+    for (Pending& p : bucket) {
+      if (p.due <= now) {
+        due.push_back(p.id);
+        --armed_;
+      } else {
+        // Hash collision from a later wheel revolution: re-file it.
+        keep.push_back(p);
+      }
+    }
+    bucket = std::move(keep);
+  }
+  return due;
+}
+
+void TimerWheel::cancel(std::uint32_t id) {
+  for (auto& bucket : slots_) {
+    auto it = std::remove_if(bucket.begin(), bucket.end(),
+                             [&](const Pending& p) { return p.id == id; });
+    armed_ -= static_cast<std::size_t>(bucket.end() - it);
+    bucket.erase(it, bucket.end());
+  }
+}
+
+// --------------------------------------------------------- SessionSupervisor
+
+SessionSupervisor::SessionSupervisor(LivenessConfig config)
+    : config_(std::move(config)),
+      interval_(std::max<long long>(
+          1, static_cast<long long>(config_.heartbeat_interval_s * 1000.0))),
+      wheel_(std::chrono::milliseconds(std::max<long long>(1, interval_.count() / 4))),
+      last_snapshot_write_(Clock::now()),
+      thread_([this] { loop(); }) {}
+
+SessionSupervisor::~SessionSupervisor() { stop(); }
+
+void SessionSupervisor::attach(std::shared_ptr<FrameRouter> src,
+                               std::shared_ptr<FrameRouter> dst) {
+  {
+    std::lock_guard lk(mu_);
+    src_ = std::move(src);
+    dst_ = std::move(dst);
+  }
+  // Registered outside mu_: the pump calls the handler which takes mu_.
+  std::shared_ptr<FrameRouter> s;
+  {
+    std::lock_guard lk(mu_);
+    s = src_;
+  }
+  if (s != nullptr) {
+    s->set_pong_handler([this](std::uint32_t session, const net::PingInfo& info) {
+      on_pong(session, info);
+    });
+  }
+}
+
+void SessionSupervisor::register_session(std::uint32_t session_id, SessionHooks hooks) {
+  const auto now = Clock::now();
+  std::lock_guard lk(mu_);
+  Watched& w = watched_[session_id];
+  w.hooks = std::move(hooks);
+  w.registered_at = now;
+  w.last_progress_change = now;
+  w.last_progress = w.hooks.progress ? w.hooks.progress() : 0;
+  wheel_.schedule(session_id, now + interval_);
+  LivenessMetrics::get().live_sessions.set(static_cast<double>(watched_.size()));
+  cv_.notify_all();
+}
+
+void SessionSupervisor::deregister(std::uint32_t session_id) {
+  std::lock_guard lk(mu_);
+  wheel_.cancel(session_id);
+  watched_.erase(session_id);
+  LivenessMetrics::get().live_sessions.set(static_cast<double>(watched_.size()));
+}
+
+void SessionSupervisor::cancel(std::uint32_t session_id, const std::string& why) {
+  std::lock_guard lk(mu_);
+  auto it = watched_.find(session_id);
+  cancel_locked(session_id, it == watched_.end() ? nullptr : &it->second, why);
+}
+
+void SessionSupervisor::cancel_locked(std::uint32_t id, Watched* w,
+                                      const std::string& why) {
+  if (w != nullptr && w->hooks.token != nullptr) w->hooks.token->cancel(why);
+  if (src_ != nullptr) src_->poison(id, why);
+  if (dst_ != nullptr) dst_->poison(id, why);
+  LivenessMetrics::get().cancels.add(1);
+}
+
+void SessionSupervisor::declare_wedged_locked(std::uint32_t id, Watched& w,
+                                              Clock::time_point now, std::string why) {
+  if (w.wedged) return;
+  w.wedged = true;
+  w.wedge_reason = std::move(why);
+  // Detection latency: how long after the session's last sign of life
+  // (pong or forward progress, whichever is fresher) we pulled the
+  // trigger. This is the number the chaos soak reports a p99 for.
+  auto last_alive = std::max(w.registered_at, w.last_progress_change);
+  if (w.ever_ponged) last_alive = std::max(last_alive, w.last_pong);
+  const double detect_s =
+      std::chrono::duration<double>(now - last_alive).count();
+  LivenessMetrics::get().wedged.add(1);
+  LivenessMetrics::get().detection.record(std::max(0.0, detect_s));
+  cancel_locked(id, &w, w.wedge_reason);
+}
+
+void SessionSupervisor::on_pong(std::uint32_t session, const net::PingInfo& info) {
+  const auto now = Clock::now();
+  const std::uint64_t now_ns = steady_now_ns();
+  std::lock_guard lk(mu_);
+  auto it = watched_.find(session);
+  if (it == watched_.end()) return;
+  Watched& w = it->second;
+  if (info.seq <= w.last_pong_seq && w.ever_ponged) return;  // duplicate/stale echo
+  w.last_pong_seq = std::max(w.last_pong_seq, info.seq);
+  w.last_pong = now;
+  w.ever_ponged = true;
+  w.missed = 0;
+  if (info.stamp_ns != 0 && now_ns > info.stamp_ns) {
+    const double rtt_s = static_cast<double>(now_ns - info.stamp_ns) / 1e9;
+    LivenessMetrics::get().rtt.record(rtt_s);
+    if (w.hooks.deadline != nullptr) {
+      w.hooks.deadline->observe_rtt(rtt_s);
+      LivenessMetrics::get().rtt_srtt_us.set(w.hooks.deadline->srtt_ms() * 1000.0);
+      LivenessMetrics::get().deadline_ms.set(
+          static_cast<double>(w.hooks.deadline->current().count()));
+    }
+  }
+}
+
+void SessionSupervisor::probe_locked(std::uint32_t id, Watched& w,
+                                     Clock::time_point now) {
+  if (w.wedged) return;  // already cancelled; nothing left to probe
+
+  // Progress watermark first: a blackholed session's shared channel
+  // still answers pings, so heartbeats alone can never catch it.
+  if (w.hooks.progress) {
+    const std::uint64_t p = w.hooks.progress();
+    if (p != w.last_progress) {
+      w.last_progress = p;
+      w.last_progress_change = now;
+    } else if (config_.stall_timeout_s > 0 &&
+               std::chrono::duration<double>(now - w.last_progress_change).count() >
+                   config_.stall_timeout_s) {
+      std::ostringstream why;
+      why << "wedged: progress watermark stuck at " << p << " for more than "
+          << config_.stall_timeout_s << "s";
+      declare_wedged_locked(id, w, now, why.str());
+      return;
+    }
+  }
+
+  // Heartbeat accounting: an outstanding probe the peer never echoed is
+  // a miss; so is a probe we could not even put on the wire once the
+  // session has shown it was reachable before.
+  const bool outstanding = w.next_seq > 1 && w.last_pong_seq < w.next_seq - 1;
+  net::PingInfo info;
+  info.seq = w.next_seq;
+  info.stamp_ns = steady_now_ns();
+  const bool sent = src_ != nullptr && src_->send_ping(id, info);
+  if (sent) {
+    w.next_seq += 1;
+    w.ever_pinged = true;
+  }
+  if ((outstanding || (!sent && w.ever_pinged)) && config_.max_missed_heartbeats > 0) {
+    w.missed += 1;
+    LivenessMetrics::get().missed.add(1);
+    if (w.missed >= config_.max_missed_heartbeats) {
+      std::ostringstream why;
+      why << "wedged: " << w.missed << " consecutive heartbeats unanswered";
+      declare_wedged_locked(id, w, now, why.str());
+      return;
+    }
+  }
+  wheel_.schedule(id, now + interval_);
+}
+
+void SessionSupervisor::loop() {
+  std::unique_lock lk(mu_);
+  while (!stopped_) {
+    const auto tick = std::chrono::milliseconds(
+        std::max<long long>(1, std::min<long long>(interval_.count() / 2, 250)));
+    cv_.wait_for(lk, tick, [&] { return stopped_; });
+    if (stopped_) break;
+    const auto now = Clock::now();
+    for (std::uint32_t id : wheel_.advance(now)) {
+      auto it = watched_.find(id);
+      if (it == watched_.end()) continue;
+      probe_locked(id, it->second, now);
+    }
+    if (!config_.snapshot_path.empty() &&
+        now - last_snapshot_write_ >= std::chrono::milliseconds(100)) {
+      last_snapshot_write_ = now;
+      std::vector<SessionView> rows;
+      rows.reserve(watched_.size());
+      for (const auto& [id, w] : watched_) rows.push_back(view_locked(id, w, now));
+      const std::string path = config_.snapshot_path;
+      lk.unlock();  // file IO off the hot lock
+      write_rows(path, rows);
+      lk.lock();
+    }
+  }
+}
+
+SessionView SessionSupervisor::view_locked(std::uint32_t id, const Watched& w,
+                                           Clock::time_point now) const {
+  SessionView v;
+  v.session_id = id;
+  v.txn_id = w.hooks.txn_id;
+  if (w.hooks.deadline != nullptr) {
+    v.rtt_ms = w.hooks.deadline->srtt_ms();
+    v.deadline_ms = static_cast<double>(w.hooks.deadline->current().count());
+  }
+  if (w.ever_ponged) {
+    v.heartbeat_age_ms = std::chrono::duration<double, std::milli>(now - w.last_pong).count();
+  }
+  v.progress = w.last_progress;
+  v.missed_heartbeats = w.missed;
+  v.wedged = w.wedged;
+  if (w.wedged) {
+    v.state = w.wedge_reason;
+  } else if (w.hooks.state) {
+    v.state = w.hooks.state();
+  } else {
+    v.state = "running";
+  }
+  return v;
+}
+
+std::size_t SessionSupervisor::live_sessions() const {
+  std::lock_guard lk(mu_);
+  return watched_.size();
+}
+
+std::vector<SessionView> SessionSupervisor::snapshot() const {
+  const auto now = Clock::now();
+  std::lock_guard lk(mu_);
+  std::vector<SessionView> rows;
+  rows.reserve(watched_.size());
+  for (const auto& [id, w] : watched_) rows.push_back(view_locked(id, w, now));
+  return rows;
+}
+
+bool SessionSupervisor::write_rows(const std::string& path,
+                                   const std::vector<SessionView>& rows) {
+  std::ostringstream out;
+  out << "#hpm-liveness-v1\n";
+  for (const SessionView& v : rows) {
+    out << v.session_id << ' ' << v.txn_id << ' ' << v.rtt_ms << ' '
+        << v.deadline_ms << ' ' << v.heartbeat_age_ms << ' ' << v.progress << ' '
+        << v.missed_heartbeats << ' ' << (v.wedged ? "WEDGED " : "LIVE ") << v.state
+        << '\n';
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = out.str();
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!wrote) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool SessionSupervisor::write_snapshot(const std::string& path) const {
+  return write_rows(path, snapshot());
+}
+
+void SessionSupervisor::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  // Drop the pump→handler edge so the routers cannot call back into a
+  // supervisor that is being torn down.
+  std::shared_ptr<FrameRouter> s;
+  {
+    std::lock_guard lk(mu_);
+    s = src_;
+    src_.reset();
+    dst_.reset();
+  }
+  if (s != nullptr) s->set_pong_handler(nullptr);
+}
+
+}  // namespace hpm::mig

@@ -1,0 +1,200 @@
+// SessionSupervisor: per-session failure detection and targeted
+// cancellation for migrations multiplexed over one shared channel
+// (DESIGN.md §13).
+//
+// PR 5 made N sessions share a wire; this layer makes each one
+// individually killable, observable, and deadline-bounded. A sweep
+// thread drives a monotonic-clock timer wheel: each registered session
+// is probed with Ping frames through the source-side FrameRouter (the
+// peer router's pump answers Pong), every echo feeds the session's
+// adaptive DeadlinePolicy, and a session is declared WEDGED after K
+// consecutive missed heartbeats — the wire under it is dead — or when
+// its progress watermark (frames delivered by either router) stops
+// moving for the configured stall bound — the wire is fine but the
+// session is stuck. A wedged session is cancelled in place: its
+// CancelToken trips and both routers poison exactly its bindings, so
+// every blocked operation unwinds with CancelledError while sibling
+// sessions on the same channel never notice.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mig/cancel_token.hpp"
+#include "mig/frame_router.hpp"
+#include "net/deadline.hpp"
+
+namespace hpm::mig {
+
+/// Failure-detector policy knobs.
+struct LivenessConfig {
+  /// Ping cadence per session.
+  double heartbeat_interval_s = 0.1;
+  /// Consecutive unanswered pings before the session is wedged (the
+  /// classic K of a heartbeat failure detector). 0 disables the detector.
+  int max_missed_heartbeats = 4;
+  /// How long the progress watermark may sit still before the session is
+  /// wedged. Generous by default — a large restore produces no frames
+  /// while it grinds — and tightened by harnesses that know their
+  /// workload. 0 disables the detector.
+  double stall_timeout_s = 5.0;
+  /// Clamps/scaling for the adaptive per-session IO deadlines minted
+  /// from the heartbeat RTT.
+  net::RttConfig rtt{};
+  /// When set, the registry snapshot is rewritten here (atomically, via
+  /// rename) after each sweep — the file `hpmtool sessions --live` reads.
+  std::string snapshot_path;
+};
+
+/// Everything the supervisor needs to watch and, if necessary, kill one
+/// session. All members optional except the token.
+struct SessionHooks {
+  std::uint64_t txn_id = 0;                       ///< for the snapshot/tool view
+  std::shared_ptr<net::DeadlinePolicy> deadline;  ///< fed with every RTT sample
+  std::shared_ptr<CancelToken> token;             ///< tripped on cancellation
+  std::function<std::uint64_t()> progress;        ///< monotonic watermark
+  std::function<std::string()> state;             ///< human-readable session state
+};
+
+/// One row of the supervisor's registry snapshot.
+struct SessionView {
+  std::uint32_t session_id = 0;
+  std::uint64_t txn_id = 0;
+  double rtt_ms = 0;        ///< smoothed estimate (0 = no sample yet)
+  double deadline_ms = 0;   ///< current adaptive/fixed IO deadline
+  double heartbeat_age_ms = -1;  ///< since the last Pong (-1 = never answered)
+  std::uint64_t progress = 0;
+  int missed_heartbeats = 0;
+  bool wedged = false;
+  std::string state;        ///< hooks.state() or the wedge reason
+};
+
+/// Coarse monotonic timer wheel: `slots` buckets of `tick` width; an
+/// entry is hashed into the bucket of its due time and collected when
+/// advance() sweeps past it. O(1) schedule, O(due) advance — the classic
+/// structure for "N heartbeats at the same cadence". Not thread-safe;
+/// the supervisor drives it under its own lock.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(std::chrono::milliseconds tick, std::size_t slots = 64);
+
+  /// Arm (or re-arm) `id` to fire at `due`. A due time in an
+  /// already-swept tick fires on the very next advance().
+  void schedule(std::uint32_t id, Clock::time_point due);
+
+  /// Every id whose due time has passed, unarmed. `now` never runs
+  /// backwards (monotonic clock).
+  std::vector<std::uint32_t> advance(Clock::time_point now);
+
+  void cancel(std::uint32_t id);
+
+  [[nodiscard]] std::size_t armed() const noexcept { return armed_; }
+
+ private:
+  struct Pending {
+    std::uint32_t id = 0;
+    Clock::time_point due;
+  };
+
+  [[nodiscard]] std::int64_t tick_index(Clock::time_point t) const noexcept;
+
+  std::chrono::milliseconds tick_;
+  std::vector<std::vector<Pending>> slots_;
+  Clock::time_point origin_;
+  std::int64_t swept_ = 0;  ///< highest tick index already advanced past
+  std::size_t armed_ = 0;
+};
+
+class SessionSupervisor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SessionSupervisor(LivenessConfig config = {});
+  SessionSupervisor(const SessionSupervisor&) = delete;
+  SessionSupervisor& operator=(const SessionSupervisor&) = delete;
+  ~SessionSupervisor();
+
+  /// Watch one multiplexed channel pair: pings leave through `src` (whose
+  /// pong handler this claims) and `dst`'s pump answers them. Call once,
+  /// before the first register_session.
+  void attach(std::shared_ptr<FrameRouter> src, std::shared_ptr<FrameRouter> dst);
+
+  /// Start watching a session. Probing begins one heartbeat interval
+  /// from now; progress is measured from this call.
+  void register_session(std::uint32_t session_id, SessionHooks hooks);
+
+  /// The session ended (any outcome) under its own power: stop watching.
+  void deregister(std::uint32_t session_id);
+
+  /// Targeted kill, usable by harnesses as well as the detectors: trip
+  /// the token and poison the session's bindings on BOTH routers.
+  /// Siblings are untouched. Idempotent.
+  void cancel(std::uint32_t session_id, const std::string& why);
+
+  [[nodiscard]] std::size_t live_sessions() const;
+  [[nodiscard]] std::vector<SessionView> snapshot() const;
+
+  /// Write snapshot() to `path` atomically (tmp + rename), in the
+  /// `#hpm-liveness-v1` line format hpmtool sessions --live parses.
+  bool write_snapshot(const std::string& path) const;
+
+  /// Join the sweep thread and release the pong handler. Idempotent;
+  /// called by the destructor. Registered sessions are NOT cancelled —
+  /// stopping the watcher is not killing the watched.
+  void stop();
+
+ private:
+  struct Watched {
+    SessionHooks hooks;
+    Clock::time_point registered_at;
+    Clock::time_point last_pong;           ///< epoch() = never
+    Clock::time_point last_progress_change;
+    std::uint64_t last_progress = 0;
+    std::uint32_t next_seq = 1;            ///< next ping sequence to send
+    std::uint32_t last_pong_seq = 0;
+    bool ever_ponged = false;
+    bool ever_pinged = false;              ///< a probe reached a live binding
+    int missed = 0;
+    bool wedged = false;
+    std::string wedge_reason;
+  };
+
+  void loop();
+  /// All four run with mu_ held.
+  void probe_locked(std::uint32_t id, Watched& w, Clock::time_point now);
+  void declare_wedged_locked(std::uint32_t id, Watched& w, Clock::time_point now,
+                             std::string why);
+  void cancel_locked(std::uint32_t id, Watched* w, const std::string& why);
+  [[nodiscard]] SessionView view_locked(std::uint32_t id, const Watched& w,
+                                        Clock::time_point now) const;
+
+  void on_pong(std::uint32_t session, const net::PingInfo& info);
+
+  static bool write_rows(const std::string& path, const std::vector<SessionView>& rows);
+
+  const LivenessConfig config_;
+  const std::chrono::milliseconds interval_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<FrameRouter> src_;
+  std::shared_ptr<FrameRouter> dst_;
+  std::map<std::uint32_t, Watched> watched_;
+  TimerWheel wheel_;
+  Clock::time_point last_snapshot_write_;
+  bool stopped_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace hpm::mig

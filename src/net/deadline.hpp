@@ -1,0 +1,146 @@
+// Adaptive IO deadlines from a Jacobson/Karels RTT estimator.
+//
+// Fixed per-call deadlines force one number to cover both a LAN round
+// trip and a loaded peer mid-restore: too tight and healthy transfers
+// abort, too loose and a wedged peer pins resources for the whole bound.
+// DeadlinePolicy replaces the raw std::chrono::milliseconds threaded
+// through the transfer protocol with a policy object: a `fixed` policy
+// reproduces the old behavior bit-for-bit, an `adaptive` policy tracks
+// the session's measured heartbeat RTT (EWMA mean + mean deviation, the
+// TCP retransmission-timer estimator) and derives each call's deadline
+// from it, clamped to a configured floor/ceiling so a cold start or a
+// pathological sample can never yield an absurd bound.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace hpm::net {
+
+/// Clamps and scaling for the adaptive deadline.
+struct RttConfig {
+  /// Smallest deadline the policy will ever hand out (seconds). Generous
+  /// by default: the deadline also covers peer compute (restore), not
+  /// just wire time.
+  double floor_s = 0.25;
+  /// Largest deadline — the cold-start value before any RTT sample.
+  double ceiling_s = 5.0;
+  /// Deadline = clamp(multiplier * rto, floor, ceiling). The RTO itself
+  /// is srtt + 4*rttvar; the multiplier buys headroom for peer-side work
+  /// between frames.
+  double multiplier = 8.0;
+};
+
+/// Jacobson/Karels smoothed RTT + mean-deviation estimator (RFC 6298
+/// constants: alpha = 1/8, beta = 1/4). A pure unit: feed samples in,
+/// read srtt/rttvar/rto out; no clocks, no locks.
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttConfig config = {}) : config_(config) {}
+
+  /// Fold one measured round trip (seconds) into the estimate.
+  void sample(double rtt_s) noexcept {
+    if (rtt_s < 0) rtt_s = 0;
+    if (samples_ == 0) {
+      srtt_ = rtt_s;
+      rttvar_ = rtt_s / 2;
+    } else {
+      // Deviation first, against the OLD srtt (RFC 6298 §2).
+      const double err = srtt_ - rtt_s;
+      rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;
+      srtt_ += (rtt_s - srtt_) / 8;
+    }
+    ++samples_;
+  }
+
+  [[nodiscard]] bool warm() const noexcept { return samples_ > 0; }
+  [[nodiscard]] std::uint64_t sample_count() const noexcept { return samples_; }
+  [[nodiscard]] double srtt_s() const noexcept { return srtt_; }
+  [[nodiscard]] double rttvar_s() const noexcept { return rttvar_; }
+
+  /// Retransmission-timeout style bound: srtt + 4*rttvar, clamped to
+  /// [floor, ceiling]. Cold start (no samples) is the ceiling — the most
+  /// conservative guess until the link says otherwise.
+  [[nodiscard]] double rto_s() const noexcept {
+    if (samples_ == 0) return config_.ceiling_s;
+    return clamp(srtt_ + 4 * rttvar_);
+  }
+
+  /// The per-call IO deadline: multiplier * the RAW rto (pre-clamp),
+  /// then clamped once. Scaling the clamped rto instead would inflate
+  /// the effective floor to multiplier * floor_s, so a fast LAN could
+  /// never actually reach the configured floor.
+  [[nodiscard]] double deadline_s() const noexcept {
+    if (samples_ == 0) return config_.ceiling_s;
+    return clamp(config_.multiplier * (srtt_ + 4 * rttvar_));
+  }
+
+  [[nodiscard]] const RttConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double clamp(double v) const noexcept {
+    if (v < config_.floor_s) return config_.floor_s;
+    if (v > config_.ceiling_s) return config_.ceiling_s;
+    return v;
+  }
+
+  RttConfig config_;
+  double srtt_ = 0;
+  double rttvar_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// The deadline seam the transfer protocol consults before each blocking
+/// operation. Thread-safe: the supervisor feeds RTT samples from its
+/// sweep thread while session threads read current(). Shared by both
+/// endpoints of an in-process session so source and destination see the
+/// same adaptive bound.
+class DeadlinePolicy {
+ public:
+  /// The legacy behavior: every call gets `timeout` (0 = unbounded).
+  static std::shared_ptr<DeadlinePolicy> fixed(std::chrono::milliseconds timeout) {
+    return std::shared_ptr<DeadlinePolicy>(new DeadlinePolicy(timeout));
+  }
+
+  /// RTT-tracking deadlines, starting at the ceiling until warmed up.
+  static std::shared_ptr<DeadlinePolicy> adaptive(RttConfig config = {}) {
+    return std::shared_ptr<DeadlinePolicy>(new DeadlinePolicy(config));
+  }
+
+  /// Deadline for the next blocking send/recv (0 = block without bound,
+  /// only ever returned by a fixed(0) policy).
+  [[nodiscard]] std::chrono::milliseconds current() const {
+    std::lock_guard lk(mu_);
+    if (!adaptive_) return fixed_;
+    return std::chrono::milliseconds(
+        static_cast<long long>(estimator_.deadline_s() * 1000.0 + 0.5));
+  }
+
+  /// Fold a measured round trip in (no-op on a fixed policy).
+  void observe_rtt(double rtt_s) {
+    std::lock_guard lk(mu_);
+    if (adaptive_) estimator_.sample(rtt_s);
+  }
+
+  [[nodiscard]] bool is_adaptive() const noexcept { return adaptive_; }
+
+  /// Smoothed RTT in milliseconds (0 until the first sample; always 0 on
+  /// a fixed policy) — what `hpmtool sessions` shows per session.
+  [[nodiscard]] double srtt_ms() const {
+    std::lock_guard lk(mu_);
+    return adaptive_ && estimator_.warm() ? estimator_.srtt_s() * 1000.0 : 0.0;
+  }
+
+ private:
+  explicit DeadlinePolicy(std::chrono::milliseconds timeout) : fixed_(timeout) {}
+  explicit DeadlinePolicy(RttConfig config) : adaptive_(true), estimator_(config) {}
+
+  mutable std::mutex mu_;
+  const bool adaptive_ = false;
+  std::chrono::milliseconds fixed_{0};
+  RttEstimator estimator_;
+};
+
+}  // namespace hpm::net

@@ -7,6 +7,7 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::net {
 
@@ -85,10 +86,14 @@ void FaultyChannel::send(std::span<const std::uint8_t> data) {
       // sender (only the peer's recv would time out) — or hang outright
       // when no peer is reading. Sleep up to the deadline, then surface
       // the overrun as the TimeoutError a real deadlined send would give.
+      // Tag the overrun and count every firing in net.faults.stalls_hit:
+      // a chaos harness asserting "no real hangs" must be able to tell an
+      // injected stall's timeout from an organic one.
+      obs::Registry::process().counter("net.faults.stalls_hit").add(1);
       if (timeout_.count() > 0 &&
           std::chrono::duration<double>(plan_.stall_seconds) >= timeout_) {
         std::this_thread::sleep_for(timeout_);
-        throw TimeoutError("injected stall exceeded the " +
+        throw TimeoutError("[injected-stall] injected stall exceeded the " +
                            std::to_string(timeout_.count()) + " ms send deadline");
       }
       std::this_thread::sleep_for(std::chrono::duration<double>(plan_.stall_seconds));

@@ -218,6 +218,21 @@ StateEndInfo decode_state_end(const Bytes& payload) {
   return info;
 }
 
+Bytes encode_ping(const PingInfo& info) {
+  Bytes payload(12);
+  put_u32_be(payload.data(), info.seq);
+  put_u64_be(payload.data() + 4, info.stamp_ns);
+  return payload;
+}
+
+PingInfo decode_ping(const Bytes& payload) {
+  if (payload.size() != 12) throw NetError("malformed Ping payload");
+  PingInfo info;
+  info.seq = get_u32_be(payload.data());
+  info.stamp_ns = get_u64_be(payload.data() + 4);
+  return info;
+}
+
 Bytes encode_state_ack(std::uint32_t next_seq) {
   Bytes payload(4);
   put_u32_be(payload.data(), next_seq);

@@ -42,11 +42,13 @@ enum class MsgType : std::uint8_t {
   Commit = 13,     ///< source relinquishes ownership — point of no return (u64 txn)
   Abort = 14,      ///< source cancels the handoff after Prepare (u64 txn)
   ResumeHello = 15,///< destination re-announces mid-stream (version + u64 txn + u32 next seq)
+  Ping = 16,       ///< liveness probe (payload: u32 seq + u64 opaque echo stamp)
+  Pong = 17,       ///< liveness reply: the Ping payload echoed verbatim
 };
 
 /// Highest tag recv_message accepts; anything outside [1, kMaxMsgType]
 /// is a malformed frame.
-inline constexpr std::uint8_t kMaxMsgType = 15;
+inline constexpr std::uint8_t kMaxMsgType = 17;
 
 struct Message {
   MsgType type;
@@ -122,6 +124,21 @@ StateBeginInfo decode_state_begin(const Bytes& payload);
 /// Returns the sequence number; the chunk's bytes are payload[4..].
 std::uint32_t decode_state_chunk_seq(const Bytes& payload);
 StateEndInfo decode_state_end(const Bytes& payload);
+
+/// --- liveness payloads ----------------------------------------------------
+/// Ping/Pong are control frames a SessionSupervisor multiplexes through
+/// the same v4 router as the data stream: the probe carries a sequence
+/// number (for miss accounting) and an opaque monotonic-clock stamp the
+/// peer echoes verbatim, so the prober computes the RTT without any
+/// clock agreement. The protocol state machines never see either frame —
+/// the router answers and consumes them at the pump.
+
+struct PingInfo {
+  std::uint32_t seq = 0;
+  std::uint64_t stamp_ns = 0;  ///< prober's steady-clock send time, echoed back
+};
+Bytes encode_ping(const PingInfo& info);
+PingInfo decode_ping(const Bytes& payload);
 
 /// --- transactional handoff payloads --------------------------------------
 /// StateAck carries the destination's receive watermark (the next sequence

@@ -203,5 +203,45 @@ TEST_F(JournalTest, VerdictConsidersOnlyTheLatestTransaction) {
   EXPECT_EQ(v.owner, TxnOwner::Source) << "txn 8 never committed";
 }
 
+TEST_F(JournalTest, GcSweepsCompletedPairsAndKeepsEverythingElse) {
+  // txn 10: completed (source logged Done) — sweepable.
+  write(keyed_source_journal_name(10).c_str(),
+        {{JournalRecordType::Begin, 10, 0, ""},
+         {JournalRecordType::Commit, 10, 7, ""},
+         {JournalRecordType::Done, 10, 7, ""}});
+  write(keyed_dest_journal_name(10).c_str(),
+        {{JournalRecordType::Begin, 10, 0, ""},
+         {JournalRecordType::Committed, 10, 7, ""}});
+  // txn 11: in doubt (Commit without Done) — recovery still needs it.
+  write(keyed_source_journal_name(11).c_str(),
+        {{JournalRecordType::Begin, 11, 0, ""},
+         {JournalRecordType::Commit, 11, 9, ""}});
+  // txn 12: aborted — the source still owns; the record stays.
+  write(keyed_source_journal_name(12).c_str(),
+        {{JournalRecordType::Begin, 12, 0, ""},
+         {JournalRecordType::Abort, 12, 0, ""}});
+
+  const std::vector<std::uint64_t> swept = gc_completed_txn_journals(dir_.string());
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0], 10u);
+
+  // Both of the completed pair's files are gone; the others survive.
+  EXPECT_FALSE(std::filesystem::exists(dir_ / keyed_source_journal_name(10)));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / keyed_dest_journal_name(10)));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / keyed_source_journal_name(11)));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / keyed_source_journal_name(12)));
+
+  const std::vector<std::uint64_t> remaining = list_journaled_txns(dir_.string());
+  EXPECT_EQ(remaining, (std::vector<std::uint64_t>{11, 12}));
+
+  // Idempotent: a second sweep finds nothing completed.
+  EXPECT_TRUE(gc_completed_txn_journals(dir_.string()).empty());
+}
+
+TEST_F(JournalTest, GcOfMissingOrEmptyDirectoryIsANoOp) {
+  EXPECT_TRUE(gc_completed_txn_journals((dir_ / "nope").string()).empty());
+  EXPECT_TRUE(gc_completed_txn_journals(dir_.string()).empty());
+}
+
 }  // namespace
 }  // namespace hpm::mig

@@ -1,0 +1,124 @@
+// RttEstimator / DeadlinePolicy: the adaptive-deadline math as a pure
+// unit — deterministic sample sequences in, exact EWMA/deviation/RTO
+// values out, clamps at both ends, and the cold-start contract.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "net/deadline.hpp"
+
+namespace hpm::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RttEstimator, ColdStartIsTheCeiling) {
+  RttEstimator est({.floor_s = 0.25, .ceiling_s = 5.0, .multiplier = 8.0});
+  EXPECT_FALSE(est.warm());
+  EXPECT_EQ(est.sample_count(), 0u);
+  // No sample yet: the most conservative deadline the config allows.
+  EXPECT_DOUBLE_EQ(est.rto_s(), 5.0);
+  EXPECT_DOUBLE_EQ(est.deadline_s(), 5.0);
+}
+
+TEST(RttEstimator, FirstSampleSeedsPerRfc6298) {
+  RttEstimator est({.floor_s = 0.0, .ceiling_s = 100.0, .multiplier = 1.0});
+  est.sample(0.1);
+  // srtt = r, rttvar = r/2, rto = srtt + 4*rttvar = 3r.
+  EXPECT_TRUE(est.warm());
+  EXPECT_DOUBLE_EQ(est.srtt_s(), 0.1);
+  EXPECT_DOUBLE_EQ(est.rttvar_s(), 0.05);
+  EXPECT_NEAR(est.rto_s(), 0.3, 1e-12);
+}
+
+TEST(RttEstimator, SteadySamplesConvergeAndVarianceDies) {
+  RttEstimator est({.floor_s = 0.0, .ceiling_s = 100.0, .multiplier = 1.0});
+  for (int i = 0; i < 200; ++i) est.sample(0.1);
+  // A perfectly steady link: srtt is the RTT, the deviation term decays
+  // toward zero, so the RTO tightens toward the RTT itself.
+  EXPECT_NEAR(est.srtt_s(), 0.1, 1e-9);
+  EXPECT_NEAR(est.rttvar_s(), 0.0, 1e-6);
+  EXPECT_NEAR(est.rto_s(), 0.1, 1e-5);
+}
+
+TEST(RttEstimator, ExactTwoSampleSequence) {
+  RttEstimator est({.floor_s = 0.0, .ceiling_s = 100.0, .multiplier = 1.0});
+  est.sample(0.100);
+  est.sample(0.200);
+  // Deviation first, against the OLD srtt (0.1): rttvar = 0.05 + (|0.1 -
+  // 0.2| - 0.05)/4 = 0.0625; then srtt = 0.1 + (0.2 - 0.1)/8 = 0.1125.
+  EXPECT_NEAR(est.rttvar_s(), 0.0625, 1e-12);
+  EXPECT_NEAR(est.srtt_s(), 0.1125, 1e-12);
+  EXPECT_NEAR(est.rto_s(), 0.1125 + 4 * 0.0625, 1e-12);
+}
+
+TEST(RttEstimator, JitterWidensTheBound) {
+  RttEstimator steady({.floor_s = 0.0, .ceiling_s = 100.0, .multiplier = 1.0});
+  RttEstimator jittery({.floor_s = 0.0, .ceiling_s = 100.0, .multiplier = 1.0});
+  for (int i = 0; i < 100; ++i) {
+    steady.sample(0.1);
+    jittery.sample(i % 2 == 0 ? 0.05 : 0.15);  // same mean, high deviation
+  }
+  EXPECT_NEAR(steady.srtt_s(), jittery.srtt_s(), 0.02);
+  EXPECT_GT(jittery.rto_s(), steady.rto_s() + 0.1);
+}
+
+TEST(RttEstimator, FloorAndCeilingClamp) {
+  RttEstimator est({.floor_s = 0.25, .ceiling_s = 5.0, .multiplier = 8.0});
+  for (int i = 0; i < 50; ++i) est.sample(0.001);  // sub-ms LAN
+  // 8 * rto would be ~8ms; the floor keeps the deadline sane.
+  EXPECT_DOUBLE_EQ(est.rto_s(), 0.25);
+  EXPECT_DOUBLE_EQ(est.deadline_s(), 0.25);
+
+  RttEstimator slow({.floor_s = 0.25, .ceiling_s = 5.0, .multiplier = 8.0});
+  for (int i = 0; i < 50; ++i) slow.sample(30.0);  // absurd samples
+  EXPECT_DOUBLE_EQ(slow.rto_s(), 5.0);
+  EXPECT_DOUBLE_EQ(slow.deadline_s(), 5.0);
+}
+
+TEST(RttEstimator, NegativeSamplesAreClampedToZero) {
+  RttEstimator est({.floor_s = 0.0, .ceiling_s = 100.0, .multiplier = 1.0});
+  est.sample(-3.0);  // clock skew artifact must not poison the estimate
+  EXPECT_DOUBLE_EQ(est.srtt_s(), 0.0);
+  EXPECT_DOUBLE_EQ(est.rttvar_s(), 0.0);
+}
+
+TEST(DeadlinePolicy, FixedReproducesTheLegacyTimeout) {
+  const auto policy = DeadlinePolicy::fixed(milliseconds(1500));
+  EXPECT_FALSE(policy->is_adaptive());
+  EXPECT_EQ(policy->current(), milliseconds(1500));
+  policy->observe_rtt(0.001);  // no-op on a fixed policy
+  EXPECT_EQ(policy->current(), milliseconds(1500));
+  EXPECT_DOUBLE_EQ(policy->srtt_ms(), 0.0);
+}
+
+TEST(DeadlinePolicy, FixedZeroMeansUnbounded) {
+  const auto policy = DeadlinePolicy::fixed(milliseconds(0));
+  EXPECT_EQ(policy->current(), milliseconds(0));
+}
+
+TEST(DeadlinePolicy, AdaptiveStartsAtCeilingThenTracksRtt) {
+  const auto policy =
+      DeadlinePolicy::adaptive({.floor_s = 0.25, .ceiling_s = 5.0, .multiplier = 8.0});
+  EXPECT_TRUE(policy->is_adaptive());
+  EXPECT_EQ(policy->current(), milliseconds(5000));  // cold start = ceiling
+
+  for (int i = 0; i < 100; ++i) policy->observe_rtt(0.010);
+  // srtt -> 10ms; rto -> ~10ms; deadline = clamp(8 * rto) -> well under
+  // the ceiling but never under the floor.
+  EXPECT_NEAR(policy->srtt_ms(), 10.0, 1.0);
+  EXPECT_GE(policy->current(), milliseconds(250));
+  EXPECT_LT(policy->current(), milliseconds(1000));
+}
+
+TEST(DeadlinePolicy, AdaptiveNeverHandsOutZero) {
+  const auto policy =
+      DeadlinePolicy::adaptive({.floor_s = 0.05, .ceiling_s = 5.0, .multiplier = 1.0});
+  for (int i = 0; i < 20; ++i) policy->observe_rtt(0.0);
+  // Even a pathological all-zero RTT stream clamps at the floor: an
+  // adaptive policy must never silently turn deadlines OFF.
+  EXPECT_GE(policy->current(), milliseconds(50));
+}
+
+}  // namespace
+}  // namespace hpm::net

@@ -14,6 +14,7 @@
 #include "net/message.hpp"
 #include "net/simnet.hpp"
 #include "net/socket_channel.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpm::net {
 namespace {
@@ -343,6 +344,49 @@ TEST(FaultyChannel, TruncateSwallowsTheTailThenClosesCleanly) {
   faulty.close();
   Bytes more(1);
   EXPECT_THROW(b->recv(more), NetError);  // clean EOF, short stream
+}
+
+TEST(FaultyChannel, StallPastTheDeadlineIsTaggedAndCounted) {
+  FaultPlan plan;
+  plan.kind = FaultKind::Stall;
+  plan.offset = 8;
+  plan.stall_seconds = 10.0;  // far past the deadline below
+  auto [a, b] = MemChannel::make_pair();
+  FaultyChannel faulty(std::move(a), plan);
+  faulty.set_timeout(std::chrono::milliseconds(20));
+  const std::uint64_t before =
+      obs::Registry::process().snapshot().counter("net.faults.stalls_hit");
+  const Bytes out = make_payload(32);
+  try {
+    faulty.send(out);
+    FAIL() << "a stall past the send deadline must surface as TimeoutError";
+  } catch (const TimeoutError& e) {
+    // The tag lets a chaos harness tell an injected stall's timeout from
+    // an organic one when asserting "no real hangs".
+    EXPECT_NE(std::string(e.what()).find("[injected-stall]"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(obs::Registry::process().snapshot().counter("net.faults.stalls_hit"),
+            before + 1);
+}
+
+TEST(FaultyChannel, ShortStallUnderTheDeadlineDelivers) {
+  FaultPlan plan;
+  plan.kind = FaultKind::Stall;
+  plan.offset = 8;
+  plan.stall_seconds = 0.01;
+  auto [a, b] = MemChannel::make_pair();
+  FaultyChannel faulty(std::move(a), plan);
+  faulty.set_timeout(std::chrono::milliseconds(500));
+  const std::uint64_t before =
+      obs::Registry::process().snapshot().counter("net.faults.stalls_hit");
+  const Bytes out = make_payload(32);
+  faulty.send(out);  // sleeps ~10ms, then the bytes flow intact
+  Bytes in(32);
+  b->recv(in);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(obs::Registry::process().snapshot().counter("net.faults.stalls_hit"),
+            before + 1);
 }
 
 TEST(FaultPlan, RandomPlansAreSeedDeterministic) {

@@ -1,0 +1,286 @@
+// SessionSupervisor: timer wheel determinism, heartbeat wedge detection
+// over a real routed channel pair, targeted poison semantics, and the
+// registry snapshot file.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "mig/frame_router.hpp"
+#include "mig/supervisor.hpp"
+#include "net/factory.hpp"
+
+namespace hpm::mig {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+/// Shared routed channel pair: src/dst FrameRouters over one Memory wire.
+struct RouterPair {
+  std::shared_ptr<FrameRouter> src;
+  std::shared_ptr<FrameRouter> dst;
+
+  RouterPair() {
+    net::ChannelPair channels = net::make_channel_pair(net::Transport::Memory, {});
+    src = std::make_shared<FrameRouter>(std::move(channels.source));
+    dst = std::make_shared<FrameRouter>(std::move(channels.destination));
+  }
+  ~RouterPair() {
+    src->shutdown();
+    dst->shutdown();
+  }
+};
+
+bool wait_until(const std::function<bool()>& done, milliseconds budget) {
+  const auto deadline = Clock::now() + budget;
+  while (Clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  return done();
+}
+
+// ---------------------------------------------------------------- TimerWheel
+
+TEST(TimerWheel, FiresAtTheDueTickNotBefore) {
+  TimerWheel wheel(milliseconds(10));
+  const auto t0 = Clock::now();
+  wheel.schedule(1, t0 + milliseconds(50));
+  EXPECT_EQ(wheel.armed(), 1u);
+  EXPECT_TRUE(wheel.advance(t0 + milliseconds(20)).empty());
+  const auto due = wheel.advance(t0 + milliseconds(70));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 1u);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, FarFutureEntrySurvivesWheelWraparound) {
+  // 10ms * 64 slots = one revolution per 640ms; an entry a full lap out
+  // hashes onto a bucket the sweep passes once before it is due.
+  TimerWheel wheel(milliseconds(10), 64);
+  const auto t0 = Clock::now();
+  wheel.schedule(7, t0 + milliseconds(1000));
+  EXPECT_TRUE(wheel.advance(t0 + milliseconds(700)).empty());
+  EXPECT_EQ(wheel.armed(), 1u);  // re-filed, not dropped
+  const auto due = wheel.advance(t0 + milliseconds(1100));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 7u);
+}
+
+TEST(TimerWheel, RescheduleMovesCancelRemoves) {
+  TimerWheel wheel(milliseconds(10));
+  const auto t0 = Clock::now();
+  wheel.schedule(1, t0 + milliseconds(30));
+  wheel.schedule(1, t0 + milliseconds(200));  // re-arm supersedes
+  EXPECT_EQ(wheel.armed(), 1u);
+  EXPECT_TRUE(wheel.advance(t0 + milliseconds(100)).empty());
+  wheel.cancel(1);
+  EXPECT_EQ(wheel.armed(), 0u);
+  EXPECT_TRUE(wheel.advance(t0 + milliseconds(400)).empty());
+}
+
+TEST(TimerWheel, PastDueFiresOnNextAdvance) {
+  TimerWheel wheel(milliseconds(10));
+  const auto t0 = Clock::now();
+  auto ignored = wheel.advance(t0 + milliseconds(100));  // sweep well past t0
+  wheel.schedule(3, t0 + milliseconds(20));              // due in a swept tick
+  const auto due = wheel.advance(t0 + milliseconds(120));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 3u);
+}
+
+// --------------------------------------------------------------- CancelToken
+
+TEST(CancelToken, FirstReasonWinsAndLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel("first");
+  token.cancel("second");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "first");
+}
+
+// --------------------------------------------------------- SessionSupervisor
+
+LivenessConfig fast_config() {
+  LivenessConfig config;
+  config.heartbeat_interval_s = 0.02;
+  config.max_missed_heartbeats = 3;
+  config.stall_timeout_s = 0;  // isolate the heartbeat detector
+  return config;
+}
+
+TEST(SessionSupervisor, HealthySessionStaysLiveAndWarmsTheDeadline) {
+  RouterPair net;
+  auto src_port = net.src->open(1);
+  auto dst_port = net.dst->open(1);
+
+  SessionSupervisor sup(fast_config());
+  sup.attach(net.src, net.dst);
+  SessionHooks hooks;
+  hooks.txn_id = 42;
+  hooks.deadline = net::DeadlinePolicy::adaptive({.floor_s = 0.05, .ceiling_s = 5.0});
+  hooks.token = std::make_shared<CancelToken>();
+  sup.register_session(1, hooks);
+
+  // Pongs flow: the deadline policy leaves its cold-start ceiling.
+  EXPECT_TRUE(wait_until([&] { return hooks.deadline->srtt_ms() > 0; },
+                         milliseconds(5000)));
+  EXPECT_LT(hooks.deadline->current(), milliseconds(5000));
+  EXPECT_FALSE(hooks.token->cancelled());
+
+  const auto rows = sup.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].session_id, 1u);
+  EXPECT_EQ(rows[0].txn_id, 42u);
+  EXPECT_FALSE(rows[0].wedged);
+  EXPECT_GE(rows[0].heartbeat_age_ms, 0.0);
+
+  sup.deregister(1);
+  EXPECT_EQ(sup.live_sessions(), 0u);
+}
+
+TEST(SessionSupervisor, SilentPeerIsWedgedAfterKMissesAndCancelled) {
+  RouterPair net;
+  auto src_port = net.src->open(1);
+  auto dst_port = net.dst->open(1);
+
+  SessionSupervisor sup(fast_config());
+  sup.attach(net.src, net.dst);
+  SessionHooks hooks;
+  hooks.deadline = net::DeadlinePolicy::adaptive();
+  hooks.token = std::make_shared<CancelToken>();
+  sup.register_session(1, hooks);
+
+  EXPECT_TRUE(wait_until([&] { return hooks.deadline->srtt_ms() > 0; },
+                         milliseconds(5000)));
+
+  // Kill the destination binding: the dst pump stops answering this
+  // session's pings (closed bindings are silent) while the wire lives.
+  dst_port->close();
+  EXPECT_TRUE(wait_until([&] { return hooks.token->cancelled(); },
+                         milliseconds(10000)));
+
+  // Targeted containment: session 1 is poisoned on both routers...
+  EXPECT_THROW(net.src->open(1), CancelledError);
+  EXPECT_THROW(net.dst->open(1), CancelledError);
+  EXPECT_THROW(src_port->recv(), CancelledError);
+  // ...but a sibling session is untouched.
+  auto sib_src = net.src->open(2);
+  auto sib_dst = net.dst->open(2);
+  sib_src->send(net::MsgType::Hello, {});
+  const net::Message m = sib_dst->recv();
+  EXPECT_EQ(m.type, net::MsgType::Hello);
+
+  const auto rows = sup.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].wedged);
+  EXPECT_NE(rows[0].state.find("heartbeats"), std::string::npos);
+}
+
+TEST(SessionSupervisor, FrozenProgressWatermarkIsWedged) {
+  RouterPair net;
+  auto src_port = net.src->open(1);
+  auto dst_port = net.dst->open(1);
+
+  LivenessConfig config;
+  config.heartbeat_interval_s = 0.02;
+  config.max_missed_heartbeats = 0;  // heartbeats observe but never convict
+  config.stall_timeout_s = 0.15;
+  SessionSupervisor sup(config);
+  sup.attach(net.src, net.dst);
+  SessionHooks hooks;
+  hooks.token = std::make_shared<CancelToken>();
+  hooks.progress = [] { return std::uint64_t{7}; };  // forever stuck
+  sup.register_session(1, hooks);
+
+  // The channel is healthy (pongs flow), yet the watermark never moves:
+  // only the stall detector can catch this — and it must.
+  EXPECT_TRUE(wait_until([&] { return hooks.token->cancelled(); },
+                         milliseconds(10000)));
+  EXPECT_NE(hooks.token->reason().find("progress watermark"), std::string::npos);
+}
+
+TEST(SessionSupervisor, ManualCancelPoisonsExactlyOneSession) {
+  RouterPair net;
+  auto src1 = net.src->open(1);
+  auto dst1 = net.dst->open(1);
+  auto src2 = net.src->open(2);
+  auto dst2 = net.dst->open(2);
+
+  SessionSupervisor sup(fast_config());
+  sup.attach(net.src, net.dst);
+  SessionHooks hooks;
+  hooks.token = std::make_shared<CancelToken>();
+  sup.register_session(1, hooks);
+
+  sup.cancel(1, "operator kill");
+  EXPECT_TRUE(hooks.token->cancelled());
+  EXPECT_EQ(hooks.token->reason(), "operator kill");
+  EXPECT_THROW(src1->recv(), CancelledError);
+  EXPECT_THROW(src1->send(net::MsgType::Hello, {}), CancelledError);
+
+  src2->send(net::MsgType::Hello, {});
+  EXPECT_EQ(dst2->recv().type, net::MsgType::Hello);
+}
+
+TEST(SessionSupervisor, SnapshotFileRoundTrips) {
+  RouterPair net;
+  auto src_port = net.src->open(1);
+  auto dst_port = net.dst->open(1);
+
+  SessionSupervisor sup(fast_config());
+  sup.attach(net.src, net.dst);
+  SessionHooks hooks;
+  hooks.txn_id = 7777;
+  hooks.deadline = net::DeadlinePolicy::adaptive();
+  hooks.token = std::make_shared<CancelToken>();
+  hooks.state = [] { return std::string("streaming chunk 12"); };
+  sup.register_session(1, hooks);
+
+  const std::string path = ::testing::TempDir() + "hpm_liveness_snapshot_test.txt";
+  ASSERT_TRUE(sup.write_snapshot(path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "#hpm-liveness-v1");
+  std::string row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row)));
+  std::istringstream rs(row);
+  std::uint32_t session = 0;
+  std::uint64_t txn = 0;
+  rs >> session >> txn;
+  EXPECT_EQ(session, 1u);
+  EXPECT_EQ(txn, 7777u);
+  EXPECT_NE(row.find("LIVE"), std::string::npos);
+  EXPECT_NE(row.find("streaming chunk 12"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SessionSupervisor, StopLeavesWatchedSessionsUncancelled) {
+  RouterPair net;
+  auto src_port = net.src->open(1);
+  auto dst_port = net.dst->open(1);
+
+  SessionSupervisor sup(fast_config());
+  sup.attach(net.src, net.dst);
+  SessionHooks hooks;
+  hooks.token = std::make_shared<CancelToken>();
+  sup.register_session(1, hooks);
+  sup.stop();
+  // Stopping the watcher is not killing the watched.
+  EXPECT_FALSE(hooks.token->cancelled());
+  src_port->send(net::MsgType::Hello, {});
+  EXPECT_EQ(dst_port->recv().type, net::MsgType::Hello);
+}
+
+}  // namespace
+}  // namespace hpm::mig
