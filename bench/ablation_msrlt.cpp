@@ -1,11 +1,14 @@
-// Ablation: the MSRLT's ordered address search versus a linear scan.
+// Ablation: the MSRLT's address-search strategies against each other.
 //
 // The paper's O(n log n) collection term assumes an efficient
 // address->block search. This ablation collects the same bitonic-profile
-// graph with the ordered-map strategy and with a deliberately naive
-// linear scan, showing why the data structure choice is load-bearing.
-// Both strategies sit behind the one-entry MRU cache; its hit share of
-// all searches is reported alongside the timings.
+// graph under all three strategies — the reference ordered map, a
+// deliberately naive linear scan, and the flat sorted interval array with
+// its branchless binary search — showing why the data structure choice is
+// load-bearing. All strategies sit behind the set-associative lookup
+// cache; per-strategy derived ratios (search_steps_per_search,
+// cache_hit_ratio) are reported alongside the raw counters so a
+// regression in either is one JSON row, not a division exercise.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -52,6 +55,12 @@ void BM_collect_linear_scan(benchmark::State& state) {
 }
 BENCHMARK(BM_collect_linear_scan)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
 
+void BM_collect_flat_array(benchmark::State& state) {
+  collect_graph(msr::SearchStrategy::FlatArray, static_cast<std::uint32_t>(state.range(0)),
+                state);
+}
+BENCHMARK(BM_collect_flat_array)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
 /// One timed collection pass per strategy for the JSON report.
 double timed_collect(msr::SearchStrategy strategy, std::uint32_t nodes) {
   ti::TypeTable types;
@@ -82,18 +91,32 @@ int main(int argc, char** argv) {
   }
   hpm::bench::BenchReport report("ablation_msrlt", args.smoke);
   const std::uint32_t nodes = args.smoke ? 1000 : 16000;
-  const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
-  report.add("collect_seconds.ordered_map",
-             timed_collect(msr::SearchStrategy::OrderedMap, nodes), "seconds");
-  report.add("collect_seconds.linear_scan",
-             timed_collect(msr::SearchStrategy::LinearScan, nodes), "seconds");
-  const obs::MetricsSnapshot delta =
-      obs::Registry::process().snapshot().delta_since(before);
-  const double searches = static_cast<double>(delta.counter("msr.msrlt.searches"));
-  const double hits = static_cast<double>(delta.counter("msr.msrlt.cache_hits"));
-  std::printf("MRU cache: %.0f of %.0f searches short-circuited (%.1f%%)\n", hits, searches,
-              searches > 0 ? hits / searches * 100 : 0);
-  report.add("mru_cache.hits", hits, "count");
-  report.add("mru_cache.hit_ratio", searches > 0 ? hits / searches : 0, "ratio");
+  const struct {
+    const char* key;
+    msr::SearchStrategy strategy;
+  } rows[] = {
+      {"ordered_map", msr::SearchStrategy::OrderedMap},
+      {"linear_scan", msr::SearchStrategy::LinearScan},
+      {"flat_array", msr::SearchStrategy::FlatArray},
+  };
+  for (const auto& row : rows) {
+    const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
+    const double seconds = timed_collect(row.strategy, nodes);
+    const obs::MetricsSnapshot delta =
+        obs::Registry::process().snapshot().delta_since(before);
+    const double searches = static_cast<double>(delta.counter("msr.msrlt.searches"));
+    const double steps = static_cast<double>(delta.counter("msr.msrlt.search_steps"));
+    const double hits = static_cast<double>(delta.counter("msr.msrlt.cache_hits"));
+    const std::string prefix = std::string(row.key) + ".";
+    report.add("collect_seconds." + std::string(row.key), seconds, "seconds");
+    report.add(prefix + "searches", searches, "count");
+    report.add(prefix + "search_steps", steps, "count");
+    report.add(prefix + "cache_hits", hits, "count");
+    report.add_ratio(prefix + "search_steps_per_search", steps, searches, "steps");
+    report.add_ratio(prefix + "cache_hit_ratio", hits, searches);
+    std::printf("%-12s %.4fs  %.2f steps/search, %.1f%% cache hits\n", row.key, seconds,
+                searches > 0 ? steps / searches : 0,
+                searches > 0 ? hits / searches * 100 : 0);
+  }
   return report.write_if_requested(args) ? 0 : 1;
 }

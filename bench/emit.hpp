@@ -34,8 +34,12 @@ struct BenchArgs {
 };
 
 /// Recognizes --smoke and --json <path>; other arguments are left for the
-/// bench (google-benchmark flags pass through untouched).
-inline BenchArgs parse_bench_args(int argc, char** argv) {
+/// bench (google-benchmark flags pass through untouched). A non-null
+/// `default_json_path` makes the bench always write (benches whose JSON
+/// feeds downstream consumers — calibration, the perf guard); null keeps
+/// JSON opt-in.
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const char* default_json_path = nullptr) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -43,6 +47,9 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
     }
+  }
+  if (args.json_path.empty() && default_json_path != nullptr) {
+    args.json_path = default_json_path;
   }
   return args;
 }
@@ -56,6 +63,14 @@ class BenchReport {
 
   void add(std::string name, double value, std::string unit) {
     results_.push_back(Row{std::move(name), value, std::move(unit)});
+  }
+
+  /// Derived-ratio row (e.g. search steps per search, cache hit rate);
+  /// a zero denominator records 0 rather than inf/nan, which would break
+  /// the JSON schema.
+  void add_ratio(std::string name, double numerator, double denominator,
+                 std::string unit = "ratio") {
+    add(std::move(name), denominator == 0 ? 0 : numerator / denominator, std::move(unit));
   }
 
   /// p50/p95/p99 rows for one registry histogram (no-op when the

@@ -18,15 +18,30 @@
 // in-memory and TCP-loopback transports: the pipelined wall time must not
 // exceed the serial one, since Collect / Tx / Restore overlap.
 //
+// A third section pairs serial and parallel collection on a many-rooted
+// forest workload: the seed configuration (ordered-map index, one
+// thread) against the flat interval index at collect_threads=4. The two
+// flat-index streams are asserted bit-identical in-bench, and the
+// emitted `msrlt.search_steps_per_search` / `parcollect.*` rows feed the
+// perf_guard ctest fixture.
+//
 // Writes BENCH_migration.json (hpm-bench-v1; override with --json PATH).
 // --smoke shrinks the problems to one cheap iteration each.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/bitonic.hpp"
 #include "apps/linpack.hpp"
+#include "apps/workload.hpp"
 #include "emit.hpp"
-#include "mig/coordinator.hpp"
+#include "hpm/migrate.hpp"
+#include "msrm/par_collect.hpp"
+#include "obs/metrics.hpp"
 #include "support.hpp"
 
 using namespace hpm;
@@ -66,11 +81,54 @@ TransferRun run_transfer(int linpack_n, mig::Transport transport, bool pipeline)
   return r;
 }
 
+// A forest of disjoint random subgraphs, one root variable per tree, on
+// one migratable heap. Disjoint trees make the CAS-min ownership pass
+// partition evenly, so the worker threads have real independent work —
+// a connected graph would hand every block to rank 0.
+struct Forest {
+  ti::TypeTable types;
+  std::unique_ptr<mig::MigContext> ctx;
+  std::vector<msr::Address> roots;
+};
+
+std::unique_ptr<Forest> build_forest(msr::SearchStrategy strategy, unsigned trees,
+                                     std::uint32_t nodes_per_tree) {
+  auto f = std::make_unique<Forest>();
+  apps::workload_register_types(f->types);
+  f->ctx = std::make_unique<mig::MigContext>(f->types, strategy);
+  apps::GraphShape shape;
+  shape.nodes = nodes_per_tree;
+  shape.edge_density = 0.8;
+  shape.share_bias = 0.5;
+  for (unsigned t = 0; t < trees; ++t) {
+    const std::string name = "tree" + std::to_string(t);
+    apps::RandNode*& root = f->ctx->global<apps::RandNode*>(name.c_str());
+    root = apps::build_random_graph(*f->ctx, 100 + t, shape)[0];
+    f->roots.push_back(reinterpret_cast<msr::Address>(&root));
+  }
+  return f;
+}
+
+/// Best-of-`repeats` wall time for one collection pass; the last pass's
+/// stream is returned through `out` when non-null.
+double time_collect(Forest& f, unsigned threads, int repeats, Bytes* out = nullptr) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    xdr::Encoder enc(1 << 20);
+    const auto t0 = std::chrono::steady_clock::now();
+    msrm::collect_roots(f.ctx->space(), enc, f.roots, threads);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    best = (r == 0) ? s : std::min(best, s);
+    if (out != nullptr && r == repeats - 1) *out = enc.take();
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  if (args.json_path.empty()) args.json_path = "BENCH_migration.json";
+  bench::BenchArgs args = bench::parse_bench_args(argc, argv, "BENCH_migration.json");
   // Repeats give the trace.* histograms real percentile spread; smoke
   // mode runs each program once on a small instance.
   const int repeats = args.smoke ? 1 : 3;
@@ -168,6 +226,63 @@ int main(int argc, char** argv) {
       report.add(prefix + ".speedup", speedup, "ratio");
       report.add(prefix + ".overlap_ratio", piped.overlap_ratio, "ratio");
     }
+  }
+
+  // --- serial vs parallel collection, flat index vs seed config -----------
+  // An 8-tree forest collected three ways: the seed path (ordered-map
+  // index, one thread), the flat interval index serial, and the flat
+  // index with four collection workers. The flat serial and parallel
+  // streams must be bit-identical — parallelism is a pure latency
+  // optimization, never a wire-format change.
+  {
+    const unsigned kTrees = 8;
+    const unsigned kThreads = 4;
+    const std::uint32_t per_tree = args.smoke ? 1500 : 16000;
+    auto seed_forest = build_forest(msr::SearchStrategy::OrderedMap, kTrees, per_tree);
+    auto flat_forest = build_forest(msr::SearchStrategy::FlatArray, kTrees, per_tree);
+
+    const double baseline_s = time_collect(*seed_forest, 1, repeats);
+    Bytes flat_serial_bytes;
+    const obs::MetricsSnapshot before = obs::Registry::process().snapshot();
+    const double flat_serial_s = time_collect(*flat_forest, 1, repeats, &flat_serial_bytes);
+    const obs::MetricsSnapshot delta =
+        obs::Registry::process().snapshot().delta_since(before);
+    Bytes flat_par_bytes;
+    const double flat_par_s = time_collect(*flat_forest, kThreads, repeats, &flat_par_bytes);
+
+    const bool identical = flat_serial_bytes == flat_par_bytes;
+    const double thread_speedup = flat_par_s > 0 ? flat_serial_s / flat_par_s : 0;
+    const double total_speedup = flat_par_s > 0 ? baseline_s / flat_par_s : 0;
+    const double searches = static_cast<double>(delta.counter("msr.msrlt.searches"));
+    const double steps = static_cast<double>(delta.counter("msr.msrlt.search_steps"));
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("\nparallel collection (%u trees x %u nodes, %u threads, %u hw threads):\n",
+                kTrees, per_tree, kThreads, hw);
+    std::printf("  seed (map, serial)   %.4fs\n", baseline_s);
+    std::printf("  flat index, serial   %.4fs\n", flat_serial_s);
+    std::printf("  flat index, %u thr    %.4fs  (%.2fx threads, %.2fx total)\n", kThreads,
+                flat_par_s, thread_speedup, total_speedup);
+    if (hw < kThreads) {
+      std::printf("  (only %u hardware thread%s — the workers time-slice, so the parallel\n"
+                  "   path pays its second traversal with no concurrency to buy it back;\n"
+                  "   speedup needs >= %u cores)\n",
+                  hw, hw == 1 ? "" : "s", kThreads);
+    }
+    std::printf("  streams bit-identical: %s\n", identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr, "table1_migration: parallel stream diverged from serial\n");
+      return 1;
+    }
+
+    report.add("parcollect.baseline_seconds", baseline_s, "seconds");
+    report.add("parcollect.flat_serial_seconds", flat_serial_s, "seconds");
+    report.add("parcollect.flat_par_seconds", flat_par_s, "seconds");
+    report.add("parcollect.thread_speedup", thread_speedup, "ratio");
+    report.add("parcollect.total_speedup", total_speedup, "ratio");
+    report.add("parcollect.bit_identical", identical ? 1 : 0, "bool");
+    report.add("parcollect.hardware_threads", hw, "count");
+    report.add_ratio("msrlt.search_steps_per_search", steps, searches, "steps");
   }
 
   // Per-phase latency percentiles over all measured migrations, straight

@@ -162,9 +162,8 @@ void measured_bulk_pass(hpm::bench::BenchReport& report, std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const hpm::bench::BenchArgs args = hpm::bench::parse_bench_args(argc, argv);
-  const std::string json_path =
-      args.json_path.empty() ? "BENCH_xdr.json" : args.json_path;
+  const hpm::bench::BenchArgs args =
+      hpm::bench::parse_bench_args(argc, argv, "BENCH_xdr.json");
   hpm::bench::BenchReport report("xdr_throughput", args.smoke);
   if (!args.smoke) {
     benchmark::Initialize(&argc, argv);
@@ -176,5 +175,5 @@ int main(int argc, char** argv) {
   measured_pass(report, args.smoke ? (1u << 12) : (1u << 20));
   measured_bulk_pass(report, args.smoke ? (1u << 14) : (1u << 20));
   report.add_percentiles("xdr.encode.stream_bytes");
-  return report.write(json_path) ? 0 : 1;
+  return report.write(args.json_path) ? 0 : 1;
 }

@@ -20,13 +20,13 @@
 int main() {
   // --- part 1: asynchronous scheduler-driven migration -------------------
   hpm::apps::LinpackResult result;
-  hpm::mig::RunOptions options;
+  hpm::RunOptions options;
   options.register_types = hpm::apps::linpack_register_types;
-  options.program = [&result](hpm::mig::MigContext& ctx) {
+  options.program = [&result](hpm::MigContext& ctx) {
     hpm::apps::linpack_program(ctx, 900, 2, &result);
   };
   options.request_after_seconds = 0.01;  // the scheduler decides mid-solve
-  const hpm::mig::MigrationReport report = hpm::mig::run_migration(options);
+  const hpm::MigrationReport report = hpm::run_migration(options);
   std::printf("live run: scheduler requested migration asynchronously -> migrated=%s "
               "after %llu polls, solution %s\n",
               report.migrated ? "yes" : "no",
@@ -61,7 +61,7 @@ int main() {
   for (int i = 0; i < 6; ++i) {
     results.push_back(std::make_unique<hpm::apps::LinpackResult>());
     auto* slot = results.back().get();
-    live.submit([slot, i](hpm::mig::MigContext& ctx) {
+    live.submit([slot, i](hpm::MigContext& ctx) {
       hpm::apps::linpack_program(ctx, 160, static_cast<std::uint64_t>(i), slot);
     }, 0);
   }

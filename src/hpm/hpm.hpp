@@ -26,6 +26,7 @@
 #include "memimg/image_space.hpp"
 #include "mig/annotate.hpp"
 #include "mig/context.hpp"
+#include "hpm/migrate.hpp"
 #include "mig/coordinator.hpp"
 #include "mig/frame_router.hpp"
 #include "mig/journal.hpp"

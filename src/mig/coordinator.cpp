@@ -169,6 +169,7 @@ MigrationReport run_migration_impl(const RunOptions& options) {
     options.register_types(types);
     MigContext ctx(types, options.search);
     ctx.set_migrate_at_poll(options.migrate_at_poll);
+    ctx.set_collect_threads(options.collect_threads);
     // The paper's scheduler sends the migration request asynchronously;
     // model it with a timer thread that pokes the context's request flag.
     std::atomic<bool> program_done{false};

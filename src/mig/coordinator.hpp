@@ -12,6 +12,11 @@
 // the computation locally, so a failed migration never kills the workload.
 // The report carries the paper's Collect / Tx / Restore split plus the
 // attempt history.
+//
+// DEPRECATED as a public include path: embedders should include
+// hpm/migrate.hpp (or hpm/hpm.hpp), which re-exports this header's
+// stable surface into the top-level hpm namespace. Only that facade is a
+// stability boundary; this header may be reorganized freely.
 #pragma once
 
 #include <functional>
@@ -64,6 +69,11 @@ struct RunOptions {
   bool throttle = false;
 
   msr::SearchStrategy search = msr::SearchStrategy::OrderedMap;
+
+  /// Worker threads for the collection DFS. 1 = the paper's serial
+  /// traversal (default); >1 partitions the root set across a pool
+  /// (msrm::collect_roots) — the stream stays bit-identical to serial.
+  unsigned collect_threads = 1;
 
   /// --- pipelined transfer -------------------------------------------------
 

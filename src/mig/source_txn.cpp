@@ -213,6 +213,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
     options.register_types(types);
     MigContext ctx(types, options.search);
     ctx.set_migrate_at_poll(options.migrate_at_poll);
+    ctx.set_collect_threads(options.collect_threads);
     ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
       if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
       queue.push(Bytes(bytes.begin(), bytes.end()));

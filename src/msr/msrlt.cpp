@@ -4,6 +4,7 @@ namespace hpm::msr {
 
 Msrlt::Msrlt(SearchStrategy strategy)
     : strategy_(strategy),
+      index_(make_address_index(strategy)),
       registrations_(obs::Registry::process().counter("msr.msrlt.registrations")),
       removals_(obs::Registry::process().counter("msr.msrlt.removals")),
       searches_(obs::Registry::process().counter("msr.msrlt.searches")),
@@ -13,30 +14,18 @@ Msrlt::Msrlt(SearchStrategy strategy)
       marks_(obs::Registry::process().counter("msr.msrlt.marks")),
       blocks_gauge_(obs::Registry::process().gauge("msr.msrlt.blocks")) {}
 
-void Msrlt::insert_checked(MemoryBlock block) {
-  if (block.size == 0) throw MsrError("cannot register zero-sized block");
-  // Overlap check against the nearest neighbours in address order.
-  auto next = by_addr_.lower_bound(block.base);
-  if (next != by_addr_.end() && next->first < block.base + block.size) {
-    throw MsrError("block [" + std::to_string(block.base) + ", +" +
-                   std::to_string(block.size) + ") overlaps existing block '" +
-                   next->second.name + "'");
-  }
-  if (next != by_addr_.begin()) {
-    auto prev = std::prev(next);
-    if (prev->second.base + prev->second.size > block.base) {
-      throw MsrError("block [" + std::to_string(block.base) + ", +" +
-                     std::to_string(block.size) + ") overlaps existing block '" +
-                     prev->second.name + "'");
-    }
-  }
-  if (!by_id_.emplace(block.id, block.base).second) {
+MemoryBlock* Msrlt::insert_checked(MemoryBlock block) {
+  const auto id_it = by_id_.find(block.id);
+  if (id_it != by_id_.end()) {
     throw MsrError("duplicate block id " + std::to_string(block.id));
   }
-  tracked_bytes_ += block.size;
-  by_addr_.emplace(block.base, std::move(block));
+  const std::uint64_t size = block.size;
+  MemoryBlock* stored = index_->insert(std::move(block));  // throws on overlap
+  by_id_.emplace(stored->id, stored);
+  tracked_bytes_ += size;
   registrations_.add(1);
   blocks_gauge_.add(1);
+  return stored;
 }
 
 BlockId Msrlt::register_block(Segment seg, Address base, std::uint64_t size, ti::TypeId type,
@@ -75,72 +64,55 @@ void Msrlt::register_with_id(BlockId id, Segment seg, Address base, std::uint64_
 }
 
 void Msrlt::unregister(Address base) {
-  auto it = by_addr_.find(base);
-  if (it == by_addr_.end()) {
+  MemoryBlock* block = index_->find_base(base);
+  if (block == nullptr) {
     throw MsrError("unregister: no block based at " + std::to_string(base));
   }
-  by_id_.erase(it->second.id);
-  tracked_bytes_ -= it->second.size;
-  mru_ = nullptr;  // may point at the erased node
-  by_addr_.erase(it);
+  by_id_.erase(block->id);
+  tracked_bytes_ -= block->size;
+  ++cache_epoch_;  // some cached entry may point at the erased block
+  index_->erase(base);
   removals_.add(1);
   blocks_gauge_.sub(1);
 }
 
 const MemoryBlock* Msrlt::find_containing(Address addr) const {
   searches_.add(1);
-  // One-entry MRU cache: consecutive pointer leaves usually land in the
-  // block the previous search found, so this answers in one comparison.
-  if (mru_ != nullptr && addr >= mru_->base && addr < mru_->base + mru_->size) {
-    cache_hits_.add(1);
-    search_steps_.add(1);
-    return mru_;
-  }
-  if (strategy_ == SearchStrategy::LinearScan) {
-    for (const auto& [base, block] : by_addr_) {
+  // Set-associative cache: consecutive pointer leaves usually land in a
+  // recently found block, so most searches answer in a few comparisons
+  // against one cache set.
+  CacheEntry* set = cache_.data() + cache_set(addr) * kCacheWays;
+  for (std::size_t way = 0; way < kCacheWays; ++way) {
+    const CacheEntry& e = set[way];
+    if (e.epoch == cache_epoch_ && addr - e.block->base < e.block->size) {
+      cache_hits_.add(1);
       search_steps_.add(1);
-      if (addr >= base && addr < base + block.size) {
-        mru_ = &block;
-        return &block;
-      }
+      return e.block;
     }
-    return nullptr;
   }
-  // OrderedMap: the candidate is the last block whose base <= addr.
-  auto it = by_addr_.upper_bound(addr);
-  // ~log2(n) comparisons; recorded so benches can confirm the O(n log n)
-  // aggregate search term without a profiler.
-  std::uint64_t n = by_addr_.size();
-  std::uint64_t steps = 1;
-  while (n > 1) {
-    n >>= 1;
-    ++steps;
-  }
+  std::uint64_t steps = 0;
+  const MemoryBlock* block = index_->find_containing(addr, steps);
   search_steps_.add(steps);
-  if (it == by_addr_.begin()) return nullptr;
-  --it;
-  const MemoryBlock& block = it->second;
-  if (addr >= block.base + block.size) return nullptr;
-  mru_ = &block;
-  return &block;
+  if (block != nullptr) {
+    std::uint8_t& cursor = cache_cursor_[static_cast<std::size_t>(set - cache_.data()) / kCacheWays];
+    set[cursor] = CacheEntry{cache_epoch_, block};
+    cursor = static_cast<std::uint8_t>((cursor + 1) % kCacheWays);
+  }
+  return block;
 }
 
 const MemoryBlock* Msrlt::find_id(BlockId id) const {
   id_lookups_.add(1);
   const auto it = by_id_.find(id);
-  if (it == by_id_.end()) return nullptr;
-  const auto addr_it = by_addr_.find(it->second);
-  return addr_it == by_addr_.end() ? nullptr : &addr_it->second;
+  return it == by_id_.end() ? nullptr : it->second;
 }
 
 bool Msrlt::try_mark(BlockId id) {
   const auto it = by_id_.find(id);
   if (it == by_id_.end()) throw MsrError("try_mark: unknown block id");
-  auto addr_it = by_addr_.find(it->second);
-  if (addr_it == by_addr_.end()) throw MsrError("try_mark: id table out of sync");
   marks_.add(1);
-  if (addr_it->second.visit_epoch == epoch_) return false;
-  addr_it->second.visit_epoch = epoch_;
+  if (it->second->visit_epoch == epoch_) return false;
+  it->second->visit_epoch = epoch_;
   return true;
 }
 

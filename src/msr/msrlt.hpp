@@ -7,27 +7,30 @@
 // (block id, offset) pairs.
 //
 // Complexity contract (paper §4.2): with n tracked blocks, one address
-// search costs O(log n) (ordered-map strategy), so collecting n blocks
-// costs O(n log n) in search time; restoration never searches — migrated
-// blocks arrive with their logical id attached — so MSRLT updates during
-// restore are O(1) amortized each, O(n) total. Statistics counters expose
-// both terms so benchmarks can validate the model directly.
+// search costs O(log n) (ordered-map and flat-array strategies), so
+// collecting n blocks costs O(n log n) in search time; restoration never
+// searches — migrated blocks arrive with their logical id attached — so
+// MSRLT updates during restore are O(1) amortized each, O(n) total.
+// Statistics counters expose both terms so benchmarks can validate the
+// model directly.
+//
+// Storage and search are delegated to an AddressIndex
+// (msr/address_index.hpp) selected by SearchStrategy; the MSRLT itself
+// owns the id table, the visit-epoch marking, the statistics counters,
+// and a small set-associative lookup cache consulted before any strategy.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "msr/address_index.hpp"
 #include "msr/block.hpp"
 #include "obs/metrics.hpp"
 
 namespace hpm::msr {
-
-/// Search-strategy ablation knob (bench/ablation_msrlt): the paper's
-/// design implies an ordered structure; LinearScan shows what the
-/// collection term degrades to without one.
-enum class SearchStrategy : std::uint8_t { OrderedMap, LinearScan };
 
 class Msrlt {
  public:
@@ -55,9 +58,10 @@ class Msrlt {
   /// Returns nullptr for untracked addresses. Counts a search.
   ///
   /// Pointer collection has strong block locality (consecutive leaves of
-  /// one block resolve into the same few blocks), so a one-entry MRU
-  /// "last containing block" cache is consulted before the ordered-map
-  /// search; hits count one search step under `msr.msrlt.cache_hits`.
+  /// one block resolve into the same few blocks), so a small
+  /// set-associative cache of recent containing blocks is consulted
+  /// before the strategy's search; hits count one search step under
+  /// `msr.msrlt.cache_hits`.
   const MemoryBlock* find_containing(Address addr) const;
 
   /// Find a block by logical id; nullptr if unknown.
@@ -71,32 +75,57 @@ class Msrlt {
   /// first time, false if already visited (the paper's duplicate guard).
   bool try_mark(BlockId id);
 
-  [[nodiscard]] std::size_t block_count() const noexcept { return by_addr_.size(); }
+  [[nodiscard]] std::size_t block_count() const noexcept { return index_->size(); }
 
   /// Sum of the byte sizes of all tracked blocks. Collection pre-sizes
   /// its encoder from this total, so large heaps stream without
   /// reallocation churn.
   [[nodiscard]] std::uint64_t tracked_bytes() const noexcept { return tracked_bytes_; }
 
-  /// Visit every tracked block (graph building, leak checks).
+  [[nodiscard]] SearchStrategy strategy() const noexcept { return strategy_; }
+
+  /// Immutable snapshot of the current block set for concurrent readers
+  /// (parallel collection). Blocks stay pointer-stable while the snapshot
+  /// is in use as long as no block is unregistered.
+  [[nodiscard]] FrozenIndex freeze() const { return index_->freeze(); }
+
+  /// Visit every tracked block in ascending base order (graph building,
+  /// leak checks).
   template <typename Fn>
   void for_each_block(Fn&& fn) const {
-    for (const auto& [base, block] : by_addr_) fn(block);
+    index_->for_each([&fn](const MemoryBlock& block) { fn(block); });
   }
 
  private:
-  void insert_checked(MemoryBlock block);
+  MemoryBlock* insert_checked(MemoryBlock block);
 
   SearchStrategy strategy_;
-  std::map<Address, MemoryBlock> by_addr_;
-  std::unordered_map<BlockId, Address> by_id_;
+  std::unique_ptr<AddressIndex> index_;
+  std::unordered_map<BlockId, MemoryBlock*> by_id_;
   std::uint64_t next_seq_[3] = {1, 1, 1};  // per segment
   std::uint64_t epoch_ = 1;
   std::uint64_t tracked_bytes_ = 0;
 
-  // One-entry MRU cache for find_containing (cleared on any unregister;
-  // std::map node pointers are stable across inserts).
-  mutable const MemoryBlock* mru_ = nullptr;
+  // Set-associative lookup cache for find_containing (the widened
+  // successor of the seed's one-entry MRU). Entries hold positive results
+  // only; unregistering any block invalidates the whole cache in O(1) by
+  // bumping the cache epoch (block pointers are stable across inserts,
+  // so inserts need no invalidation).
+  static constexpr std::size_t kCacheWays = 4;
+  static constexpr std::size_t kCacheSets = 64;
+  struct CacheEntry {
+    std::uint64_t epoch = 0;
+    const MemoryBlock* block = nullptr;
+  };
+  static std::size_t cache_set(Address addr) noexcept {
+    // 64-byte granules; fold high bits in so strided probes spread out.
+    std::uint64_t g = addr >> 6;
+    g ^= g >> 12;
+    return static_cast<std::size_t>(g) & (kCacheSets - 1);
+  }
+  mutable std::array<CacheEntry, kCacheSets * kCacheWays> cache_{};
+  mutable std::array<std::uint8_t, kCacheSets> cache_cursor_{};  // round-robin fill
+  mutable std::uint64_t cache_epoch_ = 1;
 
   // `msr.msrlt.*` instruments (process-wide registry).
   obs::Counter& registrations_;

@@ -17,10 +17,10 @@ std::string hex_addr(msr::Address addr) {
 
 }  // namespace
 
-Collector::Collector(msr::MemorySpace& space, xdr::Encoder& enc)
+CollectorBase::CollectorBase(msr::MemorySpace& space, xdr::Encoder& enc, LeafCache& leaves)
     : space_(space),
       enc_(enc),
-      leaves_(space),
+      leaves_(leaves),
       blocks_saved_(obs::Registry::process().counter("msrm.collect.blocks_saved")),
       refs_saved_(obs::Registry::process().counter("msrm.collect.refs_saved")),
       nulls_saved_(obs::Registry::process().counter("msrm.collect.nulls_saved")),
@@ -28,12 +28,29 @@ Collector::Collector(msr::MemorySpace& space, xdr::Encoder& enc)
       ptr_leaves_(obs::Registry::process().counter("msrm.collect.ptr_leaves")),
       bulk_bodies_(obs::Registry::process().counter("msrm.collect.bulk_bodies")),
       bulk_bytes_(obs::Registry::process().counter("msrm.collect.bulk_bytes")),
-      depth_hist_(obs::Registry::process().histogram("msrm.collect.depth")) {
+      depth_hist_(obs::Registry::process().histogram("msrm.collect.depth")) {}
+
+void CollectorBase::flush_instruments() noexcept {
+  if (tally_blocks_ != 0) blocks_saved_.add(tally_blocks_);
+  if (tally_refs_ != 0) refs_saved_.add(tally_refs_);
+  if (tally_nulls_ != 0) nulls_saved_.add(tally_nulls_);
+  if (tally_prim_ != 0) prim_leaves_.add(tally_prim_);
+  if (tally_ptr_ != 0) ptr_leaves_.add(tally_ptr_);
+  if (tally_bulk_bodies_ != 0) bulk_bodies_.add(tally_bulk_bodies_);
+  if (tally_bulk_bytes_ != 0) bulk_bytes_.add(tally_bulk_bytes_);
+  depth_hist_.record_batch(tally_depths_.data(), tally_depths_.size());
+  tally_blocks_ = tally_refs_ = tally_nulls_ = 0;
+  tally_prim_ = tally_ptr_ = tally_bulk_bodies_ = tally_bulk_bytes_ = 0;
+  tally_depths_.clear();
+}
+
+Collector::Collector(msr::MemorySpace& space, xdr::Encoder& enc)
+    : detail::OwnedLeafCache(space), CollectorBase(space, enc, cache) {
   space_.msrlt().begin_traversal();
 }
 
-void Collector::save_variable(msr::Address block_base) {
-  const msr::MemoryBlock* block = space_.msrlt().find_containing(block_base);
+void CollectorBase::save_variable(msr::Address block_base) {
+  const msr::MemoryBlock* block = containing(block_base);
   if (block == nullptr) {
     throw MsrError("save_variable: address " + hex_addr(block_base) +
                    " is not inside any tracked block");
@@ -45,35 +62,37 @@ void Collector::save_variable(msr::Address block_base) {
   }
   encode_ptr_value(block_base);
   drain();
+  flush_instruments();
 }
 
-void Collector::save_pointer(msr::Address cell_addr) {
+void CollectorBase::save_pointer(msr::Address cell_addr) {
   encode_ptr_value(space_.read_pointer(cell_addr));
   drain();
+  flush_instruments();
 }
 
-void Collector::encode_ptr_value(msr::Address target) {
+void CollectorBase::encode_ptr_value(msr::Address target) {
   if (target == 0) {
     enc_.put_u8(kPtrNull);
-    nulls_saved_.add(1);
+    ++tally_nulls_;
     return;
   }
-  const msr::LogicalPointer lp = msr::resolve_pointer(space_, target);
-  if (!space_.msrlt().try_mark(lp.block)) {
+  const msr::LogicalPointer lp = resolve(target);
+  if (!visit(lp.block)) {
     enc_.put_u8(kPtrRef);
     enc_.put_u64(lp.block);
     enc_.put_u64(lp.leaf);
-    refs_saved_.add(1);
+    ++tally_refs_;
     return;
   }
-  const msr::MemoryBlock* block = space_.msrlt().find_id(lp.block);
+  const msr::MemoryBlock* block = block_of(lp.block);
   enc_.put_u8(kPtrNew);
   enc_.put_u64(lp.block);
   enc_.put_u64(lp.leaf);
   enc_.put_u8(static_cast<std::uint8_t>(block->segment));
   enc_.put_u32(block->type);
   enc_.put_u32(block->count);
-  blocks_saved_.add(1);
+  ++tally_blocks_;
 
   if (space_.types().bulk_eligible(block->type)) {
     encode_flat(*block);  // pure-XDR fast path, nothing to push
@@ -86,10 +105,10 @@ void Collector::encode_ptr_value(msr::Address target) {
   p.elem_idx = 0;
   p.leaf_idx = 0;
   stack_.push_back(p);
-  depth_hist_.record(static_cast<double>(stack_.size()));
+  tally_depths_.push_back(static_cast<double>(stack_.size()));
 }
 
-void Collector::encode_flat(const msr::MemoryBlock& block) {
+void CollectorBase::encode_flat(const msr::MemoryBlock& block) {
   // Bulk fast path: the block's raw source-layout image in one put_bytes.
   // The decoder memcpy's it under a matching data model and converts it
   // leaf-by-leaf (source-arch layout walk) otherwise.
@@ -97,9 +116,9 @@ void Collector::encode_flat(const msr::MemoryBlock& block) {
     enc_.put_u8(kBodyRaw);
     enc_.put_u64(block.size);
     enc_.put_bytes(raw, block.size);
-    bulk_bodies_.add(1);
-    bulk_bytes_.add(block.size);
-    prim_leaves_.add(space_.leaves().count(block.type) * block.count);
+    ++tally_bulk_bodies_;
+    tally_bulk_bytes_ += block.size;
+    tally_prim_ += space_.leaves().count(block.type) * block.count;
     return;
   }
   enc_.put_u8(kBodyCanonical);
@@ -109,12 +128,12 @@ void Collector::encode_flat(const msr::MemoryBlock& block) {
   }
 }
 
-void Collector::encode_flat_type(msr::Address base, ti::TypeId type) {
+void CollectorBase::encode_flat_type(msr::Address base, ti::TypeId type) {
   const ti::TypeInfo& info = space_.types().at(type);
   switch (info.kind) {
     case ti::TypeKind::Primitive:
       xdr::encode_canonical(enc_, space_.read_prim(base, info.prim));
-      prim_leaves_.add(1);
+      ++tally_prim_;
       return;
     case ti::TypeKind::Pointer:
       throw MsrError("encode_flat_type reached a pointer (contains_pointer lied)");
@@ -135,7 +154,7 @@ void Collector::encode_flat_type(msr::Address base, ti::TypeId type) {
   }
 }
 
-void Collector::drain() {
+void CollectorBase::drain() {
   while (!stack_.empty()) {
     const std::size_t my_index = stack_.size() - 1;
     bool suspended = false;
@@ -153,9 +172,9 @@ void Collector::drain() {
       stack_[my_index].leaf_idx = cur.leaf_idx + 1;
       if (!ref.is_pointer) {
         xdr::encode_canonical(enc_, space_.read_prim(cell, ref.prim));
-        prim_leaves_.add(1);
+        ++tally_prim_;
       } else {
-        ptr_leaves_.add(1);
+        ++tally_ptr_;
         const msr::Address value = space_.read_pointer(cell);
         encode_ptr_value(value);
         if (stack_.size() > my_index + 1) {

@@ -6,6 +6,12 @@
 // traversal uses an explicit work stack, so arbitrarily deep structures
 // (long linked lists) cannot overflow the call stack even though the wire
 // format is recursively nested.
+//
+// The traversal/encoding engine lives in CollectorBase with three policy
+// hooks — visited marking, address resolution, and id lookup — so the
+// serial Collector (live MSRLT) and the parallel per-root collectors
+// (frozen index + ownership table, msrm/par_collect.hpp) emit
+// bit-identical streams from one engine.
 #pragma once
 
 #include <vector>
@@ -19,10 +25,9 @@
 
 namespace hpm::msrm {
 
-class Collector {
+class CollectorBase {
  public:
-  /// Starts a fresh traversal (bumps the MSRLT visit epoch).
-  Collector(msr::MemorySpace& space, xdr::Encoder& enc);
+  virtual ~CollectorBase() { flush_instruments(); }
 
   /// Collect a whole live variable: the tracked block based at
   /// `block_base` and everything reachable from it. (Paper:
@@ -33,6 +38,23 @@ class Collector {
   /// reachable through it. (Paper: `Save_pointer(p)` where the cell holds
   /// p's value.) Emits one PtrVal record.
   void save_pointer(msr::Address cell_addr);
+
+ protected:
+  /// `leaves` outlives the collector; sharing one prewarmed cache across
+  /// parallel per-root collectors keeps the hot loop allocation-free.
+  CollectorBase(msr::MemorySpace& space, xdr::Encoder& enc, LeafCache& leaves);
+
+  /// --- policy hooks --------------------------------------------------------
+  /// First visit of `id` in this traversal? (true exactly once per block.)
+  virtual bool visit(msr::BlockId id) = 0;
+  /// Address -> (block, leaf ordinal); throws MsrError off the data model.
+  virtual msr::LogicalPointer resolve(msr::Address addr) const = 0;
+  /// Block by id (known-present after resolve).
+  virtual const msr::MemoryBlock* block_of(msr::BlockId id) const = 0;
+  /// Containing-block lookup for root validation.
+  virtual const msr::MemoryBlock* containing(msr::Address addr) const = 0;
+
+  msr::MemorySpace& space_;
 
  private:
   struct Pending {
@@ -56,13 +78,20 @@ class Collector {
   /// Run the DFS until the work stack is empty.
   void drain();
 
-  msr::MemorySpace& space_;
+  /// Push the local tallies into the process registry and zero them.
+  /// Called at the end of each save_*; the destructor flushes whatever an
+  /// exception left behind. Buffering matters for parallel collection:
+  /// the registry counters are shared atomics (and the depth histogram a
+  /// shared mutex) — per-event updates from four workers turn into
+  /// cache-line ping-pong that erases the parallel speedup.
+  void flush_instruments() noexcept;
+
   xdr::Encoder& enc_;
-  LeafCache leaves_;
+  LeafCache& leaves_;
   std::vector<Pending> stack_;
 
   // `msrm.collect.*` instruments (process-wide registry) and the
-  // traversal-depth histogram.
+  // traversal-depth histogram, fed from the per-collector tallies below.
   obs::Counter& blocks_saved_;
   obs::Counter& refs_saved_;
   obs::Counter& nulls_saved_;
@@ -71,6 +100,44 @@ class Collector {
   obs::Counter& bulk_bodies_;   ///< BODY_RAW bodies emitted
   obs::Counter& bulk_bytes_;    ///< raw bytes those bodies carried
   obs::Histogram& depth_hist_;  ///< `msrm.collect.depth`
+
+  std::uint64_t tally_blocks_ = 0;
+  std::uint64_t tally_refs_ = 0;
+  std::uint64_t tally_nulls_ = 0;
+  std::uint64_t tally_prim_ = 0;
+  std::uint64_t tally_ptr_ = 0;
+  std::uint64_t tally_bulk_bodies_ = 0;
+  std::uint64_t tally_bulk_bytes_ = 0;
+  std::vector<double> tally_depths_;
+};
+
+namespace detail {
+/// Base-before-base holder so the serial Collector can own the LeafCache
+/// it hands CollectorBase (members would be constructed too late).
+struct OwnedLeafCache {
+  explicit OwnedLeafCache(const msr::MemorySpace& space) : cache(space) {}
+  LeafCache cache;
+};
+}  // namespace detail
+
+/// The serial collector: duplicate guard and address resolution against
+/// the live MSRLT, exactly the paper's single-threaded traversal.
+class Collector final : private detail::OwnedLeafCache, public CollectorBase {
+ public:
+  /// Starts a fresh traversal (bumps the MSRLT visit epoch).
+  Collector(msr::MemorySpace& space, xdr::Encoder& enc);
+
+ protected:
+  bool visit(msr::BlockId id) override { return space_.msrlt().try_mark(id); }
+  msr::LogicalPointer resolve(msr::Address addr) const override {
+    return msr::resolve_pointer(space_, addr);
+  }
+  const msr::MemoryBlock* block_of(msr::BlockId id) const override {
+    return space_.msrlt().find_id(id);
+  }
+  const msr::MemoryBlock* containing(msr::Address addr) const override {
+    return space_.msrlt().find_containing(addr);
+  }
 };
 
 }  // namespace hpm::msrm

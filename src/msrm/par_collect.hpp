@@ -1,0 +1,40 @@
+// Parallel data collection: partition the root set across a small worker
+// pool so independent subgraphs are collected concurrently, while the
+// merged stream stays bit-identical to the serial Collector's.
+//
+// Determinism argument (DESIGN.md §14): in the serial traversal, a block
+// is emitted as PNEW by the FIRST root (in root order) that reaches it,
+// and as PREF everywhere else. Equivalently, ownership(block) = min rank
+// over roots that reach it. The parallel path computes exactly that
+// min-rank relation with a lock-free CAS-min ownership pass over a frozen
+// index, then replays each root's DFS against the precomputed ownership:
+// a block is NEW for root r iff owner == r and it is r's own first
+// encounter (per-root visited epoch), which is precisely the serial
+// criterion. Per-root streams are therefore byte-identical to the serial
+// stream's per-root segments, and the rank-ordered merge reproduces the
+// serial stream exactly — chunking sinks, digests, and the destination
+// decoder cannot tell the difference.
+//
+// The space's read paths (read_prim/read_pointer/raw_view) must be safe
+// for concurrent readers; HostSpace qualifies (plain loads). All lazy
+// type-metadata memos (layouts, leaf counts, flat leaf lists) are
+// prewarmed before workers start so the hot phase is read-only.
+#pragma once
+
+#include <vector>
+
+#include "msr/space.hpp"
+#include "xdr/wire.hpp"
+
+namespace hpm::msrm {
+
+/// Collect every root (a tracked block base, in the paper's
+/// innermost-frame-first order) and all state reachable from it into
+/// `enc`, one PtrVal record per root. `threads <= 1` runs the serial
+/// Collector — today's behavior, bit for bit; `threads > 1` runs the
+/// ownership-partitioned parallel path described above, which emits the
+/// same bytes. `msrm.collect.par.*` metrics cover the parallel path.
+void collect_roots(msr::MemorySpace& space, xdr::Encoder& enc,
+                   const std::vector<msr::Address>& roots, unsigned threads);
+
+}  // namespace hpm::msrm

@@ -1,6 +1,9 @@
 #include "msrm/restore.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
+#include "xdr/batch.hpp"
 #include "xdr/value.hpp"
 
 namespace hpm::msrm {
@@ -24,6 +27,9 @@ Restorer::Restorer(msr::MemorySpace& space, xdr::Decoder& dec,
       ptr_leaves_(obs::Registry::process().counter("msrm.restore.ptr_leaves")),
       bulk_bodies_(obs::Registry::process().counter("msrm.restore.bulk_bodies")),
       bulk_bytes_(obs::Registry::process().counter("msrm.restore.bulk_bytes")),
+      staged_runs_(obs::Registry::process().counter("msrm.restore.staged_runs")),
+      staged_run_bytes_(obs::Registry::process().counter("msrm.restore.staged_run_bytes")),
+      staged_scalar_leaves_(obs::Registry::process().counter("msrm.restore.staged_scalar_leaves")),
       depth_hist_(obs::Registry::process().histogram("msrm.restore.depth")) {}
 
 void Restorer::bind(msr::BlockId source_id, msr::BlockId dest_id, ti::TypeId type,
@@ -142,6 +148,64 @@ const std::vector<ti::LeafRef>& Restorer::src_leaves_of(ti::TypeId type) {
   return src_leaf_cache_.emplace(type, std::move(list)).first->second;
 }
 
+const Restorer::StagedPlan& Restorer::staged_plan_of(ti::TypeId type) {
+  const auto it = staged_plans_.find(type);
+  if (it != staged_plans_.end()) return it->second;
+
+  // Fuse the per-element leaf walk into runs. A leaf joins a run when it
+  // has the same width on both architectures (so its conversion is a pure
+  // byte move / lane reverse), that width is a power of two the kernels
+  // handle, it is not a Bool (write_prim normalizes those), and it abuts
+  // the previous leaf in BOTH layouts. Copy-class runs (matching byte
+  // orders, or 1-byte lanes) may mix widths; byteswap runs must keep one
+  // lane width. Everything else stays on the scalar read_raw/write_prim
+  // path, which keeps narrowing overflow detection.
+  const std::vector<ti::LeafRef>& src_list = src_leaves_of(type);
+  const std::vector<ti::LeafRef>& dst_list = leaves_.of(type);
+  const bool order_differs = src_arch_->order != space_.arch().order;
+
+  StagedPlan plan;
+  for (std::uint32_t i = 0; i < src_list.size(); ++i) {
+    const ti::LeafRef& src = src_list[i];
+    const ti::LeafRef& dst = dst_list[i];
+    const std::uint8_t w = src_arch_->layout(src.prim).size;
+    const bool batchable = src.prim != xdr::PrimKind::Bool &&
+                           w == space_.arch().layout(dst.prim).size &&
+                           (w == 1 || w == 2 || w == 4 || w == 8);
+    if (!batchable) {
+      StagedOp op;
+      op.first = i;
+      plan.ops.push_back(op);
+      ++plan.scalar_ops;
+      continue;
+    }
+    const bool swap = order_differs && w > 1;
+    StagedOp* prev = plan.ops.empty() ? nullptr : &plan.ops.back();
+    const bool extends = prev != nullptr && prev->count > 0 && prev->swap == swap &&
+                         (!swap || prev->width == w) &&
+                         src.byte_offset == prev->src_off + prev->bytes &&
+                         dst.byte_offset == prev->dst_off + prev->bytes;
+    if (extends) {
+      prev->count += 1;
+      prev->bytes += w;
+      plan.run_bytes += w;
+      continue;
+    }
+    StagedOp op;
+    op.first = i;
+    op.count = 1;
+    op.width = w;
+    op.swap = swap;
+    op.src_off = src.byte_offset;
+    op.dst_off = dst.byte_offset;
+    op.bytes = w;
+    plan.ops.push_back(op);
+    ++plan.run_ops;
+    plan.run_bytes += w;
+  }
+  return staged_plans_.emplace(type, std::move(plan)).first->second;
+}
+
 void Restorer::decode_flat(const msr::MemoryBlock& block) {
   const std::uint8_t body = dec_.get_u8();
   if (body == kBodyCanonical) {
@@ -182,14 +246,42 @@ void Restorer::decode_flat(const msr::MemoryBlock& block) {
   const std::vector<ti::LeafRef>& src_list = src_leaves_of(block.type);
   const std::vector<ti::LeafRef>& dst_list = leaves_.of(block.type);
   const std::uint64_t dst_elem = space_.layouts().of(block.type).size;
-  for (std::uint32_t e = 0; e < block.count; ++e) {
-    const std::uint8_t* in = raw_buf_.data() + e * src_elem;
-    const msr::Address out = block.base + e * dst_elem;
-    for (std::size_t i = 0; i < src_list.size(); ++i) {
-      space_.write_prim(out + dst_list[i].byte_offset, dst_list[i].prim,
-                        xdr::read_raw(in + src_list[i].byte_offset, *src_arch_,
-                                      src_list[i].prim));
+  std::uint8_t* raw_out = space_.raw_mut(block.base, block.size);
+  if (raw_out != nullptr) {
+    // Batched conversion: replay the fused per-element plan, one memcpy /
+    // byteswap sweep per run instead of one scalar round trip per leaf.
+    const StagedPlan& plan = staged_plan_of(block.type);
+    for (std::uint32_t e = 0; e < block.count; ++e) {
+      const std::uint8_t* in = raw_buf_.data() + e * src_elem;
+      std::uint8_t* out = raw_out + e * dst_elem;
+      for (const StagedOp& op : plan.ops) {
+        if (op.count == 0) {
+          space_.write_prim(block.base + e * dst_elem + dst_list[op.first].byte_offset,
+                            dst_list[op.first].prim,
+                            xdr::read_raw(in + src_list[op.first].byte_offset, *src_arch_,
+                                          src_list[op.first].prim));
+        } else if (!op.swap) {
+          std::memcpy(out + op.dst_off, in + op.src_off, op.bytes);
+        } else {
+          xdr::bswap_run(out + op.dst_off, in + op.src_off, op.count, op.width);
+        }
+      }
     }
+    staged_runs_.add(std::uint64_t{plan.run_ops} * block.count);
+    staged_run_bytes_.add(plan.run_bytes * block.count);
+    staged_scalar_leaves_.add(std::uint64_t{plan.scalar_ops} * block.count);
+  } else {
+    // No contiguous destination storage: scalar conversion per leaf.
+    for (std::uint32_t e = 0; e < block.count; ++e) {
+      const std::uint8_t* in = raw_buf_.data() + e * src_elem;
+      const msr::Address out = block.base + e * dst_elem;
+      for (std::size_t i = 0; i < src_list.size(); ++i) {
+        space_.write_prim(out + dst_list[i].byte_offset, dst_list[i].prim,
+                          xdr::read_raw(in + src_list[i].byte_offset, *src_arch_,
+                                        src_list[i].prim));
+      }
+    }
+    staged_scalar_leaves_.add(leaf_total);
   }
   prim_leaves_.add(leaf_total);
 }

@@ -83,6 +83,31 @@ class Restorer {
   /// Flat leaf list of `type` under the *source* architecture's layout.
   const std::vector<ti::LeafRef>& src_leaves_of(ti::TypeId type);
 
+  /// One step of the staged heterogeneous conversion. count > 0 is a
+  /// *run*: `count` leaves contiguous in both layouts, executed as one
+  /// memcpy (swap == false, `bytes` long, widths may mix) or one
+  /// fixed-`width` byteswap sweep. count == 0 falls back to the scalar
+  /// read_raw/write_prim round trip for leaf `first` (width-changing
+  /// leaves, Bool normalization, overflow detection).
+  struct StagedOp {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::uint8_t width = 0;
+    bool swap = false;
+    std::uint64_t src_off = 0;
+    std::uint64_t dst_off = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Per-element conversion recipe for one TypeId (both layouts fixed for
+  /// the stream's lifetime, so built once and replayed per element).
+  struct StagedPlan {
+    std::vector<StagedOp> ops;
+    std::uint64_t run_bytes = 0;     ///< bytes moved by runs, per element
+    std::uint32_t run_ops = 0;       ///< run ops per element
+    std::uint32_t scalar_ops = 0;    ///< scalar ops per element
+  };
+  const StagedPlan& staged_plan_of(ti::TypeId type);
+
   const msr::MemoryBlock& materialize_pnew(msr::BlockId src_id, std::uint8_t segment,
                                            ti::TypeId type, std::uint32_t count);
 
@@ -100,6 +125,7 @@ class Restorer {
   ti::LayoutMap src_layouts_;
   bool same_model_;
   std::unordered_map<ti::TypeId, std::vector<ti::LeafRef>> src_leaf_cache_;
+  std::unordered_map<ti::TypeId, StagedPlan> staged_plans_;
   std::vector<std::uint8_t> raw_buf_;
 
   // `msrm.restore.*` instruments (process-wide registry) and the
@@ -112,6 +138,9 @@ class Restorer {
   obs::Counter& ptr_leaves_;
   obs::Counter& bulk_bodies_;   ///< BODY_RAW bodies memcpy'd
   obs::Counter& bulk_bytes_;    ///< bytes those bodies carried
+  obs::Counter& staged_runs_;          ///< batched run ops executed
+  obs::Counter& staged_run_bytes_;     ///< bytes those runs converted
+  obs::Counter& staged_scalar_leaves_; ///< leaves that stayed scalar
   obs::Histogram& depth_hist_;  ///< `msrm.restore.depth`
 };
 

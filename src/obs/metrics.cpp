@@ -58,6 +58,24 @@ void Histogram::record(double value) noexcept {
   sum_ += value;
 }
 
+void Histogram::record_batch(const double* values, std::size_t n) noexcept {
+  if (n == 0) return;
+  std::lock_guard lk(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double value = values[i];
+    if (std::isnan(value)) continue;
+    ++buckets_[bucket_index(value)];
+    if (count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+  }
+}
+
 double Histogram::percentile_locked(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);

@@ -86,6 +86,10 @@ class Histogram {
   explicit Histogram(Unit unit = Unit::None);
 
   void record(double value) noexcept;
+  /// One lock for the whole batch — for hot paths that buffer samples
+  /// locally (the collector's depth instrument) instead of taking the
+  /// histogram mutex per event.
+  void record_batch(const double* values, std::size_t n) noexcept;
   [[nodiscard]] HistogramSummary summary() const;
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] Unit unit() const noexcept { return unit_; }

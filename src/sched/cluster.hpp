@@ -9,6 +9,12 @@
 // Collect + Tx + Restore seconds as predicted by a cost model whose
 // coefficients are calibrated from this library's own measured
 // benchmarks (bench/table1_migration, bench/complexity_model).
+//
+// DEPRECATED as a public include path for the fleet API: embedders
+// should include hpm/migrate.hpp (or hpm/hpm.hpp), which re-exports
+// migrate_many / SessionJob / SessionOutcome / FleetOptions into the
+// top-level hpm namespace. The simulation API (Policy, simulate, ...)
+// is internal and may be reorganized freely.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,162 @@
+// Property-based equivalence of the AddressIndex implementations: the
+// flat sorted interval array (branchless binary search, pending run,
+// tombstoned erase) must be behavior-identical to the std::map reference
+// across randomized insert/erase/lookup sequences — same accept/reject
+// decisions, same containing-block answers (including misses and
+// out-of-range probes), same address-order iteration, and equivalent
+// frozen snapshots. Step counts are strategy-specific and not compared.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+#include "msr/address_index.hpp"
+
+namespace hpm {
+namespace {
+
+using msr::Address;
+using msr::BlockId;
+using msr::MemoryBlock;
+
+MemoryBlock make_block(BlockId id, Address base, std::uint64_t size) {
+  MemoryBlock b;
+  b.id = id;
+  b.segment = msr::Segment::Heap;
+  b.base = base;
+  b.size = size;
+  b.type = 1;
+  b.count = 1;
+  return b;
+}
+
+class Harness {
+ public:
+  Harness()
+      : ref_(msr::make_address_index(msr::SearchStrategy::OrderedMap)),
+        flat_(msr::make_address_index(msr::SearchStrategy::FlatArray)) {}
+
+  /// Insert into both; they must agree on accept vs MsrError.
+  void insert(Address base, std::uint64_t size) {
+    const BlockId id = msr::make_block_id(msr::Segment::Heap, next_seq_++);
+    bool ref_ok = true, flat_ok = true;
+    try {
+      ref_->insert(make_block(id, base, size));
+    } catch (const MsrError&) {
+      ref_ok = false;
+    }
+    try {
+      flat_->insert(make_block(id, base, size));
+    } catch (const MsrError&) {
+      flat_ok = false;
+    }
+    ASSERT_EQ(ref_ok, flat_ok) << "insert divergence at base=" << base << " size=" << size;
+    if (ref_ok) live_.emplace(base, id);
+  }
+
+  void erase_random(std::mt19937_64& rng) {
+    if (live_.empty()) return;
+    auto it = live_.begin();
+    std::advance(it, static_cast<long>(rng() % live_.size()));
+    ref_->erase(it->first);
+    flat_->erase(it->first);
+    live_.erase(it);
+  }
+
+  void check_lookup(Address addr) {
+    std::uint64_t s1 = 0, s2 = 0;
+    const MemoryBlock* a = ref_->find_containing(addr, s1);
+    const MemoryBlock* b = flat_->find_containing(addr, s2);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "hit/miss divergence at " << addr;
+    if (a != nullptr) {
+      EXPECT_EQ(a->id, b->id);
+      EXPECT_EQ(a->base, b->base);
+      EXPECT_EQ(a->size, b->size);
+    }
+    MemoryBlock* fb1 = ref_->find_base(addr);
+    MemoryBlock* fb2 = flat_->find_base(addr);
+    ASSERT_EQ(fb1 == nullptr, fb2 == nullptr);
+    if (fb1 != nullptr) {
+      EXPECT_EQ(fb1->id, fb2->id);
+    }
+  }
+
+  void check_full_state() {
+    ASSERT_EQ(ref_->size(), flat_->size());
+    ASSERT_EQ(ref_->size(), live_.size());
+    std::vector<std::pair<Address, BlockId>> ref_order, flat_order;
+    ref_->for_each([&](const MemoryBlock& b) { ref_order.emplace_back(b.base, b.id); });
+    flat_->for_each([&](const MemoryBlock& b) { flat_order.emplace_back(b.base, b.id); });
+    EXPECT_EQ(ref_order, flat_order);
+
+    const msr::FrozenIndex fz_ref = ref_->freeze();
+    const msr::FrozenIndex fz_flat = flat_->freeze();
+    ASSERT_EQ(fz_ref.size(), fz_flat.size());
+    for (const auto& [base, id] : live_) {
+      EXPECT_EQ(fz_ref.slot_of(id), fz_flat.slot_of(id));
+      const MemoryBlock* fa = fz_ref.find_id(id);
+      const MemoryBlock* fb = fz_flat.find_id(id);
+      ASSERT_NE(fa, nullptr);
+      ASSERT_NE(fb, nullptr);
+      EXPECT_EQ(fa->base, base);
+      EXPECT_EQ(fb->base, base);
+      std::uint64_t s1 = 0, s2 = 0;
+      EXPECT_EQ(fz_ref.find_containing(base, s1)->id, id);
+      EXPECT_EQ(fz_flat.find_containing(base, s2)->id, id);
+    }
+  }
+
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+
+ private:
+  std::unique_ptr<msr::AddressIndex> ref_;
+  std::unique_ptr<msr::AddressIndex> flat_;
+  std::map<Address, BlockId> live_;
+  std::uint64_t next_seq_ = 1;
+};
+
+TEST(AddressIndexProperty, RandomizedOperationSequencesMatchReference) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    std::mt19937_64 rng(seed);
+    Harness h;
+    for (int round = 0; round < 6; ++round) {
+      // Burst of inserts (some deliberately overlapping / zero-sized).
+      for (int i = 0; i < 300; ++i) {
+        const Address base = 64 + (rng() % 40000) * 8;
+        const std::uint64_t size = (rng() % 10 == 0) ? 0 : 8 + rng() % 120;
+        h.insert(base, size);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      // Mixed probes: interior hits, gaps, far out-of-range both sides.
+      for (int i = 0; i < 800; ++i) {
+        Address addr = rng() % 400000;
+        if (i % 17 == 0) addr = 0;
+        if (i % 23 == 0) addr = ~0ull - (rng() % 64);
+        h.check_lookup(addr);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      // Erase a slice, then probe again (tombstone path).
+      const std::size_t victims = h.live_count() / 3;
+      for (std::size_t i = 0; i < victims; ++i) h.erase_random(rng);
+      for (int i = 0; i < 400; ++i) h.check_lookup(rng() % 400000);
+      h.check_full_state();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(AddressIndexProperty, MassEraseThenReinsert) {
+  std::mt19937_64 rng(99);
+  Harness h;
+  for (int i = 0; i < 2000; ++i) h.insert(64 + (rng() % 100000) * 8, 8 + rng() % 56);
+  while (h.live_count() > 10) h.erase_random(rng);  // compaction sweep
+  h.check_full_state();
+  for (int i = 0; i < 500; ++i) h.insert(64 + (rng() % 100000) * 8, 8 + rng() % 56);
+  for (int i = 0; i < 1000; ++i) h.check_lookup(rng() % 900000);
+  h.check_full_state();
+}
+
+}  // namespace
+}  // namespace hpm

@@ -8,215 +8,20 @@
 //     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
 //   }
 //
-// Self-contained recursive-descent JSON parser — no third-party JSON
-// dependency, so the check runs in every build configuration. Exit 0 on a
+// Parsing lives in mini_json.hpp (shared with perf_guard). Exit 0 on a
 // valid file, 1 with a diagnostic on stderr otherwise.
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <vector>
+
+#include "mini_json.hpp"
 
 namespace {
 
-struct Value;
-using ValuePtr = std::unique_ptr<Value>;
-
-struct Value {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string text;
-  std::vector<ValuePtr> items;
-  std::vector<std::pair<std::string, ValuePtr>> fields;
-
-  const Value* get(const std::string& key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return v.get();
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& src) : src_(src) {}
-
-  ValuePtr parse() {
-    ValuePtr v = parse_value();
-    skip_ws();
-    if (pos_ != src_.size()) fail("trailing content after top-level value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) {
-    std::ostringstream os;
-    os << "parse error at byte " << pos_ << ": " << why;
-    throw std::runtime_error(os.str());
-  }
-
-  void skip_ws() {
-    while (pos_ < src_.size() &&
-           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' || src_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= src_.size()) fail("unexpected end of input");
-    return src_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  ValuePtr parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        auto v = std::make_unique<Value>();
-        v->kind = Value::Kind::String;
-        v->text = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': return parse_bool();
-      case 'n': return parse_null();
-      default: return parse_number();
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= src_.size()) fail("unterminated string");
-      char c = src_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        if (pos_ >= src_.size()) fail("unterminated escape");
-        char e = src_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
-            pos_ += 4;     // code points beyond ASCII are accepted,
-            out += '?';    // not reconstructed — the schema never needs them
-            break;
-          }
-          default: fail("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  ValuePtr parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < src_.size() &&
-           (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.' ||
-            src_[pos_] == 'e' || src_[pos_] == 'E' || src_[pos_] == '+' || src_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    auto v = std::make_unique<Value>();
-    v->kind = Value::Kind::Number;
-    char* end = nullptr;
-    v->number = std::strtod(src_.c_str() + start, &end);
-    if (end != src_.c_str() + pos_) fail("malformed number");
-    return v;
-  }
-
-  ValuePtr parse_bool() {
-    auto v = std::make_unique<Value>();
-    v->kind = Value::Kind::Bool;
-    if (src_.compare(pos_, 4, "true") == 0) {
-      v->boolean = true;
-      pos_ += 4;
-    } else if (src_.compare(pos_, 5, "false") == 0) {
-      v->boolean = false;
-      pos_ += 5;
-    } else {
-      fail("expected true/false");
-    }
-    return v;
-  }
-
-  ValuePtr parse_null() {
-    if (src_.compare(pos_, 4, "null") != 0) fail("expected null");
-    pos_ += 4;
-    return std::make_unique<Value>();
-  }
-
-  ValuePtr parse_array() {
-    expect('[');
-    auto v = std::make_unique<Value>();
-    v->kind = Value::Kind::Array;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v->items.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      break;
-    }
-    return v;
-  }
-
-  ValuePtr parse_object() {
-    expect('{');
-    auto v = std::make_unique<Value>();
-    v->kind = Value::Kind::Object;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v->fields.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      break;
-    }
-    return v;
-  }
-
-  const std::string& src_;
-  std::size_t pos_ = 0;
-};
+using hpm::tools::json::Parser;
+using hpm::tools::json::Value;
+using hpm::tools::json::ValuePtr;
 
 int complain(const std::string& path, const std::string& why) {
   std::fprintf(stderr, "bench_schema_check: %s: %s\n", path.c_str(), why.c_str());

@@ -1,0 +1,110 @@
+// Performance regression guard over BENCH_migration.json.
+//
+// The bench-smoke fixture runs table1_migration --smoke, then this tool
+// checks the emitted hpm-bench-v1 rows against checked-in invariants:
+//
+//   1. msrlt.search_steps_per_search must be > 0 and <= the ceiling
+//      (argv[2], default 32). The flat interval index keeps the
+//      address->block search ~O(log n) with the lookup cache pulling the
+//      mean toward 1; a regression to linear scanning blows past any
+//      log-shaped ceiling immediately (the linear strategy measures in
+//      the hundreds of steps per search on the same workload).
+//   2. parcollect.bit_identical must be exactly 1: parallel collection
+//      is only legal as a latency optimization, never a format change.
+//   3. parcollect.thread_speedup must be present and > 0 (the bench
+//      computed it from real runs). Magnitude is reported, not gated —
+//      wall-clock ratios are too machine-dependent for a hard CI fail.
+//
+// Exit 0 when every gate holds, 1 with a diagnostic otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mini_json.hpp"
+
+namespace {
+
+using hpm::tools::json::Parser;
+using hpm::tools::json::Value;
+using hpm::tools::json::ValuePtr;
+
+int complain(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "perf_guard: %s: %s\n", path.c_str(), why.c_str());
+  return 1;
+}
+
+/// The "results" row named `name`, or nullptr.
+const Value* find_row(const Value& results, const std::string& name) {
+  for (const ValuePtr& item : results.items) {
+    const Value* n = item->get("name");
+    if (n != nullptr && n->kind == Value::Kind::String && n->text == name) {
+      return item->get("value");
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: perf_guard <BENCH_migration.json> [steps_ceiling]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const double ceiling = argc == 3 ? std::strtod(argv[2], nullptr) : 32.0;
+  if (ceiling <= 0) {
+    std::fprintf(stderr, "perf_guard: steps ceiling must be positive\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return complain(path, "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ValuePtr root;
+  try {
+    root = Parser(buf.str()).parse();
+  } catch (const std::exception& e) {
+    return complain(path, e.what());
+  }
+  if (root->kind != Value::Kind::Object) return complain(path, "top level is not an object");
+  const Value* results = root->get("results");
+  if (!results || results->kind != Value::Kind::Array) {
+    return complain(path, "\"results\" must be an array");
+  }
+
+  const Value* steps = find_row(*results, "msrlt.search_steps_per_search");
+  if (!steps || steps->kind != Value::Kind::Number) {
+    return complain(path, "missing row msrlt.search_steps_per_search");
+  }
+  if (steps->number <= 0) {
+    return complain(path, "msrlt.search_steps_per_search is 0 — no searches measured");
+  }
+  if (steps->number > ceiling) {
+    std::ostringstream os;
+    os << "msrlt.search_steps_per_search = " << steps->number << " exceeds ceiling "
+       << ceiling << " (address index regressed toward linear scanning?)";
+    return complain(path, os.str());
+  }
+
+  const Value* identical = find_row(*results, "parcollect.bit_identical");
+  if (!identical || identical->kind != Value::Kind::Number) {
+    return complain(path, "missing row parcollect.bit_identical");
+  }
+  if (identical->number != 1) {
+    return complain(path, "parcollect.bit_identical != 1 — parallel stream diverged");
+  }
+
+  const Value* speedup = find_row(*results, "parcollect.thread_speedup");
+  if (!speedup || speedup->kind != Value::Kind::Number || speedup->number <= 0) {
+    return complain(path, "missing or non-positive row parcollect.thread_speedup");
+  }
+
+  std::printf("perf_guard: %s: OK (%.2f steps/search <= %.2f, streams identical, "
+              "%.2fx thread speedup)\n",
+              path.c_str(), steps->number, ceiling, speedup->number);
+  return 0;
+}
