@@ -1,8 +1,11 @@
 #include "ckpt/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <span>
 
 #include "common/crc32.hpp"
+#include "mig/chunk_store.hpp"
 #include "msrm/stream.hpp"
 #include "xdr/wire.hpp"
 
@@ -125,5 +128,24 @@ CheckpointInfo restart_run(const std::function<void(ti::TypeTable&)>& register_t
 }
 
 CheckpointInfo inspect(const std::string& path) { return unwrap(read_file(path)).info; }
+
+std::size_t seed_chunk_cache(const std::string& ckpt_path, const std::string& cache_dir,
+                             std::size_t chunk_bytes, std::uint64_t cache_budget) {
+  if (chunk_bytes == 0) throw Error("seed_chunk_cache: chunk_bytes must be positive");
+  const Unwrapped file = unwrap(read_file(ckpt_path));
+  mig::ChunkStore store(cache_dir, cache_budget);
+  store.open();
+  std::size_t inserted = 0;
+  for (std::size_t off = 0; off < file.stream.size(); off += chunk_bytes) {
+    const std::size_t len = std::min(chunk_bytes, file.stream.size() - off);
+    const std::span<const std::uint8_t> body{file.stream.data() + off, len};
+    if (!store.contains(mig::ChunkStore::address_of(body))) {
+      store.put(body);
+      ++inserted;
+    }
+  }
+  store.sync_dir();
+  return inserted;
+}
 
 }  // namespace hpm::ckpt

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "memimg/image_space.hpp"
 #include "mig/annotate.hpp"
+#include "mig/chunk_store.hpp"
 #include "mig/context.hpp"
 #include "hpm/migrate.hpp"
 #include "mig/coordinator.hpp"

@@ -29,6 +29,7 @@ using mig::MigrationOutcome;
 using mig::MigrationReport;
 using mig::RunOptions;
 using mig::Transport;
+using mig::WireCodec;
 using mig::outcome_name;
 using mig::run_migration;
 using mig::run_routed_migration;

@@ -47,8 +47,55 @@ void ChunkAssembler::append(std::uint32_t seq, std::span<const std::uint8_t> byt
   }
   reserve_for_locked(bytes.size());
   data_.insert(data_.end(), bytes.begin(), bytes.end());
+  if (manifest_mode_ && chunks_ < pending_.size() && pending_have_[chunks_]) {
+    // A raw resume retransmit superseded a held hit; drop the copy.
+    pending_have_[chunks_] = false;
+    Bytes().swap(pending_[chunks_]);
+  }
   ++chunks_;
+  if (manifest_mode_ && splice_enabled_) splice_pending_locked();
   cv_.notify_all();
+}
+
+void ChunkAssembler::splice_pending_locked() {
+  while (chunks_ < pending_.size() && pending_have_[chunks_]) {
+    Bytes body = std::move(pending_[chunks_]);
+    pending_have_[chunks_] = false;
+    reserve_for_locked(body.size());
+    data_.insert(data_.end(), body.begin(), body.end());
+    ++chunks_;
+  }
+}
+
+std::vector<std::uint32_t> ChunkAssembler::begin_manifest(const std::vector<ChunkAddr>& addrs,
+                                                          ChunkStore& store) {
+  std::lock_guard lk(mu_);
+  if (manifest_mode_ || chunks_ != 0 || complete_) {
+    fail_locked("protocol violation: manifest announced mid-stream");
+    throw ProtocolError(reason_);
+  }
+  manifest_mode_ = true;
+  pending_.resize(addrs.size());
+  pending_have_.assign(addrs.size(), false);
+  std::vector<std::uint32_t> misses;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    // load() verifies the record CRC and recomputes the body digest, so
+    // a corrupted entry becomes a miss (and is unlinked) right here —
+    // the re-request happens inside the same negotiation.
+    if (store.load(addrs[i], pending_[i])) {
+      pending_have_[i] = true;
+    } else {
+      misses.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  splice_pending_locked();
+  cv_.notify_all();
+  return misses;
+}
+
+void ChunkAssembler::mark_resumed() {
+  std::lock_guard lk(mu_);
+  splice_enabled_ = false;
 }
 
 void ChunkAssembler::finish(const net::StateEndInfo& info) {

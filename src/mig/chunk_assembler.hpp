@@ -21,8 +21,10 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/hexdump.hpp"
+#include "mig/chunk_store.hpp"
 #include "net/message.hpp"
 
 namespace hpm::mig {
@@ -43,8 +45,28 @@ class ChunkAssembler {
   /// Append one chunk's bytes. Chunks must arrive in exact sequence order
   /// (the channel is ordered; a gap means a dropped frame, a duplicate a
   /// replayed one). Any violation — including a chunk after StateEnd —
-  /// poisons the assembler and throws hpm::ProtocolError.
+  /// poisons the assembler and throws hpm::ProtocolError. In manifest
+  /// mode, "next expected" skips over indices spliced from the store, so
+  /// wire chunks carry only the negotiated misses — and after
+  /// mark_resumed(), any not-yet-assembled index, hit or miss.
   void append(std::uint32_t seq, std::span<const std::uint8_t> bytes);
+
+  /// --- dedup manifest mode -------------------------------------------------
+
+  /// Arm manifest mode with the source's ordered chunk address list.
+  /// Every address the store can produce (digest-verified load — a
+  /// corrupted entry silently degrades to a miss and is unlinked) is held
+  /// for local splicing; the returned ascending index list is the miss
+  /// set the destination must request over the wire. Leading hits are
+  /// spliced immediately; later ones as the wire fills the gaps before
+  /// them. Must be called before any append; may be called only once.
+  std::vector<std::uint32_t> begin_manifest(const std::vector<ChunkAddr>& addrs,
+                                            ChunkStore& store);
+
+  /// A link failure re-opened the stream: the source will retransmit
+  /// every chunk from the destination's watermark raw, including former
+  /// cache hits, so stop splicing and accept them all from the wire.
+  void mark_resumed();
 
   /// Orderly end of stream: verifies the chunk count and byte total
   /// against what actually arrived and retains `info` (its end-to-end
@@ -84,6 +106,7 @@ class ChunkAssembler {
  private:
   void fail_locked(std::string reason);
   void reserve_for_locked(std::size_t incoming);
+  void splice_pending_locked();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -95,6 +118,15 @@ class ChunkAssembler {
   bool complete_ = false;
   bool failed_ = false;
   std::string reason_;
+
+  // Manifest mode: cache-hit bodies waiting for the assembly prefix to
+  // reach their index. `pending_have_[i]` marks a held hit; the body is
+  // released as soon as it is spliced (or superseded by a raw resume
+  // retransmit) so peak memory stays one stream, not two.
+  bool manifest_mode_ = false;
+  bool splice_enabled_ = true;
+  std::vector<Bytes> pending_;
+  std::vector<bool> pending_have_;
 };
 
 }  // namespace hpm::mig

@@ -1,5 +1,11 @@
 // Bounded handoff between the collecting thread (producer) and the
 // sender thread of the pipelined transfer.
+//
+// The dedup'd path (RunOptions::chunk_cache_dir, DESIGN.md §15) does not
+// use this queue: manifest negotiation needs the full stream's addresses
+// before anything is sent, so the source collects to completion and
+// transmits misses from the finished stream — concurrency buys nothing
+// when the first frame already depends on the last chunk.
 #pragma once
 
 #include <condition_variable>

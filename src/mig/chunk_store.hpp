@@ -1,0 +1,125 @@
+// Content-addressed chunk store: the destination-side persistent cache
+// behind dedup'd transfer (DESIGN.md §15).
+//
+// A chunk's address is the msrm::StreamDigest of its canonical body plus
+// the body length — stable across runs because the canonical stream is
+// deterministic for a given process state (logical block ids, not raw
+// addresses). The store is a directory of addressed chunk files with an
+// in-memory index and LRU eviction to a byte budget. Durability mirrors
+// the intent journal's hardening: every record is CRC-sealed and fsync'd,
+// open() tolerates torn entries (dropped, not fatal), and load() verifies
+// the body digest so a damaged or poisoned entry degrades to a cache miss
+// instead of corrupting a restore.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/hexdump.hpp"
+
+namespace hpm::mig {
+
+/// Stable content address of one canonical chunk body. The length rides
+/// along so the wire codec can bound its decode and so two bodies that
+/// collide on the 64-bit digest but differ in size never alias.
+struct ChunkAddr {
+  std::uint64_t digest = 0;
+  std::uint32_t length = 0;
+
+  friend bool operator==(const ChunkAddr&, const ChunkAddr&) = default;
+};
+
+/// Bounded persistent cache of addressed chunks.
+///
+/// Thread-safety: all public methods are mutex-guarded; one rx thread and
+/// one tool process never share an instance, but nothing breaks if they
+/// do within a process. Cross-process sharing of a directory is NOT
+/// coordinated — last writer wins, which is safe because entries are
+/// content-addressed (two writers of the same address write identical
+/// bytes) and load() verifies every body.
+class ChunkStore {
+ public:
+  /// Default byte budget: generous for the bench workloads, small enough
+  /// that a runaway fleet cannot fill a disk.
+  static constexpr std::uint64_t kDefaultBudget = 256ull << 20;
+
+  explicit ChunkStore(std::string dir, std::uint64_t max_bytes = kDefaultBudget);
+
+  /// Create the directory if missing and index the entries already in it.
+  /// A file whose name or size does not match its own header (a torn
+  /// write from a crashed run) is unlinked, like the journal's torn-tail
+  /// replay. Throws hpm::Error if the directory cannot be created/read.
+  void open();
+
+  /// Content address of a canonical chunk body.
+  [[nodiscard]] static ChunkAddr address_of(std::span<const std::uint8_t> body);
+
+  /// Index-only membership probe (no IO, no LRU touch).
+  [[nodiscard]] bool contains(const ChunkAddr& addr) const;
+
+  /// Read the addressed body into `out`. Verifies the record CRC and
+  /// recomputes the body digest; any mismatch unlinks the entry and
+  /// returns false — a corrupted cache entry is a miss, never bad bytes.
+  bool load(const ChunkAddr& addr, Bytes& out);
+
+  /// Insert (or LRU-touch) a body under its own computed address. The
+  /// record is fsync'd before put() returns; call sync_dir() once after a
+  /// batch of puts to make the directory entries themselves durable.
+  /// Evicts least-recently-used entries down to the byte budget.
+  void put(std::span<const std::uint8_t> body);
+
+  /// fsync the store directory (after a batch of puts or unlinks), the
+  /// same way journal GC pins its unlinks.
+  void sync_dir();
+
+  /// Evict least-recently-used entries until the store holds at most
+  /// `budget` bytes; fsyncs the directory. Returns the number of entries
+  /// evicted.
+  std::size_t gc(std::uint64_t budget);
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t bytes() const;  ///< on-disk bytes incl. record headers
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Persist the outcome of one manifest negotiation (announced chunks,
+  /// cache hits, misses) to `<dir>/last-run.stats` so `hpmtool
+  /// chunk-cache` can report the hit ratio after the fact.
+  void note_run(std::uint64_t manifest_chunks, std::uint64_t hits, std::uint64_t misses);
+
+  struct RunStats {
+    bool valid = false;
+    std::uint64_t manifest_chunks = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  /// Read the stats file written by note_run(); valid=false if absent or
+  /// malformed (never throws for a damaged stats file).
+  [[nodiscard]] static RunStats read_run_stats(const std::string& dir);
+
+ private:
+  struct Entry {
+    ChunkAddr addr;
+    std::uint64_t file_bytes = 0;  ///< header + body + CRC on disk
+    std::list<std::string>::iterator lru;
+  };
+
+  [[nodiscard]] static std::string file_name(const ChunkAddr& addr);
+  void touch_locked(Entry& e, const std::string& name);
+  /// By value: callers pass the LRU tail's own string, which erasing the
+  /// list node would otherwise destroy mid-call.
+  void drop_locked(std::string name, bool unlink_file);
+  void evict_to_locked(std::uint64_t budget);
+
+  std::string dir_;
+  std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> index_;  ///< keyed by entry file name
+  std::list<std::string> lru_;                    ///< front = most recently used
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace hpm::mig

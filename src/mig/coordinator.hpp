@@ -27,6 +27,7 @@
 #include "mig/context.hpp"
 #include "mig/journal.hpp"
 #include "mig/port.hpp"
+#include "mig/wire_codec.hpp"
 #include "net/deadline.hpp"
 #include "net/factory.hpp"
 #include "net/faulty_channel.hpp"
@@ -150,6 +151,30 @@ struct RunOptions {
   /// 0 = derive one from the wall clock (unique across successive runs
   /// appending to the same journal_dir).
   std::uint64_t txn_id = 0;
+
+  /// --- content-addressed dedup (DESIGN.md §15) -----------------------------
+  /// When `chunk_cache_dir` names a directory, the pipelined path runs
+  /// dedup'd: the source announces the stream's ordered chunk address
+  /// list (ManifestBegin/ManifestChunk), the destination answers with the
+  /// indices its persistent ChunkStore in that directory cannot produce
+  /// (ManifestAck), and only those misses travel as StateChunks — cache
+  /// hits are spliced locally. The StateEnd digest still verifies the
+  /// reassembled stream end to end, so a poisoned cache can never be
+  /// restored. Dedup collects the full stream before sending (the
+  /// manifest needs every address), forfeiting collect/tx overlap in
+  /// exchange for the byte savings.
+
+  /// Directory of the destination's chunk store. Empty = dedup off.
+  std::string chunk_cache_dir;
+
+  /// Byte budget of the chunk store; least-recently-used entries are
+  /// evicted past it.
+  std::uint64_t chunk_cache_bytes = 256ull << 20;
+
+  /// Wire codec offered/accepted for residual misses (negotiated via a
+  /// ManifestBegin capability bit; per-chunk raw fallback when encoding
+  /// does not pay). WireCodec::None ships misses raw.
+  WireCodec wire_codec = WireCodec::None;
 };
 
 /// Final fate of the workload for one run_migration() call.
@@ -206,6 +231,21 @@ struct MigrationReport {
 
   /// Transaction id of the pipelined handoff (0 = no transaction ran).
   std::uint64_t txn_id = 0;
+
+  /// End-to-end msrm::StreamDigest of the canonical stream (0 = no stream
+  /// was collected). When `migrated` is true the destination verified its
+  /// reassembled stream against this value before voting, so equal
+  /// digests across two runs certify bit-identical restored state.
+  std::uint64_t stream_digest = 0;
+
+  /// --- dedup accounting (chunk_cache_dir set; all 0 otherwise) -------------
+  std::uint64_t dedup_manifest_chunks = 0;  ///< addresses announced
+  std::uint64_t dedup_hit_chunks = 0;       ///< spliced from the destination store
+  std::uint64_t dedup_miss_chunks = 0;      ///< transmitted as StateChunks
+  /// Bytes the transfer actually put on the wire for state: manifest
+  /// frames plus (possibly codec-compressed) miss chunk payloads.
+  /// Compare against stream_bytes for the dedup savings.
+  std::uint64_t dedup_wire_bytes = 0;
 
   /// Everything the pipeline recorded during this run: the delta of the
   /// process-wide obs::Registry across run_migration(), so MSRLT search

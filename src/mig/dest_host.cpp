@@ -4,6 +4,7 @@
 
 #include "mig/endpoint_util.hpp"
 #include "mig/mig_metrics.hpp"
+#include "mig/wire_codec.hpp"
 
 namespace hpm::mig {
 
@@ -149,7 +150,15 @@ void DestinationHost::run() {
     const net::StateBeginInfo begin = session_.begin_info();
     journal_.append({JournalRecordType::Begin, begin.txn_id, 0, "destination up"});
     ChunkAssembler assembler(begin.chunk_bytes);
-    std::thread rx([&] { rx_loop(assembler, begin.txn_id); });
+    // The chunk cache outlives the transfer only as files; the in-memory
+    // index is rebuilt per migration from the directory scan.
+    std::unique_ptr<ChunkStore> store;
+    if (!options_.chunk_cache_dir.empty()) {
+      store = std::make_unique<ChunkStore>(options_.chunk_cache_dir,
+                                           options_.chunk_cache_bytes);
+      store->open();
+    }
+    std::thread rx([&] { rx_loop(assembler, begin.txn_id, store.get()); });
     ctx.set_commit_gate([&](std::uint64_t digest) { commit_gate(begin.txn_id, digest); });
     try {
       ctx.begin_restore_streaming(assembler);
@@ -218,9 +227,17 @@ void DestinationHost::release_port() {
   }
 }
 
-void DestinationHost::rx_loop(ChunkAssembler& assembler, std::uint64_t txn) {
+void DestinationHost::rx_loop(ChunkAssembler& assembler, std::uint64_t txn,
+                              ChunkStore* store) {
   const std::uint32_t ack_every = options_.ack_every_chunks;
   std::uint32_t since_ack = 0;
+  // Manifest negotiation state (dedup, DESIGN.md §15). The address list
+  // doubles as the per-chunk expected-length table the codec decode is
+  // bounded by, so a hostile coded payload cannot inflate past it.
+  std::vector<ChunkAddr> manifest;
+  bool manifest_announced = false;
+  std::uint32_t manifest_total = 0;
+  std::uint8_t offered_caps = 0;
   for (;;) {
     net::Message msg;
     try {
@@ -234,7 +251,10 @@ void DestinationHost::rx_loop(ChunkAssembler& assembler, std::uint64_t txn) {
       return;
     } catch (const NetError& e) {
       // The port died mid-stream, but the stream itself is resumable from
-      // the assembler's watermark: park for a replacement port.
+      // the assembler's watermark: park for a replacement port. The
+      // source retransmits every chunk from that watermark raw — former
+      // cache hits included — so splice-ahead must stop now.
+      assembler.mark_resumed();
       session_.park();
       if (!adopt_replacement()) {
         assembler.fail(std::string("chunk stream abandoned: ") + e.what());
@@ -269,10 +289,39 @@ void DestinationHost::rx_loop(ChunkAssembler& assembler, std::uint64_t txn) {
     if (msg.type == net::MsgType::StateChunk) {
       try {
         const std::uint32_t seq = net::decode_state_chunk_seq(msg.payload);
-        assembler.append(seq, std::span<const std::uint8_t>(msg.payload).subspan(4));
+        if (!manifest_announced) {
+          assembler.append(seq, std::span<const std::uint8_t>(msg.payload).subspan(4));
+        } else {
+          // Dedup framing: u32 seq | u8 codec tag | body.
+          if (msg.payload.size() < 5) throw NetError("coded chunk: short payload");
+          const std::uint8_t tag = msg.payload[4];
+          const std::span<const std::uint8_t> wire =
+              std::span<const std::uint8_t>(msg.payload).subspan(5);
+          Bytes decoded;
+          std::span<const std::uint8_t> body = wire;
+          if (tag == static_cast<std::uint8_t>(WireCodec::VarintDelta)) {
+            if (seq >= manifest.size()) {
+              throw NetError("coded chunk names an index outside the manifest");
+            }
+            decoded = codec_decode(wire, manifest[seq].length);
+            body = decoded;
+          } else if (tag != 0) {
+            throw NetError("coded chunk: unknown codec tag");
+          }
+          if (store != nullptr) {
+            // Best-effort: a full disk must not fail the migration, only
+            // the next run's dedup. put() self-addresses the body, so a
+            // lying manifest cannot poison the cache (DESIGN.md §15).
+            try {
+              store->put(body);
+            } catch (...) {
+            }
+          }
+          assembler.append(seq, body);
+        }
       } catch (const NetError&) {
         // ProtocolError from the assembler (already poisoned with the
-        // typed reason) or a short payload.
+        // typed reason), a short payload, or a hostile coded body.
         assembler.fail("malformed StateChunk payload");
         return;
       }
@@ -289,12 +338,80 @@ void DestinationHost::rx_loop(ChunkAssembler& assembler, std::uint64_t txn) {
           // The ack path is dying; the next recv parks us.
         }
       }
+    } else if (msg.type == net::MsgType::ManifestBegin ||
+               msg.type == net::MsgType::ManifestChunk) {
+      // The machine already vetted ordering, density, and the txn id.
+      try {
+        if (msg.type == net::MsgType::ManifestBegin) {
+          const net::ManifestBeginInfo mb = net::decode_manifest_begin(msg.payload);
+          manifest.reserve(mb.chunk_count);
+          manifest_total = mb.chunk_count;
+          offered_caps = mb.codec_caps;
+          manifest_announced = true;
+        } else {
+          const net::ManifestChunkInfo batch = net::decode_manifest_chunk(msg.payload);
+          for (const net::ManifestEntry& e : batch.entries) {
+            manifest.push_back({e.digest, e.length});
+          }
+        }
+      } catch (const NetError&) {
+        assembler.fail("malformed manifest payload");
+        return;
+      }
+      if (manifest.size() == manifest_total) {
+        // The full address list is in: resolve hits against the store and
+        // answer with the miss set. A corrupted cache entry fails its
+        // digest check inside begin_manifest and lands in the misses —
+        // re-requested within this same negotiation.
+        if (store == nullptr) {
+          assembler.fail("manifest offered but no chunk cache is configured");
+          return;
+        }
+        std::vector<std::uint32_t> misses;
+        try {
+          misses = assembler.begin_manifest(manifest, *store);
+        } catch (const ProtocolError& e) {
+          assembler.fail(e.what());
+          return;
+        }
+        const std::uint64_t hits = manifest.size() - misses.size();
+        std::uint64_t saved = 0;
+        {
+          std::size_t mi = 0;
+          for (std::size_t i = 0; i < manifest.size(); ++i) {
+            if (mi < misses.size() && misses[mi] == i) {
+              ++mi;
+            } else {
+              saved += manifest[i].length;
+            }
+          }
+        }
+        DedupMetrics& dm = DedupMetrics::get();
+        dm.hits.add(hits);
+        dm.misses.add(misses.size());
+        dm.bytes_saved.add(saved);
+        store->note_run(manifest.size(), hits, misses.size());
+        const WireCodec codec = negotiate_codec(offered_caps, options_.wire_codec);
+        try {
+          current()->send(
+              net::MsgType::ManifestAck,
+              net::encode_manifest_ack({static_cast<std::uint8_t>(codec), misses}));
+        } catch (const KilledError&) {
+          killed_.store(true);
+          assembler.fail("destination crashed");
+          return;
+        } catch (const NetError&) {
+          // The ack path is dying; the next recv parks us and the resume
+          // retransmits everything raw.
+        }
+      }
     } else if (msg.type == net::MsgType::StateEnd) {
       try {
         assembler.finish(net::decode_state_end(msg.payload));
       } catch (const NetError&) {
         assembler.fail("malformed StateEnd payload");
       }
+      if (store != nullptr) store->sync_dir();  // newly put chunks become durable
       return;
     }
   }

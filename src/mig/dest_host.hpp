@@ -65,7 +65,10 @@ class DestinationHost {
   bool adopt_replacement();
   void run();
   void release_port();
-  void rx_loop(ChunkAssembler& assembler, std::uint64_t txn);
+  /// `store` is non-null when this host is configured with a chunk cache
+  /// (RunOptions::chunk_cache_dir): the rx loop then answers a source
+  /// manifest with its miss set and splices hits locally (DESIGN.md §15).
+  void rx_loop(ChunkAssembler& assembler, std::uint64_t txn, ChunkStore* store);
   void commit_gate(std::uint64_t txn, std::uint64_t digest);
   void resolve_in_doubt(std::uint64_t txn, std::uint64_t digest, const char* why);
   void record_committed(std::uint64_t txn, std::uint64_t digest, std::string note);

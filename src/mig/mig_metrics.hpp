@@ -76,6 +76,26 @@ struct LivenessMetrics {
   }
 };
 
+/// `mig.dedup.*` instruments for the content-addressed transfer
+/// (DESIGN.md §15): manifest sizes, the destination's hit/miss split and
+/// the bytes splicing saved, and the wire codec's achieved ratio
+/// (coded/raw per transmitted miss — below 1.0 means compression paid;
+/// raw-fallback chunks record 1.0).
+struct DedupMetrics {
+  obs::Counter& manifest_chunks =
+      obs::Registry::process().counter("mig.dedup.manifest_chunks");
+  obs::Counter& hits = obs::Registry::process().counter("mig.dedup.hits");
+  obs::Counter& misses = obs::Registry::process().counter("mig.dedup.misses");
+  obs::Counter& bytes_saved = obs::Registry::process().counter("mig.dedup.bytes_saved");
+  obs::Histogram& codec_ratio =
+      obs::Registry::process().histogram("mig.dedup.codec_ratio", obs::Unit::None);
+
+  static DedupMetrics& get() {
+    static DedupMetrics m;
+    return m;
+  }
+};
+
 /// `mig.resume.*` instruments for the watermark/resume machinery.
 struct ResumeMetrics {
   obs::Counter& attempts = obs::Registry::process().counter("mig.resume.attempts");

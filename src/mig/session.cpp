@@ -46,6 +46,9 @@ const char* msg_type_name(net::MsgType type) noexcept {
     case net::MsgType::ResumeHello: return "ResumeHello";
     case net::MsgType::Ping: return "Ping";
     case net::MsgType::Pong: return "Pong";
+    case net::MsgType::ManifestBegin: return "ManifestBegin";
+    case net::MsgType::ManifestChunk: return "ManifestChunk";
+    case net::MsgType::ManifestAck: return "ManifestAck";
   }
   return "?";
 }
@@ -132,6 +135,8 @@ void SessionMachine::reject_locked(std::string why) {
 ///   ¹ = semantic checks (version / txn / digest / watermark bound) may
 ///       still reject → Aborted + MigrationError
 ///   ² = protocol-legal failure report → Aborted + MigrationError
+///
+///   Dedup extension: ManifestAck is legal exactly once, in Streaming.
 
 SourceSession::SourceSession(std::uint32_t session_id, std::uint64_t txn_id)
     : SessionMachine("source", session_id), txn_(txn_id) {}
@@ -179,6 +184,14 @@ SessionState SourceSession::on_frame(const net::Message& frame) {
           seq > acked_) {
         acked_ = seq;
       }
+      break;
+    }
+
+    case net::MsgType::ManifestAck: {
+      // The destination's miss set for a dedup'd transfer: legal exactly
+      // once, while streaming, before the commit gate opens.
+      if (state_ != SessionState::Streaming || manifest_acked_) illegal_locked(frame.type);
+      manifest_acked_ = true;
       break;
     }
 
@@ -285,6 +298,10 @@ std::uint32_t SourceSession::resume_next_seq() const {
 ///
 ///   · = illegal → Aborted + ProtocolError        ³ = orderly, no throw
 ///   ¹ = txn check may reject → MigrationError    ⁴ = only after StateEnd
+///
+///   Dedup extension: ManifestBegin is legal once in Streaming before any
+///   chunk (txn-checked); ManifestChunk batches must then arrive densely
+///   in order within the announced total.
 ///   ² = "source aborted the handoff after Prepare" → MigrationError
 
 DestSession::DestSession(std::uint32_t session_id)
@@ -314,6 +331,46 @@ SessionState DestSession::on_frame(const net::Message& frame) {
       }
       ++chunks_;
       break;
+
+    case net::MsgType::ManifestBegin: {
+      // Dedup address-list announcement: right after StateBegin, before
+      // any chunk, at most once per transfer.
+      if (state_ != SessionState::Streaming || stream_complete_ || chunks_ != 0 ||
+          manifest_total_ != 0) {
+        illegal_locked(frame.type);
+      }
+      const net::ManifestBeginInfo info = net::decode_manifest_begin(frame.payload);
+      if (info.txn_id != txn_) {
+        reject_locked("ManifestBegin names a different transaction");
+      }
+      manifest_total_ = info.chunk_count;
+      manifest_announced_ = true;
+      break;
+    }
+
+    case net::MsgType::ManifestChunk: {
+      if (state_ != SessionState::Streaming || !manifest_announced_) {
+        illegal_locked(frame.type);
+      }
+      const net::ManifestChunkInfo batch = net::decode_manifest_chunk(frame.payload);
+      // Batches must arrive densely in order and never overrun the
+      // announced total — a peer that violates either is hostile or
+      // buggy, the same taxonomy as a chunk sequence gap.
+      if (batch.first_index != manifest_seen_ ||
+          batch.entries.size() > manifest_total_ - manifest_seen_) {
+        const std::string why = std::string(role_) + " session " + std::to_string(id_) +
+                                ": ManifestChunk batch at index " +
+                                std::to_string(batch.first_index) + " (" +
+                                std::to_string(batch.entries.size()) + " entries) out of " +
+                                std::to_string(manifest_total_) + " does not follow index " +
+                                std::to_string(manifest_seen_);
+        abort_reason_ = why;
+        transition_locked(SessionState::Aborted);
+        throw ProtocolError(why);
+      }
+      manifest_seen_ += static_cast<std::uint32_t>(batch.entries.size());
+      break;
+    }
 
     case net::MsgType::StateEnd:
       if (state_ != SessionState::Streaming || stream_complete_) {

@@ -132,6 +132,7 @@ class SourceSession : public SessionMachine {
   std::uint64_t total_chunks_ = 0;
   std::uint64_t digest_ = 0;
   bool stream_known_ = false;
+  bool manifest_acked_ = false;  ///< dedup: the one ManifestAck arrived
   std::uint32_t acked_ = 0;
   std::uint32_t resume_next_seq_ = 0;
 };
@@ -164,6 +165,9 @@ class DestSession : public SessionMachine {
   net::StateBeginInfo begin_{};
   std::uint64_t txn_ = 0;
   std::uint32_t chunks_ = 0;
+  std::uint32_t manifest_total_ = 0;  ///< dedup: chunk count ManifestBegin announced
+  std::uint32_t manifest_seen_ = 0;   ///< dedup: addresses folded from ManifestChunk
+  bool manifest_announced_ = false;
   bool stream_complete_ = false;
   bool orderly_ = false;
 };

@@ -7,11 +7,13 @@
 #include <thread>
 
 #include "mig/chunk_queue.hpp"
+#include "mig/chunk_store.hpp"
 #include "mig/control_inbox.hpp"
 #include "mig/dest_host.hpp"
 #include "mig/endpoint_util.hpp"
 #include "mig/mig_metrics.hpp"
 #include "mig/session.hpp"
+#include "mig/wire_codec.hpp"
 #include "obs/span.hpp"
 
 namespace hpm::mig {
@@ -128,6 +130,10 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
   report.attempts = 1;
 
   const std::size_t cb = std::max<std::size_t>(1, options.chunk_bytes);
+  // Dedup'd transfer (DESIGN.md §15): the manifest needs every chunk
+  // address up front, so the stream is collected in full before anything
+  // but StateBegin goes out — no sender thread, no collect sink.
+  const bool dedup = !options.chunk_cache_dir.empty();
   std::unique_ptr<ControlInbox> inbox;
 
   ChunkQueue queue(kChunkQueueCapacity);
@@ -178,7 +184,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
     session.begin_streaming();
     inbox = std::make_unique<ControlInbox>(*src_port, session);
 
-    sender = std::thread([&] {
+    if (!dedup) sender = std::thread([&] {
       try {
         PipelineMetrics& pm = PipelineMetrics::get();
         std::unique_ptr<obs::Span> tx_span;
@@ -214,10 +220,12 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
     MigContext ctx(types, options.search);
     ctx.set_migrate_at_poll(options.migrate_at_poll);
     ctx.set_collect_threads(options.collect_threads);
-    ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
-      if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
-      queue.push(Bytes(bytes.begin(), bytes.end()));
-    });
+    if (!dedup) {
+      ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
+        if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
+        queue.push(Bytes(bytes.begin(), bytes.end()));
+      });
+    }
 
     std::atomic<bool> program_done{false};
     std::thread scheduler;
@@ -250,6 +258,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
       collected = true;
       stream = ctx.stream();  // retained for resumes and serial retries
       digest = ctx.stream_digest();
+      report.stream_digest = digest;
       report.stream_bytes = stream.size();
       report.collect_seconds = ctx.metrics().collect_seconds;
       report.source_arch = ctx.space().arch().name;
@@ -269,9 +278,101 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
       end.total_bytes = stream.size();
       end.digest = digest;
       session.set_stream(end.chunk_count, digest);
-      queue.close(end);
-      join_sender();
-      if (sender_error != nullptr) std::rethrow_exception(sender_error);
+      if (!dedup) {
+        queue.close(end);
+        join_sender();
+        if (sender_error != nullptr) std::rethrow_exception(sender_error);
+      } else {
+        // --- dedup: announce addresses, learn the miss set, ship only it ---
+        obs::Span tx_span("mig.tx");
+        tx_span.arg("transport", std::string(net::transport_name(options.transport)));
+        tx_span.arg("dedup", std::uint64_t{1});
+        pipeline_start = Clock::now();
+        src_journal.append({JournalRecordType::Begin, txn, 0, "source"});
+        src_port->send(net::MsgType::StateBegin,
+                       net::encode_state_begin({options.chunk_bytes, txn}));
+        DedupMetrics& dm = DedupMetrics::get();
+        const std::uint32_t nchunks = end.chunk_count;
+        const std::uint8_t caps = codec_caps_of(options.wire_codec);
+        std::uint64_t wire = 0;
+        {
+          const Bytes payload =
+              net::encode_manifest_begin({txn, nchunks, options.chunk_bytes, caps});
+          wire += payload.size();
+          src_port->send(net::MsgType::ManifestBegin, payload);
+        }
+        std::vector<net::ManifestEntry> batch;
+        batch.reserve(net::kManifestEntriesPerFrame);
+        std::uint32_t batch_first = 0;
+        for (std::uint32_t i = 0; i < nchunks; ++i) {
+          const std::size_t off = static_cast<std::size_t>(i) * cb;
+          const std::size_t len = std::min(cb, stream.size() - off);
+          const ChunkAddr addr = ChunkStore::address_of({stream.data() + off, len});
+          batch.push_back({addr.digest, addr.length});
+          if (batch.size() == net::kManifestEntriesPerFrame || i + 1 == nchunks) {
+            const Bytes payload = net::encode_manifest_chunk(batch_first, batch);
+            wire += payload.size();
+            src_port->send(net::MsgType::ManifestChunk, payload);
+            batch_first = i + 1;
+            batch.clear();
+          }
+        }
+        dm.manifest_chunks.add(nchunks);
+        report.dedup_manifest_chunks = nchunks;
+
+        // The destination loads (and digest-verifies) every candidate hit
+        // before answering, so the wait is compute-bounded like a vote.
+        const net::Message ackmsg = inbox->await(commit_grace(deadline.current()));
+        if (ackmsg.type != net::MsgType::ManifestAck) {
+          throw ProtocolError("expected ManifestAck during manifest negotiation");
+        }
+        const net::ManifestAckInfo ack = net::decode_manifest_ack(ackmsg.payload);
+        if (ack.codec > static_cast<std::uint8_t>(WireCodec::VarintDelta) ||
+            (ack.codec != 0 && (caps & kCodecCapVarintDelta) == 0)) {
+          throw ProtocolError("destination chose a codec the source never offered");
+        }
+        const WireCodec codec = static_cast<WireCodec>(ack.codec);
+        std::int64_t prev_idx = -1;
+        for (const std::uint32_t idx : ack.misses) {
+          if (idx >= nchunks || static_cast<std::int64_t>(idx) <= prev_idx) {
+            throw ProtocolError("ManifestAck miss set is out of range or unsorted");
+          }
+          prev_idx = idx;
+        }
+
+        PipelineMetrics& pm = PipelineMetrics::get();
+        for (const std::uint32_t idx : ack.misses) {
+          const std::size_t off = static_cast<std::size_t>(idx) * cb;
+          const std::size_t len = std::min(cb, stream.size() - off);
+          const std::span<const std::uint8_t> body{stream.data() + off, len};
+          Bytes payload;
+          if (codec == WireCodec::VarintDelta) {
+            Bytes coded = codec_encode(body);
+            if (coded.size() < body.size()) {
+              dm.codec_ratio.record(static_cast<double>(coded.size()) /
+                                    static_cast<double>(body.size()));
+              payload = net::encode_state_chunk_coded(
+                  idx, static_cast<std::uint8_t>(WireCodec::VarintDelta), coded);
+            } else {
+              dm.codec_ratio.record(1.0);  // raw fallback: encoding did not pay
+            }
+          }
+          if (payload.empty()) payload = net::encode_state_chunk_coded(idx, 0, body);
+          wire += payload.size();
+          src_port->send(net::MsgType::StateChunk, payload);
+          pm.chunks.add(1);
+          pm.chunk_bytes.record(static_cast<double>(payload.size() - 5));
+        }
+        {
+          const Bytes payload = net::encode_state_end(end);
+          wire += payload.size();
+          src_port->send(net::MsgType::StateEnd, payload);
+        }
+        measured_tx = tx_span.finish();
+        report.dedup_miss_chunks = ack.misses.size();
+        report.dedup_hit_chunks = nchunks - ack.misses.size();
+        report.dedup_wire_bytes = wire;
+      }
       const CommitResult r =
           source_commit_phase(*src_port, *inbox, session, deadline, txn, digest,
                               src_journal);
@@ -343,9 +444,15 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
         for (std::uint64_t seq = next_seq; seq < total_chunks; ++seq) {
           const std::size_t off = static_cast<std::size_t>(seq) * cb;
           const std::size_t len = std::min(cb, stream.size() - off);
+          const std::span<const std::uint8_t> body{stream.data() + off, len};
+          // A dedup stream's chunk payloads carry a codec tag byte; resume
+          // retransmits everything raw (tag 0) — former cache hits included,
+          // since the destination stopped splicing when the link dropped.
           src_port->send(net::MsgType::StateChunk,
-                         net::encode_state_chunk(static_cast<std::uint32_t>(seq),
-                                                 {stream.data() + off, len}));
+                         dedup ? net::encode_state_chunk_coded(
+                                     static_cast<std::uint32_t>(seq), 0, body)
+                               : net::encode_state_chunk(
+                                     static_cast<std::uint32_t>(seq), body));
           pm.chunks.add(1);
           pm.chunk_bytes.record(static_cast<double>(len));
         }

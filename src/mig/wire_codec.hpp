@@ -1,0 +1,48 @@
+// Wire-compression codec for residual cache misses (DESIGN.md §15).
+//
+// The canonical stream is dense with 64-bit fields whose *deltas* are
+// small — block ids and leaf ordinals from the PNEW/PREF pointer grammar
+// grow monotonically, and zero runs dominate padding — so the codec
+// treats a chunk body as a sequence of big-endian u64 words, delta-codes
+// consecutive words, zigzags the signed delta, and emits it as a LEB128
+// varint; the sub-8-byte tail rides raw. Worst case (high-entropy floats)
+// expands ~25%, which is why the sender keeps a per-chunk raw fallback:
+// the codec tag travels with each chunk, never as a stream-wide mode.
+//
+// Decoding is bounded by the expected body length from the chunk's
+// manifest address: a hostile encoding can never drive an allocation
+// past it, and truncated/overlong varints or a length mismatch throw
+// hpm::NetError before any byte reaches the assembler.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/hexdump.hpp"
+
+namespace hpm::mig {
+
+/// Codec selection in RunOptions and on the wire. Values are wire-stable:
+/// the per-chunk tag byte and the ManifestAck choice byte carry them.
+enum class WireCodec : std::uint8_t {
+  None = 0,         ///< raw chunk bodies
+  VarintDelta = 1,  ///< zigzag(delta(u64 words)) as LEB128 varints + raw tail
+};
+
+/// Capability bitmask exchanged in ManifestBegin (source's offer); the
+/// destination answers with a single WireCodec choice in ManifestAck.
+inline constexpr std::uint8_t kCodecCapVarintDelta = 0x01;
+
+[[nodiscard]] std::uint8_t codec_caps_of(WireCodec codec);
+[[nodiscard]] WireCodec negotiate_codec(std::uint8_t offered_caps, WireCodec own);
+
+/// Encode one chunk body with VarintDelta. May be larger than the input;
+/// the caller compares sizes and sends raw when encoding does not pay.
+[[nodiscard]] Bytes codec_encode(std::span<const std::uint8_t> body);
+
+/// Decode a VarintDelta body of exactly `expected_len` bytes. Throws
+/// hpm::NetError on truncated or overlong varints, trailing garbage, or
+/// a decoded length other than `expected_len`.
+[[nodiscard]] Bytes codec_decode(std::span<const std::uint8_t> coded, std::size_t expected_len);
+
+}  // namespace hpm::mig

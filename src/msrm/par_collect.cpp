@@ -20,13 +20,61 @@ namespace {
 
 constexpr std::uint32_t kUnowned = 0xFFFFFFFFu;
 
+/// Per-thread memo over FrozenIndex::find_containing — the same
+/// set-associative shape as the live MSRLT's search cache (64 sets x 4
+/// ways, block-granule bits folded into the set index), but with no epoch
+/// column: the snapshot is immutable, so a filled way stays valid for the
+/// whole collection. Each worker owns one memo (no sharing, no locks,
+/// clean under TSan by construction); its hit count is flushed once per
+/// worker into `msrm.collect.par.memo_hits`. Pointer-chasing workloads
+/// revisit the same few blocks in bursts, so the memo turns the O(log n)
+/// binary search into an O(1) probe for the common repeats.
+class FrozenMemo {
+ public:
+  explicit FrozenMemo(const msr::FrozenIndex& fz) : fz_(fz) {}
+
+  const msr::MemoryBlock* find(msr::Address addr) {
+    const std::size_t set = set_of(addr);
+    for (std::size_t w = 0; w < kWays; ++w) {
+      const msr::MemoryBlock* b = ways_[set][w];
+      if (b != nullptr && addr - b->base < b->size) {
+        ++hits_;
+        return b;
+      }
+    }
+    std::uint64_t steps = 0;
+    const msr::MemoryBlock* b = fz_.find_containing(addr, steps);
+    if (b != nullptr) {
+      ways_[set][cursor_[set]] = b;
+      cursor_[set] = static_cast<std::uint8_t>((cursor_[set] + 1) % kWays);
+    }
+    return b;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  static constexpr std::size_t kSets = 64;
+  static constexpr std::size_t kWays = 4;
+
+  static std::size_t set_of(msr::Address addr) {
+    std::uint64_t g = addr >> 6;
+    g ^= g >> 12;
+    return static_cast<std::size_t>(g & (kSets - 1));
+  }
+
+  const msr::FrozenIndex& fz_;
+  const msr::MemoryBlock* ways_[kSets][kWays] = {};
+  std::uint8_t cursor_[kSets] = {};
+  std::uint64_t hits_ = 0;
+};
+
 /// resolve_pointer against the frozen snapshot instead of the live MSRLT
 /// (same math, same error text; skips the msr.msrlt.* search instruments,
 /// whose cache is single-threaded).
-msr::LogicalPointer frozen_resolve(const msr::MemorySpace& space, const msr::FrozenIndex& fz,
+msr::LogicalPointer frozen_resolve(const msr::MemorySpace& space, FrozenMemo& memo,
                                    msr::Address addr) {
-  std::uint64_t steps = 0;
-  const msr::MemoryBlock* block = fz.find_containing(addr, steps);
+  const msr::MemoryBlock* block = memo.find(addr);
   if (block == nullptr) {
     throw MsrError("pointer " + std::to_string(addr) +
                    " does not refer to any tracked memory block");
@@ -57,11 +105,11 @@ bool claim(std::atomic<std::uint32_t>& cell, std::uint32_t rank) {
 /// pointers are skipped here — phase 2 reaches them in serial stream
 /// order and throws the serial path's exact error.
 void ownership_from_root(const msr::MemorySpace& space, const msr::FrozenIndex& fz,
+                         FrozenMemo& memo,
                          const std::vector<std::vector<ti::LeafRef>>& ptr_leaves,
                          std::atomic<std::uint32_t>* owner, std::uint32_t rank,
                          msr::Address root, std::vector<std::uint32_t>& stack) {
-  std::uint64_t steps = 0;
-  const msr::MemoryBlock* rb = fz.find_containing(root, steps);
+  const msr::MemoryBlock* rb = memo.find(root);
   if (rb == nullptr || rb->base != root) return;
   const std::uint32_t rslot = fz.slot_of(rb->id);
   if (claim(owner[rslot], rank)) stack.push_back(rslot);
@@ -77,8 +125,7 @@ void ownership_from_root(const msr::MemorySpace& space, const msr::FrozenIndex& 
       for (const ti::LeafRef& ref : leaves) {
         const msr::Address value = space.read_pointer(elem_base + ref.byte_offset);
         if (value == 0) continue;
-        std::uint64_t s2 = 0;
-        const msr::MemoryBlock* tgt = fz.find_containing(value, s2);
+        const msr::MemoryBlock* tgt = memo.find(value);
         if (tgt == nullptr) continue;
         const std::uint32_t tslot = fz.slot_of(tgt->id);
         if (claim(owner[tslot], rank)) stack.push_back(tslot);
@@ -94,9 +141,15 @@ void ownership_from_root(const msr::MemorySpace& space, const msr::FrozenIndex& 
 class RootCollector final : public CollectorBase {
  public:
   RootCollector(msr::MemorySpace& space, xdr::Encoder& enc, LeafCache& leaves,
-                const msr::FrozenIndex& fz, const std::atomic<std::uint32_t>* owner,
-                std::vector<std::uint32_t>& seen, std::uint32_t rank)
-      : CollectorBase(space, enc, leaves), fz_(fz), owner_(owner), seen_(seen), rank_(rank) {}
+                const msr::FrozenIndex& fz, FrozenMemo& memo,
+                const std::atomic<std::uint32_t>* owner, std::vector<std::uint32_t>& seen,
+                std::uint32_t rank)
+      : CollectorBase(space, enc, leaves),
+        fz_(fz),
+        memo_(memo),
+        owner_(owner),
+        seen_(seen),
+        rank_(rank) {}
 
  protected:
   bool visit(msr::BlockId id) override {
@@ -107,16 +160,16 @@ class RootCollector final : public CollectorBase {
     return true;
   }
   msr::LogicalPointer resolve(msr::Address addr) const override {
-    return frozen_resolve(space_, fz_, addr);
+    return frozen_resolve(space_, memo_, addr);
   }
   const msr::MemoryBlock* block_of(msr::BlockId id) const override { return fz_.find_id(id); }
   const msr::MemoryBlock* containing(msr::Address addr) const override {
-    std::uint64_t steps = 0;
-    return fz_.find_containing(addr, steps);
+    return memo_.find(addr);
   }
 
  private:
   const msr::FrozenIndex& fz_;
+  FrozenMemo& memo_;  ///< worker-owned; outlives every per-root collector
   const std::atomic<std::uint32_t>* owner_;
   std::vector<std::uint32_t>& seen_;
   std::uint32_t rank_;
@@ -137,6 +190,7 @@ void collect_roots(msr::MemorySpace& space, xdr::Encoder& enc,
   obs::Counter& par_roots = reg.counter("msrm.collect.par.roots");
   obs::Counter& par_workers = reg.counter("msrm.collect.par.workers");
   obs::Counter& par_bytes = reg.counter("msrm.collect.par.bytes_merged");
+  obs::Counter& memo_hits = reg.counter("msrm.collect.par.memo_hits");
   obs::Histogram& root_bytes_hist = reg.histogram("msrm.collect.par.root_bytes");
 
   const unsigned k = static_cast<unsigned>(
@@ -170,22 +224,26 @@ void collect_roots(msr::MemorySpace& space, xdr::Encoder& enc,
   // Phase 1: parallel CAS-min ownership (static root -> worker stripes).
   {
     std::vector<std::exception_ptr> oerr(k);
+    std::vector<std::uint64_t> whits(k, 0);
     std::vector<std::thread> pool;
     pool.reserve(k);
     for (unsigned w = 0; w < k; ++w) {
       pool.emplace_back([&, w] {
         std::vector<std::uint32_t> stack;
+        FrozenMemo memo(fz);
         try {
           for (std::size_t r = w; r < roots.size(); r += k) {
-            ownership_from_root(space, fz, ptr_leaves, owner.data(),
+            ownership_from_root(space, fz, memo, ptr_leaves, owner.data(),
                                 static_cast<std::uint32_t>(r), roots[r], stack);
           }
         } catch (...) {
           oerr[w] = std::current_exception();
         }
+        whits[w] = memo.hits();  // flushed once per worker, summed below
       });
     }
     for (std::thread& t : pool) t.join();
+    for (const std::uint64_t h : whits) memo_hits.add(h);
     for (const std::exception_ptr& e : oerr) {
       if (e) std::rethrow_exception(e);
     }
@@ -205,16 +263,18 @@ void collect_roots(msr::MemorySpace& space, xdr::Encoder& enc,
   std::mutex mu;
   std::condition_variable cv;
 
+  std::vector<std::uint64_t> whits2(k, 0);
   std::vector<std::thread> pool;
   pool.reserve(k);
   for (unsigned w = 0; w < k; ++w) {
     pool.emplace_back([&, w] {
       std::vector<std::uint32_t> seen(n, 0);
+      FrozenMemo memo(fz);
       for (std::size_t r = w; r < roots.size(); r += k) {
         xdr::Encoder local;
         std::exception_ptr err;
         try {
-          RootCollector rc(space, local, shared_leaves, fz, owner.data(), seen,
+          RootCollector rc(space, local, shared_leaves, fz, memo, owner.data(), seen,
                            static_cast<std::uint32_t>(r));
           rc.save_variable(roots[r]);
         } catch (...) {
@@ -230,6 +290,7 @@ void collect_roots(msr::MemorySpace& space, xdr::Encoder& enc,
         }
         cv.notify_all();
       }
+      whits2[w] = memo.hits();
     });
   }
 
@@ -251,6 +312,7 @@ void collect_roots(msr::MemorySpace& space, xdr::Encoder& enc,
     root_bytes_hist.record(static_cast<double>(bytes.size()));
   }
   for (std::thread& t : pool) t.join();
+  for (const std::uint64_t h : whits2) memo_hits.add(h);
   if (first_error) std::rethrow_exception(first_error);
 
   par_runs.add(1);

@@ -89,6 +89,11 @@ std::span<const std::uint8_t> check_stream(std::span<const std::uint8_t> stream)
 /// (e.g. a frame whose trailing CRC was recomputed in flight) still trips
 /// the other. The source taps collection chunk by chunk; the destination
 /// recomputes over the reassembled stream and compares before Commit.
+///
+/// Also the content address of the dedup'd transfer: a chunk's
+/// mig::ChunkAddr is `of(body)` plus the body length (DESIGN.md §15),
+/// which is why the canonical stream must stay deterministic for a given
+/// process state — addresses are only stable because the bytes are.
 class StreamDigest {
  public:
   void update(std::span<const std::uint8_t> bytes) noexcept;

@@ -287,4 +287,99 @@ ResumeHelloInfo decode_resume_hello(const Bytes& payload) {
   return info;
 }
 
+Bytes encode_manifest_begin(const ManifestBeginInfo& info) {
+  Bytes payload(17);
+  put_u64_be(payload.data(), info.txn_id);
+  put_u32_be(payload.data() + 8, info.chunk_count);
+  put_u32_be(payload.data() + 12, info.chunk_bytes);
+  payload[16] = info.codec_caps;
+  return payload;
+}
+
+ManifestBeginInfo decode_manifest_begin(const Bytes& payload) {
+  if (payload.size() != 17) throw NetError("malformed ManifestBegin payload");
+  ManifestBeginInfo info;
+  info.txn_id = get_u64_be(payload.data());
+  info.chunk_count = get_u32_be(payload.data() + 8);
+  info.chunk_bytes = get_u32_be(payload.data() + 12);
+  info.codec_caps = payload[16];
+  return info;
+}
+
+Bytes encode_manifest_chunk(std::uint32_t first_index, std::span<const ManifestEntry> entries) {
+  Bytes payload(8 + entries.size() * 12);
+  put_u32_be(payload.data(), first_index);
+  put_u32_be(payload.data() + 4, static_cast<std::uint32_t>(entries.size()));
+  std::uint8_t* out = payload.data() + 8;
+  for (const ManifestEntry& e : entries) {
+    put_u64_be(out, e.digest);
+    put_u32_be(out + 8, e.length);
+    out += 12;
+  }
+  return payload;
+}
+
+ManifestChunkInfo decode_manifest_chunk(const Bytes& payload) {
+  if (payload.size() < 8) throw NetError("malformed ManifestChunk payload");
+  ManifestChunkInfo info;
+  info.first_index = get_u32_be(payload.data());
+  const std::uint32_t count = get_u32_be(payload.data() + 4);
+  // The declared count must match the byte length exactly: a hostile
+  // count can neither over-read the payload nor drive the reserve below
+  // past what actually arrived (the frame layer already bounded that).
+  if (payload.size() != 8 + static_cast<std::size_t>(count) * 12) {
+    throw NetError("malformed ManifestChunk payload: " + std::to_string(count) +
+                   " entries declared in " + std::to_string(payload.size()) + " bytes");
+  }
+  info.entries.reserve(count);
+  const std::uint8_t* in = payload.data() + 8;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    e.digest = get_u64_be(in);
+    e.length = get_u32_be(in + 8);
+    info.entries.push_back(e);
+    in += 12;
+  }
+  return info;
+}
+
+Bytes encode_manifest_ack(const ManifestAckInfo& info) {
+  Bytes payload(5 + info.misses.size() * 4);
+  payload[0] = info.codec;
+  put_u32_be(payload.data() + 1, static_cast<std::uint32_t>(info.misses.size()));
+  std::uint8_t* out = payload.data() + 5;
+  for (const std::uint32_t idx : info.misses) {
+    put_u32_be(out, idx);
+    out += 4;
+  }
+  return payload;
+}
+
+ManifestAckInfo decode_manifest_ack(const Bytes& payload) {
+  if (payload.size() < 5) throw NetError("malformed ManifestAck payload");
+  ManifestAckInfo info;
+  info.codec = payload[0];
+  const std::uint32_t count = get_u32_be(payload.data() + 1);
+  if (payload.size() != 5 + static_cast<std::size_t>(count) * 4) {
+    throw NetError("malformed ManifestAck payload: " + std::to_string(count) +
+                   " misses declared in " + std::to_string(payload.size()) + " bytes");
+  }
+  info.misses.reserve(count);
+  const std::uint8_t* in = payload.data() + 5;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    info.misses.push_back(get_u32_be(in));
+    in += 4;
+  }
+  return info;
+}
+
+Bytes encode_state_chunk_coded(std::uint32_t seq, std::uint8_t codec_tag,
+                               std::span<const std::uint8_t> body) {
+  Bytes payload(5 + body.size());
+  put_u32_be(payload.data(), seq);
+  payload[4] = codec_tag;
+  if (!body.empty()) std::memcpy(payload.data() + 5, body.data(), body.size());
+  return payload;
+}
+
 }  // namespace hpm::net

@@ -44,11 +44,14 @@ enum class MsgType : std::uint8_t {
   ResumeHello = 15,///< destination re-announces mid-stream (version + u64 txn + u32 next seq)
   Ping = 16,       ///< liveness probe (payload: u32 seq + u64 opaque echo stamp)
   Pong = 17,       ///< liveness reply: the Ping payload echoed verbatim
+  ManifestBegin = 18,  ///< dedup: source announces the chunk address list (u64 txn + totals)
+  ManifestChunk = 19,  ///< dedup: one batch of ordered chunk addresses
+  ManifestAck = 20,    ///< dedup: destination's codec choice + miss index set
 };
 
 /// Highest tag recv_message accepts; anything outside [1, kMaxMsgType]
 /// is a malformed frame.
-inline constexpr std::uint8_t kMaxMsgType = 17;
+inline constexpr std::uint8_t kMaxMsgType = 20;
 
 struct Message {
   MsgType type;
@@ -124,6 +127,59 @@ StateBeginInfo decode_state_begin(const Bytes& payload);
 /// Returns the sequence number; the chunk's bytes are payload[4..].
 std::uint32_t decode_state_chunk_seq(const Bytes& payload);
 StateEndInfo decode_state_end(const Bytes& payload);
+
+/// --- dedup manifest payloads ----------------------------------------------
+/// Content-addressed transfer (DESIGN.md §15): after StateBegin the source
+/// sends the ordered address list of every chunk it is about to ship
+/// (ManifestBegin totals + ManifestChunk batches), the destination answers
+/// with the indices its chunk store cannot satisfy plus its negotiated
+/// codec choice (ManifestAck), and StateChunk frames then carry only those
+/// misses — each prefixed by a codec tag byte. Cache hits are spliced
+/// locally; the StateEnd stream digest still verifies the reassembly.
+
+struct ManifestBeginInfo {
+  std::uint64_t txn_id = 0;
+  std::uint32_t chunk_count = 0;  ///< total chunks (addresses announced)
+  std::uint32_t chunk_bytes = 0;  ///< chunking granularity, mirrors StateBegin
+  std::uint8_t codec_caps = 0;    ///< mig::WireCodec capability bits on offer
+};
+
+/// One announced chunk address (mirrors mig::ChunkAddr; net stays below mig).
+struct ManifestEntry {
+  std::uint64_t digest = 0;
+  std::uint32_t length = 0;
+};
+
+struct ManifestChunkInfo {
+  std::uint32_t first_index = 0;  ///< index of entries[0] in the full manifest
+  std::vector<ManifestEntry> entries;
+};
+
+struct ManifestAckInfo {
+  std::uint8_t codec = 0;  ///< mig::WireCodec the destination accepts for misses
+  std::vector<std::uint32_t> misses;  ///< ascending chunk indices to transmit
+};
+
+/// Address batch size per ManifestChunk frame: 12 bytes/entry keeps the
+/// frame well under a page while bounding per-frame overhead to noise.
+inline constexpr std::size_t kManifestEntriesPerFrame = 256;
+
+Bytes encode_manifest_begin(const ManifestBeginInfo& info);
+Bytes encode_manifest_chunk(std::uint32_t first_index, std::span<const ManifestEntry> entries);
+Bytes encode_manifest_ack(const ManifestAckInfo& info);
+
+/// Decoders throw hpm::NetError on payloads whose declared counts
+/// disagree with their byte length (hostile or corrupted frames).
+ManifestBeginInfo decode_manifest_begin(const Bytes& payload);
+ManifestChunkInfo decode_manifest_chunk(const Bytes& payload);
+ManifestAckInfo decode_manifest_ack(const Bytes& payload);
+
+/// Dedup-mode StateChunk payload: u32 seq + u8 codec tag + coded body
+/// (tag 0 = raw). The plain encode_state_chunk layout (no tag byte) stays
+/// the non-dedup wire format; the StateBegin/ManifestBegin exchange tells
+/// the destination which layout to expect.
+Bytes encode_state_chunk_coded(std::uint32_t seq, std::uint8_t codec_tag,
+                               std::span<const std::uint8_t> body);
 
 /// --- liveness payloads ----------------------------------------------------
 /// Ping/Pong are control frames a SessionSupervisor multiplexes through

@@ -1,0 +1,253 @@
+// Unit tests of the content-addressed chunk store (DESIGN.md §15):
+// address stability, the CRC + digest verification that turns damaged or
+// poisoned entries into plain misses, torn-entry tolerance at open(), LRU
+// eviction to the byte budget, and the last-run stats surface behind
+// `hpmtool chunk-cache`.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "common/crc32.hpp"
+#include "mig/chunk_store.hpp"
+#include "msrm/stream.hpp"
+
+namespace hpm::mig {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ChunkStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("hpm_chunk_store_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static Bytes body_of(std::uint64_t seed, std::size_t n) {
+    std::mt19937_64 rng(seed);
+    Bytes b(n);
+    for (std::uint8_t& x : b) x = static_cast<std::uint8_t>(rng());
+    return b;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ChunkStoreTest, AddressIsStableAndLengthQualified) {
+  const Bytes a = body_of(1, 100);
+  EXPECT_EQ(ChunkStore::address_of(a), ChunkStore::address_of(a));
+  EXPECT_EQ(ChunkStore::address_of(a).digest, msrm::StreamDigest::of(a));
+  EXPECT_EQ(ChunkStore::address_of(a).length, 100u);
+  const Bytes b = body_of(2, 100);
+  EXPECT_NE(ChunkStore::address_of(a), ChunkStore::address_of(b));
+}
+
+TEST_F(ChunkStoreTest, PutLoadRoundTrip) {
+  ChunkStore store(dir_);
+  store.open();
+  const Bytes body = body_of(7, 777);
+  const ChunkAddr addr = ChunkStore::address_of(body);
+  EXPECT_FALSE(store.contains(addr));
+  store.put(body);
+  EXPECT_TRUE(store.contains(addr));
+  EXPECT_EQ(store.entries(), 1u);
+  Bytes out;
+  ASSERT_TRUE(store.load(addr, out));
+  EXPECT_EQ(out, body);
+  // A second put of the same body is an LRU touch, not a new entry.
+  store.put(body);
+  EXPECT_EQ(store.entries(), 1u);
+}
+
+TEST_F(ChunkStoreTest, SurvivesReopen) {
+  {
+    ChunkStore store(dir_);
+    store.open();
+    store.put(body_of(1, 64));
+    store.put(body_of(2, 256));
+    store.sync_dir();
+  }
+  ChunkStore reopened(dir_);
+  reopened.open();
+  EXPECT_EQ(reopened.entries(), 2u);
+  Bytes out;
+  EXPECT_TRUE(reopened.load(ChunkStore::address_of(body_of(1, 64)), out));
+  EXPECT_EQ(out, body_of(1, 64));
+}
+
+TEST_F(ChunkStoreTest, TornEntryIsDroppedAtOpen) {
+  const Bytes body = body_of(3, 512);
+  const ChunkAddr addr = ChunkStore::address_of(body);
+  {
+    ChunkStore store(dir_);
+    store.open();
+    store.put(body);
+  }
+  // Truncate the entry file mid-body: a crashed run's torn write.
+  std::string victim;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
+    if (de.path().extension() == ".chunk") victim = de.path().string();
+  }
+  ASSERT_FALSE(victim.empty());
+  fs::resize_file(victim, 100);
+  ChunkStore reopened(dir_);
+  reopened.open();
+  EXPECT_EQ(reopened.entries(), 0u);
+  EXPECT_FALSE(fs::exists(victim)) << "torn entry must be unlinked, not kept";
+  EXPECT_FALSE(reopened.contains(addr));
+}
+
+TEST_F(ChunkStoreTest, CorruptedBodyIsAMissAndUnlinked) {
+  const Bytes body = body_of(4, 512);
+  const ChunkAddr addr = ChunkStore::address_of(body);
+  ChunkStore store(dir_);
+  store.open();
+  store.put(body);
+  // Flip one body byte (size unchanged, so open()-style checks pass; only
+  // load()'s CRC/digest verification can catch it).
+  std::string victim;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
+    if (de.path().extension() == ".chunk") victim = de.path().string();
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::FILE* f = std::fopen(victim.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 16 + 40, SEEK_SET), 0);  // header + 40 into the body
+    const int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, 16 + 40, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  Bytes out;
+  EXPECT_FALSE(store.load(addr, out)) << "damage must degrade to a miss";
+  EXPECT_FALSE(store.contains(addr));
+  EXPECT_FALSE(fs::exists(victim));
+  // The miss is re-fillable: a fresh put restores service.
+  store.put(body);
+  EXPECT_TRUE(store.load(addr, out));
+  EXPECT_EQ(out, body);
+}
+
+TEST_F(ChunkStoreTest, PoisonedEntryWithForgedCrcStillMisses) {
+  // Forge an entry whose header and CRC are fully self-consistent — the
+  // claimed address in both name and header, a CRC computed over the
+  // forged record — but whose BODY does not hash to that address: a
+  // deliberately poisoned cache. Only load()'s digest recomputation can
+  // catch this, and it must turn the entry into a miss.
+  const Bytes real = body_of(5, 128);
+  const ChunkAddr addr = ChunkStore::address_of(real);
+  const Bytes lie = body_of(6, 128);
+  fs::create_directories(dir_);
+  {
+    Bytes record(20 + lie.size());
+    record[0] = 0x48;  // 'H'  (kEntryMagic, big-endian)
+    record[1] = 0x50;  // 'P'
+    record[2] = 0x4D;  // 'M'
+    record[3] = 0x43;  // 'C'
+    for (int i = 0; i < 8; ++i) {
+      record[4 + i] = static_cast<std::uint8_t>(addr.digest >> (8 * (7 - i)));
+    }
+    for (int i = 0; i < 4; ++i) {
+      record[12 + i] = static_cast<std::uint8_t>(addr.length >> (8 * (3 - i)));
+    }
+    std::copy(lie.begin(), lie.end(), record.begin() + 16);
+    const std::uint32_t crc = Crc32::of(record.data(), 16 + lie.size());
+    for (int i = 0; i < 4; ++i) {
+      record[16 + lie.size() + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(crc >> (8 * (3 - i)));
+    }
+    char forged[64];
+    std::snprintf(forged, sizeof(forged), "%016llx-%lu.chunk",
+                  static_cast<unsigned long long>(addr.digest),
+                  static_cast<unsigned long>(addr.length));
+    std::FILE* f = std::fopen((fs::path(dir_) / forged).string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(record.data(), 1, record.size(), f), record.size());
+    std::fclose(f);
+  }
+  ChunkStore store(dir_);
+  store.open();
+  EXPECT_TRUE(store.contains(addr)) << "the forgery is indexed until load proves it wrong";
+  Bytes out;
+  EXPECT_FALSE(store.load(addr, out));
+  EXPECT_FALSE(store.contains(addr));
+}
+
+TEST_F(ChunkStoreTest, EvictsLeastRecentlyUsedToBudget) {
+  // Each entry is 100 body bytes + 20 overhead = 120 on disk. A 400-byte
+  // budget holds three entries.
+  ChunkStore store(dir_, 400);
+  store.open();
+  store.put(body_of(10, 100));
+  store.put(body_of(11, 100));
+  store.put(body_of(12, 100));
+  EXPECT_EQ(store.entries(), 3u);
+  // Touch the oldest so it is MRU, then overflow: the eviction must take
+  // entry 11 (now least recent), not 10.
+  Bytes out;
+  ASSERT_TRUE(store.load(ChunkStore::address_of(body_of(10, 100)), out));
+  store.put(body_of(13, 100));
+  EXPECT_EQ(store.entries(), 3u);
+  EXPECT_LE(store.bytes(), 400u);
+  EXPECT_TRUE(store.contains(ChunkStore::address_of(body_of(10, 100))));
+  EXPECT_FALSE(store.contains(ChunkStore::address_of(body_of(11, 100))));
+  EXPECT_TRUE(store.contains(ChunkStore::address_of(body_of(13, 100))));
+}
+
+TEST_F(ChunkStoreTest, GcShrinksToBudget) {
+  ChunkStore store(dir_);
+  store.open();
+  for (std::uint64_t s = 0; s < 8; ++s) store.put(body_of(s, 100));
+  EXPECT_EQ(store.entries(), 8u);
+  const std::size_t evicted = store.gc(3 * 120);
+  EXPECT_EQ(evicted, 5u);
+  EXPECT_EQ(store.entries(), 3u);
+  EXPECT_LE(store.bytes(), 3u * 120u);
+  // gc(0) may empty the store entirely (unlike put's keep-one eviction).
+  EXPECT_EQ(store.gc(0), 3u);
+  EXPECT_EQ(store.entries(), 0u);
+}
+
+TEST_F(ChunkStoreTest, RunStatsRoundTripAndToleratesDamage) {
+  ChunkStore store(dir_);
+  store.open();
+  EXPECT_FALSE(ChunkStore::read_run_stats(dir_).valid);
+  store.note_run(100, 98, 2);
+  const ChunkStore::RunStats stats = ChunkStore::read_run_stats(dir_);
+  ASSERT_TRUE(stats.valid);
+  EXPECT_EQ(stats.manifest_chunks, 100u);
+  EXPECT_EQ(stats.hits, 98u);
+  EXPECT_EQ(stats.misses, 2u);
+  // A damaged stats file is invalid, never an exception.
+  std::FILE* f = std::fopen((dir_ + "/last-run.stats").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not-a-stats-file", f);
+  std::fclose(f);
+  EXPECT_FALSE(ChunkStore::read_run_stats(dir_).valid);
+}
+
+TEST_F(ChunkStoreTest, ForeignFilesAreIgnoredAtOpen) {
+  fs::create_directories(dir_);
+  std::FILE* f = std::fopen((dir_ + "/README.txt").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("hello", f);
+  std::fclose(f);
+  ChunkStore store(dir_);
+  store.open();
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_TRUE(fs::exists(dir_ + "/README.txt")) << "only .chunk entries are managed";
+}
+
+}  // namespace
+}  // namespace hpm::mig

@@ -1,0 +1,145 @@
+// Unit tests of the dedup wire codec (DESIGN.md §15): varint + delta over
+// the canonical chunk body. The decoder is the security boundary — coded
+// bytes arrive from the network — so beyond round-trip fidelity the suite
+// feeds it hostile inputs: truncated and overlong varints, wrong tails,
+// and length mismatches, all of which must throw hpm::NetError and never
+// produce a byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "common/error.hpp"
+#include "mig/wire_codec.hpp"
+
+namespace hpm::mig {
+namespace {
+
+Bytes roundtrip(const Bytes& body) {
+  const Bytes coded = codec_encode(body);
+  return codec_decode(coded, body.size());
+}
+
+TEST(WireCodec, EmptyBodyRoundTrips) {
+  const Bytes body;
+  EXPECT_EQ(roundtrip(body), body);
+  EXPECT_TRUE(codec_encode(body).empty());
+}
+
+TEST(WireCodec, SubWordTailRidesRaw) {
+  // Bodies shorter than one u64 word are all tail: the encoding is the
+  // identity, byte for byte.
+  for (std::size_t n = 1; n < 8; ++n) {
+    Bytes body(n);
+    for (std::size_t i = 0; i < n; ++i) body[i] = static_cast<std::uint8_t>(0xA0 + i);
+    EXPECT_EQ(codec_encode(body), body);
+    EXPECT_EQ(roundtrip(body), body);
+  }
+}
+
+TEST(WireCodec, ZeroRunsCompressHard) {
+  // The canonical stream's padding case: all-zero words delta to zero and
+  // cost one varint byte each.
+  const Bytes body(4096, 0);
+  const Bytes coded = codec_encode(body);
+  EXPECT_EQ(coded.size(), body.size() / 8);
+  EXPECT_EQ(codec_decode(coded, body.size()), body);
+}
+
+TEST(WireCodec, MonotoneWordsCompress) {
+  // Block-id / ordinal-like content: consecutive u64s with small deltas.
+  Bytes body;
+  body.reserve(256 * 8);
+  for (std::uint64_t v = 1000; v < 1256; ++v) {
+    for (int b = 7; b >= 0; --b) {
+      body.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  }
+  const Bytes coded = codec_encode(body);
+  EXPECT_LT(coded.size(), body.size() / 2) << "small deltas must shrink";
+  EXPECT_EQ(codec_decode(coded, body.size()), body);
+}
+
+TEST(WireCodec, RandomBodiesRoundTrip) {
+  std::mt19937_64 rng(0xC0DECu);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng() % 3000);
+    Bytes body(n);
+    for (std::uint8_t& b : body) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(roundtrip(body), body) << "trial " << trial << " size " << n;
+  }
+}
+
+TEST(WireCodec, HighEntropyMayExpandButStaysCorrect) {
+  // Worst case: every delta is huge, each word costs up to 10 varint
+  // bytes. The sender handles this with the per-chunk raw fallback; the
+  // codec itself must still round-trip.
+  std::mt19937_64 rng(7);
+  Bytes body(512 * 8);
+  for (std::uint8_t& b : body) b = static_cast<std::uint8_t>(rng());
+  const Bytes coded = codec_encode(body);
+  EXPECT_LE(coded.size(), body.size() * 10 / 8 + 8);
+  EXPECT_EQ(codec_decode(coded, body.size()), body);
+}
+
+TEST(WireCodec, TruncatedVarintThrows) {
+  Bytes body(64, 0x55);
+  Bytes coded = codec_encode(body);
+  ASSERT_GT(coded.size(), 1u);
+  coded.pop_back();
+  EXPECT_THROW((void)codec_decode(coded, body.size()), NetError);
+}
+
+TEST(WireCodec, ContinuationBitRunoffThrows) {
+  // Every byte claims a continuation: the varint never terminates inside
+  // the buffer. Must be "truncated", not a buffer overrun.
+  const Bytes hostile(16, 0x80);
+  EXPECT_THROW((void)codec_decode(hostile, 8), NetError);
+}
+
+TEST(WireCodec, OverlongVarintThrows) {
+  // 10 continuation bytes then a terminator whose payload bits overflow
+  // 64 bits of zigzag value.
+  Bytes hostile(9, 0xFF);
+  hostile.push_back(0x7F);
+  EXPECT_THROW((void)codec_decode(hostile, 8), NetError);
+}
+
+TEST(WireCodec, TrailingGarbageThrows) {
+  Bytes body(64, 1);
+  Bytes coded = codec_encode(body);
+  coded.push_back(0x00);  // one byte past the expected tail
+  EXPECT_THROW((void)codec_decode(coded, body.size()), NetError);
+}
+
+TEST(WireCodec, ShortTailThrows) {
+  // expected_len promises 4 tail bytes after the words; deliver 3.
+  Bytes body(12, 0x10);  // one word + 4-byte tail
+  Bytes coded = codec_encode(body);
+  ASSERT_GE(coded.size(), 1u);
+  coded.pop_back();
+  EXPECT_THROW((void)codec_decode(coded, body.size()), NetError);
+}
+
+TEST(WireCodec, WrongExpectedLenThrows) {
+  // A lying manifest: the coded body decodes fine at its true length but
+  // must be rejected against any other expectation.
+  Bytes body(64, 3);
+  const Bytes coded = codec_encode(body);
+  EXPECT_THROW((void)codec_decode(coded, body.size() + 8), NetError);
+  EXPECT_THROW((void)codec_decode(coded, body.size() - 8), NetError);
+}
+
+TEST(WireCodec, CapsAndNegotiation) {
+  EXPECT_EQ(codec_caps_of(WireCodec::None), 0);
+  EXPECT_EQ(codec_caps_of(WireCodec::VarintDelta), kCodecCapVarintDelta);
+  // Both sides must want it; either side alone falls back to raw.
+  EXPECT_EQ(negotiate_codec(kCodecCapVarintDelta, WireCodec::VarintDelta),
+            WireCodec::VarintDelta);
+  EXPECT_EQ(negotiate_codec(0, WireCodec::VarintDelta), WireCodec::None);
+  EXPECT_EQ(negotiate_codec(kCodecCapVarintDelta, WireCodec::None), WireCodec::None);
+  EXPECT_EQ(negotiate_codec(0, WireCodec::None), WireCodec::None);
+}
+
+}  // namespace
+}  // namespace hpm::mig

@@ -8,6 +8,10 @@
 //     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
 //   }
 //
+// A report whose "bench" is "dedup" must additionally carry the
+// dedup'd-transfer headline rows (first_run.stream_bytes,
+// second_run.wire_bytes, second_run.bytes_ratio).
+//
 // Parsing lives in mini_json.hpp (shared with perf_guard). Exit 0 on a
 // valid file, 1 with a diagnostic on stderr otherwise.
 #include <cstdio>
@@ -26,6 +30,14 @@ using hpm::tools::json::ValuePtr;
 int complain(const std::string& path, const std::string& why) {
   std::fprintf(stderr, "bench_schema_check: %s: %s\n", path.c_str(), why.c_str());
   return 1;
+}
+
+bool has_row(const Value& results, const std::string& name) {
+  for (const ValuePtr& item : results.items) {
+    const Value* n = item->get("name");
+    if (n != nullptr && n->kind == Value::Kind::String && n->text == name) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -94,6 +106,19 @@ int main(int argc, char** argv) {
       return complain(path, std::string("metrics.") + section + " must be an object");
     }
   }
+  // The focused dedup report (written by table1_migration beside its main
+  // JSON) must carry the headline rows the perf guard and the README
+  // walkthrough rely on — a rename there would silently defang the gate.
+  if (bench->text == "dedup") {
+    for (const char* required :
+         {"dedup.first_run.stream_bytes", "dedup.second_run.wire_bytes",
+          "dedup.second_run.bytes_ratio"}) {
+      if (!has_row(*results, required)) {
+        return complain(path, std::string("dedup report is missing row ") + required);
+      }
+    }
+  }
+
   std::printf("bench_schema_check: %s: OK (%zu result rows)\n", path.c_str(),
               results->items.size());
   return 0;

@@ -21,6 +21,11 @@
 //   hpmtool journal-gc <journal-dir>  unlink the journal pairs of completed
 //                                     transactions (directory fsync'd)
 //   hpmtool journal-dump <file>       print every intact record of one journal
+//   hpmtool chunk-cache <dir> [--gc <bytes>]
+//                                     stats for a dedup chunk cache (entries,
+//                                     bytes, last run's hit ratio); with --gc,
+//                                     evict LRU entries down to the byte budget
+//                                     (directory fsync'd)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -44,7 +49,8 @@ int usage() {
                "  hpmtool recover <journal-dir> [txn]\n"
                "  hpmtool sessions <journal-dir> [--live <snapshot>]\n"
                "  hpmtool journal-gc <journal-dir>\n"
-               "  hpmtool journal-dump <file>\n");
+               "  hpmtool journal-dump <file>\n"
+               "  hpmtool chunk-cache <dir> [--gc <bytes>]\n");
   return 2;
 }
 
@@ -227,6 +233,33 @@ int cmd_journal_dump(const char* path) {
   return 0;
 }
 
+int cmd_chunk_cache(const char* dir, const char* gc_budget) {
+  hpm::mig::ChunkStore store(dir);
+  store.open();  // unlinks torn entries, exactly like a migration would
+  if (gc_budget != nullptr) {
+    const std::uint64_t budget = std::strtoull(gc_budget, nullptr, 0);
+    const std::size_t evicted = store.gc(budget);
+    std::printf("evicted %zu entr%s to a %llu-byte budget\n", evicted,
+                evicted == 1 ? "y" : "ies", static_cast<unsigned long long>(budget));
+  }
+  std::printf("cache dir    : %s\n", store.dir().c_str());
+  std::printf("entries      : %zu\n", store.entries());
+  std::printf("bytes        : %llu\n", static_cast<unsigned long long>(store.bytes()));
+  const hpm::mig::ChunkStore::RunStats stats = hpm::mig::ChunkStore::read_run_stats(dir);
+  if (stats.valid && stats.manifest_chunks > 0) {
+    std::printf("last run     : %llu chunk(s) announced, %llu hit, %llu missed "
+                "(hit ratio %.1f%%)\n",
+                static_cast<unsigned long long>(stats.manifest_chunks),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                100.0 * static_cast<double>(stats.hits) /
+                    static_cast<double>(stats.manifest_chunks));
+  } else {
+    std::printf("last run     : (no manifest negotiation recorded)\n");
+  }
+  return 0;
+}
+
 int cmd_archs() {
   std::printf("%-18s %-7s %5s %5s %5s %9s\n", "name", "order", "int", "long", "ptr",
               "dbl-align");
@@ -278,6 +311,11 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "journal-dump") == 0 && argc >= 3) {
       return cmd_journal_dump(argv[2]);
+    }
+    if (std::strcmp(argv[1], "chunk-cache") == 0 && argc >= 3) {
+      const char* budget = nullptr;
+      if (argc >= 5 && std::strcmp(argv[3], "--gc") == 0) budget = argv[4];
+      return cmd_chunk_cache(argv[2], budget);
     }
   } catch (const hpm::Error& e) {
     std::fprintf(stderr, "hpmtool: %s\n", e.what());

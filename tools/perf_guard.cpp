@@ -14,6 +14,13 @@
 //   3. parcollect.thread_speedup must be present and > 0 (the bench
 //      computed it from real runs). Magnitude is reported, not gated —
 //      wall-clock ratios are too machine-dependent for a hard CI fail.
+//   4. dedup.second_run.bytes_ratio must be <= the dedup ceiling
+//      (argv[3], default 0.05): an identical rerun against a warm chunk
+//      cache moves manifest frames plus noise, never the stream again.
+//      Unlike wall-clock ratios this is a byte ratio — fully
+//      deterministic, so a hard gate is safe.
+//   5. dedup.bit_identical must be exactly 1: dedup'd transfer is only
+//      legal as a byte-volume optimization, never a restore change.
 //
 // Exit 0 when every gate holds, 1 with a diagnostic otherwise.
 #include <cstdio>
@@ -49,14 +56,16 @@ const Value* find_row(const Value& results, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: perf_guard <BENCH_migration.json> [steps_ceiling]\n");
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: perf_guard <BENCH_migration.json> [steps_ceiling] [dedup_ceiling]\n");
     return 2;
   }
   const std::string path = argv[1];
-  const double ceiling = argc == 3 ? std::strtod(argv[2], nullptr) : 32.0;
-  if (ceiling <= 0) {
-    std::fprintf(stderr, "perf_guard: steps ceiling must be positive\n");
+  const double ceiling = argc >= 3 ? std::strtod(argv[2], nullptr) : 32.0;
+  const double dedup_ceiling = argc >= 4 ? std::strtod(argv[3], nullptr) : 0.05;
+  if (ceiling <= 0 || dedup_ceiling <= 0) {
+    std::fprintf(stderr, "perf_guard: ceilings must be positive\n");
     return 2;
   }
 
@@ -103,8 +112,28 @@ int main(int argc, char** argv) {
     return complain(path, "missing or non-positive row parcollect.thread_speedup");
   }
 
+  const Value* dedup_ratio = find_row(*results, "dedup.second_run.bytes_ratio");
+  if (!dedup_ratio || dedup_ratio->kind != Value::Kind::Number) {
+    return complain(path, "missing row dedup.second_run.bytes_ratio");
+  }
+  if (dedup_ratio->number > dedup_ceiling) {
+    std::ostringstream os;
+    os << "dedup.second_run.bytes_ratio = " << dedup_ratio->number << " exceeds ceiling "
+       << dedup_ceiling << " (identical rerun re-sent the stream — chunk cache regressed?)";
+    return complain(path, os.str());
+  }
+
+  const Value* dedup_identical = find_row(*results, "dedup.bit_identical");
+  if (!dedup_identical || dedup_identical->kind != Value::Kind::Number) {
+    return complain(path, "missing row dedup.bit_identical");
+  }
+  if (dedup_identical->number != 1) {
+    return complain(path, "dedup.bit_identical != 1 — dedup'd restore diverged");
+  }
+
   std::printf("perf_guard: %s: OK (%.2f steps/search <= %.2f, streams identical, "
-              "%.2fx thread speedup)\n",
-              path.c_str(), steps->number, ceiling, speedup->number);
+              "%.2fx thread speedup, dedup rerun moved %.2f%% <= %.2f%%)\n",
+              path.c_str(), steps->number, ceiling, speedup->number,
+              dedup_ratio->number * 100, dedup_ceiling * 100);
   return 0;
 }
