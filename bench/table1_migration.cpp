@@ -407,6 +407,78 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- destination failover: a warm standby re-receives (almost) nothing --
+  // The same linpack state, but the primary destination is killed
+  // mid-stream and the migration fails over to a standby whose chunk
+  // store was warmed by an earlier run of the identical state. The replay
+  // negotiates the manifest against that store, so the standby should
+  // answer nearly every chunk locally: perf_guard gates
+  // `failover.warm_standby.bytes_ratio` at < 5% of the stream, the same
+  // ceiling as the dedup rerun.
+  {
+    const int n = args.smoke ? 200 : 800;
+    const std::string standby_dir =
+        (std::filesystem::temp_directory_path() /
+         ("hpm_bench_failover_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(standby_dir);
+
+    // Warm the standby's store with one clean dedup'd run of the state.
+    const DedupRun warm_up = run_dedup(n, standby_dir);
+
+    apps::LinpackResult result;
+    mig::RunOptions options;
+    options.register_types = apps::linpack_register_types;
+    options.program = [&result, n](mig::MigContext& ctx) {
+      apps::linpack_program(ctx, n, 1, &result);
+    };
+    options.migrate_at_poll = 1;
+    options.transport = mig::Transport::Memory;
+    options.pipeline = true;
+    options.stop_after_restore = true;
+    options.max_retries = 0;
+    // Per-chunk ack cadence (chunk size stays the store's 64 KiB so the
+    // warm-up's addresses match) — "after 2 dest frames" (its Hello + the
+    // first StateAck) is then provably mid-stream.
+    options.ack_every_chunks = 1;
+    options.dest_fault_plan = net::FaultPlan::kill_after(2);
+    options.failover.standbys = {{.name = "warm-standby", .chunk_cache_dir = standby_dir}};
+    options.failover.dial_attempts = 2;
+    options.failover.dial_backoff_seconds = 0.001;
+    const mig::MigrationReport fo = mig::run_migration(options);
+    std::filesystem::remove_all(standby_dir);
+
+    const bool identical =
+        warm_up.migrated && fo.migrated && fo.failovers == 1 &&
+        fo.stream_digest == warm_up.digest;
+    const double ratio = fo.stream_bytes > 0
+                             ? static_cast<double>(fo.dedup_wire_bytes) /
+                                   static_cast<double>(fo.stream_bytes)
+                             : 1.0;
+
+    std::printf("\ndestination failover (linpack %dx%d, primary killed mid-stream):\n", n, n);
+    std::printf("  replay to warm standby  %llu stream bytes, %llu on the wire — %.2f%%\n",
+                static_cast<unsigned long long>(fo.stream_bytes),
+                static_cast<unsigned long long>(fo.dedup_wire_bytes), ratio * 100);
+    std::printf("  downtime %.4fs, restored stream identical to warm-up: %s\n",
+                fo.failover_downtime_seconds, identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr, "table1_migration: failed-over restore diverged (or no failover)\n");
+      return 1;
+    }
+    if (ratio >= 0.05) {
+      std::fprintf(stderr,
+                   "table1_migration: warm standby re-received %.2f%% of the stream (>= 5%%)\n",
+                   ratio * 100);
+      return 1;
+    }
+    report.add("failover.warm_standby.bytes_ratio", ratio, "ratio");
+    report.add("failover.warm_standby.wire_bytes",
+               static_cast<double>(fo.dedup_wire_bytes), "bytes");
+    report.add("failover.downtime_seconds", fo.failover_downtime_seconds, "seconds");
+    report.add("failover.bit_identical", identical ? 1 : 0, "bool");
+  }
+
   // Per-phase latency percentiles over all measured migrations, straight
   // from the span-fed registry histograms.
   report.add_percentiles("trace.mig.collect");

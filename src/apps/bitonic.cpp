@@ -53,7 +53,7 @@ std::uint64_t leaf_sum(const BitonicNode* node) {
 /// most migration-responsive) point in the program.
 void cswap_rec(mig::MigContext& ctx, BitonicNode* x, BitonicNode* y, int ascending) {
   HPM_FUNCTION(ctx);
-  int t;
+  int t = 0;  // deterministic at the poll before the first write
   HPM_LOCAL(ctx, x);
   HPM_LOCAL(ctx, y);
   HPM_LOCAL(ctx, ascending);
@@ -122,8 +122,8 @@ std::uint64_t bitonic_block_count(int log2_leaves) {
 void bitonic_program(mig::MigContext& ctx, int log2_leaves, std::uint64_t seed,
                      BitonicResult* out) {
   HPM_FUNCTION(ctx);
-  BitonicNode* root;
-  std::uint64_t sum_before;
+  BitonicNode* root = nullptr;
+  std::uint64_t sum_before = 0;
   HPM_LOCAL(ctx, root);
   HPM_LOCAL(ctx, sum_before);
   HPM_BODY(ctx);

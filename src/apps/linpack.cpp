@@ -60,8 +60,12 @@ void matgen(double* a, int lda, int n, double* b, std::uint64_t seed, double* no
 
 void dgefa(mig::MigContext& ctx, double* a, int lda, int n, int* ipvt, int* info) {
   HPM_FUNCTION(ctx);
-  int k, j, l, nm1;
-  double t;
+  // Registered locals are part of the canonical stream from the FIRST
+  // poll on, before the loop body has written them — they must start
+  // deterministic or two collections of the same state differ in the
+  // garbage under the not-yet-live slots.
+  int k = 0, j = 0, l = 0, nm1 = 0;
+  double t = 0;
   HPM_LOCAL(ctx, a);
   HPM_LOCAL(ctx, lda);
   HPM_LOCAL(ctx, n);
@@ -112,8 +116,8 @@ void dgefa(mig::MigContext& ctx, double* a, int lda, int n, int* ipvt, int* info
 
 void dgesl(mig::MigContext& ctx, double* a, int lda, int n, int* ipvt, double* b) {
   HPM_FUNCTION(ctx);
-  int k, kb, l, nm1;
-  double t;
+  int k = 0, kb = 0, l = 0, nm1 = 0;  // deterministic at every poll, like dgefa
+  double t = 0;
   HPM_LOCAL(ctx, a);
   HPM_LOCAL(ctx, lda);
   HPM_LOCAL(ctx, n);
@@ -163,10 +167,10 @@ std::uint64_t linpack_live_bytes(int n) {
 
 void linpack_program(mig::MigContext& ctx, int n, std::uint64_t seed, LinpackResult* out) {
   HPM_FUNCTION(ctx);
-  double *a, *b, *b0;
-  int* ipvt;
-  int info;
-  double norma;
+  double *a = nullptr, *b = nullptr, *b0 = nullptr;
+  int* ipvt = nullptr;
+  int info = 0;
+  double norma = 0;
   HPM_LOCAL(ctx, a);
   HPM_LOCAL(ctx, b);
   HPM_LOCAL(ctx, b0);

@@ -42,13 +42,13 @@ void free_tree(mig::MigContext& ctx, TreeNode* node) {
 void tp_main(mig::MigContext& ctx, std::uint64_t seed, TestPointerResult* out,
              ListNode** first, ListNode** last) {
   HPM_FUNCTION(ctx);
-  TreeNode* tree;
-  int* pint;
-  int(*parr10)[10];       // pointer to array of 10 integers
-  int*(*pparr)[10];       // pointer to array of 10 pointers to integers
-  ListNode* parray[10];   // the paper's main(): array of list-node pointers
-  int* interior;          // pointer into the middle of *parr10
-  int i;
+  TreeNode* tree = nullptr;
+  int* pint = nullptr;
+  int(*parr10)[10] = nullptr;        // pointer to array of 10 integers
+  int*(*pparr)[10] = nullptr;        // pointer to array of 10 pointers to integers
+  ListNode* parray[10] = {};         // the paper's main(): array of list-node pointers
+  int* interior = nullptr;           // pointer into the middle of *parr10
+  int i = 0;
   HPM_LOCAL(ctx, tree);
   HPM_LOCAL(ctx, pint);
   HPM_LOCAL(ctx, parr10);

@@ -1,9 +1,11 @@
 #include "mig/chunk_store.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -81,6 +83,26 @@ bool parse_name(const std::string& name, ChunkAddr& addr) {
 ChunkStore::ChunkStore(std::string dir, std::uint64_t max_bytes)
     : dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
+ChunkStore::~ChunkStore() {
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+bool ChunkStore::lock_dir() {
+  if (lock_fd_ < 0) {
+    lock_fd_ = ::open((dir_ + "/.lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (lock_fd_ < 0) return false;  // degrade to uncoordinated
+  }
+  int rc;
+  do {
+    rc = ::flock(lock_fd_, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0;
+}
+
+void ChunkStore::unlock_dir() {
+  if (lock_fd_ >= 0) ::flock(lock_fd_, LOCK_UN);
+}
+
 std::string ChunkStore::file_name(const ChunkAddr& addr) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%016llx-%lu.chunk",
@@ -102,6 +124,17 @@ void ChunkStore::open() {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) throw Error("chunk store: cannot create " + dir_ + ": " + ec.message());
+
+  // Hold the cross-process lock for the scan: a concurrent GC unlinking
+  // entries mid-iteration would make us index files about to vanish.
+  const bool locked = lock_dir();
+  struct Unlock {
+    ChunkStore* s;
+    bool armed;
+    ~Unlock() {
+      if (armed) s->unlock_dir();
+    }
+  } unlock{this, locked};
 
   // Index by file name; a size that disagrees with the name's own length
   // field is a torn write from a crashed run — unlink it, exactly as the
@@ -262,10 +295,12 @@ std::size_t ChunkStore::gc(std::uint64_t budget) {
   std::size_t evicted = 0;
   {
     std::lock_guard lk(mu_);
+    const bool locked = lock_dir();
     while (bytes_ > budget && !lru_.empty()) {
       drop_locked(lru_.back(), /*unlink_file=*/true);
       ++evicted;
     }
+    if (locked) unlock_dir();
   }
   sync_dir();
   return evicted;

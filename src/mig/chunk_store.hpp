@@ -37,10 +37,13 @@ struct ChunkAddr {
 ///
 /// Thread-safety: all public methods are mutex-guarded; one rx thread and
 /// one tool process never share an instance, but nothing breaks if they
-/// do within a process. Cross-process sharing of a directory is NOT
-/// coordinated — last writer wins, which is safe because entries are
-/// content-addressed (two writers of the same address write identical
-/// bytes) and load() verifies every body.
+/// do within a process. Cross-process sharing of a directory is
+/// coordinated with an advisory flock on `<dir>/.lock`, held for the
+/// duration of open() and gc() — the two operations that scan or unlink
+/// en masse and would otherwise race a concurrent GC. Individual put()s
+/// stay lock-free across processes: entries are content-addressed (two
+/// writers of the same address write identical bytes) and load() verifies
+/// every body, so last-writer-wins is safe there.
 class ChunkStore {
  public:
   /// Default byte budget: generous for the bench workloads, small enough
@@ -48,6 +51,9 @@ class ChunkStore {
   static constexpr std::uint64_t kDefaultBudget = 256ull << 20;
 
   explicit ChunkStore(std::string dir, std::uint64_t max_bytes = kDefaultBudget);
+  ~ChunkStore();
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
 
   /// Create the directory if missing and index the entries already in it.
   /// A file whose name or size does not match its own header (a torn
@@ -78,7 +84,8 @@ class ChunkStore {
 
   /// Evict least-recently-used entries until the store holds at most
   /// `budget` bytes; fsyncs the directory. Returns the number of entries
-  /// evicted.
+  /// evicted. Holds the cross-process directory lock so two processes
+  /// GC'ing the same store serialize instead of double-unlinking.
   std::size_t gc(std::uint64_t budget);
 
   [[nodiscard]] std::size_t entries() const;
@@ -108,6 +115,11 @@ class ChunkStore {
   };
 
   [[nodiscard]] static std::string file_name(const ChunkAddr& addr);
+  /// Ensure `<dir>/.lock` is open and take the exclusive advisory flock;
+  /// blocks until the peer process releases it. Returns false only if the
+  /// lock file cannot be created (degrades to uncoordinated, like before).
+  bool lock_dir();
+  void unlock_dir();
   void touch_locked(Entry& e, const std::string& name);
   /// By value: callers pass the LRU tail's own string, which erasing the
   /// list node would otherwise destroy mid-call.
@@ -116,6 +128,7 @@ class ChunkStore {
 
   std::string dir_;
   std::uint64_t max_bytes_;
+  int lock_fd_ = -1;  ///< `<dir>/.lock`, flock'd during open()/gc()
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> index_;  ///< keyed by entry file name
   std::list<std::string> lru_;                    ///< front = most recently used

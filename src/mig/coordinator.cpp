@@ -39,9 +39,7 @@ SessionWiring direct_wiring(const RunOptions& options,
                             std::shared_ptr<const net::DeadlinePolicy> deadline) {
   SessionWiring wiring;
   wiring.session_id = 0;
-  wiring.connect = [&options, fault_state = std::move(fault_state),
-                    dest_fault_state = std::move(dest_fault_state),
-                    deadline = std::move(deadline)] {
+  wiring.connect = [&options, fault_state, dest_fault_state, deadline] {
     // The destination's first recv spans the program's whole pre-trigger
     // phase, so the per-IO deadline is armed only once the transfer
     // begins (DestinationHost sets it after the first frame). The policy
@@ -60,6 +58,36 @@ SessionWiring direct_wiring(const RunOptions& options,
         keep);
     return pair;
   };
+  if (options.failover.enabled()) {
+    // Each candidate gets its own fault state so a chaos script against
+    // standby 1 cannot fire again at standby 2; the SOURCE-side plan
+    // shares the primary's state on purpose — a one-shot source crash
+    // that already fired must stay fired across the re-dial.
+    auto standby_states =
+        std::make_shared<std::vector<std::shared_ptr<net::FaultState>>>();
+    for (std::size_t i = 0; i < options.failover.standbys.size(); ++i) {
+      standby_states->push_back(std::make_shared<net::FaultState>());
+    }
+    wiring.connect_standby = [&options, fault_state, standby_states,
+                              deadline](std::size_t k) {
+      const DestinationCandidate& cand = options.failover.standbys.at(k);
+      net::ChannelPair channels = net::make_channel_pair(
+          options.transport, {.spool_path = options.spool_path, .timeout = {}});
+      std::shared_ptr<void> keep(std::move(channels.listener));
+      PortPair pair;
+      pair.source = std::make_unique<DirectPort>(
+          wrap_source_channel(std::move(channels.source), options, fault_state,
+                              deadline->current()),
+          keep);
+      std::unique_ptr<net::ByteChannel> dch = std::move(channels.destination);
+      if (cand.dest_fault_plan.enabled()) {
+        dch = std::make_unique<net::FaultyChannel>(std::move(dch), cand.dest_fault_plan,
+                                                   standby_states->at(k));
+      }
+      pair.destination = std::make_unique<DirectPort>(std::move(dch), keep);
+      return pair;
+    };
+  }
   return wiring;
 }
 
@@ -108,6 +136,7 @@ MigrationReport run_migration_impl(const RunOptions& options) {
   auto dest_fault_state = std::make_shared<net::FaultState>();
 
   Bytes stream;
+  RetainedStream retained;
   bool collected = false;
   int first_serial_attempt = 1;
   const int total_attempts = 1 + std::max(0, options.max_retries);
@@ -133,9 +162,18 @@ MigrationReport run_migration_impl(const RunOptions& options) {
     int attempts_used = 0;
     const SessionWiring wiring =
         direct_wiring(options, fault_state, dest_fault_state, deadline);
-    switch (run_pipelined_transaction(options, report, stream, wiring, *deadline,
-                                      src_journal, dst_journal, txn, total_attempts,
-                                      attempts_used)) {
+    // A failover standby journals into its own incarnation-suffixed file
+    // beside dest.journal, so recover() can scan every destination the
+    // transaction ever touched.
+    std::function<std::string(std::uint32_t)> standby_journal;
+    if (!options.journal_dir.empty()) {
+      standby_journal = [dir = options.journal_dir](std::uint32_t inc) {
+        return dir + "/" + dest_journal_name(inc);
+      };
+    }
+    switch (run_pipelined_transaction(options, report, retained, wiring, *deadline,
+                                      src_journal, dst_journal, standby_journal, txn,
+                                      total_attempts, attempts_used)) {
       case TxnResult::CompletedLocally:
         // Rendezvous happened but no transfer was ever started; the
         // attempt counter follows the serial path's convention.
@@ -158,6 +196,10 @@ MigrationReport run_migration_impl(const RunOptions& options) {
       case TxnResult::Failed:
         collected = true;
         first_serial_attempt = attempts_used + 1;  // retained stream replays serially
+        // The serial path restores from a contiguous buffer; pull the
+        // retained stream back out of its (possibly disk-spilled) home.
+        stream = retained.materialize();
+        retained.release();
         break;
     }
   } else {
@@ -176,8 +218,8 @@ MigrationReport run_migration_impl(const RunOptions& options) {
     std::thread scheduler;
     if (options.request_after_seconds > 0) {
       scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
-        const auto deadline = Clock::now() + std::chrono::duration<double>(delay);
-        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+        const auto fire_at = Clock::now() + std::chrono::duration<double>(delay);
+        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < fire_at) {
           std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
         if (!program_done.load(std::memory_order_relaxed)) ctx.request_migration();
@@ -239,8 +281,8 @@ MigrationReport run_migration_impl(const RunOptions& options) {
         // carried the same state across: close the transaction so
         // recovery reads "destination owns, completed".
         const std::uint64_t d = msrm::StreamDigest::of({stream.data(), stream.size()});
-        src_journal.append({JournalRecordType::Commit, txn, d, "serial fallback"});
-        src_journal.append({JournalRecordType::Done, txn, d, "serial fallback"});
+        src_journal.append({JournalRecordType::Commit, txn, d, 1, "serial fallback"});
+        src_journal.append({JournalRecordType::Done, txn, d, 1, "serial fallback"});
         TxnMetrics::get().commits.add(1);
       }
       report.migrated = true;
@@ -258,7 +300,8 @@ MigrationReport run_migration_impl(const RunOptions& options) {
   if (txn_ran) {
     // Durable before the local restore begins: a crash mid-degradation
     // must still arbitrate to the source.
-    src_journal.append({JournalRecordType::Abort, txn, 0, "degraded to local completion"});
+    src_journal.append(
+        {JournalRecordType::Abort, txn, 0, 1, "degraded to local completion"});
     TxnMetrics::get().aborts.add(1);
   }
   complete_locally(options, report, std::move(stream));
@@ -334,12 +377,18 @@ MigrationReport run_routed_migration(const RunOptions& options,
     dst_journal.open(options.journal_dir + "/" + keyed_dest_journal_name(txn));
   }
 
-  Bytes stream;
+  RetainedStream retained;
   int attempts_used = 0;
   const int total_attempts = 1 + std::max(0, options.max_retries);
-  const TxnResult result =
-      run_pipelined_transaction(options, report, stream, wiring, *deadline, src_journal,
-                                dst_journal, txn, total_attempts, attempts_used);
+  std::function<std::string(std::uint32_t)> standby_journal;
+  if (!options.journal_dir.empty()) {
+    standby_journal = [dir = options.journal_dir, txn](std::uint32_t inc) {
+      return dir + "/" + keyed_dest_journal_name(txn, inc);
+    };
+  }
+  const TxnResult result = run_pipelined_transaction(
+      options, report, retained, wiring, *deadline, src_journal, dst_journal,
+      standby_journal, txn, total_attempts, attempts_used);
   switch (result) {
     case TxnResult::CompletedLocally:
       report.attempts = 0;
@@ -358,9 +407,9 @@ MigrationReport run_routed_migration(const RunOptions& options,
       // No serial fallback on a routed channel (untagged v3 frames cannot
       // share the multiplexed wire): degrade straight to local completion.
       src_journal.append(
-          {JournalRecordType::Abort, txn, 0, "degraded to local completion"});
+          {JournalRecordType::Abort, txn, 0, 1, "degraded to local completion"});
       TxnMetrics::get().aborts.add(1);
-      complete_locally(options, report, std::move(stream));
+      complete_locally(options, report, retained.materialize());
       break;
   }
 
@@ -371,14 +420,21 @@ MigrationReport run_routed_migration(const RunOptions& options,
 }
 
 RecoveryVerdict Coordinator::recover(const std::string& journal_dir) {
-  return recover_from_journals(journal_dir + "/" + kSourceJournalName,
-                               journal_dir + "/" + kDestJournalName);
+  // Arbitrate against EVERY destination journal the run left behind — the
+  // primary's dest.journal plus any failover incarnation's suffixed file.
+  std::vector<std::string> dests = dest_journal_paths(journal_dir, 0);
+  if (dests.empty()) dests.push_back(journal_dir + "/" + kDestJournalName);
+  return recover_from_journals(journal_dir + "/" + kSourceJournalName, dests);
 }
 
 RecoveryVerdict Coordinator::recover(const std::string& journal_dir,
                                      std::uint64_t txn_id) {
+  std::vector<std::string> dests = dest_journal_paths(journal_dir, txn_id);
+  if (dests.empty()) {
+    dests.push_back(journal_dir + "/" + keyed_dest_journal_name(txn_id));
+  }
   return recover_from_journals(journal_dir + "/" + keyed_source_journal_name(txn_id),
-                               journal_dir + "/" + keyed_dest_journal_name(txn_id));
+                               dests);
 }
 
 }  // namespace hpm::mig

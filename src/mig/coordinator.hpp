@@ -41,6 +41,36 @@ namespace hpm::mig {
 /// keeps mig::Transport::Memory etc. working.
 using Transport = net::Transport;
 
+/// One standby destination a failover may re-target an in-flight
+/// migration to, in policy order.
+struct DestinationCandidate {
+  /// Label used in reports and failure causes ("standby-1" by default).
+  std::string name;
+  /// The standby's own persistent ChunkStore directory. Non-empty turns
+  /// the replay into a manifest negotiation against that store, so a warm
+  /// standby receives only the chunks it misses. Empty = raw replay.
+  std::string chunk_cache_dir;
+  /// Fault injected on THIS candidate's sends (chaos testing: kill the
+  /// first standby too and prove the second one finishes).
+  net::FaultPlan dest_fault_plan{};
+};
+
+/// Ordered candidate destinations plus the dial budgets a failover is
+/// allowed to spend on each before moving to the next.
+struct FailoverPolicy {
+  std::vector<DestinationCandidate> standbys;
+
+  /// Connect attempts per candidate before it is skipped.
+  int dial_attempts = 3;
+
+  /// Delay before re-dialing a candidate; doubles per attempt, capped
+  /// below. Deterministic (no jitter), like the retry backoff.
+  double dial_backoff_seconds = 0.01;
+  double dial_backoff_cap_seconds = 0.25;
+
+  [[nodiscard]] bool enabled() const noexcept { return !standbys.empty(); }
+};
+
 struct RunOptions {
   /// Registers application types into a TypeTable; executed independently
   /// on both hosts (the paper pre-distributes the transformed program).
@@ -175,6 +205,25 @@ struct RunOptions {
   /// ManifestBegin capability bit; per-chunk raw fallback when encoding
   /// does not pay). WireCodec::None ships misses raw.
   WireCodec wire_codec = WireCodec::None;
+
+  /// --- destination failover (DESIGN.md §16) --------------------------------
+  /// When the destination is declared dead — the transport died past the
+  /// resume budget, or a SessionSupervisor poisoned the wedged session —
+  /// and standbys are configured, the source re-dials the next candidate
+  /// under the next *incarnation* (fencing token), replays the retained
+  /// stream from chunk 0, and runs the commit phase against the standby.
+  /// The journals carry the incarnation so arbitration names exactly one
+  /// committed owner and a revived stale destination is fenced.
+  FailoverPolicy failover;
+
+  /// Directory for the disk spill of the retained stream. Non-empty: the
+  /// collected stream is written (fsync'd) to
+  /// "<retain_dir>/retained-<txn>.stream" once collection finishes and
+  /// the heap copy is freed — resume and failover replay from the file,
+  /// so a long standby wait cannot die with source memory pressure.
+  /// Empty = the retained stream stays in memory (the pre-failover
+  /// behavior).
+  std::string retain_dir;
 };
 
 /// Final fate of the workload for one run_migration() call.
@@ -237,6 +286,18 @@ struct MigrationReport {
   /// reassembled stream against this value before voting, so equal
   /// digests across two runs certify bit-identical restored state.
   std::uint64_t stream_digest = 0;
+
+  /// --- failover accounting (failover.standbys set; 0 otherwise) ------------
+  /// Destinations the transaction moved through: 0 until a failover
+  /// fires, then the number of re-targets (1 = the first standby won).
+  int failovers = 0;
+  /// Incarnation of the destination that finally owned the commit phase
+  /// (1 = the primary; 0 = no pipelined transaction ran).
+  std::uint32_t dest_incarnation = 0;
+  /// Wall-clock seconds from declaring the previous destination dead to
+  /// the winning destination's commit — the availability gap a failover
+  /// cost (0 when no failover fired).
+  double failover_downtime_seconds = 0;
 
   /// --- dedup accounting (chunk_cache_dir set; all 0 otherwise) -------------
   std::uint64_t dedup_manifest_chunks = 0;  ///< addresses announced

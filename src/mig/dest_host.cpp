@@ -12,16 +12,27 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// What the source durably decided about `txn`, per its journal. Scans
-/// the raw records (rather than recover_from_journals) so an in-doubt
-/// destination can distinguish "source aborted" from "source has not
-/// decided YET" and poll for the verdict. Last decisive record wins.
+/// What the source durably decided about `txn` FOR THIS INCARNATION, per
+/// its journal. Scans the raw records (rather than recover_from_journals)
+/// so an in-doubt destination can distinguish "source aborted" from
+/// "source has not decided YET" and poll for the verdict. Last decisive
+/// record wins. The incarnation makes the poll fencing-aware: a record
+/// addressed to a NEWER incarnation means the source already re-targeted
+/// the transaction past us — whatever happens over there, this (presumed
+/// dead, now revived) destination must resolve to Abort, never adopt a
+/// Commit that names someone else.
 enum class SourceDecision : std::uint8_t { Undecided, Commit, Abort };
 
-SourceDecision last_source_decision(const std::string& path, std::uint64_t txn) {
+SourceDecision last_source_decision(const std::string& path, std::uint64_t txn,
+                                    std::uint32_t incarnation) {
   SourceDecision decision = SourceDecision::Undecided;
   for (const JournalRecord& r : Journal::replay(path)) {
     if (r.txn_id != txn) continue;
+    if (r.incarnation > incarnation) {
+      decision = SourceDecision::Abort;  // fenced: the source moved on
+      continue;
+    }
+    if (r.incarnation < incarnation) continue;  // stale history, not ours
     switch (r.type) {
       case JournalRecordType::Commit:
       case JournalRecordType::Done:
@@ -148,7 +159,8 @@ void DestinationHost::run() {
       return;
     }
     const net::StateBeginInfo begin = session_.begin_info();
-    journal_.append({JournalRecordType::Begin, begin.txn_id, 0, "destination up"});
+    journal_.append({JournalRecordType::Begin, begin.txn_id, 0, begin.incarnation,
+                     "destination up"});
     ChunkAssembler assembler(begin.chunk_bytes);
     // The chunk cache outlives the transfer only as files; the in-memory
     // index is rebuilt per migration from the directory scan.
@@ -432,10 +444,13 @@ void DestinationHost::commit_gate(std::uint64_t txn, std::uint64_t digest) {
     // plain safe abort, not an in-doubt state.
     throw MigrationError(std::string("handoff lost before Prepare: ") + e.what());
   }
-  session_.on_frame(msg);  // Prepare (txn-checked) or a typed rejection
-  journal_.append({JournalRecordType::Prepared, txn, digest, ""});
+  session_.on_frame(msg);  // Prepare (txn- and incarnation-checked) or a rejection
+  const std::uint32_t inc = session_.incarnation();
+  journal_.append({JournalRecordType::Prepared, txn, digest, inc, ""});
   TxnMetrics::get().prepares.add(1);
-  port.send(net::MsgType::PrepareAck, net::encode_prepare_ack({txn, digest}));
+  // The vote echoes our incarnation: a source that already redirected the
+  // stream rejects it as fenced instead of mistaking it for the standby's.
+  port.send(net::MsgType::PrepareAck, net::encode_prepare_ack({txn, digest, inc}));
   net::Message verdict;
   try {
     verdict = port.recv();
@@ -465,7 +480,7 @@ void DestinationHost::resolve_in_doubt(std::uint64_t txn, std::uint64_t digest,
   const auto grace = t.count() > 0 ? 4 * t : std::chrono::milliseconds(2000);
   const auto deadline = Clock::now() + grace;
   for (;;) {
-    switch (last_source_decision(source_journal_path_, txn)) {
+    switch (last_source_decision(source_journal_path_, txn, session_.incarnation())) {
       case SourceDecision::Commit:
         TxnMetrics::get().indoubt_recoveries.add(1);
         session_.commit_recovered();
@@ -473,7 +488,8 @@ void DestinationHost::resolve_in_doubt(std::uint64_t txn, std::uint64_t digest,
         return;
       case SourceDecision::Abort:
         throw MigrationError(
-            "in-doubt handoff resolved to the source: its journal shows Abort");
+            "in-doubt handoff resolved against us: the source journal shows "
+            "Abort or fenced this incarnation off");
       case SourceDecision::Undecided:
         break;
     }
@@ -488,7 +504,8 @@ void DestinationHost::resolve_in_doubt(std::uint64_t txn, std::uint64_t digest,
 
 void DestinationHost::record_committed(std::uint64_t txn, std::uint64_t digest,
                                        std::string note) {
-  journal_.append({JournalRecordType::Committed, txn, digest, std::move(note)});
+  journal_.append({JournalRecordType::Committed, txn, digest, session_.incarnation(),
+                   std::move(note)});
   TxnMetrics::get().commits.add(1);
   std::lock_guard lk(mu_);
   committed_ = true;

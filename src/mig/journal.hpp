@@ -45,6 +45,12 @@ struct JournalRecord {
   JournalRecordType type{};
   std::uint64_t txn_id = 0;
   std::uint64_t digest = 0;  ///< end-to-end stream digest, where known
+  /// Destination incarnation the record speaks about: 1 for the primary,
+  /// k+1 for the k-th failover standby. A source Commit names the one
+  /// incarnation allowed to own the process; every other destination is
+  /// fenced. Records written before the v5 failover format replay as
+  /// incarnation 1.
+  std::uint32_t incarnation = 1;
   std::string note;          ///< free-form context ("recovered from journals", ...)
 };
 
@@ -93,9 +99,27 @@ inline constexpr const char* kDestJournalName = "dest.journal";
 std::string keyed_source_journal_name(std::uint64_t txn_id);
 std::string keyed_dest_journal_name(std::uint64_t txn_id);
 
+/// Dest journal name for a specific incarnation: the primary (inc 1)
+/// keeps the classic name, standby k writes "dest[-<txn>].i<k>.journal"
+/// beside it so arbitration can see every destination that ever touched
+/// the transaction.
+std::string dest_journal_name(std::uint32_t incarnation);
+std::string keyed_dest_journal_name(std::uint64_t txn_id, std::uint32_t incarnation);
+
+/// Every destination journal recorded for `txn_id` in `journal_dir` (the
+/// primary's plus any failover incarnations'), existing files only,
+/// incarnation order. For the exclusive (non-keyed) naming pass txn_id 0.
+std::vector<std::string> dest_journal_paths(const std::string& journal_dir,
+                                            std::uint64_t txn_id);
+
 /// Transaction ids that have a keyed journal pair (either side) in
 /// `journal_dir`, ascending. The directory may not exist (empty result).
-std::vector<std::uint64_t> list_journaled_txns(const std::string& journal_dir);
+/// When `skipped` is non-null, files in the directory that are NOT keyed
+/// journals (unrelated names, and zero-length torn journals that hold no
+/// replayable record) are reported there instead of silently ignored, so
+/// `hpmtool recover` can say what the scan stepped over.
+std::vector<std::uint64_t> list_journaled_txns(const std::string& journal_dir,
+                                               std::vector<std::string>* skipped = nullptr);
 
 /// Garbage-collect the keyed journal pairs of COMPLETED transactions: a
 /// pair whose verdict is "Done recorded" has nothing left to recover, so
@@ -115,6 +139,13 @@ struct RecoveryVerdict {
   TxnOwner owner = TxnOwner::None;
   bool completed = false;  ///< Done recorded: the handoff finished; nothing to resume
   std::uint64_t txn_id = 0;
+  /// When the destination owns: the ONE incarnation allowed to commit
+  /// (from the source's Commit record, or the committed journal itself).
+  std::uint32_t incarnation = 0;
+  /// Destination journals holding a Committed record for the transaction.
+  /// The fencing protocol keeps this at most 1; arbitration reports the
+  /// count so a violation is visible instead of silently arbitrated away.
+  std::uint32_t committed_destinations = 0;
   std::string reason;  ///< human-readable derivation of the verdict
 };
 
@@ -123,5 +154,13 @@ struct RecoveryVerdict {
 /// present on either side.
 RecoveryVerdict recover_from_journals(const std::string& source_path,
                                       const std::string& dest_path);
+
+/// Multi-destination arbitration: one source journal against every
+/// destination journal the transaction ever touched (primary + failover
+/// incarnations). The source's last decisive Commit names the fencing
+/// incarnation; a Committed record under any other incarnation is a
+/// fenced stale destination and never wins ownership.
+RecoveryVerdict recover_from_journals(const std::string& source_path,
+                                      const std::vector<std::string>& dest_paths);
 
 }  // namespace hpm::mig

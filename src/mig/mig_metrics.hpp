@@ -96,6 +96,26 @@ struct DedupMetrics {
   }
 };
 
+/// `mig.failover.*` instruments for destination failover (DESIGN.md §16):
+/// how often a primary was declared dead with standbys armed, the
+/// re-targets actually dialed, the dial budget exhaustions, the fencing
+/// rejections that kept a stale incarnation from committing, and the
+/// availability gap a successful failover cost.
+struct FailoverMetrics {
+  obs::Counter& triggered = obs::Registry::process().counter("mig.failover.triggered");
+  obs::Counter& redirects = obs::Registry::process().counter("mig.failover.redirects");
+  obs::Counter& dial_failures =
+      obs::Registry::process().counter("mig.failover.dial_failures");
+  obs::Counter& fenced = obs::Registry::process().counter("mig.failover.fenced");
+  obs::Histogram& downtime = obs::Registry::process().histogram(
+      "mig.failover.downtime_seconds", obs::Unit::Seconds);
+
+  static FailoverMetrics& get() {
+    static FailoverMetrics m;
+    return m;
+  }
+};
+
 /// `mig.resume.*` instruments for the watermark/resume machinery.
 struct ResumeMetrics {
   obs::Counter& attempts = obs::Registry::process().counter("mig.resume.attempts");

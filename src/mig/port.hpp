@@ -186,6 +186,14 @@ struct PortPair {
 struct SessionWiring {
   std::uint32_t session_id = 0;
   std::function<PortPair()> connect;
+
+  /// Failover dial: a fresh port pair to standby candidate `k` (an index
+  /// into FailoverPolicy::standbys), under whatever isolation this wiring
+  /// can give it — a brand-new physical channel for a direct session, a
+  /// fresh routed binding (escaping a poisoned primary id) for a
+  /// multiplexed one. Null = the wiring cannot reach standbys, so
+  /// destination failover is disabled regardless of policy.
+  std::function<PortPair(std::size_t)> connect_standby;
 };
 
 }  // namespace hpm::mig

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "mig/mig_metrics.hpp"
+
 namespace hpm::mig {
 
 namespace {
@@ -21,6 +23,7 @@ const char* session_state_name(SessionState state) noexcept {
     case SessionState::Prepared: return "prepared";
     case SessionState::Committed: return "committed";
     case SessionState::Aborted: return "aborted";
+    case SessionState::Redirecting: return "redirecting";
   }
   return "?";
 }
@@ -121,22 +124,28 @@ void SessionMachine::reject_locked(std::string why) {
 ///
 /// Transition table (frames the DESTINATION sends):
 ///
-///   state      │ Hello  ResumeHello  StateAck  PrepareAck  Ack  Nack/Error
-///   ───────────┼──────────────────────────────────────────────────────────
-///   Idle       │ Hello¹ ·            ·         ·           ·    ·
-///   Hello      │ ·      ·            ·         ·           ·    Aborted²
-///   Streaming  │ ·      ·            fold      ·           ·    Aborted²
-///   Resuming   │ ·      Streaming¹   fold      ·           ·    Aborted²
-///   Prepared   │ ·      ·            fold      Prepared¹   ·    Aborted²
-///   Committed  │ ·      ·            no-op     ·           keep ·
-///   Aborted    │ ·      ·            no-op     ·           ·    ·
+///   state       │ Hello  ResumeHello  StateAck  PrepareAck  Ack  Nack/Error
+///   ────────────┼──────────────────────────────────────────────────────────
+///   Idle        │ Hello¹ ·            ·         ·           ·    ·
+///   Hello       │ ·      ·            ·         ·           ·    Aborted²
+///   Streaming   │ ·      ·            fold      ·           ·    Aborted²
+///   Resuming    │ ·      Streaming¹   fold      ·           ·    Aborted²
+///   Prepared    │ ·      ·            fold      Prepared¹   ·    Aborted²
+///   Redirecting │ Hello¹ ·            no-op     ·           ·    no-op³
+///   Committed   │ ·      ·            no-op     ·           keep ·
+///   Aborted     │ ·      ·            no-op     ·           ·    ·
 ///
 ///   · = illegal → Aborted + ProtocolError
 ///   ¹ = semantic checks (version / txn / digest / watermark bound) may
 ///       still reject → Aborted + MigrationError
 ///   ² = protocol-legal failure report → Aborted + MigrationError
+///   ³ = stragglers from the fenced-off destination are dropped, not
+///       poison: the redirect already presumed that endpoint dead
 ///
-///   Dedup extension: ManifestAck is legal exactly once, in Streaming.
+///   Dedup extension: ManifestAck is legal exactly once per destination
+///   incarnation, in Streaming (redirect_decided re-arms it for the
+///   standby's own negotiation). PrepareAck must echo the incarnation the
+///   redirect handed out, or the vote is rejected as stale.
 
 SourceSession::SourceSession(std::uint32_t session_id, std::uint64_t txn_id)
     : SessionMachine("source", session_id), txn_(txn_id) {}
@@ -146,7 +155,11 @@ SessionState SourceSession::on_frame(const net::Message& frame) {
   frames_.add(1);
   switch (frame.type) {
     case net::MsgType::Hello:
-      if (state_ != SessionState::Idle) illegal_locked(frame.type);
+      // Idle: the primary announcing. Redirecting: the standby a failover
+      // re-targeted the stream to — the machine re-enters the handshake.
+      if (state_ != SessionState::Idle && state_ != SessionState::Redirecting) {
+        illegal_locked(frame.type);
+      }
       if (frame.payload.empty() || frame.payload[0] != net::kProtocolVersion) {
         reject_locked("protocol version mismatch: destination speaks v" +
                       std::to_string(frame.payload.empty() ? 0 : frame.payload[0]) +
@@ -181,7 +194,7 @@ SessionState SourceSession::on_frame(const net::Message& frame) {
       }
       const std::uint32_t seq = net::decode_state_ack(frame.payload);
       if (state_ != SessionState::Committed && state_ != SessionState::Aborted &&
-          seq > acked_) {
+          state_ != SessionState::Redirecting && seq > acked_) {
         acked_ = seq;
       }
       break;
@@ -201,8 +214,14 @@ SessionState SourceSession::on_frame(const net::Message& frame) {
       if (vote.txn_id != txn_) {
         reject_locked("PrepareAck names a different transaction");
       }
+      if (vote.incarnation != incarnation_) {
+        FailoverMetrics::get().fenced.add(1);
+        reject_locked("PrepareAck echoes destination incarnation " +
+                      std::to_string(vote.incarnation) + " but the stream addresses " +
+                      std::to_string(incarnation_) + " — a fenced-off vote");
+      }
       if (stream_known_ && vote.digest != digest_) {
-        char buf[48];
+        char buf[64];
         std::snprintf(buf, sizeof buf, "%016llx vs destination %016llx",
                       static_cast<unsigned long long>(digest_),
                       static_cast<unsigned long long>(vote.digest));
@@ -218,11 +237,13 @@ SessionState SourceSession::on_frame(const net::Message& frame) {
 
     case net::MsgType::Nack:
       if (terminal_locked()) illegal_locked(frame.type);
+      if (state_ == SessionState::Redirecting) break;  // fenced straggler
       reject_locked("destination rejected the chunked stream (Nack): " +
                     payload_text(frame));
 
     case net::MsgType::Error:
       if (terminal_locked()) illegal_locked(frame.type);
+      if (state_ == SessionState::Redirecting) break;  // fenced straggler
       reject_locked("destination restore failed: " + payload_text(frame));
 
     default:
@@ -265,6 +286,30 @@ void SourceSession::abort_decided(std::string why) {
   transition_locked(SessionState::Aborted);
 }
 
+void SourceSession::redirect_decided(std::uint32_t next_incarnation) {
+  std::lock_guard lk(mu_);
+  // Idle is legal too: a primary that dies before its Hello ever arrives
+  // leaves the machine unopened, and the failover hands the (already
+  // collected) stream to a standby exactly as it would mid-protocol.
+  // Redirecting likewise: a STANDBY that dies before its own Hello parks
+  // the machine here, and moving on to the next candidate is the same
+  // decision again under the next incarnation.
+  if (state_ != SessionState::Idle && state_ != SessionState::Streaming &&
+      state_ != SessionState::Prepared && state_ != SessionState::Resuming &&
+      state_ != SessionState::Redirecting) {
+    illegal_event_locked("redirect_decided");
+  }
+  if (next_incarnation <= incarnation_) illegal_event_locked("redirect_decided");
+  incarnation_ = next_incarnation;
+  // The standby starts from nothing: no acked watermark, no manifest
+  // negotiation, no resume point. The stream totals (set_stream) survive —
+  // the retained stream itself is what gets replayed.
+  acked_ = 0;
+  manifest_acked_ = false;
+  resume_next_seq_ = 0;
+  transition_locked(SessionState::Redirecting);
+}
+
 void SourceSession::set_stream(std::uint64_t total_chunks, std::uint64_t digest) {
   std::lock_guard lk(mu_);
   total_chunks_ = total_chunks;
@@ -280,6 +325,11 @@ std::uint32_t SourceSession::acked_watermark() const {
 std::uint32_t SourceSession::resume_next_seq() const {
   std::lock_guard lk(mu_);
   return resume_next_seq_;
+}
+
+std::uint32_t SourceSession::incarnation() const {
+  std::lock_guard lk(mu_);
+  return incarnation_;
 }
 
 /// ---- DestSession ----------------------------------------------------------
@@ -303,6 +353,12 @@ std::uint32_t SourceSession::resume_next_seq() const {
 ///   chunk (txn-checked); ManifestChunk batches must then arrive densely
 ///   in order within the announced total.
 ///   ² = "source aborted the handoff after Prepare" → MigrationError
+///
+///   Fencing (v5): StateBegin teaches this destination its incarnation;
+///   a Prepare or Commit naming any OTHER incarnation is refused with a
+///   MigrationError — a failover already moved ownership to a newer
+///   incarnation and this (revived, presumed-dead) endpoint may not
+///   commit a stale restore.
 
 DestSession::DestSession(std::uint32_t session_id)
     : SessionMachine("destination", session_id) {}
@@ -379,23 +435,40 @@ SessionState DestSession::on_frame(const net::Message& frame) {
       stream_complete_ = true;
       break;
 
-    case net::MsgType::Prepare:
+    case net::MsgType::Prepare: {
       if (state_ != SessionState::Streaming || !stream_complete_) {
         illegal_locked(frame.type);
       }
-      if (net::decode_txn(frame.payload) != txn_) {
+      const net::TxnTokenInfo token = net::decode_txn_token(frame.payload);
+      if (token.txn_id != txn_) {
         reject_locked("Prepare names a different transaction");
+      }
+      if (token.incarnation != begin_.incarnation) {
+        FailoverMetrics::get().fenced.add(1);
+        reject_locked("fenced: Prepare addresses destination incarnation " +
+                      std::to_string(token.incarnation) + " but this destination is " +
+                      std::to_string(begin_.incarnation));
       }
       transition_locked(SessionState::Prepared);
       break;
+    }
 
-    case net::MsgType::Commit:
+    case net::MsgType::Commit: {
       if (state_ != SessionState::Prepared) illegal_locked(frame.type);
-      if (net::decode_txn(frame.payload) != txn_) {
+      const net::TxnTokenInfo token = net::decode_txn_token(frame.payload);
+      if (token.txn_id != txn_) {
         reject_locked("Commit names a different transaction");
+      }
+      if (token.incarnation != begin_.incarnation) {
+        FailoverMetrics::get().fenced.add(1);
+        reject_locked("fenced: Commit addresses destination incarnation " +
+                      std::to_string(token.incarnation) + " but this destination is " +
+                      std::to_string(begin_.incarnation) +
+                      " — a stale incarnation may not own the process");
       }
       transition_locked(SessionState::Committed);
       break;
+    }
 
     case net::MsgType::Abort:
       if (state_ != SessionState::Prepared) illegal_locked(frame.type);
@@ -456,6 +529,11 @@ std::uint32_t DestSession::chunks_seen() const {
 net::StateBeginInfo DestSession::begin_info() const {
   std::lock_guard lk(mu_);
   return begin_;
+}
+
+std::uint32_t DestSession::incarnation() const {
+  std::lock_guard lk(mu_);
+  return begin_.incarnation;
 }
 
 }  // namespace hpm::mig

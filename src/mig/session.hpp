@@ -10,6 +10,8 @@
 //                      ↓
 //                  Prepared → Committed
 //        (any live state) → Aborted
+//   Streaming/Prepared/Resuming → Redirecting → Hello   (source only:
+//        destination failover re-targets the stream to a standby)
 //
 // with ONE wire entry point, on_frame(frame), that validates the frame
 // against the current state, applies the transition, and returns the new
@@ -44,6 +46,12 @@ enum class SessionState : std::uint8_t {
   Prepared,   ///< commit gate open: Prepare sent / vote cast
   Committed,  ///< ownership transferred to the destination (terminal)
   Aborted,    ///< handoff over without a transfer of ownership (terminal)
+  /// Source only: the destination was declared dead (supervisor verdict
+  /// or exhausted resume budget) and the stream is being re-targeted at
+  /// a standby under the next incarnation. Appended after the terminal
+  /// states so the numeric gauge values of the original states persist
+  /// across the v5 bump.
+  Redirecting,
 };
 
 const char* session_state_name(SessionState state) noexcept;
@@ -116,6 +124,15 @@ class SourceSession : public SessionMachine {
   void commit_decided();              ///< Prepared → Committed (durable Commit record)
   void abort_decided(std::string why);///< any live state → Aborted (no throw)
 
+  /// Failover: the current destination is presumed dead and the stream is
+  /// being re-targeted at a standby under `next_incarnation`. Legal from
+  /// Idle (a primary dead before its Hello), Streaming/Prepared/Resuming,
+  /// and Redirecting itself (a standby dead before ITS Hello — the next
+  /// candidate is the same decision again); resets the per-destination
+  /// transfer state (watermark, manifest ack) while keeping the retained
+  /// stream's totals, and re-opens the machine for the standby's Hello.
+  void redirect_decided(std::uint32_t next_incarnation);
+
   /// Collection finished: arms ResumeHello validation (a destination may
   /// not claim more chunks than the retained stream holds) and PrepareAck
   /// digest cross-checking.
@@ -127,6 +144,10 @@ class SourceSession : public SessionMachine {
   /// next_seq of the ResumeHello that re-entered Streaming.
   [[nodiscard]] std::uint32_t resume_next_seq() const;
 
+  /// Destination incarnation the machine currently addresses (1 for the
+  /// primary; redirect_decided bumps it). Every PrepareAck must echo it.
+  [[nodiscard]] std::uint32_t incarnation() const;
+
  private:
   std::uint64_t txn_ = 0;
   std::uint64_t total_chunks_ = 0;
@@ -135,6 +156,7 @@ class SourceSession : public SessionMachine {
   bool manifest_acked_ = false;  ///< dedup: the one ManifestAck arrived
   std::uint32_t acked_ = 0;
   std::uint32_t resume_next_seq_ = 0;
+  std::uint32_t incarnation_ = 1;
 };
 
 /// The destination endpoint's machine: frames fed to on_frame are the
@@ -160,6 +182,11 @@ class DestSession : public SessionMachine {
   [[nodiscard]] std::uint64_t txn_id() const;
   [[nodiscard]] std::uint32_t chunks_seen() const;
   [[nodiscard]] net::StateBeginInfo begin_info() const;
+
+  /// Incarnation learned from StateBegin (1 until then). A Prepare or
+  /// Commit naming any other incarnation is refused — this destination
+  /// was fenced off by a failover and may not own the process.
+  [[nodiscard]] std::uint32_t incarnation() const;
 
  private:
   net::StateBeginInfo begin_{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <thread>
 
@@ -40,16 +41,22 @@ std::chrono::milliseconds commit_grace(std::chrono::milliseconds t) {
 /// result to Unconfirmed. KilledError passes through untouched: a crash
 /// journals nothing, the log must hold only real decisions.
 ///
+/// Every transaction frame carries the destination incarnation the stream
+/// currently addresses (the fencing token): the journal records name it,
+/// so post-crash arbitration knows WHICH destination the source committed
+/// to, and the wire token lets a standby's machine refuse a stale frame.
+///
 /// The inbound half is validated by the machine: await() feeds each reply
 /// through session.on_frame(), which raises the typed rejection (Nack,
-/// Error, wrong txn, digest mismatch) or ProtocolError itself.
+/// Error, wrong txn, fenced vote, digest mismatch) or ProtocolError itself.
 CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
                                  SourceSession& session,
                                  const net::DeadlinePolicy& deadline, std::uint64_t txn,
                                  std::uint64_t digest, Journal& journal) {
+  const std::uint32_t inc = session.incarnation();
   try {
     session.prepare_sent();
-    port.send(net::MsgType::Prepare, net::encode_txn(txn));
+    port.send(net::MsgType::Prepare, net::encode_txn_token({txn, inc}));
     // The policy is consulted per blocking call, so an adaptive deadline
     // warmed by heartbeat RTTs can tighten mid-handoff.
     const net::Message reply = inbox.await(commit_grace(deadline.current()));
@@ -67,19 +74,30 @@ CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
     // buffer, so grace-wait for it and prefer the destination's cause
     // over our own send failure.
     std::exception_ptr cause = std::current_exception();
-    try {
-      inbox.await(std::chrono::milliseconds(50));
-    } catch (const MigrationError& veto) {
-      // on_frame turned the pending Error/Nack into its typed rejection.
-      cause = std::make_exception_ptr(veto);
-    } catch (...) {
-      // Nothing queued; the original failure stands.
+    bool vetoed = session.terminal();  // on_frame already rejected the vote
+    if (!vetoed) {
+      try {
+        inbox.await(std::chrono::milliseconds(50));
+      } catch (const MigrationError& veto) {
+        // on_frame turned the pending Error/Nack into its typed rejection.
+        cause = std::make_exception_ptr(veto);
+        vetoed = true;
+      } catch (...) {
+        // Nothing queued; the original failure stands.
+      }
     }
-    journal.append({JournalRecordType::Abort, txn, digest, "prepare phase failed"});
+    journal.append({JournalRecordType::Abort, txn, digest, inc, "prepare phase failed"});
     TxnMetrics::get().aborts.add(1);
-    if (!session.terminal()) session.abort_decided("prepare phase failed");
+    // Only a VETO is a protocol decision that ends the session. A
+    // transport death here means the destination never voted: the machine
+    // stays Prepared (link_lost and redirect_decided are both legal from
+    // it), so the caller may still resume against a surviving destination
+    // or fail over to a standby. The Abort record above fences this
+    // incarnation either way — a revived primary's in-doubt poll reads it
+    // and aborts instead of completing a handoff the source gave up on.
+    if (vetoed && !session.terminal()) session.abort_decided("prepare phase failed");
     try {
-      port.send(net::MsgType::Abort, net::encode_txn(txn));
+      port.send(net::MsgType::Abort, net::encode_txn_token({txn, inc}));
     } catch (...) {
       // A dead port cannot carry the Abort; the destination's in-doubt
       // poll reads the journal record instead.
@@ -87,14 +105,14 @@ CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
     std::rethrow_exception(cause);
   }
   // --- the decision is Commit: durable before the frame leaves, irrevocable after.
-  journal.append({JournalRecordType::Commit, txn, digest, ""});
+  journal.append({JournalRecordType::Commit, txn, digest, inc, ""});
   TxnMetrics::get().commits.add(1);
   session.commit_decided();
   try {
-    port.send(net::MsgType::Commit, net::encode_txn(txn));
+    port.send(net::MsgType::Commit, net::encode_txn_token({txn, inc}));
     const net::Message fin = inbox.await(commit_grace(deadline.current()));
     if (fin.type == net::MsgType::Ack) {
-      journal.append({JournalRecordType::Done, txn, digest, ""});
+      journal.append({JournalRecordType::Done, txn, digest, inc, ""});
       return CommitResult::Confirmed;
     }
   } catch (const KilledError&) {
@@ -106,12 +124,12 @@ CommitResult source_commit_phase(MessagePort& port, ControlInbox& inbox,
 
 }  // namespace
 
-TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
-                                    Bytes& stream, const SessionWiring& wiring,
-                                    const net::DeadlinePolicy& deadline,
-                                    Journal& src_journal, Journal& dst_journal,
-                                    std::uint64_t txn, int total_attempts,
-                                    int& attempts_used) {
+TxnResult run_pipelined_transaction(
+    const RunOptions& options, MigrationReport& report, RetainedStream& stream,
+    const SessionWiring& wiring, const net::DeadlinePolicy& deadline,
+    Journal& src_journal, Journal& dst_journal,
+    const std::function<std::string(std::uint32_t)>& standby_journal_path,
+    std::uint64_t txn, int total_attempts, int& attempts_used) {
   TxnMetrics::get().begins.add(1);
   report.txn_id = txn;
 
@@ -171,6 +189,11 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
   std::exception_ptr program_error;
   double measured_tx = 0;
   bool collected = false;
+  /// False when the primary died before its Hello ever arrived: attempt 1
+  /// then runs the program sink-less (full in-memory collection) and the
+  /// failover block replays the retained stream at a standby — without
+  /// standbys the Hello failure stays fatal for the attempt, as before.
+  bool rendezvoused = false;
   bool killed = false;
   bool attempt_ok = false;
   bool unconfirmed = false;
@@ -178,13 +201,121 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
   net::StateEndInfo end;
   Clock::time_point pipeline_start{};
 
+  // Chunk reads go through the retained stream so memory-resident and
+  // disk-spilled streams replay identically; the buffer is reused by the
+  // strictly sequential send loops.
+  Bytes chunk_buf;
+  auto read_chunk = [&](std::uint64_t seq) -> std::span<const std::uint8_t> {
+    const std::uint64_t off = seq * cb;
+    const auto len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(cb, stream.size() - off));
+    chunk_buf.resize(len);
+    stream.read(off, chunk_buf);
+    return {chunk_buf.data(), len};
+  };
+
+  /// Dedup negotiation + residual transfer on the CURRENT port/inbox:
+  /// announce the manifest, learn the destination's miss set, ship only
+  /// the misses (codec-compressed when it pays), then StateEnd. Used by
+  /// attempt 1 against the primary and by a failover replay against a
+  /// warm standby — the standby answers with its OWN store's misses, so a
+  /// warm cache turns the full [0, end) replay into a trickle.
+  auto negotiate_and_send = [&] {
+    DedupMetrics& dm = DedupMetrics::get();
+    const std::uint32_t nchunks = end.chunk_count;
+    const std::uint8_t caps = codec_caps_of(options.wire_codec);
+    std::uint64_t wire = 0;
+    {
+      const Bytes payload =
+          net::encode_manifest_begin({txn, nchunks, options.chunk_bytes, caps});
+      wire += payload.size();
+      src_port->send(net::MsgType::ManifestBegin, payload);
+    }
+    std::vector<net::ManifestEntry> batch;
+    batch.reserve(net::kManifestEntriesPerFrame);
+    std::uint32_t batch_first = 0;
+    for (std::uint32_t i = 0; i < nchunks; ++i) {
+      const ChunkAddr addr = ChunkStore::address_of(read_chunk(i));
+      batch.push_back({addr.digest, addr.length});
+      if (batch.size() == net::kManifestEntriesPerFrame || i + 1 == nchunks) {
+        const Bytes payload = net::encode_manifest_chunk(batch_first, batch);
+        wire += payload.size();
+        src_port->send(net::MsgType::ManifestChunk, payload);
+        batch_first = i + 1;
+        batch.clear();
+      }
+    }
+    dm.manifest_chunks.add(nchunks);
+    report.dedup_manifest_chunks = nchunks;
+
+    // The destination loads (and digest-verifies) every candidate hit
+    // before answering, so the wait is compute-bounded like a vote.
+    const net::Message ackmsg = inbox->await(commit_grace(deadline.current()));
+    if (ackmsg.type != net::MsgType::ManifestAck) {
+      throw ProtocolError("expected ManifestAck during manifest negotiation");
+    }
+    const net::ManifestAckInfo ack = net::decode_manifest_ack(ackmsg.payload);
+    if (ack.codec > static_cast<std::uint8_t>(WireCodec::VarintDelta) ||
+        (ack.codec != 0 && (caps & kCodecCapVarintDelta) == 0)) {
+      throw ProtocolError("destination chose a codec the source never offered");
+    }
+    const WireCodec codec = static_cast<WireCodec>(ack.codec);
+    std::int64_t prev_idx = -1;
+    for (const std::uint32_t idx : ack.misses) {
+      if (idx >= nchunks || static_cast<std::int64_t>(idx) <= prev_idx) {
+        throw ProtocolError("ManifestAck miss set is out of range or unsorted");
+      }
+      prev_idx = idx;
+    }
+
+    PipelineMetrics& pm = PipelineMetrics::get();
+    for (const std::uint32_t idx : ack.misses) {
+      const std::span<const std::uint8_t> body = read_chunk(idx);
+      Bytes payload;
+      if (codec == WireCodec::VarintDelta) {
+        Bytes coded = codec_encode(body);
+        if (coded.size() < body.size()) {
+          dm.codec_ratio.record(static_cast<double>(coded.size()) /
+                                static_cast<double>(body.size()));
+          payload = net::encode_state_chunk_coded(
+              idx, static_cast<std::uint8_t>(WireCodec::VarintDelta), coded);
+        } else {
+          dm.codec_ratio.record(1.0);  // raw fallback: encoding did not pay
+        }
+      }
+      if (payload.empty()) payload = net::encode_state_chunk_coded(idx, 0, body);
+      wire += payload.size();
+      src_port->send(net::MsgType::StateChunk, payload);
+      pm.chunks.add(1);
+      pm.chunk_bytes.record(static_cast<double>(payload.size() - 5));
+    }
+    {
+      const Bytes payload = net::encode_state_end(end);
+      wire += payload.size();
+      src_port->send(net::MsgType::StateEnd, payload);
+    }
+    report.dedup_miss_chunks = ack.misses.size();
+    report.dedup_hit_chunks = nchunks - ack.misses.size();
+    report.dedup_wire_bytes = wire;
+  };
+
   // --- attempt 1: stream while collecting ----------------------------------
   try {
-    session.on_frame(src_port->recv());  // Hello: version-checked by the machine
-    session.begin_streaming();
-    inbox = std::make_unique<ControlInbox>(*src_port, session);
+    try {
+      session.on_frame(src_port->recv());  // Hello: version-checked by the machine
+      rendezvoused = true;
+    } catch (const KilledError&) {
+      throw;  // an injected SOURCE death is a crash, never a dead primary
+    } catch (const Error& e) {
+      if (!options.failover.enabled() || wiring.connect_standby == nullptr) throw;
+      report.failure_causes.push_back("attempt 1: " + std::string(e.what()));
+    }
+    if (rendezvoused) {
+      session.begin_streaming();
+      inbox = std::make_unique<ControlInbox>(*src_port, session);
+    }
 
-    if (!dedup) sender = std::thread([&] {
+    if (!dedup && rendezvoused) sender = std::thread([&] {
       try {
         PipelineMetrics& pm = PipelineMetrics::get();
         std::unique_ptr<obs::Span> tx_span;
@@ -197,9 +328,9 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
                          std::string(net::transport_name(options.transport)));
             // Write-ahead: the transaction exists on disk before any
             // frame names it on the wire.
-            src_journal.append({JournalRecordType::Begin, txn, 0, "source"});
+            src_journal.append({JournalRecordType::Begin, txn, 0, 1, "source"});
             src_port->send(net::MsgType::StateBegin,
-                           net::encode_state_begin({options.chunk_bytes, txn}));
+                           net::encode_state_begin({options.chunk_bytes, txn, 1}));
           }
           src_port->send(net::MsgType::StateChunk, net::encode_state_chunk(seq++, chunk));
           pm.chunks.add(1);
@@ -220,7 +351,9 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
     MigContext ctx(types, options.search);
     ctx.set_migrate_at_poll(options.migrate_at_poll);
     ctx.set_collect_threads(options.collect_threads);
-    if (!dedup) {
+    if (!dedup && rendezvoused) {
+      // No sink without a live primary: the sender thread never started,
+      // so a bounded queue would block collection at capacity.
       ctx.set_collect_sink(options.chunk_bytes, [&](std::span<const std::uint8_t> bytes) {
         if (pipeline_start == Clock::time_point{}) pipeline_start = Clock::now();
         queue.push(Bytes(bytes.begin(), bytes.end()));
@@ -231,8 +364,8 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
     std::thread scheduler;
     if (options.request_after_seconds > 0) {
       scheduler = std::thread([&ctx, &program_done, delay = options.request_after_seconds] {
-        const auto deadline = Clock::now() + std::chrono::duration<double>(delay);
-        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+        const auto fire_at = Clock::now() + std::chrono::duration<double>(delay);
+        while (!program_done.load(std::memory_order_relaxed) && Clock::now() < fire_at) {
           std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
         if (!program_done.load(std::memory_order_relaxed)) ctx.request_migration();
@@ -256,19 +389,27 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
       join_scheduler();
     } catch (const MigrationExit&) {
       collected = true;
-      stream = ctx.stream();  // retained for resumes and serial retries
+      stream.set(ctx.stream());  // retained for resumes, failover, serial retries
       digest = ctx.stream_digest();
       report.stream_digest = digest;
       report.stream_bytes = stream.size();
       report.collect_seconds = ctx.metrics().collect_seconds;
       report.source_arch = ctx.space().arch().name;
+      if (!options.retain_dir.empty()) {
+        // The spill is the transaction's ONLY replay source once it
+        // lands; it must exist before the heap copy is freed.
+        std::error_code ec;
+        std::filesystem::create_directories(options.retain_dir, ec);
+        stream.spill(options.retain_dir + "/retained-" + std::to_string(txn) +
+                     ".stream");
+      }
     }
     report.source_polls = ctx.poll_count();
 
     if (!collected) {
       queue.close(std::nullopt);
       join_sender();
-      src_port->send(net::MsgType::Shutdown, {});
+      if (rendezvoused) src_port->send(net::MsgType::Shutdown, {});
       session.abort_decided("no migration was triggered");
     } else {
       // Stream-derived, NOT queue.pushed(): a poisoned queue undercounts
@@ -278,7 +419,13 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
       end.total_bytes = stream.size();
       end.digest = digest;
       session.set_stream(end.chunk_count, digest);
-      if (!dedup) {
+      if (!rendezvoused) {
+        // Nothing to send the dead primary: attempt 1 is over (its Hello
+        // failure is already recorded) and the failover block replays the
+        // retained stream at a standby.
+        queue.close(std::nullopt);
+        join_sender();
+      } else if (!dedup) {
         queue.close(end);
         join_sender();
         if (sender_error != nullptr) std::rethrow_exception(sender_error);
@@ -288,96 +435,19 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
         tx_span.arg("transport", std::string(net::transport_name(options.transport)));
         tx_span.arg("dedup", std::uint64_t{1});
         pipeline_start = Clock::now();
-        src_journal.append({JournalRecordType::Begin, txn, 0, "source"});
+        src_journal.append({JournalRecordType::Begin, txn, 0, 1, "source"});
         src_port->send(net::MsgType::StateBegin,
-                       net::encode_state_begin({options.chunk_bytes, txn}));
-        DedupMetrics& dm = DedupMetrics::get();
-        const std::uint32_t nchunks = end.chunk_count;
-        const std::uint8_t caps = codec_caps_of(options.wire_codec);
-        std::uint64_t wire = 0;
-        {
-          const Bytes payload =
-              net::encode_manifest_begin({txn, nchunks, options.chunk_bytes, caps});
-          wire += payload.size();
-          src_port->send(net::MsgType::ManifestBegin, payload);
-        }
-        std::vector<net::ManifestEntry> batch;
-        batch.reserve(net::kManifestEntriesPerFrame);
-        std::uint32_t batch_first = 0;
-        for (std::uint32_t i = 0; i < nchunks; ++i) {
-          const std::size_t off = static_cast<std::size_t>(i) * cb;
-          const std::size_t len = std::min(cb, stream.size() - off);
-          const ChunkAddr addr = ChunkStore::address_of({stream.data() + off, len});
-          batch.push_back({addr.digest, addr.length});
-          if (batch.size() == net::kManifestEntriesPerFrame || i + 1 == nchunks) {
-            const Bytes payload = net::encode_manifest_chunk(batch_first, batch);
-            wire += payload.size();
-            src_port->send(net::MsgType::ManifestChunk, payload);
-            batch_first = i + 1;
-            batch.clear();
-          }
-        }
-        dm.manifest_chunks.add(nchunks);
-        report.dedup_manifest_chunks = nchunks;
-
-        // The destination loads (and digest-verifies) every candidate hit
-        // before answering, so the wait is compute-bounded like a vote.
-        const net::Message ackmsg = inbox->await(commit_grace(deadline.current()));
-        if (ackmsg.type != net::MsgType::ManifestAck) {
-          throw ProtocolError("expected ManifestAck during manifest negotiation");
-        }
-        const net::ManifestAckInfo ack = net::decode_manifest_ack(ackmsg.payload);
-        if (ack.codec > static_cast<std::uint8_t>(WireCodec::VarintDelta) ||
-            (ack.codec != 0 && (caps & kCodecCapVarintDelta) == 0)) {
-          throw ProtocolError("destination chose a codec the source never offered");
-        }
-        const WireCodec codec = static_cast<WireCodec>(ack.codec);
-        std::int64_t prev_idx = -1;
-        for (const std::uint32_t idx : ack.misses) {
-          if (idx >= nchunks || static_cast<std::int64_t>(idx) <= prev_idx) {
-            throw ProtocolError("ManifestAck miss set is out of range or unsorted");
-          }
-          prev_idx = idx;
-        }
-
-        PipelineMetrics& pm = PipelineMetrics::get();
-        for (const std::uint32_t idx : ack.misses) {
-          const std::size_t off = static_cast<std::size_t>(idx) * cb;
-          const std::size_t len = std::min(cb, stream.size() - off);
-          const std::span<const std::uint8_t> body{stream.data() + off, len};
-          Bytes payload;
-          if (codec == WireCodec::VarintDelta) {
-            Bytes coded = codec_encode(body);
-            if (coded.size() < body.size()) {
-              dm.codec_ratio.record(static_cast<double>(coded.size()) /
-                                    static_cast<double>(body.size()));
-              payload = net::encode_state_chunk_coded(
-                  idx, static_cast<std::uint8_t>(WireCodec::VarintDelta), coded);
-            } else {
-              dm.codec_ratio.record(1.0);  // raw fallback: encoding did not pay
-            }
-          }
-          if (payload.empty()) payload = net::encode_state_chunk_coded(idx, 0, body);
-          wire += payload.size();
-          src_port->send(net::MsgType::StateChunk, payload);
-          pm.chunks.add(1);
-          pm.chunk_bytes.record(static_cast<double>(payload.size() - 5));
-        }
-        {
-          const Bytes payload = net::encode_state_end(end);
-          wire += payload.size();
-          src_port->send(net::MsgType::StateEnd, payload);
-        }
+                       net::encode_state_begin({options.chunk_bytes, txn, 1}));
+        negotiate_and_send();
         measured_tx = tx_span.finish();
-        report.dedup_miss_chunks = ack.misses.size();
-        report.dedup_hit_chunks = nchunks - ack.misses.size();
-        report.dedup_wire_bytes = wire;
       }
-      const CommitResult r =
-          source_commit_phase(*src_port, *inbox, session, deadline, txn, digest,
-                              src_journal);
-      unconfirmed = (r == CommitResult::Unconfirmed);
-      attempt_ok = true;
+      if (rendezvoused) {
+        const CommitResult r =
+            source_commit_phase(*src_port, *inbox, session, deadline, txn, digest,
+                                src_journal);
+        unconfirmed = (r == CommitResult::Unconfirmed);
+        attempt_ok = true;
+      }
     }
   } catch (...) {
     source_error = std::current_exception();
@@ -405,8 +475,8 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
   // --- resume attempts: retransmit only past the acked watermark -----------
   const std::uint64_t total_chunks = collected ? (stream.size() + cb - 1) / cb : 0;
   double backoff = options.retry_backoff_seconds;
-  while (collected && !attempt_ok && !unconfirmed && !killed && !fatal_other &&
-         program_error == nullptr && attempts_used < total_attempts &&
+  while (rendezvoused && collected && !attempt_ok && !unconfirmed && !killed &&
+         !fatal_other && program_error == nullptr && attempts_used < total_attempts &&
          !session.terminal() && dest.resumable()) {
     if (backoff > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
@@ -442,9 +512,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
         tx_span.arg("resumed_from", std::uint64_t{next_seq});
         PipelineMetrics& pm = PipelineMetrics::get();
         for (std::uint64_t seq = next_seq; seq < total_chunks; ++seq) {
-          const std::size_t off = static_cast<std::size_t>(seq) * cb;
-          const std::size_t len = std::min(cb, stream.size() - off);
-          const std::span<const std::uint8_t> body{stream.data() + off, len};
+          const std::span<const std::uint8_t> body = read_chunk(seq);
           // A dedup stream's chunk payloads carry a codec tag byte; resume
           // retransmits everything raw (tag 0) — former cache hits included,
           // since the destination stopped splicing when the link dropped.
@@ -454,7 +522,7 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
                                : net::encode_state_chunk(
                                      static_cast<std::uint32_t>(seq), body));
           pm.chunks.add(1);
-          pm.chunk_bytes.record(static_cast<double>(len));
+          pm.chunk_bytes.record(static_cast<double>(body.size()));
         }
         src_port->send(net::MsgType::StateEnd, net::encode_state_end(end));
         measured_tx += tx_span.finish();
@@ -473,6 +541,153 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
       report.failure_causes.push_back("attempt " + std::to_string(attempts_used) + ": " +
                                       e.what());
       fail_channel();
+    }
+  }
+
+  // --- destination failover: re-target the stream at a standby --------------
+  // The primary is now presumed dead (resume budget exhausted, host
+  // crashed, or the session was supervisor-cancelled). A terminal session
+  // is excluded on purpose: a destination that REJECTED the handoff
+  // (Nack, digest mismatch) made a protocol decision, and re-playing the
+  // same stream at a standby would just re-earn it.
+  bool standby_finished = false;
+  if (collected && !attempt_ok && !unconfirmed && !killed && !fatal_other &&
+      program_error == nullptr && !session.terminal() &&
+      options.failover.enabled() && wiring.connect_standby != nullptr) {
+    const Clock::time_point declared_dead = Clock::now();
+    FailoverMetrics::get().triggered.add(1);
+    // Tear the primary endpoint down completely before any standby frame
+    // can race its stragglers.
+    if (inbox != nullptr) {
+      inbox->stop();
+      inbox.reset();
+    }
+    dest.close();
+    dest.join();
+    try {
+      if (src_port != nullptr) src_port->close();
+    } catch (...) {
+    }
+    src_port.reset();
+
+    const FailoverPolicy& fo = options.failover;
+    for (std::size_t k = 0; k < fo.standbys.size() && !session.terminal(); ++k) {
+      const DestinationCandidate& cand = fo.standbys[k];
+      const std::string label =
+          cand.name.empty() ? "standby-" + std::to_string(k + 1) : cand.name;
+      const auto inc = static_cast<std::uint32_t>(k + 2);
+
+      // Dial under the policy's per-candidate budget.
+      PortPair fresh;
+      bool dialed = false;
+      std::string dial_cause = "dial budget is zero";
+      double dial_backoff = fo.dial_backoff_seconds;
+      for (int d = 0; d < std::max(1, fo.dial_attempts); ++d) {
+        if (d > 0 && dial_backoff > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(dial_backoff));
+          dial_backoff = std::min(dial_backoff * 2, fo.dial_backoff_cap_seconds);
+        }
+        try {
+          fresh = wiring.connect_standby(k);
+          dialed = true;
+          break;
+        } catch (const Error& e) {
+          dial_cause = e.what();
+        }
+      }
+      if (!dialed) {
+        FailoverMetrics::get().dial_failures.add(1);
+        report.failure_causes.push_back("failover to " + label + ": " + dial_cause);
+        continue;
+      }
+
+      ++attempts_used;
+      report.attempts = attempts_used;
+      CoordinatorMetrics::get().attempts.add(1);
+      FailoverMetrics::get().redirects.add(1);
+      ++report.failovers;
+      session.redirect_decided(inc);
+
+      // The candidate runs under its own destination config (its own
+      // chunk store, its own chaos script) and its own intent journal —
+      // the incarnation-suffixed file arbitration scans alongside the
+      // primary's.
+      RunOptions cand_options = options;
+      cand_options.chunk_cache_dir = cand.chunk_cache_dir;
+      cand_options.dest_fault_plan = cand.dest_fault_plan;
+      Journal cand_journal;
+      if (standby_journal_path) {
+        const std::string path = standby_journal_path(inc);
+        if (!path.empty()) cand_journal.open(path);
+      }
+      DestinationHost standby(cand_options, report, cand_journal, src_journal.path(),
+                              deadline, wiring.session_id);
+      standby.start(std::move(fresh.destination));
+      src_port = std::move(fresh.source);
+      src_port->set_timeout(deadline.current());
+      try {
+        session.on_frame(src_port->recv());  // the standby's own Hello
+        session.begin_streaming();
+        inbox = std::make_unique<ControlInbox>(*src_port, session);
+        // Write-ahead: the redirect exists on disk before any frame names
+        // the new incarnation on the wire.
+        src_journal.append(
+            {JournalRecordType::Begin, txn, 0, inc, "failover to " + label});
+        src_port->send(net::MsgType::StateBegin,
+                       net::encode_state_begin({options.chunk_bytes, txn, inc}));
+        obs::Span tx_span("mig.tx");
+        tx_span.arg("transport", std::string(net::transport_name(options.transport)));
+        tx_span.arg("failover_incarnation", std::uint64_t{inc});
+        if (!cand.chunk_cache_dir.empty()) {
+          // Warm standby: negotiate against ITS store; only misses travel.
+          negotiate_and_send();
+        } else {
+          PipelineMetrics& pm = PipelineMetrics::get();
+          for (std::uint64_t seq = 0; seq < total_chunks; ++seq) {
+            const std::span<const std::uint8_t> body = read_chunk(seq);
+            src_port->send(net::MsgType::StateChunk,
+                           net::encode_state_chunk(static_cast<std::uint32_t>(seq),
+                                                   body));
+            pm.chunks.add(1);
+            pm.chunk_bytes.record(static_cast<double>(body.size()));
+          }
+          src_port->send(net::MsgType::StateEnd, net::encode_state_end(end));
+        }
+        measured_tx += tx_span.finish();
+        const CommitResult r =
+            source_commit_phase(*src_port, *inbox, session, deadline, txn, digest,
+                                src_journal);
+        unconfirmed = (r == CommitResult::Unconfirmed);
+        attempt_ok = true;
+      } catch (const KilledError& e) {
+        killed = true;
+        report.failure_causes.push_back("failover to " + label + ": " + e.what());
+        fail_channel();
+      } catch (const Error& e) {
+        report.failure_causes.push_back("failover to " + label + ": " + e.what());
+        fail_channel();
+      }
+      if (inbox != nullptr) {
+        inbox->stop();
+        inbox.reset();
+      }
+      standby.close();
+      standby.join();
+      try {
+        if (src_port != nullptr) src_port->close();
+      } catch (...) {
+      }
+      src_port.reset();
+      if (attempt_ok || unconfirmed || killed) {
+        standby_finished = standby.finished();
+        if (attempt_ok || unconfirmed) {
+          const double downtime =
+              std::chrono::duration<double>(Clock::now() - declared_dead).count();
+          report.failover_downtime_seconds = downtime;
+          FailoverMetrics::get().downtime.record(downtime);
+        }
+        break;
+      }
     }
   }
   const Clock::time_point pipeline_end = Clock::now();
@@ -494,12 +709,14 @@ TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& 
     // handshake doesn't change its fate.
     return TxnResult::CompletedLocally;
   }
+  report.dest_incarnation = session.incarnation();
+  const bool dest_finished = dest.finished() || standby_finished;
   if (killed) {
-    report.migrated = dest.finished();
+    report.migrated = dest_finished;
     return TxnResult::SourceCrashed;
   }
   if (unconfirmed) {
-    report.migrated = dest.finished();
+    report.migrated = dest_finished;
     return TxnResult::CommittedUnconfirmed;
   }
   if (attempt_ok) {

@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "mig/coordinator.hpp"
 #include "mig/port.hpp"
+#include "mig/retained_stream.hpp"
 #include "net/deadline.hpp"
 
 namespace hpm::mig {
@@ -26,11 +28,24 @@ enum class TxnResult : std::uint8_t {
 /// is bracketed by the two-phase commit. The protocol's legality is
 /// enforced by a SourceSession machine on this side and a DestSession
 /// machine inside the DestinationHost; `wiring.session_id` names both.
-TxnResult run_pipelined_transaction(const RunOptions& options, MigrationReport& report,
-                                    Bytes& stream, const SessionWiring& wiring,
-                                    const net::DeadlinePolicy& deadline,
-                                    Journal& src_journal, Journal& dst_journal,
-                                    std::uint64_t txn, int total_attempts,
-                                    int& attempts_used);
+///
+/// Destination failover (DESIGN.md §16): when the primary destination is
+/// declared dead past the resume budget — or its session was cancelled by
+/// a supervisor — and both options.failover and wiring.connect_standby
+/// are armed, the transaction re-targets each standby candidate in policy
+/// order under the next incarnation (fencing token), replaying [0, end)
+/// of the retained stream and re-running the commit phase there.
+/// `standby_journal_path(incarnation)` names the standby's own intent
+/// journal inside the run's journal_dir (null/empty = journaling off).
+///
+/// On return `stream` holds the retained canonical stream (resident or
+/// spilled per options.retain_dir); the caller materializes it for serial
+/// fallback or local completion.
+TxnResult run_pipelined_transaction(
+    const RunOptions& options, MigrationReport& report, RetainedStream& stream,
+    const SessionWiring& wiring, const net::DeadlinePolicy& deadline,
+    Journal& src_journal, Journal& dst_journal,
+    const std::function<std::string(std::uint32_t)>& standby_journal_path,
+    std::uint64_t txn, int total_attempts, int& attempts_used);
 
 }  // namespace hpm::mig

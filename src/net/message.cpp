@@ -175,9 +175,10 @@ std::uint64_t get_u64_be(const std::uint8_t* in) {
 }  // namespace
 
 Bytes encode_state_begin(const StateBeginInfo& info) {
-  Bytes payload(12);
+  Bytes payload(16);
   put_u32_be(payload.data(), info.chunk_bytes);
   put_u64_be(payload.data() + 4, info.txn_id);
+  put_u32_be(payload.data() + 12, info.incarnation);
   return payload;
 }
 
@@ -197,10 +198,15 @@ Bytes encode_state_end(const StateEndInfo& info) {
 }
 
 StateBeginInfo decode_state_begin(const Bytes& payload) {
-  if (payload.size() != 12) throw NetError("malformed StateBegin payload");
+  // 12 bytes is the v4 layout (no incarnation field): decode it as the
+  // primary so a v4 sender interoperates with a v5 receiver.
+  if (payload.size() != 12 && payload.size() != 16) {
+    throw NetError("malformed StateBegin payload");
+  }
   StateBeginInfo info;
   info.chunk_bytes = get_u32_be(payload.data());
   info.txn_id = get_u64_be(payload.data() + 4);
+  info.incarnation = payload.size() == 16 ? get_u32_be(payload.data() + 12) : 1;
   return info;
 }
 
@@ -255,18 +261,41 @@ std::uint64_t decode_txn(const Bytes& payload) {
   return get_u64_be(payload.data());
 }
 
+Bytes encode_txn_token(const TxnTokenInfo& info) {
+  Bytes payload(12);
+  put_u64_be(payload.data(), info.txn_id);
+  put_u32_be(payload.data() + 8, info.incarnation);
+  return payload;
+}
+
+TxnTokenInfo decode_txn_token(const Bytes& payload) {
+  // 8 bytes is the v4 layout (bare txn id): incarnation 1.
+  if (payload.size() != 8 && payload.size() != 12) {
+    throw NetError("malformed transaction-token payload");
+  }
+  TxnTokenInfo info;
+  info.txn_id = get_u64_be(payload.data());
+  info.incarnation = payload.size() == 12 ? get_u32_be(payload.data() + 8) : 1;
+  return info;
+}
+
 Bytes encode_prepare_ack(const PrepareAckInfo& info) {
-  Bytes payload(16);
+  Bytes payload(20);
   put_u64_be(payload.data(), info.txn_id);
   put_u64_be(payload.data() + 8, info.digest);
+  put_u32_be(payload.data() + 16, info.incarnation);
   return payload;
 }
 
 PrepareAckInfo decode_prepare_ack(const Bytes& payload) {
-  if (payload.size() != 16) throw NetError("malformed PrepareAck payload");
+  // 16 bytes is the v4 layout (no incarnation echo): incarnation 1.
+  if (payload.size() != 16 && payload.size() != 20) {
+    throw NetError("malformed PrepareAck payload");
+  }
   PrepareAckInfo info;
   info.txn_id = get_u64_be(payload.data());
   info.digest = get_u64_be(payload.data() + 8);
+  info.incarnation = payload.size() == 20 ? get_u32_be(payload.data() + 16) : 1;
   return info;
 }
 

@@ -21,9 +21,12 @@ namespace hpm::net {
 /// were introduced, to 3 for the transactional handoff (chunk acks,
 /// resume, Prepare/Commit/Abort, digest-bearing StateEnd), to 4 for
 /// session-tagged frame headers (N concurrent migrations multiplexed
-/// over one channel); a mismatch aborts the attempt before any state
+/// over one channel), to 5 for destination failover (an incarnation
+/// fencing token rides StateBegin, Prepare/Commit/Abort, and
+/// PrepareAck; decoders still accept the shorter v4 payloads as
+/// incarnation 1); a mismatch aborts the attempt before any state
 /// moves.
-inline constexpr std::uint8_t kProtocolVersion = 4;
+inline constexpr std::uint8_t kProtocolVersion = 5;
 
 /// Message type tags used by the migration coordinator.
 enum class MsgType : std::uint8_t {
@@ -110,6 +113,11 @@ TaggedMessage recv_any_message(ByteChannel& ch, std::size_t max_payload = 1ull <
 struct StateBeginInfo {
   std::uint32_t chunk_bytes = 0;
   std::uint64_t txn_id = 0;  ///< transaction the journals arbitrate on
+  /// Destination incarnation (fencing token): 1 for the primary, k+1 for
+  /// the k-th standby a failover re-targeted the stream to. The
+  /// destination learns its incarnation here and refuses any later
+  /// Prepare/Commit/Abort naming a different one.
+  std::uint32_t incarnation = 1;
 };
 
 struct StateEndInfo {
@@ -209,9 +217,21 @@ std::uint32_t decode_state_ack(const Bytes& payload);
 Bytes encode_txn(std::uint64_t txn_id);
 std::uint64_t decode_txn(const Bytes& payload);
 
+/// Transaction id plus the destination incarnation it addresses — the
+/// v5 payload of Prepare/Commit/Abort. A destination whose incarnation
+/// differs must refuse the verdict (it was fenced off by a failover);
+/// the 8-byte v4 payload decodes as incarnation 1.
+struct TxnTokenInfo {
+  std::uint64_t txn_id = 0;
+  std::uint32_t incarnation = 1;
+};
+Bytes encode_txn_token(const TxnTokenInfo& info);
+TxnTokenInfo decode_txn_token(const Bytes& payload);
+
 struct PrepareAckInfo {
   std::uint64_t txn_id = 0;
   std::uint64_t digest = 0;  ///< destination-computed msrm::StreamDigest
+  std::uint32_t incarnation = 1;  ///< echoes the StateBegin fencing token
 };
 Bytes encode_prepare_ack(const PrepareAckInfo& info);
 PrepareAckInfo decode_prepare_ack(const Bytes& payload);

@@ -152,6 +152,23 @@ std::vector<SessionOutcome> migrate_many(const std::vector<SessionJob>& jobs,
           }
           return pair;
         };
+        if (options.failover.enabled()) {
+          // A supervisor-cancelled session's binding is poisoned for good
+          // (the router refuses fresh epochs), so the standby dials under
+          // a DERIVED session id far outside the retry-id sequence: the
+          // failover escapes the quarantined binding instead of inheriting
+          // its wedge. Candidate k of session `id` gets a deterministic id
+          // in a reserved high band.
+          wiring.connect_standby = [src_router, dst_router, id](std::size_t k) {
+            const std::uint32_t sid =
+                (id & 0x00FFFFFFu) | 0x40000000u |
+                (static_cast<std::uint32_t>(k + 1) << 24);
+            mig::PortPair pair;
+            pair.source = src_router->open(sid);
+            pair.destination = dst_router->open(sid);
+            return pair;
+          };
+        }
         if (supervisor != nullptr) {
           mig::SessionHooks hooks;
           hooks.txn_id = options.txn_id;

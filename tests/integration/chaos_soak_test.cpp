@@ -18,16 +18,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/bitonic.hpp"
 #include "bench/emit.hpp"
 #include "mig/coordinator.hpp"
+#include "mig/journal.hpp"
 #include "obs/metrics.hpp"
 #include "sched/cluster.hpp"
 
@@ -40,6 +43,19 @@ using net::Transport;
 constexpr int kSessions = 6;
 constexpr int kRounds = 3;
 constexpr int kSeeds[kSessions] = {3, 5, 7, 9, 11, 13};
+
+/// RNG seed driving the soak's randomized fault schedule. Overridable so a
+/// CI failure is replayable: re-run with HPM_CHAOS_SEED=<seed from the
+/// failure message or BENCH_fleet.json> to get the identical schedule.
+std::uint32_t chaos_seed() {
+  static const std::uint32_t seed = [] {
+    if (const char* s = std::getenv("HPM_CHAOS_SEED"); s != nullptr && *s != '\0') {
+      return static_cast<std::uint32_t>(std::strtoul(s, nullptr, 0));
+    }
+    return 0xC0FFEEu;
+  }();
+  return seed;
+}
 
 mig::RunOptions bitonic_options(int seed, apps::BitonicResult* result) {
   mig::RunOptions options;
@@ -85,7 +101,12 @@ mig::LivenessConfig soak_liveness() {
 }
 
 TEST(ChaosSoak, RandomizedRoundsConvergeAndSiblingsMatch) {
-  std::mt19937 rng(0xC0FFEE);  // seeded: every CI run replays this schedule
+  std::mt19937 rng(chaos_seed());  // seeded: every CI run replays this schedule
+  // Every failure under this test names the seed, so the exact fault
+  // schedule is one env var away from a local replay.
+  SCOPED_TRACE("chaos seed " + std::to_string(chaos_seed()) +
+               " (re-run with HPM_CHAOS_SEED=" + std::to_string(chaos_seed()) +
+               " to replay this schedule)");
   // PID-keyed: the default/ASan/TSan trees may run their chaos suites
   // concurrently, and a shared scratch dir would let one instance's
   // remove_all/GC eat another's journals mid-round.
@@ -348,6 +369,121 @@ TEST(ChaosSoak, LegacyContractStillRethrowsWithoutQuarantine) {
   EXPECT_THROW(migrate_many(jobs, Transport::Memory), std::runtime_error);
 }
 
+// --- journal GC vs live sessions -----------------------------------------
+// gc_completed_txn_journals() shares a directory with sessions that are
+// still streaming, disconnected, or in doubt. Its contract: a journal
+// whose transaction has not logged completion is never collected, no
+// matter how often the sweeper runs — a premature unlink would erase the
+// watermark a resume (or a failover's arbitration) depends on.
+
+TEST(JournalGc, ABeginOnlyJournalSurvivesEverySweep) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / ("hpm_gc_static_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Transaction A is mid-flight: intent opened, no decision yet. Its
+  // Begin record IS the live watermark recovery replays from.
+  constexpr std::uint64_t kLive = 7001;
+  const std::string live_src = dir + "/" + mig::keyed_source_journal_name(kLive);
+  {
+    mig::Journal j(live_src);
+    j.append({mig::JournalRecordType::Begin, kLive, 0, 1, "in flight"});
+  }
+  // Transaction B ran to completion on both sides.
+  constexpr std::uint64_t kDone = 7002;
+  {
+    mig::Journal s(dir + "/" + mig::keyed_source_journal_name(kDone));
+    s.append({mig::JournalRecordType::Begin, kDone, 9, 1, ""});
+    s.append({mig::JournalRecordType::Commit, kDone, 9, 1, ""});
+    s.append({mig::JournalRecordType::Done, kDone, 9, 1, ""});
+    mig::Journal d(dir + "/" + mig::keyed_dest_journal_name(kDone));
+    d.append({mig::JournalRecordType::Begin, kDone, 9, 1, ""});
+    d.append({mig::JournalRecordType::Prepared, kDone, 9, 1, ""});
+    d.append({mig::JournalRecordType::Committed, kDone, 9, 1, ""});
+  }
+
+  const std::vector<std::uint64_t> first = mig::gc_completed_txn_journals(dir);
+  ASSERT_EQ(first, std::vector<std::uint64_t>{kDone});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(mig::gc_completed_txn_journals(dir).empty())
+        << "sweep " << i << " collected something with txn " << kLive
+        << " still live (seed " << chaos_seed() << ")";
+    EXPECT_TRUE(fs::exists(live_src));
+  }
+
+  // The moment A completes it becomes sweepable — and only then.
+  {
+    mig::Journal j(live_src);
+    j.append({mig::JournalRecordType::Commit, kLive, 0, 1, ""});
+    j.append({mig::JournalRecordType::Done, kLive, 0, 1, ""});
+  }
+  EXPECT_EQ(mig::gc_completed_txn_journals(dir), std::vector<std::uint64_t>{kLive});
+  EXPECT_FALSE(fs::exists(live_src));
+  fs::remove_all(dir);
+}
+
+TEST(JournalGc, RacingASweeperAgainstAResumableSessionLosesGracefully) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / ("hpm_gc_race_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  // A resumable routed migration that provably spends time with a live
+  // watermark: its port is severed mid-stream, the session reconnects
+  // and resumes from the acked chunk. Only the routed path writes the
+  // keyed journal names ("source-<txn>.journal") the sweeper manages —
+  // run_migration's exclusive pair is outside GC's jurisdiction by
+  // design. The sweeper hammers the directory the whole time.
+  constexpr std::uint64_t kTxn = 7100;
+  apps::BitonicResult result;
+  std::vector<SessionJob> jobs(1);
+  jobs[0].options = bitonic_options(kSeeds[0], &result);
+  jobs[0].options.journal_dir = dir;
+  jobs[0].options.txn_id = kTxn;
+  jobs[0].options.max_retries = 2;
+  jobs[0].options.ack_every_chunks = 1;
+  jobs[0].sever_after_frames = 12;  // mid-stream of ~47 chunks
+
+  std::atomic<bool> done{false};
+  std::atomic<int> swept_live{0};
+  std::thread sweeper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const std::uint64_t txn : mig::gc_completed_txn_journals(dir)) {
+        if (txn == kTxn) swept_live.fetch_add(1);
+      }
+    }
+  });
+  const std::vector<SessionOutcome> outcomes =
+      migrate_many(jobs, Transport::Memory);
+  done.store(true, std::memory_order_release);
+  sweeper.join();
+
+  // The sweeper never got in the way: the severance was resumed, the
+  // handoff committed, and the restored state matches ground truth.
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, SessionStatus::Completed);
+  EXPECT_EQ(outcomes[0].report.outcome, MigrationOutcome::Migrated)
+      << "seed " << chaos_seed() << ": outcome "
+      << mig::outcome_name(outcomes[0].report.outcome);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.sum_after, serial_sum(kSeeds[0]));
+
+  // While the watermark was live the journal was untouchable; completion
+  // is the only thing that makes it sweepable, and then exactly once —
+  // either the hammer caught the completed pair, or our final sweep does.
+  const std::vector<std::uint64_t> final_sweep = mig::gc_completed_txn_journals(dir);
+  const int total =
+      swept_live.load() + static_cast<int>(std::count(final_sweep.begin(),
+                                                      final_sweep.end(), kTxn));
+  EXPECT_EQ(total, 1) << "transaction swept " << total << " times";
+  EXPECT_TRUE(mig::gc_completed_txn_journals(dir).empty());
+  fs::remove_all(dir);
+}
+
 // Declared last on purpose: gtest runs suites in registration order, so
 // every soak round above has already fed the process registry when this
 // report snapshots it.
@@ -358,6 +494,10 @@ TEST(ChaosSoakReport, EmitsFleetBenchJson) {
   }
   const obs::MetricsSnapshot snap = obs::Registry::process().snapshot();
   bench::BenchReport report("chaos_soak", /*smoke=*/false);
+  // Reproducibility: the seed that drove this soak's fault schedule rides
+  // along in the report, so a regression spotted in CI artifacts can be
+  // replayed exactly (HPM_CHAOS_SEED).
+  report.add("chaos.seed", static_cast<double>(chaos_seed()), "seed");
   report.add("liveness.pings", static_cast<double>(snap.counter("mig.liveness.pings")),
              "count");
   report.add("liveness.pongs", static_cast<double>(snap.counter("mig.liveness.pongs")),
@@ -368,8 +508,17 @@ TEST(ChaosSoakReport, EmitsFleetBenchJson) {
              static_cast<double>(snap.counter("sched.fleet.busy_rejections")), "count");
   report.add("fleet.poisoned", static_cast<double>(snap.counter("sched.fleet.poisoned")),
              "count");
+  report.add("failover.triggered",
+             static_cast<double>(snap.counter("mig.failover.triggered")), "count");
+  report.add("failover.redirects",
+             static_cast<double>(snap.counter("mig.failover.redirects")), "count");
+  report.add("failover.fenced",
+             static_cast<double>(snap.counter("mig.failover.fenced")), "count");
   report.add_percentiles("mig.liveness.detection_seconds");
   report.add_percentiles("mig.liveness.rtt_seconds");
+  // Failover downtime (decision → standby streaming again). Rows appear
+  // once any suite in this process exercised a redirect.
+  report.add_percentiles("mig.failover.downtime_seconds");
   ASSERT_TRUE(report.write(path));
 }
 

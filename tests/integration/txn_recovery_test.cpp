@@ -30,9 +30,9 @@ namespace {
 constexpr std::uint64_t kTxn = 77;
 
 /// Wire framing constants of the message layer: type(1)+len(4) header,
-/// crc(4) trailer; StateBegin payload is chunk_bytes(4)+txn(8).
+/// crc(4) trailer; StateBegin payload is chunk_bytes(4)+txn(8)+incarnation(4).
 constexpr std::uint64_t kFrameOverhead = 9;
-constexpr std::uint64_t kStateBeginWire = kFrameOverhead + 12;
+constexpr std::uint64_t kStateBeginWire = kFrameOverhead + 16;
 
 class TxnTest : public ::testing::Test {
  protected:

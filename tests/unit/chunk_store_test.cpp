@@ -5,6 +5,10 @@
 // `hpmtool chunk-cache`.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/file.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -235,6 +239,67 @@ TEST_F(ChunkStoreTest, RunStatsRoundTripAndToleratesDamage) {
   std::fputs("not-a-stats-file", f);
   std::fclose(f);
   EXPECT_FALSE(ChunkStore::read_run_stats(dir_).valid);
+}
+
+TEST_F(ChunkStoreTest, DirectoryLockExcludesASecondProcess) {
+  // Two PROCESSES sharing one store directory (a warm standby and its
+  // host's own migrations) must serialize their scans and GC sweeps on
+  // the advisory flock of <dir>/.lock. Holding the lock here and fork()ing
+  // a child that open()s the same store proves the child actually blocks
+  // on the kernel lock — a thread mutex cannot provide that.
+  {
+    ChunkStore store(dir_);
+    store.open();
+    store.put(body_of(1, 512));
+    store.put(body_of(2, 512));
+    store.sync_dir();
+  }
+  const int lock_fd = ::open((dir_ + "/.lock").c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(lock_fd, 0);
+  ASSERT_EQ(::flock(lock_fd, LOCK_EX), 0);
+
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: the open() scan and the gc() sweep both take the directory
+    // lock, so this blocks until the parent releases it. No gtest in the
+    // child — it reports through the pipe + exit status only.
+    ::close(pipe_fds[0]);
+    ChunkStore peer(dir_);
+    peer.open();
+    peer.gc(1ull << 20);
+    const char ok = peer.entries() == 2 ? '1' : '0';
+    (void)!::write(pipe_fds[1], &ok, 1);
+    ::_exit(0);
+  }
+  ::close(pipe_fds[1]);
+
+  // While the lock is held the child must NOT complete its open().
+  struct pollfd pfd{pipe_fds[0], POLLIN, 0};
+  EXPECT_EQ(::poll(&pfd, 1, 300), 0)
+      << "the child finished open()/gc() while the directory lock was held";
+
+  ASSERT_EQ(::flock(lock_fd, LOCK_UN), 0);
+  // Released: the child acquires the lock, finishes, and reports.
+  ASSERT_EQ(::poll(&pfd, 1, 10'000), 1) << "child never finished after unlock";
+  char verdict = '?';
+  ASSERT_EQ(::read(pipe_fds[0], &verdict, 1), 1);
+  EXPECT_EQ(verdict, '1') << "child saw a wrong entry count through the lock";
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::close(pipe_fds[0]);
+  ::close(lock_fd);
+
+  // Both processes' views stay coherent: everything still loads.
+  ChunkStore after(dir_);
+  after.open();
+  EXPECT_EQ(after.entries(), 2u);
+  Bytes out;
+  EXPECT_TRUE(after.load(ChunkStore::address_of(body_of(1, 512)), out));
+  EXPECT_EQ(out, body_of(1, 512));
 }
 
 TEST_F(ChunkStoreTest, ForeignFilesAreIgnoredAtOpen) {

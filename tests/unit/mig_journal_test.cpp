@@ -47,9 +47,9 @@ class JournalTest : public ::testing::Test {
 
 TEST_F(JournalTest, AppendReplayRoundTrip) {
   const std::vector<JournalRecord> written = {
-      {JournalRecordType::Begin, 42, 0, "source"},
-      {JournalRecordType::Commit, 42, 0xDEADBEEFCAFEF00Du, ""},
-      {JournalRecordType::Done, 42, 0xDEADBEEFCAFEF00Du, "confirmed by destination"},
+      {JournalRecordType::Begin, 42, 0, 1, "source"},
+      {JournalRecordType::Commit, 42, 0xDEADBEEFCAFEF00Du, 1, ""},
+      {JournalRecordType::Done, 42, 0xDEADBEEFCAFEF00Du, 1, "confirmed by destination"},
   };
   const std::string p = write("roundtrip.journal", written);
 
@@ -70,18 +70,18 @@ TEST_F(JournalTest, MissingFileReplaysEmpty) {
 TEST_F(JournalTest, NullJournalRecordsNothing) {
   Journal null_journal;
   EXPECT_FALSE(null_journal.durable());
-  null_journal.append({JournalRecordType::Commit, 1, 0, ""});  // must not throw
+  null_journal.append({JournalRecordType::Commit, 1, 0, 1, ""});  // must not throw
 }
 
 TEST_F(JournalTest, UnwritablePathThrows) {
   Journal j("/nonexistent-dir/j.journal");
-  EXPECT_THROW(j.append({JournalRecordType::Begin, 1, 0, ""}), MigrationError);
+  EXPECT_THROW(j.append({JournalRecordType::Begin, 1, 0, 1, ""}), MigrationError);
 }
 
 TEST_F(JournalTest, TornTailRecordIsDropped) {
   const std::string p = write("torn.journal", {
-      {JournalRecordType::Begin, 7, 0, "source"},
-      {JournalRecordType::Commit, 7, 99, "about to be torn"},
+      {JournalRecordType::Begin, 7, 0, 1, "source"},
+      {JournalRecordType::Commit, 7, 99, 1, "about to be torn"},
   });
   // Crash mid-append: cut the last record short by a few bytes.
   const auto full = std::filesystem::file_size(p);
@@ -94,13 +94,13 @@ TEST_F(JournalTest, TornTailRecordIsDropped) {
 
 TEST_F(JournalTest, CrcDamageDropsTheRecordAndEverythingAfter) {
   const std::string p = write("crc.journal", {
-      {JournalRecordType::Begin, 7, 0, ""},
-      {JournalRecordType::Prepared, 7, 1, ""},
-      {JournalRecordType::Committed, 7, 1, ""},
+      {JournalRecordType::Begin, 7, 0, 1, ""},
+      {JournalRecordType::Prepared, 7, 1, 1, ""},
+      {JournalRecordType::Committed, 7, 1, 1, ""},
   });
   // Flip one byte inside the SECOND record's txn field.
   std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
-  const std::size_t record_size = 4 + 1 + 8 + 8 + 4 + 0 + 4;  // no note
+  const std::size_t record_size = 4 + 1 + 8 + 8 + 4 + 4 + 0 + 4;  // v2, no note
   f.seekp(static_cast<std::streamoff>(record_size + 8));
   char b = 0;
   f.read(&b, 1);
@@ -126,8 +126,8 @@ TEST_F(JournalTest, VerdictEmptyJournalsNameNoOwner) {
 
 TEST_F(JournalTest, VerdictBeginOnlyIsPresumedAbort) {
   // Crash pre-Prepare: both sides opened the transaction, nobody decided.
-  const std::string src = write("s1", {{JournalRecordType::Begin, 5, 0, "source"}});
-  const std::string dst = write("d1", {{JournalRecordType::Begin, 5, 0, "destination"}});
+  const std::string src = write("s1", {{JournalRecordType::Begin, 5, 0, 1, "source"}});
+  const std::string dst = write("d1", {{JournalRecordType::Begin, 5, 0, 1, "destination"}});
   const RecoveryVerdict v = recover_from_journals(src, dst);
   EXPECT_EQ(v.owner, TxnOwner::Source);
   EXPECT_EQ(v.txn_id, 5u);
@@ -137,9 +137,9 @@ TEST_F(JournalTest, VerdictBeginOnlyIsPresumedAbort) {
 TEST_F(JournalTest, VerdictPreparedWithoutCommitIsPresumedAbort) {
   // Crash post-Prepare, pre-Commit: the destination voted yes but the
   // source never made the decision durable — source still owns.
-  const std::string src = write("s2", {{JournalRecordType::Begin, 5, 0, ""}});
-  const std::string dst = write("d2", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Prepared, 5, 9, ""}});
+  const std::string src = write("s2", {{JournalRecordType::Begin, 5, 0, 1, ""}});
+  const std::string dst = write("d2", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Prepared, 5, 9, 1, ""}});
   const RecoveryVerdict v = recover_from_journals(src, dst);
   EXPECT_EQ(v.owner, TxnOwner::Source);
 }
@@ -147,19 +147,19 @@ TEST_F(JournalTest, VerdictPreparedWithoutCommitIsPresumedAbort) {
 TEST_F(JournalTest, VerdictSourceCommitHandsOwnershipToDestination) {
   // Crash post-Commit: the source relinquished; it does not matter whether
   // the Commit frame ever reached the destination.
-  const std::string src = write("s3", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Commit, 5, 9, ""}});
-  const std::string dst = write("d3", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Prepared, 5, 9, ""}});
+  const std::string src = write("s3", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Commit, 5, 9, 1, ""}});
+  const std::string dst = write("d3", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Prepared, 5, 9, 1, ""}});
   const RecoveryVerdict v = recover_from_journals(src, dst);
   EXPECT_EQ(v.owner, TxnOwner::Destination);
   EXPECT_FALSE(v.completed);
 }
 
 TEST_F(JournalTest, VerdictDoneMarksTheHandoffComplete) {
-  const std::string src = write("s4", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Commit, 5, 9, ""},
-                                       {JournalRecordType::Done, 5, 9, ""}});
+  const std::string src = write("s4", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Commit, 5, 9, 1, ""},
+                                       {JournalRecordType::Done, 5, 9, 1, ""}});
   const RecoveryVerdict v = recover_from_journals(src, path("d4_missing"));
   EXPECT_EQ(v.owner, TxnOwner::Destination);
   EXPECT_TRUE(v.completed);
@@ -168,16 +168,16 @@ TEST_F(JournalTest, VerdictDoneMarksTheHandoffComplete) {
 TEST_F(JournalTest, VerdictAbortThenCommitLastDecisionWins) {
   // The pipelined leg aborted, a serial retry of the SAME transaction
   // committed: the last decisive record governs.
-  const std::string src = write("s5", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Abort, 5, 0, "pipelined leg"},
-                                       {JournalRecordType::Commit, 5, 9, "serial retry"}});
+  const std::string src = write("s5", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Abort, 5, 0, 1, "pipelined leg"},
+                                       {JournalRecordType::Commit, 5, 9, 1, "serial retry"}});
   const RecoveryVerdict v = recover_from_journals(src, path("d5_missing"));
   EXPECT_EQ(v.owner, TxnOwner::Destination);
 }
 
 TEST_F(JournalTest, VerdictAbortAfterCommitNeverHappensButResolvesToSource) {
-  const std::string src = write("s6", {{JournalRecordType::Commit, 5, 9, ""},
-                                       {JournalRecordType::Abort, 5, 0, ""}});
+  const std::string src = write("s6", {{JournalRecordType::Commit, 5, 9, 1, ""},
+                                       {JournalRecordType::Abort, 5, 0, 1, ""}});
   const RecoveryVerdict v = recover_from_journals(src, path("d6_missing"));
   EXPECT_EQ(v.owner, TxnOwner::Source);
 }
@@ -185,19 +185,19 @@ TEST_F(JournalTest, VerdictAbortAfterCommitNeverHappensButResolvesToSource) {
 TEST_F(JournalTest, VerdictDestCommittedAloneStillNamesDestination) {
   // The source journal was lost entirely; the destination's Committed is
   // only reachable after a durable source Commit, so it decides.
-  const std::string dst = write("d7", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Prepared, 5, 9, ""},
-                                       {JournalRecordType::Committed, 5, 9, ""}});
+  const std::string dst = write("d7", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Prepared, 5, 9, 1, ""},
+                                       {JournalRecordType::Committed, 5, 9, 1, ""}});
   const RecoveryVerdict v = recover_from_journals(path("s7_missing"), dst);
   EXPECT_EQ(v.owner, TxnOwner::Destination);
 }
 
 TEST_F(JournalTest, VerdictConsidersOnlyTheLatestTransaction) {
   // txn 5 committed long ago; txn 8 is the interrupted one.
-  const std::string src = write("s8", {{JournalRecordType::Begin, 5, 0, ""},
-                                       {JournalRecordType::Commit, 5, 1, ""},
-                                       {JournalRecordType::Done, 5, 1, ""},
-                                       {JournalRecordType::Begin, 8, 0, ""}});
+  const std::string src = write("s8", {{JournalRecordType::Begin, 5, 0, 1, ""},
+                                       {JournalRecordType::Commit, 5, 1, 1, ""},
+                                       {JournalRecordType::Done, 5, 1, 1, ""},
+                                       {JournalRecordType::Begin, 8, 0, 1, ""}});
   const RecoveryVerdict v = recover_from_journals(src, path("d8_missing"));
   EXPECT_EQ(v.txn_id, 8u);
   EXPECT_EQ(v.owner, TxnOwner::Source) << "txn 8 never committed";
@@ -206,20 +206,20 @@ TEST_F(JournalTest, VerdictConsidersOnlyTheLatestTransaction) {
 TEST_F(JournalTest, GcSweepsCompletedPairsAndKeepsEverythingElse) {
   // txn 10: completed (source logged Done) — sweepable.
   write(keyed_source_journal_name(10).c_str(),
-        {{JournalRecordType::Begin, 10, 0, ""},
-         {JournalRecordType::Commit, 10, 7, ""},
-         {JournalRecordType::Done, 10, 7, ""}});
+        {{JournalRecordType::Begin, 10, 0, 1, ""},
+         {JournalRecordType::Commit, 10, 7, 1, ""},
+         {JournalRecordType::Done, 10, 7, 1, ""}});
   write(keyed_dest_journal_name(10).c_str(),
-        {{JournalRecordType::Begin, 10, 0, ""},
-         {JournalRecordType::Committed, 10, 7, ""}});
+        {{JournalRecordType::Begin, 10, 0, 1, ""},
+         {JournalRecordType::Committed, 10, 7, 1, ""}});
   // txn 11: in doubt (Commit without Done) — recovery still needs it.
   write(keyed_source_journal_name(11).c_str(),
-        {{JournalRecordType::Begin, 11, 0, ""},
-         {JournalRecordType::Commit, 11, 9, ""}});
+        {{JournalRecordType::Begin, 11, 0, 1, ""},
+         {JournalRecordType::Commit, 11, 9, 1, ""}});
   // txn 12: aborted — the source still owns; the record stays.
   write(keyed_source_journal_name(12).c_str(),
-        {{JournalRecordType::Begin, 12, 0, ""},
-         {JournalRecordType::Abort, 12, 0, ""}});
+        {{JournalRecordType::Begin, 12, 0, 1, ""},
+         {JournalRecordType::Abort, 12, 0, 1, ""}});
 
   const std::vector<std::uint64_t> swept = gc_completed_txn_journals(dir_.string());
   ASSERT_EQ(swept.size(), 1u);

@@ -111,11 +111,30 @@ int cmd_recover(const char* dir, const char* txn_arg) {
       txn_arg != nullptr
           ? hpm::mig::Coordinator::recover(dir, std::strtoull(txn_arg, nullptr, 10))
           : hpm::mig::Coordinator::recover(dir);
-  std::printf("journal dir : %s\n", dir);
-  std::printf("transaction : %llu\n", static_cast<unsigned long long>(v.txn_id));
-  std::printf("owner       : %s\n", hpm::mig::txn_owner_name(v.owner));
-  std::printf("completed   : %s\n", v.completed ? "yes" : "no");
-  std::printf("reason      : %s\n", v.reason.c_str());
+  std::printf("journal dir  : %s\n", dir);
+  std::printf("transaction  : %llu\n", static_cast<unsigned long long>(v.txn_id));
+  std::printf("owner        : %s\n", hpm::mig::txn_owner_name(v.owner));
+  if (v.owner == hpm::mig::TxnOwner::Destination) {
+    // A failed-over transaction may have touched several destinations;
+    // the incarnation (fencing token) names the one that owns the commit.
+    std::printf("incarnation  : %u%s\n", v.incarnation,
+                v.incarnation <= 1 ? " (primary)" : " (failover standby)");
+  }
+  if (v.committed_destinations > 1) {
+    std::printf("WARNING      : %d destinations logged Committed; the highest "
+                "incarnation fences the rest\n",
+                v.committed_destinations);
+  }
+  std::printf("completed    : %s\n", v.completed ? "yes" : "no");
+  std::printf("reason       : %s\n", v.reason.c_str());
+  // Foreign matter in the directory never poisons arbitration, but a human
+  // running recovery should see what was stepped over: unrelated files and
+  // torn zero-length journals are reported, not silently ignored.
+  std::vector<std::string> skipped;
+  hpm::mig::list_journaled_txns(dir, &skipped);
+  for (const std::string& s : skipped) {
+    std::printf("skipped      : %s\n", s.c_str());
+  }
   // Exit status mirrors the verdict so scripts can branch on it:
   // 0 = source owns (resume/restart there), 3 = destination owns,
   // 4 = no such transaction in either journal (nothing to arbitrate —
@@ -225,10 +244,11 @@ int cmd_journal_gc(const char* dir) {
 
 int cmd_journal_dump(const char* path) {
   for (const hpm::mig::JournalRecord& r : hpm::mig::Journal::replay(path)) {
-    std::printf("%-9s txn=%llu digest=%016llx%s%s\n", hpm::mig::journal_record_name(r.type),
+    std::printf("%-9s txn=%llu digest=%016llx inc=%u%s%s\n",
+                hpm::mig::journal_record_name(r.type),
                 static_cast<unsigned long long>(r.txn_id),
-                static_cast<unsigned long long>(r.digest), r.note.empty() ? "" : "  ",
-                r.note.c_str());
+                static_cast<unsigned long long>(r.digest), r.incarnation,
+                r.note.empty() ? "" : "  ", r.note.c_str());
   }
   return 0;
 }

@@ -131,9 +131,34 @@ int main(int argc, char** argv) {
     return complain(path, "dedup.bit_identical != 1 — dedup'd restore diverged");
   }
 
+  // Destination failover: replaying to a warm standby must negotiate the
+  // manifest against its chunk store, not blindly re-send the stream.
+  // Shares the dedup ceiling — the mechanism is the same negotiation.
+  const Value* failover_ratio = find_row(*results, "failover.warm_standby.bytes_ratio");
+  if (!failover_ratio || failover_ratio->kind != Value::Kind::Number) {
+    return complain(path, "missing row failover.warm_standby.bytes_ratio");
+  }
+  if (failover_ratio->number > dedup_ceiling) {
+    std::ostringstream os;
+    os << "failover.warm_standby.bytes_ratio = " << failover_ratio->number
+       << " exceeds ceiling " << dedup_ceiling
+       << " (failover replay re-sent the stream — manifest negotiation regressed?)";
+    return complain(path, os.str());
+  }
+
+  const Value* failover_identical = find_row(*results, "failover.bit_identical");
+  if (!failover_identical || failover_identical->kind != Value::Kind::Number) {
+    return complain(path, "missing row failover.bit_identical");
+  }
+  if (failover_identical->number != 1) {
+    return complain(path, "failover.bit_identical != 1 — failed-over restore diverged");
+  }
+
   std::printf("perf_guard: %s: OK (%.2f steps/search <= %.2f, streams identical, "
-              "%.2fx thread speedup, dedup rerun moved %.2f%% <= %.2f%%)\n",
+              "%.2fx thread speedup, dedup rerun moved %.2f%% <= %.2f%%, "
+              "warm-standby failover moved %.2f%% <= %.2f%%)\n",
               path.c_str(), steps->number, ceiling, speedup->number,
-              dedup_ratio->number * 100, dedup_ceiling * 100);
+              dedup_ratio->number * 100, dedup_ceiling * 100,
+              failover_ratio->number * 100, dedup_ceiling * 100);
   return 0;
 }
